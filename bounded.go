@@ -1,0 +1,152 @@
+// Package bounded is the public API of this repository: a from-scratch Go
+// implementation of "An Effective Syntax for Bounded Relational Queries"
+// (Cao & Fan, SIGMOD 2016).
+//
+// A query Q is boundedly evaluable under an access schema A when, on every
+// database D satisfying A, Q(D) can be computed by fetching a fraction D_Q
+// of D whose size — and the time to identify it — depend on Q and A only,
+// never on |D|. Deciding bounded evaluability for full relational algebra
+// is undecidable; the paper's answer is an effective syntax, the class of
+// *covered* queries: every boundedly evaluable RA query is A-equivalent to
+// a covered one, every covered query is boundedly evaluable, and coverage
+// is checkable in PTIME.
+//
+// The package exposes the complete pipeline:
+//
+//	eng, _ := bounded.NewEngine(schema, accessSchema, db)
+//	q, _   := eng.Parse("q(cid) :- friend(0,f), dine(f,cid,5,2015), cafe(cid,'nyc')")
+//	res, _ := eng.Check(q)        // CovChk: is q covered?
+//	table, report, _ := eng.Execute(q, bounded.DefaultOptions())
+//
+// Execute runs coverage checking, optional covered-form rewriting, access
+// minimization, bounded plan generation and plan execution, falling back
+// to a conventional evaluator for uncovered queries. Lower-level pieces
+// (plans, minimizers, SQL translation, constraint discovery, the storage
+// substrate) live in the internal packages and are re-exported here where
+// they form the supported surface.
+package bounded
+
+import (
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/discovery"
+	"repro/internal/exec"
+	"repro/internal/minimize"
+	"repro/internal/plan"
+	"repro/internal/ra"
+	"repro/internal/rewrite"
+	"repro/internal/sqlgen"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Core engine types.
+type (
+	// Engine processes queries under an access schema (Fig. 4 pipeline).
+	Engine = core.Engine
+	// Options tunes Engine.Execute.
+	Options = core.Options
+	// Report describes how a query was processed.
+	Report = core.Report
+
+	// Schema is a relational schema: base relation → attribute names.
+	Schema = ra.Schema
+	// Query is a relational algebra query tree.
+	Query = ra.Query
+	// Attr references an attribute of a relation occurrence.
+	Attr = ra.Attr
+
+	// Constraint is an access constraint R(X → Y, N).
+	Constraint = access.Constraint
+	// AccessSchema is a set of access constraints.
+	AccessSchema = access.Schema
+
+	// CoverResult is the outcome of the coverage analysis (CovChk).
+	CoverResult = cover.Result
+	// Plan is a bounded query plan.
+	Plan = plan.Plan
+	// Table is a query answer with set semantics.
+	Table = exec.Table
+	// Stats reports evaluation cost (tuples accessed, duration).
+	Stats = exec.Stats
+	// DB is the in-memory store holding relations and indices.
+	DB = store.DB
+	// Value is a scalar constant.
+	Value = value.Value
+	// Tuple is a row of values.
+	Tuple = value.Tuple
+	// RewriteResult reports covered-form rewriting.
+	RewriteResult = rewrite.Result
+	// DiscoveryOptions tunes constraint mining.
+	DiscoveryOptions = discovery.Options
+	// MinimizeOptions tunes the greedy access minimizer.
+	MinimizeOptions = minimize.Options
+)
+
+// NewEngine builds an engine over schema and access schema A, building the
+// indices I_A on db (an empty DB is created when db is nil).
+func NewEngine(schema Schema, A *AccessSchema, db *DB) (*Engine, error) {
+	return core.NewEngine(schema, A, db)
+}
+
+// DefaultOptions enables rewriting, minimization and baseline fallback.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewDB creates an empty database instance of schema.
+func NewDB(schema Schema) *DB { return store.NewDB(schema) }
+
+// NewAccessSchema builds an access schema from constraints, dropping
+// duplicates.
+func NewAccessSchema(cs ...Constraint) *AccessSchema { return access.NewSchema(cs...) }
+
+// ParseConstraint reads "R(X -> Y, N)" notation.
+func ParseConstraint(s string) (Constraint, error) { return access.Parse(s) }
+
+// Check runs CovChk directly: is q covered by A?
+func Check(q Query, schema Schema, A *AccessSchema) (*CoverResult, error) {
+	norm, err := ra.Normalize(q, schema)
+	if err != nil {
+		return nil, err
+	}
+	return cover.Check(norm, schema, A)
+}
+
+// BuildPlan generates a canonical bounded query plan for a covered query
+// (algorithm QPlan, Theorem 5).
+func BuildPlan(res *CoverResult) (*Plan, error) { return plan.Build(res) }
+
+// MinimizeAccess runs the greedy heuristic minA (Theorem 10(1)).
+func MinimizeAccess(res *CoverResult, opts MinimizeOptions) (*AccessSchema, error) {
+	return minimize.MinA(res, opts)
+}
+
+// ToCovered rewrites q toward an A-equivalent covered query (difference
+// guarding and selection pushdown).
+func ToCovered(q Query, schema Schema, A *AccessSchema) (*RewriteResult, error) {
+	return rewrite.ToCovered(q, schema, A)
+}
+
+// PlanToSQL translates a bounded plan into SQL over the index relations
+// (Plan2SQL).
+func PlanToSQL(p *Plan) (string, error) { return sqlgen.ToSQL(p) }
+
+// Query construction helpers, re-exported from the ra package.
+var (
+	// R makes a relation occurrence; A an attribute; Eq / EqC equality
+	// atoms; Sel, Proj, Prod, Join, U, D compose the algebra.
+	R    = ra.R
+	A    = ra.A
+	Eq   = ra.Eq
+	EqC  = ra.EqC
+	Sel  = ra.Sel
+	Proj = ra.Proj
+	Prod = ra.Prod
+	Join = ra.Join
+	U    = ra.U
+	D    = ra.D
+
+	// Int and Str build constants.
+	Int = value.NewInt
+	Str = value.NewStr
+)

@@ -1,0 +1,139 @@
+package bounded_test
+
+import (
+	"strings"
+	"testing"
+
+	bounded "repro"
+)
+
+// TestPublicAPIEndToEnd exercises the README quickstart path through the
+// public package only.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	schema := bounded.Schema{
+		"follows": {"src", "dst"},
+		"user":    {"uid", "city"},
+	}
+	A := bounded.NewAccessSchema(
+		bounded.Constraint{Rel: "follows", X: []string{"src"}, Y: []string{"dst"}, N: 100},
+		bounded.Constraint{Rel: "user", X: []string{"uid"}, Y: []string{"city"}, N: 1},
+	)
+	db := bounded.NewDB(schema)
+	edges := [][2]int64{{1, 2}, {1, 3}, {2, 3}}
+	for _, e := range edges {
+		if _, err := db.Insert("follows", bounded.Tuple{bounded.Int(e[0]), bounded.Int(e[1])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for uid, city := range map[int64]string{1: "nyc", 2: "sf", 3: "nyc"} {
+		if _, err := db.Insert("user", bounded.Tuple{bounded.Int(uid), bounded.Str(city)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := bounded.NewEngine(schema, A, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := eng.Parse("q(city) :- follows(1, d), user(d, city)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Check(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatalf("quickstart query not covered:\n%s", res.Explain())
+	}
+	table, rep, err := eng.Execute(q, bounded.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Bounded {
+		t.Error("quickstart query should run bounded")
+	}
+	if table.Len() != 2 { // cities of users 2 and 3: sf, nyc
+		t.Errorf("answer size %d, want 2", table.Len())
+	}
+	sql, err := eng.SQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "ind_follows_src__dst") {
+		t.Errorf("SQL missing index relation: %s", sql)
+	}
+}
+
+// TestPublicBuilderAPI constructs a query with the algebra combinators.
+func TestPublicBuilderAPI(t *testing.T) {
+	schema := bounded.Schema{"r": {"a", "b"}}
+	A := bounded.NewAccessSchema(
+		bounded.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"a", "b"}, N: 5},
+	)
+	q := bounded.Proj(
+		bounded.Sel(bounded.R("r", "r1"), bounded.EqC(bounded.A("r1", "a"), bounded.Int(1))),
+		bounded.A("r1", "b"),
+	)
+	res, err := bounded.Check(q, schema, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatal("builder query should be covered")
+	}
+	p, err := bounded.BuildPlan(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Length() == 0 {
+		t.Error("empty plan")
+	}
+	am, err := bounded.MinimizeAccess(res, bounded.MinimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am.Len() != 1 {
+		t.Errorf("minimized schema has %d constraints", am.Len())
+	}
+	sql, err := bounded.PlanToSQL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sql, "WITH") {
+		t.Errorf("unexpected SQL: %s", sql)
+	}
+}
+
+func TestParseConstraintPublic(t *testing.T) {
+	c, err := bounded.ParseConstraint("r((a,b) -> c, 7)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 7 || len(c.X) != 2 {
+		t.Errorf("parsed %v", c)
+	}
+}
+
+// TestToCoveredPublic drives the rewriter through the public surface.
+func TestToCoveredPublic(t *testing.T) {
+	schema := bounded.Schema{"r": {"a", "b"}}
+	// The b → b membership index plays ψ3's role: it lets the guarded
+	// difference check candidate b values one tuple at a time.
+	A := bounded.NewAccessSchema(
+		bounded.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"a", "b"}, N: 5},
+		bounded.Constraint{Rel: "r", X: []string{"b"}, Y: []string{"b"}, N: 1},
+	)
+	lhs := bounded.Proj(
+		bounded.Sel(bounded.R("r", "l"), bounded.EqC(bounded.A("l", "a"), bounded.Int(1))),
+		bounded.A("l", "b"),
+	)
+	rhs := bounded.Proj(bounded.R("r", "rr"), bounded.A("rr", "b")) // uncovered
+	q := bounded.D(lhs, rhs)
+	rw, err := bounded.ToCovered(q, schema, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rw.Covered {
+		t.Errorf("difference guard should cover the query: %v", rw.Applied)
+	}
+}

@@ -1,0 +1,113 @@
+// Command benchfig regenerates the figures and tables of the paper's
+// experimental study (Section 8) on the synthetic benchmark datasets.
+//
+// Usage:
+//
+//	benchfig -fig 6           # Figure 6: covered/bounded % vs ||A||
+//	benchfig -fig 5a          # Fig 5(a): AIRCA, vary |D|
+//	benchfig -fig 5b          # Fig 5(b): AIRCA, vary #-sel
+//	benchfig -fig 5c          # Fig 5(c): AIRCA, vary #-join
+//	benchfig -fig 5d          # Fig 5(d): AIRCA, vary ||A||
+//	benchfig -fig 5e..5l      # same sweeps for TFACC (e-h) and MCBM (i-l)
+//	benchfig -fig idx         # Exp-1(IV): index size and build time
+//	benchfig -fig exp2        # Exp-2: analysis latency
+//	benchfig -fig all         # everything
+//
+// Flags -scale, -pool and -queries trade fidelity for runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 5a..5l, idx, exp2, all")
+	scale := flag.Float64("scale", 1.0, "full-size scale factor")
+	pool := flag.Int("pool", 100, "random queries per dataset")
+	queries := flag.Int("queries", 5, "covered queries averaged per data point")
+	seed := flag.Int64("seed", 2016, "workload seed")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.FullScale = *scale
+	cfg.QueryPool = *pool
+	cfg.EvalQueries = *queries
+	cfg.Seed = *seed
+
+	if err := run(*fig, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, cfg bench.Config) error {
+	w := os.Stdout
+	airca, tfacc, mcbm := workload.Airca(), workload.Tfacc(), workload.Mcbm()
+	switch fig {
+	case "6":
+		return bench.Fig6(w, cfg)
+	case "5a":
+		return bench.Fig5VaryD(w, airca, cfg)
+	case "5b":
+		return bench.Fig5VarySel(w, airca, cfg)
+	case "5c":
+		return bench.Fig5VaryJoin(w, airca, cfg)
+	case "5d":
+		return bench.Fig5VaryA(w, airca, cfg)
+	case "5e":
+		return bench.Fig5VaryD(w, tfacc, cfg)
+	case "5f":
+		return bench.Fig5VarySel(w, tfacc, cfg)
+	case "5g":
+		return bench.Fig5VaryJoin(w, tfacc, cfg)
+	case "5h":
+		return bench.Fig5VaryA(w, tfacc, cfg)
+	case "5i":
+		return bench.Fig5VaryD(w, mcbm, cfg)
+	case "5j":
+		return bench.Fig5VarySel(w, mcbm, cfg)
+	case "5k":
+		return bench.Fig5VaryJoin(w, mcbm, cfg)
+	case "5l":
+		return bench.Fig5VaryA(w, mcbm, cfg)
+	case "idx":
+		return bench.IndexStats(w, cfg)
+	case "exp2":
+		if err := bench.Exp2(w, cfg); err != nil {
+			return err
+		}
+		return bench.Exp2Elementary(w)
+	case "all":
+		if err := bench.Fig6(w, cfg); err != nil {
+			return err
+		}
+		for _, d := range workload.All() {
+			if err := bench.Fig5VaryD(w, d, cfg); err != nil {
+				return err
+			}
+			if err := bench.Fig5VarySel(w, d, cfg); err != nil {
+				return err
+			}
+			if err := bench.Fig5VaryJoin(w, d, cfg); err != nil {
+				return err
+			}
+			if err := bench.Fig5VaryA(w, d, cfg); err != nil {
+				return err
+			}
+		}
+		if err := bench.IndexStats(w, cfg); err != nil {
+			return err
+		}
+		if err := bench.Exp2(w, cfg); err != nil {
+			return err
+		}
+		return bench.Exp2Elementary(w)
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func tiny() bench.Config {
+	return bench.Config{QueryPool: 15, EvalQueries: 2, FullScale: 1.0 / 32, Seed: 2016}
+}
+
+func TestRunKnownFigures(t *testing.T) {
+	// Cheap figures only; the full sweep is exercised by `-fig all` in CI
+	// time budgets or manually.
+	for _, fig := range []string{"idx", "5b"} {
+		if err := run(fig, tiny()); err != nil {
+			t.Errorf("fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("99z", tiny()); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Command boundedctl is the interactive front door to the bounded
+// evaluation framework: it checks coverage, prints bounded plans, minimizes
+// access schemas, emits Plan2SQL output and executes queries against the
+// built-in benchmark datasets.
+//
+// Usage:
+//
+//	boundedctl -dataset facebook -op check -query "q(cid) :- friend(0,f), dine(f,cid,5,2015), cafe(cid,'nyc')"
+//	boundedctl -dataset AIRCA -op plan  -query "..."
+//	boundedctl -dataset TFACC -op run   -query "..."
+//	boundedctl -dataset MCBM  -op sql   -query "..."
+//	boundedctl -dataset facebook -op minimize -query "..."
+//	boundedctl -dataset facebook -op constraints
+//
+// The query language is Datalog-style conjunctive rules combined with
+// UNION and EXCEPT; see internal/parser.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/minimize"
+	"repro/internal/plan"
+	"repro/internal/ra"
+	"repro/internal/sqlgen"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+func main() {
+	dataset := flag.String("dataset", "facebook", "dataset: facebook, AIRCA, TFACC, MCBM")
+	op := flag.String("op", "check", "operation: check, plan, sql, minimize, run, constraints")
+	query := flag.String("query", "", "query in rule syntax")
+	scale := flag.Float64("scale", 0.1, "data scale factor for run")
+	seed := flag.Int64("seed", 1, "data seed")
+	flag.Parse()
+
+	if err := run(*dataset, *op, *query, *scale, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "boundedctl:", err)
+		os.Exit(1)
+	}
+}
+
+func load(dataset string, scale float64, seed int64, withData bool) (ra.Schema, *access.Schema, *store.DB, error) {
+	if dataset == "facebook" {
+		if withData {
+			cfg := workload.DefaultFacebookConfig()
+			cfg.Seed = seed
+			fb, db, err := workload.GenFacebook(cfg)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return fb.Schema, fb.Access, db, nil
+		}
+		return workload.FacebookSchema(), workload.FacebookAccess(), nil, nil
+	}
+	d, err := workload.ByName(dataset)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if withData {
+		db, err := d.Gen(scale, seed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return d.Schema, d.Access, db, nil
+	}
+	return d.Schema, d.Access, nil, nil
+}
+
+func run(dataset, op, query string, scale float64, seed int64) error {
+	withData := op == "run"
+	schema, A, db, err := load(dataset, scale, seed, withData)
+	if err != nil {
+		return err
+	}
+	if db == nil {
+		db = store.NewDB(schema)
+	}
+	eng, err := core.NewEngine(schema, A, db)
+	if err != nil {
+		return err
+	}
+
+	if op == "constraints" {
+		fmt.Println(A.String())
+		return nil
+	}
+	if query == "" {
+		return fmt.Errorf("operation %q needs -query", op)
+	}
+	q, err := eng.Parse(query)
+	if err != nil {
+		return err
+	}
+
+	switch op {
+	case "check":
+		res, err := eng.Check(q)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Explain())
+		return nil
+	case "plan":
+		res, err := eng.Check(q)
+		if err != nil {
+			return err
+		}
+		if !res.Covered {
+			fmt.Print(res.Explain())
+			return fmt.Errorf("query is not covered; no bounded plan")
+		}
+		p, err := plan.Build(res)
+		if err != nil {
+			return err
+		}
+		fmt.Print(p.String())
+		fmt.Printf("static access bound: %d tuples\n", p.MaxAccessBound())
+		return nil
+	case "sql":
+		res, err := eng.Check(q)
+		if err != nil {
+			return err
+		}
+		if !res.Covered {
+			return fmt.Errorf("query is not covered; no bounded SQL")
+		}
+		p, err := plan.Build(res)
+		if err != nil {
+			return err
+		}
+		sql, err := sqlgen.ToSQL(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println("-- index relations (offline step C1):")
+		for _, ddl := range sqlgen.IndexDDL(res.Access) {
+			fmt.Println("--", ddl)
+		}
+		fmt.Println(sql)
+		return nil
+	case "minimize":
+		res, err := eng.Check(q)
+		if err != nil {
+			return err
+		}
+		if !res.Covered {
+			return fmt.Errorf("query is not covered")
+		}
+		am, err := minimize.MinA(res, minimize.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("minimal access schema (%d of %d constraints, ΣN %d of %d):\n",
+			am.Len(), A.Len(), am.SumN(), A.SumN())
+		fmt.Println(am.String())
+		if minimize.IsAcyclic(res) {
+			dag, err := minimize.MinADAG(res)
+			if err == nil {
+				fmt.Printf("minADAG (acyclic case): %d constraints, ΣN %d\n", dag.Len(), dag.SumN())
+			}
+		}
+		return nil
+	case "run":
+		table, rep, err := eng.Execute(q, core.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		mode := "bounded (evalQP)"
+		if !rep.Bounded {
+			mode = "fallback (evalDBMS)"
+		}
+		fmt.Printf("mode: %s  covered: %v  rewritten: %v\n", mode, rep.Covered, rep.Rewritten)
+		fmt.Printf("accessed %d of %d tuples (%.5f%%) in %v\n",
+			rep.Stats.Accessed, db.Size(),
+			100*float64(rep.Stats.Accessed)/float64(db.Size()), rep.Stats.Duration)
+		rows := table.Sorted()
+		fmt.Printf("%d rows:\n", len(rows))
+		limit := len(rows)
+		if limit > 20 {
+			limit = 20
+		}
+		for _, r := range rows[:limit] {
+			fmt.Println(" ", r.String())
+		}
+		if len(rows) > limit {
+			fmt.Printf("  … %d more\n", len(rows)-limit)
+		}
+		return nil
+	default:
+		ops := []string{"check", "plan", "sql", "minimize", "run", "constraints"}
+		sort.Strings(ops)
+		return fmt.Errorf("unknown op %q (want one of %v)", op, ops)
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+const q1 = "q(cid) :- friend(0,f), dine(f,cid,5,2015), cafe(cid,'nyc')"
+
+func TestOpsOnFacebook(t *testing.T) {
+	for _, op := range []string{"check", "plan", "sql", "minimize", "constraints"} {
+		if err := run("facebook", op, q1, 0.05, 1); err != nil {
+			t.Errorf("op %s: %v", op, err)
+		}
+	}
+}
+
+func TestOpRun(t *testing.T) {
+	if err := run("facebook", "run", q1, 0.05, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestOpsOnBenchmarkDatasets(t *testing.T) {
+	if err := run("AIRCA", "check", "q(airline) :- ontime(f, 42, d, airline, m, delay)", 0.05, 1); err != nil {
+		t.Errorf("AIRCA check: %v", err)
+	}
+	if err := run("TFACC", "constraints", "", 0.05, 1); err != nil {
+		t.Errorf("TFACC constraints: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run("nosuch", "check", q1, 0.05, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run("facebook", "zzz", q1, 0.05, 1); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if err := run("facebook", "check", "", 0.05, 1); err == nil {
+		t.Error("missing query accepted")
+	}
+	if err := run("facebook", "check", "not a query", 0.05, 1); err == nil {
+		t.Error("malformed query accepted")
+	}
+	// plan/sql on an uncovered query must error.
+	uncovered := "q(cid) :- dine(0, cid, m, y)"
+	if err := run("facebook", "plan", uncovered, 0.05, 1); err == nil {
+		t.Error("plan for uncovered query accepted")
+	}
+	if err := run("facebook", "sql", uncovered, 0.05, 1); err == nil {
+		t.Error("sql for uncovered query accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package bounded_test
+
+import (
+	"fmt"
+	"log"
+
+	bounded "repro"
+)
+
+// Example demonstrates the full bounded-evaluation pipeline on a toy
+// database: declare access constraints, load data, check coverage, and
+// execute with bounded data access.
+func Example() {
+	schema := bounded.Schema{
+		"friend": {"pid", "fid"},
+		"cafe":   {"cid", "city"},
+		"dine":   {"pid", "cid"},
+	}
+	A := bounded.NewAccessSchema(
+		bounded.Constraint{Rel: "friend", X: []string{"pid"}, Y: []string{"fid"}, N: 5000},
+		bounded.Constraint{Rel: "dine", X: []string{"pid"}, Y: []string{"cid"}, N: 31},
+		bounded.Constraint{Rel: "cafe", X: []string{"cid"}, Y: []string{"city"}, N: 1},
+	)
+	db := bounded.NewDB(schema)
+	for _, row := range []struct {
+		rel string
+		t   bounded.Tuple
+	}{
+		{"friend", bounded.Tuple{bounded.Int(0), bounded.Int(1)}},
+		{"friend", bounded.Tuple{bounded.Int(0), bounded.Int(2)}},
+		{"dine", bounded.Tuple{bounded.Int(1), bounded.Int(10)}},
+		{"dine", bounded.Tuple{bounded.Int(2), bounded.Int(11)}},
+		{"cafe", bounded.Tuple{bounded.Int(10), bounded.Str("nyc")}},
+		{"cafe", bounded.Tuple{bounded.Int(11), bounded.Str("sf")}},
+	} {
+		if _, err := db.Insert(row.rel, row.t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng, err := bounded.NewEngine(schema, A, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := eng.Parse("q(city) :- friend(0, f), dine(f, c), cafe(c, city)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Check(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("covered:", res.Covered)
+	table, rep, err := eng.Execute(q, bounded.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bounded:", rep.Bounded)
+	for _, row := range table.Sorted() {
+		fmt.Println(row)
+	}
+	// Output:
+	// covered: true
+	// bounded: true
+	// (nyc)
+	// (sf)
+}
+
+// ExampleCheck shows direct use of the coverage checker with the algebra
+// builders: an uncovered query reports which attributes cannot be fetched.
+func ExampleCheck() {
+	schema := bounded.Schema{"dine": {"pid", "cid"}}
+	A := bounded.NewAccessSchema(
+		bounded.Constraint{Rel: "dine", X: []string{"cid"}, Y: []string{"pid"}, N: 100},
+	)
+	// All restaurants person 0 dined at — needs pid→cid, but A only has
+	// cid→pid.
+	q := bounded.Proj(
+		bounded.Sel(bounded.R("dine", "d"), bounded.EqC(bounded.A("d", "pid"), bounded.Int(0))),
+		bounded.A("d", "cid"),
+	)
+	res, err := bounded.Check(q, schema, A)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("covered:", res.Covered)
+	fmt.Println("fetchable:", res.Fetchable)
+	// Output:
+	// covered: false
+	// fetchable: false
+}

@@ -1,0 +1,166 @@
+package access
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ra"
+)
+
+func testSchema() ra.Schema {
+	return ra.Schema{
+		"r": {"a", "b", "c"},
+		"s": {"a", "d"},
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"r(a -> b, 10)",
+		"r((a,b) -> c, 5)",
+		"r( -> b, 12)",
+		"r(∅ -> b, 12)",
+		"s(a -> (a,d), 1)",
+	}
+	for _, src := range cases {
+		c, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		c2, err := Parse(c.String())
+		if err != nil {
+			t.Errorf("re-Parse(%q): %v", c.String(), err)
+			continue
+		}
+		if c.Key() != c2.Key() || c.N != c2.N {
+			t.Errorf("round trip %q -> %q changed constraint", src, c.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"r(a -> b)",      // no N
+		"r a -> b, 3",    // no parens
+		"r(a b, 3)",      // no arrow
+		"r(a -> , 3)",    // empty Y
+		"r(a -> b, xyz)", // bad N
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := testSchema()
+	good := Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 3}
+	if err := good.Validate(s); err != nil {
+		t.Errorf("valid constraint rejected: %v", err)
+	}
+	bad := []Constraint{
+		{Rel: "zzz", X: []string{"a"}, Y: []string{"b"}, N: 3},
+		{Rel: "r", X: []string{"zzz"}, Y: []string{"b"}, N: 3},
+		{Rel: "r", X: []string{"a"}, Y: []string{"zzz"}, N: 3},
+		{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 0},
+		{Rel: "r", X: []string{"a"}, Y: nil, N: 3},
+	}
+	for _, c := range bad {
+		if err := c.Validate(s); err == nil {
+			t.Errorf("invalid constraint %v accepted", c)
+		}
+	}
+}
+
+func TestIsIndexingAndUnit(t *testing.T) {
+	idx := Constraint{Rel: "r", X: []string{"a", "b"}, Y: []string{"b", "a"}, N: 1}
+	if !idx.IsIndexing() {
+		t.Error("X→X (order-insensitive) with N=1 should be indexing")
+	}
+	notIdx := Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 1}
+	if notIdx.IsIndexing() {
+		t.Error("a→b should not be indexing")
+	}
+	if !notIdx.IsUnit() {
+		t.Error("a→b is a unit constraint")
+	}
+	if idx.IsUnit() {
+		t.Error("two-attribute constraint is not unit")
+	}
+}
+
+func TestSchemaDedupAndOps(t *testing.T) {
+	c1 := Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 3}
+	c1dup := Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 99} // same key
+	c2 := Constraint{Rel: "s", X: []string{"a"}, Y: []string{"d"}, N: 5}
+	A := NewSchema(c1, c1dup, c2)
+	if A.Len() != 2 {
+		t.Fatalf("dedup failed: %d constraints", A.Len())
+	}
+	if A.SumN() != 8 {
+		t.Errorf("SumN = %d, want 8", A.SumN())
+	}
+	if got := A.Without(c1.Key()); got.Len() != 1 || got.Constraints[0].Rel != "s" {
+		t.Errorf("Without = %v", got)
+	}
+	sub := A.Subset(map[string]bool{c2.Key(): true})
+	if sub.Len() != 1 || sub.Constraints[0].Rel != "s" {
+		t.Errorf("Subset = %v", sub)
+	}
+	if len(A.ForRel("r")) != 1 || len(A.ForRel("zzz")) != 0 {
+		t.Error("ForRel wrong")
+	}
+	if A.Size() != c1.Size()+c2.Size() {
+		t.Errorf("Size = %d", A.Size())
+	}
+}
+
+func TestActualize(t *testing.T) {
+	A := NewSchema(
+		Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 3},
+		Constraint{Rel: "s", X: []string{"a"}, Y: []string{"d"}, N: 5},
+	)
+	q := ra.Prod(ra.R("r", "r1"), ra.Prod(ra.R("r", "r2"), ra.R("s", "s1")))
+	act := A.Actualize(q)
+	if len(act.All) != 3 {
+		t.Fatalf("actualized %d constraints, want 3 (two r occurrences + one s)", len(act.All))
+	}
+	if len(act.ByRel["r1"]) != 1 || len(act.ByRel["r2"]) != 1 || len(act.ByRel["s1"]) != 1 {
+		t.Errorf("ByRel = %v", act.ByRel)
+	}
+	ac := act.ByRel["r2"][0]
+	if ac.Constraint.Rel != "r2" || ac.Base.Rel != "r" {
+		t.Errorf("actualized constraint %v has wrong provenance", ac)
+	}
+	if ac.N != 3 {
+		t.Errorf("actualized N = %d", ac.N)
+	}
+	// Lemma 1: |A'| accounting.
+	if act.Size() != 3*3 {
+		t.Errorf("actualized size = %d", act.Size())
+	}
+}
+
+func TestXAttrsYAttrs(t *testing.T) {
+	c := Constraint{Rel: "r", X: []string{"a", "b"}, Y: []string{"c"}, N: 2}
+	xs := c.XAttrs("occ")
+	if len(xs) != 2 || xs[0] != ra.A("occ", "a") || xs[1] != ra.A("occ", "b") {
+		t.Errorf("XAttrs = %v", xs)
+	}
+	ys := c.YAttrs("occ")
+	if len(ys) != 1 || ys[0] != ra.A("occ", "c") {
+		t.Errorf("YAttrs = %v", ys)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	c := Constraint{Rel: "r", X: nil, Y: []string{"b"}, N: 12}
+	if !strings.Contains(c.String(), "∅") {
+		t.Errorf("empty X not rendered as ∅: %s", c.String())
+	}
+	A := NewSchema(c)
+	if !strings.Contains(A.String(), "r(∅ -> b, 12)") {
+		t.Errorf("schema string = %q", A.String())
+	}
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func firstDataset() *workload.Dataset { return workload.Airca() }
+
+// tinyCfg keeps harness self-tests fast.
+func tinyCfg() Config {
+	return Config{QueryPool: 20, EvalQueries: 2, FullScale: 1.0 / 16, Seed: 2016}
+}
+
+func TestFig6Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig6(&buf, tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// 3 datasets × 5 fractions + 2 header lines.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 17 {
+		t.Errorf("Fig6 emitted %d lines, want 17:\n%s", len(lines), out)
+	}
+	// Coverage at fraction 0 must be 0; the series must be monotone in f.
+	var prev float64 = -1
+	for _, l := range lines[2:] {
+		var ds string
+		var f, cov, bnd float64
+		if _, err := sscan(l, &ds, &f, &cov, &bnd); err != nil {
+			t.Fatalf("bad line %q: %v", l, err)
+		}
+		if f == 0 {
+			if cov != 0 {
+				t.Errorf("%s: covered%% %f at zero constraints", ds, cov)
+			}
+			prev = -1
+		}
+		if cov < prev {
+			t.Errorf("%s: covered%% not monotone at f=%.2f", ds, f)
+		}
+		prev = cov
+		if bnd < cov {
+			t.Errorf("%s: bounded%% %.1f < covered%% %.1f", ds, bnd, cov)
+		}
+	}
+}
+
+func sscan(line string, ds *string, f, cov, bnd *float64) (int, error) {
+	fields := strings.Split(line, "\t")
+	if len(fields) != 4 {
+		return 0, fmt.Errorf("want 4 fields, got %d", len(fields))
+	}
+	*ds = fields[0]
+	for i, dst := range []*float64{f, cov, bnd} {
+		v, err := strconv.ParseFloat(fields[i+1], 64)
+		if err != nil {
+			return i + 1, err
+		}
+		*dst = v
+	}
+	return 4, nil
+}
+
+func TestFig5VaryDOutput(t *testing.T) {
+	var buf bytes.Buffer
+	d := firstDataset()
+	if err := Fig5VaryD(&buf, d, tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8 { // 2 headers + 6 scales
+		t.Errorf("vary-D emitted %d lines:\n%s", len(lines), buf.String())
+	}
+}
+
+func TestIndexStatsOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := IndexStats(&buf, tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "AIRCA") {
+		t.Errorf("IndexStats output:\n%s", buf.String())
+	}
+}
+
+func TestExp2Elementary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Exp2Elementary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "minAE") {
+		t.Errorf("Exp2Elementary output:\n%s", buf.String())
+	}
+}
+
+func TestQueryPoolDeterministic(t *testing.T) {
+	d := firstDataset()
+	cfg := tinyCfg()
+	a, err := queryPool(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := queryPool(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("pool sizes differ")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("pool not deterministic at %d:\n%s\nvs\n%s", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentExecute runs many queries against one engine from parallel
+// goroutines: the store's read path and atomic access counters must be
+// safe for concurrent readers (run under -race in CI).
+func TestConcurrentExecute(t *testing.T) {
+	eng, fb := engine(t)
+	want, _, err := eng.ExecuteBaseline(fb.Q1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				table, _, err := eng.Execute(fb.Q1(), DefaultOptions())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !table.Equal(want) {
+					errs <- errDiff
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errDiff = errString("concurrent answer differs")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -1,0 +1,238 @@
+// Package core wires the paper's components into the bounded-evaluation
+// framework of Section 7 (Fig. 4): offline constraint discovery and index
+// building (C1), coverage checking (C2), access minimization (C3), bounded
+// plan generation (C4), SQL translation (C5) and execution (C6), with a
+// conventional fallback for queries that are not covered.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/cover"
+	"repro/internal/discovery"
+	"repro/internal/exec"
+	"repro/internal/minimize"
+	"repro/internal/parser"
+	"repro/internal/plan"
+	"repro/internal/ra"
+	"repro/internal/rewrite"
+	"repro/internal/sqlgen"
+	"repro/internal/store"
+)
+
+// Engine is a bounded-evaluation engine bound to a relational schema, an
+// access schema with built indices, and a database instance.
+type Engine struct {
+	Schema ra.Schema
+	Access *access.Schema
+	DB     *store.DB
+}
+
+// Options tunes query processing.
+type Options struct {
+	// Minimize picks a minimal access sub-schema (minA family) before plan
+	// generation, the C3 step. Default on in DefaultOptions.
+	Minimize bool
+	// Rewrite applies covered-form rewriting (difference guarding,
+	// selection pushdown) when the query is not covered as given.
+	Rewrite bool
+	// FallbackToBaseline executes uncovered queries with the conventional
+	// evaluator instead of returning an error.
+	FallbackToBaseline bool
+}
+
+// DefaultOptions enables the full pipeline.
+func DefaultOptions() Options {
+	return Options{Minimize: true, Rewrite: true, FallbackToBaseline: true}
+}
+
+// NewEngine validates the schemas, builds the indices I_A on db, and
+// returns an engine ready to process queries.
+func NewEngine(schema ra.Schema, A *access.Schema, db *store.DB) (*Engine, error) {
+	if err := A.Validate(schema); err != nil {
+		return nil, err
+	}
+	if db == nil {
+		db = store.NewDB(schema)
+	}
+	if err := db.BuildIndexes(A); err != nil {
+		return nil, err
+	}
+	return &Engine{Schema: schema, Access: A, DB: db}, nil
+}
+
+// Parse parses a query in the textual rule language.
+func (e *Engine) Parse(src string) (ra.Query, error) {
+	return parser.Parse(src, e.Schema)
+}
+
+// Check normalizes q and runs CovChk against the engine's access schema.
+func (e *Engine) Check(q ra.Query) (*cover.Result, error) {
+	norm, err := ra.Normalize(q, e.Schema)
+	if err != nil {
+		return nil, err
+	}
+	return cover.Check(norm, e.Schema, e.Access)
+}
+
+// Report describes how a query was processed and at what cost.
+type Report struct {
+	// Covered reports whether the executed query was covered (possibly
+	// after rewriting).
+	Covered bool
+	// Rewritten reports that covered-form rewriting changed the query.
+	Rewritten bool
+	// RewriteRules lists the rewrite rules that fired.
+	RewriteRules []string
+	// Bounded reports whether the bounded path (evalQP) ran; false means
+	// the conventional fallback (evalDBMS) was used.
+	Bounded bool
+	// Plan is the bounded plan (nil on the fallback path).
+	Plan *plan.Plan
+	// Minimized is the access sub-schema used (nil when minimization was
+	// off or the fallback ran).
+	Minimized *access.Schema
+	// Stats is the execution cost.
+	Stats exec.Stats
+	// CheckTime, PlanTime, MinimizeTime are the analysis latencies
+	// (the Exp-2 measurements).
+	CheckTime, PlanTime, MinimizeTime time.Duration
+}
+
+// Execute runs the full pipeline of Fig. 4 on q and returns the answer.
+func (e *Engine) Execute(q ra.Query, opts Options) (*exec.Table, *Report, error) {
+	rep := &Report{}
+	norm, err := ra.Normalize(q, e.Schema)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	t0 := time.Now()
+	res, err := cover.Check(norm, e.Schema, e.Access)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.CheckTime = time.Since(t0)
+
+	if !res.Covered && opts.Rewrite {
+		rw, err := rewrite.ToCovered(norm, e.Schema, e.Access)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rw.Covered {
+			rep.Rewritten = true
+			rep.RewriteRules = rw.Applied
+			norm = rw.Query
+			res, err = cover.Check(norm, e.Schema, e.Access)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	rep.Covered = res.Covered
+
+	if !res.Covered {
+		if !opts.FallbackToBaseline {
+			return nil, rep, fmt.Errorf("core: query is not covered by the access schema")
+		}
+		table, st, err := exec.RunBaseline(norm, e.Schema, e.DB)
+		if err != nil {
+			return nil, rep, err
+		}
+		rep.Stats = st
+		return table, rep, nil
+	}
+
+	if opts.Minimize {
+		t1 := time.Now()
+		am, err := minimize.MinA(res, minimize.DefaultOptions())
+		if err != nil {
+			return nil, rep, err
+		}
+		rep.MinimizeTime = time.Since(t1)
+		rep.Minimized = am
+		res, err = cover.Check(norm, e.Schema, am)
+		if err != nil {
+			return nil, rep, err
+		}
+		if !res.Covered {
+			return nil, rep, fmt.Errorf("core: minimized schema no longer covers the query")
+		}
+	}
+
+	t2 := time.Now()
+	p, err := plan.Build(res)
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.PlanTime = time.Since(t2)
+	rep.Plan = p
+	rep.Bounded = true
+
+	table, st, err := exec.Run(p, e.DB)
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Stats = st
+	return table, rep, nil
+}
+
+// ExecuteBaseline runs q with the conventional evaluator only (evalDBMS).
+func (e *Engine) ExecuteBaseline(q ra.Query) (*exec.Table, exec.Stats, error) {
+	norm, err := ra.Normalize(q, e.Schema)
+	if err != nil {
+		return nil, exec.Stats{}, err
+	}
+	return exec.RunBaseline(norm, e.Schema, e.DB)
+}
+
+// SQL translates q's bounded plan into a SQL query over the index
+// relations (Plan2SQL). The query must be covered.
+func (e *Engine) SQL(q ra.Query) (string, error) {
+	res, err := e.Check(q)
+	if err != nil {
+		return "", err
+	}
+	if !res.Covered {
+		return "", fmt.Errorf("core: query is not covered; no bounded SQL exists")
+	}
+	p, err := plan.Build(res)
+	if err != nil {
+		return "", err
+	}
+	return sqlgen.ToSQL(p)
+}
+
+// Discover mines additional access constraints from the current instance
+// (the C1 step) and returns them without installing them.
+func (e *Engine) Discover(opts discovery.Options) (*access.Schema, error) {
+	return discovery.Discover(e.DB, opts)
+}
+
+// AddConstraints installs extra constraints, building their indices.
+func (e *Engine) AddConstraints(cs ...access.Constraint) error {
+	for _, c := range cs {
+		if err := c.Validate(e.Schema); err != nil {
+			return err
+		}
+	}
+	for _, c := range cs {
+		dup := false
+		for _, old := range e.Access.Constraints {
+			if old.Key() == c.Key() {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if _, err := e.DB.BuildIndex(c); err != nil {
+			return err
+		}
+		e.Access.Constraints = append(e.Access.Constraints, c)
+	}
+	return nil
+}

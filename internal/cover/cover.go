@@ -1,0 +1,268 @@
+// Package cover implements CovChk (Section 4): deciding in O(|Q|²+|A|) time
+// whether an RA query Q is covered by an access schema A, i.e. whether every
+// max SPC sub-query of Q is both fetchable via A (Lemma 4: ΣQs,A ⊨ X̂C → X̂Qs)
+// and indexed by A. Covered queries are the paper's effective syntax for
+// boundedly evaluable RA queries (Theorem 2).
+package cover
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/fd"
+	"repro/internal/ra"
+)
+
+// Sub is the coverage analysis of one max SPC sub-query.
+type Sub struct {
+	SPC     *ra.SPC
+	Classes *ra.Classes
+	// FDs is ΣQs,A: the induced FDs over class representatives. Each FD is
+	// tagged with the base-constraint key it was induced from.
+	FDs *fd.Set
+	// ConstClasses is X̂Qs_C: representatives of classes bound to constants.
+	ConstClasses []ra.Attr
+	// XHat is X̂Qs = ρU(XQs), de-duplicated.
+	XHat []ra.Attr
+	// Cov is the chase result: the closure of ConstClasses under FDs,
+	// which coincides with cov(Qs,A) at class level (proof of Lemma 4).
+	Cov *fd.Derived
+	// Fetchable reports XQs ⊆ cov(Qs,A).
+	Fetchable bool
+	// Missing lists the uncovered classes of X̂Qs when not fetchable.
+	Missing []ra.Attr
+	// Indexed reports that every relation occurrence has an indexing
+	// constraint; IndexBy records the chosen one (minimal N) per occurrence.
+	Indexed    bool
+	IndexBy    map[string]access.ActualConstraint
+	NotIndexed []string
+}
+
+// Result is the full coverage analysis of a query.
+type Result struct {
+	Query  ra.Query
+	Schema ra.Schema
+	Access *access.Schema
+	Act    *access.Actualized
+	Subs   []*Sub
+
+	Covered   bool
+	Fetchable bool
+	Indexed   bool
+}
+
+// Check runs algorithm CovChk on normalized query q under access schema A.
+func Check(q ra.Query, s ra.Schema, A *access.Schema) (*Result, error) {
+	if err := ra.Validate(q, s); err != nil {
+		return nil, err
+	}
+	subsSPC, err := ra.MaxSPC(q, s)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Query:     q,
+		Schema:    s,
+		Access:    A,
+		Act:       A.Actualize(q),
+		Covered:   true,
+		Fetchable: true,
+		Indexed:   true,
+	}
+	for _, spc := range subsSPC {
+		sub, err := checkSub(spc, s, res.Act)
+		if err != nil {
+			return nil, err
+		}
+		res.Subs = append(res.Subs, sub)
+		res.Fetchable = res.Fetchable && sub.Fetchable
+		res.Indexed = res.Indexed && sub.Indexed
+	}
+	res.Covered = res.Fetchable && res.Indexed
+	return res, nil
+}
+
+func checkSub(spc *ra.SPC, s ra.Schema, act *access.Actualized) (*Sub, error) {
+	// Register every attribute of every occurrence, not only XQs: induced
+	// FDs range over all attributes of the occurrences (their X sides may
+	// use attributes outside XQs).
+	var all []ra.Attr
+	for _, rel := range spc.Rels {
+		names, err := s.Attrs(rel.Base)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			all = append(all, ra.Attr{Rel: rel.Name, Name: n})
+		}
+	}
+	classes := ra.NewClasses(all, spc.Preds)
+
+	sub := &Sub{
+		SPC:          spc,
+		Classes:      classes,
+		FDs:          &fd.Set{},
+		ConstClasses: classes.ConstClasses(),
+		XHat:         classes.Reps(spc.X),
+		IndexBy:      map[string]access.ActualConstraint{},
+	}
+
+	// Induced FDs ΣQs,A: one per actualized constraint on an occurrence of
+	// this sub-query, unified via ρU.
+	for _, rel := range spc.Rels {
+		for _, ac := range act.ByRel[rel.Name] {
+			sub.FDs.Add(fd.FD{
+				L:   classes.Reps(ac.XAttrs(rel.Name)),
+				R:   classes.Reps(ac.YAttrs(rel.Name)),
+				Src: ac.Base.Key(),
+				N:   ac.N,
+			})
+		}
+	}
+
+	// Fetchable: ΣQs,A ⊨ X̂C → X̂Qs (Lemma 4), computed as the chase
+	// cov(Qs,A) = closure of the constant classes.
+	sub.Cov = sub.FDs.Closure(sub.ConstClasses)
+	sub.Missing = sub.FDs.Missing(sub.ConstClasses, sub.XHat)
+	sub.Fetchable = len(sub.Missing) == 0
+
+	// Indexed: each occurrence S needs a constraint S(X→Y,N) with
+	// S[X] ⊆ cov(Qs,A) and X^S_Qs ⊆ S[XY].
+	sub.Indexed = true
+	for _, rel := range spc.Rels {
+		need := spc.RelAttrs(rel.Name)
+		best, ok := chooseIndex(act.ByRel[rel.Name], rel.Name, need, classes, sub.Cov)
+		if !ok {
+			sub.Indexed = false
+			sub.NotIndexed = append(sub.NotIndexed, rel.Name)
+			continue
+		}
+		sub.IndexBy[rel.Name] = best
+	}
+	sort.Strings(sub.NotIndexed)
+	return sub, nil
+}
+
+// chooseIndex picks the indexing constraint with the smallest N among the
+// candidates that satisfy the indexed-by condition for occurrence rel.
+func chooseIndex(cands []access.ActualConstraint, rel string, need []ra.Attr,
+	classes *ra.Classes, cov *fd.Derived) (access.ActualConstraint, bool) {
+	var best access.ActualConstraint
+	found := false
+	for _, ac := range cands {
+		if !covers(ac, rel, need, classes, cov) {
+			continue
+		}
+		if !found || ac.N < best.N {
+			best = ac
+			found = true
+		}
+	}
+	return best, found
+}
+
+func covers(ac access.ActualConstraint, rel string, need []ra.Attr,
+	classes *ra.Classes, cov *fd.Derived) bool {
+	for _, x := range ac.XAttrs(rel) {
+		if !cov.In[classes.Rep(x)] {
+			return false
+		}
+	}
+	inXY := map[string]bool{}
+	for _, x := range ac.X {
+		inXY[x] = true
+	}
+	for _, y := range ac.Y {
+		inXY[y] = true
+	}
+	for _, a := range need {
+		if !inXY[a.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// CoveredAttrs returns cov(Qs,A) as a sorted list of class representatives.
+func (s *Sub) CoveredAttrs() []ra.Attr {
+	out := make([]ra.Attr, 0, len(s.Cov.Order))
+	out = append(out, s.Cov.Order...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Explain renders a human-readable coverage report.
+func (r *Result) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "query: %s\n", r.Query.String())
+	fmt.Fprintf(&sb, "covered: %v (fetchable: %v, indexed: %v)\n", r.Covered, r.Fetchable, r.Indexed)
+	for i, sub := range r.Subs {
+		fmt.Fprintf(&sb, "max SPC sub-query #%d: %s\n", i+1, sub.SPC.Root.String())
+		fmt.Fprintf(&sb, "  fetchable: %v", sub.Fetchable)
+		if !sub.Fetchable {
+			parts := make([]string, len(sub.Missing))
+			for j, a := range sub.Missing {
+				parts[j] = a.String()
+			}
+			fmt.Fprintf(&sb, " (missing: %s)", strings.Join(parts, ", "))
+		}
+		sb.WriteByte('\n')
+		fmt.Fprintf(&sb, "  indexed: %v", sub.Indexed)
+		if !sub.Indexed {
+			fmt.Fprintf(&sb, " (no index for: %s)", strings.Join(sub.NotIndexed, ", "))
+		}
+		sb.WriteByte('\n')
+		rels := make([]string, 0, len(sub.IndexBy))
+		for rel := range sub.IndexBy {
+			rels = append(rels, rel)
+		}
+		sort.Strings(rels)
+		for _, rel := range rels {
+			fmt.Fprintf(&sb, "  index %s via %s\n", rel, sub.IndexBy[rel].Constraint.String())
+		}
+	}
+	return sb.String()
+}
+
+// UsedConstraintKeys returns the keys of the base constraints referenced by
+// the analysis: all constraints inducing FDs used in some chase derivation
+// of a needed class, plus the chosen indexing constraints. It is the support
+// set the minimizers start from.
+func (r *Result) UsedConstraintKeys() map[string]bool {
+	used := map[string]bool{}
+	for _, sub := range r.Subs {
+		// Walk back the chase derivations of the needed classes.
+		var mark func(a ra.Attr)
+		seen := map[ra.Attr]bool{}
+		mark = func(a ra.Attr) {
+			if seen[a] {
+				return
+			}
+			seen[a] = true
+			why, ok := sub.Cov.Why[a]
+			if !ok || why < 0 {
+				return
+			}
+			f := sub.FDs.FDs[why]
+			if f.Src != "" {
+				used[f.Src] = true
+			}
+			for _, l := range f.L {
+				mark(l)
+			}
+		}
+		for _, a := range sub.XHat {
+			mark(a)
+		}
+		for rel, ac := range sub.IndexBy {
+			used[ac.Base.Key()] = true
+			// The X side of the chosen index must itself stay covered.
+			for _, x := range ac.XAttrs(rel) {
+				mark(sub.Classes.Rep(x))
+			}
+		}
+	}
+	return used
+}

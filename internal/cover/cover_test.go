@@ -1,0 +1,281 @@
+package cover
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/ra"
+	"repro/internal/value"
+)
+
+// ex1Schema is the Example 1 setting: friend/dine/cafe with A0.
+func ex1Schema() (ra.Schema, *access.Schema) {
+	s := ra.Schema{
+		"friend": {"pid", "fid"},
+		"dine":   {"pid", "cid", "month", "year"},
+		"cafe":   {"cid", "city"},
+	}
+	A := access.NewSchema(
+		access.Constraint{Rel: "friend", X: []string{"pid"}, Y: []string{"fid"}, N: 5000},
+		access.Constraint{Rel: "dine", X: []string{"pid", "year", "month"}, Y: []string{"cid"}, N: 31},
+		access.Constraint{Rel: "dine", X: []string{"pid", "cid"}, Y: []string{"pid", "cid"}, N: 1},
+		access.Constraint{Rel: "cafe", X: []string{"cid"}, Y: []string{"city"}, N: 1},
+	)
+	return s, A
+}
+
+func ex1Q1() ra.Query {
+	p0, may, y, nyc := value.NewInt(0), value.NewInt(5), value.NewInt(2015), value.NewStr("nyc")
+	return ra.Proj(
+		ra.Sel(ra.Prod(ra.R("friend", "f"), ra.R("dine", "d"), ra.R("cafe", "c")),
+			ra.EqC(ra.A("f", "pid"), p0),
+			ra.Eq(ra.A("f", "fid"), ra.A("d", "pid")),
+			ra.EqC(ra.A("d", "month"), may),
+			ra.EqC(ra.A("d", "year"), y),
+			ra.Eq(ra.A("d", "cid"), ra.A("c", "cid")),
+			ra.EqC(ra.A("c", "city"), nyc),
+		),
+		ra.A("c", "cid"),
+	)
+}
+
+func ex1Q2() ra.Query {
+	return ra.Proj(
+		ra.Sel(ra.R("dine", "d2"), ra.EqC(ra.A("d2", "pid"), value.NewInt(0))),
+		ra.A("d2", "cid"),
+	)
+}
+
+func TestExample1Q1Covered(t *testing.T) {
+	s, A := ex1Schema()
+	res, err := Check(ex1Q1(), s, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered || !res.Fetchable || !res.Indexed {
+		t.Fatalf("Q1 should be covered:\n%s", res.Explain())
+	}
+	if len(res.Subs) != 1 {
+		t.Fatalf("Q1 has %d max SPC sub-queries", len(res.Subs))
+	}
+	sub := res.Subs[0]
+	// The chosen index for cafe must be ψ4 (the only one).
+	if got := sub.IndexBy["c"].Base.Key(); got != "cafe(cid->city)" {
+		t.Errorf("cafe indexed by %s", got)
+	}
+	// dine is indexed by ψ2 (N=31), not ψ3 (which lacks month/year in XY).
+	if got := sub.IndexBy["d"].Base.N; got != 31 {
+		t.Errorf("dine indexed with N=%d, want 31", got)
+	}
+}
+
+func TestExample1Q2NotCovered(t *testing.T) {
+	s, A := ex1Schema()
+	res, err := Check(ex1Q2(), s, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered {
+		t.Fatal("Q2 must not be covered under A0")
+	}
+	if res.Fetchable {
+		t.Error("Q2 must not be fetchable (cid unreachable from pid alone)")
+	}
+	// The missing attribute is the cid class.
+	if len(res.Subs[0].Missing) == 0 {
+		t.Error("no missing attributes reported")
+	}
+	exp := res.Explain()
+	if !strings.Contains(exp, "covered: false") {
+		t.Errorf("Explain: %q", exp)
+	}
+}
+
+func TestExample1Q0DiffCoverage(t *testing.T) {
+	s, A := ex1Schema()
+	q0 := ra.D(ex1Q1(), ex1Q2())
+	res, err := Check(q0, s, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered {
+		t.Error("Q0 = Q1 − Q2 must not be covered (Q2 is not)")
+	}
+	if len(res.Subs) != 2 {
+		t.Errorf("Q0 has %d max SPC sub-queries, want 2", len(res.Subs))
+	}
+}
+
+func TestEmptyXConstraintSeedsCoverage(t *testing.T) {
+	s := ra.Schema{"cal": {"month", "day"}}
+	A := access.NewSchema(
+		access.Constraint{Rel: "cal", X: nil, Y: []string{"month"}, N: 12},
+		access.Constraint{Rel: "cal", X: []string{"month"}, Y: []string{"day"}, N: 31},
+	)
+	// q: all (month, day) pairs — no constants at all, yet covered via
+	// ∅ → month → day.
+	q := ra.Proj(ra.R("cal", "c"), ra.A("c", "month"), ra.A("c", "day"))
+	res, err := Check(q, s, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatalf("query should be covered via ∅→month:\n%s", res.Explain())
+	}
+}
+
+func TestIndexedRequiresSameTupleCondition(t *testing.T) {
+	s := ra.Schema{"r": {"a", "b", "c"}}
+	// b and c are both fetchable from a, but no constraint has both b and c
+	// in XY, so tuples (b,c) cannot be validated as coming from one tuple.
+	A := access.NewSchema(
+		access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 3},
+		access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"c"}, N: 3},
+	)
+	q := ra.Proj(
+		ra.Sel(ra.R("r", "r1"), ra.EqC(ra.A("r1", "a"), value.NewInt(1))),
+		ra.A("r1", "b"), ra.A("r1", "c"),
+	)
+	res, err := Check(q, s, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fetchable {
+		t.Error("b and c are individually fetchable")
+	}
+	if res.Indexed {
+		t.Error("no constraint covers {a,b,c} in one XY — must not be indexed")
+	}
+	// Adding a combined constraint fixes it.
+	A2 := access.NewSchema(append(A.Constraints,
+		access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b", "c"}, N: 9})...)
+	res2, err := Check(q, s, A2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Covered {
+		t.Errorf("combined constraint should cover:\n%s", res2.Explain())
+	}
+}
+
+func TestEqualityPropagatesCoverageAcrossRelations(t *testing.T) {
+	s := ra.Schema{"r": {"a", "b"}, "s": {"b", "c"}}
+	A := access.NewSchema(
+		access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 4},
+		access.Constraint{Rel: "s", X: []string{"b"}, Y: []string{"c"}, N: 4},
+		access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"a"}, N: 1},
+	)
+	q := ra.Proj(
+		ra.Sel(ra.Prod(ra.R("r", "r1"), ra.R("s", "s1")),
+			ra.EqC(ra.A("r1", "a"), value.NewInt(7)),
+			ra.Eq(ra.A("r1", "b"), ra.A("s1", "b"))),
+		ra.A("s1", "c"),
+	)
+	res, err := Check(q, s, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatalf("chain a→b=b→c should be covered:\n%s", res.Explain())
+	}
+	// Removing the r constraint breaks the chain.
+	res2, err := Check(q, s, A.Without("r(a->b)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Covered {
+		t.Error("broken chain still covered")
+	}
+}
+
+func TestConstantOnlyQueryCovered(t *testing.T) {
+	s := ra.Schema{"r": {"a", "b"}}
+	A := access.NewSchema(
+		access.Constraint{Rel: "r", X: []string{"a", "b"}, Y: []string{"a", "b"}, N: 1},
+	)
+	// Both attributes constant: fetchable trivially, indexed via the
+	// membership constraint.
+	q := ra.Proj(
+		ra.Sel(ra.R("r", "r1"),
+			ra.EqC(ra.A("r1", "a"), value.NewInt(1)),
+			ra.EqC(ra.A("r1", "b"), value.NewInt(2))),
+		ra.A("r1", "a"),
+	)
+	res, err := Check(q, s, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatalf("constant membership query should be covered:\n%s", res.Explain())
+	}
+}
+
+func TestNoConstraintsNothingCovered(t *testing.T) {
+	s := ra.Schema{"r": {"a"}}
+	q := ra.Proj(ra.R("r", "r1"), ra.A("r1", "a"))
+	res, err := Check(q, s, access.NewSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered || res.Indexed || res.Fetchable {
+		t.Error("query covered under empty access schema")
+	}
+}
+
+func TestCheckRejectsInvalidQuery(t *testing.T) {
+	s := ra.Schema{"r": {"a"}}
+	if _, err := Check(ra.R("zzz", "z"), s, access.NewSchema()); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestUsedConstraintKeys(t *testing.T) {
+	s, A := ex1Schema()
+	res, err := Check(ex1Q1(), s, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := res.UsedConstraintKeys()
+	for _, want := range []string{"friend(pid->fid)", "dine(pid,year,month->cid)", "cafe(cid->city)"} {
+		if !used[want] {
+			t.Errorf("used set missing %s: %v", want, used)
+		}
+	}
+	if used["dine(pid,cid->pid,cid)"] {
+		t.Error("ψ3 should not be needed for Q1")
+	}
+}
+
+func TestCoveredAttrsSorted(t *testing.T) {
+	s, A := ex1Schema()
+	res, _ := Check(ex1Q1(), s, A)
+	attrs := res.Subs[0].CoveredAttrs()
+	for i := 1; i < len(attrs); i++ {
+		if attrs[i].Less(attrs[i-1]) {
+			t.Errorf("CoveredAttrs not sorted: %v", attrs)
+		}
+	}
+}
+
+func TestConflictingConstantsStillAnalyzable(t *testing.T) {
+	s := ra.Schema{"r": {"a", "b"}}
+	A := access.NewSchema(access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"a", "b"}, N: 2})
+	q := ra.Proj(
+		ra.Sel(ra.R("r", "r1"),
+			ra.EqC(ra.A("r1", "a"), value.NewInt(1)),
+			ra.EqC(ra.A("r1", "a"), value.NewInt(2))),
+		ra.A("r1", "b"),
+	)
+	res, err := Check(q, s, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Subs[0].Classes.Conflict {
+		t.Error("conflict not detected")
+	}
+	// The unsatisfiable query is still covered (constant class is seed).
+	if !res.Covered {
+		t.Errorf("unsatisfiable but syntactically covered query rejected:\n%s", res.Explain())
+	}
+}

@@ -1,0 +1,110 @@
+package cover_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// TestCoveredImpliesPlanExists is Theorem 2(2) exercised mechanically:
+// every random query CovChk declares covered must yield a valid canonical
+// bounded plan with a finite data-independent access bound — without
+// touching any data. This is the pure meta-level soundness check; the
+// differential tests in internal/exec add the data-level half.
+func TestCoveredImpliesPlanExists(t *testing.T) {
+	for _, d := range workload.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(123))
+			params := workload.DefaultQueryParams()
+			coveredCount := 0
+			for i := 0; i < 150; i++ {
+				params.Sel = 3 + rng.Intn(7)
+				params.Join = rng.Intn(6)
+				params.UniDiff = rng.Intn(6)
+				q, err := d.RandomQuery(params, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := cover.Check(q, d.Schema, d.Access)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Covered {
+					// Theorem consistency: covered = fetchable ∧ indexed.
+					if res.Fetchable && res.Indexed {
+						t.Fatalf("not covered but fetchable and indexed: %s", q)
+					}
+					continue
+				}
+				coveredCount++
+				if !res.Fetchable || !res.Indexed {
+					t.Fatalf("covered but not fetchable/indexed: %s", q)
+				}
+				p, err := plan.Build(res)
+				if err != nil {
+					t.Fatalf("covered query has no plan (Theorem 2(2) violated): %v\n%s", err, q)
+				}
+				if err := p.Validate(d.Access); err != nil {
+					t.Fatalf("generated plan invalid: %v", err)
+				}
+				conflicted := false
+				for _, sub := range res.Subs {
+					if sub.Classes.Conflict {
+						conflicted = true
+					}
+				}
+				// Provably empty sub-queries compile to constants and may
+				// access nothing; otherwise the bound must be positive.
+				if !conflicted && p.MaxAccessBound() <= 0 {
+					t.Fatalf("covered query with non-positive access bound: %s", q)
+				}
+				if p.MaxAccessBound() < 0 {
+					t.Fatalf("negative access bound: %s", q)
+				}
+				// Lemma 8: plan length bounded by O(|Q||A|).
+				if p.Length() > 10*len(res.Subs)*(d.Access.Size()+100) {
+					t.Errorf("plan length %d suspiciously large", p.Length())
+				}
+			}
+			if coveredCount == 0 {
+				t.Error("no covered queries sampled — test is vacuous")
+			}
+			t.Logf("%s: %d covered queries planned", d.Name, coveredCount)
+		})
+	}
+}
+
+// TestMonotonicity: adding constraints never un-covers a query
+// (cov(Q,A) ⊆ cov(Q,A′) for A ⊆ A′).
+func TestCoverageMonotonicity(t *testing.T) {
+	d := workload.Airca()
+	rng := rand.New(rand.NewSource(321))
+	params := workload.DefaultQueryParams()
+	half := d.AccessFraction(0.5)
+	for i := 0; i < 60; i++ {
+		params.Sel = 4 + rng.Intn(5)
+		params.Join = rng.Intn(4)
+		q, err := d.RandomQuery(params, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, err := cover.Check(q, d.Schema, half)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !small.Covered {
+			continue
+		}
+		full, err := cover.Check(q, d.Schema, d.Access)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !full.Covered {
+			t.Fatalf("query covered by half schema but not full (monotonicity violated): %s", q)
+		}
+	}
+}

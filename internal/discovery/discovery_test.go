@@ -1,0 +1,166 @@
+package discovery
+
+import (
+	"testing"
+
+	"repro/internal/ra"
+	"repro/internal/store"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func iv(i int) value.Value { return value.NewInt(int64(i)) }
+
+// plantedDB builds r(a,b,c) where b = a%5 (FD a→b up to fan 1), c has a
+// tiny domain {0,1,2} (∅→c), and a is unbounded.
+func plantedDB(t *testing.T) *store.DB {
+	t.Helper()
+	db := store.NewDB(ra.Schema{"r": {"a", "b", "c"}})
+	for a := 0; a < 200; a++ {
+		if _, err := db.Insert("r", value.Tuple{iv(a), iv(a % 5), iv(a % 3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestDiscoverPlantedConstraints(t *testing.T) {
+	db := plantedDB(t)
+	opts := DefaultOptions()
+	opts.MaxN = 10
+	A, err := Discover(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]int{}
+	for _, c := range A.Constraints {
+		byKey[c.Key()] = c.N
+	}
+	if n, ok := byKey["r(a->b)"]; !ok || n != 1 {
+		t.Errorf("missing planted FD r(a->b,1): %v", byKey)
+	}
+	if n, ok := byKey["r(->c)"]; !ok || n != 3 {
+		t.Errorf("missing domain constraint r(∅->c,3): %v", byKey)
+	}
+	// a has 200 distinct values: no b→a or ∅→a within MaxN=10.
+	if _, ok := byKey["r(b->a)"]; ok {
+		t.Error("discovered unbounded fan r(b->a)")
+	}
+	if _, ok := byKey["r(->a)"]; ok {
+		t.Error("discovered unbounded domain r(∅->a)")
+	}
+	// All discovered constraints must hold on the instance.
+	if err := db.SatisfiesAll(A); err != nil {
+		t.Errorf("discovered constraint violated: %v", err)
+	}
+}
+
+func TestPruneDominated(t *testing.T) {
+	db := plantedDB(t)
+	opts := DefaultOptions()
+	opts.MaxN = 10
+	A, err := Discover(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]int{}
+	for _, c := range A.Constraints {
+		byKey[c.Key()] = c.N
+	}
+	// a→b (N=1) dominates (a,c)→b (also N=1): the superset is pruned.
+	if _, ok := byKey["r(a,c->b)"]; ok {
+		t.Error("dominated constraint r(a,c->b) not pruned")
+	}
+	// a→c (N=1) is tighter than ∅→c (N=3), so it survives, but it in turn
+	// dominates (a,b)→c.
+	if _, ok := byKey["r(a->c)"]; !ok {
+		t.Error("tighter constraint r(a->c) wrongly pruned by looser ∅->c")
+	}
+	if _, ok := byKey["r(a,b->c)"]; ok {
+		t.Error("dominated constraint r(a,b->c) not pruned")
+	}
+	// Without pruning the superset constraints appear.
+	opts.PruneDominated = false
+	A2, err := Discover(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range A2.Constraints {
+		if c.Key() == "r(a,c->b)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unpruned discovery lost a valid constraint")
+	}
+}
+
+func TestSlackInflatesN(t *testing.T) {
+	db := plantedDB(t)
+	opts := DefaultOptions()
+	opts.MaxN = 10
+	opts.Slack = 2.0
+	A, err := Discover(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range A.Constraints {
+		if c.Key() == "r(a->b)" && c.N != 2 {
+			t.Errorf("slack 2.0 should double N: got %d", c.N)
+		}
+	}
+}
+
+func TestSampleLimit(t *testing.T) {
+	db := plantedDB(t)
+	opts := DefaultOptions()
+	opts.MaxN = 10
+	opts.SampleLimit = 10
+	if _, err := Discover(db, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMembershipConstraints(t *testing.T) {
+	cs := MembershipConstraints("dine", [][]string{{"pid", "cid"}, {"cid"}})
+	if len(cs) != 2 {
+		t.Fatalf("got %d constraints", len(cs))
+	}
+	if !cs[0].IsIndexing() || !cs[1].IsIndexing() {
+		t.Error("membership constraints must be indexing constraints")
+	}
+	if cs[0].N != 1 {
+		t.Error("membership N must be 1")
+	}
+}
+
+// TestDiscoverOnBenchmarkData: mining a real generated dataset returns a
+// non-trivial schema that the instance satisfies.
+func TestDiscoverOnBenchmarkData(t *testing.T) {
+	d := workload.Airca()
+	db, err := d.Gen(1.0/32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.MaxN = 40
+	opts.SampleLimit = 2000
+	A, err := Discover(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if A.Len() < 10 {
+		t.Errorf("discovered only %d constraints", A.Len())
+	}
+	// Note: with SampleLimit, constraints hold on the sample; verify on
+	// the full instance only for those mined without sampling.
+	opts.SampleLimit = 0
+	A2, err := Discover(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SatisfiesAll(A2); err != nil {
+		t.Errorf("full-scan discovery produced violated constraint: %v", err)
+	}
+}

@@ -1,0 +1,349 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ra"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// RunBaseline evaluates q the conventional way (evalDBMS): every relation
+// occurrence is read by a full scan of whole tuples, constant selections
+// are applied after the scan, and equi-joins use hash joins with a
+// smallest-first order — a fair model of the MySQL/PostgreSQL behaviour the
+// paper observed (entire tables are accessed whenever non-key attributes
+// are involved). Its data access is Θ(|D|) by construction.
+func RunBaseline(q ra.Query, s ra.Schema, db *store.DB) (*Table, Stats, error) {
+	start := time.Now()
+	before := db.Counter()
+	t, _, err := evalBaseline(q, s, db)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	after := db.Counter()
+	st := Stats{
+		Fetched:  after.Fetched - before.Fetched,
+		Scanned:  after.Scanned - before.Scanned,
+		Duration: time.Since(start),
+	}
+	st.Accessed = st.Fetched + st.Scanned
+	return t, st, nil
+}
+
+func evalBaseline(q ra.Query, s ra.Schema, db *store.DB) (*Table, []ra.Attr, error) {
+	if ra.IsSPC(q) {
+		spc, err := flattenOne(q, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		t, err := evalSPCBaseline(spc, s, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		return t, spc.Out, nil
+	}
+	switch t := q.(type) {
+	case *ra.Union:
+		l, la, err := evalBaseline(t.L, s, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, _, err := evalBaseline(t.R, s, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := NewTable(l.Cols)
+		for _, a := range l.rows {
+			out.Add(a)
+		}
+		for _, b := range r.rows {
+			out.Add(b)
+		}
+		return out, la, nil
+	case *ra.Diff:
+		l, la, err := evalBaseline(t.L, s, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, _, err := evalBaseline(t.R, s, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := NewTable(l.Cols)
+		for k, a := range l.rows {
+			if _, ok := r.rows[k]; !ok {
+				out.Add(a)
+			}
+		}
+		return out, la, nil
+	case *ra.Select:
+		in, ia, err := evalBaseline(t.In, s, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := NewTable(in.Cols)
+		for _, row := range in.rows {
+			ok, err := predsHold(row, ia, t.Preds)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				out.Add(row)
+			}
+		}
+		return out, ia, nil
+	case *ra.Project:
+		in, ia, err := evalBaseline(t.In, s, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		pos := make([]int, len(t.Attrs))
+		cols := make([]string, len(t.Attrs))
+		for i, a := range t.Attrs {
+			p := attrIndex(ia, a)
+			if p < 0 {
+				return nil, nil, fmt.Errorf("exec: projection attribute %s out of scope", a)
+			}
+			pos[i] = p
+			cols[i] = a.String()
+		}
+		out := NewTable(cols)
+		for _, row := range in.rows {
+			out.Add(row.Project(pos))
+		}
+		return out, t.Attrs, nil
+	case *ra.Product:
+		l, la, err := evalBaseline(t.L, s, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, rAttrs, err := evalBaseline(t.R, s, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := NewTable(append(append([]string{}, l.Cols...), r.Cols...))
+		for _, a := range l.rows {
+			for _, b := range r.rows {
+				row := make(value.Tuple, 0, len(a)+len(b))
+				row = append(row, a...)
+				row = append(row, b...)
+				out.Add(row)
+			}
+		}
+		return out, append(append([]ra.Attr{}, la...), rAttrs...), nil
+	default:
+		return nil, nil, fmt.Errorf("exec: unknown node %T", q)
+	}
+}
+
+func flattenOne(q ra.Query, s ra.Schema) (*ra.SPC, error) {
+	subs, err := ra.MaxSPC(q, s)
+	if err != nil {
+		return nil, err
+	}
+	if len(subs) != 1 {
+		return nil, fmt.Errorf("exec: expected one SPC sub-query, got %d", len(subs))
+	}
+	return subs[0], nil
+}
+
+// evalSPCBaseline evaluates a flattened SPC query with full scans and hash
+// joins. Tables are keyed by equality-class labels so equi-join conditions
+// become natural joins; residual conditions are checked implicitly by class
+// construction.
+func evalSPCBaseline(spc *ra.SPC, s ra.Schema, db *store.DB) (*Table, error) {
+	var all []ra.Attr
+	for _, rel := range spc.Rels {
+		names, err := s.Attrs(rel.Base)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			all = append(all, ra.Attr{Rel: rel.Name, Name: n})
+		}
+	}
+	classes := ra.NewClasses(all, spc.Preds)
+	if classes.Conflict {
+		return NewTable(make([]string, len(spc.Out))), nil
+	}
+
+	// Which classes each relation must expose: classes of its attributes in
+	// XQs plus classes shared with other relations (join columns).
+	classRels := map[ra.Attr]map[string]bool{}
+	for _, rel := range spc.Rels {
+		names, _ := s.Attrs(rel.Base)
+		for _, n := range names {
+			rep := classes.Rep(ra.Attr{Rel: rel.Name, Name: n})
+			if classRels[rep] == nil {
+				classRels[rep] = map[string]bool{}
+			}
+			classRels[rep][rel.Name] = true
+		}
+	}
+	needed := map[ra.Attr]bool{}
+	for _, a := range spc.X {
+		needed[classes.Rep(a)] = true
+	}
+	for rep, rels := range classRels {
+		if len(rels) > 1 {
+			needed[rep] = true
+		}
+	}
+
+	// Scan, filter and label each relation.
+	tabs := make([]*Table, 0, len(spc.Rels))
+	for _, rel := range spc.Rels {
+		t, err := scanRelation(rel, spc, classes, needed, s, db)
+		if err != nil {
+			return nil, err
+		}
+		tabs = append(tabs, t)
+	}
+	// Smallest-first hash-join order, joining connected tables before
+	// resorting to cross products.
+	sort.Slice(tabs, func(i, j int) bool { return tabs[i].Len() < tabs[j].Len() })
+	cur := tabs[0]
+	rest := tabs[1:]
+	for len(rest) > 0 {
+		pick := -1
+		for i, t := range rest {
+			if sharesColumn(cur, t) {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			pick = 0
+		}
+		cur = NatJoin(cur, rest[pick])
+		rest = append(rest[:pick], rest[pick+1:]...)
+	}
+
+	// Project to output attributes.
+	pos := make([]int, len(spc.Out))
+	cols := make([]string, len(spc.Out))
+	for i, a := range spc.Out {
+		lbl := classes.Rep(a).String()
+		p := cur.ColPos(lbl)
+		if p < 0 {
+			return nil, fmt.Errorf("exec: output class %s missing", lbl)
+		}
+		pos[i] = p
+		cols[i] = lbl
+	}
+	out := NewTable(cols)
+	for _, row := range cur.rows {
+		out.Add(row.Project(pos))
+	}
+	return out, nil
+}
+
+func scanRelation(rel *ra.Relation, spc *ra.SPC, classes *ra.Classes,
+	needed map[ra.Attr]bool, s ra.Schema, db *store.DB) (*Table, error) {
+	names, err := s.Attrs(rel.Base)
+	if err != nil {
+		return nil, err
+	}
+	// Column plan: positions of attributes whose class is needed, in class
+	// label order; attributes of the same class must agree, and classes
+	// with constants are filtered here (selection pushdown onto the scan).
+	type colSpec struct {
+		label string
+		poss  []int
+		cval  value.Value
+		has   bool
+	}
+	byLabel := map[string]*colSpec{}
+	var order []string
+	for i, n := range names {
+		rep := classes.Rep(ra.Attr{Rel: rel.Name, Name: n})
+		if !needed[rep] {
+			continue
+		}
+		lbl := rep.String()
+		cs := byLabel[lbl]
+		if cs == nil {
+			cs = &colSpec{label: lbl}
+			if v, ok := classes.Const(rep); ok {
+				cs.cval, cs.has = v, true
+			}
+			byLabel[lbl] = cs
+			order = append(order, lbl)
+		}
+		cs.poss = append(cs.poss, i)
+	}
+	cols := append([]string{}, order...)
+	out := NewTable(cols)
+	rows, err := db.Scan(rel.Base) // full-tuple scan, counted
+	if err != nil {
+		return nil, err
+	}
+rowLoop:
+	for _, t := range rows {
+		row := make(value.Tuple, len(cols))
+		for ci, lbl := range order {
+			cs := byLabel[lbl]
+			v := t[cs.poss[0]]
+			for _, p := range cs.poss[1:] {
+				if t[p] != v {
+					continue rowLoop
+				}
+			}
+			if cs.has && v != cs.cval {
+				continue rowLoop
+			}
+			row[ci] = v
+		}
+		out.Add(row)
+	}
+	return out, nil
+}
+
+func sharesColumn(a, b *Table) bool {
+	set := map[string]bool{}
+	for _, c := range a.Cols {
+		set[c] = true
+	}
+	for _, c := range b.Cols {
+		if set[c] {
+			return true
+		}
+	}
+	return false
+}
+
+func predsHold(row value.Tuple, scope []ra.Attr, preds []ra.Pred) (bool, error) {
+	for _, p := range preds {
+		switch t := p.(type) {
+		case ra.EqAttr:
+			pa, pb := attrIndex(scope, t.L), attrIndex(scope, t.R)
+			if pa < 0 || pb < 0 {
+				return false, fmt.Errorf("exec: selection attribute out of scope in %s", p)
+			}
+			if row[pa] != row[pb] {
+				return false, nil
+			}
+		case ra.EqConst:
+			pa := attrIndex(scope, t.A)
+			if pa < 0 {
+				return false, fmt.Errorf("exec: selection attribute out of scope in %s", p)
+			}
+			if row[pa] != t.C {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func attrIndex(attrs []ra.Attr, a ra.Attr) int {
+	for i, x := range attrs {
+		if x == a {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,111 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/store"
+)
+
+// RunParallel executes a bounded plan like Run, but evaluates independent
+// steps concurrently: the plan DAG is processed by a worker pool, each step
+// starting as soon as its inputs are ready. Fetching plans for different
+// attributes and indexing plans for different relations are mutually
+// independent, so wide plans (many relations, many unit fetches) gain real
+// parallelism; answers are identical to Run's.
+func RunParallel(p *plan.Plan, db *store.DB, workers int) (*Table, Stats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	before := db.Counter()
+
+	n := len(p.Steps)
+	tables := make([]*Table, n)
+	// dependents[i] lists steps waiting on step i; missing[i] counts
+	// unfinished inputs of step i.
+	dependents := make([][]int, n)
+	missing := make([]int, n)
+	for i := range p.Steps {
+		s := &p.Steps[i]
+		for _, in := range []int{s.L, s.R} {
+			if in >= 0 {
+				dependents[in] = append(dependents[in], i)
+				missing[i]++
+			}
+		}
+	}
+
+	// ready is buffered for all steps, so sends never block.
+	ready := make(chan int, n)
+	var (
+		mu       sync.Mutex
+		done     int
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for i := range p.Steps {
+		if missing[i] == 0 {
+			ready <- i
+		}
+	}
+
+	// finish records a step's outcome and releases its dependents. Every
+	// step flows through exactly once — after an error, later steps are
+	// drained as skipped — so done reaches n and ready closes.
+	finish := func(id int, t *Table, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("exec: step T%d (%s): %w", id, p.Steps[id].Op, err)
+		}
+		tables[id] = t
+		done++
+		for _, d := range dependents[id] {
+			missing[d]--
+			if missing[d] == 0 {
+				ready <- d
+			}
+		}
+		if done == n {
+			close(ready)
+		}
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range ready {
+				if failed() {
+					finish(id, nil, nil) // drain without executing
+					continue
+				}
+				t, err := runStep(p, &p.Steps[id], tables, db)
+				finish(id, t, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, Stats{}, firstErr
+	}
+	after := db.Counter()
+	st := Stats{
+		Fetched:    after.Fetched - before.Fetched,
+		Scanned:    after.Scanned - before.Scanned,
+		Duration:   time.Since(start),
+		PlanLength: n,
+	}
+	st.Accessed = st.Fetched + st.Scanned
+	return tables[p.Result], st, nil
+}

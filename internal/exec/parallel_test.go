@@ -1,0 +1,135 @@
+package exec_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/ra"
+	"repro/internal/workload"
+)
+
+// TestParallelMatchesSequential runs every covered random query through
+// both executors with several worker counts; answers must be identical.
+func TestParallelMatchesSequential(t *testing.T) {
+	d := workload.Tfacc()
+	db, err := d.Gen(1.0/16, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	params := workload.DefaultQueryParams()
+	checked := 0
+	for i := 0; i < 40 && checked < 12; i++ {
+		params.Sel = 3 + rng.Intn(5)
+		params.Join = rng.Intn(4)
+		params.UniDiff = rng.Intn(3)
+		q, err := d.RandomQuery(params, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cover.Check(q, d.Schema, d.Access)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Covered {
+			continue
+		}
+		p, err := plan.Build(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := exec.Run(p, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got, st, err := exec.RunParallel(p, db, workers)
+			if err != nil {
+				t.Fatalf("query %d workers %d: %v", i, workers, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("query %d workers %d: parallel answer differs", i, workers)
+			}
+			if st.Scanned != 0 {
+				t.Errorf("parallel run scanned")
+			}
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Errorf("only %d covered queries exercised", checked)
+	}
+}
+
+// TestParallelQ0Prime runs the Example 1 plan with high concurrency (the
+// race detector patrols the access counters and table sharing).
+func TestParallelQ0Prime(t *testing.T) {
+	fb, db, err := workload.GenFacebook(workload.DefaultFacebookConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := ra.Normalize(fb.Q0Prime(), fb.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cover.Check(norm, fb.Schema, fb.Access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := exec.Run(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got, _, err := exec.RunParallel(p, db, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatal("parallel answer differs")
+		}
+	}
+}
+
+// TestParallelPropagatesErrors: a plan with a fetch lacking its index must
+// fail cleanly, not hang.
+func TestParallelPropagatesErrors(t *testing.T) {
+	fb, db, err := workload.GenFacebook(workload.DefaultFacebookConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := ra.Normalize(fb.Q1(), fb.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cover.Check(norm, fb.Schema, fb.Access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: point a fetch step at a constraint with no index.
+	for i := range p.Steps {
+		if p.Steps[i].Op == plan.OpFetch {
+			p.Steps[i].Con.N++
+			p.Steps[i].Con.Rel = "friend"
+			p.Steps[i].Con.X = []string{"fid"}
+			p.Steps[i].Con.Y = []string{"pid"}
+			p.Steps[i].XCols = p.Steps[i].XCols[:0]
+			p.Steps[i].Con.X = nil
+			break
+		}
+	}
+	if _, _, err := exec.RunParallel(p, db, 4); err == nil {
+		t.Fatal("expected error from sabotaged plan")
+	}
+}

@@ -1,0 +1,114 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+// randTable builds a random table over the given columns.
+func randTable(rng *rand.Rand, cols []string, maxRows, domain int) *Table {
+	t := NewTable(cols)
+	n := rng.Intn(maxRows + 1)
+	for i := 0; i < n; i++ {
+		row := make(value.Tuple, len(cols))
+		for j := range row {
+			row[j] = value.NewInt(int64(rng.Intn(domain)))
+		}
+		t.Add(row)
+	}
+	return t
+}
+
+// TestNatJoinCommutesOnContent: |L ⋈ R| == |R ⋈ L| and the tuple sets agree
+// up to column order.
+func TestNatJoinCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randTable(rng, []string{"a", "b"}, 8, 3)
+		r := randTable(rng, []string{"b", "c"}, 8, 3)
+		lr := NatJoin(l, r)
+		rl := NatJoin(r, l)
+		if lr.Len() != rl.Len() {
+			return false
+		}
+		// Compare as sets of (a,b,c) regardless of column order.
+		canon := func(tb *Table) map[string]bool {
+			ia, ib, ic := tb.ColPos("a"), tb.ColPos("b"), tb.ColPos("c")
+			out := map[string]bool{}
+			for _, row := range tb.rows {
+				out[value.KeyOf(row, []int{ia, ib, ic})] = true
+			}
+			return out
+		}
+		ca, cb := canon(lr), canon(rl)
+		for k := range ca {
+			if !cb[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNatJoinIdempotent: T ⋈ T = T.
+func TestNatJoinIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randTable(rng, []string{"a", "b"}, 10, 4)
+		j := NatJoin(tb, tb)
+		return j.Equal(tb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNatJoinSubsetOfProduct: the join never produces more rows than the
+// Cartesian product, and with no shared columns exactly matches it.
+func TestNatJoinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randTable(rng, []string{"a"}, 6, 3)
+		r := randTable(rng, []string{"b"}, 6, 3)
+		j := NatJoin(l, r)
+		return j.Len() == l.Len()*r.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	g := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randTable(rng, []string{"a", "b"}, 6, 3)
+		r := randTable(rng, []string{"b", "c"}, 6, 3)
+		j := NatJoin(l, r)
+		return j.Len() <= l.Len()*r.Len()
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJoinWithGuardTables: joining with {()} is identity, with {} is empty
+// (the zero-column boolean guard semantics the indexing plans rely on).
+func TestJoinGuardLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randTable(rng, []string{"a", "b"}, 10, 4)
+		unit := NewTable(nil)
+		unit.Add(value.Tuple{})
+		empty := NewTable(nil)
+		if !NatJoin(tb, unit).Equal(tb) {
+			return false
+		}
+		return NatJoin(tb, empty).Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,262 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Stats reports the cost of an evaluation.
+type Stats struct {
+	// Accessed is the number of tuples read from the database (index
+	// fetches for bounded plans, scans for the baseline).
+	Accessed int64
+	// Fetched / Scanned split Accessed by access path.
+	Fetched, Scanned int64
+	// Duration is wall-clock evaluation time.
+	Duration time.Duration
+	// PlanLength is the number of plan steps (0 for the baseline).
+	PlanLength int
+}
+
+// Run executes a bounded query plan against db (evalQP). Indices for every
+// constraint referenced by fetch steps must have been built.
+func Run(p *plan.Plan, db *store.DB) (*Table, Stats, error) {
+	start := time.Now()
+	before := db.Counter()
+	tables := make([]*Table, len(p.Steps))
+	for i := range p.Steps {
+		t, err := runStep(p, &p.Steps[i], tables, db)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("exec: step T%d (%s): %w", i, p.Steps[i].Op, err)
+		}
+		tables[i] = t
+	}
+	after := db.Counter()
+	st := Stats{
+		Fetched:    after.Fetched - before.Fetched,
+		Scanned:    after.Scanned - before.Scanned,
+		Duration:   time.Since(start),
+		PlanLength: len(p.Steps),
+	}
+	st.Accessed = st.Fetched + st.Scanned
+	return tables[p.Result], st, nil
+}
+
+func runStep(p *plan.Plan, s *plan.Step, tables []*Table, db *store.DB) (*Table, error) {
+	switch s.Op {
+	case plan.OpConst:
+		t := NewTable(s.Cols)
+		for _, r := range s.Rows {
+			t.Add(r)
+		}
+		return t, nil
+	case plan.OpFetch:
+		return runFetch(s, tables, db)
+	case plan.OpProject:
+		in := tables[s.L]
+		t := NewTable(s.Cols)
+		for _, r := range in.rows {
+			t.Add(r.Project(s.Pos))
+		}
+		return t, nil
+	case plan.OpFilter:
+		in := tables[s.L]
+		t := NewTable(s.Cols)
+		for _, r := range in.rows {
+			if matches(r, s.Conds) {
+				t.Add(r)
+			}
+		}
+		return t, nil
+	case plan.OpProduct:
+		l, r := tables[s.L], tables[s.R]
+		t := NewTable(s.Cols)
+		for _, a := range l.rows {
+			for _, b := range r.rows {
+				row := make(value.Tuple, 0, len(a)+len(b))
+				row = append(row, a...)
+				row = append(row, b...)
+				t.Add(row)
+			}
+		}
+		return t, nil
+	case plan.OpJoin:
+		return NatJoin(tables[s.L], tables[s.R]), nil
+	case plan.OpUnion:
+		l, r := tables[s.L], tables[s.R]
+		t := NewTable(s.Cols)
+		for _, a := range l.rows {
+			t.Add(a)
+		}
+		for _, b := range r.rows {
+			t.Add(b)
+		}
+		return t, nil
+	case plan.OpDiff:
+		l, r := tables[s.L], tables[s.R]
+		t := NewTable(s.Cols)
+		for k, a := range l.rows {
+			if _, ok := r.rows[k]; !ok {
+				t.Add(a)
+			}
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("unknown operator %v", s.Op)
+	}
+}
+
+func matches(r value.Tuple, conds []plan.Cond) bool {
+	for _, c := range conds {
+		if c.IsConst {
+			if r[c.PosA] != c.C {
+				return false
+			}
+		} else if r[c.PosA] != r[c.PosB] {
+			return false
+		}
+	}
+	return true
+}
+
+// runFetch implements the fetch operator: for each distinct X value of the
+// input it retrieves the distinct XY projections via the constraint's
+// index, maps index attributes to output labels, and enforces intra-class
+// equality and constant bindings.
+func runFetch(s *plan.Step, tables []*Table, db *store.DB) (*Table, error) {
+	out := NewTable(s.Cols)
+
+	// Output label -> position, constant requirements by position.
+	colPos := make(map[string]int, len(s.Cols))
+	for i, c := range s.Cols {
+		colPos[c] = i
+	}
+	constAt := make([]value.Value, len(s.Cols))
+	constSet := make([]bool, len(s.Cols))
+	for _, ce := range s.ConstEqs {
+		p, ok := colPos[ce.Label]
+		if !ok {
+			return nil, fmt.Errorf("const requirement on unknown column %s", ce.Label)
+		}
+		constAt[p] = ce.C
+		constSet[p] = true
+	}
+	// Index payload position -> output position.
+	outPos := make([]int, len(s.FetchAttrs))
+	for i, lbl := range s.FetchLabels {
+		p, ok := colPos[lbl]
+		if !ok {
+			return nil, fmt.Errorf("fetch label %s not among output columns", lbl)
+		}
+		outPos[i] = p
+	}
+
+	emit := func(fetched []value.Tuple) {
+	rowLoop:
+		for _, ft := range fetched {
+			row := make(value.Tuple, len(s.Cols))
+			seen := make([]bool, len(s.Cols))
+			for i, p := range outPos {
+				v := ft[i]
+				if seen[p] {
+					// Two index attributes share a class: values must agree.
+					if row[p] != v {
+						continue rowLoop
+					}
+					continue
+				}
+				if constSet[p] && v != constAt[p] {
+					continue rowLoop
+				}
+				row[p] = v
+				seen[p] = true
+			}
+			out.Add(row)
+		}
+	}
+
+	if len(s.XCols) == 0 {
+		fetched, err := db.Fetch(s.Con, nil)
+		if err != nil {
+			return nil, err
+		}
+		emit(fetched)
+		return out, nil
+	}
+
+	in := tables[s.L]
+	xpos := make([]int, len(s.XCols))
+	for i, lbl := range s.XCols {
+		p := in.ColPos(lbl)
+		if p < 0 {
+			return nil, fmt.Errorf("fetch X column %s missing from input", lbl)
+		}
+		xpos[i] = p
+	}
+	seenX := map[string]bool{}
+	for _, r := range in.rows {
+		xv := r.Project(xpos)
+		k := xv.Key()
+		if seenX[k] {
+			continue
+		}
+		seenX[k] = true
+		fetched, err := db.Fetch(s.Con, xv)
+		if err != nil {
+			return nil, err
+		}
+		emit(fetched)
+	}
+	return out, nil
+}
+
+// NatJoin computes the natural join of two tables on their shared column
+// labels, with output columns l.Cols followed by r's non-shared columns.
+func NatJoin(l, r *Table) *Table {
+	shared := make([]string, 0, 4)
+	lset := map[string]int{}
+	for i, c := range l.Cols {
+		lset[c] = i
+	}
+	var rShared, rRest []int
+	for i, c := range r.Cols {
+		if _, ok := lset[c]; ok {
+			shared = append(shared, c)
+			rShared = append(rShared, i)
+		} else {
+			rRest = append(rRest, i)
+		}
+	}
+	outCols := append([]string{}, l.Cols...)
+	for _, i := range rRest {
+		outCols = append(outCols, r.Cols[i])
+	}
+	out := NewTable(outCols)
+
+	lShared := make([]int, len(shared))
+	for i, c := range shared {
+		lShared[i] = lset[c]
+	}
+	// Hash the right side on the shared key.
+	hash := map[string][]value.Tuple{}
+	for _, rr := range r.rows {
+		k := value.KeyOf(rr, rShared)
+		hash[k] = append(hash[k], rr)
+	}
+	for _, lr := range l.rows {
+		k := value.KeyOf(lr, lShared)
+		for _, rr := range hash[k] {
+			row := make(value.Tuple, 0, len(outCols))
+			row = append(row, lr...)
+			for _, i := range rRest {
+				row = append(row, rr[i])
+			}
+			out.Add(row)
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+// Package exec executes bounded query plans against the store (evalQP) and
+// provides a conventional DBMS-style evaluator (evalDBMS) that scans whole
+// relations and hash-joins full tuples — the baseline of Section 8. Both
+// report exact access statistics so experiments can compute P(D_Q).
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Table is a set-semantics result table with labeled columns. A zero-column
+// table is either empty or the singleton {()}, representing a boolean.
+type Table struct {
+	Cols []string
+	rows map[string]value.Tuple
+}
+
+// NewTable creates an empty table with the given column labels.
+func NewTable(cols []string) *Table {
+	return &Table{Cols: cols, rows: map[string]value.Tuple{}}
+}
+
+// Add inserts a tuple (set semantics). The tuple length must match Cols.
+func (t *Table) Add(row value.Tuple) {
+	t.rows[row.Key()] = row
+}
+
+// Has reports whether the table contains the tuple.
+func (t *Table) Has(row value.Tuple) bool {
+	_, ok := t.rows[row.Key()]
+	return ok
+}
+
+// Len returns the number of tuples.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Tuples returns the tuples in unspecified order.
+func (t *Table) Tuples() []value.Tuple {
+	out := make([]value.Tuple, 0, len(t.rows))
+	for _, r := range t.rows {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Sorted returns the tuples in lexicographic order, for deterministic
+// output.
+func (t *Table) Sorted() []value.Tuple {
+	out := t.Tuples()
+	value.SortTuples(out)
+	return out
+}
+
+// ColPos returns the position of a column label, or -1.
+func (t *Table) ColPos(label string) int {
+	for i, c := range t.Cols {
+		if c == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the table (sorted) for debugging and golden tests.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%s]\n", strings.Join(t.Cols, ", "))
+	for _, r := range t.Sorted() {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Equal reports whether two tables hold the same tuple sets (columns are
+// compared positionally by content only).
+func (t *Table) Equal(u *Table) bool {
+	if t.Len() != u.Len() {
+		return false
+	}
+	for k := range t.rows {
+		if _, ok := u.rows[k]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func iv(i int) value.Value { return value.NewInt(int64(i)) }
+
+func TestTableSetSemantics(t *testing.T) {
+	tb := NewTable([]string{"a"})
+	tb.Add(value.Tuple{iv(1)})
+	tb.Add(value.Tuple{iv(1)})
+	tb.Add(value.Tuple{iv(2)})
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (set semantics)", tb.Len())
+	}
+	if !tb.Has(value.Tuple{iv(1)}) || tb.Has(value.Tuple{iv(3)}) {
+		t.Error("Has wrong")
+	}
+}
+
+func TestZeroColumnTable(t *testing.T) {
+	empty := NewTable(nil)
+	if empty.Len() != 0 {
+		t.Error("zero-col table should start empty")
+	}
+	exists := NewTable(nil)
+	exists.Add(value.Tuple{})
+	if exists.Len() != 1 {
+		t.Error("zero-col table can hold exactly the empty tuple")
+	}
+	exists.Add(value.Tuple{})
+	if exists.Len() != 1 {
+		t.Error("empty tuple duplicated")
+	}
+	// Natural join with a zero-column table acts as a boolean guard.
+	data := NewTable([]string{"a"})
+	data.Add(value.Tuple{iv(1)})
+	if got := NatJoin(data, exists); got.Len() != 1 {
+		t.Errorf("join with {()} lost rows: %d", got.Len())
+	}
+	if got := NatJoin(data, empty); got.Len() != 0 {
+		t.Errorf("join with {} kept rows: %d", got.Len())
+	}
+}
+
+func TestNatJoinSharedColumns(t *testing.T) {
+	l := NewTable([]string{"a", "b"})
+	l.Add(value.Tuple{iv(1), iv(10)})
+	l.Add(value.Tuple{iv(2), iv(20)})
+	r := NewTable([]string{"b", "c"})
+	r.Add(value.Tuple{iv(10), iv(100)})
+	r.Add(value.Tuple{iv(10), iv(101)})
+	r.Add(value.Tuple{iv(30), iv(300)})
+	j := NatJoin(l, r)
+	if len(j.Cols) != 3 || j.Cols[0] != "a" || j.Cols[1] != "b" || j.Cols[2] != "c" {
+		t.Fatalf("join cols = %v", j.Cols)
+	}
+	if j.Len() != 2 {
+		t.Errorf("join size = %d, want 2", j.Len())
+	}
+	if !j.Has(value.Tuple{iv(1), iv(10), iv(100)}) {
+		t.Error("missing join row")
+	}
+}
+
+func TestNatJoinNoSharedIsProduct(t *testing.T) {
+	l := NewTable([]string{"a"})
+	l.Add(value.Tuple{iv(1)})
+	l.Add(value.Tuple{iv(2)})
+	r := NewTable([]string{"b"})
+	r.Add(value.Tuple{iv(10)})
+	j := NatJoin(l, r)
+	if j.Len() != 2 {
+		t.Errorf("cross join size = %d", j.Len())
+	}
+}
+
+func TestNatJoinMultipleSharedColumns(t *testing.T) {
+	l := NewTable([]string{"a", "b"})
+	l.Add(value.Tuple{iv(1), iv(2)})
+	l.Add(value.Tuple{iv(1), iv(3)})
+	r := NewTable([]string{"a", "b", "c"})
+	r.Add(value.Tuple{iv(1), iv(2), iv(9)})
+	j := NatJoin(l, r)
+	if j.Len() != 1 {
+		t.Errorf("two-column join size = %d, want 1", j.Len())
+	}
+}
+
+func TestTableEqualIgnoresColumnNames(t *testing.T) {
+	a := NewTable([]string{"x"})
+	a.Add(value.Tuple{iv(1)})
+	b := NewTable([]string{"y"})
+	b.Add(value.Tuple{iv(1)})
+	if !a.Equal(b) {
+		t.Error("Equal should compare contents positionally")
+	}
+	b.Add(value.Tuple{iv(2)})
+	if a.Equal(b) {
+		t.Error("different sizes equal")
+	}
+	c := NewTable([]string{"x"})
+	c.Add(value.Tuple{iv(3)})
+	d := NewTable([]string{"x"})
+	d.Add(value.Tuple{iv(4)})
+	if c.Equal(d) {
+		t.Error("different contents equal")
+	}
+}
+
+func TestTableSortedAndString(t *testing.T) {
+	tb := NewTable([]string{"a"})
+	tb.Add(value.Tuple{iv(2)})
+	tb.Add(value.Tuple{iv(1)})
+	sorted := tb.Sorted()
+	if sorted[0][0] != iv(1) || sorted[1][0] != iv(2) {
+		t.Errorf("Sorted = %v", sorted)
+	}
+	s := tb.String()
+	if !strings.Contains(s, "[a]") || !strings.Contains(s, "(1)") {
+		t.Errorf("String = %q", s)
+	}
+	if tb.ColPos("a") != 0 || tb.ColPos("zzz") != -1 {
+		t.Error("ColPos wrong")
+	}
+}

@@ -1,0 +1,160 @@
+// Package fd implements functional dependencies over unified attribute
+// classes and the linear-time closure/implication algorithm (Beeri &
+// Bernstein) that Lemma 4 reduces fetchability checking to: an SPC
+// sub-query Qs is fetchable via A iff ΣQs,A ⊨ X̂C → X̂Qs.
+package fd
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/ra"
+)
+
+// FD is a functional dependency L → R over class representatives, tagged
+// with the key of the access constraint it was induced from (empty for
+// synthetic FDs).
+type FD struct {
+	L, R []ra.Attr
+	// Src is the Key() of the (base) access constraint that induced this FD.
+	Src string
+	// N is the cardinality bound of the inducing constraint.
+	N int
+}
+
+// String renders the FD as L -> R.
+func (f FD) String() string {
+	return joinAttrs(f.L) + " -> " + joinAttrs(f.R)
+}
+
+func joinAttrs(attrs []ra.Attr) string {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set is a collection of FDs supporting linear-time closure.
+type Set struct {
+	FDs []FD
+}
+
+// Add appends an FD.
+func (s *Set) Add(f FD) { s.FDs = append(s.FDs, f) }
+
+// Closure computes the attribute closure of seed under the FDs using the
+// counting algorithm: O(total FD length) after setup. The returned Derived
+// records, for each newly derived attribute, the index of the FD that first
+// produced it (the chase step), which the plan generator and minimizers use.
+func (s *Set) Closure(seed []ra.Attr) *Derived {
+	d := &Derived{
+		In:  map[ra.Attr]bool{},
+		Why: map[ra.Attr]int{},
+	}
+	for _, a := range seed {
+		if !d.In[a] {
+			d.In[a] = true
+			d.Why[a] = -1 // seed
+			d.Order = append(d.Order, a)
+		}
+	}
+	// counter[i] = number of attributes of FDs[i].L not yet in the closure.
+	counter := make([]int, len(s.FDs))
+	// watch maps attribute -> FDs waiting on it.
+	watch := map[ra.Attr][]int{}
+	queue := make([]ra.Attr, 0, len(seed))
+	for i, f := range s.FDs {
+		need := 0
+		seen := map[ra.Attr]bool{}
+		for _, a := range f.L {
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			if !d.In[a] {
+				need++
+				watch[a] = append(watch[a], i)
+			}
+		}
+		counter[i] = need
+		if need == 0 {
+			// FD fires immediately.
+			for _, r := range f.R {
+				if !d.In[r] {
+					d.In[r] = true
+					d.Why[r] = i
+					d.Order = append(d.Order, r)
+					queue = append(queue, r)
+				}
+			}
+		}
+	}
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		for _, i := range watch[a] {
+			counter[i]--
+			if counter[i] == 0 {
+				for _, r := range s.FDs[i].R {
+					if !d.In[r] {
+						d.In[r] = true
+						d.Why[r] = i
+						d.Order = append(d.Order, r)
+						queue = append(queue, r)
+					}
+				}
+			}
+		}
+		delete(watch, a)
+	}
+	return d
+}
+
+// Implies reports whether the set logically implies seed → goal, i.e.
+// goal ⊆ closure(seed).
+func (s *Set) Implies(seed, goal []ra.Attr) bool {
+	d := s.Closure(seed)
+	for _, g := range goal {
+		if !d.In[g] {
+			return false
+		}
+	}
+	return true
+}
+
+// Missing returns the attributes of goal not derivable from seed, sorted.
+func (s *Set) Missing(seed, goal []ra.Attr) []ra.Attr {
+	d := s.Closure(seed)
+	var out []ra.Attr
+	seen := map[ra.Attr]bool{}
+	for _, g := range goal {
+		if !d.In[g] && !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Derived is the result of a closure computation.
+type Derived struct {
+	// In is membership in the closure.
+	In map[ra.Attr]bool
+	// Why maps each derived attribute to the index of the FD that first
+	// produced it; -1 for seed attributes.
+	Why map[ra.Attr]int
+	// Order lists the closure in derivation order (seeds first).
+	Order []ra.Attr
+}
+
+// Contains reports whether all of attrs are in the closure.
+func (d *Derived) Contains(attrs []ra.Attr) bool {
+	for _, a := range attrs {
+		if !d.In[a] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,49 @@
+package fd
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ra"
+)
+
+// BenchmarkClosure measures the linear-time FD closure on a chain of n
+// dependencies — the inner loop of CovChk (Lemma 4).
+func BenchmarkClosure(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("chain-%d", n), func(b *testing.B) {
+			s := &Set{}
+			for i := 0; i < n; i++ {
+				s.Add(FD{
+					L: []ra.Attr{ra.A("r", fmt.Sprintf("a%d", i))},
+					R: []ra.Attr{ra.A("r", fmt.Sprintf("a%d", i+1))},
+				})
+			}
+			seed := []ra.Attr{ra.A("r", "a0")}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := s.Closure(seed)
+				if len(d.Order) != n+1 {
+					b.Fatalf("closure size %d", len(d.Order))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClosureWide measures closure with wide left-hand sides.
+func BenchmarkClosureWide(b *testing.B) {
+	s := &Set{}
+	attrs := make([]ra.Attr, 64)
+	for i := range attrs {
+		attrs[i] = ra.A("r", fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i+4 < len(attrs); i++ {
+		s.Add(FD{L: attrs[i : i+4], R: attrs[i+4 : i+5]})
+	}
+	seed := attrs[:4]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Closure(seed)
+	}
+}

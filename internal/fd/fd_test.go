@@ -1,0 +1,175 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ra"
+)
+
+func a(n string) ra.Attr { return ra.A("r", n) }
+
+func TestClosureBasicChain(t *testing.T) {
+	s := &Set{}
+	s.Add(FD{L: []ra.Attr{a("x")}, R: []ra.Attr{a("y")}, Src: "c1"})
+	s.Add(FD{L: []ra.Attr{a("y")}, R: []ra.Attr{a("z")}, Src: "c2"})
+	d := s.Closure([]ra.Attr{a("x")})
+	for _, n := range []string{"x", "y", "z"} {
+		if !d.In[a(n)] {
+			t.Errorf("%s not in closure", n)
+		}
+	}
+	if d.Why[a("x")] != -1 {
+		t.Error("seed attribute should have Why = -1")
+	}
+	if d.Why[a("y")] != 0 || d.Why[a("z")] != 1 {
+		t.Errorf("Why chain wrong: %v", d.Why)
+	}
+}
+
+func TestClosureMultiAttributeLHS(t *testing.T) {
+	s := &Set{}
+	s.Add(FD{L: []ra.Attr{a("x"), a("y")}, R: []ra.Attr{a("z")}})
+	d := s.Closure([]ra.Attr{a("x")})
+	if d.In[a("z")] {
+		t.Error("FD fired with incomplete LHS")
+	}
+	d = s.Closure([]ra.Attr{a("x"), a("y")})
+	if !d.In[a("z")] {
+		t.Error("FD did not fire with complete LHS")
+	}
+}
+
+func TestClosureEmptyLHSFiresImmediately(t *testing.T) {
+	s := &Set{}
+	s.Add(FD{L: nil, R: []ra.Attr{a("m")}})
+	d := s.Closure(nil)
+	if !d.In[a("m")] {
+		t.Error("∅ → m should fire with empty seed")
+	}
+}
+
+func TestClosureDuplicateLHSAttrs(t *testing.T) {
+	s := &Set{}
+	// Duplicated attribute in LHS must be counted once.
+	s.Add(FD{L: []ra.Attr{a("x"), a("x")}, R: []ra.Attr{a("y")}})
+	d := s.Closure([]ra.Attr{a("x")})
+	if !d.In[a("y")] {
+		t.Error("FD with duplicate LHS attr never fired")
+	}
+}
+
+func TestImpliesAndMissing(t *testing.T) {
+	s := &Set{}
+	s.Add(FD{L: []ra.Attr{a("x")}, R: []ra.Attr{a("y")}})
+	if !s.Implies([]ra.Attr{a("x")}, []ra.Attr{a("x"), a("y")}) {
+		t.Error("Implies false negative")
+	}
+	if s.Implies([]ra.Attr{a("y")}, []ra.Attr{a("x")}) {
+		t.Error("Implies false positive (FDs are not symmetric)")
+	}
+	miss := s.Missing([]ra.Attr{a("y")}, []ra.Attr{a("x"), a("y"), a("x")})
+	if len(miss) != 1 || miss[0] != a("x") {
+		t.Errorf("Missing = %v", miss)
+	}
+}
+
+func TestClosureCycle(t *testing.T) {
+	s := &Set{}
+	s.Add(FD{L: []ra.Attr{a("x")}, R: []ra.Attr{a("y")}})
+	s.Add(FD{L: []ra.Attr{a("y")}, R: []ra.Attr{a("x")}})
+	d := s.Closure([]ra.Attr{a("x")})
+	if !d.In[a("y")] {
+		t.Error("cycle broke closure")
+	}
+	if len(d.Order) != 2 {
+		t.Errorf("Order = %v", d.Order)
+	}
+}
+
+// TestClosureMonotone: adding seeds never shrinks the closure.
+func TestClosureMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		names := []string{"a", "b", "c", "d", "e"}
+		s := &Set{}
+		for i := 0; i < rng.Intn(8); i++ {
+			var l, r []ra.Attr
+			for j := 0; j < 1+rng.Intn(2); j++ {
+				l = append(l, a(names[rng.Intn(len(names))]))
+			}
+			for j := 0; j < 1+rng.Intn(2); j++ {
+				r = append(r, a(names[rng.Intn(len(names))]))
+			}
+			s.Add(FD{L: l, R: r})
+		}
+		seed1 := []ra.Attr{a(names[rng.Intn(len(names))])}
+		seed2 := append(append([]ra.Attr{}, seed1...), a(names[rng.Intn(len(names))]))
+		d1 := s.Closure(seed1)
+		d2 := s.Closure(seed2)
+		for at := range d1.In {
+			if !d2.In[at] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClosureIsFixpoint: re-running closure on its own result adds nothing,
+// and every FD whose LHS is inside the closure has its RHS inside too.
+func TestClosureIsFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		names := []string{"a", "b", "c", "d", "e", "f"}
+		s := &Set{}
+		for i := 0; i < rng.Intn(10); i++ {
+			var l, r []ra.Attr
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				l = append(l, a(names[rng.Intn(len(names))]))
+			}
+			r = append(r, a(names[rng.Intn(len(names))]))
+			s.Add(FD{L: l, R: r})
+		}
+		d := s.Closure([]ra.Attr{a("a")})
+		for _, f := range s.FDs {
+			allIn := true
+			for _, l := range f.L {
+				if !d.In[l] {
+					allIn = false
+					break
+				}
+			}
+			if allIn {
+				for _, r := range f.R {
+					if !d.In[r] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDerivedContains(t *testing.T) {
+	s := &Set{}
+	d := s.Closure([]ra.Attr{a("x")})
+	if !d.Contains([]ra.Attr{a("x")}) || d.Contains([]ra.Attr{a("y")}) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestFDString(t *testing.T) {
+	f := FD{L: []ra.Attr{a("x"), a("y")}, R: []ra.Attr{a("z")}}
+	if f.String() != "r.x,r.y -> r.z" {
+		t.Errorf("String = %q", f.String())
+	}
+}

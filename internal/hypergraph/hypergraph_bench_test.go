@@ -1,0 +1,51 @@
+package hypergraph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildLayered makes a layered hypergraph: w nodes per layer, d layers,
+// each node derived from two nodes of the previous layer.
+func buildLayered(w, d int) (*Graph, NodeID) {
+	g := New()
+	r := g.Node("r")
+	prev := make([]NodeID, w)
+	for i := 0; i < w; i++ {
+		prev[i] = g.Node(fmt.Sprintf("l0n%d", i))
+		g.AddEdge([]NodeID{r}, prev[i], 1, nil)
+	}
+	for l := 1; l < d; l++ {
+		cur := make([]NodeID, w)
+		for i := 0; i < w; i++ {
+			cur[i] = g.Node(fmt.Sprintf("l%dn%d", l, i))
+			g.AddEdge([]NodeID{prev[i], prev[(i+1)%w]}, cur[i], int64(l), nil)
+		}
+		prev = cur
+	}
+	return g, r
+}
+
+// BenchmarkDerive measures findHP's forward chaining.
+func BenchmarkDerive(b *testing.B) {
+	g, r := buildLayered(32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := g.Derive(r)
+		if !d.Reached[NodeID(g.NumNodes()-1)] {
+			b.Fatal("incomplete derivation")
+		}
+	}
+}
+
+// BenchmarkShortestHyperpaths measures the weighted search used by minADAG.
+func BenchmarkShortestHyperpaths(b *testing.B) {
+	g, r := buildLayered(32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := g.ShortestHyperpaths(r)
+		if c.Dist[NodeID(g.NumNodes()-1)] >= inf {
+			b.Fatal("unreachable")
+		}
+	}
+}

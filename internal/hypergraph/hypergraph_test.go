@@ -1,0 +1,228 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// chain builds r -> a, {a} -> b, {a,b} -> c.
+func chain() (*Graph, NodeID, NodeID, NodeID, NodeID) {
+	g := New()
+	r := g.Node("r")
+	a := g.Node("a")
+	b := g.Node("b")
+	c := g.Node("c")
+	g.AddEdge([]NodeID{r}, a, 0, "ra")
+	g.AddEdge([]NodeID{a}, b, 5, "ab")
+	g.AddEdge([]NodeID{a, b}, c, 2, "abc")
+	return g, r, a, b, c
+}
+
+func TestNodeDedup(t *testing.T) {
+	g := New()
+	a1 := g.Node("a")
+	a2 := g.Node("a")
+	if a1 != a2 {
+		t.Error("Node created duplicate")
+	}
+	if g.NumNodes() != 1 {
+		t.Errorf("NumNodes = %d", g.NumNodes())
+	}
+	if _, ok := g.Lookup("zzz"); ok {
+		t.Error("Lookup found nonexistent node")
+	}
+}
+
+func TestDeriveChain(t *testing.T) {
+	g, r, a, b, c := chain()
+	d := g.Derive(r)
+	for _, n := range []NodeID{r, a, b, c} {
+		if !d.Reached[n] {
+			t.Errorf("node %s unreachable", g.Label(n))
+		}
+	}
+	if d.Via[r] != -1 {
+		t.Error("source Via should be -1")
+	}
+}
+
+func TestDeriveBlockedWithoutFullHead(t *testing.T) {
+	g := New()
+	r := g.Node("r")
+	a := g.Node("a")
+	b := g.Node("b")
+	c := g.Node("c")
+	g.AddEdge([]NodeID{r}, a, 0, nil)
+	g.AddEdge([]NodeID{a, b}, c, 0, nil) // b never derivable
+	d := g.Derive(r)
+	if d.Reached[c] {
+		t.Error("c derived although head {a,b} incomplete")
+	}
+	if d.Reached[b] {
+		t.Error("b should be unreachable")
+	}
+}
+
+func TestHyperpathValidOrdering(t *testing.T) {
+	g, r, _, _, c := chain()
+	d := g.Derive(r)
+	edges, ok := d.Hyperpath(c)
+	if !ok {
+		t.Fatal("no hyperpath to c")
+	}
+	// Hyperpath condition (a): each edge's head ⊆ {r} ∪ earlier tails.
+	derived := map[NodeID]bool{r: true}
+	for _, ei := range edges {
+		e := g.Edges[ei]
+		for _, h := range e.Head {
+			if !derived[h] {
+				t.Fatalf("edge %d fires before head %s derived", ei, g.Label(h))
+			}
+		}
+		derived[e.Tail] = true
+	}
+	if !derived[c] {
+		t.Error("hyperpath does not derive target")
+	}
+	// Unreachable target.
+	ghost := g.Node("ghost")
+	if _, ok := d.Hyperpath(ghost); ok {
+		t.Error("hyperpath to unreachable node")
+	}
+	// Trivial hyperpath to the source itself is empty.
+	edges, ok = d.Hyperpath(r)
+	if !ok || len(edges) != 0 {
+		t.Errorf("hyperpath to source = %v, %v", edges, ok)
+	}
+}
+
+func TestShortestHyperpathsCosts(t *testing.T) {
+	g, r, a, b, c := chain()
+	costs := g.ShortestHyperpaths(r)
+	if costs.Dist[a] != 0 {
+		t.Errorf("dist(a) = %d", costs.Dist[a])
+	}
+	if costs.Dist[b] != 5 {
+		t.Errorf("dist(b) = %d", costs.Dist[b])
+	}
+	// c needs both a (0) and b (5) plus its own weight 2.
+	if costs.Dist[c] != 7 {
+		t.Errorf("dist(c) = %d, want 7", costs.Dist[c])
+	}
+}
+
+func TestShortestHyperpathsPicksCheaper(t *testing.T) {
+	g := New()
+	r := g.Node("r")
+	a := g.Node("a")
+	cheap := g.AddEdge([]NodeID{r}, a, 1, "cheap")
+	g.AddEdge([]NodeID{r}, a, 10, "dear")
+	costs := g.ShortestHyperpaths(r)
+	if costs.Dist[a] != 1 {
+		t.Errorf("dist = %d", costs.Dist[a])
+	}
+	if costs.Via[a] != cheap {
+		t.Error("Via not the cheap edge")
+	}
+	edges, ok := costs.HyperpathEdges(g, a)
+	if !ok || len(edges) != 1 || edges[0] != cheap {
+		t.Errorf("HyperpathEdges = %v", edges)
+	}
+}
+
+func TestHyperpathEdgesUnreachable(t *testing.T) {
+	g := New()
+	r := g.Node("r")
+	x := g.Node("x")
+	costs := g.ShortestHyperpaths(r)
+	if _, ok := costs.HyperpathEdges(g, x); ok {
+		t.Error("edges to unreachable node")
+	}
+}
+
+func TestAcyclic(t *testing.T) {
+	g, _, _, _, _ := chain()
+	if !g.Acyclic() {
+		t.Error("chain should be acyclic")
+	}
+	g2 := New()
+	a := g2.Node("a")
+	b := g2.Node("b")
+	g2.AddEdge([]NodeID{a}, b, 0, nil)
+	g2.AddEdge([]NodeID{b}, a, 0, nil)
+	if g2.Acyclic() {
+		t.Error("2-cycle reported acyclic")
+	}
+}
+
+func TestSize(t *testing.T) {
+	g, _, _, _, _ := chain()
+	if g.Size() != 4 { // heads: 1 + 1 + 2
+		t.Errorf("Size = %d, want 4", g.Size())
+	}
+}
+
+func TestStringContainsEdges(t *testing.T) {
+	g, _, _, _, _ := chain()
+	s := g.String()
+	if len(s) == 0 {
+		t.Error("empty String")
+	}
+}
+
+// TestDeriveMatchesShortestReachability: a node has finite shortest cost
+// iff it is derivable.
+func TestDeriveMatchesShortestReachability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		r := g.Node("r")
+		n := 2 + rng.Intn(6)
+		nodes := []NodeID{r}
+		for i := 0; i < n; i++ {
+			nodes = append(nodes, g.Node(string(rune('a'+i))))
+		}
+		for i := 0; i < rng.Intn(12); i++ {
+			hs := 1 + rng.Intn(2)
+			head := make([]NodeID, hs)
+			for j := range head {
+				head[j] = nodes[rng.Intn(len(nodes))]
+			}
+			tail := nodes[1+rng.Intn(n)] // never the root
+			g.AddEdge(head, tail, int64(rng.Intn(10)), nil)
+		}
+		d := g.Derive(r)
+		costs := g.ShortestHyperpaths(r)
+		for _, v := range nodes {
+			reach := d.Reached[v]
+			finite := costs.Dist[v] < inf
+			if reach != finite {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHyperpathMinimalityCondition: every edge in an extracted hyperpath is
+// needed — it is the Via edge of some node in the path's derivation chain.
+func TestHyperpathEdgesAreViaEdges(t *testing.T) {
+	g, r, _, _, c := chain()
+	d := g.Derive(r)
+	edges, _ := d.Hyperpath(c)
+	viaSet := map[int]bool{}
+	for v := range d.Via {
+		if d.Via[v] >= 0 {
+			viaSet[d.Via[v]] = true
+		}
+	}
+	for _, ei := range edges {
+		if !viaSet[ei] {
+			t.Errorf("edge %d in hyperpath is not a Via edge", ei)
+		}
+	}
+}

@@ -1,0 +1,404 @@
+// Package minimize implements the access minimization problem AMP(Q,A) of
+// Section 6: find a subset Am ⊆ A that still covers Q while minimizing
+// Σ_{R(X→Y,N)∈Am} N. The problem is NP-complete and not in APX (Theorem 9),
+// so the package provides the paper's heuristics: the general greedy minA
+// (Theorem 10(1)), the shortest-hyperpath minADAG for acyclic instances
+// (Theorem 10(2)) and the Steiner-arborescence minAE for elementary
+// instances (Theorem 10(3)).
+package minimize
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/cover"
+	"repro/internal/hypergraph"
+	"repro/internal/plan"
+	"repro/internal/ra"
+)
+
+// Options tunes the greedy heuristic minA. C1 and C2 are the user-tunable
+// normalizing coefficients of the weight w(φ) = C1·Nφ / (C2·(covloss+1)).
+type Options struct {
+	C1, C2 float64
+}
+
+// DefaultOptions uses C1 = C2 = 1 as in Example 9.
+func DefaultOptions() Options { return Options{C1: 1, C2: 1} }
+
+// MinA runs the general greedy heuristic: it iteratively removes the
+// removable constraint of maximum weight until the remaining set is
+// minimal. The result always covers the query (Theorem 10(1)).
+func MinA(res *cover.Result, opts Options) (*access.Schema, error) {
+	if !res.Covered {
+		return nil, fmt.Errorf("minimize: query is not covered")
+	}
+	if opts.C1 == 0 {
+		opts.C1 = 1
+	}
+	if opts.C2 == 0 {
+		opts.C2 = 1
+	}
+	cur := access.NewSchema(res.Access.Constraints...)
+	baseCov := coveredCount(res)
+
+	// Seeding: select the constraints on minimum-weight hyperpaths to the
+	// needed classes (the Dijkstra-style search is valid on cyclic
+	// hypergraphs too), plus the chosen indexing constraints. This both
+	// shrinks the quadratic greedy loop's candidate set and starts from
+	// cheap derivations — e.g. an N=6 chain is preferred over an N=304
+	// shortcut even before the greedy refinement. Coverage is re-verified;
+	// on failure we fall back to the full schema.
+	if seed, err := shortestPathSupport(res); err == nil && len(seed) < cur.Len() {
+		trial := cur.Subset(seed)
+		tr, err := cover.Check(res.Query, res.Schema, trial)
+		if err != nil {
+			return nil, err
+		}
+		if tr.Covered {
+			cur = trial
+			baseCov = coveredCount(tr)
+		}
+	}
+	for {
+		type cand struct {
+			key    string
+			weight float64
+		}
+		var best *cand
+		var bestRes *cover.Result
+		var bestSchema *access.Schema
+		for _, c := range cur.Constraints {
+			trial := cur.Without(c.Key())
+			tr, err := cover.Check(res.Query, res.Schema, trial)
+			if err != nil {
+				return nil, err
+			}
+			if !tr.Covered {
+				continue
+			}
+			loss := baseCov - coveredCount(tr)
+			if loss < 0 {
+				loss = 0
+			}
+			w := (opts.C1 * float64(c.N)) / (opts.C2 * float64(loss+1))
+			if best == nil || w > best.weight || (w == best.weight && c.Key() < best.key) {
+				best = &cand{key: c.Key(), weight: w}
+				bestRes = tr
+				bestSchema = trial
+			}
+		}
+		if best == nil {
+			return cur, nil
+		}
+		cur = bestSchema
+		baseCov = coveredCount(bestRes)
+	}
+}
+
+// coveredCount is |cov(Q,A)| summed over the max SPC sub-queries.
+func coveredCount(res *cover.Result) int {
+	n := 0
+	for _, sub := range res.Subs {
+		n += len(sub.Cov.Order)
+	}
+	return n
+}
+
+// IsMinimal verifies that removing any single constraint from Am breaks
+// coverage — the guarantee of Theorem 10(1).
+func IsMinimal(q ra.Query, s ra.Schema, Am *access.Schema) (bool, error) {
+	for _, c := range Am.Constraints {
+		tr, err := cover.Check(q, s, Am.Without(c.Key()))
+		if err != nil {
+			return false, err
+		}
+		if tr.Covered {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// IsAcyclic reports whether (Q,A) is an acyclic instance: the attribute
+// dependency relation imposed by A is not recursive (Section 6.1).
+// Derivation arcs that add nothing — an FD whose derived classes are all
+// in its own head, such as a membership constraint X → X — are ignored:
+// they create syntactic 2-cycles but no recursive dependency.
+func IsAcyclic(res *cover.Result) bool {
+	g, _ := plan.Hypergraph(res)
+	// Collect, per Y~ node, the classes it splits into.
+	splits := map[hypergraph.NodeID][]hypergraph.NodeID{}
+	for _, e := range g.Edges {
+		if _, ok := e.Payload.(plan.SplitEdge); ok {
+			splits[e.Head[0]] = append(splits[e.Head[0]], e.Tail)
+		}
+	}
+	// Build the class-level digraph: head class → derived class, skipping
+	// classes already in the head.
+	n := g.NumNodes()
+	adj := make([][]hypergraph.NodeID, n)
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		if _, ok := e.Payload.(plan.FDEdge); !ok {
+			continue
+		}
+		inHead := map[hypergraph.NodeID]bool{}
+		for _, h := range e.Head {
+			inHead[h] = true
+		}
+		for _, c := range splits[e.Tail] {
+			if inHead[c] {
+				continue // no-op derivation (e.g. membership X → X)
+			}
+			for _, h := range e.Head {
+				adj[h] = append(adj[h], c)
+				indeg[c]++
+			}
+		}
+	}
+	var queue []hypergraph.NodeID
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, hypergraph.NodeID(i))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen == n
+}
+
+// IsElementary reports whether every constraint of A is an indexing
+// constraint R(X→X,1) or a unit constraint (|X| = |Y| = 1).
+func IsElementary(A *access.Schema) bool {
+	for _, c := range A.Constraints {
+		if !c.IsIndexing() && !c.IsUnit() {
+			return false
+		}
+	}
+	return true
+}
+
+// MinADAG solves the acyclic case via weighted shortest hyperpaths from the
+// dummy root r to every node of X̂Q \ X̂QC, plus a minimum-N indexing
+// constraint per relation occurrence (Theorem 10(2)). It returns an error
+// when the instance is not acyclic.
+func MinADAG(res *cover.Result) (*access.Schema, error) {
+	if !res.Covered {
+		return nil, fmt.Errorf("minimize: query is not covered")
+	}
+	if !IsAcyclic(res) {
+		return nil, fmt.Errorf("minimize: instance is not acyclic")
+	}
+	keep, err := shortestPathSupport(res)
+	if err != nil {
+		return nil, err
+	}
+	return finish(res, keep)
+}
+
+// shortestPathSupport returns the keys of the constraints on minimum-weight
+// hyperpaths from r to every needed class, plus the chosen indexing
+// constraints and the hyperpaths covering their X sides. The Dijkstra-style
+// search is correct on the raw (possibly syntactically cyclic) hypergraph
+// as long as weights are non-negative, so no-op membership cycles need no
+// special casing; MinADAG gates on acyclicity only for its approximation
+// bound, while MinA uses this as a cost-aware seed on any instance.
+func shortestPathSupport(res *cover.Result) (map[string]bool, error) {
+	g, root := plan.Hypergraph(res)
+	costs := g.ShortestHyperpaths(root)
+	keep := map[string]bool{}
+
+	addPath := func(target hypergraph.NodeID) error {
+		edges, ok := costs.HyperpathEdges(g, target)
+		if !ok {
+			return fmt.Errorf("minimize: no hyperpath to %s", g.Label(target))
+		}
+		for _, ei := range edges {
+			if f, isFD := g.Edges[ei].Payload.(plan.FDEdge); isFD {
+				keep[f.AC.Base.Key()] = true
+			}
+		}
+		return nil
+	}
+
+	for si, sub := range res.Subs {
+		// Targets: needed non-constant classes.
+		constSet := map[ra.Attr]bool{}
+		for _, c := range sub.ConstClasses {
+			constSet[c] = true
+		}
+		for _, rep := range sub.XHat {
+			if constSet[rep] {
+				continue
+			}
+			node, ok := g.Lookup(plan.ClassLabel(si, rep))
+			if !ok {
+				return nil, fmt.Errorf("minimize: no node for class %s", rep)
+			}
+			if err := addPath(node); err != nil {
+				return nil, err
+			}
+		}
+		// Indexing constraints: the chosen minimum-N index per occurrence,
+		// plus hyperpaths making their X sides covered.
+		for rel, ac := range sub.IndexBy {
+			keep[ac.Base.Key()] = true
+			for _, x := range ac.XAttrs(rel) {
+				rep := sub.Classes.Rep(x)
+				if constSet[rep] {
+					continue
+				}
+				node, ok := g.Lookup(plan.ClassLabel(si, rep))
+				if !ok {
+					return nil, fmt.Errorf("minimize: no node for class %s", rep)
+				}
+				if err := addPath(node); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return keep, nil
+}
+
+// MinAE solves the elementary case by reduction to the directed minimum
+// Steiner arborescence problem on the graph of unit constraints
+// (Lemma 11). The dminSAP sub-problem is approximated with the greedy
+// nearest-terminal algorithm (the level-1 specialization of Charikar et
+// al.; see DESIGN.md). It returns an error when the instance is not
+// elementary.
+func MinAE(res *cover.Result) (*access.Schema, error) {
+	if !res.Covered {
+		return nil, fmt.Errorf("minimize: query is not covered")
+	}
+	if !IsElementary(res.Access) {
+		return nil, fmt.Errorf("minimize: instance is not elementary")
+	}
+	g, root := plan.Hypergraph(res)
+	keep := map[string]bool{}
+
+	// Terminals: needed non-constant classes across sub-queries, plus the X
+	// classes of the chosen indexing constraints.
+	var terminals []hypergraph.NodeID
+	seen := map[hypergraph.NodeID]bool{}
+	addTerminal := func(node hypergraph.NodeID) {
+		if !seen[node] {
+			seen[node] = true
+			terminals = append(terminals, node)
+		}
+	}
+	for si, sub := range res.Subs {
+		constSet := map[ra.Attr]bool{}
+		for _, c := range sub.ConstClasses {
+			constSet[c] = true
+		}
+		for _, rep := range sub.XHat {
+			if constSet[rep] {
+				continue
+			}
+			if node, ok := g.Lookup(plan.ClassLabel(si, rep)); ok {
+				addTerminal(node)
+			}
+		}
+		for rel, ac := range sub.IndexBy {
+			keep[ac.Base.Key()] = true
+			for _, x := range ac.XAttrs(rel) {
+				rep := sub.Classes.Rep(x)
+				if !constSet[rep] {
+					if node, ok := g.Lookup(plan.ClassLabel(si, rep)); ok {
+						addTerminal(node)
+					}
+				}
+			}
+		}
+	}
+	edges, err := steinerArborescence(g, root, terminals)
+	if err != nil {
+		return nil, err
+	}
+	for _, ei := range edges {
+		if f, isFD := g.Edges[ei].Payload.(plan.FDEdge); isFD {
+			keep[f.AC.Base.Key()] = true
+		}
+	}
+	return finish(res, keep)
+}
+
+// steinerArborescence greedily grows a tree from root: repeatedly attach
+// the terminal with the cheapest shortest derivation from the current tree
+// (edges already in the tree become free). In the elementary case every
+// hyperedge head is a single node, so shortest derivations are shortest
+// paths and the classic |VT|-approximation bound applies.
+func steinerArborescence(g *hypergraph.Graph, root hypergraph.NodeID, terminals []hypergraph.NodeID) ([]int, error) {
+	chosen := map[int]bool{}
+	remaining := append([]hypergraph.NodeID{}, terminals...)
+	for len(remaining) > 0 {
+		// Shortest hyperpaths with chosen edges free.
+		saved := make(map[int]int64, len(chosen))
+		for ei := range chosen {
+			saved[ei] = g.Edges[ei].Weight
+			g.Edges[ei].Weight = 0
+		}
+		costs := g.ShortestHyperpaths(root)
+		for ei, w := range saved {
+			g.Edges[ei].Weight = w
+		}
+		// Pick the cheapest remaining terminal.
+		bestIdx, bestCost := -1, int64(0)
+		for i, t := range remaining {
+			edges, ok := costs.HyperpathEdges(g, t)
+			if !ok {
+				return nil, fmt.Errorf("minimize: terminal %s unreachable", g.Label(t))
+			}
+			var c int64
+			for _, ei := range edges {
+				if !chosen[ei] {
+					c += g.Edges[ei].Weight
+				}
+			}
+			if bestIdx < 0 || c < bestCost {
+				bestIdx, bestCost = i, c
+			}
+		}
+		t := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		edges, _ := costs.HyperpathEdges(g, t)
+		for _, ei := range edges {
+			chosen[ei] = true
+		}
+	}
+	out := make([]int, 0, len(chosen))
+	for ei := range chosen {
+		out = append(out, ei)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// finish turns the kept constraint keys into a schema and verifies
+// coverage, falling back to the full schema's greedy minimization if the
+// specialized algorithm under-selected (cannot happen on well-formed
+// instances, but we never return a non-covering set).
+func finish(res *cover.Result, keep map[string]bool) (*access.Schema, error) {
+	Am := res.Access.Subset(keep)
+	check, err := cover.Check(res.Query, res.Schema, Am)
+	if err != nil {
+		return nil, err
+	}
+	if check.Covered {
+		return Am, nil
+	}
+	return MinA(res, DefaultOptions())
+}

@@ -1,0 +1,205 @@
+package minimize
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cover"
+	"repro/internal/ra"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// example9 builds Q1 and A1 = A0 ∪ {ψ5: dine((pid,year) → cid, 366)} from
+// Example 9.
+func example9() (ra.Query, ra.Schema, *access.Schema) {
+	fb := &workload.Facebook{
+		Schema: workload.FacebookSchema(),
+		Access: workload.FacebookAccess(),
+		Me:     value.NewInt(0),
+	}
+	a1 := access.NewSchema(append(append([]access.Constraint{}, fb.Access.Constraints...),
+		access.Constraint{Rel: "dine", X: []string{"pid", "year"}, Y: []string{"cid"}, N: 366})...)
+	return fb.Q1(), fb.Schema, a1
+}
+
+func checkRes(t *testing.T, q ra.Query, s ra.Schema, A *access.Schema) *cover.Result {
+	t.Helper()
+	norm, err := ra.Normalize(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cover.Check(norm, s, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatal("query not covered in test setup")
+	}
+	return res
+}
+
+func keys(A *access.Schema) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range A.Constraints {
+		out[c.Key()] = true
+	}
+	return out
+}
+
+// TestMinAExample9 reproduces Example 9: under A1, minA drops ψ5 (N=366)
+// and ψ3, keeping {ψ1, ψ2, ψ4}.
+func TestMinAExample9(t *testing.T) {
+	q, s, a1 := example9()
+	res := checkRes(t, q, s, a1)
+	am, err := MinA(res, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keys(am)
+	for _, want := range []string{"friend(pid->fid)", "dine(pid,year,month->cid)", "cafe(cid->city)"} {
+		if !k[want] {
+			t.Errorf("Am missing %s: %v", want, k)
+		}
+	}
+	if k["dine(pid,year->cid)"] {
+		t.Error("minA kept ψ5 (N=366) over ψ2 (N=31)")
+	}
+	if k["dine(pid,cid->pid,cid)"] {
+		t.Error("minA kept unnecessary ψ3")
+	}
+	// Minimality guarantee of Theorem 10(1).
+	minimal, err := IsMinimal(res.Query, s, am)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !minimal {
+		t.Error("minA result is not minimal")
+	}
+	// Q stays covered under Am.
+	if check, _ := cover.Check(res.Query, s, am); !check.Covered {
+		t.Error("Q not covered by Am")
+	}
+}
+
+func TestMinARejectsUncovered(t *testing.T) {
+	fb := &workload.Facebook{
+		Schema: workload.FacebookSchema(),
+		Access: workload.FacebookAccess(),
+		Me:     value.NewInt(0),
+	}
+	norm, _ := ra.Normalize(fb.Q2(), fb.Schema)
+	res, err := cover.Check(norm, fb.Schema, fb.Access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MinA(res, DefaultOptions()); err == nil {
+		t.Error("MinA accepted an uncovered query")
+	}
+}
+
+func TestMinADAGExample10(t *testing.T) {
+	q, s, a1 := example9()
+	res := checkRes(t, q, s, a1)
+	if !IsAcyclic(res) {
+		t.Skip("instance unexpectedly cyclic")
+	}
+	am, err := MinADAG(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keys(am)
+	// Example 10: shortest hyperpath to cid uses ψ2 (31), not ψ5 (366).
+	if k["dine(pid,year->cid)"] {
+		t.Errorf("minADAG chose ψ5 over cheaper ψ2: %v", k)
+	}
+	if !k["dine(pid,year,month->cid)"] {
+		t.Errorf("minADAG missing ψ2: %v", k)
+	}
+	if check, _ := cover.Check(res.Query, s, am); !check.Covered {
+		t.Error("minADAG result does not cover Q")
+	}
+	// minADAG must not cost more than the full schema.
+	if am.SumN() > a1.SumN() {
+		t.Errorf("minADAG increased ΣN: %d > %d", am.SumN(), a1.SumN())
+	}
+}
+
+func TestMinAEElementaryCase(t *testing.T) {
+	s := ra.Schema{"r": {"a", "b"}, "s": {"b", "c"}}
+	A := access.NewSchema(
+		access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 4},   // unit
+		access.Constraint{Rel: "s", X: []string{"b"}, Y: []string{"c"}, N: 7},   // unit
+		access.Constraint{Rel: "s", X: []string{"b"}, Y: []string{"c"}, N: 7},   // dup, dropped
+		access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"a"}, N: 1},   // indexing
+		access.Constraint{Rel: "s", X: []string{"b"}, Y: []string{"b"}, N: 1},   // indexing
+		access.Constraint{Rel: "r", X: []string{"b"}, Y: []string{"a"}, N: 100}, // expensive unit
+	)
+	if !IsElementary(A) {
+		t.Fatal("schema should be elementary")
+	}
+	q := ra.Proj(
+		ra.Sel(ra.Prod(ra.R("r", "r1"), ra.R("s", "s1")),
+			ra.EqC(ra.A("r1", "a"), value.NewInt(1)),
+			ra.Eq(ra.A("r1", "b"), ra.A("s1", "b"))),
+		ra.A("s1", "b"),
+	)
+	res := checkRes(t, q, s, A)
+	am, err := MinAE(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keys(am)
+	if k["r(b->a)"] {
+		t.Error("minAE kept expensive irrelevant constraint")
+	}
+	if check, _ := cover.Check(res.Query, s, am); !check.Covered {
+		t.Error("minAE result does not cover Q")
+	}
+}
+
+func TestMinAENonElementaryRejected(t *testing.T) {
+	q, s, a1 := example9()
+	res := checkRes(t, q, s, a1)
+	if IsElementary(a1) {
+		t.Fatal("A1 should not be elementary (ψ2 has |X|=3)")
+	}
+	if _, err := MinAE(res); err == nil {
+		t.Error("MinAE accepted a non-elementary instance")
+	}
+}
+
+// TestMinimizersNeverIncreaseCost: on the benchmark datasets, all three
+// minimizers (where applicable) return covering subsets with ΣN ≤ ΣN(A).
+func TestMinimizersNeverIncreaseCost(t *testing.T) {
+	d := workload.Airca()
+	qsrc := []ra.Query{}
+	// Build a few simple covered queries over single relations.
+	q1 := ra.Proj(
+		ra.Sel(ra.R("ontime", "o1"), ra.EqC(ra.A("o1", "origin"), value.NewInt(3))),
+		ra.A("o1", "airline"),
+	)
+	qsrc = append(qsrc, q1)
+	for _, q := range qsrc {
+		res := checkRes(t, q, d.Schema, d.Access)
+		am, err := MinA(res, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if am.SumN() > d.Access.SumN() {
+			t.Errorf("minA increased ΣN")
+		}
+		if minimal, _ := IsMinimal(res.Query, d.Schema, am); !minimal {
+			t.Error("minA not minimal")
+		}
+		if IsAcyclic(res) {
+			amd, err := MinADAG(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if amd.SumN() > d.Access.SumN() {
+				t.Errorf("minADAG increased ΣN")
+			}
+		}
+	}
+}

@@ -1,0 +1,358 @@
+// Package parser implements a compact textual language for RA queries used
+// by the command-line tools and tests: conjunctive rules in a Datalog-like
+// syntax combined with UNION and EXCEPT.
+//
+//	q(cid) :- friend(0, f), dine(f, cid, 5, 2015), cafe(cid, 'nyc')
+//
+// Variables are bare identifiers (shared variables express equi-joins),
+// constants are integer literals or quoted strings, and `_` is an anonymous
+// variable. Rules may be parenthesized and combined:
+//
+//	(q(c) :- r(c,1)) UNION (q(c) :- s(c,2)) EXCEPT (q(c) :- t(c))
+//
+// EXCEPT and UNION associate left with equal precedence, as in SQL's
+// left-to-right evaluation of set operators at the same level.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/access"
+	"repro/internal/ra"
+	"repro/internal/value"
+)
+
+// Parse parses src into an RA query over schema s. The result is
+// normalized (all relation occurrences distinct).
+func Parse(src string, s ra.Schema) (ra.Query, error) {
+	p := &parser{lex: newLexer(src), schema: s}
+	q, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.lex.peek().kind != tokEOF {
+		return nil, p.errf("unexpected %q after query", p.lex.peek().text)
+	}
+	return ra.Normalize(q, s)
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokRule // :-
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	cur  token
+	init bool
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) peek() token {
+	if !l.init {
+		l.cur = l.scan()
+		l.init = true
+	}
+	return l.cur
+}
+
+func (l *lexer) next() token {
+	t := l.peek()
+	l.init = false
+	return t
+}
+
+func (l *lexer) scan() token {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}
+	case c == ':' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+		l.pos += 2
+		return token{tokRule, ":-", start}
+	case c == '\'' || c == '"':
+		quote := c
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != quote {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{tokString, l.src[start:], start} // unterminated; caller errors
+		}
+		l.pos++
+		return token{tokString, l.src[start:l.pos], start}
+	case c == '-' || (c >= '0' && c <= '9'):
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		return token{tokNumber, l.src[start:l.pos], start}
+	default:
+		for l.pos < len(l.src) {
+			r := rune(l.src[l.pos])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			l.pos++
+		}
+		if l.pos == start {
+			l.pos++ // skip unknown byte; reported by parser
+			return token{tokIdent, l.src[start:l.pos], start}
+		}
+		return token{tokIdent, l.src[start:l.pos], start}
+	}
+}
+
+type parser struct {
+	lex    *lexer
+	schema ra.Schema
+	occSeq int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("parser: %s (at offset %d)", fmt.Sprintf(format, args...), p.lex.peek().pos)
+}
+
+// parseExpr := term ((UNION|EXCEPT) term)*
+func (p *parser) parseExpr() (ra.Query, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.lex.peek()
+		if t.kind != tokIdent {
+			return left, nil
+		}
+		switch strings.ToUpper(t.text) {
+		case "UNION":
+			p.lex.next()
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = ra.U(left, right)
+		case "EXCEPT":
+			p.lex.next()
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = ra.D(left, right)
+		default:
+			return left, nil
+		}
+	}
+}
+
+// parseTerm := '(' expr ')' | rule
+func (p *parser) parseTerm() (ra.Query, error) {
+	if p.lex.peek().kind == tokLParen {
+		// Could be a parenthesized expression; rules always start with an
+		// identifier, so a '(' here must open an expression.
+		p.lex.next()
+		q, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if t := p.lex.next(); t.kind != tokRParen {
+			return nil, p.errf("expected ')', got %q", t.text)
+		}
+		return q, nil
+	}
+	return p.parseRule()
+}
+
+// parseRule := ident '(' vars ')' ':-' atom (',' atom)*
+func (p *parser) parseRule() (ra.Query, error) {
+	head := p.lex.next()
+	if head.kind != tokIdent {
+		return nil, p.errf("expected rule head, got %q", head.text)
+	}
+	headVars, err := p.parseNameList()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.lex.next(); t.kind != tokRule {
+		return nil, p.errf("expected ':-', got %q", t.text)
+	}
+
+	var preds []ra.Pred
+	firstOcc := map[string]ra.Attr{} // variable -> first attribute binding
+	atoms := 0
+	var rels []ra.Query
+	for {
+		relTok := p.lex.next()
+		if relTok.kind != tokIdent {
+			return nil, p.errf("expected relation atom, got %q", relTok.text)
+		}
+		base := relTok.text
+		attrs, err := p.schema.Attrs(base)
+		if err != nil {
+			return nil, p.errf("unknown relation %q", base)
+		}
+		p.occSeq++
+		occ := fmt.Sprintf("%s_o%d", base, p.occSeq)
+		rels = append(rels, ra.R(base, occ))
+		args, err := p.parseArgList()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != len(attrs) {
+			return nil, p.errf("relation %s has %d attributes, got %d arguments", base, len(attrs), len(args))
+		}
+		for i, a := range args {
+			attr := ra.A(occ, attrs[i])
+			switch a.kind {
+			case argConst:
+				preds = append(preds, ra.EqC(attr, a.val))
+			case argVar:
+				if a.name == "_" {
+					continue
+				}
+				if prev, ok := firstOcc[a.name]; ok {
+					preds = append(preds, ra.Eq(prev, attr))
+				} else {
+					firstOcc[a.name] = attr
+				}
+			}
+		}
+		atoms++
+		if p.lex.peek().kind != tokComma {
+			break
+		}
+		p.lex.next()
+	}
+	if atoms == 0 {
+		return nil, p.errf("rule body is empty")
+	}
+
+	out := make([]ra.Attr, len(headVars))
+	for i, v := range headVars {
+		attr, ok := firstOcc[v]
+		if !ok {
+			return nil, p.errf("head variable %q does not occur in the body", v)
+		}
+		out[i] = attr
+	}
+	return ra.Proj(ra.Sel(ra.Prod(rels...), preds...), out...), nil
+}
+
+func (p *parser) parseNameList() ([]string, error) {
+	if t := p.lex.next(); t.kind != tokLParen {
+		return nil, p.errf("expected '(', got %q", t.text)
+	}
+	var names []string
+	for {
+		t := p.lex.next()
+		if t.kind != tokIdent {
+			return nil, p.errf("expected variable name, got %q", t.text)
+		}
+		names = append(names, t.text)
+		sep := p.lex.next()
+		if sep.kind == tokRParen {
+			return names, nil
+		}
+		if sep.kind != tokComma {
+			return nil, p.errf("expected ',' or ')', got %q", sep.text)
+		}
+	}
+}
+
+type argKind int
+
+const (
+	argVar argKind = iota
+	argConst
+)
+
+type arg struct {
+	kind argKind
+	name string
+	val  value.Value
+}
+
+func (p *parser) parseArgList() ([]arg, error) {
+	if t := p.lex.next(); t.kind != tokLParen {
+		return nil, p.errf("expected '(', got %q", t.text)
+	}
+	var args []arg
+	for {
+		t := p.lex.next()
+		var a arg
+		switch t.kind {
+		case tokIdent:
+			a = arg{kind: argVar, name: t.text}
+		case tokNumber:
+			a = arg{kind: argConst, val: value.Parse(t.text)}
+		case tokString:
+			if len(t.text) < 2 || t.text[len(t.text)-1] != t.text[0] {
+				return nil, p.errf("unterminated string literal %q", t.text)
+			}
+			a = arg{kind: argConst, val: value.NewStr(t.text[1 : len(t.text)-1])}
+		default:
+			return nil, p.errf("expected argument, got %q", t.text)
+		}
+		args = append(args, a)
+		sep := p.lex.next()
+		if sep.kind == tokRParen {
+			return args, nil
+		}
+		if sep.kind != tokComma {
+			return nil, p.errf("expected ',' or ')', got %q", sep.text)
+		}
+	}
+}
+
+// ParseConstraints parses an access schema: one constraint per line in the
+// R(X -> Y, N) syntax; blank lines and lines starting with '#' are skipped.
+func ParseConstraints(src string, s ra.Schema) (*access.Schema, error) {
+	var cs []access.Constraint
+	for i, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		c, err := access.Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("parser: line %d: %w", i+1, err)
+		}
+		if err := c.Validate(s); err != nil {
+			return nil, fmt.Errorf("parser: line %d: %w", i+1, err)
+		}
+		cs = append(cs, c)
+	}
+	return access.NewSchema(cs...), nil
+}

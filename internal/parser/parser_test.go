@@ -1,0 +1,191 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/ra"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func schema() ra.Schema { return workload.FacebookSchema() }
+
+func TestParseSingleRule(t *testing.T) {
+	q, err := Parse("q(cid) :- friend(0, f), dine(f, cid, 5, 2015), cafe(cid, 'nyc')", schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, ok := q.(*ra.Project)
+	if !ok {
+		t.Fatalf("top node %T, want projection", q)
+	}
+	if len(proj.Attrs) != 1 {
+		t.Errorf("projection arity %d", len(proj.Attrs))
+	}
+	rels := ra.Relations(q)
+	if len(rels) != 3 {
+		t.Fatalf("%d relations", len(rels))
+	}
+	if err := ra.Validate(q, schema()); err != nil {
+		t.Fatalf("parsed query invalid: %v", err)
+	}
+	// Count predicates: 4 constants + 2 join equalities.
+	sel := proj.In.(*ra.Select)
+	if len(sel.Preds) != 6 {
+		t.Errorf("%d predicates, want 6: %v", len(sel.Preds), sel.Preds)
+	}
+}
+
+func TestParseSharedVariableJoins(t *testing.T) {
+	q, err := Parse("q(a, b) :- friend(a, b), friend(b, a)", schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := q.(*ra.Project).In.(*ra.Select)
+	if len(sel.Preds) != 2 {
+		t.Errorf("self-join should give 2 equalities, got %v", sel.Preds)
+	}
+}
+
+func TestParseAnonymousVariable(t *testing.T) {
+	q, err := Parse("q(p) :- dine(p, _, _, 2015)", schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := q.(*ra.Project).In.(*ra.Select)
+	// Only the constant 2015 produces a predicate; _ binds nothing.
+	if len(sel.Preds) != 1 {
+		t.Errorf("%d predicates, want 1", len(sel.Preds))
+	}
+}
+
+func TestParseStringsAndNegatives(t *testing.T) {
+	q, err := Parse(`q(c) :- cafe(c, "nyc"), dine(-1, c, 5, 2015)`, schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawNyc, sawNeg bool
+	sel := q.(*ra.Project).In.(*ra.Select)
+	for _, p := range sel.Preds {
+		if ec, ok := p.(ra.EqConst); ok {
+			if ec.C == value.NewStr("nyc") {
+				sawNyc = true
+			}
+			if ec.C == value.NewInt(-1) {
+				sawNeg = true
+			}
+		}
+	}
+	if !sawNyc || !sawNeg {
+		t.Errorf("constants not parsed: nyc=%v neg=%v", sawNyc, sawNeg)
+	}
+}
+
+func TestParseUnionExcept(t *testing.T) {
+	src := `(q(c) :- cafe(c, 'nyc')) UNION (q(c) :- cafe(c, 'sf')) EXCEPT (q(c) :- dine(0, c, 5, 2015))`
+	q, err := Parse(src, schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left associativity: (A ∪ B) − C.
+	d, ok := q.(*ra.Diff)
+	if !ok {
+		t.Fatalf("top node %T, want difference", q)
+	}
+	if _, ok := d.L.(*ra.Union); !ok {
+		t.Errorf("left of EXCEPT should be the union, got %T", d.L)
+	}
+}
+
+func TestParseNormalizesOccurrences(t *testing.T) {
+	q, err := Parse("q(a) :- friend(a, b), friend(b, c), friend(c, a)", schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := ra.Relations(q)
+	seen := map[string]bool{}
+	for _, r := range rels {
+		if seen[r.Name] {
+			t.Fatalf("duplicate occurrence %s", r.Name)
+		}
+		seen[r.Name] = true
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                  // empty
+		"q(c)",                              // no body
+		"q(c) :- nosuch(c)",                 // unknown relation
+		"q(c) :- friend(a)",                 // wrong arity
+		"q(c) :- friend(a, b)",              // head var not in body
+		"q(c) :- friend(a, b) trailing",     // junk after query
+		"q(c) :- friend(a, b), cafe(c, 'x'", // unterminated
+		"q(c) :- friend(a, b,, c)",          // bad arg
+		"q c) :- friend(a, b)",              // missing paren
+	}
+	for _, src := range cases {
+		if _, err := Parse(src, schema()); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseUnterminatedString(t *testing.T) {
+	if _, err := Parse(`q(c) :- cafe(c, 'nyc)`, schema()); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestParseConstraints(t *testing.T) {
+	src := `
+# A0 of Example 1
+friend(pid -> fid, 5000)
+dine((pid,year,month) -> cid, 31)
+
+cafe(cid -> city, 1)
+`
+	A, err := ParseConstraints(src, schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if A.Len() != 3 {
+		t.Errorf("parsed %d constraints, want 3", A.Len())
+	}
+	if _, err := ParseConstraints("nosuch(a -> b, 1)", schema()); err == nil {
+		t.Error("constraint on unknown relation accepted")
+	}
+	if _, err := ParseConstraints("friend(pid -> fid)", schema()); err == nil {
+		t.Error("malformed constraint accepted")
+	}
+}
+
+// TestParseRoundTripSemantics: the parsed Example 1 Q1 is covered and
+// equivalent in structure to the handwritten version (same coverage
+// outcome and same answer on data).
+func TestParsedQ1MatchesHandwritten(t *testing.T) {
+	fb, db, err := workload.GenFacebook(workload.DefaultFacebookConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse("q(cid) :- friend(0, f), dine(f, cid, 5, 2015), cafe(cid, 'nyc')", fb.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handwritten, err := ra.Normalize(fb.Q1(), fb.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := exec.RunBaseline(parsed, fb.Schema, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := exec.RunBaseline(handwritten, fb.Schema, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Errorf("parsed and handwritten Q1 disagree:\n%s\nvs\n%s", a, b)
+	}
+}

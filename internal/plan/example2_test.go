@@ -1,0 +1,87 @@
+package plan_test
+
+import (
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// TestExample2PlanStructure checks that the generated bounded plan for Q1
+// has the structure of Example 2: a constant seed {p0}, a fetch on friend
+// via ψ1, a fetch on dine via ψ2 downstream of the friend fetch, and a
+// fetch on cafe via ψ4 downstream of the dine fetch.
+func TestExample2PlanStructure(t *testing.T) {
+	fb, _, err := workload.GenFacebook(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checkedResult(t, fb.Q1(), fb.Schema, fb.Access)
+	p, err := plan.Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Locate the first fetch per base relation.
+	fetchOf := map[string]int{}
+	for _, fi := range p.FetchSteps {
+		s := p.Steps[fi]
+		if _, ok := fetchOf[s.Con.Rel]; !ok {
+			fetchOf[s.Con.Rel] = fi
+		}
+	}
+	for _, rel := range []string{"friend", "dine", "cafe"} {
+		if _, ok := fetchOf[rel]; !ok {
+			t.Fatalf("no fetch on %s\n%s", rel, p)
+		}
+	}
+
+	// Dependency order: friend before dine before cafe, transitively.
+	if !dependsOn(p, fetchOf["dine"], fetchOf["friend"]) {
+		t.Errorf("dine fetch does not depend on friend fetch\n%s", p)
+	}
+	if !dependsOn(p, fetchOf["cafe"], fetchOf["dine"]) {
+		t.Errorf("cafe fetch does not depend on dine fetch\n%s", p)
+	}
+
+	// The friend fetch is driven by the constant {p0}.
+	friend := p.Steps[fetchOf["friend"]]
+	if friend.L < 0 {
+		t.Fatal("friend fetch has no input")
+	}
+	constSeed := false
+	var walk func(int)
+	seen := map[int]bool{}
+	walk = func(id int) {
+		if id < 0 || seen[id] {
+			return
+		}
+		seen[id] = true
+		if p.Steps[id].Op == plan.OpConst && len(p.Steps[id].Rows) == 1 {
+			constSeed = true
+		}
+		walk(p.Steps[id].L)
+		walk(p.Steps[id].R)
+	}
+	walk(friend.L)
+	if !constSeed {
+		t.Errorf("friend fetch not seeded by a constant\n%s", p)
+	}
+}
+
+// dependsOn reports whether step a transitively reads step b.
+func dependsOn(p *plan.Plan, a, b int) bool {
+	seen := map[int]bool{}
+	var walk func(int) bool
+	walk = func(id int) bool {
+		if id < 0 || seen[id] {
+			return false
+		}
+		seen[id] = true
+		if id == b {
+			return true
+		}
+		return walk(p.Steps[id].L) || walk(p.Steps[id].R)
+	}
+	return walk(p.Steps[a].L) || walk(p.Steps[a].R)
+}

@@ -1,0 +1,179 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cover"
+	"repro/internal/plan"
+	"repro/internal/ra"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func checkedResult(t *testing.T, q ra.Query, s ra.Schema, A *access.Schema) *cover.Result {
+	t.Helper()
+	norm, err := ra.Normalize(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cover.Check(norm, s, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBuildRejectsUncovered(t *testing.T) {
+	fb := &workload.Facebook{
+		Schema: workload.FacebookSchema(),
+		Access: workload.FacebookAccess(),
+		Me:     value.NewInt(0),
+	}
+	res := checkedResult(t, fb.Q2(), fb.Schema, fb.Access)
+	if res.Covered {
+		t.Fatal("Q2 unexpectedly covered")
+	}
+	if _, err := plan.Build(res); err == nil {
+		t.Error("Build accepted an uncovered query")
+	}
+}
+
+func TestBuildQ1PlanShape(t *testing.T) {
+	fb, _, err := workload.GenFacebook(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checkedResult(t, fb.Q1(), fb.Schema, fb.Access)
+	p, err := plan.Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(fb.Access); err != nil {
+		t.Fatalf("invalid plan: %v\n%s", err, p)
+	}
+	if len(p.FetchSteps) == 0 {
+		t.Fatal("plan has no fetch steps")
+	}
+	// Every fetch must use a constraint of A0 — Validate checks this; also
+	// check the friend fetch uses ψ1.
+	foundFriend := false
+	for _, fi := range p.FetchSteps {
+		s := p.Steps[fi]
+		if s.Con.Rel == "friend" {
+			foundFriend = true
+			if s.Con.N != 5000 {
+				t.Errorf("friend fetch via N=%d", s.Con.N)
+			}
+		}
+	}
+	if !foundFriend {
+		t.Error("no fetch on friend")
+	}
+	// Rendering sanity.
+	str := p.String()
+	if !strings.Contains(str, "fetch") || !strings.Contains(str, "result:") {
+		t.Errorf("plan rendering: %q", str)
+	}
+}
+
+func TestQ0PrimeAccessBoundIndependentOfData(t *testing.T) {
+	fb, _, err := workload.GenFacebook(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checkedResult(t, fb.Q0Prime(), fb.Schema, fb.Access)
+	p, err := plan.Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := p.MaxAccessBound()
+	if bound <= 0 {
+		t.Fatal("access bound must be positive")
+	}
+	// The bound is a function of Q and A only: building the plan again
+	// gives the same number, and it is in the ballpark the paper derives
+	// for Q0 under A0 (≈ 470 000 — ours differs by plan shape but must
+	// stay well under |friend|·|dine| style data-dependent counts).
+	res2 := checkedResult(t, fb.Q0Prime(), fb.Schema, fb.Access)
+	p2, err := plan.Build(res2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.MaxAccessBound() != bound {
+		t.Errorf("access bound not deterministic: %d vs %d", bound, p2.MaxAccessBound())
+	}
+	if bound > 100_000_000 {
+		t.Errorf("access bound %d implausibly large", bound)
+	}
+}
+
+func TestPlanLengthWithinTheorem5Bound(t *testing.T) {
+	fb, _, err := workload.GenFacebook(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []ra.Query{fb.Q1(), fb.Q3(), fb.Q0Prime()} {
+		res := checkedResult(t, q, fb.Schema, fb.Access)
+		p, err := plan.Build(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Lemma 8: length O(|Q||A|). Use a generous constant.
+		limit := 8 * ra.Size(res.Query) * (fb.Access.Size() + 1)
+		if p.Length() > limit {
+			t.Errorf("plan length %d exceeds O(|Q||A|) bound %d", p.Length(), limit)
+		}
+	}
+}
+
+func TestIndexCols(t *testing.T) {
+	c := access.Constraint{Rel: "r", X: []string{"a", "b"}, Y: []string{"b", "c"}, N: 1}
+	got := plan.IndexCols(c)
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("IndexCols = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IndexCols[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHypergraphExposure(t *testing.T) {
+	fb, _, err := workload.GenFacebook(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checkedResult(t, fb.Q1(), fb.Schema, fb.Access)
+	g, root := plan.Hypergraph(res)
+	if g.NumNodes() < 5 {
+		t.Errorf("hypergraph too small: %d nodes", g.NumNodes())
+	}
+	d := g.Derive(root)
+	// Every needed class node must be derivable for a covered query
+	// (Lemma 7).
+	for si, sub := range res.Subs {
+		for _, rep := range sub.XHat {
+			node, ok := g.Lookup(plan.ClassLabel(si, rep))
+			if !ok {
+				t.Fatalf("no node for class %v", rep)
+			}
+			if !d.Reached[node] {
+				t.Errorf("class %v not derivable despite coverage", rep)
+			}
+		}
+	}
+	if !g.Acyclic() {
+		t.Log("note: Example 1 hypergraph has cycles via membership constraints")
+	}
+}
+
+func smallCfg() workload.FacebookConfig {
+	cfg := workload.DefaultFacebookConfig()
+	cfg.Persons = 50
+	cfg.Cafes = 30
+	return cfg
+}

@@ -1,0 +1,39 @@
+package plan
+
+// Prune returns an equivalent plan with all steps unreachable from the
+// result step removed and IDs renumbered. Memoized construction can leave
+// a few orphan steps when an indexing constraint's fetch output supersedes
+// a unit fetching plan; pruning keeps executed plans minimal without
+// changing the computed answer.
+func (p *Plan) Prune() *Plan {
+	live := make([]bool, len(p.Steps))
+	var mark func(int)
+	mark = func(id int) {
+		if id < 0 || live[id] {
+			return
+		}
+		live[id] = true
+		mark(p.Steps[id].L)
+		mark(p.Steps[id].R)
+	}
+	mark(p.Result)
+
+	remap := make([]int, len(p.Steps))
+	out := &Plan{}
+	for i := range p.Steps {
+		if !live[i] {
+			remap[i] = -1
+			continue
+		}
+		s := p.Steps[i] // copy
+		if s.L >= 0 {
+			s.L = remap[s.L]
+		}
+		if s.R >= 0 {
+			s.R = remap[s.R]
+		}
+		remap[i] = out.add(s)
+	}
+	out.Result = remap[p.Result]
+	return out
+}

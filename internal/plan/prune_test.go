@@ -1,0 +1,69 @@
+package plan_test
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/ra"
+	"repro/internal/workload"
+)
+
+func TestPruneKeepsAnswer(t *testing.T) {
+	fb, db, err := workload.GenFacebook(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []ra.Query{fb.Q1(), fb.Q3(), fb.Q0Prime()} {
+		res := checkedResult(t, q, fb.Schema, fb.Access)
+		p, err := plan.Build(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned := p.Prune()
+		if pruned.Length() > p.Length() {
+			t.Errorf("pruning grew the plan: %d > %d", pruned.Length(), p.Length())
+		}
+		if err := pruned.Validate(fb.Access); err != nil {
+			t.Fatalf("pruned plan invalid: %v", err)
+		}
+		a, _, err := exec.Run(p, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := exec.Run(pruned, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Error("pruning changed the answer")
+		}
+	}
+}
+
+func TestPruneRemovesOrphans(t *testing.T) {
+	fb, _, err := workload.GenFacebook(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checkedResult(t, fb.Q0Prime(), fb.Schema, fb.Access)
+	p, err := plan.Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := p.Prune()
+	// Every step of the pruned plan must be reachable from the result.
+	reach := map[int]bool{pruned.Result: true}
+	for i := pruned.Length() - 1; i >= 0; i-- {
+		if !reach[i] {
+			t.Fatalf("step T%d unreachable after pruning", i)
+		}
+		s := pruned.Steps[i]
+		if s.L >= 0 {
+			reach[s.L] = true
+		}
+		if s.R >= 0 {
+			reach[s.R] = true
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package ra
+
+import (
+	"sort"
+
+	"repro/internal/value"
+)
+
+// Classes is the transitive closure ΣQ of the equality atoms of an SPC
+// sub-query, represented as a union-find over attribute occurrences with a
+// per-class constant binding. The unification function ρU of Section 4 is
+// realised by Rep, which returns a deterministic class representative.
+type Classes struct {
+	parent map[Attr]Attr
+	rank   map[Attr]int
+	consts map[Attr]value.Value // keyed by root
+	rep    map[Attr]Attr        // root -> lexicographically least member
+	// Conflict is true when ΣQ derives c = c' for distinct constants,
+	// i.e. the sub-query is unsatisfiable. Analysis still proceeds.
+	Conflict bool
+	members  map[Attr][]Attr // root -> members (built on Finalize)
+	final    bool
+}
+
+// NewClasses builds the equality closure of preds over the attributes of an
+// SPC sub-query. All attributes in attrs are registered even when they occur
+// in no predicate (singleton classes).
+func NewClasses(attrs []Attr, preds []Pred) *Classes {
+	c := &Classes{
+		parent: map[Attr]Attr{},
+		rank:   map[Attr]int{},
+		consts: map[Attr]value.Value{},
+		rep:    map[Attr]Attr{},
+	}
+	for _, a := range attrs {
+		c.add(a)
+	}
+	for _, p := range preds {
+		switch t := p.(type) {
+		case EqAttr:
+			c.add(t.L)
+			c.add(t.R)
+			c.union(t.L, t.R)
+		case EqConst:
+			c.add(t.A)
+			c.bind(t.A, t.C)
+		}
+	}
+	c.finalize()
+	return c
+}
+
+func (c *Classes) add(a Attr) {
+	if _, ok := c.parent[a]; !ok {
+		c.parent[a] = a
+		c.rank[a] = 0
+	}
+}
+
+func (c *Classes) find(a Attr) Attr {
+	root := a
+	for c.parent[root] != root {
+		root = c.parent[root]
+	}
+	for c.parent[a] != root {
+		c.parent[a], a = root, c.parent[a]
+	}
+	return root
+}
+
+func (c *Classes) union(a, b Attr) {
+	ra, rb := c.find(a), c.find(b)
+	if ra == rb {
+		return
+	}
+	if c.rank[ra] < c.rank[rb] {
+		ra, rb = rb, ra
+	}
+	c.parent[rb] = ra
+	if c.rank[ra] == c.rank[rb] {
+		c.rank[ra]++
+	}
+	va, oka := c.consts[ra]
+	vb, okb := c.consts[rb]
+	switch {
+	case oka && okb && va != vb:
+		c.Conflict = true
+	case okb && !oka:
+		c.consts[ra] = vb
+	}
+	delete(c.consts, rb)
+}
+
+func (c *Classes) bind(a Attr, v value.Value) {
+	r := c.find(a)
+	if old, ok := c.consts[r]; ok && old != v {
+		c.Conflict = true
+		return
+	}
+	c.consts[r] = v
+}
+
+// finalize computes deterministic representatives (least member per class).
+func (c *Classes) finalize() {
+	c.members = map[Attr][]Attr{}
+	for a := range c.parent {
+		r := c.find(a)
+		c.members[r] = append(c.members[r], a)
+	}
+	for r, ms := range c.members {
+		sort.Slice(ms, func(i, j int) bool { return ms[i].Less(ms[j]) })
+		c.rep[r] = ms[0]
+	}
+	c.final = true
+}
+
+// Rep returns ρU(a): the deterministic representative of a's class.
+// Attributes that were never registered represent themselves.
+func (c *Classes) Rep(a Attr) Attr {
+	if _, ok := c.parent[a]; !ok {
+		return a
+	}
+	return c.rep[c.find(a)]
+}
+
+// Reps maps Rep over a slice, de-duplicating while preserving order.
+func (c *Classes) Reps(attrs []Attr) []Attr {
+	out := make([]Attr, 0, len(attrs))
+	seen := map[Attr]bool{}
+	for _, a := range attrs {
+		r := c.Rep(a)
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Same reports whether ΣQ ⊢ a = b.
+func (c *Classes) Same(a, b Attr) bool {
+	if a == b {
+		return true
+	}
+	_, oka := c.parent[a]
+	_, okb := c.parent[b]
+	if !oka || !okb {
+		return false
+	}
+	return c.find(a) == c.find(b)
+}
+
+// Const returns the constant bound to a's class, if ΣQ ⊢ a = c.
+func (c *Classes) Const(a Attr) (value.Value, bool) {
+	if _, ok := c.parent[a]; !ok {
+		return value.Value{}, false
+	}
+	v, ok := c.consts[c.find(a)]
+	return v, ok
+}
+
+// Members returns all attributes in a's class, sorted.
+func (c *Classes) Members(a Attr) []Attr {
+	if _, ok := c.parent[a]; !ok {
+		return []Attr{a}
+	}
+	return c.members[c.find(a)]
+}
+
+// ConstClasses returns the representatives of all classes bound to a
+// constant, sorted: the set X̂ Qs_C of Table 1.
+func (c *Classes) ConstClasses() []Attr {
+	out := make([]Attr, 0, len(c.consts))
+	for r := range c.consts {
+		out = append(out, c.rep[r])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// AllReps returns the representatives of every class, sorted.
+func (c *Classes) AllReps() []Attr {
+	out := make([]Attr, 0, len(c.rep))
+	for _, r := range c.rep {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

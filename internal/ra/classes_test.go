@@ -1,0 +1,191 @@
+package ra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func attrs4() []Attr {
+	return []Attr{A("r", "a"), A("r", "b"), A("s", "a"), A("s", "b")}
+}
+
+func TestClassesTransitivity(t *testing.T) {
+	as := attrs4()
+	c := NewClasses(as, []Pred{
+		Eq(as[0], as[1]),
+		Eq(as[1], as[2]),
+	})
+	if !c.Same(as[0], as[2]) {
+		t.Error("transitivity: a=b, b=c should give a=c")
+	}
+	if c.Same(as[0], as[3]) {
+		t.Error("unrelated attributes unified")
+	}
+}
+
+func TestClassesConstantPropagation(t *testing.T) {
+	as := attrs4()
+	c := NewClasses(as, []Pred{
+		Eq(as[0], as[1]),
+		EqC(as[1], value.NewInt(7)),
+	})
+	v, ok := c.Const(as[0])
+	if !ok || v != value.NewInt(7) {
+		t.Errorf("constant not propagated through class: %v, %v", v, ok)
+	}
+	if _, ok := c.Const(as[3]); ok {
+		t.Error("constant leaked to unrelated attribute")
+	}
+}
+
+func TestClassesConflict(t *testing.T) {
+	as := attrs4()
+	c := NewClasses(as, []Pred{
+		EqC(as[0], value.NewInt(1)),
+		Eq(as[0], as[1]),
+		EqC(as[1], value.NewInt(2)),
+	})
+	if !c.Conflict {
+		t.Error("conflicting constants not detected")
+	}
+	// Conflict via union of two constant-bound classes.
+	c2 := NewClasses(as, []Pred{
+		EqC(as[0], value.NewInt(1)),
+		EqC(as[1], value.NewInt(2)),
+		Eq(as[0], as[1]),
+	})
+	if !c2.Conflict {
+		t.Error("conflict on union not detected")
+	}
+}
+
+func TestRepDeterministicMinimum(t *testing.T) {
+	as := attrs4()
+	// Union in two different orders; representative must be the
+	// lexicographic minimum either way.
+	c1 := NewClasses(as, []Pred{Eq(as[2], as[0]), Eq(as[0], as[1])})
+	c2 := NewClasses(as, []Pred{Eq(as[1], as[0]), Eq(as[0], as[2])})
+	if c1.Rep(as[2]) != c2.Rep(as[2]) {
+		t.Errorf("rep differs by union order: %v vs %v", c1.Rep(as[2]), c2.Rep(as[2]))
+	}
+	if c1.Rep(as[2]) != as[0] { // r.a is the lexicographic minimum
+		t.Errorf("rep = %v, want %v", c1.Rep(as[2]), as[0])
+	}
+}
+
+func TestRepsDeduplicates(t *testing.T) {
+	as := attrs4()
+	c := NewClasses(as, []Pred{Eq(as[0], as[1])})
+	reps := c.Reps([]Attr{as[0], as[1], as[3]})
+	if len(reps) != 2 {
+		t.Errorf("Reps = %v, want 2 entries", reps)
+	}
+}
+
+func TestConstClassesSorted(t *testing.T) {
+	as := attrs4()
+	c := NewClasses(as, []Pred{
+		EqC(as[3], value.NewInt(1)),
+		EqC(as[0], value.NewInt(2)),
+	})
+	cc := c.ConstClasses()
+	if len(cc) != 2 || cc[1].Less(cc[0]) {
+		t.Errorf("ConstClasses = %v", cc)
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	as := attrs4()
+	c := NewClasses(as, []Pred{Eq(as[2], as[0]), Eq(as[3], as[2])})
+	m := c.Members(as[0])
+	if len(m) != 3 {
+		t.Fatalf("Members = %v", m)
+	}
+	for i := 1; i < len(m); i++ {
+		if m[i].Less(m[i-1]) {
+			t.Errorf("Members not sorted: %v", m)
+		}
+	}
+}
+
+func TestUnregisteredAttrSelfRep(t *testing.T) {
+	c := NewClasses(nil, nil)
+	ghost := A("ghost", "x")
+	if c.Rep(ghost) != ghost {
+		t.Error("unregistered attribute should represent itself")
+	}
+	if c.Same(ghost, A("ghost", "y")) {
+		t.Error("unregistered attributes should not be unified")
+	}
+}
+
+// TestSameIsEquivalenceRelation checks reflexivity, symmetry and
+// transitivity on random equality graphs.
+func TestSameIsEquivalenceRelation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var as []Attr
+		for i := 0; i < 6; i++ {
+			as = append(as, A("r", string(rune('a'+i))))
+		}
+		var preds []Pred
+		for i := 0; i < rng.Intn(8); i++ {
+			preds = append(preds, Eq(as[rng.Intn(len(as))], as[rng.Intn(len(as))]))
+		}
+		c := NewClasses(as, preds)
+		for _, x := range as {
+			if !c.Same(x, x) {
+				return false
+			}
+			for _, y := range as {
+				if c.Same(x, y) != c.Same(y, x) {
+					return false
+				}
+				for _, z := range as {
+					if c.Same(x, y) && c.Same(y, z) && !c.Same(x, z) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRepIsClassInvariant: all members of a class share the representative,
+// and the representative is a member.
+func TestRepIsClassInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var as []Attr
+		for i := 0; i < 5; i++ {
+			as = append(as, A("r", string(rune('a'+i))))
+		}
+		var preds []Pred
+		for i := 0; i < rng.Intn(6); i++ {
+			preds = append(preds, Eq(as[rng.Intn(len(as))], as[rng.Intn(len(as))]))
+		}
+		c := NewClasses(as, preds)
+		for _, x := range as {
+			rep := c.Rep(x)
+			if !c.Same(x, rep) {
+				return false
+			}
+			for _, m := range c.Members(x) {
+				if c.Rep(m) != rep {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

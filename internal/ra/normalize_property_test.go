@@ -1,0 +1,110 @@
+package ra
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// randQuery builds a random small query over testSchema, possibly with
+// clashing occurrence names to exercise renaming.
+func randQuery(rng *rand.Rand, depth int) Query {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		bases := []string{"r", "s", "t"}
+		base := bases[rng.Intn(len(bases))]
+		names := []string{"", base, "x1", "x2"}
+		return R(base, names[rng.Intn(len(names))])
+	}
+	switch rng.Intn(5) {
+	case 0:
+		in := randQuery(rng, depth-1)
+		return &Select{In: in, Preds: nil}
+	case 1:
+		in := randQuery(rng, depth-1)
+		return &Project{In: in, Attrs: nil} // fixed up by caller validation path
+	case 2:
+		return &Product{L: randQuery(rng, depth-1), R: randQuery(rng, depth-1)}
+	default:
+		// Set ops need equal arity; use two relation occurrences of the
+		// same base for guaranteed compatibility.
+		l := R("r", "")
+		r := R("r", "")
+		if rng.Intn(2) == 0 {
+			return &Union{L: l, R: r}
+		}
+		return &Diff{L: l, R: r}
+	}
+}
+
+// TestNormalizeIdempotent: normalizing a normalized query changes nothing
+// (names are already unique, so the copy is structurally identical).
+func TestNormalizeIdempotent(t *testing.T) {
+	s := testSchema()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		q := randQuery(rng, 3)
+		// Projections with empty attr lists are invalid; patch them out by
+		// skipping queries that fail to normalize in the first place.
+		n1, err := Normalize(q, s)
+		if err != nil {
+			continue
+		}
+		n2, err := Normalize(n1, s)
+		if err != nil {
+			t.Fatalf("re-normalize failed: %v\nquery: %s", err, n1)
+		}
+		if n1.String() != n2.String() {
+			t.Fatalf("normalize not idempotent:\n%s\nvs\n%s", n1, n2)
+		}
+	}
+}
+
+// TestNormalizePreservesShape: node kinds and counts are unchanged.
+func TestNormalizePreservesShape(t *testing.T) {
+	s := testSchema()
+	rng := rand.New(rand.NewSource(11))
+	count := func(q Query) (n int) {
+		Walk(q, func(Query) { n++ })
+		return
+	}
+	for i := 0; i < 200; i++ {
+		q := randQuery(rng, 3)
+		norm, err := Normalize(q, s)
+		if err != nil {
+			continue
+		}
+		if count(q) != count(norm) {
+			t.Fatalf("normalize changed node count: %d vs %d", count(q), count(norm))
+		}
+		if Size(q) != Size(norm) {
+			t.Fatalf("normalize changed |Q|: %d vs %d", Size(q), Size(norm))
+		}
+	}
+}
+
+// TestNormalizeKeepsConstants: constants in predicates survive renaming.
+func TestNormalizeKeepsConstants(t *testing.T) {
+	s := testSchema()
+	mk := func() Query {
+		return Sel(R("r", ""), EqC(A("r", "a"), value.NewInt(42)))
+	}
+	q := U(mk(), mk())
+	norm, err := Normalize(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	Walk(norm, func(n Query) {
+		if sel, ok := n.(*Select); ok {
+			for _, p := range sel.Preds {
+				if ec, ok := p.(EqConst); ok && ec.C == value.NewInt(42) {
+					found++
+				}
+			}
+		}
+	})
+	if found != 2 {
+		t.Errorf("found %d constants after normalize, want 2", found)
+	}
+}

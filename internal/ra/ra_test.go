@@ -1,0 +1,202 @@
+package ra
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func testSchema() Schema {
+	return Schema{
+		"r": {"a", "b"},
+		"s": {"b", "c"},
+		"t": {"c", "d"},
+	}
+}
+
+func TestOutAttrs(t *testing.T) {
+	s := testSchema()
+	q := Proj(
+		Sel(Prod(R("r", "r1"), R("s", "s1")), Eq(A("r1", "b"), A("s1", "b"))),
+		A("r1", "a"), A("s1", "c"),
+	)
+	out, err := OutAttrs(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != A("r1", "a") || out[1] != A("s1", "c") {
+		t.Errorf("OutAttrs = %v", out)
+	}
+
+	prod := Prod(R("r", "r1"), R("s", "s1"))
+	out, err = OutAttrs(prod, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Attr{A("r1", "a"), A("r1", "b"), A("s1", "b"), A("s1", "c")}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("product OutAttrs[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestOutAttrsArityMismatch(t *testing.T) {
+	s := testSchema()
+	q := U(R("r", "r1"), Proj(R("s", "s1"), A("s1", "c")))
+	if _, err := OutAttrs(q, s); err == nil {
+		t.Error("expected arity error for union of arity 2 and 1")
+	}
+}
+
+func TestValidateUnknownRelation(t *testing.T) {
+	if err := Validate(R("nosuch", "x"), testSchema()); err == nil {
+		t.Error("expected error for unknown relation")
+	}
+}
+
+func TestValidateDuplicateOccurrence(t *testing.T) {
+	q := Prod(R("r", "r1"), R("r", "r1"))
+	if err := Validate(q, testSchema()); err == nil {
+		t.Error("expected error for duplicate occurrence names")
+	}
+}
+
+func TestValidateOutOfScopeAttr(t *testing.T) {
+	q := Sel(R("r", "r1"), EqC(A("s1", "c"), value.NewInt(1)))
+	if err := Validate(q, testSchema()); err == nil {
+		t.Error("expected error for out-of-scope selection attribute")
+	}
+	q2 := Proj(R("r", "r1"), A("r1", "zzz"))
+	if err := Validate(q2, testSchema()); err == nil {
+		t.Error("expected error for unknown projection attribute")
+	}
+}
+
+func TestNormalizeRenamesDuplicates(t *testing.T) {
+	s := testSchema()
+	// Two unnamed occurrences of r joined on b; predicates must follow the
+	// renamed occurrence.
+	q := Sel(Prod(R("r", ""), R("r", "")), Eq(A("r", "a"), A("r", "b")))
+	norm, err := Normalize(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := Relations(norm)
+	if len(rels) != 2 || rels[0].Name == rels[1].Name {
+		t.Fatalf("normalize kept duplicate names: %v, %v", rels[0], rels[1])
+	}
+	if err := Validate(norm, s); err != nil {
+		t.Fatalf("normalized query invalid: %v", err)
+	}
+}
+
+func TestNormalizePreservesDistinctNames(t *testing.T) {
+	s := testSchema()
+	q := Prod(R("r", "x"), R("r", "y"))
+	norm, err := Normalize(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := Relations(norm)
+	if rels[0].Name != "x" || rels[1].Name != "y" {
+		t.Errorf("distinct names were rewritten: %v", rels)
+	}
+}
+
+func TestNormalizeRewritesPredsInScope(t *testing.T) {
+	s := testSchema()
+	// Each branch selects on its own occurrence of r, both named "r".
+	mk := func() Query {
+		return Proj(Sel(R("r", ""), EqC(A("r", "a"), value.NewInt(1))), A("r", "b"))
+	}
+	q := U(mk(), mk())
+	norm, err := Normalize(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(norm, s); err != nil {
+		t.Fatalf("predicates not rewritten with renames: %v", err)
+	}
+	// The two branches must reference different occurrences.
+	u := norm.(*Union)
+	lRel := Relations(u.L)[0].Name
+	rRel := Relations(u.R)[0].Name
+	if lRel == rRel {
+		t.Errorf("branches share occurrence %q", lRel)
+	}
+}
+
+func TestNormalizeFreshNameCollision(t *testing.T) {
+	s := testSchema()
+	// User already took the name "r_2"; normalize must not reuse it.
+	q := Prod(Prod(R("r", "r"), R("r", "r_2")), R("r", "r"))
+	norm, err := Normalize(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, rel := range Relations(norm) {
+		if seen[rel.Name] {
+			t.Fatalf("duplicate occurrence %q after normalize", rel.Name)
+		}
+		seen[rel.Name] = true
+	}
+}
+
+func TestSizeCountsOperatorsPredsAttrs(t *testing.T) {
+	q := Proj(Sel(R("r", "r1"), EqC(A("r1", "a"), value.NewInt(1))), A("r1", "b"))
+	// project(1) + attr(1) + select(1) + pred(1) + relation(1) = 5
+	if got := Size(q); got != 5 {
+		t.Errorf("Size = %d, want 5", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	q := Sel(R("r", "r1"), EqC(A("r1", "a"), value.NewInt(1)))
+	cp := Clone(q).(*Select)
+	cp.In.(*Relation).Name = "changed"
+	if q.(*Select).In.(*Relation).Name != "r1" {
+		t.Error("Clone shares relation nodes")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	q := D(Proj(R("r", "r1"), A("r1", "a")), Proj(R("s", "s1"), A("s1", "b")))
+	str := q.String()
+	for _, frag := range []string{"π", "−", "r1", "s1"} {
+		if !strings.Contains(str, frag) {
+			t.Errorf("String() = %q missing %q", str, frag)
+		}
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	q := U(R("r", "r1"), R("s", "s1"))
+	var names []string
+	Walk(q, func(n Query) {
+		if rel, ok := n.(*Relation); ok {
+			names = append(names, rel.Name)
+		}
+	})
+	if len(names) != 2 || names[0] != "r1" || names[1] != "s1" {
+		t.Errorf("Walk order = %v", names)
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	s := testSchema()
+	if !s.HasAttr("r", "a") || s.HasAttr("r", "zzz") || s.HasAttr("zzz", "a") {
+		t.Error("HasAttr wrong")
+	}
+	rels := s.Relations()
+	if len(rels) != 3 || rels[0] != "r" {
+		t.Errorf("Relations = %v", rels)
+	}
+	cl := s.Clone()
+	cl["r"][0] = "mutated"
+	if s["r"][0] != "a" {
+		t.Error("Clone shares attribute slices")
+	}
+}

@@ -1,0 +1,140 @@
+package ra
+
+import "fmt"
+
+// SPC is a flattened max SPC sub-query Qs of an RA query Q (Section 3):
+// a sub-tree built solely from selection, projection, Cartesian product and
+// relation occurrences, maximal in Q with respect to sub-tree containment.
+type SPC struct {
+	// Root is the sub-tree this SPC flattens.
+	Root Query
+	// Rels are the relation occurrences of the sub-query, left to right.
+	Rels []*Relation
+	// Preds are all equality atoms of all selections in the sub-query.
+	Preds []Pred
+	// Out are the output attributes of Root.
+	Out []Attr
+	// X is XQs: all attributes occurring in a selection condition or a
+	// projection list anywhere in the sub-query (a superset of the paper's
+	// definition when projections are nested, which is sound).
+	X []Attr
+}
+
+// IsSPC reports whether q is built only from S, P, C and relation nodes.
+func IsSPC(q Query) bool {
+	switch t := q.(type) {
+	case *Relation:
+		return true
+	case *Select:
+		return IsSPC(t.In)
+	case *Project:
+		return IsSPC(t.In)
+	case *Product:
+		return IsSPC(t.L) && IsSPC(t.R)
+	default:
+		return false
+	}
+}
+
+// MaxSPC returns the set S_Q of all max SPC sub-queries of q, in a
+// deterministic left-to-right order. q must be normalized and valid for s.
+func MaxSPC(q Query, s Schema) ([]*SPC, error) {
+	var out []*SPC
+	var visit func(Query) error
+	visit = func(n Query) error {
+		if IsSPC(n) {
+			spc, err := flattenSPC(n, s)
+			if err != nil {
+				return err
+			}
+			out = append(out, spc)
+			return nil
+		}
+		for _, c := range n.Children() {
+			if err := visit(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := visit(q); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func flattenSPC(root Query, s Schema) (*SPC, error) {
+	spc := &SPC{Root: root}
+	outAttrs, err := OutAttrs(root, s)
+	if err != nil {
+		return nil, err
+	}
+	spc.Out = outAttrs
+
+	seen := map[Attr]bool{}
+	addX := func(a Attr) {
+		if !seen[a] {
+			seen[a] = true
+			spc.X = append(spc.X, a)
+		}
+	}
+	var walk func(Query) error
+	walk = func(n Query) error {
+		switch t := n.(type) {
+		case *Relation:
+			spc.Rels = append(spc.Rels, t)
+		case *Select:
+			spc.Preds = append(spc.Preds, t.Preds...)
+			for _, p := range t.Preds {
+				for _, a := range predAttrs(p) {
+					addX(a)
+				}
+			}
+			return walk(t.In)
+		case *Project:
+			for _, a := range t.Attrs {
+				addX(a)
+			}
+			return walk(t.In)
+		case *Product:
+			if err := walk(t.L); err != nil {
+				return err
+			}
+			return walk(t.R)
+		default:
+			return fmt.Errorf("ra: node %T inside SPC sub-query", n)
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	// The topmost output attributes always count toward XQs even when the
+	// sub-query has no explicit projection (e.g. a bare σ over a product).
+	for _, a := range outAttrs {
+		addX(a)
+	}
+	return spc, nil
+}
+
+// RelAttrs returns the attributes of occurrence rel that are in XQs,
+// i.e. the set X^S_Qs of Table 1.
+func (q *SPC) RelAttrs(rel string) []Attr {
+	var out []Attr
+	for _, a := range q.X {
+		if a.Rel == rel {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// HasRel reports whether occurrence name occurs in this sub-query.
+func (q *SPC) HasRel(name string) bool {
+	for _, r := range q.Rels {
+		if r.Name == name {
+			return true
+		}
+	}
+	return false
+}

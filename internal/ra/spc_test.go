@@ -1,0 +1,135 @@
+package ra
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestIsSPC(t *testing.T) {
+	spc := Proj(Sel(Prod(R("r", "r1"), R("s", "s1"))), A("r1", "a"))
+	if !IsSPC(spc) {
+		t.Error("SPC tree not recognized")
+	}
+	if IsSPC(U(R("r", "r1"), R("r", "r2"))) {
+		t.Error("union recognized as SPC")
+	}
+	if IsSPC(Proj(U(R("r", "r1"), R("r", "r2")), A("r1", "a"))) {
+		t.Error("projection over union recognized as SPC")
+	}
+}
+
+func TestMaxSPCSingle(t *testing.T) {
+	s := testSchema()
+	q := Proj(Sel(Prod(R("r", "r1"), R("s", "s1")),
+		Eq(A("r1", "b"), A("s1", "b"))), A("s1", "c"))
+	subs, err := MaxSPC(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 {
+		t.Fatalf("got %d max SPC sub-queries, want 1", len(subs))
+	}
+	spc := subs[0]
+	if spc.Root != q {
+		t.Error("max SPC root should be the whole query")
+	}
+	if len(spc.Rels) != 2 {
+		t.Errorf("Rels = %v", spc.Rels)
+	}
+	if len(spc.Preds) != 1 {
+		t.Errorf("Preds = %v", spc.Preds)
+	}
+}
+
+func TestMaxSPCAcrossSetOps(t *testing.T) {
+	s := testSchema()
+	mk := func(occ string) Query {
+		return Proj(Sel(R("r", occ), EqC(A(occ, "a"), value.NewInt(1))), A(occ, "b"))
+	}
+	q := D(U(mk("x"), mk("y")), mk("z"))
+	subs, err := MaxSPC(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 3 {
+		t.Fatalf("got %d max SPC sub-queries, want 3", len(subs))
+	}
+	// Maximality: none of the roots should be a strict sub-tree of another
+	// SPC sub-tree. Here each is a direct operand of a set operator.
+	names := map[string]bool{}
+	for _, sub := range subs {
+		if len(sub.Rels) != 1 {
+			t.Errorf("sub-query has %d relations", len(sub.Rels))
+		}
+		names[sub.Rels[0].Name] = true
+	}
+	for _, want := range []string{"x", "y", "z"} {
+		if !names[want] {
+			t.Errorf("missing sub-query for occurrence %s", want)
+		}
+	}
+}
+
+func TestMaxSPCWithOuterSelect(t *testing.T) {
+	s := testSchema()
+	// A selection above a union is NOT part of any SPC sub-query.
+	inner := U(Proj(R("r", "x"), A("x", "a")), Proj(R("r", "y"), A("y", "a")))
+	q := Sel(inner, EqC(A("x", "a"), value.NewInt(3)))
+	subs, err := MaxSPC(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("got %d sub-queries, want 2", len(subs))
+	}
+}
+
+func TestSPCXIncludesPredsProjectionsAndOutput(t *testing.T) {
+	s := testSchema()
+	q := Proj(Sel(Prod(R("r", "r1"), R("s", "s1")),
+		Eq(A("r1", "b"), A("s1", "b")),
+		EqC(A("r1", "a"), value.NewInt(1))), A("s1", "c"))
+	subs, err := MaxSPC(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := map[Attr]bool{}
+	for _, a := range subs[0].X {
+		x[a] = true
+	}
+	for _, want := range []Attr{A("r1", "a"), A("r1", "b"), A("s1", "b"), A("s1", "c")} {
+		if !x[want] {
+			t.Errorf("XQs missing %v (got %v)", want, subs[0].X)
+		}
+	}
+	if x[A("s1", "zzz")] {
+		t.Error("XQs contains nonsense")
+	}
+}
+
+func TestSPCBareRelationOutputInX(t *testing.T) {
+	s := testSchema()
+	subs, err := MaxSPC(R("r", "r1"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs[0].X) != 2 {
+		t.Errorf("bare relation XQs = %v, want both output attributes", subs[0].X)
+	}
+}
+
+func TestRelAttrsAndHasRel(t *testing.T) {
+	s := testSchema()
+	q := Proj(Sel(Prod(R("r", "r1"), R("s", "s1")),
+		Eq(A("r1", "b"), A("s1", "b"))), A("s1", "c"))
+	subs, _ := MaxSPC(q, s)
+	spc := subs[0]
+	ra1 := spc.RelAttrs("r1")
+	if len(ra1) != 1 || ra1[0] != A("r1", "b") {
+		t.Errorf("RelAttrs(r1) = %v", ra1)
+	}
+	if !spc.HasRel("s1") || spc.HasRel("nope") {
+		t.Error("HasRel wrong")
+	}
+}

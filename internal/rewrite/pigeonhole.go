@@ -1,0 +1,270 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/ra"
+)
+
+// This file implements the union interaction of Example 3 (Section 2): the
+// presence of ∪ lets SPC queries be converted to SPCU under A. If a max SPC
+// sub-query contains k occurrences of a relation S that agree on the X side
+// of a constraint S(X → Y, N) with k > N, then in every instance satisfying
+// A at least two of those occurrences have equal Y projections
+// (pigeonhole), so the query is A-equivalent to the union, over occurrence
+// pairs, of the query extended with Y_i = Y_j. Combined with duplicate-
+// occurrence elimination this reproduces the Q¹₄ ⇒ Q¹′₄ ∪ Q¹″₄ rewriting of
+// the paper.
+
+// PigeonholeUnion applies the rule to one SPC query. It returns the
+// rewritten query and true when the rule fired; the result is a union of
+// k·(k−1)/2 de-duplicated SPC branches, A-equivalent to the input on all
+// instances satisfying A.
+func PigeonholeUnion(q ra.Query, s ra.Schema, A *access.Schema) (ra.Query, bool, error) {
+	if !ra.IsSPC(q) {
+		return q, false, nil
+	}
+	spc, err := flattenSingle(q, s)
+	if err != nil {
+		return nil, false, err
+	}
+	classes, err := classesFor(spc, s)
+	if err != nil {
+		return nil, false, err
+	}
+
+	// Find a constraint and a group of same-base occurrences agreeing on
+	// its X classes, with group size exceeding N.
+	for _, c := range A.Constraints {
+		if len(c.Y) == 0 {
+			continue
+		}
+		groups := map[string][]*ra.Relation{}
+		for _, rel := range spc.Rels {
+			if rel.Base != c.Rel {
+				continue
+			}
+			key := ""
+			for _, x := range c.X {
+				key += classes.Rep(ra.A(rel.Name, x)).String() + "|"
+			}
+			groups[key] = append(groups[key], rel)
+		}
+		for _, group := range groups {
+			if len(group) <= c.N {
+				continue
+			}
+			// Pigeonhole applies: at least two of the occurrences share
+			// their Y projection. Only pairs not already unified on Y add
+			// information.
+			var branches []ra.Query
+			informative := false
+			for i := 0; i < len(group); i++ {
+				for j := i + 1; j < len(group); j++ {
+					if !sameOnY(classes, group[i], group[j], c) {
+						informative = true
+					}
+					branch, err := equateYs(spc, group[i], group[j], c, s)
+					if err != nil {
+						return nil, false, err
+					}
+					branches = append(branches, branch)
+				}
+			}
+			// If every pair is already unified on Y the rewrite is a
+			// no-op; try the next group.
+			if !informative || len(branches) == 0 {
+				continue
+			}
+			out := branches[0]
+			for _, b := range branches[1:] {
+				out = ra.U(out, b)
+			}
+			return out, true, nil
+		}
+	}
+	return q, false, nil
+}
+
+// sameOnY reports whether two occurrences are already unified on every Y
+// attribute of the constraint.
+func sameOnY(classes *ra.Classes, a, b *ra.Relation, c access.Constraint) bool {
+	for _, y := range c.Y {
+		if !classes.Same(ra.A(a.Name, y), ra.A(b.Name, y)) {
+			return false
+		}
+	}
+	return true
+}
+
+// equateYs clones the SPC query, adds Y_i = Y_j equalities between the two
+// occurrences, and eliminates the duplicate occurrence when the pair is now
+// equal on every attribute.
+func equateYs(spc *ra.SPC, a, b *ra.Relation, c access.Constraint, s ra.Schema) (ra.Query, error) {
+	preds := append([]ra.Pred{}, spc.Preds...)
+	for _, y := range c.Y {
+		preds = append(preds, ra.Eq(ra.A(a.Name, y), ra.A(b.Name, y)))
+	}
+	rels := make([]ra.Query, 0, len(spc.Rels))
+	for _, rel := range spc.Rels {
+		rels = append(rels, ra.R(rel.Base, rel.Name))
+	}
+	q := ra.Proj(ra.Sel(ra.Prod(rels...), preds...), spc.Out...)
+	return DedupOccurrences(q, s)
+}
+
+// DedupOccurrences removes relation occurrences that are provably the same
+// tuple as another occurrence of the same base relation: when two
+// occurrences are unified on every attribute, set semantics make one of
+// them redundant. Predicates and projections referencing the removed
+// occurrence are rewritten onto the kept one. The input must be a single
+// SPC query; the result is equivalent on all instances.
+func DedupOccurrences(q ra.Query, s ra.Schema) (ra.Query, error) {
+	if !ra.IsSPC(q) {
+		return q, nil
+	}
+	for {
+		spc, err := flattenSingle(q, s)
+		if err != nil {
+			return nil, err
+		}
+		classes, err := classesFor(spc, s)
+		if err != nil {
+			return nil, err
+		}
+		victim, keeper := "", ""
+	search:
+		for i := 0; i < len(spc.Rels); i++ {
+			for j := i + 1; j < len(spc.Rels); j++ {
+				a, b := spc.Rels[i], spc.Rels[j]
+				if a.Base != b.Base {
+					continue
+				}
+				attrs, err := s.Attrs(a.Base)
+				if err != nil {
+					return nil, err
+				}
+				same := true
+				for _, at := range attrs {
+					if !classes.Same(ra.A(a.Name, at), ra.A(b.Name, at)) {
+						same = false
+						break
+					}
+				}
+				if same {
+					keeper, victim = a.Name, b.Name
+					break search
+				}
+			}
+		}
+		if victim == "" {
+			return q, nil
+		}
+		q, err = removeOccurrence(spc, keeper, victim)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// removeOccurrence rebuilds the SPC query without the victim occurrence,
+// mapping its attribute references to the keeper.
+func removeOccurrence(spc *ra.SPC, keeper, victim string) (ra.Query, error) {
+	subst := func(a ra.Attr) ra.Attr {
+		if a.Rel == victim {
+			return ra.Attr{Rel: keeper, Name: a.Name}
+		}
+		return a
+	}
+	var rels []ra.Query
+	for _, rel := range spc.Rels {
+		if rel.Name == victim {
+			continue
+		}
+		rels = append(rels, ra.R(rel.Base, rel.Name))
+	}
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("rewrite: cannot remove the only occurrence")
+	}
+	var preds []ra.Pred
+	for _, p := range spc.Preds {
+		switch t := p.(type) {
+		case ra.EqAttr:
+			l, r := subst(t.L), subst(t.R)
+			if l == r {
+				continue // trivial after substitution
+			}
+			preds = append(preds, ra.EqAttr{L: l, R: r})
+		case ra.EqConst:
+			preds = append(preds, ra.EqConst{A: subst(t.A), C: t.C})
+		default:
+			preds = append(preds, p)
+		}
+	}
+	out := make([]ra.Attr, len(spc.Out))
+	for i, a := range spc.Out {
+		out[i] = subst(a)
+	}
+	return ra.Proj(ra.Sel(ra.Prod(rels...), preds...), out...), nil
+}
+
+// classesFor builds the equality closure over all attributes of the
+// sub-query's occurrences.
+func classesFor(spc *ra.SPC, s ra.Schema) (*ra.Classes, error) {
+	var all []ra.Attr
+	for _, rel := range spc.Rels {
+		names, err := s.Attrs(rel.Base)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			all = append(all, ra.A(rel.Name, n))
+		}
+	}
+	return ra.NewClasses(all, spc.Preds), nil
+}
+
+// pigeonholeAll applies PigeonholeUnion to every max SPC sub-query of q,
+// bottom-up, returning the rewritten query and whether anything fired.
+func pigeonholeAll(q ra.Query, s ra.Schema, A *access.Schema) (ra.Query, bool, error) {
+	if ra.IsSPC(q) {
+		return PigeonholeUnion(q, s, A)
+	}
+	switch t := q.(type) {
+	case *ra.Union:
+		l, lf, err := pigeonholeAll(t.L, s, A)
+		if err != nil {
+			return nil, false, err
+		}
+		r, rf, err := pigeonholeAll(t.R, s, A)
+		if err != nil {
+			return nil, false, err
+		}
+		return ra.U(l, r), lf || rf, nil
+	case *ra.Diff:
+		l, lf, err := pigeonholeAll(t.L, s, A)
+		if err != nil {
+			return nil, false, err
+		}
+		r, rf, err := pigeonholeAll(t.R, s, A)
+		if err != nil {
+			return nil, false, err
+		}
+		return ra.D(l, r), lf || rf, nil
+	case *ra.Select:
+		in, f, err := pigeonholeAll(t.In, s, A)
+		if err != nil {
+			return nil, false, err
+		}
+		return &ra.Select{In: in, Preds: t.Preds}, f, nil
+	case *ra.Project:
+		in, f, err := pigeonholeAll(t.In, s, A)
+		if err != nil {
+			return nil, false, err
+		}
+		return &ra.Project{In: in, Attrs: t.Attrs}, f, nil
+	default:
+		return q, false, nil
+	}
+}

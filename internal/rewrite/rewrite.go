@@ -1,0 +1,351 @@
+// Package rewrite implements query rewriting toward covered form
+// (Section 1, point (3)): equivalence-preserving transformations that turn
+// boundedly evaluable but uncovered RA queries into A-equivalent covered
+// ones. The flagship rule is the difference guard of Example 1,
+// Q1 − Q2 ⇒ Q1 − (Q1 ⋈ Q2), which lets the set-difference branch reuse the
+// bounded fetches of the positive branch; selection pushdown moves
+// predicates into max SPC sub-queries where the coverage analysis can use
+// them.
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/cover"
+	"repro/internal/ra"
+)
+
+// Result reports the outcome of a rewrite attempt.
+type Result struct {
+	// Query is the (normalized) rewritten query; equal to the input when no
+	// rule applied.
+	Query ra.Query
+	// Covered reports whether the final query is covered by A.
+	Covered bool
+	// Applied lists the rules that fired, in order.
+	Applied []string
+}
+
+// ToCovered tries to rewrite q into an A-equivalent covered query. The
+// input is normalized first; the result is always normalized and
+// equivalence-preserving on instances satisfying A.
+func ToCovered(q ra.Query, s ra.Schema, A *access.Schema) (*Result, error) {
+	norm, err := ra.Normalize(q, s)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Query: norm}
+
+	check := func() (bool, error) {
+		c, err := cover.Check(res.Query, s, A)
+		if err != nil {
+			return false, err
+		}
+		res.Covered = c.Covered
+		return c.Covered, nil
+	}
+	if ok, err := check(); err != nil || ok {
+		return res, err
+	}
+
+	// Rule 1: selection pushdown through set operators.
+	pushed := PushSelections(res.Query, s)
+	if pushed != nil {
+		normPushed, err := ra.Normalize(pushed, s)
+		if err == nil {
+			res.Query = normPushed
+			res.Applied = append(res.Applied, "push-selections")
+			if ok, err := check(); err != nil || ok {
+				return res, err
+			}
+		}
+	}
+
+	// Rule 2: difference guarding, bottom-up.
+	guarded, fired, err := guardDiffs(res.Query, s, A)
+	if err != nil {
+		return nil, err
+	}
+	if fired {
+		normGuarded, err := ra.Normalize(guarded, s)
+		if err != nil {
+			return nil, err
+		}
+		res.Query = normGuarded
+		res.Applied = append(res.Applied, "guard-difference")
+	}
+	if ok, err := check(); err != nil || ok {
+		return res, err
+	}
+
+	// Rule 3: pigeonhole instantiation (Example 3) — converts SPC
+	// sub-queries to SPCU under small-N constraints. Since it enlarges the
+	// query, the result is kept only when it achieves coverage.
+	ph, fired, err := pigeonholeAll(res.Query, s, A)
+	if err != nil {
+		return nil, err
+	}
+	if fired {
+		normPH, err := ra.Normalize(ph, s)
+		if err == nil {
+			c, err := cover.Check(normPH, s, A)
+			if err != nil {
+				return nil, err
+			}
+			if c.Covered {
+				res.Query = normPH
+				res.Covered = true
+				res.Applied = append(res.Applied, "pigeonhole-union")
+				return res, nil
+			}
+		}
+	}
+	_, err = check()
+	return res, err
+}
+
+// PushSelections pushes selections through unions and differences:
+// σ_p(L ∪ R) = σ_p(L) ∪ σ_p'(R) (p' maps attributes positionally) and
+// σ_p(L − R) = σ_p(L) − R. Returns nil when nothing changed.
+func PushSelections(q ra.Query, s ra.Schema) ra.Query {
+	out, changed := pushSel(q, s)
+	if !changed {
+		return nil
+	}
+	return out
+}
+
+func pushSel(q ra.Query, s ra.Schema) (ra.Query, bool) {
+	switch t := q.(type) {
+	case *ra.Select:
+		in, chIn := pushSel(t.In, s)
+		switch inner := in.(type) {
+		case *ra.Union:
+			rp, err := remapPreds(t.Preds, inner.L, inner.R, s)
+			if err == nil {
+				l, _ := pushSel(ra.Sel(inner.L, t.Preds...), s)
+				r, _ := pushSel(ra.Sel(inner.R, rp...), s)
+				return ra.U(l, r), true
+			}
+		case *ra.Diff:
+			l, _ := pushSel(ra.Sel(inner.L, t.Preds...), s)
+			return ra.D(l, inner.R), true
+		case *ra.Select:
+			merged := append(append([]ra.Pred{}, t.Preds...), inner.Preds...)
+			return &ra.Select{In: inner.In, Preds: merged}, true
+		}
+		if chIn {
+			return &ra.Select{In: in, Preds: t.Preds}, true
+		}
+		return q, false
+	case *ra.Project:
+		in, ch := pushSel(t.In, s)
+		if ch {
+			return &ra.Project{In: in, Attrs: t.Attrs}, true
+		}
+		return q, false
+	case *ra.Product:
+		l, cl := pushSel(t.L, s)
+		r, cr := pushSel(t.R, s)
+		if cl || cr {
+			return &ra.Product{L: l, R: r}, true
+		}
+		return q, false
+	case *ra.Union:
+		l, cl := pushSel(t.L, s)
+		r, cr := pushSel(t.R, s)
+		if cl || cr {
+			return &ra.Union{L: l, R: r}, true
+		}
+		return q, false
+	case *ra.Diff:
+		l, cl := pushSel(t.L, s)
+		r, cr := pushSel(t.R, s)
+		if cl || cr {
+			return &ra.Diff{L: l, R: r}, true
+		}
+		return q, false
+	default:
+		return q, false
+	}
+}
+
+// remapPreds rewrites predicates over L's output attributes into predicates
+// over R's output attributes at the same positions.
+func remapPreds(preds []ra.Pred, l, r ra.Query, s ra.Schema) ([]ra.Pred, error) {
+	la, err := ra.OutAttrs(l, s)
+	if err != nil {
+		return nil, err
+	}
+	rAttrs, err := ra.OutAttrs(r, s)
+	if err != nil {
+		return nil, err
+	}
+	if len(la) != len(rAttrs) {
+		return nil, fmt.Errorf("rewrite: arity mismatch")
+	}
+	pos := map[ra.Attr]int{}
+	for i, a := range la {
+		if _, dup := pos[a]; !dup {
+			pos[a] = i
+		}
+	}
+	mapAttr := func(a ra.Attr) (ra.Attr, error) {
+		p, ok := pos[a]
+		if !ok {
+			return a, fmt.Errorf("rewrite: attribute %s not in union output", a)
+		}
+		return rAttrs[p], nil
+	}
+	out := make([]ra.Pred, len(preds))
+	for i, p := range preds {
+		switch t := p.(type) {
+		case ra.EqAttr:
+			l2, err := mapAttr(t.L)
+			if err != nil {
+				return nil, err
+			}
+			r2, err := mapAttr(t.R)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ra.EqAttr{L: l2, R: r2}
+		case ra.EqConst:
+			a2, err := mapAttr(t.A)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ra.EqConst{A: a2, C: t.C}
+		default:
+			out[i] = p
+		}
+	}
+	return out, nil
+}
+
+// guardDiffs walks the query bottom-up and, at each difference L − R whose
+// right side is not covered, replaces R by the guard L ⋈ R (a single merged
+// SPC sub-query), which is A-equivalent: tuples of R outside L never affect
+// L − R. The guard applies when both sides decompose into SPC queries
+// (unions of SPCs are guarded branch-wise).
+func guardDiffs(q ra.Query, s ra.Schema, A *access.Schema) (ra.Query, bool, error) {
+	switch t := q.(type) {
+	case *ra.Diff:
+		l, lf, err := guardDiffs(t.L, s, A)
+		if err != nil {
+			return nil, false, err
+		}
+		r, rf, err := guardDiffs(t.R, s, A)
+		if err != nil {
+			return nil, false, err
+		}
+		rCovered, err := subCovered(r, s, A)
+		if err != nil {
+			return nil, false, err
+		}
+		if rCovered {
+			return &ra.Diff{L: l, R: r}, lf || rf, nil
+		}
+		guard, err := mergeGuard(l, r, s)
+		if err != nil {
+			// Rule not applicable; keep the children rewrites.
+			return &ra.Diff{L: l, R: r}, lf || rf, nil //nolint:nilerr
+		}
+		return &ra.Diff{L: l, R: guard}, true, nil
+	case *ra.Union:
+		l, lf, err := guardDiffs(t.L, s, A)
+		if err != nil {
+			return nil, false, err
+		}
+		r, rf, err := guardDiffs(t.R, s, A)
+		if err != nil {
+			return nil, false, err
+		}
+		return &ra.Union{L: l, R: r}, lf || rf, nil
+	case *ra.Select:
+		in, f, err := guardDiffs(t.In, s, A)
+		if err != nil {
+			return nil, false, err
+		}
+		return &ra.Select{In: in, Preds: t.Preds}, f, nil
+	case *ra.Project:
+		in, f, err := guardDiffs(t.In, s, A)
+		if err != nil {
+			return nil, false, err
+		}
+		return &ra.Project{In: in, Attrs: t.Attrs}, f, nil
+	default:
+		return q, false, nil
+	}
+}
+
+// subCovered checks whether every max SPC sub-query of q is covered.
+func subCovered(q ra.Query, s ra.Schema, A *access.Schema) (bool, error) {
+	res, err := cover.Check(q, s, A)
+	if err != nil {
+		return false, err
+	}
+	return res.Covered, nil
+}
+
+// mergeGuard builds L ⋈ R as a single SPC query (or a union of such when L
+// is a union of SPCs): π_{out(L)} σ_{C_L ∧ C_R ∧ out(L)=out(R)}(rels_L ×
+// rels_R), using fresh clones of both sides so the caller can re-normalize.
+func mergeGuard(l, r ra.Query, s ra.Schema) (ra.Query, error) {
+	if u, ok := l.(*ra.Union); ok {
+		gl, err := mergeGuard(u.L, r, s)
+		if err != nil {
+			return nil, err
+		}
+		gr, err := mergeGuard(u.R, r, s)
+		if err != nil {
+			return nil, err
+		}
+		return ra.U(gl, gr), nil
+	}
+	if d, ok := l.(*ra.Diff); ok {
+		// Guard with the positive core: since (A − B) ⊆ A, we have
+		// (A−B) − (A ⋈ R) = (A−B) − R, so guarding against A suffices.
+		return mergeGuard(d.L, r, s)
+	}
+	if !ra.IsSPC(l) || !ra.IsSPC(r) {
+		return nil, fmt.Errorf("rewrite: difference guard needs SPC operands")
+	}
+	lc, rc := ra.Clone(l), ra.Clone(r)
+	lspc, err := flattenSingle(lc, s)
+	if err != nil {
+		return nil, err
+	}
+	rspc, err := flattenSingle(rc, s)
+	if err != nil {
+		return nil, err
+	}
+	if len(lspc.Out) != len(rspc.Out) {
+		return nil, fmt.Errorf("rewrite: arity mismatch in difference")
+	}
+	preds := append([]ra.Pred{}, lspc.Preds...)
+	preds = append(preds, rspc.Preds...)
+	for i := range lspc.Out {
+		preds = append(preds, ra.Eq(lspc.Out[i], rspc.Out[i]))
+	}
+	rels := make([]ra.Query, 0, len(lspc.Rels)+len(rspc.Rels))
+	for _, rel := range lspc.Rels {
+		rels = append(rels, rel)
+	}
+	for _, rel := range rspc.Rels {
+		rels = append(rels, rel)
+	}
+	return ra.Proj(ra.Sel(ra.Prod(rels...), preds...), lspc.Out...), nil
+}
+
+func flattenSingle(q ra.Query, s ra.Schema) (*ra.SPC, error) {
+	subs, err := ra.MaxSPC(q, s)
+	if err != nil {
+		return nil, err
+	}
+	if len(subs) != 1 {
+		return nil, fmt.Errorf("rewrite: expected a single SPC sub-query")
+	}
+	return subs[0], nil
+}

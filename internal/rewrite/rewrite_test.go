@@ -1,0 +1,236 @@
+package rewrite
+
+import (
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/exec"
+	"repro/internal/ra"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// TestGuardDifferenceExample1 is the headline rewrite: Q0 = Q1 − Q2 is not
+// covered under A0, but ToCovered finds the A0-equivalent Q1 − (Q1 ⋈ Q2).
+func TestGuardDifferenceExample1(t *testing.T) {
+	fb, db, err := workload.GenFacebook(workload.DefaultFacebookConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ToCovered(fb.Q0(), fb.Schema, fb.Access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatalf("Q0 not rewritten to covered form (rules applied: %v)", res.Applied)
+	}
+	found := false
+	for _, r := range res.Applied {
+		if r == "guard-difference" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("difference guard did not fire: %v", res.Applied)
+	}
+	// Semantic equivalence on data satisfying A0.
+	orig, _ := ra.Normalize(fb.Q0(), fb.Schema)
+	a, _, err := exec.RunBaseline(orig, fb.Schema, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := exec.RunBaseline(res.Query, fb.Schema, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("rewritten query is not equivalent to the original")
+	}
+}
+
+func TestCoveredQueryPassesThrough(t *testing.T) {
+	fb := &workload.Facebook{
+		Schema: workload.FacebookSchema(),
+		Access: workload.FacebookAccess(),
+		Me:     value.NewInt(0),
+	}
+	res, err := ToCovered(fb.Q1(), fb.Schema, fb.Access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered || len(res.Applied) != 0 {
+		t.Errorf("already-covered query should pass through untouched: %v", res.Applied)
+	}
+}
+
+func TestUncoverableStaysUncovered(t *testing.T) {
+	fb := &workload.Facebook{
+		Schema: workload.FacebookSchema(),
+		Access: workload.FacebookAccess(),
+		Me:     value.NewInt(0),
+	}
+	// Q2 alone has no covered equivalent reachable by our rules.
+	res, err := ToCovered(fb.Q2(), fb.Schema, fb.Access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered {
+		t.Error("Q2 cannot be covered; rewrite claims otherwise")
+	}
+}
+
+func TestPushSelectionsThroughUnion(t *testing.T) {
+	s := ra.Schema{"r": {"a", "b"}}
+	// σ_{a=1}(π_a,b(r1) ∪ π_a,b(r2))
+	mk := func(occ string) ra.Query {
+		return ra.Proj(ra.R("r", occ), ra.A(occ, "a"), ra.A(occ, "b"))
+	}
+	q := ra.Sel(ra.U(mk("r1"), mk("r2")), ra.EqC(ra.A("r1", "a"), value.NewInt(1)))
+	out := PushSelections(q, s)
+	if out == nil {
+		t.Fatal("pushdown did not fire")
+	}
+	u, ok := out.(*ra.Union)
+	if !ok {
+		t.Fatalf("expected union at top, got %T", out)
+	}
+	if _, ok := u.L.(*ra.Select); !ok {
+		t.Error("selection not pushed into left branch")
+	}
+	if _, ok := u.R.(*ra.Select); !ok {
+		t.Error("selection not pushed into right branch")
+	}
+	// Right branch predicate must reference r2.
+	rp := u.R.(*ra.Select).Preds[0].(ra.EqConst)
+	if rp.A.Rel != "r2" {
+		t.Errorf("right predicate references %s", rp.A.Rel)
+	}
+}
+
+func TestPushSelectionsThroughDiff(t *testing.T) {
+	s := ra.Schema{"r": {"a", "b"}}
+	mk := func(occ string) ra.Query {
+		return ra.Proj(ra.R("r", occ), ra.A(occ, "a"))
+	}
+	q := ra.Sel(ra.D(mk("r1"), mk("r2")), ra.EqC(ra.A("r1", "a"), value.NewInt(1)))
+	out := PushSelections(q, s)
+	if out == nil {
+		t.Fatal("pushdown did not fire")
+	}
+	d, ok := out.(*ra.Diff)
+	if !ok {
+		t.Fatalf("expected diff at top, got %T", out)
+	}
+	if _, ok := d.L.(*ra.Select); !ok {
+		t.Error("selection not pushed into left branch")
+	}
+	// σ_p(L − R) = σ_p(L) − R: right side untouched.
+	if _, ok := d.R.(*ra.Select); ok {
+		t.Error("selection wrongly pushed into right branch of diff")
+	}
+}
+
+// TestPushdownPreservesSemantics evaluates pushed and original forms.
+func TestPushdownPreservesSemantics(t *testing.T) {
+	fb, db, err := workload.GenFacebook(workload.DefaultFacebookConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(occ string, city string) ra.Query {
+		return ra.Proj(
+			ra.Sel(ra.R("cafe", occ), ra.EqC(ra.A(occ, "city"), value.NewStr(city))),
+			ra.A(occ, "cid"), ra.A(occ, "city"),
+		)
+	}
+	inner := ra.U(mk("c1", "nyc"), mk("c2", "sf"))
+	q := ra.Sel(inner, ra.EqC(ra.A("c1", "city"), value.NewStr("nyc")))
+	pushed := PushSelections(q, fb.Schema)
+	if pushed == nil {
+		t.Fatal("no pushdown")
+	}
+	qn, err := ra.Normalize(q, fb.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn, err := ra.Normalize(pushed, fb.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := exec.RunBaseline(qn, fb.Schema, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := exec.RunBaseline(pn, fb.Schema, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("pushdown changed semantics:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestGuardedQueryIsCoveredAndEquivalentOnUnions: (Q1 ∪ Q1') − Q2 guards
+// branch-wise.
+func TestGuardUnionLeft(t *testing.T) {
+	fb, db, err := workload.GenFacebook(workload.DefaultFacebookConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ra.D(ra.U(fb.Q1(), fb.Q3()), fb.Q2())
+	res, err := ToCovered(q, fb.Schema, fb.Access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatalf("union-left difference not rewritten: %v", res.Applied)
+	}
+	// Equivalence.
+	qn, _ := ra.Normalize(q, fb.Schema)
+	a, _, err := exec.RunBaseline(qn, fb.Schema, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := exec.RunBaseline(res.Query, fb.Schema, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("guarded union query not equivalent")
+	}
+	// And the rewritten query must actually be covered per CovChk.
+	chk, err := cover.Check(res.Query, fb.Schema, fb.Access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chk.Covered {
+		t.Error("rewrite reports covered but CovChk disagrees")
+	}
+}
+
+func TestNestedDiffGuard(t *testing.T) {
+	fb, db, err := workload.GenFacebook(workload.DefaultFacebookConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (Q1 − Q2) − Q2': two guards needed.
+	q := ra.D(ra.D(fb.Q1(), fb.Q2()), fb.Q2())
+	res, err := ToCovered(q, fb.Schema, fb.Access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatalf("nested diff not covered after rewrite: %v", res.Applied)
+	}
+	qn, _ := ra.Normalize(q, fb.Schema)
+	a, _, err := exec.RunBaseline(qn, fb.Schema, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := exec.RunBaseline(res.Query, fb.Schema, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("nested guard changed semantics")
+	}
+}

@@ -1,0 +1,292 @@
+// Package sqlgen implements Plan2SQL (Section 7): translating a bounded
+// query plan into a SQL query over the index relations I_A, so bounded
+// evaluation can run on top of an existing DBMS. Each index relation
+// ind_<constraint> is the partial table π_XY(D_R) hashed on X; the emitted
+// SQL accesses only those relations, never the underlying D.
+package sqlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/plan"
+)
+
+// IndexRelName returns the SQL name of the index relation for constraint c,
+// e.g. ind_dine_pid_year_month__cid.
+func IndexRelName(c access.Constraint) string {
+	parts := []string{"ind", c.Rel}
+	parts = append(parts, c.X...)
+	name := strings.Join(parts, "_") + "__" + strings.Join(c.Y, "_")
+	return sanitize(name)
+}
+
+// ColName converts a plan column label into a SQL identifier.
+func ColName(label string) string {
+	if label == "" {
+		return "dummy"
+	}
+	return sanitize(label)
+}
+
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// ToSQL translates a bounded plan into a single SQL statement using common
+// table expressions, one per plan step; the final SELECT returns the query
+// answer. The SQL touches only index relations (ind_*), mirroring the
+// bounded plan's data access.
+func ToSQL(p *plan.Plan) (string, error) {
+	var ctes []string
+	for i := range p.Steps {
+		body, err := stepSQL(p, &p.Steps[i])
+		if err != nil {
+			return "", err
+		}
+		ctes = append(ctes, fmt.Sprintf("t%d AS (\n%s\n)", i, indent(body, "  ")))
+	}
+	final := fmt.Sprintf("SELECT DISTINCT %s FROM t%d", selectList(p.Steps[p.Result].Cols), p.Result)
+	return "WITH " + strings.Join(ctes, ",\n") + "\n" + final, nil
+}
+
+func selectList(cols []string) string {
+	if len(cols) == 0 {
+		return "1 AS dummy"
+	}
+	out := make([]string, len(cols))
+	for i := range cols {
+		out[i] = uniqueColName(cols, i)
+	}
+	return strings.Join(out, ", ")
+}
+
+// uniqueColName disambiguates duplicate labels in projection outputs.
+func uniqueColName(cols []string, i int) string {
+	name := ColName(cols[i])
+	dup := 0
+	for j := 0; j < i; j++ {
+		if cols[j] == cols[i] {
+			dup++
+		}
+	}
+	if dup > 0 {
+		return fmt.Sprintf("%s_%d", name, dup)
+	}
+	return name
+}
+
+func stepSQL(p *plan.Plan, s *plan.Step) (string, error) {
+	switch s.Op {
+	case plan.OpConst:
+		return constSQL(s), nil
+	case plan.OpFetch:
+		return fetchSQL(p, s)
+	case plan.OpProject:
+		in := p.Steps[s.L]
+		cols := make([]string, len(s.Pos))
+		for i, pos := range s.Pos {
+			cols[i] = fmt.Sprintf("%s AS %s", uniqueColName(in.Cols, pos), uniqueColName(s.Cols, i))
+		}
+		if len(cols) == 0 {
+			return fmt.Sprintf("SELECT DISTINCT 1 AS dummy FROM t%d", s.L), nil
+		}
+		return fmt.Sprintf("SELECT DISTINCT %s FROM t%d", strings.Join(cols, ", "), s.L), nil
+	case plan.OpFilter:
+		in := p.Steps[s.L]
+		var conds []string
+		for _, c := range s.Conds {
+			if c.IsConst {
+				conds = append(conds, fmt.Sprintf("%s = %s", uniqueColName(in.Cols, c.PosA), c.C.SQL()))
+			} else {
+				conds = append(conds, fmt.Sprintf("%s = %s", uniqueColName(in.Cols, c.PosA), uniqueColName(in.Cols, c.PosB)))
+			}
+		}
+		where := ""
+		if len(conds) > 0 {
+			where = " WHERE " + strings.Join(conds, " AND ")
+		}
+		return fmt.Sprintf("SELECT DISTINCT %s FROM t%d%s", selectList(in.Cols), s.L, where), nil
+	case plan.OpProduct:
+		l, r := p.Steps[s.L], p.Steps[s.R]
+		cols := make([]string, 0, len(s.Cols))
+		for i := range l.Cols {
+			cols = append(cols, "a."+uniqueColName(l.Cols, i))
+		}
+		for i := range r.Cols {
+			cols = append(cols, "b."+uniqueColName(r.Cols, i))
+		}
+		sel := strings.Join(cols, ", ")
+		if sel == "" {
+			sel = "1 AS dummy"
+		}
+		return fmt.Sprintf("SELECT DISTINCT %s FROM t%d a CROSS JOIN t%d b", sel, s.L, s.R), nil
+	case plan.OpJoin:
+		return joinSQL(p, s), nil
+	case plan.OpUnion:
+		return fmt.Sprintf("SELECT %s FROM t%d UNION SELECT %s FROM t%d",
+			selectList(p.Steps[s.L].Cols), s.L, selectList(p.Steps[s.R].Cols), s.R), nil
+	case plan.OpDiff:
+		return fmt.Sprintf("SELECT %s FROM t%d EXCEPT SELECT %s FROM t%d",
+			selectList(p.Steps[s.L].Cols), s.L, selectList(p.Steps[s.R].Cols), s.R), nil
+	default:
+		return "", fmt.Errorf("sqlgen: unknown operator %v", s.Op)
+	}
+}
+
+func constSQL(s *plan.Step) string {
+	if len(s.Rows) == 0 {
+		// Empty table with the right arity.
+		cols := make([]string, len(s.Cols))
+		for i := range s.Cols {
+			cols[i] = "NULL AS " + uniqueColName(s.Cols, i)
+		}
+		sel := strings.Join(cols, ", ")
+		if sel == "" {
+			sel = "1 AS dummy"
+		}
+		return fmt.Sprintf("SELECT %s WHERE 1 = 0", sel)
+	}
+	var rows []string
+	for _, r := range s.Rows {
+		cols := make([]string, len(r))
+		for i, v := range r {
+			cols[i] = fmt.Sprintf("%s AS %s", v.SQL(), uniqueColName(s.Cols, i))
+		}
+		sel := strings.Join(cols, ", ")
+		if sel == "" {
+			sel = "1 AS dummy"
+		}
+		rows = append(rows, "SELECT "+sel)
+	}
+	return strings.Join(rows, " UNION ")
+}
+
+func fetchSQL(p *plan.Plan, s *plan.Step) (string, error) {
+	rel := IndexRelName(s.Con)
+	// Map output columns: first index attribute carrying each label wins;
+	// later attributes with the same label become equality conditions.
+	assigned := map[string]string{} // label -> index attr expression
+	var conds []string
+	for i, a := range s.FetchAttrs {
+		lbl := s.FetchLabels[i]
+		expr := "i." + sanitize(a)
+		if prev, ok := assigned[lbl]; ok {
+			conds = append(conds, fmt.Sprintf("%s = %s", prev, expr))
+		} else {
+			assigned[lbl] = expr
+		}
+	}
+	for _, ce := range s.ConstEqs {
+		expr, ok := assigned[ce.Label]
+		if !ok {
+			return "", fmt.Errorf("sqlgen: const condition on unknown label %s", ce.Label)
+		}
+		conds = append(conds, fmt.Sprintf("%s = %s", expr, ce.C.SQL()))
+	}
+	sel := make([]string, len(s.Cols))
+	for i, lbl := range s.Cols {
+		sel[i] = fmt.Sprintf("%s AS %s", assigned[lbl], uniqueColName(s.Cols, i))
+	}
+	selStr := strings.Join(sel, ", ")
+	if selStr == "" {
+		selStr = "1 AS dummy"
+	}
+	from := rel + " i"
+	if s.L >= 0 && len(s.XCols) > 0 {
+		in := p.Steps[s.L]
+		var on []string
+		for i, xa := range s.Con.X {
+			pos := -1
+			for j, c := range in.Cols {
+				if c == s.XCols[i] {
+					pos = j
+					break
+				}
+			}
+			if pos < 0 {
+				return "", fmt.Errorf("sqlgen: X column %s missing", s.XCols[i])
+			}
+			on = append(on, fmt.Sprintf("i.%s = s.%s", sanitize(xa), uniqueColName(in.Cols, pos)))
+		}
+		from = fmt.Sprintf("%s JOIN t%d s ON %s", from, s.L, strings.Join(on, " AND "))
+	}
+	where := ""
+	if len(conds) > 0 {
+		where = " WHERE " + strings.Join(conds, " AND ")
+	}
+	return fmt.Sprintf("SELECT DISTINCT %s FROM %s%s", selStr, from, where), nil
+}
+
+func joinSQL(p *plan.Plan, s *plan.Step) string {
+	l, r := p.Steps[s.L], p.Steps[s.R]
+	lset := map[string]int{}
+	for i, c := range l.Cols {
+		lset[c] = i
+	}
+	var on []string
+	var extra []string
+	for i, c := range r.Cols {
+		if li, ok := lset[c]; ok {
+			on = append(on, fmt.Sprintf("a.%s = b.%s", uniqueColName(l.Cols, li), uniqueColName(r.Cols, i)))
+		} else {
+			extra = append(extra, "b."+uniqueColName(r.Cols, i))
+		}
+	}
+	cols := make([]string, 0, len(s.Cols))
+	for i := range l.Cols {
+		cols = append(cols, "a."+uniqueColName(l.Cols, i))
+	}
+	cols = append(cols, extra...)
+	sel := strings.Join(cols, ", ")
+	if sel == "" {
+		sel = "1 AS dummy"
+	}
+	join := fmt.Sprintf("t%d a JOIN t%d b", s.L, s.R)
+	if len(on) == 0 {
+		join = fmt.Sprintf("t%d a CROSS JOIN t%d b", s.L, s.R)
+		return fmt.Sprintf("SELECT DISTINCT %s FROM %s", sel, join)
+	}
+	return fmt.Sprintf("SELECT DISTINCT %s FROM %s ON %s", sel, join, strings.Join(on, " AND "))
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
+}
+
+// IndexDDL emits CREATE TABLE + CREATE INDEX statements for the index
+// relations of an access schema, the offline step C1 of the framework.
+func IndexDDL(A *access.Schema) []string {
+	var out []string
+	for _, c := range A.Constraints {
+		cols := plan.IndexCols(c)
+		defs := make([]string, len(cols))
+		for i, col := range cols {
+			defs[i] = sanitize(col) + " TEXT"
+		}
+		name := IndexRelName(c)
+		out = append(out, fmt.Sprintf("CREATE TABLE %s (%s);", name, strings.Join(defs, ", ")))
+		if len(c.X) > 0 {
+			xs := make([]string, len(c.X))
+			for i, x := range c.X {
+				xs[i] = sanitize(x)
+			}
+			out = append(out, fmt.Sprintf("CREATE INDEX idx_%s ON %s (%s);", name, name, strings.Join(xs, ", ")))
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cover"
+	"repro/internal/plan"
+	"repro/internal/ra"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func facebook() *workload.Facebook {
+	return &workload.Facebook{
+		Schema: workload.FacebookSchema(),
+		Access: workload.FacebookAccess(),
+		Me:     value.NewInt(0),
+	}
+}
+
+func buildPlan(t *testing.T, q ra.Query, s ra.Schema, A *access.Schema) *plan.Plan {
+	t.Helper()
+	norm, err := ra.Normalize(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cover.Check(norm, s, A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestToSQLQ1Structure(t *testing.T) {
+	fb := facebook()
+	p := buildPlan(t, fb.Q1(), fb.Schema, fb.Access)
+	sql, err := ToSQL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sql, "WITH ") {
+		t.Errorf("SQL should use CTEs: %q", sql[:40])
+	}
+	// Only index relations are referenced — never the base tables.
+	lower := strings.ToLower(sql)
+	for _, base := range []string{" friend ", " dine ", " cafe "} {
+		if strings.Contains(lower, base) {
+			t.Errorf("SQL references base relation%q", base)
+		}
+	}
+	if !strings.Contains(sql, "ind_friend_pid__fid") {
+		t.Errorf("SQL missing friend index relation:\n%s", sql)
+	}
+	if !strings.Contains(sql, "ind_dine_pid_year_month__cid") {
+		t.Errorf("SQL missing dine index relation:\n%s", sql)
+	}
+	// One CTE per plan step plus the final select.
+	if got := strings.Count(sql, " AS (\n"); got != p.Length() {
+		t.Errorf("SQL has %d CTEs for %d steps", got, p.Length())
+	}
+	if !balancedParens(sql) {
+		t.Error("unbalanced parentheses in SQL")
+	}
+	// Constants of the query must appear.
+	for _, lit := range []string{"2015", "5", "'nyc'"} {
+		if !strings.Contains(sql, lit) {
+			t.Errorf("SQL missing literal %s", lit)
+		}
+	}
+}
+
+func TestToSQLDiffUsesExcept(t *testing.T) {
+	fb := facebook()
+	p := buildPlan(t, fb.Q0Prime(), fb.Schema, fb.Access)
+	sql, err := ToSQL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "EXCEPT") {
+		t.Error("set difference should translate to EXCEPT")
+	}
+	if !balancedParens(sql) {
+		t.Error("unbalanced parentheses")
+	}
+}
+
+func TestIndexRelName(t *testing.T) {
+	c := access.Constraint{Rel: "dine", X: []string{"pid", "year", "month"}, Y: []string{"cid"}, N: 31}
+	if got := IndexRelName(c); got != "ind_dine_pid_year_month__cid" {
+		t.Errorf("IndexRelName = %q", got)
+	}
+	empty := access.Constraint{Rel: "cal", X: nil, Y: []string{"month"}, N: 12}
+	if got := IndexRelName(empty); got != "ind_cal__month" {
+		t.Errorf("IndexRelName(∅ X) = %q", got)
+	}
+}
+
+func TestColNameSanitizes(t *testing.T) {
+	if got := ColName("s0.dine.cid"); got != "s0_dine_cid" {
+		t.Errorf("ColName = %q", got)
+	}
+	if got := ColName(""); got != "dummy" {
+		t.Errorf("ColName(\"\") = %q", got)
+	}
+}
+
+func TestIndexDDL(t *testing.T) {
+	fb := facebook()
+	ddl := IndexDDL(fb.Access)
+	// One CREATE TABLE per constraint; CREATE INDEX only for non-empty X.
+	tables, indexes := 0, 0
+	for _, stmt := range ddl {
+		if strings.HasPrefix(stmt, "CREATE TABLE") {
+			tables++
+		}
+		if strings.HasPrefix(stmt, "CREATE INDEX") {
+			indexes++
+		}
+	}
+	if tables != fb.Access.Len() {
+		t.Errorf("%d CREATE TABLE for %d constraints", tables, fb.Access.Len())
+	}
+	if indexes != fb.Access.Len() { // all four constraints have X ≠ ∅
+		t.Errorf("%d CREATE INDEX statements", indexes)
+	}
+}
+
+func TestToSQLDeterministic(t *testing.T) {
+	fb := facebook()
+	p := buildPlan(t, fb.Q1(), fb.Schema, fb.Access)
+	a, err := ToSQL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ToSQL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("ToSQL is not deterministic")
+	}
+}
+
+func balancedParens(s string) bool {
+	depth := 0
+	for _, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return false
+			}
+		}
+	}
+	return depth == 0
+}

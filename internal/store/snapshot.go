@@ -1,0 +1,61 @@
+package store
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/access"
+	"repro/internal/ra"
+	"repro/internal/value"
+)
+
+// snapshot is the on-wire form of a database: schema, data and the
+// constraints whose indices should be rebuilt on load. Indices themselves
+// are not serialized — they are reconstructed in O(|D|), which keeps
+// snapshots small and the format independent of index internals.
+type snapshot struct {
+	Schema      map[string][]string
+	Relations   map[string][]value.Tuple
+	Constraints []access.Constraint
+}
+
+// Save writes the database (schema, tuples, constraint set of the built
+// indices) to w in gob format.
+func (db *DB) Save(w io.Writer) error {
+	snap := snapshot{
+		Schema:    db.Schema,
+		Relations: map[string][]value.Tuple{},
+	}
+	for name, rel := range db.rels {
+		rows := make([]value.Tuple, 0, len(rel.rows))
+		for _, t := range rel.rows {
+			rows = append(rows, t)
+		}
+		snap.Relations[name] = rows
+	}
+	for _, idx := range db.Indexes() {
+		snap.Constraints = append(snap.Constraints, idx.Con)
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load reads a snapshot written by Save, rebuilding all indices.
+func Load(r io.Reader) (*DB, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("store: load snapshot: %w", err)
+	}
+	db := NewDB(ra.Schema(snap.Schema))
+	for name, rows := range snap.Relations {
+		if err := db.BulkLoad(name, rows); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range snap.Constraints {
+		if _, err := db.BuildIndex(c); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

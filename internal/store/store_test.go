@@ -1,0 +1,276 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/ra"
+	"repro/internal/value"
+)
+
+func testSchema() ra.Schema {
+	return ra.Schema{"r": {"a", "b", "c"}}
+}
+
+func iv(i int) value.Value { return value.NewInt(int64(i)) }
+
+func TestInsertDeleteBasics(t *testing.T) {
+	db := NewDB(testSchema())
+	tup := value.Tuple{iv(1), iv(2), iv(3)}
+	ok, err := db.Insert("r", tup)
+	if err != nil || !ok {
+		t.Fatalf("insert: %v %v", ok, err)
+	}
+	if ok, _ := db.Insert("r", tup); ok {
+		t.Error("duplicate insert reported as new")
+	}
+	if db.Size() != 1 {
+		t.Errorf("Size = %d", db.Size())
+	}
+	if ok, _ := db.Delete("r", tup); !ok {
+		t.Error("delete of existing tuple failed")
+	}
+	if ok, _ := db.Delete("r", tup); ok {
+		t.Error("delete of absent tuple reported success")
+	}
+	if db.Size() != 0 {
+		t.Errorf("Size after delete = %d", db.Size())
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	db := NewDB(testSchema())
+	if _, err := db.Insert("zzz", value.Tuple{iv(1)}); err == nil {
+		t.Error("insert into unknown relation")
+	}
+	if _, err := db.Insert("r", value.Tuple{iv(1)}); err == nil {
+		t.Error("insert with wrong arity")
+	}
+}
+
+func TestFetchViaIndex(t *testing.T) {
+	db := NewDB(testSchema())
+	c := access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 10}
+	for i := 0; i < 5; i++ {
+		if _, err := db.Insert("r", value.Tuple{iv(1), iv(i), iv(i * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.BuildIndex(c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Fetch(c, value.Tuple{iv(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Errorf("fetched %d tuples, want 5", len(got))
+	}
+	// Distinctness of XY projections: duplicate (a,b) with different c
+	// counts once.
+	if _, err := db.Insert("r", value.Tuple{iv(1), iv(0), iv(999)}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = db.Fetch(c, value.Tuple{iv(1)})
+	if len(got) != 5 {
+		t.Errorf("fetched %d distinct XY tuples, want 5", len(got))
+	}
+	// Absent key: empty result, one probe charged.
+	before := db.Counter().Fetched
+	got, _ = db.Fetch(c, value.Tuple{iv(42)})
+	if len(got) != 0 {
+		t.Error("fetch of absent key returned tuples")
+	}
+	if db.Counter().Fetched != before+1 {
+		t.Error("absent-key probe not charged")
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	db := NewDB(testSchema())
+	c := access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 10}
+	if _, err := db.Fetch(c, value.Tuple{iv(1)}); err == nil {
+		t.Error("fetch without index should fail")
+	}
+	if _, err := db.BuildIndex(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Fetch(c, value.Tuple{iv(1), iv(2)}); err == nil {
+		t.Error("fetch with wrong X arity should fail")
+	}
+}
+
+func TestEmptyXIndex(t *testing.T) {
+	db := NewDB(testSchema())
+	c := access.Constraint{Rel: "r", X: nil, Y: []string{"b"}, N: 100}
+	for i := 0; i < 4; i++ {
+		if _, err := db.Insert("r", value.Tuple{iv(i), iv(i % 2), iv(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.BuildIndex(c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Fetch(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 { // distinct b values 0,1
+		t.Errorf("∅-fetch returned %d tuples, want 2", len(got))
+	}
+}
+
+// TestIncrementalMaintenanceMatchesRebuild is the Proposition 12 invariant:
+// after any insert/delete sequence, the incrementally maintained index
+// equals one built from scratch.
+func TestIncrementalMaintenanceMatchesRebuild(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := NewDB(testSchema())
+		c := access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b", "c"}, N: 50}
+		if _, err := db.BuildIndex(c); err != nil {
+			t.Fatal(err)
+		}
+		var live []value.Tuple
+		for op := 0; op < 300; op++ {
+			if rng.Intn(3) > 0 || len(live) == 0 {
+				tup := value.Tuple{iv(rng.Intn(5)), iv(rng.Intn(5)), iv(rng.Intn(3))}
+				ok, err := db.Insert("r", tup)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					live = append(live, tup)
+				}
+			} else {
+				i := rng.Intn(len(live))
+				if _, err := db.Delete("r", live[i]); err != nil {
+					t.Fatal(err)
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		// Rebuild in a fresh DB and compare fetch results on every key.
+		fresh := NewDB(testSchema())
+		rows, _ := db.Rows("r")
+		if err := fresh.BulkLoad("r", rows); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fresh.BuildIndex(c); err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < 5; a++ {
+			got, _ := db.Fetch(c, value.Tuple{iv(a)})
+			want, _ := fresh.Fetch(c, value.Tuple{iv(a)})
+			if value.FormatTuples(got) != value.FormatTuples(want) {
+				t.Fatalf("seed %d key %d: incremental index diverged:\n%s\nvs\n%s",
+					seed, a, value.FormatTuples(got), value.FormatTuples(want))
+			}
+		}
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	db := NewDB(testSchema())
+	c := access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 2}
+	for i := 0; i < 3; i++ {
+		if _, err := db.Insert("r", value.Tuple{iv(1), iv(i), iv(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Satisfies(c); err == nil {
+		t.Error("violated constraint reported satisfied")
+	}
+	c2 := access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 3}
+	if err := db.Satisfies(c2); err != nil {
+		t.Errorf("satisfied constraint rejected: %v", err)
+	}
+}
+
+func TestMaintainRelaxesN(t *testing.T) {
+	db := NewDB(testSchema())
+	A := access.NewSchema(access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 1})
+	if err := db.BuildIndexes(A); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := db.Insert("r", value.Tuple{iv(1), iv(i), iv(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	adjusted := db.Maintain(A)
+	if len(adjusted) != 1 {
+		t.Fatalf("Maintain adjusted %d constraints", len(adjusted))
+	}
+	if A.Constraints[0].N != 4 {
+		t.Errorf("N relaxed to %d, want 4", A.Constraints[0].N)
+	}
+	if err := db.SatisfiesAll(A); err != nil {
+		t.Errorf("after Maintain: %v", err)
+	}
+}
+
+func TestScanCountsAccesses(t *testing.T) {
+	db := NewDB(testSchema())
+	for i := 0; i < 7; i++ {
+		if _, err := db.Insert("r", value.Tuple{iv(i), iv(0), iv(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.ResetCounter()
+	if _, err := db.Scan("r"); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Counter().Scanned; got != 7 {
+		t.Errorf("Scanned = %d, want 7", got)
+	}
+	// Rows does not charge.
+	db.ResetCounter()
+	if _, err := db.Rows("r"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Counter().Total() != 0 {
+		t.Error("Rows charged accesses")
+	}
+}
+
+func TestIndexEntriesAndCols(t *testing.T) {
+	db := NewDB(testSchema())
+	c := access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"a", "b"}, N: 10}
+	idx, err := db.BuildIndex(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := idx.Cols()
+	if len(cols) != 2 || cols[0] != "a" || cols[1] != "b" {
+		t.Errorf("index cols = %v (X∪Y dedup)", cols)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := db.Insert("r", value.Tuple{iv(i), iv(1), iv(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if idx.Entries() != 3 {
+		t.Errorf("Entries = %d", idx.Entries())
+	}
+	if db.IndexEntries() != 3 {
+		t.Errorf("IndexEntries = %d", db.IndexEntries())
+	}
+	if len(db.Indexes()) != 1 {
+		t.Error("Indexes() wrong length")
+	}
+}
+
+func TestMaxFanTracksLargestBucket(t *testing.T) {
+	db := NewDB(testSchema())
+	c := access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 100}
+	idx, _ := db.BuildIndex(c)
+	for i := 0; i < 5; i++ {
+		db.Insert("r", value.Tuple{iv(1), iv(i), iv(0)}) //nolint:errcheck
+	}
+	db.Insert("r", value.Tuple{iv(2), iv(0), iv(0)}) //nolint:errcheck
+	if idx.MaxFan != 5 {
+		t.Errorf("MaxFan = %d, want 5", idx.MaxFan)
+	}
+}

@@ -1,0 +1,207 @@
+// Package value provides the typed scalar values and tuples that flow
+// through the relational substrate. Values are small comparable structs so
+// they can be used directly as map keys and encoded compactly for row-level
+// set semantics.
+package value
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the scalar types supported by the engine.
+type Kind uint8
+
+const (
+	// Null is the zero Value; it compares equal only to itself.
+	Null Kind = iota
+	// Int is a 64-bit signed integer.
+	Int
+	// Str is a UTF-8 string.
+	Str
+)
+
+// Value is a scalar constant. The zero Value is Null.
+type Value struct {
+	K Kind
+	I int64
+	S string
+}
+
+// NewInt returns an Int value.
+func NewInt(i int64) Value { return Value{K: Int, I: i} }
+
+// NewStr returns a Str value.
+func NewStr(s string) Value { return Value{K: Str, S: s} }
+
+// Parse interprets s as an integer when possible, else as a string constant.
+// Surrounding single or double quotes force string interpretation.
+func Parse(s string) Value {
+	if len(s) >= 2 {
+		if (s[0] == '\'' && s[len(s)-1] == '\'') || (s[0] == '"' && s[len(s)-1] == '"') {
+			return NewStr(s[1 : len(s)-1])
+		}
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return NewInt(i)
+	}
+	return NewStr(s)
+}
+
+// IsNull reports whether v is the Null value.
+func (v Value) IsNull() bool { return v.K == Null }
+
+// Equal reports whether v and w are the same value.
+// Values of different kinds are never equal.
+func (v Value) Equal(w Value) bool { return v == w }
+
+// Less imposes a total order: Null < Int < Str, then by payload.
+func (v Value) Less(w Value) bool {
+	if v.K != w.K {
+		return v.K < w.K
+	}
+	switch v.K {
+	case Int:
+		return v.I < w.I
+	case Str:
+		return v.S < w.S
+	default:
+		return false
+	}
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.K {
+	case Int:
+		return strconv.FormatInt(v.I, 10)
+	case Str:
+		return v.S
+	default:
+		return "NULL"
+	}
+}
+
+// SQL renders the value as a SQL literal.
+func (v Value) SQL() string {
+	switch v.K {
+	case Int:
+		return strconv.FormatInt(v.I, 10)
+	case Str:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	default:
+		return "NULL"
+	}
+}
+
+// appendEncoded appends a self-delimiting encoding of v to b.
+func (v Value) appendEncoded(b []byte) []byte {
+	switch v.K {
+	case Int:
+		b = append(b, 'i')
+		b = strconv.AppendInt(b, v.I, 10)
+	case Str:
+		b = append(b, 's')
+		b = strconv.AppendInt(b, int64(len(v.S)), 10)
+		b = append(b, ':')
+		b = append(b, v.S...)
+	default:
+		b = append(b, 'n')
+	}
+	return append(b, '|')
+}
+
+// Tuple is an ordered sequence of values, one per column.
+type Tuple []Value
+
+// Clone returns a deep copy of t.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports whether t and u have the same length and values.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string encoding of t usable as a map key.
+// Distinct tuples always produce distinct keys.
+func (t Tuple) Key() string {
+	if len(t) == 0 {
+		return ""
+	}
+	b := make([]byte, 0, len(t)*8)
+	for _, v := range t {
+		b = v.appendEncoded(b)
+	}
+	return string(b)
+}
+
+// Project returns the tuple of the values at the given positions.
+func (t Tuple) Project(pos []int) Tuple {
+	out := make(Tuple, len(pos))
+	for i, p := range pos {
+		out[i] = t[p]
+	}
+	return out
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// KeyOf is a convenience helper encoding a subset of columns of t.
+func KeyOf(t Tuple, pos []int) string {
+	b := make([]byte, 0, len(pos)*8)
+	for _, p := range pos {
+		b = t[p].appendEncoded(b)
+	}
+	return string(b)
+}
+
+// SortTuples orders tuples lexicographically in place; used for
+// deterministic output in tools and tests.
+func SortTuples(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		for k := 0; k < n; k++ {
+			if a[k] != b[k] {
+				return a[k].Less(b[k])
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// FormatTuples renders tuples one per line (sorted), for golden tests.
+func FormatTuples(ts []Tuple) string {
+	cp := make([]Tuple, len(ts))
+	copy(cp, ts)
+	SortTuples(cp)
+	var sb strings.Builder
+	for _, t := range cp {
+		fmt.Fprintln(&sb, t.String())
+	}
+	return sb.String()
+}

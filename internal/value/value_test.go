@@ -1,0 +1,173 @@
+package value
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"42", NewInt(42)},
+		{"-7", NewInt(-7)},
+		{"0", NewInt(0)},
+		{"'42'", NewStr("42")},
+		{`"nyc"`, NewStr("nyc")},
+		{"nyc", NewStr("nyc")},
+		{"", NewStr("")},
+		{"9223372036854775807", NewInt(9223372036854775807)},
+	}
+	for _, c := range cases {
+		if got := Parse(c.in); got != c.want {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestValueEqualAcrossKinds(t *testing.T) {
+	if NewInt(5).Equal(NewStr("5")) {
+		t.Error("int 5 must not equal string \"5\"")
+	}
+	if (Value{}).Equal(NewInt(0)) {
+		t.Error("null must not equal int 0")
+	}
+	if !(Value{}).Equal(Value{}) {
+		t.Error("null must equal null")
+	}
+}
+
+func TestValueLessTotalOrder(t *testing.T) {
+	vals := []Value{{}, NewInt(-3), NewInt(0), NewInt(9), NewStr(""), NewStr("a"), NewStr("b")}
+	for i := range vals {
+		for j := range vals {
+			li, lj := vals[i].Less(vals[j]), vals[j].Less(vals[i])
+			if i == j && (li || lj) {
+				t.Errorf("%v < itself", vals[i])
+			}
+			if i != j && li == lj {
+				t.Errorf("ordering not total between %v and %v", vals[i], vals[j])
+			}
+			if i < j && !li {
+				t.Errorf("expected %v < %v", vals[i], vals[j])
+			}
+		}
+	}
+}
+
+func TestValueSQL(t *testing.T) {
+	if got := NewStr("o'brien").SQL(); got != "'o''brien'" {
+		t.Errorf("SQL quoting = %q", got)
+	}
+	if got := NewInt(-5).SQL(); got != "-5" {
+		t.Errorf("int SQL = %q", got)
+	}
+	if got := (Value{}).SQL(); got != "NULL" {
+		t.Errorf("null SQL = %q", got)
+	}
+}
+
+// TestTupleKeyInjective is the property the whole set-semantics layer
+// relies on: distinct tuples have distinct keys.
+func TestTupleKeyInjective(t *testing.T) {
+	gen := func(r *rand.Rand) Tuple {
+		n := r.Intn(4)
+		tp := make(Tuple, n)
+		for i := range tp {
+			switch r.Intn(3) {
+			case 0:
+				tp[i] = NewInt(int64(r.Intn(5)))
+			case 1:
+				tp[i] = NewStr(string(rune('a' + r.Intn(3))))
+			default:
+				tp[i] = Value{}
+			}
+		}
+		return tp
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+		if a.Equal(b) {
+			return a.Key() == b.Key()
+		}
+		return a.Key() != b.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleKeyAdversarial(t *testing.T) {
+	// Values whose string renderings collide must still get distinct keys.
+	pairs := [][2]Tuple{
+		{{NewStr("1")}, {NewInt(1)}},
+		{{NewStr("a|b")}, {NewStr("a"), NewStr("b")}},
+		{{NewStr("")}, {Value{}}},
+		{{NewStr("s1:")}, {NewStr("s"), NewStr("")}},
+		{{NewInt(12), NewInt(3)}, {NewInt(1), NewInt(23)}},
+	}
+	for _, p := range pairs {
+		if p[0].Key() == p[1].Key() {
+			t.Errorf("key collision between %v and %v", p[0], p[1])
+		}
+	}
+}
+
+func TestTupleProjectAndClone(t *testing.T) {
+	tp := Tuple{NewInt(1), NewStr("x"), NewInt(3)}
+	got := tp.Project([]int{2, 0})
+	want := Tuple{NewInt(3), NewInt(1)}
+	if !got.Equal(want) {
+		t.Errorf("Project = %v, want %v", got, want)
+	}
+	cl := tp.Clone()
+	cl[0] = NewInt(99)
+	if tp[0] != NewInt(1) {
+		t.Error("Clone shares backing storage")
+	}
+}
+
+func TestKeyOfMatchesProjectKey(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		tp := Tuple{NewInt(a), NewInt(b), NewInt(c)}
+		pos := []int{2, 1}
+		return KeyOf(tp, pos) == tp.Project(pos).Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortTuplesDeterministic(t *testing.T) {
+	ts := []Tuple{{NewInt(2)}, {NewInt(1)}, {NewStr("a")}, {}, {NewInt(1), NewInt(0)}}
+	SortTuples(ts)
+	want := []Tuple{{}, {NewInt(1)}, {NewInt(1), NewInt(0)}, {NewInt(2)}, {NewStr("a")}}
+	if !reflect.DeepEqual(ts, want) {
+		t.Errorf("SortTuples = %v, want %v", ts, want)
+	}
+}
+
+func TestFormatTuples(t *testing.T) {
+	out := FormatTuples([]Tuple{{NewInt(2)}, {NewInt(1)}})
+	if !strings.Contains(out, "(1)") || !strings.Contains(out, "(2)") {
+		t.Errorf("FormatTuples = %q", out)
+	}
+	if strings.Index(out, "(1)") > strings.Index(out, "(2)") {
+		t.Error("FormatTuples not sorted")
+	}
+}
+
+func TestZeroTuple(t *testing.T) {
+	var empty Tuple
+	if empty.Key() != "" {
+		t.Errorf("empty tuple key = %q, want \"\"", empty.Key())
+	}
+	if empty.String() != "()" {
+		t.Errorf("empty tuple string = %q", empty.String())
+	}
+}

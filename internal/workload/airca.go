@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/ra"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Airca is the synthetic stand-in for the US Air Carrier dataset (AIRCA) of
+// Section 8: 7 tables modelled on the BTS Flight On-Time Performance and
+// Carrier Statistics data, with access constraints of the kinds the paper
+// extracted — e.g. ontime(origin → airline, 28): each airport hosts
+// carriers of at most 28 airlines.
+func Airca() *Dataset {
+	schema := ra.Schema{
+		"ontime":     {"fid", "origin", "dest", "airline", "month", "delay"},
+		"airport":    {"code", "city", "state"},
+		"carrier":    {"airline", "cname", "country"},
+		"segment":    {"airline", "origin", "dest", "month", "pax"},
+		"market":     {"airline", "market_id", "pax"},
+		"plane":      {"tailnum", "airline", "model", "year"},
+		"delaycause": {"fid", "cause", "minutes"},
+	}
+	acc := []struct {
+		rel string
+		x   []string
+		y   []string
+		n   int
+	}{
+		{"ontime", []string{"fid"}, []string{"origin", "dest", "airline", "month", "delay"}, 1},
+		{"ontime", []string{"origin"}, []string{"airline"}, 28},
+		{"ontime", []string{"origin", "dest"}, []string{"airline"}, 12},
+		{"ontime", []string{"origin", "month"}, []string{"dest"}, 60},
+		{"ontime", nil, []string{"month"}, 12},
+		{"ontime", []string{"origin", "dest"}, []string{"origin", "dest"}, 1},
+		{"airport", []string{"code"}, []string{"city", "state"}, 1},
+		{"airport", []string{"city"}, []string{"code"}, 8},
+		{"airport", []string{"state"}, []string{"code"}, 30},
+		{"airport", nil, []string{"state"}, 60},
+		{"carrier", []string{"airline"}, []string{"cname", "country"}, 1},
+		{"carrier", []string{"country"}, []string{"airline"}, 40},
+		{"carrier", nil, []string{"airline"}, 40},
+		{"segment", []string{"airline", "origin", "dest", "month"}, []string{"pax"}, 1},
+		{"segment", []string{"airline", "month"}, []string{"origin", "dest"}, 60},
+		{"segment", []string{"airline", "origin", "dest", "month"}, []string{"airline", "origin", "dest", "month"}, 1},
+		{"market", []string{"airline", "market_id"}, []string{"pax"}, 1},
+		{"market", []string{"airline"}, []string{"market_id"}, 40},
+		{"plane", []string{"tailnum"}, []string{"airline", "model", "year"}, 1},
+		{"plane", []string{"airline"}, []string{"model"}, 20},
+		{"plane", nil, []string{"model"}, 30},
+		{"delaycause", []string{"fid", "cause"}, []string{"minutes"}, 1},
+		{"delaycause", []string{"fid"}, []string{"cause"}, 5},
+		{"delaycause", nil, []string{"cause"}, 5},
+	}
+	d := &Dataset{
+		Name:   "AIRCA",
+		Schema: schema,
+		JoinEdges: []JoinEdge{
+			{"ontime", "origin", "airport", "code"},
+			{"ontime", "dest", "airport", "code"},
+			{"ontime", "airline", "carrier", "airline"},
+			{"ontime", "fid", "delaycause", "fid"},
+			{"ontime", "airline", "plane", "airline"},
+			{"ontime", "origin", "segment", "origin"},
+			{"segment", "airline", "carrier", "airline"},
+			{"segment", "origin", "airport", "code"},
+			{"market", "airline", "carrier", "airline"},
+			{"plane", "airline", "carrier", "airline"},
+		},
+		Domains: map[string]func(*rand.Rand) value.Value{
+			"ontime.fid":        intDomain(20000),
+			"ontime.origin":     intDomain(150),
+			"ontime.dest":       intDomain(150),
+			"ontime.airline":    intDomain(28),
+			"ontime.month":      oneBased(12),
+			"ontime.delay":      intDomain(120),
+			"airport.code":      intDomain(150),
+			"airport.city":      intDomain(90),
+			"airport.state":     intDomain(50),
+			"carrier.airline":   intDomain(28),
+			"carrier.cname":     intDomain(28),
+			"carrier.country":   intDomain(6),
+			"segment.airline":   intDomain(28),
+			"segment.origin":    intDomain(150),
+			"segment.dest":      intDomain(150),
+			"segment.month":     oneBased(12),
+			"market.airline":    intDomain(28),
+			"market.market_id":  intDomain(40),
+			"plane.tailnum":     intDomain(840),
+			"plane.airline":     intDomain(28),
+			"plane.model":       intDomain(20),
+			"plane.year":        yearDomain(1990, 2014),
+			"delaycause.fid":    intDomain(20000),
+			"delaycause.cause":  intDomain(5),
+			"delaycause.minute": intDomain(120),
+		},
+	}
+	for _, a := range acc {
+		d.Access = appendConstraint(d.Access, cons(a.rel, a.x, a.y, a.n))
+	}
+	addMemberships(d)
+	d.Gen = func(scale float64, seed int64) (*store.DB, error) {
+		return genAirca(d, scale, seed)
+	}
+	return d
+}
+
+const (
+	aircaAirports = 150
+	aircaAirlines = 28
+	aircaStates   = 50
+	aircaCities   = 90
+	aircaFlights  = 20000 // at scale 1
+)
+
+func genAirca(d *Dataset, scale float64, seed int64) (*store.DB, error) {
+	rng := rand.New(rand.NewSource(seed))
+	db := store.NewDB(d.Schema)
+	nFlights := scaled(aircaFlights, scale)
+
+	// airport: code → (city, state) functionally; ≤ 30 codes per state,
+	// ≤ 8 per city by construction (150 codes / 50 states / 90 cities).
+	for code := 0; code < aircaAirports; code++ {
+		t := value.Tuple{i64(code), i64(code % aircaCities), i64(code % aircaStates)}
+		if _, err := db.Insert("airport", t); err != nil {
+			return nil, err
+		}
+	}
+	// carrier: one row per airline.
+	for al := 0; al < aircaAirlines; al++ {
+		t := value.Tuple{i64(al), i64(al), i64(al % 6)}
+		if _, err := db.Insert("carrier", t); err != nil {
+			return nil, err
+		}
+	}
+	// ontime: airline determined by (origin, seq mod k) with k ≤ 28 so each
+	// origin hosts at most 28 airlines; (origin,dest) pairs reuse at most
+	// 12 airlines.
+	for f := 0; f < nFlights; f++ {
+		origin := rng.Intn(aircaAirports)
+		// Each origin serves at most 40 destinations, keeping
+		// ontime((origin,month) → dest, 60) valid by construction.
+		dest := (origin*53 + rng.Intn(40)*17) % aircaAirports
+		airline := airlineFor(origin, dest, rng)
+		month := 1 + rng.Intn(12)
+		delay := rng.Intn(120)
+		t := value.Tuple{i64(f), i64(origin), i64(dest), i64(airline), i64(month), i64(delay)}
+		if _, err := db.Insert("ontime", t); err != nil {
+			return nil, err
+		}
+		// delaycause: up to 2 causes per flight; minutes is a function of
+		// (fid, cause) so delaycause((fid,cause) → minutes, 1) holds.
+		for c := 0; c < rng.Intn(3); c++ {
+			ct := value.Tuple{i64(f), i64(c), i64((f*7 + c*13) % 120)}
+			if _, err := db.Insert("delaycause", ct); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// segment: each airline serves ≤ 50 routes, one row per (route, month).
+	nSegAirlines := aircaAirlines
+	for al := 0; al < nSegAirlines; al++ {
+		routes := 10 + rng.Intn(40)
+		for r := 0; r < routes; r++ {
+			origin := (al*37 + r*11) % aircaAirports
+			dest := (al*53 + r*17) % aircaAirports
+			for month := 1; month <= 12; month++ {
+				if rng.Float64() > scale { // thin out at small scales
+					continue
+				}
+				// pax is a function of the key so the key constraint holds.
+				pax := (al*1009 + origin*31 + dest*17 + month*7) % 5000
+				t := value.Tuple{i64(al), i64(origin), i64(dest), i64(month), i64(pax)}
+				if _, err := db.Insert("segment", t); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// market: ≤ 40 markets per airline.
+	for al := 0; al < aircaAirlines; al++ {
+		for m := 0; m < 5+rng.Intn(35); m++ {
+			t := value.Tuple{i64(al), i64(m), i64(rng.Intn(100000))}
+			if _, err := db.Insert("market", t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// plane: 30 tail numbers per airline, ≤ 20 models per airline.
+	nPlanes := scaled(aircaAirlines*30, scale) + aircaAirlines
+	for p := 0; p < nPlanes; p++ {
+		al := p % aircaAirlines
+		t := value.Tuple{i64(p), i64(al), i64((p / aircaAirlines) % 20), i64(1990 + p%25)}
+		if _, err := db.Insert("plane", t); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.BuildIndexes(d.Access); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// airlineFor keeps fan-outs bounded: each origin hosts ≤ 28 airlines and
+// each (origin,dest) pair ≤ 12.
+func airlineFor(origin, dest int, rng *rand.Rand) int {
+	k := 1 + (origin % 12) // airlines on this route
+	pick := rng.Intn(k)
+	return (origin*7 + dest*13 + pick*3) % aircaAirlines
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/access"
+	"repro/internal/ra"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Dataset bundles a relational schema, its access schema, a scalable data
+// generator and the metadata the random query generator needs (join edges
+// and constant domains). AIRCA, TFACC and MCBM are instances.
+type Dataset struct {
+	Name   string
+	Schema ra.Schema
+	Access *access.Schema
+	// Gen populates a database at the given scale factor (1.0 = full size)
+	// and builds the indices of Access.
+	Gen func(scale float64, seed int64) (*store.DB, error)
+	// JoinEdges lists natural equi-join edges between base relations, used
+	// by the query generator.
+	JoinEdges []JoinEdge
+	// Domains maps "rel.attr" to the sampler for constants of that
+	// attribute, used for random selections.
+	Domains map[string]func(rng *rand.Rand) value.Value
+}
+
+// JoinEdge is a joinable attribute pair between two base relations.
+type JoinEdge struct {
+	RelA, AttrA string
+	RelB, AttrB string
+}
+
+// cons is shorthand for building a constraint.
+func cons(rel string, x []string, y []string, n int) access.Constraint {
+	return access.Constraint{Rel: rel, X: x, Y: y, N: n}
+}
+
+// Domain returns the constant sampler for rel.attr, falling back to small
+// non-negative integers.
+func (d *Dataset) Domain(rel, attr string) func(*rand.Rand) value.Value {
+	if f, ok := d.Domains[rel+"."+attr]; ok {
+		return f
+	}
+	return func(rng *rand.Rand) value.Value { return value.NewInt(int64(rng.Intn(10))) }
+}
+
+func intDomain(n int) func(*rand.Rand) value.Value {
+	return func(rng *rand.Rand) value.Value { return value.NewInt(int64(rng.Intn(n))) }
+}
+
+func oneBased(n int) func(*rand.Rand) value.Value {
+	return func(rng *rand.Rand) value.Value { return value.NewInt(int64(1 + rng.Intn(n))) }
+}
+
+func yearDomain(lo, hi int) func(*rand.Rand) value.Value {
+	return func(rng *rand.Rand) value.Value { return value.NewInt(int64(lo + rng.Intn(hi-lo+1))) }
+}
+
+// i64 wraps an int as an integer Value.
+func i64(i int) value.Value { return value.NewInt(int64(i)) }
+
+// scaled applies a scale factor with a floor of 1.
+func scaled(n int, scale float64) int {
+	out := int(float64(n) * scale)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// addMemberships augments a dataset's access schema with single-attribute
+// membership constraints R(a → a, 1) for every attribute — ψ3-style
+// indices that hold on every instance by construction. They give the
+// access schema the redundancy the paper's larger constraint sets have
+// (266/84/366 constraints) and enable difference guards and existence
+// checks.
+func addMemberships(d *Dataset) {
+	for _, rel := range d.Schema.Relations() {
+		for _, a := range d.Schema[rel] {
+			d.Access = appendConstraint(d.Access, access.Constraint{
+				Rel: rel, X: []string{a}, Y: []string{a}, N: 1,
+			})
+		}
+	}
+}
+
+// appendConstraint grows an access schema (creating it on first use),
+// skipping duplicates.
+func appendConstraint(s *access.Schema, c access.Constraint) *access.Schema {
+	if s == nil {
+		return access.NewSchema(c)
+	}
+	for _, old := range s.Constraints {
+		if old.Key() == c.Key() {
+			return s
+		}
+	}
+	s.Constraints = append(s.Constraints, c)
+	return s
+}
+
+// AccessFraction returns ⌈f·‖A‖⌉ constraints of the dataset's access
+// schema, the knob of the "varying ‖A‖" experiments (Fig. 5(d,h,l),
+// Fig. 6). Constraints are drawn in a deterministic shuffled order so
+// every prefix mixes relations, as when constraints are discovered
+// incrementally; prefixes are nested (f ≤ f' ⇒ subset).
+func (d *Dataset) AccessFraction(f float64) *access.Schema {
+	n := int(f*float64(d.Access.Len()) + 0.5)
+	if n > d.Access.Len() {
+		n = d.Access.Len()
+	}
+	if n < 0 {
+		n = 0
+	}
+	shuffled := append([]access.Constraint{}, d.Access.Constraints...)
+	rng := rand.New(rand.NewSource(77))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	return access.NewSchema(shuffled[:n]...)
+}
+
+// Validate checks internal consistency of the dataset definition.
+func (d *Dataset) Validate() error {
+	if err := d.Access.Validate(d.Schema); err != nil {
+		return fmt.Errorf("dataset %s: %w", d.Name, err)
+	}
+	for _, e := range d.JoinEdges {
+		if !d.Schema.HasAttr(e.RelA, e.AttrA) || !d.Schema.HasAttr(e.RelB, e.AttrB) {
+			return fmt.Errorf("dataset %s: bad join edge %+v", d.Name, e)
+		}
+	}
+	return nil
+}
+
+// All returns the three benchmark datasets of Section 8.
+func All() []*Dataset {
+	return []*Dataset{Airca(), Tfacc(), Mcbm()}
+}
+
+// ByName returns the dataset with the given (case-sensitive) name.
+func ByName(name string) (*Dataset, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown dataset %q", name)
+}

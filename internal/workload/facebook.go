@@ -1,0 +1,196 @@
+// Package workload provides the datasets and query workloads of the
+// experimental study (Section 8): synthetic stand-ins for AIRCA, TFACC and
+// MCBM with the same schema shapes and access constraints, the Facebook
+// graph-search scenario of Example 1, and the random RA query generator
+// parameterized by #-sel, #-join and #-unidiff.
+//
+// The paper's datasets are proprietary or impractically large (60–90 GB);
+// the generators here produce data satisfying the same kinds of access
+// constraints at laptop scale, preserving the behaviour bounded evaluation
+// depends on (see DESIGN.md, "Substitutions").
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/access"
+	"repro/internal/ra"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Facebook is the graph-search scenario of Example 1: relations
+// friend(pid,fid), dine(pid,cid,month,year), cafe(cid,city), with the
+// access schema A0 (ψ1–ψ4).
+type Facebook struct {
+	Schema ra.Schema
+	Access *access.Schema
+	// Me is the constant p0 of Example 1.
+	Me value.Value
+}
+
+// FacebookSchema returns the relational schema R0 of Example 1.
+func FacebookSchema() ra.Schema {
+	return ra.Schema{
+		"friend": {"pid", "fid"},
+		"dine":   {"pid", "cid", "month", "year"},
+		"cafe":   {"cid", "city"},
+	}
+}
+
+// FacebookAccess returns the access schema A0 of Example 1:
+// ψ1 friend(pid→fid,5000), ψ2 dine((pid,year,month)→cid,31),
+// ψ3 dine((pid,cid)→(pid,cid),1), ψ4 cafe(cid→city,1).
+func FacebookAccess() *access.Schema {
+	return access.NewSchema(
+		access.Constraint{Rel: "friend", X: []string{"pid"}, Y: []string{"fid"}, N: 5000},
+		access.Constraint{Rel: "dine", X: []string{"pid", "year", "month"}, Y: []string{"cid"}, N: 31},
+		access.Constraint{Rel: "dine", X: []string{"pid", "cid"}, Y: []string{"pid", "cid"}, N: 1},
+		access.Constraint{Rel: "cafe", X: []string{"cid"}, Y: []string{"city"}, N: 1},
+	)
+}
+
+// FacebookConfig controls the generated population.
+type FacebookConfig struct {
+	Persons       int // number of persons (≥ 2)
+	MaxFriends    int // friends per person, ≤ 5000
+	Cafes         int // number of restaurants
+	Cities        int // number of cities; city 0 is "nyc"
+	DinesPerMonth int // dines per person per month, ≤ 31
+	Months        int // months of history to generate (from may/2015 back)
+	Seed          int64
+}
+
+// DefaultFacebookConfig is a small but non-trivial population.
+func DefaultFacebookConfig() FacebookConfig {
+	return FacebookConfig{
+		Persons:       500,
+		MaxFriends:    20,
+		Cafes:         200,
+		Cities:        10,
+		DinesPerMonth: 4,
+		Months:        6,
+		Seed:          1,
+	}
+}
+
+// GenFacebook builds a database satisfying A0 for the given configuration.
+// Person 0 is "me" (p0).
+func GenFacebook(cfg FacebookConfig) (*Facebook, *store.DB, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fb := &Facebook{
+		Schema: FacebookSchema(),
+		Access: FacebookAccess(),
+		Me:     value.NewInt(0),
+	}
+	db := store.NewDB(fb.Schema)
+
+	cities := make([]value.Value, cfg.Cities)
+	cities[0] = value.NewStr("nyc")
+	for i := 1; i < cfg.Cities; i++ {
+		cities[i] = value.NewStr(cityName(i))
+	}
+	for c := 0; c < cfg.Cafes; c++ {
+		city := cities[rng.Intn(cfg.Cities)]
+		if _, err := db.Insert("cafe", value.Tuple{value.NewInt(int64(c)), city}); err != nil {
+			return nil, nil, err
+		}
+	}
+	for p := 0; p < cfg.Persons; p++ {
+		nf := 1 + rng.Intn(cfg.MaxFriends)
+		for f := 0; f < nf; f++ {
+			fid := rng.Intn(cfg.Persons)
+			if fid == p {
+				continue
+			}
+			if _, err := db.Insert("friend", value.Tuple{value.NewInt(int64(p)), value.NewInt(int64(fid))}); err != nil {
+				return nil, nil, err
+			}
+		}
+		// Dining history going back cfg.Months months from may 2015.
+		year, month := 2015, 5
+		for m := 0; m < cfg.Months; m++ {
+			for d := 0; d < cfg.DinesPerMonth; d++ {
+				cid := rng.Intn(cfg.Cafes)
+				t := value.Tuple{
+					value.NewInt(int64(p)), value.NewInt(int64(cid)),
+					value.NewInt(int64(month)), value.NewInt(int64(year)),
+				}
+				if _, err := db.Insert("dine", t); err != nil {
+					return nil, nil, err
+				}
+			}
+			month--
+			if month == 0 {
+				month = 12
+				year--
+			}
+		}
+	}
+	if err := db.BuildIndexes(fb.Access); err != nil {
+		return nil, nil, err
+	}
+	return fb, db, nil
+}
+
+func cityName(i int) string {
+	names := []string{"nyc", "sf", "la", "chicago", "boston", "seattle", "austin", "denver", "miami", "portland"}
+	if i < len(names) {
+		return names[i]
+	}
+	return "city" + string(rune('a'+i%26))
+}
+
+// Q1 is the covered sub-query of Example 1: restaurants in nyc where my
+// friends dined in May 2015.
+func (fb *Facebook) Q1() ra.Query {
+	may, y2015, nyc := value.NewInt(5), value.NewInt(2015), value.NewStr("nyc")
+	return ra.Proj(
+		ra.Sel(
+			ra.Prod(ra.R("friend", "friend"), ra.R("dine", "dine"), ra.R("cafe", "cafe")),
+			ra.EqC(ra.A("friend", "pid"), fb.Me),
+			ra.Eq(ra.A("friend", "fid"), ra.A("dine", "pid")),
+			ra.EqC(ra.A("dine", "month"), may),
+			ra.EqC(ra.A("dine", "year"), y2015),
+			ra.Eq(ra.A("dine", "cid"), ra.A("cafe", "cid")),
+			ra.EqC(ra.A("cafe", "city"), nyc),
+		),
+		ra.A("cafe", "cid"),
+	)
+}
+
+// Q2 is the unbounded sub-query of Example 1: all restaurants I have dined
+// in (not fetchable under A0).
+func (fb *Facebook) Q2() ra.Query {
+	return ra.Proj(
+		ra.Sel(ra.R("dine", "dine2"), ra.EqC(ra.A("dine2", "pid"), fb.Me)),
+		ra.A("dine2", "cid"),
+	)
+}
+
+// Q0 is the Graph Search query of Example 1: Q1 − Q2. It is boundedly
+// evaluable under A0 but not covered (its rewriting Q0Prime is).
+func (fb *Facebook) Q0() ra.Query { return ra.D(fb.Q1(), fb.Q2()) }
+
+// Q3 is the covered replacement for Q2: Q1 ⋈ Q2, restaurants from Q1 that I
+// have dined in, checkable via ψ3 one tuple at a time.
+func (fb *Facebook) Q3() ra.Query {
+	may, y2015, nyc := value.NewInt(5), value.NewInt(2015), value.NewStr("nyc")
+	return ra.Proj(
+		ra.Sel(
+			ra.Prod(ra.R("friend", "friend_b"), ra.R("dine", "dine_b"), ra.R("cafe", "cafe_b"), ra.R("dine", "dine2")),
+			ra.EqC(ra.A("friend_b", "pid"), fb.Me),
+			ra.Eq(ra.A("friend_b", "fid"), ra.A("dine_b", "pid")),
+			ra.EqC(ra.A("dine_b", "month"), may),
+			ra.EqC(ra.A("dine_b", "year"), y2015),
+			ra.Eq(ra.A("dine_b", "cid"), ra.A("cafe_b", "cid")),
+			ra.EqC(ra.A("cafe_b", "city"), nyc),
+			ra.EqC(ra.A("dine2", "pid"), fb.Me),
+			ra.Eq(ra.A("dine2", "cid"), ra.A("cafe_b", "cid")),
+		),
+		ra.A("cafe_b", "cid"),
+	)
+}
+
+// Q0Prime is the covered A0-equivalent of Q0: Q1 − Q3 (Example 1).
+func (fb *Facebook) Q0Prime() ra.Query { return ra.D(fb.Q1(), fb.Q3()) }

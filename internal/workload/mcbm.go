@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/ra"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Mcbm is the synthetic stand-in for the Huawei mobile communication
+// benchmark (MCBM) of Section 8: 12 relations simulating subscribers,
+// calls, messaging, cells, billing and devices, with the bounded fan-out
+// constraints typical of telecom data (e.g. at most 50 calls per caller per
+// day).
+func Mcbm() *Dataset {
+	schema := ra.Schema{
+		"subscriber": {"sid", "plan_id", "city_id", "status"},
+		"call":       {"call_id", "caller", "callee", "day", "dur"},
+		"sms":        {"msg_id", "sender", "receiver", "day"},
+		"plan":       {"plan_id", "pname", "price_band"},
+		"cell":       {"cell_id", "city_id", "band"},
+		"attach":     {"sid", "cell_id", "day"},
+		"city":       {"city_id", "cname", "region"},
+		"bill":       {"sid", "month", "amount_band"},
+		"topup":      {"topup_id", "sid", "day", "amount_band"},
+		"device":     {"imei", "sid", "vendor", "model"},
+		"complaint":  {"case_id", "sid", "day", "category"},
+		"roaming":    {"sid", "country", "month"},
+	}
+	acc := []struct {
+		rel string
+		x   []string
+		y   []string
+		n   int
+	}{
+		{"subscriber", []string{"sid"}, []string{"plan_id", "city_id", "status"}, 1},
+		{"subscriber", nil, []string{"status"}, 4},
+		{"subscriber", []string{"sid"}, []string{"sid"}, 1},
+		{"call", []string{"call_id"}, []string{"caller", "callee", "day", "dur"}, 1},
+		{"call", []string{"caller", "day"}, []string{"call_id"}, 50},
+		{"call", []string{"caller", "day"}, []string{"callee"}, 50},
+		{"call", nil, []string{"day"}, 31},
+		{"call", []string{"caller", "callee"}, []string{"caller", "callee"}, 1},
+		{"sms", []string{"msg_id"}, []string{"sender", "receiver", "day"}, 1},
+		{"sms", []string{"sender", "day"}, []string{"receiver"}, 80},
+		{"plan", []string{"plan_id"}, []string{"pname", "price_band"}, 1},
+		{"plan", nil, []string{"plan_id"}, 30},
+		{"plan", []string{"price_band"}, []string{"plan_id"}, 10},
+		{"cell", []string{"cell_id"}, []string{"city_id", "band"}, 1},
+		{"cell", []string{"city_id"}, []string{"cell_id"}, 100},
+		{"cell", nil, []string{"band"}, 5},
+		{"attach", []string{"sid", "day"}, []string{"cell_id"}, 20},
+		{"attach", []string{"sid", "cell_id"}, []string{"sid", "cell_id"}, 1},
+		{"city", []string{"city_id"}, []string{"cname", "region"}, 1},
+		{"city", []string{"region"}, []string{"city_id"}, 20},
+		{"city", nil, []string{"region"}, 15},
+		{"bill", []string{"sid", "month"}, []string{"amount_band"}, 1},
+		{"bill", nil, []string{"month"}, 12},
+		{"topup", []string{"topup_id"}, []string{"sid", "day", "amount_band"}, 1},
+		{"topup", []string{"sid", "day"}, []string{"topup_id"}, 10},
+		{"topup", nil, []string{"amount_band"}, 8},
+		{"device", []string{"imei"}, []string{"sid", "vendor", "model"}, 1},
+		{"device", []string{"sid"}, []string{"imei"}, 5},
+		{"device", nil, []string{"vendor"}, 12},
+		{"complaint", []string{"case_id"}, []string{"sid", "day", "category"}, 1},
+		{"complaint", []string{"sid", "day"}, []string{"case_id"}, 5},
+		{"complaint", nil, []string{"category"}, 12},
+		{"roaming", []string{"sid", "month"}, []string{"country"}, 10},
+		{"roaming", []string{"sid", "country", "month"}, []string{"sid", "country", "month"}, 1},
+		{"roaming", nil, []string{"country"}, 40},
+	}
+	d := &Dataset{
+		Name:   "MCBM",
+		Schema: schema,
+		JoinEdges: []JoinEdge{
+			{"subscriber", "plan_id", "plan", "plan_id"},
+			{"subscriber", "city_id", "city", "city_id"},
+			{"subscriber", "sid", "call", "caller"},
+			{"subscriber", "sid", "sms", "sender"},
+			{"subscriber", "sid", "attach", "sid"},
+			{"subscriber", "sid", "bill", "sid"},
+			{"subscriber", "sid", "topup", "sid"},
+			{"subscriber", "sid", "device", "sid"},
+			{"subscriber", "sid", "complaint", "sid"},
+			{"subscriber", "sid", "roaming", "sid"},
+			{"attach", "cell_id", "cell", "cell_id"},
+			{"cell", "city_id", "city", "city_id"},
+			{"call", "caller", "sms", "sender"},
+		},
+		Domains: map[string]func(*rand.Rand) value.Value{
+			"subscriber.sid":     intDomain(mcbmSubscribers),
+			"subscriber.plan_id": intDomain(30),
+			"subscriber.city_id": intDomain(mcbmCities),
+			"subscriber.status":  intDomain(4),
+			"call.caller":        intDomain(mcbmSubscribers),
+			"call.callee":        intDomain(mcbmSubscribers),
+			"call.day":           oneBased(31),
+			"call.dur":           intDomain(3600),
+			"sms.sender":         intDomain(mcbmSubscribers),
+			"sms.receiver":       intDomain(mcbmSubscribers),
+			"sms.day":            oneBased(31),
+			"plan.plan_id":       intDomain(30),
+			"plan.price_band":    intDomain(10),
+			"cell.cell_id":       intDomain(mcbmCities * 100),
+			"cell.city_id":       intDomain(mcbmCities),
+			"cell.band":          intDomain(5),
+			"attach.day":         oneBased(31),
+			"city.city_id":       intDomain(mcbmCities),
+			"city.region":        intDomain(15),
+			"bill.month":         oneBased(12),
+			"bill.amount_band":   intDomain(8),
+			"topup.day":          oneBased(31),
+			"topup.amount_band":  intDomain(8),
+			"device.vendor":      intDomain(12),
+			"device.model":       intDomain(50),
+			"complaint.day":      oneBased(31),
+			"complaint.category": intDomain(12),
+			"roaming.country":    intDomain(40),
+			"roaming.month":      oneBased(12),
+		},
+	}
+	for _, a := range acc {
+		d.Access = appendConstraint(d.Access, cons(a.rel, a.x, a.y, a.n))
+	}
+	addMemberships(d)
+	d.Gen = func(scale float64, seed int64) (*store.DB, error) {
+		return genMcbm(d, scale, seed)
+	}
+	return d
+}
+
+const (
+	mcbmSubscribers = 4000 // at scale 1
+	mcbmCities      = 60
+	mcbmPlans       = 30
+)
+
+func genMcbm(d *Dataset, scale float64, seed int64) (*store.DB, error) {
+	rng := rand.New(rand.NewSource(seed))
+	db := store.NewDB(d.Schema)
+	nSubs := scaled(mcbmSubscribers, scale)
+
+	for c := 0; c < mcbmCities; c++ {
+		t := value.Tuple{i64(c), i64(c), i64(c % 15)}
+		if _, err := db.Insert("city", t); err != nil {
+			return nil, err
+		}
+	}
+	for p := 0; p < mcbmPlans; p++ {
+		t := value.Tuple{i64(p), i64(p), i64(p % 10)}
+		if _, err := db.Insert("plan", t); err != nil {
+			return nil, err
+		}
+	}
+	// cells: 100 per city.
+	for c := 0; c < mcbmCities*100; c++ {
+		t := value.Tuple{i64(c), i64(c % mcbmCities), i64(c % 5)}
+		if _, err := db.Insert("cell", t); err != nil {
+			return nil, err
+		}
+	}
+
+	callID, msgID, topupID, caseID := 0, 0, 0, 0
+	for s := 0; s < nSubs; s++ {
+		city := rng.Intn(mcbmCities)
+		t := value.Tuple{i64(s), i64(rng.Intn(mcbmPlans)), i64(city), i64(rng.Intn(4))}
+		if _, err := db.Insert("subscriber", t); err != nil {
+			return nil, err
+		}
+		// Calls: a few active days, ≤ 8 calls per day (≪ 50).
+		for _, day := range someDays(rng, 3, 31) {
+			for k := 0; k < 1+rng.Intn(7); k++ {
+				callee := rng.Intn(mcbmSubscribers)
+				ct := value.Tuple{i64(callID), i64(s), i64(callee), i64(day), i64(rng.Intn(3600))}
+				callID++
+				if _, err := db.Insert("call", ct); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// SMS: ≤ 12 per active day (≪ 80).
+		for _, day := range someDays(rng, 2, 31) {
+			for k := 0; k < 1+rng.Intn(11); k++ {
+				mt := value.Tuple{i64(msgID), i64(s), i64(rng.Intn(mcbmSubscribers)), i64(day)}
+				msgID++
+				if _, err := db.Insert("sms", mt); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Attachments: ≤ 6 cells per day (≪ 20), in the home city.
+		for _, day := range someDays(rng, 2, 31) {
+			for k := 0; k < 1+rng.Intn(5); k++ {
+				cell := city + mcbmCities*rng.Intn(100)
+				at := value.Tuple{i64(s), i64(cell), i64(day)}
+				if _, err := db.Insert("attach", at); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Bills: one per month, amount a function of (sid, month).
+		for m := 1; m <= 12; m++ {
+			bt := value.Tuple{i64(s), i64(m), i64((s + m) % 8)}
+			if _, err := db.Insert("bill", bt); err != nil {
+				return nil, err
+			}
+		}
+		// Topups: ≤ 3 per day on a couple of days.
+		for _, day := range someDays(rng, 2, 31) {
+			for k := 0; k < 1+rng.Intn(2); k++ {
+				tt := value.Tuple{i64(topupID), i64(s), i64(day), i64(rng.Intn(8))}
+				topupID++
+				if _, err := db.Insert("topup", tt); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Devices: 1–2 per subscriber.
+		nd := 1 + rng.Intn(2)
+		for k := 0; k < nd; k++ {
+			imei := s*2 + k
+			dt := value.Tuple{i64(imei), i64(s), i64((s + k) % 12), i64((s*3 + k) % 50)}
+			if _, err := db.Insert("device", dt); err != nil {
+				return nil, err
+			}
+		}
+		// Complaints: sparse.
+		if rng.Intn(5) == 0 {
+			day := 1 + rng.Intn(31)
+			ct := value.Tuple{i64(caseID), i64(s), i64(day), i64(rng.Intn(12))}
+			caseID++
+			if _, err := db.Insert("complaint", ct); err != nil {
+				return nil, err
+			}
+		}
+		// Roaming: sparse, ≤ 3 countries per month.
+		if rng.Intn(4) == 0 {
+			month := 1 + rng.Intn(12)
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				rt := value.Tuple{i64(s), i64(rng.Intn(40)), i64(month)}
+				if _, err := db.Insert("roaming", rt); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := db.BuildIndexes(d.Access); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// someDays picks k distinct days in [1, max].
+func someDays(rng *rand.Rand, k, max int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for len(out) < k {
+		d := 1 + rng.Intn(max)
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ra"
+)
+
+// QueryParams controls the random RA query generator of Section 8: the
+// number #-sel of equality atoms in selection conditions, #-join of
+// equi-joins, and #-unidiff of union and set-difference operators.
+type QueryParams struct {
+	Sel     int
+	Join    int
+	UniDiff int
+	// OutArity is the projection width (default 1).
+	OutArity int
+	// Bias is the probability of choosing selection attributes that occur
+	// on the X side of some access constraint (making fetchable chains
+	// likely); the paper generates queries "using attributes that occurred
+	// in the access constraints". Default 0.75.
+	Bias float64
+}
+
+// DefaultQueryParams picks mid-range values from the paper's sweeps.
+func DefaultQueryParams() QueryParams {
+	return QueryParams{Sel: 6, Join: 2, UniDiff: 1, OutArity: 1, Bias: 0.75}
+}
+
+// RandomQuery generates a random RA query against the dataset: #-unidiff+1
+// SPC blocks combined with UNION/EXCEPT, each block a join tree over the
+// dataset's join edges with #-sel constant selections. The result is
+// normalized.
+func (d *Dataset) RandomQuery(p QueryParams, rng *rand.Rand) (ra.Query, error) {
+	if p.OutArity <= 0 {
+		p.OutArity = 1
+	}
+	if p.Bias == 0 {
+		p.Bias = 0.75
+	}
+	gen := &queryGen{d: d, rng: rng, p: p}
+	blocks := p.UniDiff + 1
+	q, err := gen.block()
+	if err != nil {
+		return nil, err
+	}
+	for b := 1; b < blocks; b++ {
+		nxt, err := gen.block()
+		if err != nil {
+			return nil, err
+		}
+		if rng.Intn(2) == 0 {
+			q = ra.U(q, nxt)
+		} else {
+			q = ra.D(q, nxt)
+		}
+	}
+	return ra.Normalize(q, d.Schema)
+}
+
+type queryGen struct {
+	d      *Dataset
+	rng    *rand.Rand
+	p      QueryParams
+	occSeq int
+}
+
+type occ struct {
+	name string
+	base string
+}
+
+func (g *queryGen) newOcc(base string) occ {
+	g.occSeq++
+	return occ{name: fmt.Sprintf("%s_q%d", base, g.occSeq), base: base}
+}
+
+// block builds one SPC query: a connected join tree plus constant
+// selections and a projection.
+func (g *queryGen) block() (ra.Query, error) {
+	rels := g.d.Schema.Relations()
+	start := g.newOcc(rels[g.rng.Intn(len(rels))])
+	occs := []occ{start}
+	var preds []ra.Pred
+
+	for j := 0; j < g.p.Join; j++ {
+		// Join edges incident to an included base relation.
+		type cand struct {
+			existing occ
+			exAttr   string
+			newBase  string
+			newAttr  string
+		}
+		var cands []cand
+		for _, e := range g.d.JoinEdges {
+			for _, o := range occs {
+				if o.base == e.RelA {
+					cands = append(cands, cand{o, e.AttrA, e.RelB, e.AttrB})
+				}
+				if o.base == e.RelB {
+					cands = append(cands, cand{o, e.AttrB, e.RelA, e.AttrA})
+				}
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		c := cands[g.rng.Intn(len(cands))]
+		n := g.newOcc(c.newBase)
+		occs = append(occs, n)
+		preds = append(preds, ra.Eq(ra.A(c.existing.name, c.exAttr), ra.A(n.name, c.newAttr)))
+	}
+
+	// Constant selections, biased toward X-side attributes of constraints.
+	// Each (occurrence, attribute) pair is selected at most once: two
+	// different constants on one attribute make the query provably empty,
+	// which real workloads avoid.
+	usedSel := map[ra.Attr]bool{}
+	for sIdx := 0; sIdx < g.p.Sel; sIdx++ {
+		var attr ra.Attr
+		var base string
+		found := false
+		for tries := 0; tries < 20; tries++ {
+			o := occs[g.rng.Intn(len(occs))]
+			a := ra.A(o.name, g.pickSelAttr(o.base))
+			if !usedSel[a] {
+				attr, base, found = a, o.base, true
+				break
+			}
+		}
+		if !found {
+			break // all attributes already constrained
+		}
+		usedSel[attr] = true
+		preds = append(preds, ra.EqC(attr, g.d.Domain(base, attr.Name)(g.rng)))
+	}
+
+	// Projection: prefer Y-side attributes of constraints.
+	out := make([]ra.Attr, g.p.OutArity)
+	for i := range out {
+		o := occs[g.rng.Intn(len(occs))]
+		out[i] = ra.A(o.name, g.pickOutAttr(o.base))
+	}
+
+	qs := make([]ra.Query, len(occs))
+	for i, o := range occs {
+		qs[i] = ra.R(o.base, o.name)
+	}
+	return ra.Proj(ra.Sel(ra.Prod(qs...), preds...), out...), nil
+}
+
+func (g *queryGen) pickSelAttr(base string) string {
+	attrs := g.d.Schema[base]
+	if g.rng.Float64() < g.p.Bias {
+		var xs []string
+		for _, c := range g.d.Access.ForRel(base) {
+			xs = append(xs, c.X...)
+		}
+		if len(xs) > 0 {
+			return xs[g.rng.Intn(len(xs))]
+		}
+	}
+	return attrs[g.rng.Intn(len(attrs))]
+}
+
+func (g *queryGen) pickOutAttr(base string) string {
+	attrs := g.d.Schema[base]
+	if g.rng.Float64() < g.p.Bias {
+		var ys []string
+		for _, c := range g.d.Access.ForRel(base) {
+			ys = append(ys, c.Y...)
+		}
+		if len(ys) > 0 {
+			return ys[g.rng.Intn(len(ys))]
+		}
+	}
+	return attrs[g.rng.Intn(len(attrs))]
+}

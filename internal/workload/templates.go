@@ -1,0 +1,145 @@
+package workload
+
+// Template is a named, fixed benchmark query in the rule syntax. Each
+// dataset ships a suite of templates modelled on the kinds of analyses its
+// real-world counterpart supports; they complement the random generator
+// with a reproducible workload (MCBM's generation "complied with the
+// provided query templates" in the paper).
+type Template struct {
+	Name string
+	// Src is the query in the rule language of internal/parser.
+	Src string
+	// Covered records whether the template is covered under the dataset's
+	// full access schema (asserted by tests).
+	Covered bool
+}
+
+// Templates returns the fixed query suite for the dataset.
+func (d *Dataset) Templates() []Template {
+	switch d.Name {
+	case "AIRCA":
+		return aircaTemplates
+	case "TFACC":
+		return tfaccTemplates
+	case "MCBM":
+		return mcbmTemplates
+	default:
+		return nil
+	}
+}
+
+var aircaTemplates = []Template{
+	{
+		Name:    "airlines-from-origin",
+		Src:     `q(airline) :- ontime(f, 42, d, airline, m, delay)`,
+		Covered: true,
+	},
+	{
+		Name:    "carriers-of-origin-with-country",
+		Src:     `q(airline, country) :- ontime(f, 42, d, airline, m, delay), carrier(airline, nm, country)`,
+		Covered: true,
+	},
+	{
+		Name:    "route-airlines",
+		Src:     `q(airline) :- ontime(f, 10, 25, airline, m, delay)`,
+		Covered: true,
+	},
+	{
+		Name:    "flight-by-id-with-causes",
+		Src:     `q(origin, dest, cause) :- ontime(77, origin, dest, al, m, delay), delaycause(77, cause, mins)`,
+		Covered: true,
+	},
+	{
+		Name:    "airport-city-of-flight",
+		Src:     `q(city) :- ontime(123, origin, dest, al, m, delay), airport(origin, city, st)`,
+		Covered: true,
+	},
+	{
+		Name: "served-minus-home",
+		// Airlines flying out of airport 42 except those registered in
+		// country 0 — difference over covered SPC blocks.
+		Src:     `(q(airline) :- ontime(f, 42, d, airline, m, delay)) EXCEPT (q(airline) :- carrier(airline, nm, 0), ontime(f2, 42, d2, airline, m2, delay2))`,
+		Covered: true,
+	},
+	{
+		Name: "all-flights-of-airline",
+		// Not covered: ontime cannot be accessed by airline alone.
+		Src:     `q(origin, dest) :- ontime(f, origin, dest, 3, m, delay)`,
+		Covered: false,
+	},
+}
+
+var tfaccTemplates = []Template{
+	{
+		Name:    "accidents-of-force-day",
+		Src:     `q(aid) :- accident(aid, 100, 7, sev, dist)`,
+		Covered: true,
+	},
+	{
+		Name:    "casualties-of-accident",
+		Src:     `q(cid, class) :- casualty(1234, cid, class, sev)`,
+		Covered: true,
+	},
+	{
+		Name:    "force-day-casualty-severity",
+		Src:     `q(aid, csev) :- accident(aid, 100, 7, sev, dist), casualty(aid, cid, class, csev)`,
+		Covered: true,
+	},
+	{
+		Name:    "accident-weather-vehicles",
+		Src:     `q(cond, vtype) :- accident(aid, 200, 3, sev, dist), weather(aid, cond), vehicle(aid, vid, vtype, age)`,
+		Covered: true,
+	},
+	{
+		Name:    "stops-in-accident-district",
+		Src:     `q(atco) :- accident(aid, 50, 11, sev, dist), naptan_stop(atco, loc, stype, dist)`,
+		Covered: true,
+	},
+	{
+		Name: "accidents-by-severity",
+		// Not covered: severity alone gives no bounded access to accident.
+		Src:     `q(aid) :- accident(aid, d, pf, 3, dist)`,
+		Covered: false,
+	},
+}
+
+var mcbmTemplates = []Template{
+	{
+		Name:    "subscriber-profile",
+		Src:     `q(plan_id, city_id) :- subscriber(1001, plan_id, city_id, status)`,
+		Covered: true,
+	},
+	{
+		Name:    "calls-of-day",
+		Src:     `q(callee) :- call(cid, 42, callee, 7, dur)`,
+		Covered: true,
+	},
+	{
+		Name:    "callees-profiles",
+		Src:     `q(callee, plan_id) :- call(cid, 42, callee, 7, dur), subscriber(callee, plan_id, city, status)`,
+		Covered: true,
+	},
+	{
+		Name:    "cells-visited",
+		Src:     `q(cell, band) :- attach(99, cell, 3), cell(cell, city, band)`,
+		Covered: true,
+	},
+	{
+		Name:    "bill-of-month",
+		Src:     `q(amount) :- bill(1001, 6, amount)`,
+		Covered: true,
+	},
+	{
+		Name: "called-but-never-messaged",
+		// Callees of subscriber 42 on day 7 he never messaged that day;
+		// the EXCEPT side joins back to the covered positive side.
+		Src:     `(q(x) :- call(cid, 42, x, 7, dur)) EXCEPT (q(x) :- call(cid2, 42, x, 7, dur2), sms(mid, 42, x, 7))`,
+		Covered: true,
+	},
+	{
+		Name: "heavy-callers",
+		// Not covered: no access path to call by duration.
+		Src:     `q(caller) :- call(cid, caller, callee, d, 3599)`,
+		Covered: false,
+	},
+}

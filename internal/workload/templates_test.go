@@ -1,0 +1,85 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/exec"
+	"repro/internal/parser"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// TestTemplatesCoverageMatchesDeclaration parses every template and checks
+// its declared coverage status under the dataset's full access schema.
+func TestTemplatesCoverageMatchesDeclaration(t *testing.T) {
+	for _, d := range workload.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			tpls := d.Templates()
+			if len(tpls) < 5 {
+				t.Fatalf("only %d templates", len(tpls))
+			}
+			for _, tpl := range tpls {
+				q, err := parser.Parse(tpl.Src, d.Schema)
+				if err != nil {
+					t.Fatalf("%s: %v", tpl.Name, err)
+				}
+				res, err := cover.Check(q, d.Schema, d.Access)
+				if err != nil {
+					t.Fatalf("%s: %v", tpl.Name, err)
+				}
+				if res.Covered != tpl.Covered {
+					t.Errorf("%s: covered = %v, declared %v\n%s",
+						tpl.Name, res.Covered, tpl.Covered, res.Explain())
+				}
+			}
+		})
+	}
+}
+
+// TestTemplatesDifferential executes every covered template both ways.
+func TestTemplatesDifferential(t *testing.T) {
+	for _, d := range workload.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel()
+			db, err := d.Gen(1.0/16, 21)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tpl := range d.Templates() {
+				if !tpl.Covered {
+					continue
+				}
+				q, err := parser.Parse(tpl.Src, d.Schema)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := cover.Check(q, d.Schema, d.Access)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := plan.Build(res)
+				if err != nil {
+					t.Fatalf("%s: %v", tpl.Name, err)
+				}
+				got, st, err := exec.Run(p, db)
+				if err != nil {
+					t.Fatalf("%s: %v", tpl.Name, err)
+				}
+				want, _, err := exec.RunBaseline(q, d.Schema, db)
+				if err != nil {
+					t.Fatalf("%s: %v", tpl.Name, err)
+				}
+				if !got.Equal(want) {
+					t.Errorf("%s: bounded answer differs from baseline\nbounded:\n%s\nbaseline:\n%s",
+						tpl.Name, got, want)
+				}
+				if st.Scanned != 0 {
+					t.Errorf("%s: bounded plan scanned", tpl.Name)
+				}
+			}
+		})
+	}
+}

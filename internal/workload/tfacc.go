@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/ra"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Tfacc is the synthetic stand-in for the UK traffic accident dataset
+// (TFACC) of Section 8: Road Safety Data joined with NaPTAN public
+// transport nodes. Constraints follow the paper's examples, e.g.
+// accident((date, police_force) → aid, 304): each police force handled at
+// most 304 accidents in a single day.
+func Tfacc() *Dataset {
+	schema := ra.Schema{
+		"accident":      {"aid", "date", "police_force", "severity", "district"},
+		"vehicle":       {"aid", "vid", "vtype", "age_band"},
+		"casualty":      {"aid", "cid", "class", "severity"},
+		"naptan_stop":   {"atco", "locality", "stype", "district"},
+		"locality":      {"locality", "district", "region"},
+		"district":      {"district", "region", "pop_band"},
+		"road":          {"road_id", "class", "district"},
+		"accident_road": {"aid", "road_id"},
+		"weather":       {"aid", "cond"},
+		"force":         {"police_force", "fname", "region"},
+	}
+	acc := []struct {
+		rel string
+		x   []string
+		y   []string
+		n   int
+	}{
+		{"accident", []string{"aid"}, []string{"date", "police_force", "severity", "district"}, 1},
+		{"accident", []string{"date", "police_force"}, []string{"aid"}, 304},
+		{"accident", nil, []string{"police_force"}, 51},
+		{"accident", nil, []string{"severity"}, 3},
+		{"accident", []string{"district"}, []string{"police_force"}, 1},
+		{"vehicle", []string{"aid", "vid"}, []string{"vtype", "age_band"}, 1},
+		{"vehicle", []string{"aid"}, []string{"vid"}, 16},
+		{"vehicle", nil, []string{"vtype"}, 20},
+		{"casualty", []string{"aid", "cid"}, []string{"class", "severity"}, 1},
+		{"casualty", []string{"aid"}, []string{"cid"}, 30},
+		{"casualty", nil, []string{"class"}, 3},
+		{"naptan_stop", []string{"atco"}, []string{"locality", "stype", "district"}, 1},
+		{"naptan_stop", []string{"locality"}, []string{"atco"}, 40},
+		{"naptan_stop", nil, []string{"stype"}, 12},
+		{"naptan_stop", []string{"district"}, []string{"locality"}, 25},
+		{"locality", []string{"locality"}, []string{"district", "region"}, 1},
+		{"locality", []string{"district"}, []string{"locality"}, 25},
+		{"locality", nil, []string{"region"}, 12},
+		{"district", []string{"district"}, []string{"region", "pop_band"}, 1},
+		{"district", []string{"region"}, []string{"district"}, 40},
+		{"district", nil, []string{"region"}, 12},
+		{"road", []string{"road_id"}, []string{"class", "district"}, 1},
+		{"road", []string{"district"}, []string{"road_id"}, 30},
+		{"road", nil, []string{"class"}, 6},
+		{"accident_road", []string{"aid"}, []string{"road_id"}, 2},
+		{"accident_road", []string{"aid", "road_id"}, []string{"aid", "road_id"}, 1},
+		{"weather", []string{"aid"}, []string{"cond"}, 1},
+		{"weather", nil, []string{"cond"}, 9},
+		{"force", []string{"police_force"}, []string{"fname", "region"}, 1},
+		{"force", []string{"region"}, []string{"police_force"}, 10},
+		{"force", nil, []string{"police_force"}, 51},
+	}
+	d := &Dataset{
+		Name:   "TFACC",
+		Schema: schema,
+		JoinEdges: []JoinEdge{
+			{"accident", "aid", "vehicle", "aid"},
+			{"accident", "aid", "casualty", "aid"},
+			{"accident", "aid", "weather", "aid"},
+			{"accident", "aid", "accident_road", "aid"},
+			{"accident", "police_force", "force", "police_force"},
+			{"accident", "district", "district", "district"},
+			{"accident", "district", "naptan_stop", "district"},
+			{"accident_road", "road_id", "road", "road_id"},
+			{"naptan_stop", "locality", "locality", "locality"},
+			{"locality", "district", "district", "district"},
+			{"road", "district", "district", "district"},
+			{"force", "region", "district", "region"},
+		},
+		Domains: map[string]func(*rand.Rand) value.Value{
+			"accident.aid":          intDomain(24000),
+			"accident.date":         intDomain(tfaccDates),
+			"accident.police_force": intDomain(51),
+			"accident.severity":     oneBased(3),
+			"accident.district":     intDomain(tfaccDistricts),
+			"vehicle.vtype":         intDomain(20),
+			"vehicle.age_band":      intDomain(8),
+			"casualty.class":        oneBased(3),
+			"casualty.severity":     oneBased(3),
+			"naptan_stop.atco":      intDomain(tfaccDistricts * 12),
+			"naptan_stop.locality":  intDomain(tfaccLocalities),
+			"naptan_stop.stype":     intDomain(12),
+			"naptan_stop.district":  intDomain(tfaccDistricts),
+			"locality.locality":     intDomain(tfaccLocalities),
+			"locality.district":     intDomain(tfaccDistricts),
+			"locality.region":       intDomain(12),
+			"district.district":     intDomain(tfaccDistricts),
+			"district.region":       intDomain(12),
+			"district.pop_band":     intDomain(6),
+			"road.road_id":          intDomain(tfaccDistricts * 20),
+			"road.class":            intDomain(6),
+			"road.district":         intDomain(tfaccDistricts),
+			"weather.cond":          intDomain(9),
+			"force.police_force":    intDomain(51),
+			"force.region":          intDomain(12),
+			"accident_road.road_id": intDomain(tfaccDistricts * 20),
+		},
+	}
+	for _, a := range acc {
+		d.Access = appendConstraint(d.Access, cons(a.rel, a.x, a.y, a.n))
+	}
+	addMemberships(d)
+	d.Gen = func(scale float64, seed int64) (*store.DB, error) {
+		return genTfacc(d, scale, seed)
+	}
+	return d
+}
+
+const (
+	tfaccDates      = 400
+	tfaccForces     = 51
+	tfaccDistricts  = 120
+	tfaccLocalities = 360
+	tfaccAccidents  = 24000 // at scale 1
+)
+
+func genTfacc(d *Dataset, scale float64, seed int64) (*store.DB, error) {
+	rng := rand.New(rand.NewSource(seed))
+	db := store.NewDB(d.Schema)
+
+	// district: district → (region, pop_band); ≤ 40 districts per region.
+	for dist := 0; dist < tfaccDistricts; dist++ {
+		t := value.Tuple{i64(dist), i64(dist % 12), i64(dist % 6)}
+		if _, err := db.Insert("district", t); err != nil {
+			return nil, err
+		}
+	}
+	// locality: ≤ 25 localities per district (360/120 = 3).
+	for loc := 0; loc < tfaccLocalities; loc++ {
+		dist := loc % tfaccDistricts
+		t := value.Tuple{i64(loc), i64(dist), i64(dist % 12)}
+		if _, err := db.Insert("locality", t); err != nil {
+			return nil, err
+		}
+	}
+	// naptan_stop: ≤ 12 stops per district, ≤ 40 per locality.
+	for s := 0; s < tfaccDistricts*12; s++ {
+		dist := s % tfaccDistricts
+		loc := dist // one locality per district hosts the stops
+		t := value.Tuple{i64(s), i64(loc), i64(s % 12), i64(dist)}
+		if _, err := db.Insert("naptan_stop", t); err != nil {
+			return nil, err
+		}
+	}
+	// road: 20 roads per district.
+	for r := 0; r < tfaccDistricts*20; r++ {
+		dist := r % tfaccDistricts
+		t := value.Tuple{i64(r), i64(r % 6), i64(dist)}
+		if _, err := db.Insert("road", t); err != nil {
+			return nil, err
+		}
+	}
+	// force: police_force → region functionally; ≤ 10 forces per region.
+	for f := 0; f < tfaccForces; f++ {
+		t := value.Tuple{i64(f), i64(f), i64(f % 12)}
+		if _, err := db.Insert("force", t); err != nil {
+			return nil, err
+		}
+	}
+
+	nAcc := scaled(tfaccAccidents, scale)
+	for a := 0; a < nAcc; a++ {
+		date := rng.Intn(tfaccDates)
+		// district determines police_force (district % 51) so the
+		// accident(district → police_force, 1) constraint holds.
+		dist := rng.Intn(tfaccDistricts)
+		pf := dist % tfaccForces
+		sev := 1 + rng.Intn(3)
+		t := value.Tuple{i64(a), i64(date), i64(pf), i64(sev), i64(dist)}
+		if _, err := db.Insert("accident", t); err != nil {
+			return nil, err
+		}
+		// vehicles: 1–3 per accident, attributes functional in (aid, vid).
+		nv := 1 + rng.Intn(3)
+		for v := 0; v < nv; v++ {
+			vt := value.Tuple{i64(a), i64(v), i64((a + v) % 20), i64((a*3 + v) % 8)}
+			if _, err := db.Insert("vehicle", vt); err != nil {
+				return nil, err
+			}
+		}
+		// casualties: 0–4 per accident.
+		for c := 0; c < rng.Intn(5); c++ {
+			ct := value.Tuple{i64(a), i64(c), i64(1 + (a+c)%3), i64(1 + (a*7+c)%3)}
+			if _, err := db.Insert("casualty", ct); err != nil {
+				return nil, err
+			}
+		}
+		// weather: exactly one condition per accident.
+		wt := value.Tuple{i64(a), i64((a * 13) % 9)}
+		if _, err := db.Insert("weather", wt); err != nil {
+			return nil, err
+		}
+		// accident_road: 1–2 roads, within the accident's district.
+		for r := 0; r < 1+rng.Intn(2); r++ {
+			road := dist + tfaccDistricts*rng.Intn(20)
+			rt := value.Tuple{i64(a), i64(road)}
+			if _, err := db.Insert("accident_road", rt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := db.BuildIndexes(d.Access); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

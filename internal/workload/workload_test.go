@@ -1,0 +1,103 @@
+package workload_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/workload"
+)
+
+func TestDatasetsValid(t *testing.T) {
+	for _, d := range workload.All() {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+// TestGeneratedDataSatisfiesConstraints is the ground truth of the
+// experimental substrate: every generated instance must satisfy its access
+// schema, otherwise bounded plans would be incorrect.
+func TestGeneratedDataSatisfiesConstraints(t *testing.T) {
+	for _, d := range workload.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel()
+			db, err := d.Gen(0.1, 7)
+			if err != nil {
+				t.Fatalf("gen: %v", err)
+			}
+			if db.Size() == 0 {
+				t.Fatal("generator produced no data")
+			}
+			if err := db.SatisfiesAll(d.Access); err != nil {
+				t.Fatalf("constraints violated: %v", err)
+			}
+		})
+	}
+}
+
+func TestDataScalesWithFactor(t *testing.T) {
+	d := workload.Airca()
+	small, err := d.Gen(1.0/32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := d.Gen(0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Size() < small.Size()*2 {
+		t.Errorf("scaling had little effect: %d vs %d tuples", small.Size(), large.Size())
+	}
+}
+
+// TestRandomQueriesCoverage reproduces the qualitative finding of Fig. 6:
+// with the full access schema a majority of generated queries are covered,
+// and coverage is monotone in the number of constraints.
+func TestRandomQueriesCoverage(t *testing.T) {
+	for _, d := range workload.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			params := workload.DefaultQueryParams()
+			const n = 60
+			coveredFull, coveredNone := 0, 0
+			empty := d.AccessFraction(0)
+			for i := 0; i < n; i++ {
+				params.Sel = 4 + rng.Intn(6)
+				params.Join = rng.Intn(4)
+				params.UniDiff = rng.Intn(3)
+				q, err := d.RandomQuery(params, rng)
+				if err != nil {
+					t.Fatalf("query %d: %v", i, err)
+				}
+				full, err := cover.Check(q, d.Schema, d.Access)
+				if err != nil {
+					t.Fatalf("check full: %v", err)
+				}
+				if full.Covered {
+					coveredFull++
+				}
+				none, err := cover.Check(q, d.Schema, empty)
+				if err != nil {
+					t.Fatalf("check empty: %v", err)
+				}
+				if none.Covered {
+					coveredNone++
+				}
+			}
+			if coveredNone != 0 {
+				t.Errorf("%d queries covered with zero constraints", coveredNone)
+			}
+			if coveredFull < n/4 {
+				t.Errorf("only %d/%d queries covered under full A — generator too adversarial", coveredFull, n)
+			}
+			if coveredFull == n {
+				t.Errorf("all queries covered — generator produces no negative cases")
+			}
+			t.Logf("%s: %d/%d covered under full A", d.Name, coveredFull, n)
+		})
+	}
+}
