@@ -1,0 +1,32 @@
+# Tier-1 gate plus the extended checks CI runs on every push.
+
+GO ?= go
+
+.PHONY: check build vet test race fuzz-smoke bench-serve
+
+# check is the full CI pipeline: compile, vet, race-enabled tests and a
+# short fuzz smoke of the parser and canonicalizer.
+check: build vet race fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/parser
+	$(GO) test -run=^$$ -fuzz=FuzzNormalize -fuzztime=10s ./internal/ra
+
+# bench-serve prints the concurrent serving benchmark (QPS, plan-cache hit
+# rate, cold-vs-cached speedup) on all three datasets.
+bench-serve:
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1
+	$(GO) run ./cmd/boundedctl -op serve -dataset TFACC -scale 0.1
+	$(GO) run ./cmd/boundedctl -op serve -dataset MCBM -scale 0.1

@@ -294,3 +294,74 @@ func BenchmarkAblation_PlanMemoization(b *testing.B) {
 	}
 	b.ReportMetric(float64(length), "plan-steps")
 }
+
+// --- serving layer --------------------------------------------------------
+
+// BenchmarkServe replays the full concurrent serving benchmark: N client
+// goroutines draw a Zipf-skewed mix of repeated workload queries against a
+// database that writer goroutines mutate underneath, exercising the plan
+// cache and bounded incremental index maintenance together. The reported
+// extra metrics are the plan-cache hit rate and the cold-compile /
+// cache-hit speedup.
+func BenchmarkServe(b *testing.B) {
+	cfg := bench.DefaultServeConfig()
+	var last *bench.ServeResult
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Serve(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Errors > 0 {
+			b.Fatalf("%d serving errors", res.Errors)
+		}
+		last = res
+	}
+	b.ReportMetric(last.QPS, "queries/s")
+	b.ReportMetric(100*last.HitRate, "hit-%")
+	b.ReportMetric(last.Speedup, "cold/hot-x")
+}
+
+// BenchmarkExecuteCold and BenchmarkExecuteCached isolate the tentpole
+// claim: a repeated query through the plan cache skips the whole analysis
+// pipeline (CovChk, rewriting, minA, QPlan) and goes straight to evalQP.
+func benchExecuteEngine(b *testing.B) (*bounded.Engine, bounded.Query) {
+	cfg := workload.DefaultFacebookConfig()
+	// Serving-sized population: the cache's win is the skipped analysis
+	// pipeline, so the benchmark keeps execution from drowning compile.
+	cfg.Persons = 300
+	fb, db, err := workload.GenFacebook(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := bounded.NewEngine(fb.Schema, fb.Access, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, fb.Q1()
+}
+
+func BenchmarkExecuteCold(b *testing.B) {
+	eng, q := benchExecuteEngine(b)
+	opts := bounded.DefaultOptions()
+	opts.Cache = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteCached(b *testing.B) {
+	eng, q := benchExecuteEngine(b)
+	opts := bounded.DefaultOptions()
+	if _, _, err := eng.Execute(q, opts); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -28,6 +28,7 @@ package bounded
 
 import (
 	"repro/internal/access"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cover"
 	"repro/internal/discovery"
@@ -44,11 +45,21 @@ import (
 // Core engine types.
 type (
 	// Engine processes queries under an access schema (Fig. 4 pipeline).
+	// It is safe for concurrent use: executions run in parallel under a
+	// shared lock, access-schema mutations are serialized against them,
+	// and a sharded LRU plan cache (keyed by the canonical fingerprint of
+	// the query) lets repeated Execute calls skip the analysis pipeline.
+	// Tuple inserts and deletes keep cached plans valid — the indices I_A
+	// are maintained incrementally (Proposition 12) — while schema and
+	// access-schema changes invalidate the cache.
 	Engine = core.Engine
 	// Options tunes Engine.Execute.
 	Options = core.Options
 	// Report describes how a query was processed.
 	Report = core.Report
+	// CacheStats reports plan-cache hits, misses and evictions
+	// (Engine.CacheStats).
+	CacheStats = cache.Stats
 
 	// Schema is a relational schema: base relation → attribute names.
 	Schema = ra.Schema
@@ -110,6 +121,20 @@ func Check(q Query, schema Schema, A *AccessSchema) (*CoverResult, error) {
 		return nil, err
 	}
 	return cover.Check(norm, schema, A)
+}
+
+// Fingerprint returns the canonical fingerprint of q under schema: a
+// stable digest invariant under variable renaming, atom reordering,
+// redundant equality atoms and union operand order. Fingerprint-equal
+// queries evaluate to equal answers on every instance of schema — the key
+// the engine's plan cache is built on.
+func Fingerprint(q Query, schema Schema) (string, error) {
+	return ra.Fingerprint(q, schema)
+}
+
+// CanonicalQuery returns the canonical normal form behind Fingerprint.
+func CanonicalQuery(q Query, schema Schema) (Query, error) {
+	return ra.Canonical(q, schema)
 }
 
 // BuildPlan generates a canonical bounded query plan for a covered query

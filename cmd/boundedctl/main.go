@@ -11,6 +11,11 @@
 //	boundedctl -dataset MCBM  -op sql   -query "..."
 //	boundedctl -dataset facebook -op minimize -query "..."
 //	boundedctl -dataset facebook -op constraints
+//	boundedctl -dataset AIRCA -op serve -clients 8 -ops 10000
+//
+// The serve operation replays a Zipf-skewed mix of repeated workload
+// queries from concurrent clients against a mutating database and reports
+// throughput, plan-cache hit rate and the cold-vs-cached speedup.
 //
 // The query language is Datalog-style conjunctive rules combined with
 // UNION and EXCEPT; see internal/parser.
@@ -23,6 +28,7 @@ import (
 	"sort"
 
 	"repro/internal/access"
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/minimize"
 	"repro/internal/plan"
@@ -34,16 +40,48 @@ import (
 
 func main() {
 	dataset := flag.String("dataset", "facebook", "dataset: facebook, AIRCA, TFACC, MCBM")
-	op := flag.String("op", "check", "operation: check, plan, sql, minimize, run, constraints")
+	op := flag.String("op", "check", "operation: check, plan, sql, minimize, run, serve, constraints")
 	query := flag.String("query", "", "query in rule syntax")
-	scale := flag.Float64("scale", 0.1, "data scale factor for run")
+	scale := flag.Float64("scale", 0.1, "data scale factor for run/serve")
 	seed := flag.Int64("seed", 1, "data seed")
+	clients := flag.Int("clients", 8, "serve: concurrent query goroutines")
+	writers := flag.Int("writers", 2, "serve: concurrent tuple-churn goroutines")
+	ops := flag.Int("ops", 10000, "serve: total queries to replay")
+	zipf := flag.Float64("zipf", 1.2, "serve: Zipf skew exponent (>1)")
+	poolSize := flag.Int("pool", 40, "serve: distinct queries in the replay pool")
+	cacheSize := flag.Int("cachesize", 0, "serve: plan-cache capacity (0 = default)")
 	flag.Parse()
 
+	if *op == "serve" {
+		if err := serve(*dataset, *scale, *seed, *clients, *writers, *ops, *zipf, *poolSize, *cacheSize); err != nil {
+			fmt.Fprintln(os.Stderr, "boundedctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*dataset, *op, *query, *scale, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "boundedctl:", err)
 		os.Exit(1)
 	}
+}
+
+func serve(dataset string, scale float64, seed int64, clients, writers, ops int, zipf float64, poolSize, cacheSize int) error {
+	cfg := bench.DefaultServeConfig()
+	cfg.Dataset = dataset
+	cfg.Scale = scale
+	cfg.Seed = seed
+	cfg.Clients = clients
+	cfg.Writers = writers
+	cfg.Ops = ops
+	cfg.ZipfS = zipf
+	cfg.PoolSize = poolSize
+	cfg.CacheSize = cacheSize
+	res, err := bench.Serve(cfg)
+	if err != nil {
+		return err
+	}
+	res.Format(os.Stdout)
+	return nil
 }
 
 func load(dataset string, scale float64, seed int64, withData bool) (ra.Schema, *access.Schema, *store.DB, error) {
@@ -176,7 +214,11 @@ func run(dataset, op, query string, scale float64, seed int64) error {
 		if !rep.Bounded {
 			mode = "fallback (evalDBMS)"
 		}
-		fmt.Printf("mode: %s  covered: %v  rewritten: %v\n", mode, rep.Covered, rep.Rewritten)
+		fmt.Printf("mode: %s  covered: %v  rewritten: %v  cache-hit: %v\n",
+			mode, rep.Covered, rep.Rewritten, rep.CacheHit)
+		cs := eng.CacheStats()
+		fmt.Printf("plan cache: %d hits, %d misses, %d evictions, %d entries\n",
+			cs.Hits, cs.Misses, cs.Evictions, cs.Entries)
 		fmt.Printf("accessed %d of %d tuples (%.5f%%) in %v\n",
 			rep.Stats.Accessed, db.Size(),
 			100*float64(rep.Stats.Accessed)/float64(db.Size()), rep.Stats.Duration)

@@ -27,6 +27,15 @@ func TestOpsOnBenchmarkDatasets(t *testing.T) {
 	}
 }
 
+func TestOpServe(t *testing.T) {
+	if err := serve("AIRCA", 0.02, 1, 2, 1, 200, 1.2, 8, 64); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if err := serve("nosuch", 0.02, 1, 2, 1, 200, 1.2, 8, 0); err == nil {
+		t.Error("serve accepted an unknown dataset")
+	}
+}
+
 func TestErrors(t *testing.T) {
 	if err := run("nosuch", "check", q1, 0.05, 1); err == nil {
 		t.Error("unknown dataset accepted")

@@ -1,0 +1,342 @@
+// Serving-layer benchmark: replays a Zipf-skewed mix of repeated workload
+// queries against a mutating database from N goroutines, the regime the
+// plan cache and the incrementally maintained ⟨A, I_A⟩ indexes are built
+// for. It reports throughput, plan-cache hit rate, and the cold-compile vs
+// cache-hit speedup on the hottest query.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/ra"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// ServeConfig tunes the serving benchmark.
+type ServeConfig struct {
+	// Dataset is AIRCA, TFACC or MCBM.
+	Dataset string
+	// Scale and Seed parameterize data generation.
+	Scale float64
+	Seed  int64
+	// Clients is the number of concurrent query goroutines.
+	Clients int
+	// Writers is the number of goroutines churning tuples (delete +
+	// reinsert of sampled rows) while queries run.
+	Writers int
+	// Ops is the total number of queries replayed across all clients.
+	Ops int
+	// PoolSize caps the number of distinct workload queries replayed;
+	// the Zipf draw selects among them.
+	PoolSize int
+	// ZipfS is the Zipf skew exponent (> 1; larger = more skewed).
+	ZipfS float64
+	// CacheSize overrides the engine's plan-cache capacity (0 = default).
+	CacheSize int
+	// LatencyProbes is how many timed runs the cold/hot comparison uses.
+	LatencyProbes int
+}
+
+// DefaultServeConfig keeps a full run well under a second in -short test
+// settings while still exercising real concurrency.
+func DefaultServeConfig() ServeConfig {
+	return ServeConfig{
+		Dataset:       "AIRCA",
+		Scale:         0.05,
+		Seed:          2016,
+		Clients:       8,
+		Writers:       2,
+		Ops:           4000,
+		PoolSize:      40,
+		ZipfS:         1.2,
+		LatencyProbes: 25,
+	}
+}
+
+// ServeResult reports one serving-benchmark run.
+type ServeResult struct {
+	Dataset  string
+	Ops      int
+	Errors   int
+	Duration time.Duration
+	// QPS is completed queries per wall-clock second across all clients.
+	QPS float64
+	// Cache holds the plan-cache counter deltas over the serving phase
+	// (the cold/hot latency probes are excluded); HitRate is the hit
+	// fraction of those same counters. Entries is the live count at the
+	// end of the run.
+	Cache   cache.Stats
+	HitRate float64
+	// Mutations counts tuple writes applied during the run.
+	Mutations int64
+	// ColdLatency is the Execute latency floor (minimum over probes,
+	// averaged across the probe set) with the plan cache bypassed — the
+	// full compile pipeline; HotLatency the same floor for a plan-cache
+	// hit; Speedup their ratio. Floors, not medians: both paths do
+	// deterministic work, so the minimum is the signal and the spread
+	// above it is scheduler/GC noise.
+	ColdLatency, HotLatency time.Duration
+	Speedup                 float64
+}
+
+// Format renders the result as an aligned report.
+func (r *ServeResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "# serving benchmark on %s\n", r.Dataset)
+	fmt.Fprintf(w, "ops\t%d (errors %d)\n", r.Ops, r.Errors)
+	fmt.Fprintf(w, "duration\t%v\n", r.Duration.Round(time.Millisecond))
+	fmt.Fprintf(w, "throughput\t%.0f queries/s\n", r.QPS)
+	fmt.Fprintf(w, "cache\thits %d  misses %d  evictions %d  hit-rate %.1f%%\n",
+		r.Cache.Hits, r.Cache.Misses, r.Cache.Evictions, 100*r.HitRate)
+	fmt.Fprintf(w, "mutations\t%d tuple writes during run\n", r.Mutations)
+	fmt.Fprintf(w, "latency floor\tcold %v  hot %v  speedup %.1fx\n",
+		r.ColdLatency, r.HotLatency, r.Speedup)
+}
+
+// Serve runs the serving benchmark: build the dataset, assemble a pool of
+// distinct workload queries (templates plus covered generator queries),
+// then replay Ops Zipf-distributed draws from Clients goroutines while
+// Writers churn tuples underneath. Tuple churn is deliberately concurrent:
+// bounded incremental index maintenance keeps every cached plan valid, so
+// the cache keeps serving throughout.
+func Serve(cfg ServeConfig) (*ServeResult, error) {
+	if cfg.Clients < 1 {
+		return nil, fmt.Errorf("bench: Clients must be >= 1, got %d", cfg.Clients)
+	}
+	if cfg.Writers < 0 {
+		return nil, fmt.Errorf("bench: Writers must be >= 0, got %d", cfg.Writers)
+	}
+	if cfg.Ops < cfg.Clients {
+		return nil, fmt.Errorf("bench: Ops (%d) must be >= Clients (%d)", cfg.Ops, cfg.Clients)
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("bench: ZipfS must be > 1 (Zipf skew exponent), got %g", cfg.ZipfS)
+	}
+	d, err := workload.ByName(cfg.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	db, err := d.Gen(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(d.Schema, d.Access, db)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CacheSize > 0 {
+		eng.SetPlanCacheCapacity(cfg.CacheSize)
+	}
+	pool, err := servePool(eng, d, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ServeResult{Dataset: cfg.Dataset}
+
+	// Cold vs hot latency over a probe set of pool queries, before the
+	// serving phase. Summing per-query floors across the set weights the
+	// mix the way a replay does: join templates with expensive compiles
+	// dominate, single-atom lookups contribute their (small) constant.
+	if cfg.LatencyProbes > 0 {
+		probeSet := pool
+		if len(probeSet) > 8 {
+			probeSet = probeSet[:8]
+		}
+		var coldSum, hotSum time.Duration
+		for _, q := range probeSet {
+			cold, hot, err := coldHot(eng, q, cfg.LatencyProbes)
+			if err != nil {
+				return nil, err
+			}
+			coldSum += cold
+			hotSum += hot
+		}
+		res.ColdLatency = coldSum / time.Duration(len(probeSet))
+		res.HotLatency = hotSum / time.Duration(len(probeSet))
+		if hotSum > 0 {
+			res.Speedup = float64(coldSum) / float64(hotSum)
+		}
+	}
+
+	// Serving phase.
+	before := eng.CacheStats()
+	var (
+		clientWG  sync.WaitGroup
+		writerWG  sync.WaitGroup
+		completed atomic.Int64
+		errCount  atomic.Int64
+		mutations atomic.Int64
+		stop      atomic.Bool
+	)
+	opts := core.DefaultOptions()
+	perClient := cfg.Ops / cfg.Clients
+
+	// Writers churn sampled rows: delete then reinsert, so the instance
+	// still satisfies A at every quiescent point.
+	for w := 0; w < cfg.Writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(w)))
+			rels := d.Schema.Relations()
+			samples := map[string][]value.Tuple{}
+			for _, rel := range rels {
+				rows, err := db.Rows(rel)
+				if err != nil || len(rows) == 0 {
+					continue
+				}
+				n := 64
+				if n > len(rows) {
+					n = len(rows)
+				}
+				samples[rel] = rows[:n]
+			}
+			for !stop.Load() {
+				rel := rels[rng.Intn(len(rels))]
+				rows := samples[rel]
+				if len(rows) == 0 {
+					continue
+				}
+				t := rows[rng.Intn(len(rows))]
+				if _, err := eng.Delete(rel, t); err != nil {
+					errCount.Add(1)
+					return
+				}
+				if _, err := eng.Insert(rel, t); err != nil {
+					errCount.Add(1)
+					return
+				}
+				mutations.Add(2)
+			}
+		}(w)
+	}
+
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		clientWG.Add(1)
+		go func(c int) {
+			defer clientWG.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(pool)-1))
+			for i := 0; i < perClient; i++ {
+				q := pool[zipf.Uint64()]
+				if _, _, err := eng.Execute(q, opts); err != nil {
+					errCount.Add(1)
+					return
+				}
+				completed.Add(1)
+			}
+		}(c)
+	}
+	// Clients are bounded loops; writers churn until the clients finish.
+	clientWG.Wait()
+	res.Duration = time.Since(start)
+	stop.Store(true)
+	writerWG.Wait()
+	res.Ops = int(completed.Load())
+	res.Errors = int(errCount.Load())
+	res.Mutations = mutations.Load()
+	if res.Duration > 0 {
+		res.QPS = float64(res.Ops) / res.Duration.Seconds()
+	}
+	after := eng.CacheStats()
+	res.Cache = cache.Stats{
+		Hits:      after.Hits - before.Hits,
+		Misses:    after.Misses - before.Misses,
+		Evictions: after.Evictions - before.Evictions,
+		Purges:    after.Purges - before.Purges,
+		Entries:   after.Entries,
+	}
+	res.HitRate = res.Cache.HitRate()
+	return res, nil
+}
+
+// servePool assembles the distinct-query pool: parsed covered templates
+// first, then random covered generator queries up to cfg.PoolSize.
+func servePool(eng *core.Engine, d *workload.Dataset, cfg ServeConfig) ([]ra.Query, error) {
+	var pool []ra.Query
+	for _, tpl := range d.Templates() {
+		if len(pool) >= cfg.PoolSize {
+			break
+		}
+		if !tpl.Covered {
+			continue
+		}
+		q, err := eng.Parse(tpl.Src)
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, q)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	p := workload.DefaultQueryParams()
+	for tries := 0; len(pool) < cfg.PoolSize && tries < cfg.PoolSize*50; tries++ {
+		p.Sel = 3 + rng.Intn(5)
+		p.Join = rng.Intn(3)
+		p.UniDiff = rng.Intn(2)
+		q, err := d.RandomQuery(p, rng)
+		if err != nil {
+			return nil, err
+		}
+		res, err := eng.Check(q)
+		if err != nil || !res.Covered {
+			continue
+		}
+		pool = append(pool, q)
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("bench: no covered queries for %s", cfg.Dataset)
+	}
+	return pool, nil
+}
+
+// coldHot measures the Execute latency floor of q through the full
+// compile pipeline (cache bypassed) and through a plan-cache hit. The
+// minimum over the probes is reported: both paths do deterministic work,
+// so the floor is the signal and everything above it is scheduler and GC
+// noise that would otherwise dominate run-to-run variance.
+func coldHot(eng *core.Engine, q ra.Query, probes int) (cold, hot time.Duration, err error) {
+	coldOpts := core.DefaultOptions()
+	coldOpts.Cache = false
+	colds := make([]time.Duration, 0, probes)
+	for i := 0; i < probes; i++ {
+		t0 := time.Now()
+		if _, _, err := eng.Execute(q, coldOpts); err != nil {
+			return 0, 0, err
+		}
+		colds = append(colds, time.Since(t0))
+	}
+
+	hotOpts := core.DefaultOptions()
+	// Warm the cache, then time hits only.
+	if _, _, err := eng.Execute(q, hotOpts); err != nil {
+		return 0, 0, err
+	}
+	hots := make([]time.Duration, 0, probes)
+	for i := 0; i < probes; i++ {
+		t0 := time.Now()
+		_, rep, err := eng.Execute(q, hotOpts)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !rep.CacheHit {
+			return 0, 0, fmt.Errorf("bench: warm execution missed the cache")
+		}
+		hots = append(hots, time.Since(t0))
+	}
+	return minOf(colds), minOf(hots), nil
+}
+
+func minOf(ds []time.Duration) time.Duration {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[0]
+}

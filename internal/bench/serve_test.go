@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServe runs the serving benchmark at test scale and checks the
+// acceptance envelope: the plan cache must serve ≥ 90% of the Zipf replay
+// and make the repeated-query path ≥ 5x faster than cold compilation.
+func TestServe(t *testing.T) {
+	cfg := DefaultServeConfig()
+	cfg.Scale = 0.03
+	cfg.Ops = 2000
+	res, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d serving errors", res.Errors)
+	}
+	if res.Ops == 0 || res.QPS <= 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+	if res.Mutations == 0 {
+		t.Error("writers applied no mutations; the benchmark is not exercising churn")
+	}
+	if res.HitRate < 0.9 {
+		t.Errorf("plan-cache hit rate %.1f%% < 90%%", 100*res.HitRate)
+	}
+	if res.Speedup < 5 {
+		t.Errorf("cached path speedup %.1fx < 5x (cold %v, hot %v)",
+			res.Speedup, res.ColdLatency, res.HotLatency)
+	}
+
+	var sb strings.Builder
+	res.Format(&sb)
+	out := sb.String()
+	for _, want := range []string{"hit-rate", "speedup", "queries/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeRejectsBadConfig pins the validation errors: these used to
+// panic (nil Zipf for s <= 1, division by zero for Clients = 0).
+func TestServeRejectsBadConfig(t *testing.T) {
+	bad := []func(*ServeConfig){
+		func(c *ServeConfig) { c.ZipfS = 1.0 },
+		func(c *ServeConfig) { c.ZipfS = 0 },
+		func(c *ServeConfig) { c.Clients = 0 },
+		func(c *ServeConfig) { c.Writers = -1 },
+		func(c *ServeConfig) { c.Ops = 1; c.Clients = 8 },
+		func(c *ServeConfig) { c.Dataset = "nosuch" },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultServeConfig()
+		mutate(&cfg)
+		if _, err := Serve(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// TestServeAllDatasets smoke-tests the three workloads at minimal scale.
+func TestServeAllDatasets(t *testing.T) {
+	for _, name := range []string{"AIRCA", "TFACC", "MCBM"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultServeConfig()
+			cfg.Dataset = name
+			cfg.Scale = 0.02
+			cfg.Ops = 400
+			cfg.Clients = 4
+			cfg.Writers = 1
+			cfg.PoolSize = 12
+			cfg.LatencyProbes = 5
+			res, err := Serve(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Errors != 0 {
+				t.Fatalf("%d serving errors", res.Errors)
+			}
+			if res.Cache.Hits == 0 {
+				t.Error("no cache hits at all")
+			}
+		})
+	}
+}

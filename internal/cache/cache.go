@@ -1,0 +1,187 @@
+// Package cache provides a sharded, size-bounded LRU cache used as the
+// engine's plan cache: compiled query artifacts (coverage verdict, covered
+// rewrite, minimized access schema, bounded plan) are stored under a
+// canonical fingerprint of the query so repeated Execute calls skip the
+// PTIME analysis pipeline and go straight to plan execution.
+//
+// The cache is safe for concurrent use. Keys are strings (fingerprints);
+// values are opaque. Each shard holds its own mutex, hash map and intrusive
+// LRU list, so concurrent readers on different shards never contend.
+// Eviction is per-shard LRU with a global capacity divided evenly across
+// shards.
+package cache
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      int64 // Get found a live entry
+	Misses    int64 // Get found nothing
+	Evictions int64 // entries displaced by capacity pressure
+	Purges    int64 // entries dropped by Purge (invalidation)
+	Entries   int   // live entries right now
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 when no lookups happened.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a sharded LRU cache with a fixed total capacity.
+type Cache struct {
+	shards []shard
+	mask   uint64
+	seed   maphash.Seed
+
+	hits, misses, evictions, purges atomic.Int64
+}
+
+type shard struct {
+	mu  sync.Mutex
+	m   map[string]*entry
+	cap int
+	// Intrusive doubly-linked LRU list; head.next is most recent,
+	// head.prev least recent.
+	head entry
+}
+
+type entry struct {
+	key        string
+	val        any
+	prev, next *entry
+}
+
+// New creates a cache holding at most capacity entries spread over the
+// given number of shards. The shard count is rounded up to a power of two;
+// capacity below the shard count is raised so every shard holds at least
+// one entry. New(0, n) or New(n, 0) panic.
+func New(capacity, shards int) *Cache {
+	if capacity <= 0 || shards <= 0 {
+		panic("cache: capacity and shards must be positive")
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := (capacity + n - 1) / n
+	c := &Cache{shards: make([]shard, n), mask: uint64(n - 1), seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.m = make(map[string]*entry)
+		s.cap = perShard
+		s.head.next = &s.head
+		s.head.prev = &s.head
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	return &c.shards[maphash.String(c.seed, key)&c.mask]
+}
+
+// Get returns the value cached under key and whether it was present,
+// promoting the entry to most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	var val any
+	if ok {
+		// Copy the value inside the critical section: a concurrent Put on
+		// the same key rewrites e.val under the lock, and reading it after
+		// unlock would race.
+		val = e.val
+		s.unlink(e)
+		s.pushFront(e)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return val, true
+}
+
+// Put stores val under key, evicting the least recently used entry of the
+// key's shard when the shard is full. Storing an existing key refreshes its
+// value and recency.
+func (c *Cache) Put(key string, val any) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if e, ok := s.m[key]; ok {
+		e.val = val
+		s.unlink(e)
+		s.pushFront(e)
+		s.mu.Unlock()
+		return
+	}
+	if len(s.m) >= s.cap {
+		lru := s.head.prev
+		s.unlink(lru)
+		delete(s.m, lru.key)
+		c.evictions.Add(1)
+	}
+	e := &entry{key: key, val: val}
+	s.m[key] = e
+	s.pushFront(e)
+	s.mu.Unlock()
+}
+
+// Purge drops every entry, counting them as purges (not evictions). It is
+// the invalidation hammer for events that outdate all plans at once.
+func (c *Cache) Purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		c.purges.Add(int64(len(s.m)))
+		s.m = make(map[string]*entry)
+		s.head.next = &s.head
+		s.head.prev = &s.head
+		s.mu.Unlock()
+	}
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Purges:    c.purges.Load(),
+		Entries:   c.Len(),
+	}
+}
+
+func (s *shard) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) pushFront(e *entry) {
+	e.next = s.head.next
+	e.prev = &s.head
+	s.head.next.prev = e
+	s.head.next = e
+}

@@ -1,0 +1,147 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(8, 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put("a", 1)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	c.Put("a", 2)
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatal("Put did not refresh the value")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Single shard so LRU order is global and deterministic.
+	c := New(3, 1)
+	c.Put("a", 0)
+	c.Put("b", 0)
+	c.Put("c", 0)
+	// Touch a so b is now least recently used.
+	c.Get("a")
+	c.Put("d", 0)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s missing after eviction", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	c := New(64, 8)
+	for i := 0; i < 10_000; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if n := c.Len(); n > 64 {
+		t.Fatalf("cache grew to %d entries, capacity 64", n)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite overflow")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(16, 4)
+	for i := 0; i < 16; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatal("entries survived Purge")
+	}
+	if st := c.Stats(); st.Purges == 0 {
+		t.Fatal("purge counter not incremented")
+	}
+	if _, ok := c.Get("k3"); ok {
+		t.Fatal("purged key still served")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Fatal("zero stats should have 0 hit rate")
+	}
+	s = Stats{Hits: 9, Misses: 1}
+	if r := s.HitRate(); r != 0.9 {
+		t.Fatalf("hit rate = %v, want 0.9", r)
+	}
+}
+
+// TestConcurrentSameKey pins the Get/Put race on a single hot key: Put's
+// same-key refresh rewrites the entry value under the shard lock, so Get
+// must copy the value inside the critical section (caught by -race).
+func TestConcurrentSameKey(t *testing.T) {
+	c := New(8, 1)
+	c.Put("hot", 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if g%2 == 0 {
+					c.Put("hot", i)
+				} else if v, ok := c.Get("hot"); !ok || v == nil {
+					t.Error("hot key vanished")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrent hammers all operations from many goroutines; run with
+// -race in CI.
+func TestConcurrent(t *testing.T) {
+	c := New(128, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%300)
+				if i%3 == 0 {
+					c.Put(k, i)
+				} else {
+					c.Get(k)
+				}
+				if i%500 == 0 {
+					c.Purge()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 128 {
+		t.Fatalf("capacity exceeded: %d", n)
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}

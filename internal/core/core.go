@@ -7,9 +7,12 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/access"
+	"repro/internal/cache"
 	"repro/internal/cover"
 	"repro/internal/discovery"
 	"repro/internal/exec"
@@ -20,14 +23,43 @@ import (
 	"repro/internal/rewrite"
 	"repro/internal/sqlgen"
 	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// DefaultPlanCacheSize is the capacity (entries) of the plan cache built by
+// NewEngine, and DefaultPlanCacheShards its shard count.
+const (
+	DefaultPlanCacheSize   = 512
+	DefaultPlanCacheShards = 16
 )
 
 // Engine is a bounded-evaluation engine bound to a relational schema, an
 // access schema with built indices, and a database instance.
+//
+// An Engine is safe for concurrent use. Executions share the engine under
+// a read lock, so any number run in parallel; access-schema mutations
+// (AddConstraints, RemoveConstraint) take the write lock, which both
+// serializes them against in-flight executions and lets them invalidate
+// the plan cache atomically. Tuple-level writes (Insert, Delete) take only
+// the store's lock: by Proposition 12 the indices I_A are maintained
+// incrementally under insertions and deletions, so every cached plan stays
+// valid and queries keep running concurrently with data churn.
 type Engine struct {
 	Schema ra.Schema
 	Access *access.Schema
 	DB     *store.DB
+
+	// mu guards Access and the index topology against Execute. Executions
+	// hold it shared for their full duration, so a schema change never
+	// lands mid-plan.
+	mu sync.RWMutex
+	// version counts access-schema / index generations; it is folded into
+	// every plan-cache key, so entries compiled against a dropped or
+	// rebuilt index can never be served again.
+	version atomic.Uint64
+	// plans caches compiled queries by canonical fingerprint. nil disables
+	// caching (the zero Engine still works).
+	plans *cache.Cache
 }
 
 // Options tunes query processing.
@@ -41,15 +73,25 @@ type Options struct {
 	// FallbackToBaseline executes uncovered queries with the conventional
 	// evaluator instead of returning an error.
 	FallbackToBaseline bool
+	// Cache serves repeated queries from the plan cache: queries with the
+	// same canonical fingerprint (ra.Fingerprint) skip coverage checking,
+	// rewriting, minimization and plan generation. Default on in
+	// DefaultOptions.
+	Cache bool
+	// Parallel executes bounded plans with exec.RunParallel instead of
+	// exec.Run, using Workers goroutines (0 = GOMAXPROCS).
+	Parallel bool
+	Workers  int
 }
 
-// DefaultOptions enables the full pipeline.
+// DefaultOptions enables the full pipeline, including the plan cache.
 func DefaultOptions() Options {
-	return Options{Minimize: true, Rewrite: true, FallbackToBaseline: true}
+	return Options{Minimize: true, Rewrite: true, FallbackToBaseline: true, Cache: true}
 }
 
 // NewEngine validates the schemas, builds the indices I_A on db, and
-// returns an engine ready to process queries.
+// returns an engine ready to process queries, with a plan cache of
+// DefaultPlanCacheSize entries.
 func NewEngine(schema ra.Schema, A *access.Schema, db *store.DB) (*Engine, error) {
 	if err := A.Validate(schema); err != nil {
 		return nil, err
@@ -60,8 +102,57 @@ func NewEngine(schema ra.Schema, A *access.Schema, db *store.DB) (*Engine, error
 	if err := db.BuildIndexes(A); err != nil {
 		return nil, err
 	}
-	return &Engine{Schema: schema, Access: A, DB: db}, nil
+	return &Engine{
+		Schema: schema,
+		Access: A,
+		DB:     db,
+		plans:  cache.New(DefaultPlanCacheSize, DefaultPlanCacheShards),
+	}, nil
 }
+
+// SetPlanCacheCapacity replaces the plan cache with one of the given
+// capacity, dropping all entries; capacity <= 0 disables caching.
+func (e *Engine) SetPlanCacheCapacity(capacity int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if capacity <= 0 {
+		e.plans = nil
+		return
+	}
+	e.plans = cache.New(capacity, DefaultPlanCacheShards)
+}
+
+// CacheStats returns a snapshot of the plan-cache counters.
+func (e *Engine) CacheStats() cache.Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.plans == nil {
+		return cache.Stats{}
+	}
+	return e.plans.Stats()
+}
+
+// InvalidatePlans drops every cached plan and bumps the engine version.
+// Execute does this automatically on access-schema changes; it is exposed
+// for callers that mutate the database through a side channel the engine
+// cannot see (e.g. DB.DropIndexes in experiments).
+func (e *Engine) InvalidatePlans() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.invalidateLocked()
+}
+
+func (e *Engine) invalidateLocked() {
+	e.version.Add(1)
+	if e.plans != nil {
+		e.plans.Purge()
+	}
+}
+
+// Version returns the access-schema generation counter. It advances on
+// AddConstraints, RemoveConstraint and InvalidatePlans — never on tuple
+// inserts or deletes, whose index maintenance keeps existing plans valid.
+func (e *Engine) Version() uint64 { return e.version.Load() }
 
 // Parse parses a query in the textual rule language.
 func (e *Engine) Parse(src string) (ra.Query, error) {
@@ -74,6 +165,8 @@ func (e *Engine) Check(q ra.Query) (*cover.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return cover.Check(norm, e.Schema, e.Access)
 }
 
@@ -96,48 +189,135 @@ type Report struct {
 	Minimized *access.Schema
 	// Stats is the execution cost.
 	Stats exec.Stats
+	// CacheHit reports that the compile artifact (coverage verdict,
+	// rewrite, minimized schema, plan) came from the plan cache; the
+	// analysis latencies below are zero in that case.
+	CacheHit bool
 	// CheckTime, PlanTime, MinimizeTime are the analysis latencies
 	// (the Exp-2 measurements).
 	CheckTime, PlanTime, MinimizeTime time.Duration
 }
 
+// compiled is a plan-cache entry: everything Execute derives from a query
+// before touching data. Entries are immutable once published — concurrent
+// executions share the plan tree read-only.
+type compiled struct {
+	norm      ra.Query // normalized query, after rewriting when covered via rewrite
+	covered   bool
+	rewritten bool
+	rules     []string
+	plan      *plan.Plan     // nil when not covered
+	minimized *access.Schema // nil when minimization off or not covered
+}
+
 // Execute runs the full pipeline of Fig. 4 on q and returns the answer.
+// With opts.Cache, the analysis half of the pipeline (CovChk, rewriting,
+// minA, QPlan) runs once per canonical query form and engine version;
+// repeats jump straight to plan execution.
 func (e *Engine) Execute(q ra.Query, opts Options) (*exec.Table, *Report, error) {
-	rep := &Report{}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
 	norm, err := ra.Normalize(q, e.Schema)
 	if err != nil {
 		return nil, nil, err
 	}
 
-	t0 := time.Now()
-	res, err := cover.Check(norm, e.Schema, e.Access)
+	var key string
+	if opts.Cache && e.plans != nil {
+		// The engine version is part of the key: entries compiled before a
+		// schema or access-schema change can never be served after it.
+		key = fmt.Sprintf("v%d|m%t|r%t|%s", e.version.Load(), opts.Minimize, opts.Rewrite,
+			ra.FingerprintNormalized(norm))
+		if v, ok := e.plans.Get(key); ok {
+			return e.runCompiled(v.(*compiled), opts, &Report{CacheHit: true})
+		}
+	}
+
+	rep := &Report{}
+	c, err := e.compile(norm, opts, rep)
 	if err != nil {
 		return nil, nil, err
 	}
+	if key != "" {
+		e.plans.Put(key, c)
+	}
+	return e.runCompiled(c, opts, rep)
+}
+
+// compile runs the analysis pipeline on a normalized query: CovChk,
+// covered-form rewriting, access minimization and plan generation. Called
+// with e.mu held shared.
+func (e *Engine) compile(norm ra.Query, opts Options, rep *Report) (*compiled, error) {
+	t0 := time.Now()
+	res, err := cover.Check(norm, e.Schema, e.Access)
+	if err != nil {
+		return nil, err
+	}
 	rep.CheckTime = time.Since(t0)
 
+	c := &compiled{norm: norm}
 	if !res.Covered && opts.Rewrite {
 		rw, err := rewrite.ToCovered(norm, e.Schema, e.Access)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if rw.Covered {
-			rep.Rewritten = true
-			rep.RewriteRules = rw.Applied
-			norm = rw.Query
-			res, err = cover.Check(norm, e.Schema, e.Access)
+			c.rewritten = true
+			c.rules = rw.Applied
+			c.norm = rw.Query
+			res, err = cover.Check(rw.Query, e.Schema, e.Access)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 		}
 	}
-	rep.Covered = res.Covered
-
+	c.covered = res.Covered
 	if !res.Covered {
+		return c, nil
+	}
+
+	if opts.Minimize {
+		t1 := time.Now()
+		am, err := minimize.MinA(res, minimize.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		rep.MinimizeTime = time.Since(t1)
+		c.minimized = am
+		res, err = cover.Check(c.norm, e.Schema, am)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Covered {
+			return nil, fmt.Errorf("core: minimized schema no longer covers the query")
+		}
+	}
+
+	t2 := time.Now()
+	p, err := plan.Build(res)
+	if err != nil {
+		return nil, err
+	}
+	rep.PlanTime = time.Since(t2)
+	c.plan = p
+	return c, nil
+}
+
+// runCompiled executes a compile artifact: evalQP over the bounded plan
+// for covered queries, evalDBMS over the normalized query otherwise.
+func (e *Engine) runCompiled(c *compiled, opts Options, rep *Report) (*exec.Table, *Report, error) {
+	rep.Covered = c.covered
+	rep.Rewritten = c.rewritten
+	rep.RewriteRules = c.rules
+	rep.Plan = c.plan
+	rep.Minimized = c.minimized
+
+	if !c.covered {
 		if !opts.FallbackToBaseline {
 			return nil, rep, fmt.Errorf("core: query is not covered by the access schema")
 		}
-		table, st, err := exec.RunBaseline(norm, e.Schema, e.DB)
+		table, st, err := exec.RunBaseline(c.norm, e.Schema, e.DB)
 		if err != nil {
 			return nil, rep, err
 		}
@@ -145,33 +325,17 @@ func (e *Engine) Execute(q ra.Query, opts Options) (*exec.Table, *Report, error)
 		return table, rep, nil
 	}
 
-	if opts.Minimize {
-		t1 := time.Now()
-		am, err := minimize.MinA(res, minimize.DefaultOptions())
-		if err != nil {
-			return nil, rep, err
-		}
-		rep.MinimizeTime = time.Since(t1)
-		rep.Minimized = am
-		res, err = cover.Check(norm, e.Schema, am)
-		if err != nil {
-			return nil, rep, err
-		}
-		if !res.Covered {
-			return nil, rep, fmt.Errorf("core: minimized schema no longer covers the query")
-		}
-	}
-
-	t2 := time.Now()
-	p, err := plan.Build(res)
-	if err != nil {
-		return nil, rep, err
-	}
-	rep.PlanTime = time.Since(t2)
-	rep.Plan = p
 	rep.Bounded = true
-
-	table, st, err := exec.Run(p, e.DB)
+	var (
+		table *exec.Table
+		st    exec.Stats
+		err   error
+	)
+	if opts.Parallel {
+		table, st, err = exec.RunParallel(c.plan, e.DB, opts.Workers)
+	} else {
+		table, st, err = exec.Run(c.plan, e.DB)
+	}
 	if err != nil {
 		return nil, rep, err
 	}
@@ -211,16 +375,24 @@ func (e *Engine) Discover(opts discovery.Options) (*access.Schema, error) {
 	return discovery.Discover(e.DB, opts)
 }
 
-// AddConstraints installs extra constraints, building their indices.
+// AddConstraints installs extra constraints, building their indices. The
+// access schema is replaced copy-on-write (in-flight cover.Results keep
+// their immutable snapshot) and the plan cache is invalidated: plans
+// compiled before the change may miss access paths the new constraints
+// enable.
 func (e *Engine) AddConstraints(cs ...access.Constraint) error {
 	for _, c := range cs {
 		if err := c.Validate(e.Schema); err != nil {
 			return err
 		}
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	next := access.NewSchema(e.Access.Constraints...)
+	var built []access.Constraint
 	for _, c := range cs {
 		dup := false
-		for _, old := range e.Access.Constraints {
+		for _, old := range next.Constraints {
 			if old.Key() == c.Key() {
 				dup = true
 				break
@@ -230,9 +402,62 @@ func (e *Engine) AddConstraints(cs ...access.Constraint) error {
 			continue
 		}
 		if _, err := e.DB.BuildIndex(c); err != nil {
+			// Atomic failure: drop the indices built earlier in this batch
+			// so no orphan index is left registered (it would be maintained
+			// on every write but usable by no plan).
+			for _, b := range built {
+				e.DB.DropIndex(b)
+			}
 			return err
 		}
-		e.Access.Constraints = append(e.Access.Constraints, c)
+		built = append(built, c)
+		next.Constraints = append(next.Constraints, c)
+	}
+	if len(built) > 0 {
+		e.Access = next
+		e.invalidateLocked()
 	}
 	return nil
+}
+
+// RemoveConstraint uninstalls the constraint with c's key, dropping its
+// index and invalidating the plan cache — a cached plan whose fetch steps
+// use the dropped index must never be served again. It reports whether the
+// constraint was present.
+func (e *Engine) RemoveConstraint(c access.Constraint) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	kept := make([]access.Constraint, 0, len(e.Access.Constraints))
+	found := false
+	for _, old := range e.Access.Constraints {
+		if old.Key() == c.Key() {
+			found = true
+			continue
+		}
+		kept = append(kept, old)
+	}
+	if !found {
+		return false
+	}
+	// Invalidate before the index disappears so no execution can race a
+	// stale plan onto a half-dropped index (executions are excluded by the
+	// write lock for the whole critical section anyway).
+	e.invalidateLocked()
+	e.Access = access.NewSchema(kept...)
+	e.DB.DropIndex(c)
+	return true
+}
+
+// Insert adds a tuple to the database. Cached plans remain valid: the
+// indices I_A are maintained incrementally in O(N_A) time under insertions
+// (Proposition 12), so this neither invalidates the plan cache nor blocks
+// concurrent executions beyond the store's own write lock.
+func (e *Engine) Insert(rel string, t value.Tuple) (bool, error) {
+	return e.DB.Insert(rel, t)
+}
+
+// Delete removes a tuple from the database. Like Insert, it keeps every
+// cached plan valid via incremental index maintenance.
+func (e *Engine) Delete(rel string, t value.Tuple) (bool, error) {
+	return e.DB.Delete(rel, t)
 }

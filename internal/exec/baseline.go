@@ -18,28 +18,21 @@ import (
 // are involved). Its data access is Θ(|D|) by construction.
 func RunBaseline(q ra.Query, s ra.Schema, db *store.DB) (*Table, Stats, error) {
 	start := time.Now()
-	before := db.Counter()
-	t, _, err := evalBaseline(q, s, db)
+	var acc accCounter
+	t, _, err := evalBaseline(q, s, db, &acc)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	after := db.Counter()
-	st := Stats{
-		Fetched:  after.Fetched - before.Fetched,
-		Scanned:  after.Scanned - before.Scanned,
-		Duration: time.Since(start),
-	}
-	st.Accessed = st.Fetched + st.Scanned
-	return t, st, nil
+	return t, acc.stats(start, 0), nil
 }
 
-func evalBaseline(q ra.Query, s ra.Schema, db *store.DB) (*Table, []ra.Attr, error) {
+func evalBaseline(q ra.Query, s ra.Schema, db *store.DB, acc *accCounter) (*Table, []ra.Attr, error) {
 	if ra.IsSPC(q) {
 		spc, err := flattenOne(q, s)
 		if err != nil {
 			return nil, nil, err
 		}
-		t, err := evalSPCBaseline(spc, s, db)
+		t, err := evalSPCBaseline(spc, s, db, acc)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -47,11 +40,11 @@ func evalBaseline(q ra.Query, s ra.Schema, db *store.DB) (*Table, []ra.Attr, err
 	}
 	switch t := q.(type) {
 	case *ra.Union:
-		l, la, err := evalBaseline(t.L, s, db)
+		l, la, err := evalBaseline(t.L, s, db, acc)
 		if err != nil {
 			return nil, nil, err
 		}
-		r, _, err := evalBaseline(t.R, s, db)
+		r, _, err := evalBaseline(t.R, s, db, acc)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -64,11 +57,11 @@ func evalBaseline(q ra.Query, s ra.Schema, db *store.DB) (*Table, []ra.Attr, err
 		}
 		return out, la, nil
 	case *ra.Diff:
-		l, la, err := evalBaseline(t.L, s, db)
+		l, la, err := evalBaseline(t.L, s, db, acc)
 		if err != nil {
 			return nil, nil, err
 		}
-		r, _, err := evalBaseline(t.R, s, db)
+		r, _, err := evalBaseline(t.R, s, db, acc)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -80,7 +73,7 @@ func evalBaseline(q ra.Query, s ra.Schema, db *store.DB) (*Table, []ra.Attr, err
 		}
 		return out, la, nil
 	case *ra.Select:
-		in, ia, err := evalBaseline(t.In, s, db)
+		in, ia, err := evalBaseline(t.In, s, db, acc)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -96,7 +89,7 @@ func evalBaseline(q ra.Query, s ra.Schema, db *store.DB) (*Table, []ra.Attr, err
 		}
 		return out, ia, nil
 	case *ra.Project:
-		in, ia, err := evalBaseline(t.In, s, db)
+		in, ia, err := evalBaseline(t.In, s, db, acc)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -116,11 +109,11 @@ func evalBaseline(q ra.Query, s ra.Schema, db *store.DB) (*Table, []ra.Attr, err
 		}
 		return out, t.Attrs, nil
 	case *ra.Product:
-		l, la, err := evalBaseline(t.L, s, db)
+		l, la, err := evalBaseline(t.L, s, db, acc)
 		if err != nil {
 			return nil, nil, err
 		}
-		r, rAttrs, err := evalBaseline(t.R, s, db)
+		r, rAttrs, err := evalBaseline(t.R, s, db, acc)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -154,7 +147,7 @@ func flattenOne(q ra.Query, s ra.Schema) (*ra.SPC, error) {
 // joins. Tables are keyed by equality-class labels so equi-join conditions
 // become natural joins; residual conditions are checked implicitly by class
 // construction.
-func evalSPCBaseline(spc *ra.SPC, s ra.Schema, db *store.DB) (*Table, error) {
+func evalSPCBaseline(spc *ra.SPC, s ra.Schema, db *store.DB, acc *accCounter) (*Table, error) {
 	var all []ra.Attr
 	for _, rel := range spc.Rels {
 		names, err := s.Attrs(rel.Base)
@@ -196,7 +189,7 @@ func evalSPCBaseline(spc *ra.SPC, s ra.Schema, db *store.DB) (*Table, error) {
 	// Scan, filter and label each relation.
 	tabs := make([]*Table, 0, len(spc.Rels))
 	for _, rel := range spc.Rels {
-		t, err := scanRelation(rel, spc, classes, needed, s, db)
+		t, err := scanRelation(rel, spc, classes, needed, s, db, acc)
 		if err != nil {
 			return nil, err
 		}
@@ -242,7 +235,7 @@ func evalSPCBaseline(spc *ra.SPC, s ra.Schema, db *store.DB) (*Table, error) {
 }
 
 func scanRelation(rel *ra.Relation, spc *ra.SPC, classes *ra.Classes,
-	needed map[ra.Attr]bool, s ra.Schema, db *store.DB) (*Table, error) {
+	needed map[ra.Attr]bool, s ra.Schema, db *store.DB, acc *accCounter) (*Table, error) {
 	names, err := s.Attrs(rel.Base)
 	if err != nil {
 		return nil, err
@@ -281,6 +274,7 @@ func scanRelation(rel *ra.Relation, spc *ra.SPC, classes *ra.Classes,
 	if err != nil {
 		return nil, err
 	}
+	acc.addScanned(int64(len(rows)))
 rowLoop:
 	for _, t := range rows {
 		row := make(value.Tuple, len(cols))

@@ -21,7 +21,7 @@ func RunParallel(p *plan.Plan, db *store.DB, workers int) (*Table, Stats, error)
 		workers = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
-	before := db.Counter()
+	var acc accCounter
 
 	n := len(p.Steps)
 	tables := make([]*Table, n)
@@ -89,7 +89,7 @@ func RunParallel(p *plan.Plan, db *store.DB, workers int) (*Table, Stats, error)
 					finish(id, nil, nil) // drain without executing
 					continue
 				}
-				t, err := runStep(p, &p.Steps[id], tables, db)
+				t, err := runStep(p, &p.Steps[id], tables, db, &acc)
 				finish(id, t, err)
 			}
 		}()
@@ -99,13 +99,5 @@ func RunParallel(p *plan.Plan, db *store.DB, workers int) (*Table, Stats, error)
 	if firstErr != nil {
 		return nil, Stats{}, firstErr
 	}
-	after := db.Counter()
-	st := Stats{
-		Fetched:    after.Fetched - before.Fetched,
-		Scanned:    after.Scanned - before.Scanned,
-		Duration:   time.Since(start),
-		PlanLength: n,
-	}
-	st.Accessed = st.Fetched + st.Scanned
-	return tables[p.Result], st, nil
+	return tables[p.Result], acc.stats(start, n), nil
 }

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/plan"
@@ -22,31 +23,47 @@ type Stats struct {
 	PlanLength int
 }
 
+// accCounter tallies one evaluation's data accesses locally, mirroring the
+// store's accounting (Fetch: tuples returned, or 1 for an empty probe;
+// Scan: tuples read). The DB-global counter is a delta shared by every
+// concurrent execution, so per-run Stats must count independently or each
+// query would be charged for its neighbours' accesses. Fields are atomic
+// because RunParallel workers share one counter.
+type accCounter struct {
+	fetched, scanned int64
+}
+
+func (c *accCounter) addFetched(n int64) { atomic.AddInt64(&c.fetched, n) }
+func (c *accCounter) addScanned(n int64) { atomic.AddInt64(&c.scanned, n) }
+
+func (c *accCounter) stats(start time.Time, planLen int) Stats {
+	st := Stats{
+		Fetched:    atomic.LoadInt64(&c.fetched),
+		Scanned:    atomic.LoadInt64(&c.scanned),
+		Duration:   time.Since(start),
+		PlanLength: planLen,
+	}
+	st.Accessed = st.Fetched + st.Scanned
+	return st
+}
+
 // Run executes a bounded query plan against db (evalQP). Indices for every
 // constraint referenced by fetch steps must have been built.
 func Run(p *plan.Plan, db *store.DB) (*Table, Stats, error) {
 	start := time.Now()
-	before := db.Counter()
+	var acc accCounter
 	tables := make([]*Table, len(p.Steps))
 	for i := range p.Steps {
-		t, err := runStep(p, &p.Steps[i], tables, db)
+		t, err := runStep(p, &p.Steps[i], tables, db, &acc)
 		if err != nil {
 			return nil, Stats{}, fmt.Errorf("exec: step T%d (%s): %w", i, p.Steps[i].Op, err)
 		}
 		tables[i] = t
 	}
-	after := db.Counter()
-	st := Stats{
-		Fetched:    after.Fetched - before.Fetched,
-		Scanned:    after.Scanned - before.Scanned,
-		Duration:   time.Since(start),
-		PlanLength: len(p.Steps),
-	}
-	st.Accessed = st.Fetched + st.Scanned
-	return tables[p.Result], st, nil
+	return tables[p.Result], acc.stats(start, len(p.Steps)), nil
 }
 
-func runStep(p *plan.Plan, s *plan.Step, tables []*Table, db *store.DB) (*Table, error) {
+func runStep(p *plan.Plan, s *plan.Step, tables []*Table, db *store.DB, acc *accCounter) (*Table, error) {
 	switch s.Op {
 	case plan.OpConst:
 		t := NewTable(s.Cols)
@@ -55,7 +72,7 @@ func runStep(p *plan.Plan, s *plan.Step, tables []*Table, db *store.DB) (*Table,
 		}
 		return t, nil
 	case plan.OpFetch:
-		return runFetch(s, tables, db)
+		return runFetch(s, tables, db, acc)
 	case plan.OpProject:
 		in := tables[s.L]
 		t := NewTable(s.Cols)
@@ -127,7 +144,7 @@ func matches(r value.Tuple, conds []plan.Cond) bool {
 // input it retrieves the distinct XY projections via the constraint's
 // index, maps index attributes to output labels, and enforces intra-class
 // equality and constant bindings.
-func runFetch(s *plan.Step, tables []*Table, db *store.DB) (*Table, error) {
+func runFetch(s *plan.Step, tables []*Table, db *store.DB, acc *accCounter) (*Table, error) {
 	out := NewTable(s.Cols)
 
 	// Output label -> position, constant requirements by position.
@@ -179,11 +196,20 @@ func runFetch(s *plan.Step, tables []*Table, db *store.DB) (*Table, error) {
 		}
 	}
 
+	countFetch := func(fetched []value.Tuple) {
+		if len(fetched) == 0 {
+			acc.addFetched(1) // empty probe still touches the index once
+		} else {
+			acc.addFetched(int64(len(fetched)))
+		}
+	}
+
 	if len(s.XCols) == 0 {
 		fetched, err := db.Fetch(s.Con, nil)
 		if err != nil {
 			return nil, err
 		}
+		countFetch(fetched)
 		emit(fetched)
 		return out, nil
 	}
@@ -209,6 +235,7 @@ func runFetch(s *plan.Step, tables []*Table, db *store.DB) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		countFetch(fetched)
 		emit(fetched)
 	}
 	return out, nil

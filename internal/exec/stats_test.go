@@ -1,0 +1,68 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ra"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Per-run Stats must count only the run's own accesses: the DB-global
+// counter is shared, so concurrent executions using a global delta would
+// charge each query for its neighbours' reads.
+func TestStatsIsolatedAcrossConcurrentRuns(t *testing.T) {
+	s := ra.Schema{"r": {"a", "b"}}
+	db := store.NewDB(s)
+	for i := int64(0); i < 50; i++ {
+		if _, err := db.Insert("r", value.Tuple{value.NewInt(i), value.NewInt(i % 5)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := ra.Proj(ra.Sel(ra.R("r", "r1"), ra.EqC(ra.A("r1", "b"), value.NewInt(1))), ra.A("r1", "a"))
+	norm, err := ra.Normalize(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, serial, err := RunBaseline(norm, s, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Accessed != 50 {
+		t.Fatalf("serial baseline accessed %d, want 50", serial.Accessed)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				_, st, err := RunBaseline(norm, s, db)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if st.Accessed != serial.Accessed {
+					errs <- errStats{got: st.Accessed, want: serial.Accessed}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errStats struct{ got, want int64 }
+
+func (e errStats) Error() string {
+	return "concurrent run counted neighbours' accesses: got " +
+		value.NewInt(e.got).String() + ", want " + value.NewInt(e.want).String()
+}

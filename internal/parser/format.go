@@ -1,0 +1,246 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ra"
+	"repro/internal/value"
+)
+
+// Format renders q back into the rule language, the inverse of Parse for
+// queries in rule shape: SPC blocks π(σ(R1 × … × Rn)) combined with UNION
+// and EXCEPT. The printed text re-parses to a query with the same
+// canonical fingerprint (parse→print→parse is stable up to ra.Canonical).
+//
+// Queries outside the rule-language fragment — nested selections inside a
+// product operand, projections of a bare set operation, equality classes
+// bound to two different constants, or a projected class bound to a
+// constant — return an error: the syntax cannot express them positionally.
+func Format(q ra.Query, s ra.Schema) (string, error) {
+	f := &formatter{schema: s}
+	return f.expr(q)
+}
+
+type formatter struct {
+	schema ra.Schema
+	varSeq int
+}
+
+func (f *formatter) expr(q ra.Query) (string, error) {
+	switch t := q.(type) {
+	case *ra.Union:
+		l, err := f.expr(t.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := f.expr(t.R)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s) UNION (%s)", l, r), nil
+	case *ra.Diff:
+		l, err := f.expr(t.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := f.expr(t.R)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s) EXCEPT (%s)", l, r), nil
+	default:
+		return f.rule(q)
+	}
+}
+
+// rule renders one SPC block as a conjunctive rule.
+func (f *formatter) rule(q ra.Query) (string, error) {
+	proj, ok := q.(*ra.Project)
+	if !ok {
+		return "", fmt.Errorf("parser: query block %T is not a projection; not in rule shape", q)
+	}
+	body := proj.In
+	var preds []ra.Pred
+	for {
+		sel, ok := body.(*ra.Select)
+		if !ok {
+			break
+		}
+		preds = append(preds, sel.Preds...)
+		body = sel.In
+	}
+	atoms, err := productAtoms(body)
+	if err != nil {
+		return "", err
+	}
+
+	// Union-find the equality classes of the conjunction.
+	parent := map[ra.Attr]ra.Attr{}
+	var find func(a ra.Attr) ra.Attr
+	find = func(a ra.Attr) ra.Attr {
+		p, ok := parent[a]
+		if !ok {
+			parent[a] = a
+			return a
+		}
+		if p == a {
+			return a
+		}
+		r := find(p)
+		parent[a] = r
+		return r
+	}
+	union := func(a, b ra.Attr) {
+		ra_, rb := find(a), find(b)
+		if ra_ != rb {
+			parent[rb] = ra_
+		}
+	}
+	consts := map[ra.Attr][]value.Value{}
+	for _, p := range preds {
+		switch t := p.(type) {
+		case ra.EqAttr:
+			union(t.L, t.R)
+		case ra.EqConst:
+			find(t.A)
+			consts[t.A] = append(consts[t.A], t.C)
+		}
+	}
+	classConst := map[ra.Attr][]value.Value{} // root -> distinct constants
+	for a, cs := range consts {
+		r := find(a)
+		for _, c := range cs {
+			dup := false
+			for _, old := range classConst[r] {
+				if old == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				classConst[r] = append(classConst[r], c)
+			}
+		}
+	}
+	classSize := map[ra.Attr]int{} // root -> member count
+	for a := range parent {
+		classSize[find(a)]++
+	}
+
+	// Head classes need variables.
+	headClass := map[ra.Attr]bool{}
+	for _, a := range proj.Attrs {
+		headClass[find(a)] = true
+	}
+
+	// Assign variable names per class, in body scan order, to classes that
+	// need one: joined (≥ 2 members) or projected.
+	varOf := map[ra.Attr]string{}
+	for _, atom := range atoms {
+		attrs, err := f.schema.Attrs(atom.Base)
+		if err != nil {
+			return "", err
+		}
+		for _, name := range attrs {
+			a := ra.Attr{Rel: atom.Name, Name: name}
+			root := find(a)
+			if varOf[root] != "" {
+				continue
+			}
+			if headClass[root] || classSize[root] > 1 {
+				f.varSeq++
+				varOf[root] = fmt.Sprintf("v%d", f.varSeq)
+			}
+		}
+	}
+
+	// Render atoms.
+	var sb strings.Builder
+	var headVars []string
+	for _, a := range proj.Attrs {
+		root := find(a)
+		if len(classConst[root]) > 0 {
+			return "", fmt.Errorf("parser: projected attribute %s is bound to a constant; not expressible as a rule head", a)
+		}
+		headVars = append(headVars, varOf[root])
+	}
+	sb.WriteString("q(")
+	sb.WriteString(strings.Join(headVars, ", "))
+	sb.WriteString(") :- ")
+	for i, atom := range atoms {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		attrs, _ := f.schema.Attrs(atom.Base)
+		args := make([]string, len(attrs))
+		for j, name := range attrs {
+			a := ra.Attr{Rel: atom.Name, Name: name}
+			root := find(a)
+			cs := classConst[root]
+			switch {
+			case len(cs) > 1:
+				return "", fmt.Errorf("parser: attribute %s equated to %d different constants; rule syntax holds one per position", a, len(cs))
+			case len(cs) == 1:
+				if headClass[root] {
+					return "", fmt.Errorf("parser: projected class of %s carries a constant; not expressible", a)
+				}
+				lit, err := formatConst(cs[0])
+				if err != nil {
+					return "", err
+				}
+				args[j] = lit
+			case varOf[root] != "":
+				args[j] = varOf[root]
+			default:
+				args[j] = "_"
+			}
+		}
+		sb.WriteString(atom.Base)
+		sb.WriteString("(")
+		sb.WriteString(strings.Join(args, ", "))
+		sb.WriteString(")")
+	}
+	return sb.String(), nil
+}
+
+// productAtoms flattens a product tree whose leaves must all be relation
+// occurrences.
+func productAtoms(q ra.Query) ([]*ra.Relation, error) {
+	switch t := q.(type) {
+	case *ra.Relation:
+		return []*ra.Relation{t}, nil
+	case *ra.Product:
+		l, err := productAtoms(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := productAtoms(t.R)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+	default:
+		return nil, fmt.Errorf("parser: %T inside a rule body product; not in rule shape", q)
+	}
+}
+
+// formatConst renders a constant as a literal token. Strings pick whichever
+// quote they do not contain (the lexer has no escapes); integer-looking or
+// identifier-looking strings stay quoted so they re-parse as strings.
+func formatConst(v value.Value) (string, error) {
+	switch v.K {
+	case value.Int:
+		return v.String(), nil
+	case value.Str:
+		if !strings.Contains(v.S, "'") {
+			return "'" + v.S + "'", nil
+		}
+		if !strings.Contains(v.S, `"`) {
+			return `"` + v.S + `"`, nil
+		}
+		return "", fmt.Errorf("parser: string constant %q contains both quote kinds; not expressible", v.S)
+	default:
+		return "", fmt.Errorf("parser: cannot format %v constant", v.K)
+	}
+}

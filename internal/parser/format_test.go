@@ -1,0 +1,82 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/ra"
+)
+
+var fmtSchema = ra.Schema{
+	"friend": {"pid", "fid"},
+	"dine":   {"pid", "cid", "month", "year"},
+	"cafe":   {"cid", "city"},
+	"r":      {"a", "b"},
+	"s":      {"b", "c"},
+}
+
+// roundTripSrcs are rule-language queries that must survive
+// parse → format → parse with an unchanged canonical fingerprint.
+var roundTripSrcs = []string{
+	`q(cid) :- friend(0, f), dine(f, cid, 5, 2015), cafe(cid, 'nyc')`,
+	`q(x) :- r(x, y), s(y, z)`,
+	`q(x, x) :- r(x, _)`,
+	`q(a) :- r(a, 7)`,
+	`q(c) :- cafe(c, "nyc")`,
+	`q(x) :- r(x, y), s(y, -3)`,
+	`(q(c) :- r(c, 1)) UNION (q(c) :- s(c, 2))`,
+	`(q(c) :- r(c, 1)) EXCEPT (q(c) :- s(c, 2))`,
+	`(q(c) :- r(c, 1)) UNION (q(c) :- s(c, 2)) EXCEPT (q(c) :- r(c, 9))`,
+	`q(x) :- r(x, b), r(b, x)`,
+	`q(y) :- dine(p, y, m, 2015), cafe(y, city), friend(0, p)`,
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	for _, src := range roundTripSrcs {
+		src := src
+		t.Run(src, func(t *testing.T) {
+			q, err := Parse(src, fmtSchema)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			out, err := Format(q, fmtSchema)
+			if err != nil {
+				t.Fatalf("format: %v", err)
+			}
+			q2, err := Parse(out, fmtSchema)
+			if err != nil {
+				t.Fatalf("re-parse of %q: %v", out, err)
+			}
+			fp1, err := ra.Fingerprint(q, fmtSchema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp2, err := ra.Fingerprint(q2, fmtSchema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fp1 != fp2 {
+				t.Errorf("fingerprint changed across round trip:\n in: %s\nout: %s", src, out)
+			}
+			// Printing is stable: formatting the re-parse gives the same text.
+			out2, err := Format(q2, fmtSchema)
+			if err != nil {
+				t.Fatalf("re-format: %v", err)
+			}
+			if out != out2 {
+				t.Errorf("format not stable:\n1: %s\n2: %s", out, out2)
+			}
+		})
+	}
+}
+
+func TestFormatRejectsNonRuleShapes(t *testing.T) {
+	// A bare relation is not in rule shape (no projection).
+	if _, err := Format(ra.R("r", "r1"), fmtSchema); err == nil {
+		t.Error("expected error for bare relation")
+	}
+	// Projection over a union is outside the fragment.
+	u := ra.U(ra.R("r", "r1"), ra.R("s", "s1"))
+	if _, err := Format(ra.Proj(u, ra.A("r1", "a")), fmtSchema); err == nil {
+		t.Error("expected error for projection over union")
+	}
+}

@@ -1,0 +1,59 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/ra"
+)
+
+// FuzzParse asserts that the parser never panics on arbitrary input, and
+// that for every accepted query parse → Format → parse is stable: the
+// printed form re-parses to a fingerprint-equal query and re-prints to the
+// same text. Parser output is always inside the printable fragment, so a
+// Format error on an accepted query is a bug.
+func FuzzParse(f *testing.F) {
+	for _, src := range roundTripSrcs {
+		f.Add(src)
+	}
+	// Template queries from the benchmark workloads, plus malformed input.
+	for _, src := range []string{
+		`q(airline) :- ontime(f, 42, d, airline, m, delay)`, // wrong schema: must error, not panic
+		`q(cid) :- friend(0,f), dine(f,cid,5,2015), cafe(cid,'nyc')`,
+		`(q(x) :- call(cid, 42, x, 7, dur)) EXCEPT (q(x) :- call(cid2, 42, x, 7, dur2), sms(mid, 42, x, 7))`,
+		`q(`, `q() :- `, `q(x) :-`, `q(x) :- r(x`, `q(x) :- r(x,)`,
+		`q(x) :- r(x, 'unterminated`, `q(x) :- r(x, y))`, `)) UNION`,
+		`q(x) :- r(x, y), `, `q(x) :- unknown(x)`, `q(x,) :- r(x, y)`,
+		"q(x) :- r(x, y)\x00", `q(☃) :- r(☃, y)`,
+	} {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src, fmtSchema)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		out, err := Format(q, fmtSchema)
+		if err != nil {
+			t.Fatalf("parser output not formattable: %v\nsrc: %q", err, src)
+		}
+		q2, err := Parse(out, fmtSchema)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\nsrc: %q\nout: %q", err, src, out)
+		}
+		fp1, err := ra.Fingerprint(q, fmtSchema)
+		if err != nil {
+			t.Fatalf("fingerprint of parsed query: %v", err)
+		}
+		fp2, err := ra.Fingerprint(q2, fmtSchema)
+		if err != nil {
+			t.Fatalf("fingerprint of re-parsed query: %v", err)
+		}
+		if fp1 != fp2 {
+			t.Fatalf("round trip changed the query:\nsrc: %q\nout: %q", src, out)
+		}
+		out2, err := Format(q2, fmtSchema)
+		if err != nil || out != out2 {
+			t.Fatalf("printing is not stable: %v\n1: %q\n2: %q", err, out, out2)
+		}
+	})
+}

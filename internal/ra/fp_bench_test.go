@@ -1,0 +1,29 @@
+package ra
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func benchQuery() Query {
+	return Proj(
+		Sel(Prod(R("r", "x"), R("s", "y"), R("t", "z")),
+			Eq(A("x", "b"), A("y", "b")),
+			Eq(A("y", "c"), A("z", "c")),
+			EqC(A("x", "a"), value.NewInt(1)),
+			EqC(A("z", "a"), value.NewInt(2))),
+		A("y", "c"),
+	)
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	q := benchQuery()
+	s := fpSchema
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fingerprint(q, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package store
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/access"
@@ -30,8 +31,17 @@ type Counter struct {
 func (c Counter) Total() int64 { return c.Fetched + c.Scanned }
 
 // DB is an in-memory database instance of a relational schema.
+//
+// A DB is safe for concurrent use: tuple reads (Scan, Rows, Fetch, Size)
+// take a shared lock while mutations (Insert, Delete, index builds and
+// drops) take an exclusive one, so any number of bounded-plan executions
+// can proceed concurrently with each other and are serialized only against
+// writes. Indices are maintained incrementally inside the same critical
+// section as the base relation (Proposition 12), so readers never observe
+// a relation/index mismatch.
 type DB struct {
 	Schema  ra.Schema
+	mu      sync.RWMutex
 	rels    map[string]*Relation
 	indexes map[string]*Index
 	counter Counter
@@ -78,8 +88,17 @@ func (r *Relation) Positions(attrs []string) ([]int, error) {
 	return out, nil
 }
 
-// Rel returns the named relation.
+// Rel returns the named relation. The returned handle is a live view: its
+// Attrs and Positions are immutable and safe to use concurrently, but Len
+// reads the mutable row set and is only meaningful while no writer runs.
 func (db *DB) Rel(name string) (*Relation, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.rel(name)
+}
+
+// rel is Rel without locking, for use inside critical sections.
+func (db *DB) rel(name string) (*Relation, error) {
 	r, ok := db.rels[name]
 	if !ok {
 		return nil, fmt.Errorf("store: unknown relation %q", name)
@@ -89,6 +108,8 @@ func (db *DB) Rel(name string) (*Relation, error) {
 
 // Size returns |D|: the total number of stored tuples.
 func (db *DB) Size() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var n int64
 	for _, r := range db.rels {
 		n += int64(len(r.rows))
@@ -114,7 +135,9 @@ func (db *DB) ResetCounter() {
 // incrementally in O(N_A) time (Proposition 12). Duplicate inserts are
 // no-ops. It returns true when the tuple was new.
 func (db *DB) Insert(rel string, t value.Tuple) (bool, error) {
-	r, err := db.Rel(rel)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, err := db.rel(rel)
 	if err != nil {
 		return false, err
 	}
@@ -137,7 +160,9 @@ func (db *DB) Insert(rel string, t value.Tuple) (bool, error) {
 // Delete removes tuple t from relation rel, maintaining indices
 // incrementally. It returns true when the tuple existed.
 func (db *DB) Delete(rel string, t value.Tuple) (bool, error) {
-	r, err := db.Rel(rel)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, err := db.rel(rel)
 	if err != nil {
 		return false, err
 	}
@@ -167,7 +192,9 @@ func (db *DB) BulkLoad(rel string, ts []value.Tuple) error {
 // Scan returns all tuples of rel, charging a full-scan access for each —
 // the conventional evaluation path.
 func (db *DB) Scan(rel string) ([]value.Tuple, error) {
-	r, err := db.Rel(rel)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, err := db.rel(rel)
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +209,9 @@ func (db *DB) Scan(rel string) ([]value.Tuple, error) {
 // Rows returns the tuples of rel without charging accesses (used by
 // loaders, validators and tests).
 func (db *DB) Rows(rel string) ([]value.Tuple, error) {
-	r, err := db.Rel(rel)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, err := db.rel(rel)
 	if err != nil {
 		return nil, err
 	}
@@ -217,10 +246,16 @@ type refRow struct {
 // BuildIndex constructs the index for constraint c from the current
 // instance, in O(|D_R|) time, and registers it for maintenance.
 func (db *DB) BuildIndex(c access.Constraint) (*Index, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.buildIndex(c)
+}
+
+func (db *DB) buildIndex(c access.Constraint) (*Index, error) {
 	if err := c.Validate(db.Schema); err != nil {
 		return nil, err
 	}
-	r, err := db.Rel(c.Rel)
+	r, err := db.rel(c.Rel)
 	if err != nil {
 		return nil, err
 	}
@@ -243,8 +278,10 @@ func (db *DB) BuildIndex(c access.Constraint) (*Index, error) {
 
 // BuildIndexes builds indices for every constraint of A.
 func (db *DB) BuildIndexes(A *access.Schema) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	for _, c := range A.Constraints {
-		if _, err := db.BuildIndex(c); err != nil {
+		if _, err := db.buildIndex(c); err != nil {
 			return err
 		}
 	}
@@ -252,10 +289,29 @@ func (db *DB) BuildIndexes(A *access.Schema) error {
 }
 
 // DropIndexes removes all indices (for experiments varying ‖A‖).
-func (db *DB) DropIndexes() { db.indexes = map[string]*Index{} }
+func (db *DB) DropIndexes() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.indexes = map[string]*Index{}
+}
+
+// DropIndex removes the index of constraint c, reporting whether it
+// existed. Plans built against c fail their fetches afterwards; callers
+// maintaining a plan cache must invalidate before dropping.
+func (db *DB) DropIndex(c access.Constraint) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.indexes[c.Key()]; !ok {
+		return false
+	}
+	delete(db.indexes, c.Key())
+	return true
+}
 
 // Indexes returns the registered indices sorted by constraint key.
 func (db *DB) Indexes() []*Index {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	keys := make([]string, 0, len(db.indexes))
 	for k := range db.indexes {
 		keys = append(keys, k)
@@ -320,6 +376,8 @@ func (idx *Index) Cols() []string { return idx.cols }
 
 // IndexEntries sums Entries over all indices: |I_A|.
 func (db *DB) IndexEntries() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var n int64
 	for _, idx := range db.indexes {
 		n += idx.Entries()
@@ -332,6 +390,8 @@ func (db *DB) IndexEntries() int64 {
 // one access per returned tuple (at most N). The index must have been
 // built. The returned tuples use the plan.IndexCols(c) column layout.
 func (db *DB) Fetch(c access.Constraint, xvals value.Tuple) ([]value.Tuple, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	idx, ok := db.indexes[c.Key()]
 	if !ok {
 		return nil, fmt.Errorf("store: no index for %s", c)
@@ -358,10 +418,12 @@ func (db *DB) Fetch(c access.Constraint, xvals value.Tuple) ([]value.Tuple, erro
 // Satisfies verifies that the current instance satisfies constraint c,
 // i.e. every X value has at most N distinct Y projections.
 func (db *DB) Satisfies(c access.Constraint) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	idx, ok := db.indexes[c.Key()]
 	if !ok {
 		var err error
-		idx, err = db.BuildIndex(c)
+		idx, err = db.buildIndex(c)
 		if err != nil {
 			return err
 		}
@@ -389,6 +451,8 @@ func (db *DB) SatisfiesAll(A *access.Schema) error {
 // fan-out (the paper's "constraints determined by policies and statistics
 // are maintained"). It returns the adjusted constraints.
 func (db *DB) Maintain(A *access.Schema) []access.Constraint {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	var adjusted []access.Constraint
 	for i, c := range A.Constraints {
 		idx, ok := db.indexes[c.Key()]
