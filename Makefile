@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz-smoke bench-serve
+.PHONY: check build vet test race fuzz-smoke bench-serve docs-check
 
-# check is the full CI pipeline: compile, vet, race-enabled tests and a
-# short fuzz smoke of the parser and canonicalizer.
-check: build vet race fuzz-smoke
+# check is the full CI pipeline: compile, vet, race-enabled tests, a short
+# fuzz smoke of the parser and canonicalizer, and the documentation gate.
+check: build vet race fuzz-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,22 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/parser
 	$(GO) test -run=^$$ -fuzz=FuzzNormalize -fuzztime=10s ./internal/ra
 
+# docs-check is the documentation gate: gofmt-clean sources, vet, and
+# cmd/docscheck (package doc comments everywhere; doc comments on every
+# exported identifier of the root package and internal/server).
+docs-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/docscheck
+
 # bench-serve prints the concurrent serving benchmark (QPS, plan-cache hit
-# rate, cold-vs-cached speedup) on all three datasets.
+# rate, cold-vs-cached speedup) on all three datasets, in-process and (for
+# AIRCA) through the HTTP front end over loopback.
 bench-serve:
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -transport http
 	$(GO) run ./cmd/boundedctl -op serve -dataset TFACC -scale 0.1
 	$(GO) run ./cmd/boundedctl -op serve -dataset MCBM -scale 0.1

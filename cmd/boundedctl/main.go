@@ -12,20 +12,32 @@
 //	boundedctl -dataset facebook -op minimize -query "..."
 //	boundedctl -dataset facebook -op constraints
 //	boundedctl -dataset AIRCA -op serve -clients 8 -ops 10000
+//	boundedctl -dataset AIRCA -op http -addr :8080
 //
 // The serve operation replays a Zipf-skewed mix of repeated workload
 // queries from concurrent clients against a mutating database and reports
-// throughput, plan-cache hit rate and the cold-vs-cached speedup.
+// throughput, plan-cache hit rate and the cold-vs-cached speedup; with
+// -transport http the replay drives the HTTP front end over loopback
+// instead of calling the engine in-process.
+//
+// The http operation loads the dataset and serves it over the HTTP/JSON
+// front end (internal/server) until SIGINT/SIGTERM, then drains in-flight
+// requests and exits. See docs/ARCHITECTURE.md for the endpoints.
 //
 // The query language is Datalog-style conjunctive rules combined with
 // UNION and EXCEPT; see internal/parser.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/bench"
@@ -33,6 +45,7 @@ import (
 	"repro/internal/minimize"
 	"repro/internal/plan"
 	"repro/internal/ra"
+	"repro/internal/server"
 	"repro/internal/sqlgen"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -50,24 +63,36 @@ func main() {
 	zipf := flag.Float64("zipf", 1.2, "serve: Zipf skew exponent (>1)")
 	poolSize := flag.Int("pool", 40, "serve: distinct queries in the replay pool")
 	cacheSize := flag.Int("cachesize", 0, "serve: plan-cache capacity (0 = default)")
+	transport := flag.String("transport", "engine", "serve: engine (in-process) or http (loopback front end)")
+	addr := flag.String("addr", ":8080", "http: listen address")
+	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "http: per-request timeout")
+	maxInFlight := flag.Int("maxinflight", 0, "http: max concurrent queries (0 = 4×GOMAXPROCS, <0 = unlimited)")
+	maxRows := flag.Int("maxrows", server.DefaultMaxRows, "http: default row cap per response (<0 = unlimited)")
 	flag.Parse()
 
-	if *op == "serve" {
-		if err := serve(*dataset, *scale, *seed, *clients, *writers, *ops, *zipf, *poolSize, *cacheSize); err != nil {
+	switch *op {
+	case "serve":
+		if err := serve(*dataset, *transport, *scale, *seed, *clients, *writers, *ops, *zipf, *poolSize, *cacheSize); err != nil {
 			fmt.Fprintln(os.Stderr, "boundedctl:", err)
 			os.Exit(1)
 		}
-		return
-	}
-	if err := run(*dataset, *op, *query, *scale, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "boundedctl:", err)
-		os.Exit(1)
+	case "http":
+		if err := serveHTTP(*dataset, *scale, *seed, *addr, *timeout, *maxInFlight, *maxRows, *cacheSize); err != nil {
+			fmt.Fprintln(os.Stderr, "boundedctl:", err)
+			os.Exit(1)
+		}
+	default:
+		if err := run(*dataset, *op, *query, *scale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "boundedctl:", err)
+			os.Exit(1)
+		}
 	}
 }
 
-func serve(dataset string, scale float64, seed int64, clients, writers, ops int, zipf float64, poolSize, cacheSize int) error {
+func serve(dataset, transport string, scale float64, seed int64, clients, writers, ops int, zipf float64, poolSize, cacheSize int) error {
 	cfg := bench.DefaultServeConfig()
 	cfg.Dataset = dataset
+	cfg.Transport = transport
 	cfg.Scale = scale
 	cfg.Seed = seed
 	cfg.Clients = clients
@@ -82,6 +107,52 @@ func serve(dataset string, scale float64, seed int64, clients, writers, ops int,
 	}
 	res.Format(os.Stdout)
 	return nil
+}
+
+// serveHTTP loads the dataset with data, builds the engine and serves it
+// over the HTTP/JSON front end until SIGINT/SIGTERM, then shuts down
+// gracefully, draining in-flight requests.
+func serveHTTP(dataset string, scale float64, seed int64, addr string, timeout time.Duration, maxInFlight, maxRows, cacheSize int) error {
+	schema, A, db, err := load(dataset, scale, seed, true)
+	if err != nil {
+		return err
+	}
+	eng, err := core.NewEngine(schema, A, db)
+	if err != nil {
+		return err
+	}
+	if cacheSize > 0 {
+		eng.SetPlanCacheCapacity(cacheSize)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := server.New(eng, server.Config{
+		Addr:           addr,
+		RequestTimeout: timeout,
+		MaxInFlight:    maxInFlight,
+		MaxRows:        maxRows,
+		Logger:         logger,
+	})
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Start() }()
+	logger.Info("dataset loaded", "dataset", dataset, "tuples", db.Size(),
+		"constraints", A.Len())
+
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		logger.Info("signal received; draining", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		<-errCh // http.ErrServerClosed after a clean shutdown
+		return nil
+	}
 }
 
 func load(dataset string, scale float64, seed int64, withData bool) (ra.Schema, *access.Schema, *store.DB, error) {
@@ -236,7 +307,7 @@ func run(dataset, op, query string, scale float64, seed int64) error {
 		}
 		return nil
 	default:
-		ops := []string{"check", "plan", "sql", "minimize", "run", "constraints"}
+		ops := []string{"check", "plan", "sql", "minimize", "run", "constraints", "serve", "http"}
 		sort.Strings(ops)
 		return fmt.Errorf("unknown op %q (want one of %v)", op, ops)
 	}

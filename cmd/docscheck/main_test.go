@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates a file tree rooted at dir.
+func write(t *testing.T, dir, name, content string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFlagsMissingPackageDoc(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "internal/widget/widget.go", "package widget\n\nfunc f() {}\n")
+	vs, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0], "no package doc comment") {
+		t.Fatalf("want one package-doc violation, got %v", vs)
+	}
+}
+
+func TestCheckStrictPackages(t *testing.T) {
+	dir := t.TempDir()
+	// Root package: documented package, one documented and one
+	// undocumented exported identifier, one unexported (ignored).
+	write(t, dir, "api.go", `// Package api is documented.
+package api
+
+// Documented is documented.
+func Documented() {}
+
+func Bare() {}
+
+type Undoc struct{}
+
+// T is documented.
+type T struct{}
+
+// M is documented.
+func (T) M() {}
+
+func (T) N() {}
+
+func internalHelper() {}
+`)
+	// internal/server is also strict.
+	write(t, dir, "internal/server/server.go", `// Package server is documented.
+package server
+
+const Loose = 1
+
+// Grouped consts share the group comment.
+const (
+	A = 1
+	B = 2
+)
+
+var V int
+`)
+	// Other internal packages only need the package comment.
+	write(t, dir, "internal/other/other.go", `// Package other is documented.
+package other
+
+func Exported() {}
+`)
+	vs, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, v := range vs {
+		got = append(got, v[strings.LastIndex(v, "exported"):])
+	}
+	want := []string{
+		"exported function Bare has no doc comment",
+		"exported type Undoc has no doc comment",
+		"exported method N has no doc comment",
+		"exported const Loose has no doc comment",
+		"exported var V has no doc comment",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("want %d violations %v, got %v", len(want), want, vs)
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing violation %q in %v", w, got)
+		}
+	}
+}
+
+// TestCheckRepo runs the gate against the real repository — the same
+// assertion CI makes via `make docs-check`.
+func TestCheckRepo(t *testing.T) {
+	vs, err := check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("repository has documentation violations:\n%s", strings.Join(vs, "\n"))
+	}
+}

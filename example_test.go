@@ -65,6 +65,52 @@ func Example() {
 	// (sf)
 }
 
+// ExampleFingerprint shows the canonical fingerprint the plan cache is
+// keyed on: two syntactically different spellings of the same query —
+// renamed variables, reordered atoms — share one fingerprint, so the
+// second execution of either is a cache hit for both.
+func ExampleFingerprint() {
+	schema := bounded.Schema{
+		"friend": {"pid", "fid"},
+		"dine":   {"pid", "cid"},
+	}
+	eng, err := bounded.NewEngine(schema, bounded.NewAccessSchema(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := eng.Parse("q(c) :- friend(0, f), dine(f, c)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := eng.Parse("q(x) :- dine(buddy, x), friend(0, buddy)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fa, err := bounded.Fingerprint(a, schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fb, err := bounded.Fingerprint(b, schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("equal fingerprints:", fa == fb)
+	// Output:
+	// equal fingerprints: true
+}
+
+// ExampleParseConstraint reads the paper's R(X → Y, N) notation: from pid
+// one can fetch at most 31 cid values from dine.
+func ExampleParseConstraint() {
+	c, err := bounded.ParseConstraint("dine(pid -> cid, 31)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.Rel, c.X, c.Y, c.N)
+	// Output:
+	// dine [pid] [cid] 31
+}
+
 // ExampleCheck shows direct use of the coverage checker with the algebra
 // builders: an uncovered query reports which attributes cannot be fetched.
 func ExampleCheck() {

@@ -2,13 +2,19 @@
 // queries against a mutating database from N goroutines, the regime the
 // plan cache and the incrementally maintained ⟨A, I_A⟩ indexes are built
 // for. It reports throughput, plan-cache hit rate, and the cold-compile vs
-// cache-hit speedup on the hottest query.
+// cache-hit speedup on the hottest query. With Transport "http" the same
+// replay drives the network front end (internal/server) over a loopback
+// listener instead of calling the engine in-process, so the two numbers
+// bracket the cost of the HTTP/JSON boundary.
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
+	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -16,7 +22,9 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/parser"
 	"repro/internal/ra"
+	"repro/internal/server"
 	"repro/internal/value"
 	"repro/internal/workload"
 )
@@ -44,6 +52,11 @@ type ServeConfig struct {
 	CacheSize int
 	// LatencyProbes is how many timed runs the cold/hot comparison uses.
 	LatencyProbes int
+	// Transport selects how clients reach the engine: "engine" (default,
+	// in-process Execute calls) or "http" (the internal/server front end
+	// over a loopback listener, queries shipped as rule text and answers
+	// as JSON).
+	Transport string
 }
 
 // DefaultServeConfig keeps a full run well under a second in -short test
@@ -59,17 +72,32 @@ func DefaultServeConfig() ServeConfig {
 		PoolSize:      40,
 		ZipfS:         1.2,
 		LatencyProbes: 25,
+		Transport:     TransportEngine,
 	}
 }
 
+// Transport values for ServeConfig.
+const (
+	TransportEngine = "engine"
+	TransportHTTP   = "http"
+)
+
 // ServeResult reports one serving-benchmark run.
 type ServeResult struct {
-	Dataset  string
-	Ops      int
-	Errors   int
-	Duration time.Duration
+	Dataset string
+	// Transport is the client path the replay used: "engine" for
+	// in-process Execute calls, "http" for the loopback front end.
+	Transport string
+	Ops       int
+	Errors    int
+	Duration  time.Duration
 	// QPS is completed queries per wall-clock second across all clients.
 	QPS float64
+	// MeanLatency is total per-request client time divided by completed
+	// ops — on the http transport it includes JSON encoding and the
+	// loopback round trip, so MeanLatency(http) − MeanLatency(engine)
+	// prices the network boundary.
+	MeanLatency time.Duration
 	// Cache holds the plan-cache counter deltas over the serving phase
 	// (the cold/hot latency probes are excluded); HitRate is the hit
 	// fraction of those same counters. Entries is the live count at the
@@ -90,10 +118,11 @@ type ServeResult struct {
 
 // Format renders the result as an aligned report.
 func (r *ServeResult) Format(w io.Writer) {
-	fmt.Fprintf(w, "# serving benchmark on %s\n", r.Dataset)
+	fmt.Fprintf(w, "# serving benchmark on %s (transport: %s)\n", r.Dataset, r.Transport)
 	fmt.Fprintf(w, "ops\t%d (errors %d)\n", r.Ops, r.Errors)
 	fmt.Fprintf(w, "duration\t%v\n", r.Duration.Round(time.Millisecond))
 	fmt.Fprintf(w, "throughput\t%.0f queries/s\n", r.QPS)
+	fmt.Fprintf(w, "mean latency\t%v per query\n", r.MeanLatency)
 	fmt.Fprintf(w, "cache\thits %d  misses %d  evictions %d  hit-rate %.1f%%\n",
 		r.Cache.Hits, r.Cache.Misses, r.Cache.Evictions, 100*r.HitRate)
 	fmt.Fprintf(w, "mutations\t%d tuple writes during run\n", r.Mutations)
@@ -120,6 +149,16 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if cfg.ZipfS <= 1 {
 		return nil, fmt.Errorf("bench: ZipfS must be > 1 (Zipf skew exponent), got %g", cfg.ZipfS)
 	}
+	transport := cfg.Transport
+	if transport == "" {
+		transport = TransportEngine
+	}
+	if transport != TransportEngine && transport != TransportHTTP {
+		// Validated before data generation like the other config errors:
+		// a typo must not cost a full dataset build first.
+		return nil, fmt.Errorf("bench: unknown transport %q (want %q or %q)",
+			transport, TransportEngine, TransportHTTP)
+	}
 	d, err := workload.ByName(cfg.Dataset)
 	if err != nil {
 		return nil, err
@@ -140,7 +179,18 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		return nil, err
 	}
 
-	res := &ServeResult{Dataset: cfg.Dataset}
+	var drv serveDriver
+	if transport == TransportHTTP {
+		drv, err = newHTTPDriver(eng, d.Schema, pool)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		drv = &engineDriver{eng: eng, pool: pool, opts: core.DefaultOptions()}
+	}
+	defer drv.close()
+
+	res := &ServeResult{Dataset: cfg.Dataset, Transport: transport}
 
 	// Cold vs hot latency over a probe set of pool queries, before the
 	// serving phase. Summing per-query floors across the set weights the
@@ -175,9 +225,9 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		completed atomic.Int64
 		errCount  atomic.Int64
 		mutations atomic.Int64
+		latencyNs atomic.Int64
 		stop      atomic.Bool
 	)
-	opts := core.DefaultOptions()
 	perClient := cfg.Ops / cfg.Clients
 
 	// Writers churn sampled rows: delete then reinsert, so the instance
@@ -207,11 +257,11 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 					continue
 				}
 				t := rows[rng.Intn(len(rows))]
-				if _, err := eng.Delete(rel, t); err != nil {
+				if err := drv.delete(rel, t); err != nil {
 					errCount.Add(1)
 					return
 				}
-				if _, err := eng.Insert(rel, t); err != nil {
+				if err := drv.insert(rel, t); err != nil {
 					errCount.Add(1)
 					return
 				}
@@ -228,11 +278,12 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
 			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(pool)-1))
 			for i := 0; i < perClient; i++ {
-				q := pool[zipf.Uint64()]
-				if _, _, err := eng.Execute(q, opts); err != nil {
+				t0 := time.Now()
+				if err := drv.query(int(zipf.Uint64())); err != nil {
 					errCount.Add(1)
 					return
 				}
+				latencyNs.Add(int64(time.Since(t0)))
 				completed.Add(1)
 			}
 		}(c)
@@ -248,6 +299,9 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if res.Duration > 0 {
 		res.QPS = float64(res.Ops) / res.Duration.Seconds()
 	}
+	if res.Ops > 0 {
+		res.MeanLatency = time.Duration(latencyNs.Load() / int64(res.Ops))
+	}
 	after := eng.CacheStats()
 	res.Cache = cache.Stats{
 		Hits:      after.Hits - before.Hits,
@@ -260,9 +314,109 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	return res, nil
 }
 
+// serveDriver abstracts the client path of the replay: the engine driver
+// calls Execute in-process, the HTTP driver round-trips every operation
+// through the network front end over loopback.
+type serveDriver interface {
+	// query replays pool entry i.
+	query(i int) error
+	// insert / delete apply one tuple write.
+	insert(rel string, t value.Tuple) error
+	delete(rel string, t value.Tuple) error
+	// close releases transport resources (the loopback server).
+	close()
+}
+
+// engineDriver is the in-process client path.
+type engineDriver struct {
+	eng  *core.Engine
+	pool []ra.Query
+	opts core.Options
+}
+
+func (d *engineDriver) query(i int) error {
+	_, _, err := d.eng.Execute(d.pool[i], d.opts)
+	return err
+}
+
+func (d *engineDriver) insert(rel string, t value.Tuple) error {
+	_, err := d.eng.Insert(rel, t)
+	return err
+}
+
+func (d *engineDriver) delete(rel string, t value.Tuple) error {
+	_, err := d.eng.Delete(rel, t)
+	return err
+}
+
+func (d *engineDriver) close() {}
+
+// httpDriver serves eng on a loopback listener and replays through the
+// typed client, shipping queries as rule text the way a remote caller
+// would. Pool queries are pre-rendered once (parser.Format) so the replay
+// measures the wire path, not repeated formatting.
+type httpDriver struct {
+	srv   *server.Server
+	cli   *server.Client
+	texts []string
+}
+
+func newHTTPDriver(eng *core.Engine, schema ra.Schema, pool []ra.Query) (*httpDriver, error) {
+	texts := make([]string, len(pool))
+	for i, q := range pool {
+		text, err := parser.Format(q, schema)
+		if err != nil {
+			return nil, fmt.Errorf("bench: pool query %d not expressible as rule text: %w", i, err)
+		}
+		texts[i] = text
+	}
+	srv := server.New(eng, server.Config{
+		Logger: slog.New(slog.DiscardHandler),
+		// The replay is a throughput test; don't cap rows or let the
+		// default timeout interfere at high concurrency.
+		MaxRows:        -1,
+		RequestTimeout: time.Minute,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	cli := server.NewClient(srv.Addr())
+	if err := cli.WaitReady(context.Background(), 10*time.Second); err != nil {
+		srv.Shutdown(context.Background()) //nolint:errcheck
+		return nil, err
+	}
+	return &httpDriver{srv: srv, cli: cli, texts: texts}, nil
+}
+
+func (d *httpDriver) query(i int) error {
+	_, err := d.cli.Query(context.Background(), d.texts[i])
+	return err
+}
+
+func (d *httpDriver) insert(rel string, t value.Tuple) error {
+	_, err := d.cli.Insert(context.Background(), rel, []value.Tuple{t})
+	return err
+}
+
+func (d *httpDriver) delete(rel string, t value.Tuple) error {
+	_, err := d.cli.Delete(context.Background(), rel, []value.Tuple{t})
+	return err
+}
+
+func (d *httpDriver) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = d.srv.Shutdown(ctx)
+}
+
 // servePool assembles the distinct-query pool: parsed covered templates
-// first, then random covered generator queries up to cfg.PoolSize.
+// first, then random covered generator queries up to cfg.PoolSize. On the
+// http transport the pool is additionally restricted to queries
+// expressible in the rule language, since that is how they travel.
 func servePool(eng *core.Engine, d *workload.Dataset, cfg ServeConfig) ([]ra.Query, error) {
+	needText := cfg.Transport == TransportHTTP
 	var pool []ra.Query
 	for _, tpl := range d.Templates() {
 		if len(pool) >= cfg.PoolSize {
@@ -290,6 +444,11 @@ func servePool(eng *core.Engine, d *workload.Dataset, cfg ServeConfig) ([]ra.Que
 		res, err := eng.Check(q)
 		if err != nil || !res.Covered {
 			continue
+		}
+		if needText {
+			if _, err := parser.Format(q, d.Schema); err != nil {
+				continue
+			}
 		}
 		pool = append(pool, q)
 	}

@@ -43,6 +43,48 @@ func TestServe(t *testing.T) {
 	}
 }
 
+// TestServeHTTPTransport replays the same benchmark through the network
+// front end over loopback: every query is shipped as rule text, every
+// mutation as a JSON batch, and the cache must keep serving across the
+// wire exactly as it does in-process.
+func TestServeHTTPTransport(t *testing.T) {
+	cfg := DefaultServeConfig()
+	cfg.Transport = TransportHTTP
+	cfg.Scale = 0.03
+	cfg.Ops = 800
+	cfg.Clients = 4
+	cfg.Writers = 1
+	cfg.PoolSize = 16
+	cfg.LatencyProbes = 5
+	res, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d serving errors over HTTP", res.Errors)
+	}
+	if res.Transport != TransportHTTP {
+		t.Fatalf("want transport %q in the result, got %q", TransportHTTP, res.Transport)
+	}
+	if res.Ops == 0 || res.QPS <= 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+	if res.Mutations == 0 {
+		t.Error("writers applied no mutations over HTTP")
+	}
+	if res.HitRate < 0.9 {
+		t.Errorf("plan-cache hit rate %.1f%% < 90%% over HTTP", 100*res.HitRate)
+	}
+	if res.MeanLatency <= 0 {
+		t.Error("mean latency not measured")
+	}
+	var sb strings.Builder
+	res.Format(&sb)
+	if !strings.Contains(sb.String(), "transport: http") {
+		t.Errorf("report missing transport line:\n%s", sb.String())
+	}
+}
+
 // TestServeRejectsBadConfig pins the validation errors: these used to
 // panic (nil Zipf for s <= 1, division by zero for Clients = 0).
 func TestServeRejectsBadConfig(t *testing.T) {
@@ -53,6 +95,7 @@ func TestServeRejectsBadConfig(t *testing.T) {
 		func(c *ServeConfig) { c.Writers = -1 },
 		func(c *ServeConfig) { c.Ops = 1; c.Clients = 8 },
 		func(c *ServeConfig) { c.Dataset = "nosuch" },
+		func(c *ServeConfig) { c.Transport = "smoke-signals" },
 	}
 	for i, mutate := range bad {
 		cfg := DefaultServeConfig()

@@ -154,6 +154,17 @@ func (e *Engine) invalidateLocked() {
 // inserts or deletes, whose index maintenance keeps existing plans valid.
 func (e *Engine) Version() uint64 { return e.version.Load() }
 
+// AccessSnapshot returns a consistent copy of the installed access schema.
+// The Access field itself is replaced copy-on-write under the engine lock
+// by AddConstraints / RemoveConstraint, so concurrent readers (e.g. the
+// HTTP front end's /schema endpoint) must go through this accessor rather
+// than read the field directly.
+func (e *Engine) AccessSnapshot() *access.Schema {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return access.NewSchema(e.Access.Constraints...)
+}
+
 // Parse parses a query in the textual rule language.
 func (e *Engine) Parse(src string) (ra.Query, error) {
 	return parser.Parse(src, e.Schema)
@@ -196,6 +207,10 @@ type Report struct {
 	// CheckTime, PlanTime, MinimizeTime are the analysis latencies
 	// (the Exp-2 measurements).
 	CheckTime, PlanTime, MinimizeTime time.Duration
+	// Version is the engine's access-schema generation the execution ran
+	// under, read while the engine lock was held — unlike Engine.Version,
+	// it cannot race with a concurrent constraint change.
+	Version uint64
 }
 
 // compiled is a plan-cache entry: everything Execute derives from a query
@@ -230,11 +245,11 @@ func (e *Engine) Execute(q ra.Query, opts Options) (*exec.Table, *Report, error)
 		key = fmt.Sprintf("v%d|m%t|r%t|%s", e.version.Load(), opts.Minimize, opts.Rewrite,
 			ra.FingerprintNormalized(norm))
 		if v, ok := e.plans.Get(key); ok {
-			return e.runCompiled(v.(*compiled), opts, &Report{CacheHit: true})
+			return e.runCompiled(v.(*compiled), opts, &Report{CacheHit: true, Version: e.version.Load()})
 		}
 	}
 
-	rep := &Report{}
+	rep := &Report{Version: e.version.Load()}
 	c, err := e.compile(norm, opts, rep)
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,40 @@
+package parser_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/parser"
+	"repro/internal/ra"
+)
+
+// ExampleFormat shows the rule language round trip: Parse reads a
+// Datalog-style rule into relational algebra, Format renders the algebra
+// back. The printed text re-parses to a query with the same canonical
+// fingerprint, which is how the HTTP benchmark ships pool queries as text.
+func ExampleFormat() {
+	schema := ra.Schema{
+		"friend": {"pid", "fid"},
+		"dine":   {"pid", "cid"},
+	}
+	q, err := parser.Parse("q(c) :- friend(0, buddy), dine(buddy, c)", schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, err := parser.Format(q, schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(text)
+
+	back, err := parser.Parse(text, schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f1, _ := ra.Fingerprint(q, schema)
+	f2, _ := ra.Fingerprint(back, schema)
+	fmt.Println("round trip preserves the fingerprint:", f1 == f2)
+	// Output:
+	// q(v2) :- friend(0, v1), dine(v1, v2)
+	// round trip preserves the fingerprint: true
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/value"
+)
+
+// Client is a typed HTTP client for a Server. It is the programmatic face
+// of the wire protocol: the loopback benchmark, the examples and external
+// Go callers all talk to the front end through it. A Client is safe for
+// concurrent use.
+//
+// Deadlines are the caller's: every method takes a context, and a Client
+// imposes no transport timeout of its own, so a server configured for
+// long-running queries is not cut off client-side. Pass a context with a
+// deadline to bound an individual call.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at base, e.g.
+// "http://127.0.0.1:8080". A scheme-less base is assumed http.
+func NewClient(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 64,
+			},
+		},
+	}
+}
+
+// Query executes a rule-language query with the server's default options.
+func (c *Client) Query(ctx context.Context, query string) (*QueryResponse, error) {
+	return c.QueryOpts(ctx, QueryRequest{Query: query})
+}
+
+// QueryOpts executes a query with explicit request options.
+func (c *Client) QueryOpts(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	var resp QueryResponse
+	if err := c.post(ctx, "/query", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Insert adds a batch of tuples to one relation.
+func (c *Client) Insert(ctx context.Context, relation string, tuples []value.Tuple) (*MutateResponse, error) {
+	return c.mutate(ctx, "/insert", relation, tuples)
+}
+
+// Delete removes a batch of tuples from one relation.
+func (c *Client) Delete(ctx context.Context, relation string, tuples []value.Tuple) (*MutateResponse, error) {
+	return c.mutate(ctx, "/delete", relation, tuples)
+}
+
+func (c *Client) mutate(ctx context.Context, path, relation string, tuples []value.Tuple) (*MutateResponse, error) {
+	req := MutateRequest{Relation: relation, Tuples: make([][]wireValue, len(tuples))}
+	for i, t := range tuples {
+		req.Tuples[i] = encodeTuple(t)
+	}
+	var resp MutateResponse
+	if err := c.post(ctx, path, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Schema fetches the relational schema and access constraints.
+func (c *Client) Schema(ctx context.Context) (*SchemaResponse, error) {
+	var resp SchemaResponse
+	if err := c.get(ctx, "/schema", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches plan-cache counters and server accounting.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.get(ctx, "/stats", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health probes /healthz, returning nil when the server answers ok.
+func (c *Client) Health(ctx context.Context) error {
+	var resp HealthResponse
+	if err := c.get(ctx, "/healthz", &resp); err != nil {
+		return err
+	}
+	if resp.Status != "ok" {
+		return fmt.Errorf("server: health status %q", resp.Status)
+	}
+	return nil
+}
+
+// WaitReady polls /healthz until the server answers or the deadline
+// passes — the startup handshake for callers that just launched one.
+func (c *Client) WaitReady(ctx context.Context, d time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	var lastErr error
+	for {
+		if lastErr = c.Health(ctx); lastErr == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server: not ready after %v: %w", d, lastErr)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// RowTuples converts a response's rows back into store tuples.
+func (r *QueryResponse) RowTuples() []value.Tuple {
+	out := make([]value.Tuple, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = decodeTuple(row)
+	}
+	return out
+}
+
+func (c *Client) post(ctx context.Context, path string, body, dst any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, dst)
+}
+
+func (c *Client) get(ctx context.Context, path string, dst any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, dst)
+}
+
+// do runs the request and decodes the JSON answer, converting non-2xx
+// responses into *APIError.
+func (c *Client) do(req *http.Request, dst any) error {
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(res.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if res.StatusCode/100 != 2 {
+		var e ErrorResponse
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return &APIError{Status: res.StatusCode, Message: e.Error}
+		}
+		return &APIError{Status: res.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	if dst == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		return fmt.Errorf("server: decoding %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}
+
+// APIError is a non-2xx answer from the server.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error text.
+	Message string
+}
+
+// Error renders the status and message.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d %s: %s", e.Status, http.StatusText(e.Status), e.Message)
+}

@@ -1,0 +1,106 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/ra"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Example starts the HTTP front end on a loopback listener and drives it
+// through the typed client: run a query, read the boundedness and cache
+// metadata, mutate a tuple, and watch the cached plan keep serving.
+func Example() {
+	// The Example-1 graph-search scenario: who dined where, bounded by
+	// access constraints.
+	schema := ra.Schema{
+		"friend": {"pid", "fid"},
+		"cafe":   {"cid", "city"},
+		"dine":   {"pid", "cid"},
+	}
+	A := access.NewSchema(
+		access.Constraint{Rel: "friend", X: []string{"pid"}, Y: []string{"fid"}, N: 5000},
+		access.Constraint{Rel: "dine", X: []string{"pid"}, Y: []string{"cid"}, N: 31},
+		access.Constraint{Rel: "cafe", X: []string{"cid"}, Y: []string{"city"}, N: 1},
+	)
+	db := store.NewDB(schema)
+	for _, row := range []struct {
+		rel string
+		t   value.Tuple
+	}{
+		{"friend", value.Tuple{value.NewInt(0), value.NewInt(1)}},
+		{"dine", value.Tuple{value.NewInt(1), value.NewInt(10)}},
+		{"cafe", value.Tuple{value.NewInt(10), value.NewStr("nyc")}},
+	} {
+		if _, err := db.Insert(row.rel, row.t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng, err := core.NewEngine(schema, A, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve on an ephemeral loopback port; discard the request log.
+	srv := server.New(eng, server.Config{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	ctx := context.Background()
+	c := server.NewClient(srv.Addr())
+	if err := c.WaitReady(ctx, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// First execution compiles; the response carries the full metadata.
+	resp, err := c.Query(ctx, "q(city) :- friend(0, f), dine(f, c), cafe(c, city)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("covered:", resp.Covered, "bounded:", resp.Bounded, "cacheHit:", resp.CacheHit)
+	for _, row := range resp.RowTuples() {
+		fmt.Println("row:", row)
+	}
+
+	// A tuple insert keeps the cached plan valid: the repeat run is a
+	// cache hit and sees the new data.
+	if _, err := c.Insert(ctx, "friend", []value.Tuple{{value.NewInt(0), value.NewInt(2)}}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Insert(ctx, "dine", []value.Tuple{{value.NewInt(2), value.NewInt(11)}}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Insert(ctx, "cafe", []value.Tuple{{value.NewInt(11), value.NewStr("sf")}}); err != nil {
+		log.Fatal(err)
+	}
+	resp, err = c.Query(ctx, "q(city) :- friend(0, f), dine(f, c), cafe(c, city)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after insert — cacheHit:", resp.CacheHit, "rows:", resp.RowCount)
+
+	// Output:
+	// covered: true bounded: true cacheHit: false
+	// row: (nyc)
+	// after insert — cacheHit: true rows: 2
+}

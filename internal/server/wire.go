@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// QueryRequest is the body of POST /query. Query is a query in the rule
+// language of internal/parser; the remaining fields tune execution the way
+// core.Options does, starting from the engine's defaults.
+type QueryRequest struct {
+	// Query is the query text, e.g.
+	// "q(cid) :- friend(0,f), dine(f,cid), cafe(cid,'nyc')".
+	Query string `json:"query"`
+	// Parallel executes the bounded plan with exec.RunParallel using
+	// Workers goroutines (0 = GOMAXPROCS).
+	Parallel bool `json:"parallel,omitempty"`
+	Workers  int  `json:"workers,omitempty"`
+	// NoCache bypasses the plan cache for this request: the full analysis
+	// pipeline runs even for a previously seen query.
+	NoCache bool `json:"noCache,omitempty"`
+	// MaxRows caps the number of rows returned (0 = the server's default;
+	// negative = unlimited). RowCount always reports the full answer size.
+	MaxRows int `json:"maxRows,omitempty"`
+}
+
+// QueryResponse is the answer to POST /query: the result rows plus the
+// plan/cache/boundedness metadata of core.Report.
+type QueryResponse struct {
+	// Columns and Rows are the result table. Values encode kind-faithfully:
+	// Int as a JSON number, Str as a JSON string, Null as null.
+	Columns []string      `json:"columns"`
+	Rows    [][]wireValue `json:"rows"`
+	// RowCount is the full answer cardinality; Truncated reports that Rows
+	// was capped below it by MaxRows.
+	RowCount  int  `json:"rowCount"`
+	Truncated bool `json:"truncated,omitempty"`
+
+	// Canonical is the canonical form of the query rendered back into rule
+	// syntax (the plan-cache identity), when it is expressible there.
+	Canonical string `json:"canonical,omitempty"`
+
+	// Covered / Rewritten / Bounded / CacheHit mirror core.Report: whether
+	// the (possibly rewritten) query is covered by the access schema,
+	// whether covered-form rewriting changed it, whether the bounded
+	// evaluator ran (false = conventional fallback), and whether the
+	// compile artifact came from the plan cache.
+	Covered      bool     `json:"covered"`
+	Rewritten    bool     `json:"rewritten,omitempty"`
+	RewriteRules []string `json:"rewriteRules,omitempty"`
+	Bounded      bool     `json:"bounded"`
+	CacheHit     bool     `json:"cacheHit"`
+	// PlanLength is the number of bounded plan steps (0 on the fallback).
+	PlanLength int `json:"planLength,omitempty"`
+
+	// Accessed / Fetched / Scanned count tuples read during evaluation,
+	// split by access path; ElapsedMicros is evaluation wall time and
+	// CompileMicros the analysis time (0 on a cache hit).
+	Accessed      int64 `json:"accessed"`
+	Fetched       int64 `json:"fetched,omitempty"`
+	Scanned       int64 `json:"scanned,omitempty"`
+	ElapsedMicros int64 `json:"elapsedMicros"`
+	CompileMicros int64 `json:"compileMicros,omitempty"`
+
+	// Version is the engine's access-schema generation the execution ran
+	// under, read while the engine lock was held (core.Report.Version) —
+	// a CacheHit response always carries the version its plan was
+	// compiled at.
+	Version uint64 `json:"version"`
+}
+
+// MutateRequest is the body of POST /insert and POST /delete: a batch of
+// tuples for one relation. Tuple values follow the wire encoding of
+// QueryResponse rows (numbers, strings, null).
+type MutateRequest struct {
+	Relation string        `json:"relation"`
+	Tuples   [][]wireValue `json:"tuples"`
+}
+
+// MutateResponse reports a mutation batch. Applied counts tuples actually
+// inserted (new) or deleted (present); set semantics make re-inserting an
+// existing tuple or deleting an absent one a no-op counted only in
+// Requested. Version is the engine's current access-schema generation;
+// tuple writes themselves never advance it — cached plans stay valid
+// under them (Proposition 12) — so it moves only if a constraint change
+// lands concurrently.
+type MutateResponse struct {
+	Relation  string `json:"relation"`
+	Requested int    `json:"requested"`
+	Applied   int    `json:"applied"`
+	Version   uint64 `json:"version"`
+}
+
+// WireConstraint is the JSON form of an access constraint R(X → Y, N).
+type WireConstraint struct {
+	Rel string   `json:"rel"`
+	X   []string `json:"x"`
+	Y   []string `json:"y"`
+	N   int      `json:"n"`
+}
+
+// SchemaResponse is the answer to GET /schema: the relational schema and
+// the current access schema.
+type SchemaResponse struct {
+	// Relations maps base relation name to attribute names in order.
+	Relations map[string][]string `json:"relations"`
+	// Constraints is the installed access schema.
+	Constraints []WireConstraint `json:"constraints"`
+	Version     uint64           `json:"version"`
+}
+
+// CacheStatsWire is the JSON form of the plan-cache counters.
+type CacheStatsWire struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Purges    int64   `json:"purges"`
+	Entries   int     `json:"entries"`
+	HitRate   float64 `json:"hitRate"`
+}
+
+// StatsResponse is the answer to GET /stats: plan-cache counters, database
+// and index sizes, and the server's own request accounting.
+type StatsResponse struct {
+	Cache CacheStatsWire `json:"cache"`
+	// DBSize is total tuples across base relations; IndexEntries total
+	// entries across the indices I_A.
+	DBSize       int64  `json:"dbSize"`
+	IndexEntries int64  `json:"indexEntries"`
+	Version      uint64 `json:"version"`
+	// Requests counts HTTP requests served since start; InFlight is the
+	// number of /query executions currently running.
+	Requests      int64   `json:"requests"`
+	InFlight      int64   `json:"inFlight"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+// HealthResponse is the answer to GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// wireValue adapts value.Value to its JSON wire form: Int ↔ JSON number,
+// Str ↔ JSON string, Null ↔ null. Decoding goes through json.Number so
+// 64-bit integers round-trip without float64 precision loss.
+type wireValue struct {
+	v value.Value
+}
+
+// MarshalJSON encodes the wrapped value kind-faithfully.
+func (w wireValue) MarshalJSON() ([]byte, error) {
+	switch w.v.K {
+	case value.Int:
+		return json.Marshal(w.v.I)
+	case value.Str:
+		return json.Marshal(w.v.S)
+	default:
+		return []byte("null"), nil
+	}
+}
+
+// UnmarshalJSON decodes a JSON scalar into a value.Value.
+func (w *wireValue) UnmarshalJSON(b []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.UseNumber()
+	var raw any
+	if err := dec.Decode(&raw); err != nil {
+		return err
+	}
+	switch t := raw.(type) {
+	case nil:
+		w.v = value.Value{}
+	case string:
+		w.v = value.NewStr(t)
+	case json.Number:
+		i, err := t.Int64()
+		if err != nil {
+			return fmt.Errorf("server: non-integer number %q in tuple", t.String())
+		}
+		w.v = value.NewInt(i)
+	case bool:
+		return fmt.Errorf("server: boolean values are not part of the data model")
+	default:
+		return fmt.Errorf("server: value must be a number, string or null, got %T", raw)
+	}
+	return nil
+}
+
+// encodeTuple converts a store tuple to its wire form.
+func encodeTuple(t value.Tuple) []wireValue {
+	out := make([]wireValue, len(t))
+	for i, v := range t {
+		out[i] = wireValue{v}
+	}
+	return out
+}
+
+// decodeTuple converts a wire tuple back to a store tuple.
+func decodeTuple(ws []wireValue) value.Tuple {
+	out := make(value.Tuple, len(ws))
+	for i, w := range ws {
+		out[i] = w.v
+	}
+	return out
+}
