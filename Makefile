@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz-smoke bench-serve docs-check
+.PHONY: check build vet test race fuzz-smoke bench-serve bench-shard docs-check
 
 # check is the full CI pipeline: compile, vet, race-enabled tests, a short
 # fuzz smoke of the parser and canonicalizer, and the documentation gate.
@@ -43,3 +43,13 @@ bench-serve:
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -transport http
 	$(GO) run ./cmd/boundedctl -op serve -dataset TFACC -scale 0.1
 	$(GO) run ./cmd/boundedctl -op serve -dataset MCBM -scale 0.1
+
+# bench-shard prices horizontal partitioning: the same Zipf replay against
+# the single engine and against the scatter/gather router at 1, 2, 4 and 8
+# shards, with the routing-decision breakdown per run.
+bench-shard:
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 1
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 2
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 4
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 8

@@ -12,7 +12,9 @@
 //	boundedctl -dataset facebook -op minimize -query "..."
 //	boundedctl -dataset facebook -op constraints
 //	boundedctl -dataset AIRCA -op serve -clients 8 -ops 10000
+//	boundedctl -dataset AIRCA -op serve -transport sharded -shards 4
 //	boundedctl -dataset AIRCA -op http -addr :8080
+//	boundedctl -dataset AIRCA -op http -shards 4
 //
 // The serve operation replays a Zipf-skewed mix of repeated workload
 // queries from concurrent clients against a mutating database and reports
@@ -46,6 +48,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/ra"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/sqlgen"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -63,7 +66,8 @@ func main() {
 	zipf := flag.Float64("zipf", 1.2, "serve: Zipf skew exponent (>1)")
 	poolSize := flag.Int("pool", 40, "serve: distinct queries in the replay pool")
 	cacheSize := flag.Int("cachesize", 0, "serve: plan-cache capacity (0 = default)")
-	transport := flag.String("transport", "engine", "serve: engine (in-process) or http (loopback front end)")
+	transport := flag.String("transport", "engine", "serve: engine (in-process), http (loopback front end) or sharded (scatter/gather router)")
+	shards := flag.Int("shards", 0, "serve/http: partition count for the sharded router (0 = unsharded)")
 	addr := flag.String("addr", ":8080", "http: listen address")
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "http: per-request timeout")
 	maxInFlight := flag.Int("maxinflight", 0, "http: max concurrent queries (0 = 4×GOMAXPROCS, <0 = unlimited)")
@@ -72,12 +76,12 @@ func main() {
 
 	switch *op {
 	case "serve":
-		if err := serve(*dataset, *transport, *scale, *seed, *clients, *writers, *ops, *zipf, *poolSize, *cacheSize); err != nil {
+		if err := serve(*dataset, *transport, *shards, *scale, *seed, *clients, *writers, *ops, *zipf, *poolSize, *cacheSize); err != nil {
 			fmt.Fprintln(os.Stderr, "boundedctl:", err)
 			os.Exit(1)
 		}
 	case "http":
-		if err := serveHTTP(*dataset, *scale, *seed, *addr, *timeout, *maxInFlight, *maxRows, *cacheSize); err != nil {
+		if err := serveHTTP(*dataset, *shards, *scale, *seed, *addr, *timeout, *maxInFlight, *maxRows, *cacheSize); err != nil {
 			fmt.Fprintln(os.Stderr, "boundedctl:", err)
 			os.Exit(1)
 		}
@@ -89,10 +93,11 @@ func main() {
 	}
 }
 
-func serve(dataset, transport string, scale float64, seed int64, clients, writers, ops int, zipf float64, poolSize, cacheSize int) error {
+func serve(dataset, transport string, shards int, scale float64, seed int64, clients, writers, ops int, zipf float64, poolSize, cacheSize int) error {
 	cfg := bench.DefaultServeConfig()
 	cfg.Dataset = dataset
 	cfg.Transport = transport
+	cfg.Shards = shards
 	cfg.Scale = scale
 	cfg.Seed = seed
 	cfg.Clients = clients
@@ -109,23 +114,41 @@ func serve(dataset, transport string, scale float64, seed int64, clients, writer
 	return nil
 }
 
-// serveHTTP loads the dataset with data, builds the engine and serves it
-// over the HTTP/JSON front end until SIGINT/SIGTERM, then shuts down
-// gracefully, draining in-flight requests.
-func serveHTTP(dataset string, scale float64, seed int64, addr string, timeout time.Duration, maxInFlight, maxRows, cacheSize int) error {
+// serveHTTP loads the dataset with data, builds the serving layer — a
+// single engine, or the scatter/gather router over N of them when shards
+// is positive — and serves it over the HTTP/JSON front end until
+// SIGINT/SIGTERM, then shuts down gracefully, draining in-flight
+// requests.
+func serveHTTP(dataset string, shards int, scale float64, seed int64, addr string, timeout time.Duration, maxInFlight, maxRows, cacheSize int) error {
 	schema, A, db, err := load(dataset, scale, seed, true)
 	if err != nil {
 		return err
 	}
-	eng, err := core.NewEngine(schema, A, db)
-	if err != nil {
-		return err
-	}
-	if cacheSize > 0 {
-		eng.SetPlanCacheCapacity(cacheSize)
-	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	srv := server.New(eng, server.Config{
+	var svc core.Service
+	if shards > 0 {
+		keys := shardKeys(dataset)
+		router, err := shard.New(schema, A, db, shard.Spec{
+			Shards:        shards,
+			Keys:          keys,
+			PlanCacheSize: cacheSize,
+		})
+		if err != nil {
+			return err
+		}
+		logger.Info("sharded cluster built", "router", router.String())
+		svc = router
+	} else {
+		eng, err := core.NewEngine(schema, A, db)
+		if err != nil {
+			return err
+		}
+		if cacheSize > 0 {
+			eng.SetPlanCacheCapacity(cacheSize)
+		}
+		svc = eng
+	}
+	srv := server.New(svc, server.Config{
 		Addr:           addr,
 		RequestTimeout: timeout,
 		MaxInFlight:    maxInFlight,
@@ -153,6 +176,15 @@ func serveHTTP(dataset string, scale float64, seed int64, addr string, timeout t
 		<-errCh // http.ErrServerClosed after a clean shutdown
 		return nil
 	}
+}
+
+// shardKeys returns the dataset's declared partition-key assignment, or
+// nil (letting shard.DeriveKeys decide) for datasets without one.
+func shardKeys(dataset string) map[string]string {
+	if d, err := workload.ByName(dataset); err == nil {
+		return d.ShardKeys
+	}
+	return nil
 }
 
 func load(dataset string, scale float64, seed int64, withData bool) (ra.Schema, *access.Schema, *store.DB, error) {

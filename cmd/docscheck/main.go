@@ -7,10 +7,13 @@
 //     method — in one of the strictly checked packages lacks a doc
 //     comment.
 //
-// The strictly checked packages are the public surface: the root package
-// (the bounded API) and internal/server (the wire protocol external
-// clients program against). Everything under internal/ may evolve faster,
-// but its package-level story must always be told.
+// The strictly checked packages are the public surface plus the serving
+// infrastructure an operator programs against: the root package (the
+// bounded API), internal/server (the wire protocol), internal/shard (the
+// partitioning and routing contract documented in docs/OPERATIONS.md)
+// and internal/cache (the plan-cache semantics every invariant rests
+// on). Everything else under internal/ may evolve faster, but its
+// package-level story must always be told.
 //
 // Usage:
 //
@@ -34,6 +37,8 @@ import (
 var strictDirs = map[string]bool{
 	".":               true,
 	"internal/server": true,
+	"internal/shard":  true,
+	"internal/cache":  true,
 }
 
 func main() {

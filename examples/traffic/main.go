@@ -39,7 +39,7 @@ func main() {
 	if err := eng.AddConstraints(found.Constraints...); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("total after installation: %d constraints\n\n", eng.Access.Len())
+	fmt.Printf("total after installation: %d constraints\n\n", eng.AccessSnapshot().Len())
 
 	// "Casualties of accidents handled by police force 7 on day 100, with
 	// the vehicles involved."
@@ -61,7 +61,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nminA kept %d of %d constraints (ΣN %d → %d):\n",
-		am.Len(), eng.Access.Len(), eng.Access.SumN(), am.SumN())
+		am.Len(), eng.AccessSnapshot().Len(), eng.AccessSnapshot().SumN(), am.SumN())
 	fmt.Println(am)
 
 	table, rep, err := eng.Execute(q, bounded.DefaultOptions())

@@ -5,7 +5,10 @@
 // cache-hit speedup on the hottest query. With Transport "http" the same
 // replay drives the network front end (internal/server) over a loopback
 // listener instead of calling the engine in-process, so the two numbers
-// bracket the cost of the HTTP/JSON boundary.
+// bracket the cost of the HTTP/JSON boundary. With Transport "sharded"
+// (or Shards > 0) the replay drives the scatter/gather router of
+// internal/shard over N engines, pricing horizontal partitioning against
+// the single-engine baseline.
 package bench
 
 import (
@@ -25,6 +28,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/ra"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/value"
 	"repro/internal/workload"
 )
@@ -53,11 +57,20 @@ type ServeConfig struct {
 	// LatencyProbes is how many timed runs the cold/hot comparison uses.
 	LatencyProbes int
 	// Transport selects how clients reach the engine: "engine" (default,
-	// in-process Execute calls) or "http" (the internal/server front end
+	// in-process Execute calls), "http" (the internal/server front end
 	// over a loopback listener, queries shipped as rule text and answers
-	// as JSON).
+	// as JSON) or "sharded" (the internal/shard scatter/gather router,
+	// called in-process).
 	Transport string
+	// Shards is the partition count for the sharded transport (a zero on
+	// that transport means DefaultShards). Setting it on the http
+	// transport serves the sharded cluster behind the front end.
+	Shards int
 }
+
+// DefaultShards is the partition count used by the sharded transport when
+// ServeConfig.Shards is zero.
+const DefaultShards = 4
 
 // DefaultServeConfig keeps a full run well under a second in -short test
 // settings while still exercising real concurrency.
@@ -78,19 +91,25 @@ func DefaultServeConfig() ServeConfig {
 
 // Transport values for ServeConfig.
 const (
-	TransportEngine = "engine"
-	TransportHTTP   = "http"
+	TransportEngine  = "engine"
+	TransportHTTP    = "http"
+	TransportSharded = "sharded"
 )
 
 // ServeResult reports one serving-benchmark run.
 type ServeResult struct {
 	Dataset string
 	// Transport is the client path the replay used: "engine" for
-	// in-process Execute calls, "http" for the loopback front end.
+	// in-process Execute calls, "http" for the loopback front end,
+	// "sharded" for the scatter/gather router.
 	Transport string
-	Ops       int
-	Errors    int
-	Duration  time.Duration
+	// Shards is the partition count behind the replay (0 = unsharded) and
+	// Routes the router's routing-decision counters (zero when unsharded).
+	Shards   int
+	Routes   shard.RouteStats
+	Ops      int
+	Errors   int
+	Duration time.Duration
 	// QPS is completed queries per wall-clock second across all clients.
 	QPS float64
 	// MeanLatency is total per-request client time divided by completed
@@ -119,6 +138,10 @@ type ServeResult struct {
 // Format renders the result as an aligned report.
 func (r *ServeResult) Format(w io.Writer) {
 	fmt.Fprintf(w, "# serving benchmark on %s (transport: %s)\n", r.Dataset, r.Transport)
+	if r.Shards > 0 {
+		fmt.Fprintf(w, "shards\t%d (routed: %d single-shard, %d scatter, %d replica)\n",
+			r.Shards, r.Routes.Single, r.Routes.Scattered, r.Routes.Fallback)
+	}
 	fmt.Fprintf(w, "ops\t%d (errors %d)\n", r.Ops, r.Errors)
 	fmt.Fprintf(w, "duration\t%v\n", r.Duration.Round(time.Millisecond))
 	fmt.Fprintf(w, "throughput\t%.0f queries/s\n", r.QPS)
@@ -153,11 +176,15 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if transport == "" {
 		transport = TransportEngine
 	}
-	if transport != TransportEngine && transport != TransportHTTP {
+	if transport != TransportEngine && transport != TransportHTTP && transport != TransportSharded {
 		// Validated before data generation like the other config errors:
 		// a typo must not cost a full dataset build first.
-		return nil, fmt.Errorf("bench: unknown transport %q (want %q or %q)",
-			transport, TransportEngine, TransportHTTP)
+		return nil, fmt.Errorf("bench: unknown transport %q (want %q, %q or %q)",
+			transport, TransportEngine, TransportHTTP, TransportSharded)
+	}
+	shards := cfg.Shards
+	if transport == TransportSharded && shards < 1 {
+		shards = DefaultShards
 	}
 	d, err := workload.ByName(cfg.Dataset)
 	if err != nil {
@@ -179,18 +206,35 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		return nil, err
 	}
 
+	// The served Service: the engine itself, or the scatter/gather router
+	// over it. The router adopts db as its full replica, so eng (also on
+	// db) keeps working as the cold/hot probe engine either way.
+	var svc core.Service = eng
+	var router *shard.Router
+	if shards > 0 {
+		router, err = shard.New(d.Schema, d.Access, db, shard.Spec{
+			Shards:        shards,
+			Keys:          d.ShardKeys,
+			PlanCacheSize: cfg.CacheSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		svc = router
+	}
+
 	var drv serveDriver
 	if transport == TransportHTTP {
-		drv, err = newHTTPDriver(eng, d.Schema, pool)
+		drv, err = newHTTPDriver(svc, d.Schema, pool)
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		drv = &engineDriver{eng: eng, pool: pool, opts: core.DefaultOptions()}
+		drv = &engineDriver{eng: svc, pool: pool, opts: core.DefaultOptions()}
 	}
 	defer drv.close()
 
-	res := &ServeResult{Dataset: cfg.Dataset, Transport: transport}
+	res := &ServeResult{Dataset: cfg.Dataset, Transport: transport, Shards: shards}
 
 	// Cold vs hot latency over a probe set of pool queries, before the
 	// serving phase. Summing per-query floors across the set weights the
@@ -218,7 +262,7 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	}
 
 	// Serving phase.
-	before := eng.CacheStats()
+	before := svc.CacheStats()
 	var (
 		clientWG  sync.WaitGroup
 		writerWG  sync.WaitGroup
@@ -302,7 +346,10 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if res.Ops > 0 {
 		res.MeanLatency = time.Duration(latencyNs.Load() / int64(res.Ops))
 	}
-	after := eng.CacheStats()
+	after := svc.CacheStats()
+	if router != nil {
+		res.Routes = router.RouteStats()
+	}
 	res.Cache = cache.Stats{
 		Hits:      after.Hits - before.Hits,
 		Misses:    after.Misses - before.Misses,
@@ -327,9 +374,10 @@ type serveDriver interface {
 	close()
 }
 
-// engineDriver is the in-process client path.
+// engineDriver is the in-process client path over any core.Service — a
+// single engine or the sharded router.
 type engineDriver struct {
-	eng  *core.Engine
+	eng  core.Service
 	pool []ra.Query
 	opts core.Options
 }
@@ -361,7 +409,7 @@ type httpDriver struct {
 	texts []string
 }
 
-func newHTTPDriver(eng *core.Engine, schema ra.Schema, pool []ra.Query) (*httpDriver, error) {
+func newHTTPDriver(eng core.Service, schema ra.Schema, pool []ra.Query) (*httpDriver, error) {
 	texts := make([]string, len(pool))
 	for i, q := range pool {
 		text, err := parser.Format(q, schema)

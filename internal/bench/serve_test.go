@@ -132,3 +132,50 @@ func TestServeAllDatasets(t *testing.T) {
 		})
 	}
 }
+
+// TestServeShardedTransport replays the benchmark through the
+// scatter/gather router: the replay must complete error-free at the same
+// cache effectiveness as the single engine, exercise every routing
+// strategy, and keep the hit rate within a point of the unsharded run.
+func TestServeShardedTransport(t *testing.T) {
+	base := DefaultServeConfig()
+	base.Scale = 0.03
+	base.Ops = 2000
+	single, err := Serve(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.Transport = TransportSharded
+	cfg.Shards = 4
+	res, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d serving errors", res.Errors)
+	}
+	if res.Shards != 4 {
+		t.Errorf("result reports %d shards, want 4", res.Shards)
+	}
+	if res.Routes.Single == 0 {
+		t.Error("no queries took the single-shard fast path")
+	}
+	if res.Routes.Single+res.Routes.Scattered+res.Routes.Fallback != int64(res.Ops) {
+		t.Errorf("routing decisions %+v do not add up to %d ops", res.Routes, res.Ops)
+	}
+	if res.Mutations == 0 {
+		t.Error("writers applied no mutations through the router")
+	}
+	if res.HitRate < single.HitRate-0.01 {
+		t.Errorf("sharded hit rate %.2f%% more than a point below single-engine %.2f%%",
+			100*res.HitRate, 100*single.HitRate)
+	}
+
+	var sb strings.Builder
+	res.Format(&sb)
+	if !strings.Contains(sb.String(), "shards\t4") {
+		t.Errorf("report missing shard line:\n%s", sb.String())
+	}
+}

@@ -45,11 +45,11 @@ const (
 // incrementally under insertions and deletions, so every cached plan stays
 // valid and queries keep running concurrently with data churn.
 type Engine struct {
-	Schema ra.Schema
-	Access *access.Schema
-	DB     *store.DB
+	schema ra.Schema
+	acc    *access.Schema
+	db     *store.DB
 
-	// mu guards Access and the index topology against Execute. Executions
+	// mu guards acc and the index topology against Execute. Executions
 	// hold it shared for their full duration, so a schema change never
 	// lands mid-plan.
 	mu sync.RWMutex
@@ -103,9 +103,9 @@ func NewEngine(schema ra.Schema, A *access.Schema, db *store.DB) (*Engine, error
 		return nil, err
 	}
 	return &Engine{
-		Schema: schema,
-		Access: A,
-		DB:     db,
+		schema: schema,
+		acc:    A,
+		db:     db,
 		plans:  cache.New(DefaultPlanCacheSize, DefaultPlanCacheShards),
 	}, nil
 }
@@ -162,23 +162,23 @@ func (e *Engine) Version() uint64 { return e.version.Load() }
 func (e *Engine) AccessSnapshot() *access.Schema {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return access.NewSchema(e.Access.Constraints...)
+	return access.NewSchema(e.acc.Constraints...)
 }
 
 // Parse parses a query in the textual rule language.
 func (e *Engine) Parse(src string) (ra.Query, error) {
-	return parser.Parse(src, e.Schema)
+	return parser.Parse(src, e.schema)
 }
 
 // Check normalizes q and runs CovChk against the engine's access schema.
 func (e *Engine) Check(q ra.Query) (*cover.Result, error) {
-	norm, err := ra.Normalize(q, e.Schema)
+	norm, err := ra.Normalize(q, e.schema)
 	if err != nil {
 		return nil, err
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return cover.Check(norm, e.Schema, e.Access)
+	return cover.Check(norm, e.schema, e.acc)
 }
 
 // Report describes how a query was processed and at what cost.
@@ -230,20 +230,32 @@ type compiled struct {
 // minA, QPlan) runs once per canonical query form and engine version;
 // repeats jump straight to plan execution.
 func (e *Engine) Execute(q ra.Query, opts Options) (*exec.Table, *Report, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-
-	norm, err := ra.Normalize(q, e.Schema)
+	norm, err := ra.Normalize(q, e.schema)
 	if err != nil {
 		return nil, nil, err
 	}
+	return e.ExecuteNormalized(norm, "", opts)
+}
+
+// ExecuteNormalized is Execute for callers that already hold the
+// normalized form of the query — the sharded router, which normalizes
+// once and fans the same form out to several engines. norm must be the
+// result of ra.Normalize under the engine's schema, and fp, when
+// non-empty, must be ra.FingerprintNormalized(norm) (an empty fp is
+// computed on demand); passing anything else corrupts plan-cache
+// identity.
+func (e *Engine) ExecuteNormalized(norm ra.Query, fp string, opts Options) (*exec.Table, *Report, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 
 	var key string
 	if opts.Cache && e.plans != nil {
+		if fp == "" {
+			fp = ra.FingerprintNormalized(norm)
+		}
 		// The engine version is part of the key: entries compiled before a
 		// schema or access-schema change can never be served after it.
-		key = fmt.Sprintf("v%d|m%t|r%t|%s", e.version.Load(), opts.Minimize, opts.Rewrite,
-			ra.FingerprintNormalized(norm))
+		key = fmt.Sprintf("v%d|m%t|r%t|%s", e.version.Load(), opts.Minimize, opts.Rewrite, fp)
 		if v, ok := e.plans.Get(key); ok {
 			return e.runCompiled(v.(*compiled), opts, &Report{CacheHit: true, Version: e.version.Load()})
 		}
@@ -265,7 +277,7 @@ func (e *Engine) Execute(q ra.Query, opts Options) (*exec.Table, *Report, error)
 // with e.mu held shared.
 func (e *Engine) compile(norm ra.Query, opts Options, rep *Report) (*compiled, error) {
 	t0 := time.Now()
-	res, err := cover.Check(norm, e.Schema, e.Access)
+	res, err := cover.Check(norm, e.schema, e.acc)
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +285,7 @@ func (e *Engine) compile(norm ra.Query, opts Options, rep *Report) (*compiled, e
 
 	c := &compiled{norm: norm}
 	if !res.Covered && opts.Rewrite {
-		rw, err := rewrite.ToCovered(norm, e.Schema, e.Access)
+		rw, err := rewrite.ToCovered(norm, e.schema, e.acc)
 		if err != nil {
 			return nil, err
 		}
@@ -281,7 +293,7 @@ func (e *Engine) compile(norm ra.Query, opts Options, rep *Report) (*compiled, e
 			c.rewritten = true
 			c.rules = rw.Applied
 			c.norm = rw.Query
-			res, err = cover.Check(rw.Query, e.Schema, e.Access)
+			res, err = cover.Check(rw.Query, e.schema, e.acc)
 			if err != nil {
 				return nil, err
 			}
@@ -300,7 +312,7 @@ func (e *Engine) compile(norm ra.Query, opts Options, rep *Report) (*compiled, e
 		}
 		rep.MinimizeTime = time.Since(t1)
 		c.minimized = am
-		res, err = cover.Check(c.norm, e.Schema, am)
+		res, err = cover.Check(c.norm, e.schema, am)
 		if err != nil {
 			return nil, err
 		}
@@ -332,7 +344,7 @@ func (e *Engine) runCompiled(c *compiled, opts Options, rep *Report) (*exec.Tabl
 		if !opts.FallbackToBaseline {
 			return nil, rep, fmt.Errorf("core: query is not covered by the access schema")
 		}
-		table, st, err := exec.RunBaseline(c.norm, e.Schema, e.DB)
+		table, st, err := exec.RunBaseline(c.norm, e.schema, e.db)
 		if err != nil {
 			return nil, rep, err
 		}
@@ -347,9 +359,9 @@ func (e *Engine) runCompiled(c *compiled, opts Options, rep *Report) (*exec.Tabl
 		err   error
 	)
 	if opts.Parallel {
-		table, st, err = exec.RunParallel(c.plan, e.DB, opts.Workers)
+		table, st, err = exec.RunParallel(c.plan, e.db, opts.Workers)
 	} else {
-		table, st, err = exec.Run(c.plan, e.DB)
+		table, st, err = exec.Run(c.plan, e.db)
 	}
 	if err != nil {
 		return nil, rep, err
@@ -360,11 +372,11 @@ func (e *Engine) runCompiled(c *compiled, opts Options, rep *Report) (*exec.Tabl
 
 // ExecuteBaseline runs q with the conventional evaluator only (evalDBMS).
 func (e *Engine) ExecuteBaseline(q ra.Query) (*exec.Table, exec.Stats, error) {
-	norm, err := ra.Normalize(q, e.Schema)
+	norm, err := ra.Normalize(q, e.schema)
 	if err != nil {
 		return nil, exec.Stats{}, err
 	}
-	return exec.RunBaseline(norm, e.Schema, e.DB)
+	return exec.RunBaseline(norm, e.schema, e.db)
 }
 
 // SQL translates q's bounded plan into a SQL query over the index
@@ -387,7 +399,7 @@ func (e *Engine) SQL(q ra.Query) (string, error) {
 // Discover mines additional access constraints from the current instance
 // (the C1 step) and returns them without installing them.
 func (e *Engine) Discover(opts discovery.Options) (*access.Schema, error) {
-	return discovery.Discover(e.DB, opts)
+	return discovery.Discover(e.db, opts)
 }
 
 // AddConstraints installs extra constraints, building their indices. The
@@ -397,13 +409,13 @@ func (e *Engine) Discover(opts discovery.Options) (*access.Schema, error) {
 // enable.
 func (e *Engine) AddConstraints(cs ...access.Constraint) error {
 	for _, c := range cs {
-		if err := c.Validate(e.Schema); err != nil {
+		if err := c.Validate(e.schema); err != nil {
 			return err
 		}
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	next := access.NewSchema(e.Access.Constraints...)
+	next := access.NewSchema(e.acc.Constraints...)
 	var built []access.Constraint
 	for _, c := range cs {
 		dup := false
@@ -416,12 +428,12 @@ func (e *Engine) AddConstraints(cs ...access.Constraint) error {
 		if dup {
 			continue
 		}
-		if _, err := e.DB.BuildIndex(c); err != nil {
+		if _, err := e.db.BuildIndex(c); err != nil {
 			// Atomic failure: drop the indices built earlier in this batch
 			// so no orphan index is left registered (it would be maintained
 			// on every write but usable by no plan).
 			for _, b := range built {
-				e.DB.DropIndex(b)
+				e.db.DropIndex(b)
 			}
 			return err
 		}
@@ -429,7 +441,7 @@ func (e *Engine) AddConstraints(cs ...access.Constraint) error {
 		next.Constraints = append(next.Constraints, c)
 	}
 	if len(built) > 0 {
-		e.Access = next
+		e.acc = next
 		e.invalidateLocked()
 	}
 	return nil
@@ -442,9 +454,9 @@ func (e *Engine) AddConstraints(cs ...access.Constraint) error {
 func (e *Engine) RemoveConstraint(c access.Constraint) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	kept := make([]access.Constraint, 0, len(e.Access.Constraints))
+	kept := make([]access.Constraint, 0, len(e.acc.Constraints))
 	found := false
-	for _, old := range e.Access.Constraints {
+	for _, old := range e.acc.Constraints {
 		if old.Key() == c.Key() {
 			found = true
 			continue
@@ -458,8 +470,8 @@ func (e *Engine) RemoveConstraint(c access.Constraint) bool {
 	// stale plan onto a half-dropped index (executions are excluded by the
 	// write lock for the whole critical section anyway).
 	e.invalidateLocked()
-	e.Access = access.NewSchema(kept...)
-	e.DB.DropIndex(c)
+	e.acc = access.NewSchema(kept...)
+	e.db.DropIndex(c)
 	return true
 }
 
@@ -468,11 +480,11 @@ func (e *Engine) RemoveConstraint(c access.Constraint) bool {
 // (Proposition 12), so this neither invalidates the plan cache nor blocks
 // concurrent executions beyond the store's own write lock.
 func (e *Engine) Insert(rel string, t value.Tuple) (bool, error) {
-	return e.DB.Insert(rel, t)
+	return e.db.Insert(rel, t)
 }
 
 // Delete removes a tuple from the database. Like Insert, it keeps every
 // cached plan valid via incremental index maintenance.
 func (e *Engine) Delete(rel string, t value.Tuple) (bool, error) {
-	return e.DB.Delete(rel, t)
+	return e.db.Delete(rel, t)
 }

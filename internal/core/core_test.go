@@ -156,11 +156,11 @@ func TestEngineDiscoverAndAdd(t *testing.T) {
 	if found.Len() == 0 {
 		t.Fatal("nothing discovered")
 	}
-	before := eng.Access.Len()
+	before := eng.AccessSnapshot().Len()
 	if err := eng.AddConstraints(found.Constraints...); err != nil {
 		t.Fatal(err)
 	}
-	if eng.Access.Len() <= before {
+	if eng.AccessSnapshot().Len() <= before {
 		t.Error("no constraints added")
 	}
 	// Duplicates are skipped silently.
@@ -186,7 +186,7 @@ func TestNewEngineValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if eng.DB == nil {
+	if eng.DB() == nil {
 		t.Error("nil db not defaulted")
 	}
 }

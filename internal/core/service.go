@@ -1,0 +1,101 @@
+package core
+
+import (
+	"repro/internal/access"
+	"repro/internal/cache"
+	"repro/internal/exec"
+	"repro/internal/ra"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Service is the minimal serving surface of the bounded-evaluation layer:
+// everything a front end (internal/server) or a replay harness
+// (internal/bench) needs to parse, execute, mutate and observe. A single
+// *Engine implements it directly; the sharded router (internal/shard)
+// implements it over N engines, so callers serve a cluster and a single
+// engine through the same code path.
+//
+// Implementations must be safe for concurrent use and must preserve the
+// serving-layer invariant: Insert and Delete keep cached plans valid
+// (Version does not change), while access-schema mutations bump Version
+// and invalidate cached plans atomically.
+type Service interface {
+	// Schema returns the relational schema the service is bound to. The
+	// returned map is shared and must be treated as read-only.
+	Schema() ra.Schema
+	// Parse parses a query in the textual rule language.
+	Parse(src string) (ra.Query, error)
+	// Execute runs the full pipeline on q and returns the answer.
+	Execute(q ra.Query, opts Options) (*exec.Table, *Report, error)
+	// Insert adds a tuple, maintaining indices incrementally.
+	Insert(rel string, t value.Tuple) (bool, error)
+	// Delete removes a tuple, maintaining indices incrementally.
+	Delete(rel string, t value.Tuple) (bool, error)
+	// AddConstraints installs extra access constraints, building their
+	// indices and bumping Version.
+	AddConstraints(cs ...access.Constraint) error
+	// RemoveConstraint uninstalls a constraint (and its index), bumping
+	// Version; it reports whether the constraint was present.
+	RemoveConstraint(c access.Constraint) bool
+	// AccessSnapshot returns a consistent copy of the installed access
+	// schema.
+	AccessSnapshot() *access.Schema
+	// Version returns the access-schema generation counter.
+	Version() uint64
+	// CacheStats returns plan-cache counters (aggregated, for a cluster).
+	CacheStats() cache.Stats
+	// SetPlanCacheCapacity resizes the plan cache(s), dropping entries;
+	// capacity <= 0 disables caching.
+	SetPlanCacheCapacity(capacity int)
+	// DBSize returns |D|, the logical number of stored tuples (counting
+	// replicated copies once).
+	DBSize() int64
+	// IndexEntries returns |I_A|, the logical number of index entries.
+	IndexEntries() int64
+}
+
+// Engine implements Service.
+var _ Service = (*Engine)(nil)
+
+// Schema returns the relational schema the engine is bound to. The
+// returned map is shared and must be treated as read-only.
+func (e *Engine) Schema() ra.Schema { return e.schema }
+
+// DB returns the underlying database instance. It is exposed for loaders,
+// experiments and tests; going around the engine for index topology
+// changes requires InvalidatePlans.
+func (e *Engine) DB() *store.DB { return e.db }
+
+// DBSize returns |D|: the total number of stored tuples.
+func (e *Engine) DBSize() int64 { return e.db.Size() }
+
+// IndexEntries returns |I_A|: the total number of index entries.
+func (e *Engine) IndexEntries() int64 { return e.db.IndexEntries() }
+
+// EngineStat is a self-contained observability snapshot of one engine,
+// used by /stats aggregation across shards. Label is filled in by the
+// aggregator (e.g. "shard/3" or "replica"), not by the engine itself.
+type EngineStat struct {
+	// Label names the engine within a cluster; empty for a lone engine.
+	Label string
+	// Queries counts query executions routed to the engine. Engines do not
+	// count their own executions; the router that owns them does.
+	Queries int64
+	// Cache is the engine's plan-cache counter snapshot.
+	Cache cache.Stats
+	// DBSize and IndexEntries are the engine-local |D| and |I_A|.
+	DBSize, IndexEntries int64
+	// Version is the engine's access-schema generation.
+	Version uint64
+}
+
+// Stat returns an observability snapshot of this engine.
+func (e *Engine) Stat() EngineStat {
+	return EngineStat{
+		Cache:        e.CacheStats(),
+		DBSize:       e.DBSize(),
+		IndexEntries: e.IndexEntries(),
+		Version:      e.Version(),
+	}
+}

@@ -145,7 +145,7 @@ func TestInsertDeleteKeepCachedPlansValid(t *testing.T) {
 
 	// A fresh cafe in nyc where a friend of person 0 dined in May 2015:
 	// this adds a row to Q1's answer through the friend→dine→cafe chain.
-	friends, err := eng.DB.Fetch(access.Constraint{Rel: "friend", X: []string{"pid"}, Y: []string{"fid"}, N: 5000}, value.Tuple{fb.Me})
+	friends, err := eng.DB().Fetch(access.Constraint{Rel: "friend", X: []string{"pid"}, Y: []string{"fid"}, N: 5000}, value.Tuple{fb.Me})
 	if err != nil || len(friends) == 0 {
 		t.Fatalf("no friends of p0: %v", err)
 	}

@@ -94,7 +94,7 @@ func DefaultConfig() Config {
 // engine access by other parties — all engine state it reads is behind
 // the engine's own synchronization.
 type Server struct {
-	eng  *core.Engine
+	eng  core.Service
 	cfg  Config
 	base core.Options
 	mux  *http.ServeMux
@@ -123,9 +123,11 @@ type Server struct {
 	hookBeforeExecute func()
 }
 
-// New builds a Server over eng. Zero fields of cfg take the DefaultConfig
-// values.
-func New(eng *core.Engine, cfg Config) *Server {
+// New builds a Server over eng — a single *core.Engine or any other
+// core.Service implementation, such as the sharded router of
+// internal/shard; the front end is agnostic to which one it is serving.
+// Zero fields of cfg take the DefaultConfig values.
+func New(eng core.Service, cfg Config) *Server {
 	def := DefaultConfig()
 	if cfg.Addr == "" {
 		cfg.Addr = def.Addr
@@ -437,8 +439,8 @@ func (s *Server) canonicalText(src string, q ra.Query) string {
 		return v.(string)
 	}
 	var text string
-	if canon, err := ra.Canonical(q, s.eng.Schema); err == nil {
-		if t, err := parser.Format(canon, s.eng.Schema); err == nil {
+	if canon, err := ra.Canonical(q, s.eng.Schema()); err == nil {
+		if t, err := parser.Format(canon, s.eng.Schema()); err == nil {
 			text = t
 		}
 	}
@@ -509,8 +511,8 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		Constraints: make([]WireConstraint, 0, A.Len()),
 		Version:     s.eng.Version(),
 	}
-	for _, rel := range s.eng.Schema.Relations() {
-		attrs, err := s.eng.Schema.Attrs(rel)
+	for _, rel := range s.eng.Schema().Relations() {
+		attrs, err := s.eng.Schema().Attrs(rel)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
@@ -525,25 +527,50 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleStats renders plan-cache counters and size/request accounting.
+// perShardStatser is implemented by sharded core.Service implementations
+// (the router of internal/shard) that can break /stats down by engine.
+type perShardStatser interface {
+	PerShardStats() []core.EngineStat
+}
+
+// handleStats renders plan-cache counters and size/request accounting,
+// plus a per-shard breakdown when the service is a sharded cluster.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs := s.eng.CacheStats()
-	writeJSON(w, http.StatusOK, StatsResponse{
-		Cache: CacheStatsWire{
-			Hits:      cs.Hits,
-			Misses:    cs.Misses,
-			Evictions: cs.Evictions,
-			Purges:    cs.Purges,
-			Entries:   cs.Entries,
-			HitRate:   cs.HitRate(),
-		},
-		DBSize:        s.eng.DB.Size(),
-		IndexEntries:  s.eng.DB.IndexEntries(),
+	resp := StatsResponse{
+		Cache:         cacheWire(cs),
+		DBSize:        s.eng.DBSize(),
+		IndexEntries:  s.eng.IndexEntries(),
 		Version:       s.eng.Version(),
 		Requests:      s.requests.Load(),
 		InFlight:      s.inFlight.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
-	})
+	}
+	if ps, ok := s.eng.(perShardStatser); ok {
+		for _, st := range ps.PerShardStats() {
+			resp.Shards = append(resp.Shards, ShardStatsWire{
+				Label:        st.Label,
+				Queries:      st.Queries,
+				Cache:        cacheWire(st.Cache),
+				DBSize:       st.DBSize,
+				IndexEntries: st.IndexEntries,
+				Version:      st.Version,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// cacheWire converts plan-cache counters to their JSON form.
+func cacheWire(cs cache.Stats) CacheStatsWire {
+	return CacheStatsWire{
+		Hits:      cs.Hits,
+		Misses:    cs.Misses,
+		Evictions: cs.Evictions,
+		Purges:    cs.Purges,
+		Entries:   cs.Entries,
+		HitRate:   cs.HitRate(),
+	}
 }
 
 // handleHealth answers the liveness probe.

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// shardedService builds a 3-shard router over a small AIRCA instance.
+func shardedService(t testing.TB) (*shard.Router, *core.Engine) {
+	t.Helper()
+	d, err := workload.ByName("AIRCA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbShard, err := d.Gen(0.03, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := shard.New(d.Schema, d.Access, dbShard, shard.Spec{Shards: 3, Keys: d.ShardKeys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbSingle, err := d.Gen(0.03, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(d.Schema, d.Access, dbSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return router, eng
+}
+
+// TestServerOverShardedRouter proves the front end serves a sharded
+// cluster through the same code path as a single engine: /query answers
+// match the single-engine server row for row, writes route through the
+// cluster without moving the version, and /stats carries the per-shard
+// breakdown.
+func TestServerOverShardedRouter(t *testing.T) {
+	router, eng := shardedService(t)
+	_, shardedCli := startServer(t, router, Config{MaxRows: -1})
+	_, singleCli := startServer(t, eng, Config{MaxRows: -1})
+	ctx := context.Background()
+
+	queries := []string{
+		`q(airline) :- ontime(f, 42, d, airline, m, delay)`,                                             // single-shard fast path
+		`q(origin, dest) :- ontime(f, origin, dest, 3, m, delay)`,                                       // scatter, uncovered
+		`q(city) :- ontime(123, origin, dest, al, m, delay), airport(origin, city, st)`,                 // scatter, covered
+		`q(origin, dest, cause) :- ontime(77, origin, dest, al, m, delay), delaycause(77, cause, mins)`, // replica
+	}
+	for _, src := range queries {
+		want, err := singleCli.Query(ctx, src)
+		if err != nil {
+			t.Fatalf("single %q: %v", src, err)
+		}
+		got, err := shardedCli.Query(ctx, src)
+		if err != nil {
+			t.Fatalf("sharded %q: %v", src, err)
+		}
+		if got.RowCount != want.RowCount {
+			t.Errorf("%q: rowCount %d (sharded) vs %d (single)", src, got.RowCount, want.RowCount)
+		}
+		if got.Covered != want.Covered || got.Bounded != want.Bounded {
+			t.Errorf("%q: verdicts covered=%v bounded=%v vs covered=%v bounded=%v",
+				src, got.Covered, got.Bounded, want.Covered, want.Bounded)
+		}
+	}
+
+	// Writes through the sharded server: version must not move.
+	tup := value.Tuple{value.NewInt(880001), value.NewInt(42), value.NewInt(7),
+		value.NewInt(3), value.NewInt(2), value.NewInt(15)}
+	mres, err := shardedCli.Insert(ctx, "ontime", []value.Tuple{tup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.Applied != 1 || mres.Version != 0 {
+		t.Errorf("insert applied=%d version=%d, want 1 and 0", mres.Applied, mres.Version)
+	}
+
+	stats, err := shardedCli.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Shards) != 4 {
+		t.Fatalf("stats.Shards has %d entries, want 3 shards + replica", len(stats.Shards))
+	}
+	if stats.Shards[3].Label != "replica" {
+		t.Errorf("last shard stat labeled %q, want replica", stats.Shards[3].Label)
+	}
+	var physical int64
+	for _, s := range stats.Shards[:3] {
+		physical += s.DBSize
+	}
+	if physical < stats.DBSize {
+		t.Errorf("per-shard sizes sum to %d, below the logical size %d", physical, stats.DBSize)
+	}
+	// The single-engine server must not report a breakdown.
+	sstats, err := singleCli.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sstats.Shards) != 0 {
+		t.Errorf("single-engine stats unexpectedly carries %d shard entries", len(sstats.Shards))
+	}
+}

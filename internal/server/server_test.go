@@ -60,7 +60,7 @@ func testEngine(t testing.TB) *core.Engine {
 
 // startServer launches srv on a loopback listener and returns a ready
 // client. The server is shut down when the test ends.
-func startServer(t testing.TB, eng *core.Engine, cfg Config) (*Server, *Client) {
+func startServer(t testing.TB, eng core.Service, cfg Config) (*Server, *Client) {
 	t.Helper()
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))

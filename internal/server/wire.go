@@ -127,7 +127,9 @@ type CacheStatsWire struct {
 type StatsResponse struct {
 	Cache CacheStatsWire `json:"cache"`
 	// DBSize is total tuples across base relations; IndexEntries total
-	// entries across the indices I_A.
+	// entries across the indices I_A. Behind a sharded router these are
+	// logical sizes (each replicated copy counted once) while the Shards
+	// breakdown reports physical per-engine sizes.
 	DBSize       int64  `json:"dbSize"`
 	IndexEntries int64  `json:"indexEntries"`
 	Version      uint64 `json:"version"`
@@ -136,6 +138,27 @@ type StatsResponse struct {
 	Requests      int64   `json:"requests"`
 	InFlight      int64   `json:"inFlight"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// Shards is the per-engine breakdown when the served core.Service is a
+	// sharded cluster (absent for a single engine). Operators read it for
+	// routing and data skew: Queries counts the queries each engine
+	// executed (a scatter counts on every shard it touched).
+	Shards []ShardStatsWire `json:"shards,omitempty"`
+}
+
+// ShardStatsWire is one engine of a sharded cluster in GET /stats.
+type ShardStatsWire struct {
+	// Label identifies the engine: "shard/0" … "shard/N-1" or "replica".
+	Label string `json:"label"`
+	// Queries counts query executions routed to this engine.
+	Queries int64 `json:"queries"`
+	// Cache is the engine's own plan-cache counters.
+	Cache CacheStatsWire `json:"cache"`
+	// DBSize and IndexEntries are the engine-local physical sizes.
+	DBSize       int64 `json:"dbSize"`
+	IndexEntries int64 `json:"indexEntries"`
+	// Version is the engine's access-schema generation; all engines of a
+	// healthy cluster report the same value.
+	Version uint64 `json:"version"`
 }
 
 // HealthResponse is the answer to GET /healthz.

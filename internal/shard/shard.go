@@ -1,0 +1,585 @@
+// Package shard partitions the bounded-evaluation serving layer across N
+// independent core.Engine instances and routes queries and writes among
+// them, scaling the single-engine ceiling horizontally while preserving
+// every per-engine invariant (the PR 1 plan-cache validity rules) shard by
+// shard.
+//
+// # Partitioning
+//
+// Each relation is either partitioned — its tuples are distributed across
+// the shards by a hash of one attribute, the relation's partition key,
+// chosen from the X side of its access constraints — or replicated, with a
+// full copy on every shard. Small or unkeyed relations are replicated;
+// DeriveKeys implements the default policy and Spec.Keys overrides it.
+// One extra engine, the replica, holds a full copy of the database and
+// answers the residue of queries whose shape cannot be distributed.
+//
+// # Routing
+//
+// For every query the router picks the cheapest correct strategy:
+//
+//   - single-shard fast path: if the query touches no partitioned
+//     relation, any shard can answer it (the router picks one by query
+//     hash, keeping each shard's plan cache hot on its own residents).
+//     If every partitioned occurrence binds its partition key to a
+//     constant — the covered-access case, where the indexed atoms of the
+//     query pin the key — and all constants hash to the same shard, that
+//     shard alone holds every relevant tuple and answers exactly.
+//   - scatter/gather: when the query's shape distributes over the
+//     partitioning (see route.go for the analysis), all shards execute it
+//     concurrently and the router merges rows (set union), access counts
+//     (sums) and boundedness verdicts (conjunction). Bounded plans make
+//     scatter cheap: on shards that hold no matching slice of the
+//     partitioned relation, the plan's first fetch comes back empty and
+//     the execution finishes in microseconds.
+//   - replica fallback: queries that neither fast-path nor distribute
+//     (e.g. a difference whose right side reads a partitioned relation
+//     without binding its key) run on the replica, which is an ordinary
+//     single engine over the full database.
+//
+// Writes route to the owning shard by the same hash (or to every shard
+// for replicated relations) plus the replica, so each engine's
+// incremental ⟨A, I_A⟩ maintenance keeps its cached plans valid — the
+// serving-layer invariant holds per shard, and Version never moves under
+// tuple churn. Access-schema changes fan out to every engine and bump all
+// versions in lockstep.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/parser"
+	"repro/internal/ra"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// DefaultMinPartitionRows is the replicate-everywhere threshold of
+// DeriveKeys: relations with fewer rows are cheaper to copy to every
+// shard than to split.
+const DefaultMinPartitionRows = 256
+
+// Spec configures a Router.
+type Spec struct {
+	// Shards is the number of partitions (>= 1).
+	Shards int
+	// Keys maps relation name to its partition-key attribute. Relations
+	// absent from the map are replicated on every shard. nil means
+	// DeriveKeys(schema, A, db, DefaultMinPartitionRows).
+	Keys map[string]string
+	// PlanCacheSize overrides each engine's plan-cache capacity
+	// (0 = the core default).
+	PlanCacheSize int
+}
+
+// DeriveKeys picks a partition key per relation from the access schema:
+// the attribute that appears in the X (index) side of the most
+// non-membership constraints, breaking ties toward shorter X lists and
+// then lexicographically — the attribute the covered workload most often
+// binds. Relations with no such attribute, or with fewer than minRows
+// tuples in db (skipped when db is nil or minRows <= 0), are left out of
+// the map and therefore replicated.
+func DeriveKeys(schema ra.Schema, A *access.Schema, db *store.DB, minRows int) map[string]string {
+	keys := map[string]string{}
+	for _, rel := range schema.Relations() {
+		if db != nil && minRows > 0 {
+			rr, err := db.Rel(rel)
+			if err != nil || rr.Len() < minRows {
+				continue
+			}
+		}
+		type cand struct {
+			attr    string
+			score   int
+			minXLen int
+		}
+		var best *cand
+		for _, a := range schema[rel] {
+			c := cand{attr: a, minXLen: 1 << 30}
+			for _, con := range A.ForRel(rel) {
+				if con.IsIndexing() && len(con.X) == 1 {
+					continue // membership R(a → a, 1): holds vacuously, no signal
+				}
+				for _, x := range con.X {
+					if x == a {
+						c.score++
+						if len(con.X) < c.minXLen {
+							c.minXLen = len(con.X)
+						}
+						break
+					}
+				}
+			}
+			if c.score == 0 {
+				continue
+			}
+			if best == nil || c.score > best.score ||
+				(c.score == best.score && (c.minXLen < best.minXLen ||
+					(c.minXLen == best.minXLen && c.attr < best.attr))) {
+				cc := c
+				best = &cc
+			}
+		}
+		if best != nil {
+			keys[rel] = best.attr
+		}
+	}
+	return keys
+}
+
+// wstripes is the number of write-ordering stripes; writes to the same
+// tuple serialize on one stripe so the owning shard and the replica
+// always apply them in the same order.
+const wstripes = 256
+
+// Router partitions a database across N core.Engine shards plus a full
+// replica and implements core.Service over the cluster, so the HTTP front
+// end (internal/server) and the replay harness (internal/bench) serve it
+// exactly like a single engine.
+//
+// A Router is safe for concurrent use. All reads and writes must go
+// through it once it is built: New adopts the source database as the
+// replica, and writes applied directly to any member engine would
+// diverge from the cluster.
+type Router struct {
+	schema ra.Schema
+	spec   Spec
+	shards []*core.Engine
+	ref    *core.Engine
+	// keyPos maps each partitioned relation to the column position of its
+	// partition key.
+	keyPos map[string]int
+
+	// wmu stripes same-tuple writes into a fixed order across engines.
+	wmu [wstripes]sync.Mutex
+	// cmu serializes access-schema mutations so concurrent
+	// AddConstraints / RemoveConstraint calls cannot interleave their
+	// per-engine fan-outs and break version lockstep.
+	cmu sync.Mutex
+
+	// decisions caches routing decisions by query fingerprint. Routing
+	// depends only on the canonical query and the (immutable) partition
+	// spec, never on data or the access schema, so entries stay valid for
+	// the router's lifetime.
+	decisions *cache.Cache
+
+	// queries counts executions per engine (shards, then the replica).
+	queries []atomic.Int64
+	// routed counts routing decisions by kind.
+	routed [3]atomic.Int64
+}
+
+// New partitions db across spec.Shards engines and returns the router.
+// Partitioned relations are split by hash of their key attribute,
+// replicated ones copied to every shard; db itself becomes the replica,
+// so the caller must route all subsequent reads and writes through the
+// returned Router.
+func New(schema ra.Schema, A *access.Schema, db *store.DB, spec Spec) (*Router, error) {
+	if spec.Shards < 1 {
+		return nil, fmt.Errorf("shard: Shards must be >= 1, got %d", spec.Shards)
+	}
+	if db == nil {
+		db = store.NewDB(schema)
+	}
+	if spec.Keys == nil {
+		spec.Keys = DeriveKeys(schema, A, db, DefaultMinPartitionRows)
+	}
+	keyPos := map[string]int{}
+	for rel, attr := range spec.Keys {
+		attrs, ok := schema[rel]
+		if !ok {
+			return nil, fmt.Errorf("shard: partition key on unknown relation %q", rel)
+		}
+		pos := -1
+		for i, a := range attrs {
+			if a == attr {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			return nil, fmt.Errorf("shard: relation %s has no attribute %q to partition by", rel, attr)
+		}
+		keyPos[rel] = pos
+	}
+	r := &Router{
+		schema:    schema,
+		spec:      spec,
+		keyPos:    keyPos,
+		queries:   make([]atomic.Int64, spec.Shards+1),
+		decisions: cache.New(4096, 8),
+	}
+	dbs := make([]*store.DB, spec.Shards)
+	for i := range dbs {
+		dbs[i] = store.NewDB(schema)
+	}
+	for _, rel := range schema.Relations() {
+		rows, err := db.Rows(rel)
+		if err != nil {
+			return nil, err
+		}
+		pos, partitioned := keyPos[rel]
+		for _, t := range rows {
+			if partitioned {
+				if _, err := dbs[r.ownerOf(t[pos])].Insert(rel, t); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			for _, sdb := range dbs {
+				if _, err := sdb.Insert(rel, t); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	r.shards = make([]*core.Engine, spec.Shards)
+	for i, sdb := range dbs {
+		eng, err := core.NewEngine(schema, A, sdb)
+		if err != nil {
+			return nil, err
+		}
+		r.shards[i] = eng
+	}
+	ref, err := core.NewEngine(schema, A, db)
+	if err != nil {
+		return nil, err
+	}
+	r.ref = ref
+	if spec.PlanCacheSize > 0 {
+		r.SetPlanCacheCapacity(spec.PlanCacheSize)
+	}
+	return r, nil
+}
+
+// Router implements core.Service.
+var _ core.Service = (*Router)(nil)
+
+// hashKey hashes a canonical byte encoding to a shard-selection value.
+// The same function is used for every relation, so equal key values land
+// on the same shard regardless of which relation carries them — the
+// property co-partitioned joins rely on.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// ownerOf returns the shard owning tuples whose partition key is v.
+func (r *Router) ownerOf(v value.Value) int {
+	return int(hashKey(value.Tuple{v}.Key()) % uint64(r.spec.Shards))
+}
+
+// NumShards returns the number of partitions (excluding the replica).
+func (r *Router) NumShards() int { return r.spec.Shards }
+
+// Keys returns the partition-key assignment in effect (a copy).
+func (r *Router) Keys() map[string]string {
+	out := make(map[string]string, len(r.spec.Keys))
+	for k, v := range r.spec.Keys {
+		out[k] = v
+	}
+	return out
+}
+
+// Schema returns the relational schema the cluster is bound to. The
+// returned map is shared and must be treated as read-only.
+func (r *Router) Schema() ra.Schema { return r.schema }
+
+// Parse parses a query in the textual rule language.
+func (r *Router) Parse(src string) (ra.Query, error) {
+	return parser.Parse(src, r.schema)
+}
+
+// Execute normalizes q, picks a routing strategy (single shard,
+// scatter/gather, or the replica; see the package comment) and returns
+// the merged answer. Results are identical to a single engine over the
+// unpartitioned database.
+//
+// The analysis is amortized: the query is normalized and fingerprinted
+// once, the routing decision is cached under the fingerprint (sound: the
+// fingerprint identifies the canonical query including its constants,
+// and routing depends only on the query and the fixed partitioning), and
+// the fingerprint is handed to the member engines so none of them repeats
+// the work.
+func (r *Router) Execute(q ra.Query, opts core.Options) (*exec.Table, *core.Report, error) {
+	norm, err := ra.Normalize(q, r.schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	fp := ra.FingerprintNormalized(norm)
+	var dec decision
+	if v, ok := r.decisions.Get(fp); ok {
+		dec = v.(decision)
+	} else {
+		dec = r.route(norm)
+		r.decisions.Put(fp, dec)
+	}
+	r.routed[dec.kind].Add(1)
+	switch dec.kind {
+	case routeSingle:
+		r.queries[dec.shard].Add(1)
+		return r.shards[dec.shard].ExecuteNormalized(norm, fp, opts)
+	case routeFallback:
+		r.queries[r.spec.Shards].Add(1)
+		return r.ref.ExecuteNormalized(norm, fp, opts)
+	}
+	return r.scatter(norm, fp, opts)
+}
+
+// scatter executes norm on every shard concurrently and merges the
+// results: rows by set union, access counts by summation, coverage and
+// boundedness verdicts by conjunction.
+func (r *Router) scatter(norm ra.Query, fp string, opts core.Options) (*exec.Table, *core.Report, error) {
+	start := time.Now()
+	tables := make([]*exec.Table, len(r.shards))
+	reports := make([]*core.Report, len(r.shards))
+	errs := make([]error, len(r.shards))
+	if len(r.shards) == 1 {
+		r.queries[0].Add(1)
+		tables[0], reports[0], errs[0] = r.shards[0].ExecuteNormalized(norm, fp, opts)
+	} else {
+		var wg sync.WaitGroup
+		for i := range r.shards {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r.queries[i].Add(1)
+				tables[i], reports[i], errs[i] = r.shards[i].ExecuteNormalized(norm, fp, opts)
+			}(i)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	out := exec.NewTable(tables[0].Cols)
+	for _, t := range tables {
+		for _, row := range t.Tuples() {
+			out.Add(row)
+		}
+	}
+	rep := *reports[0]
+	for _, sub := range reports[1:] {
+		rep.Covered = rep.Covered && sub.Covered
+		rep.Bounded = rep.Bounded && sub.Bounded
+		rep.CacheHit = rep.CacheHit && sub.CacheHit
+		rep.Stats.Accessed += sub.Stats.Accessed
+		rep.Stats.Fetched += sub.Stats.Fetched
+		rep.Stats.Scanned += sub.Stats.Scanned
+		if sub.CheckTime > rep.CheckTime {
+			rep.CheckTime = sub.CheckTime
+		}
+		if sub.PlanTime > rep.PlanTime {
+			rep.PlanTime = sub.PlanTime
+		}
+		if sub.MinimizeTime > rep.MinimizeTime {
+			rep.MinimizeTime = sub.MinimizeTime
+		}
+		if sub.Version > rep.Version {
+			rep.Version = sub.Version
+		}
+	}
+	rep.Stats.Duration = time.Since(start)
+	return out, &rep, nil
+}
+
+// stripeOf picks the write-ordering stripe for one tuple.
+func stripeOf(rel string, t value.Tuple) uint64 {
+	return hashKey(rel+"\x00"+t.Key()) % wstripes
+}
+
+// Insert adds a tuple to the cluster: to the owning shard for a
+// partitioned relation (or every shard for a replicated one) and to the
+// replica. Same-tuple writes are ordered by an internal stripe lock so
+// all member engines converge to the same state. Each engine maintains
+// its indices incrementally, so cached plans everywhere remain valid and
+// Version does not change.
+func (r *Router) Insert(rel string, t value.Tuple) (bool, error) {
+	return r.mutate(rel, t, (*core.Engine).Insert)
+}
+
+// Delete removes a tuple from the cluster, routing like Insert.
+func (r *Router) Delete(rel string, t value.Tuple) (bool, error) {
+	return r.mutate(rel, t, (*core.Engine).Delete)
+}
+
+// mutate applies one tuple write to the replica first (whose verdict and
+// validation error become the caller's result) and then to the owning
+// shard or, for replicated relations, to every shard.
+func (r *Router) mutate(rel string, t value.Tuple,
+	apply func(*core.Engine, string, value.Tuple) (bool, error)) (bool, error) {
+	pos, partitioned := r.keyPos[rel]
+	if partitioned && pos >= len(t) {
+		return false, fmt.Errorf("shard: %s expects %d values, got %d", rel, len(r.schema[rel]), len(t))
+	}
+	mu := &r.wmu[stripeOf(rel, t)]
+	mu.Lock()
+	defer mu.Unlock()
+	changed, err := apply(r.ref, rel, t)
+	if err != nil {
+		return false, err
+	}
+	if partitioned {
+		if _, err := apply(r.shards[r.ownerOf(t[pos])], rel, t); err != nil {
+			return changed, err
+		}
+		return changed, nil
+	}
+	for _, eng := range r.shards {
+		if _, err := apply(eng, rel, t); err != nil {
+			return changed, err
+		}
+	}
+	return changed, nil
+}
+
+// AddConstraints installs extra access constraints on every engine of the
+// cluster, building their indices shard-locally and bumping every
+// engine's version in lockstep (each engine purges its own plan cache).
+// Constraints are validated up front, and the replica — the only engine
+// holding the full instance — goes first: a constraint the full database
+// violates fails there before any shard is touched, and replica success
+// implies shard success because every shard's slice is a subset (access
+// constraints are anti-monotone). Mutations are serialized against each
+// other so concurrent calls cannot skew versions across engines.
+func (r *Router) AddConstraints(cs ...access.Constraint) error {
+	for _, c := range cs {
+		if err := c.Validate(r.schema); err != nil {
+			return err
+		}
+	}
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	if err := r.ref.AddConstraints(cs...); err != nil {
+		return err
+	}
+	for _, eng := range r.shards {
+		if err := eng.AddConstraints(cs...); err != nil {
+			return fmt.Errorf("shard: cluster left inconsistent by partial constraint install: %w", err)
+		}
+	}
+	return nil
+}
+
+// RemoveConstraint uninstalls a constraint on every engine, dropping the
+// shard-local indices and bumping every version. It reports whether the
+// constraint was present.
+func (r *Router) RemoveConstraint(c access.Constraint) bool {
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	found := false
+	for _, eng := range r.engines() {
+		if eng.RemoveConstraint(c) {
+			found = true
+		}
+	}
+	return found
+}
+
+// engines lists every member engine: the shards, then the replica.
+func (r *Router) engines() []*core.Engine {
+	return append(append(make([]*core.Engine, 0, len(r.shards)+1), r.shards...), r.ref)
+}
+
+// AccessSnapshot returns a consistent copy of the installed access
+// schema (identical on every engine of a healthy cluster).
+func (r *Router) AccessSnapshot() *access.Schema {
+	return r.ref.AccessSnapshot()
+}
+
+// Version returns the cluster's access-schema generation. All engines
+// move in lockstep because every mutation fans out through the router.
+func (r *Router) Version() uint64 { return r.ref.Version() }
+
+// CacheStats returns the plan-cache counters summed across every engine
+// (shards and replica).
+func (r *Router) CacheStats() cache.Stats {
+	var out cache.Stats
+	for _, eng := range r.engines() {
+		s := eng.CacheStats()
+		out.Hits += s.Hits
+		out.Misses += s.Misses
+		out.Evictions += s.Evictions
+		out.Purges += s.Purges
+		out.Entries += s.Entries
+	}
+	return out
+}
+
+// SetPlanCacheCapacity resizes every engine's plan cache, dropping all
+// entries; capacity <= 0 disables caching cluster-wide.
+func (r *Router) SetPlanCacheCapacity(capacity int) {
+	for _, eng := range r.engines() {
+		eng.SetPlanCacheCapacity(capacity)
+	}
+}
+
+// DBSize returns the logical |D|: the replica's size, which counts every
+// tuple exactly once regardless of replication.
+func (r *Router) DBSize() int64 { return r.ref.DBSize() }
+
+// IndexEntries returns the logical |I_A|, measured on the replica.
+func (r *Router) IndexEntries() int64 { return r.ref.IndexEntries() }
+
+// RouteStats counts routing decisions since the router was built.
+type RouteStats struct {
+	// Single counts queries answered by exactly one shard (unpartitioned
+	// queries and the covered-access fast path).
+	Single int64
+	// Scattered counts scatter/gather executions (each runs on every
+	// shard).
+	Scattered int64
+	// Fallback counts executions routed to the full replica.
+	Fallback int64
+}
+
+// RouteStats returns the routing-decision counters.
+func (r *Router) RouteStats() RouteStats {
+	return RouteStats{
+		Single:    r.routed[routeSingle].Load(),
+		Scattered: r.routed[routeScatter].Load(),
+		Fallback:  r.routed[routeFallback].Load(),
+	}
+}
+
+// PerShardStats returns one observability snapshot per member engine —
+// shards labeled "shard/i" in order, then the replica — for the /stats
+// per-shard breakdown. Queries counts executions routed to each engine;
+// comparing them across shards exposes routing skew, and comparing
+// DBSize exposes data skew.
+func (r *Router) PerShardStats() []core.EngineStat {
+	out := make([]core.EngineStat, 0, len(r.shards)+1)
+	for i, eng := range r.shards {
+		st := eng.Stat()
+		st.Label = fmt.Sprintf("shard/%d", i)
+		st.Queries = r.queries[i].Load()
+		out = append(out, st)
+	}
+	st := r.ref.Stat()
+	st.Label = "replica"
+	st.Queries = r.queries[r.spec.Shards].Load()
+	out = append(out, st)
+	return out
+}
+
+// String summarizes the partitioning for logs and tools.
+func (r *Router) String() string {
+	rels := make([]string, 0, len(r.spec.Keys))
+	for rel, key := range r.spec.Keys {
+		rels = append(rels, rel+"/"+key)
+	}
+	sort.Strings(rels)
+	return fmt.Sprintf("shard.Router{shards: %d, partitioned: %v}", r.spec.Shards, rels)
+}

@@ -57,6 +57,15 @@ func Airca() *Dataset {
 	d := &Dataset{
 		Name:   "AIRCA",
 		Schema: schema,
+		// ontime is the fact table: partition by origin, the key the
+		// template workload binds (airlines/carriers/routes of an
+		// airport). delaycause partitions by fid, its only index prefix.
+		// The dimension tables (airport, carrier, plane, market, segment)
+		// replicate so joins against them stay shard-local.
+		ShardKeys: map[string]string{
+			"ontime":     "origin",
+			"delaycause": "fid",
+		},
 		JoinEdges: []JoinEdge{
 			{"ontime", "origin", "airport", "code"},
 			{"ontime", "dest", "airport", "code"},

@@ -26,6 +26,13 @@ type Dataset struct {
 	// Domains maps "rel.attr" to the sampler for constants of that
 	// attribute, used for random selections.
 	Domains map[string]func(rng *rand.Rand) value.Value
+	// ShardKeys is the intended horizontal-partitioning assignment for
+	// internal/shard: relation → partition-key attribute, chosen so that
+	// the dataset's hot templates either bind the key (single-shard
+	// routing) or join partitioned relations on their keys
+	// (co-partitioned scatter). Relations absent from the map are small
+	// or join-shared and replicate to every shard.
+	ShardKeys map[string]string
 }
 
 // JoinEdge is a joinable attribute pair between two base relations.

@@ -73,6 +73,20 @@ func Mcbm() *Dataset {
 	d := &Dataset{
 		Name:   "MCBM",
 		Schema: schema,
+		// Everything subscriber-centric co-partitions on the subscriber
+		// id (caller / sender / sid), so per-subscriber templates pin one
+		// shard; the small reference tables (plan, cell, city) replicate.
+		ShardKeys: map[string]string{
+			"subscriber": "sid",
+			"call":       "caller",
+			"sms":        "sender",
+			"attach":     "sid",
+			"bill":       "sid",
+			"topup":      "sid",
+			"device":     "sid",
+			"complaint":  "sid",
+			"roaming":    "sid",
+		},
 		JoinEdges: []JoinEdge{
 			{"subscriber", "plan_id", "plan", "plan_id"},
 			{"subscriber", "city_id", "city", "city_id"},

@@ -14,6 +14,17 @@ import (
 // accident((date, police_force) → aid, 304): each police force handled at
 // most 304 accidents in a single day.
 func Tfacc() *Dataset {
+	shardKeys := map[string]string{
+		// The accident-centric relations co-partition on aid, so
+		// accident ⋈ vehicle ⋈ casualty ⋈ weather chains stay
+		// shard-local and scatter exactly; the geography tables
+		// (naptan_stop, locality, district, road, force) replicate.
+		"accident":      "aid",
+		"vehicle":       "aid",
+		"casualty":      "aid",
+		"weather":       "aid",
+		"accident_road": "aid",
+	}
 	schema := ra.Schema{
 		"accident":      {"aid", "date", "police_force", "severity", "district"},
 		"vehicle":       {"aid", "vid", "vtype", "age_band"},
@@ -65,8 +76,9 @@ func Tfacc() *Dataset {
 		{"force", nil, []string{"police_force"}, 51},
 	}
 	d := &Dataset{
-		Name:   "TFACC",
-		Schema: schema,
+		Name:      "TFACC",
+		Schema:    schema,
+		ShardKeys: shardKeys,
 		JoinEdges: []JoinEdge{
 			{"accident", "aid", "vehicle", "aid"},
 			{"accident", "aid", "casualty", "aid"},
