@@ -14,11 +14,13 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test (and subtest) execution order, flushing out
+# inter-test state dependence.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/parser
@@ -46,10 +48,13 @@ bench-serve:
 
 # bench-shard prices horizontal partitioning: the same Zipf replay against
 # the single engine and against the scatter/gather router at 1, 2, 4 and 8
-# shards, with the routing-decision breakdown per run.
+# shards, with the routing-decision breakdown per run, plus one run that
+# reshards 2 → 4 live at the replay's halfway mark to price an online
+# migration under load.
 bench-shard:
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 1
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 2
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 4
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 8
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 2 -reshard 4

@@ -13,18 +13,25 @@
 //	boundedctl -dataset facebook -op constraints
 //	boundedctl -dataset AIRCA -op serve -clients 8 -ops 10000
 //	boundedctl -dataset AIRCA -op serve -transport sharded -shards 4
+//	boundedctl -dataset AIRCA -op serve -transport sharded -shards 2 -reshard 4
 //	boundedctl -dataset AIRCA -op http -addr :8080
 //	boundedctl -dataset AIRCA -op http -shards 4
+//	boundedctl -op reshard -addr 127.0.0.1:8080 -shards 6
 //
 // The serve operation replays a Zipf-skewed mix of repeated workload
 // queries from concurrent clients against a mutating database and reports
 // throughput, plan-cache hit rate and the cold-vs-cached speedup; with
 // -transport http the replay drives the HTTP front end over loopback
-// instead of calling the engine in-process.
+// instead of calling the engine in-process, and -reshard N triggers an
+// online shard migration halfway through the replay and prices it.
 //
 // The http operation loads the dataset and serves it over the HTTP/JSON
 // front end (internal/server) until SIGINT/SIGTERM, then drains in-flight
 // requests and exits. See docs/ARCHITECTURE.md for the endpoints.
+//
+// The reshard operation is the admin client for a running sharded server:
+// it POSTs /reshard to -addr with the -shards target, waits for the move
+// to finish, and prints the accounting (rows moved, ring epoch).
 //
 // The query language is Datalog-style conjunctive rules combined with
 // UNION and EXCEPT; see internal/parser.
@@ -56,7 +63,7 @@ import (
 
 func main() {
 	dataset := flag.String("dataset", "facebook", "dataset: facebook, AIRCA, TFACC, MCBM")
-	op := flag.String("op", "check", "operation: check, plan, sql, minimize, run, serve, constraints")
+	op := flag.String("op", "check", "operation: check, plan, sql, minimize, run, serve, http, reshard, constraints")
 	query := flag.String("query", "", "query in rule syntax")
 	scale := flag.Float64("scale", 0.1, "data scale factor for run/serve")
 	seed := flag.Int64("seed", 1, "data seed")
@@ -67,7 +74,8 @@ func main() {
 	poolSize := flag.Int("pool", 40, "serve: distinct queries in the replay pool")
 	cacheSize := flag.Int("cachesize", 0, "serve: plan-cache capacity (0 = default)")
 	transport := flag.String("transport", "engine", "serve: engine (in-process), http (loopback front end) or sharded (scatter/gather router)")
-	shards := flag.Int("shards", 0, "serve/http: partition count for the sharded router (0 = unsharded)")
+	shards := flag.Int("shards", 0, "serve/http: partition count for the sharded router (0 = unsharded); reshard: target count")
+	reshardTo := flag.Int("reshard", 0, "serve: reshard the cluster to this shard count halfway through the replay (0 = off)")
 	addr := flag.String("addr", ":8080", "http: listen address")
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "http: per-request timeout")
 	maxInFlight := flag.Int("maxinflight", 0, "http: max concurrent queries (0 = 4×GOMAXPROCS, <0 = unlimited)")
@@ -76,7 +84,12 @@ func main() {
 
 	switch *op {
 	case "serve":
-		if err := serve(*dataset, *transport, *shards, *scale, *seed, *clients, *writers, *ops, *zipf, *poolSize, *cacheSize); err != nil {
+		if err := serve(*dataset, *transport, *shards, *reshardTo, *scale, *seed, *clients, *writers, *ops, *zipf, *poolSize, *cacheSize); err != nil {
+			fmt.Fprintln(os.Stderr, "boundedctl:", err)
+			os.Exit(1)
+		}
+	case "reshard":
+		if err := reshard(*addr, *shards, *timeout); err != nil {
 			fmt.Fprintln(os.Stderr, "boundedctl:", err)
 			os.Exit(1)
 		}
@@ -93,11 +106,12 @@ func main() {
 	}
 }
 
-func serve(dataset, transport string, shards int, scale float64, seed int64, clients, writers, ops int, zipf float64, poolSize, cacheSize int) error {
+func serve(dataset, transport string, shards, reshardTo int, scale float64, seed int64, clients, writers, ops int, zipf float64, poolSize, cacheSize int) error {
 	cfg := bench.DefaultServeConfig()
 	cfg.Dataset = dataset
 	cfg.Transport = transport
 	cfg.Shards = shards
+	cfg.ReshardTo = reshardTo
 	cfg.Scale = scale
 	cfg.Seed = seed
 	cfg.Clients = clients
@@ -111,6 +125,30 @@ func serve(dataset, transport string, shards int, scale float64, seed int64, cli
 		return err
 	}
 	res.Format(os.Stdout)
+	return nil
+}
+
+// reshard drives POST /reshard on a running sharded server and reports
+// the move. The wait is bounded by the -timeout flag client-side; the
+// server's own request timeout also applies, so large moves need both
+// raised.
+func reshard(addr string, target int, timeout time.Duration) error {
+	if target < 1 {
+		return fmt.Errorf("reshard needs -shards >= 1, got %d", target)
+	}
+	if len(addr) > 0 && addr[0] == ':' {
+		addr = "127.0.0.1" + addr
+	}
+	cli := server.NewClient(addr)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	fmt.Printf("resharding %s to %d shards …\n", addr, target)
+	rep, err := cli.Reshard(ctx, target, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resharded %d→%d: moved %d keyed rows, seeded %d replicated copies, %.1fms; ring epoch %d\n",
+		rep.From, rep.To, rep.Moved, rep.Seeded, float64(rep.DurationMicros)/1000, rep.Epoch)
 	return nil
 }
 
@@ -339,7 +377,7 @@ func run(dataset, op, query string, scale float64, seed int64) error {
 		}
 		return nil
 	default:
-		ops := []string{"check", "plan", "sql", "minimize", "run", "constraints", "serve", "http"}
+		ops := []string{"check", "plan", "sql", "minimize", "run", "constraints", "serve", "http", "reshard"}
 		sort.Strings(ops)
 		return fmt.Errorf("unknown op %q (want one of %v)", op, ops)
 	}

@@ -28,25 +28,25 @@ func TestOpsOnBenchmarkDatasets(t *testing.T) {
 }
 
 func TestOpServe(t *testing.T) {
-	if err := serve("AIRCA", "engine", 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64); err != nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64); err != nil {
 		t.Fatalf("serve: %v", err)
 	}
-	if err := serve("nosuch", "engine", 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0); err == nil {
+	if err := serve("nosuch", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0); err == nil {
 		t.Error("serve accepted an unknown dataset")
 	}
-	if err := serve("AIRCA", "carrier-pigeon", 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0); err == nil {
+	if err := serve("AIRCA", "carrier-pigeon", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0); err == nil {
 		t.Error("serve accepted an unknown transport")
 	}
 }
 
 func TestOpServeHTTPTransport(t *testing.T) {
-	if err := serve("AIRCA", "http", 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64); err != nil {
+	if err := serve("AIRCA", "http", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64); err != nil {
 		t.Fatalf("serve -transport http: %v", err)
 	}
 }
 
 func TestOpServeShardedTransport(t *testing.T) {
-	if err := serve("AIRCA", "sharded", 2, 0.02, 1, 2, 1, 200, 1.2, 8, 64); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64); err != nil {
 		t.Fatalf("serve -transport sharded: %v", err)
 	}
 }
@@ -71,5 +71,20 @@ func TestErrors(t *testing.T) {
 	}
 	if err := run("facebook", "sql", uncovered, 0.05, 1); err == nil {
 		t.Error("sql for uncovered query accepted")
+	}
+}
+
+func TestOpServeMidReplayReshard(t *testing.T) {
+	if err := serve("AIRCA", "sharded", 2, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64); err != nil {
+		t.Fatalf("serve -transport sharded -reshard 3: %v", err)
+	}
+	if err := serve("AIRCA", "engine", 0, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64); err == nil {
+		t.Error("serve accepted -reshard without a sharded layer")
+	}
+}
+
+func TestOpReshardValidation(t *testing.T) {
+	if err := reshard(":0", 0, 0); err == nil {
+		t.Error("reshard accepted a zero target")
 	}
 }

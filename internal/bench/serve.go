@@ -18,6 +18,7 @@ import (
 	"log/slog"
 	"math/rand"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,11 @@ type ServeConfig struct {
 	// that transport means DefaultShards). Setting it on the http
 	// transport serves the sharded cluster behind the front end.
 	Shards int
+	// ReshardTo, when > 0, triggers an online Reshard to that shard count
+	// once half the replay ops have completed, pricing a live migration
+	// under load. Requires a sharded serving layer (Shards > 0 or the
+	// sharded transport).
+	ReshardTo int
 }
 
 // DefaultShards is the partition count used by the sharded transport when
@@ -105,8 +111,15 @@ type ServeResult struct {
 	Transport string
 	// Shards is the partition count behind the replay (0 = unsharded) and
 	// Routes the router's routing-decision counters (zero when unsharded).
-	Shards   int
-	Routes   shard.RouteStats
+	Shards int
+	Routes shard.RouteStats
+	// Procs and CPUs record the execution parallelism of the host
+	// (GOMAXPROCS and the physical CPU count) so throughput numbers carry
+	// their own context — sharded QPS ≈ baseline on a 1-vCPU box is the
+	// expected reading, not a regression.
+	Procs, CPUs int
+	// Reshard reports the mid-replay migration when ReshardTo was set.
+	Reshard  *shard.ReshardReport
 	Ops      int
 	Errors   int
 	Duration time.Duration
@@ -138,9 +151,15 @@ type ServeResult struct {
 // Format renders the result as an aligned report.
 func (r *ServeResult) Format(w io.Writer) {
 	fmt.Fprintf(w, "# serving benchmark on %s (transport: %s)\n", r.Dataset, r.Transport)
+	fmt.Fprintf(w, "host\tGOMAXPROCS=%d, %d CPUs\n", r.Procs, r.CPUs)
 	if r.Shards > 0 {
 		fmt.Fprintf(w, "shards\t%d (routed: %d single-shard, %d scatter, %d replica)\n",
 			r.Shards, r.Routes.Single, r.Routes.Scattered, r.Routes.Fallback)
+	}
+	if r.Reshard != nil {
+		fmt.Fprintf(w, "reshard\t%d→%d mid-replay: %d keyed rows moved, %d seeded, %v (ring epoch %d)\n",
+			r.Reshard.From, r.Reshard.To, r.Reshard.Moved, r.Reshard.Seeded,
+			r.Reshard.Duration.Round(time.Millisecond), r.Reshard.Epoch)
 	}
 	fmt.Fprintf(w, "ops\t%d (errors %d)\n", r.Ops, r.Errors)
 	fmt.Fprintf(w, "duration\t%v\n", r.Duration.Round(time.Millisecond))
@@ -185,6 +204,12 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	shards := cfg.Shards
 	if transport == TransportSharded && shards < 1 {
 		shards = DefaultShards
+	}
+	if cfg.ReshardTo < 0 {
+		return nil, fmt.Errorf("bench: ReshardTo must be >= 0, got %d", cfg.ReshardTo)
+	}
+	if cfg.ReshardTo > 0 && shards < 1 {
+		return nil, fmt.Errorf("bench: ReshardTo needs a sharded serving layer (set Shards or the sharded transport)")
 	}
 	d, err := workload.ByName(cfg.Dataset)
 	if err != nil {
@@ -234,7 +259,13 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	}
 	defer drv.close()
 
-	res := &ServeResult{Dataset: cfg.Dataset, Transport: transport, Shards: shards}
+	res := &ServeResult{
+		Dataset:   cfg.Dataset,
+		Transport: transport,
+		Shards:    shards,
+		Procs:     runtime.GOMAXPROCS(0),
+		CPUs:      runtime.NumCPU(),
+	}
 
 	// Cold vs hot latency over a probe set of pool queries, before the
 	// serving phase. Summing per-query floors across the set weights the
@@ -332,11 +363,39 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 			}
 		}(c)
 	}
+	// Mid-replay reshard: wait for half the ops, migrate live, record the
+	// accounting. Joined after the clients so the result always carries it.
+	reshardDone := make(chan struct{})
+	if cfg.ReshardTo > 0 {
+		go func() {
+			defer close(reshardDone)
+			half := int64(cfg.Ops / 2)
+			for completed.Load() < half && !stop.Load() {
+				time.Sleep(time.Millisecond)
+			}
+			if completed.Load() < half {
+				// Replay died early (client errors); nothing left to price.
+				return
+			}
+			rep, err := router.Reshard(context.Background(), cfg.ReshardTo)
+			if err != nil {
+				errCount.Add(1)
+				return
+			}
+			res.Reshard = rep
+		}()
+	} else {
+		close(reshardDone)
+	}
 	// Clients are bounded loops; writers churn until the clients finish.
 	clientWG.Wait()
 	res.Duration = time.Since(start)
 	stop.Store(true)
 	writerWG.Wait()
+	// Join the resharder after stop is set, so an early-aborted replay
+	// (client errors before the halfway mark) releases it instead of
+	// deadlocking on a level of completed ops that will never come.
+	<-reshardDone
 	res.Ops = int(completed.Load())
 	res.Errors = int(errCount.Load())
 	res.Mutations = mutations.Load()

@@ -179,3 +179,51 @@ func TestServeShardedTransport(t *testing.T) {
 		t.Errorf("report missing shard line:\n%s", sb.String())
 	}
 }
+
+// TestServeReshardMidReplay prices a live 2→4 migration under the Zipf
+// replay: the run must stay error-free, the reshard must complete and be
+// reported, and the result must carry the host parallelism line that
+// contextualizes sharded QPS numbers.
+func TestServeReshardMidReplay(t *testing.T) {
+	cfg := DefaultServeConfig()
+	cfg.Transport = TransportSharded
+	cfg.Shards = 2
+	cfg.ReshardTo = 4
+	cfg.Scale = 0.03
+	cfg.Ops = 2000
+	cfg.LatencyProbes = 5
+	res, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d serving errors during live reshard", res.Errors)
+	}
+	if res.Reshard == nil {
+		t.Fatal("mid-replay reshard did not report")
+	}
+	if res.Reshard.From != 2 || res.Reshard.To != 4 || res.Reshard.Epoch != 2 {
+		t.Errorf("reshard report: %+v", res.Reshard)
+	}
+	if res.Reshard.Moved == 0 || res.Reshard.Seeded == 0 {
+		t.Errorf("reshard moved=%d seeded=%d, want both > 0", res.Reshard.Moved, res.Reshard.Seeded)
+	}
+	if res.Procs < 1 || res.CPUs < 1 {
+		t.Errorf("host parallelism not recorded: GOMAXPROCS=%d CPUs=%d", res.Procs, res.CPUs)
+	}
+
+	var sb strings.Builder
+	res.Format(&sb)
+	out := sb.String()
+	for _, want := range []string{"GOMAXPROCS=", "reshard\t2→4 mid-replay"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// ReshardTo without a sharded layer must be rejected up front.
+	bad := DefaultServeConfig()
+	bad.ReshardTo = 4
+	if _, err := Serve(bad); err == nil {
+		t.Error("ReshardTo on an unsharded config was accepted")
+	}
+}

@@ -154,6 +154,25 @@ func (e *Engine) invalidateLocked() {
 // inserts or deletes, whose index maintenance keeps existing plans valid.
 func (e *Engine) Version() uint64 { return e.version.Load() }
 
+// SyncVersion raises the engine's version counter to v (no-op when the
+// engine is already at or past it), purging the plan cache if it moved.
+// It exists for cluster membership changes: an engine freshly built to
+// join a sharded cluster (internal/shard Reshard growth) starts at
+// version 0 and must report the cluster's generation, or per-engine
+// version lockstep — the operator's consistency probe — would read as
+// skew.
+func (e *Engine) SyncVersion(v uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.version.Load() >= v {
+		return
+	}
+	e.version.Store(v)
+	if e.plans != nil {
+		e.plans.Purge()
+	}
+}
+
 // AccessSnapshot returns a consistent copy of the installed access schema.
 // The Access field itself is replaced copy-on-write under the engine lock
 // by AddConstraints / RemoveConstraint, so concurrent readers (e.g. the

@@ -79,6 +79,19 @@ func (c *Client) mutate(ctx context.Context, path, relation string, tuples []val
 	return &resp, nil
 }
 
+// Reshard asks a sharded server to change its live shard count. With
+// wait the call blocks until the move completes (bounded by ctx and the
+// server's request timeout) and returns the full accounting; without it
+// the server answers once the move is accepted and GET /stats reports
+// progress. Servers over an unsharded engine answer 501.
+func (c *Client) Reshard(ctx context.Context, shards int, wait bool) (*ReshardResponse, error) {
+	var resp ReshardResponse
+	if err := c.post(ctx, "/reshard", ReshardRequest{Shards: shards, Wait: wait}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Schema fetches the relational schema and access constraints.
 func (c *Client) Schema(ctx context.Context) (*SchemaResponse, error) {
 	var resp SchemaResponse

@@ -10,8 +10,10 @@
 //	POST /query    execute a rule-language query; rows + plan/cache/boundedness metadata
 //	POST /insert   insert a batch of tuples into one relation
 //	POST /delete   delete a batch of tuples from one relation
+//	POST /reshard  change the shard count of a sharded serving layer online
 //	GET  /schema   relational schema + installed access constraints
-//	GET  /stats    plan-cache counters, DB/index sizes, request accounting
+//	GET  /stats    plan-cache counters, DB/index sizes, request accounting,
+//	               ring epoch + migration progress when sharded
 //	GET  /healthz  liveness probe
 //
 // The server preserves the serving-layer invariant: tuple writes through
@@ -42,6 +44,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/parser"
 	"repro/internal/ra"
+	"repro/internal/shard"
 	"repro/internal/value"
 )
 
@@ -113,6 +116,11 @@ type Server struct {
 	start    time.Time
 	requests atomic.Int64
 	inFlight atomic.Int64
+	// resharding serializes POST /reshard at the HTTP layer: the router's
+	// own in-progress error is check-then-act from out here (a background
+	// call is accepted before the migration becomes observable), so the
+	// overlap answer 409 is enforced with this flag instead.
+	resharding atomic.Bool
 
 	listener net.Listener
 	addrCh   chan string
@@ -162,6 +170,7 @@ func New(eng core.Service, cfg Config) *Server {
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /insert", s.handleInsert)
 	s.mux.HandleFunc("POST /delete", s.handleDelete)
+	s.mux.HandleFunc("POST /reshard", s.handleReshard)
 	s.mux.HandleFunc("GET /schema", s.handleSchema)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -533,6 +542,80 @@ type perShardStatser interface {
 	PerShardStats() []core.EngineStat
 }
 
+// resharder is implemented by core.Service implementations that can
+// change their shard count online (the router of internal/shard). The
+// front end exposes it as POST /reshard and folds RingStatus into /stats.
+type resharder interface {
+	Reshard(ctx context.Context, targetN int) (*shard.ReshardReport, error)
+	RingStatus() shard.RingStatus
+}
+
+// handleReshard is the admin endpoint for online rebalancing. It answers
+// 501 on an unsharded serving layer and 409 while another move is in
+// flight. With "wait" the move runs under the request deadline (abort on
+// timeout, so operators should raise the server timeout for big moves);
+// without it the move runs in the background under the server's own
+// lifetime and progress is visible in GET /stats.
+func (s *Server) handleReshard(w http.ResponseWriter, r *http.Request) {
+	rs, ok := s.eng.(resharder)
+	if !ok {
+		writeError(w, http.StatusNotImplemented,
+			errors.New("serving layer is not sharded; start with -shards to enable /reshard"))
+		return
+	}
+	var req ReshardRequest
+	if err := readBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Shards < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("\"shards\" must be >= 1, got %d", req.Shards))
+		return
+	}
+	if !s.resharding.CompareAndSwap(false, true) {
+		writeError(w, http.StatusConflict, shard.ErrReshardInProgress)
+		return
+	}
+	if !req.Wait {
+		s.cfg.Logger.Info("reshard accepted", "target", req.Shards)
+		go func() {
+			defer s.resharding.Store(false)
+			if rep, err := rs.Reshard(context.Background(), req.Shards); err != nil {
+				s.cfg.Logger.Error("reshard failed", "target", req.Shards, "err", err)
+			} else {
+				s.cfg.Logger.Info("reshard complete", "from", rep.From, "to", rep.To,
+					"moved", rep.Moved, "seeded", rep.Seeded, "epoch", rep.Epoch,
+					"duration", rep.Duration)
+			}
+		}()
+		writeJSON(w, http.StatusAccepted, ReshardResponse{Accepted: true, To: req.Shards})
+		return
+	}
+	rep, err := rs.Reshard(r.Context(), req.Shards)
+	s.resharding.Store(false)
+	switch {
+	case errors.Is(err, shard.ErrReshardInProgress):
+		// A move started outside this server (in-process caller).
+		writeError(w, http.StatusConflict, err)
+		return
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Errorf("reshard aborted and rolled back: %w", err))
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReshardResponse{
+		From:           rep.From,
+		To:             rep.To,
+		Moved:          rep.Moved,
+		Seeded:         rep.Seeded,
+		Epoch:          rep.Epoch,
+		DurationMicros: rep.Duration.Microseconds(),
+	})
+}
+
 // handleStats renders plan-cache counters and size/request accounting,
 // plus a per-shard breakdown when the service is a sharded cluster.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -557,6 +640,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				Version:      st.Version,
 			})
 		}
+	}
+	if rs, ok := s.eng.(resharder); ok {
+		status := rs.RingStatus()
+		ring := &RingStatsWire{Epoch: status.Epoch, Shards: status.Shards, Vnodes: status.Vnodes}
+		if m := status.Migration; m != nil {
+			ring.Migration = &MigrationWire{
+				From: m.From, To: m.To, Phase: m.Phase, Moved: m.Moved, Total: m.Total,
+			}
+		}
+		resp.Ring = ring
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -99,12 +99,74 @@ func TestServerOverShardedRouter(t *testing.T) {
 	if physical < stats.DBSize {
 		t.Errorf("per-shard sizes sum to %d, below the logical size %d", physical, stats.DBSize)
 	}
-	// The single-engine server must not report a breakdown.
+	// The single-engine server must not report a breakdown or a ring.
 	sstats, err := singleCli.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(sstats.Shards) != 0 {
 		t.Errorf("single-engine stats unexpectedly carries %d shard entries", len(sstats.Shards))
+	}
+	if sstats.Ring != nil {
+		t.Errorf("single-engine stats unexpectedly carries ring state: %+v", sstats.Ring)
+	}
+	if stats.Ring == nil || stats.Ring.Shards != 3 || stats.Ring.Epoch != 1 {
+		t.Errorf("sharded stats ring = %+v, want 3 shards at epoch 1", stats.Ring)
+	}
+}
+
+// TestReshardEndpoint drives an online reshard over the wire: grow 3→5
+// with wait, verify the epoch moved and /stats reflects the new layout,
+// confirm answers are unchanged, then check the endpoint's guard rails
+// (bad target, unsharded server).
+func TestReshardEndpoint(t *testing.T) {
+	router, eng := shardedService(t)
+	_, cli := startServer(t, router, Config{MaxRows: -1})
+	_, singleCli := startServer(t, eng, Config{MaxRows: -1})
+	ctx := context.Background()
+
+	const probe = `q(airline) :- ontime(f, 42, d, airline, m, delay)`
+	before, err := cli.Query(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := cli.Reshard(ctx, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.From != 3 || rep.To != 5 || rep.Epoch != 2 {
+		t.Fatalf("reshard response: %+v", rep)
+	}
+	if rep.Moved == 0 || rep.Seeded == 0 {
+		t.Errorf("grow reported moved=%d seeded=%d, want both > 0", rep.Moved, rep.Seeded)
+	}
+
+	after, err := cli.Query(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.RowCount != before.RowCount {
+		t.Errorf("answer changed across reshard: %d rows vs %d", after.RowCount, before.RowCount)
+	}
+	stats, err := cli.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ring == nil || stats.Ring.Shards != 5 || stats.Ring.Epoch != 2 || stats.Ring.Migration != nil {
+		t.Errorf("ring after reshard = %+v, want 5 shards at epoch 2, no migration", stats.Ring)
+	}
+	if len(stats.Shards) != 6 {
+		t.Errorf("stats.Shards has %d entries after grow, want 5 shards + replica", len(stats.Shards))
+	}
+
+	// Guard rails: invalid target and unsharded serving layer.
+	if _, err := cli.Reshard(ctx, 0, true); err == nil {
+		t.Error("reshard to 0 shards did not fail")
+	}
+	_, err = singleCli.Reshard(ctx, 2, true)
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Status != 501 {
+		t.Errorf("reshard on unsharded server: err=%v, want 501 APIError", err)
 	}
 }

@@ -143,6 +143,9 @@ type StatsResponse struct {
 	// routing and data skew: Queries counts the queries each engine
 	// executed (a scatter counts on every shard it touched).
 	Shards []ShardStatsWire `json:"shards,omitempty"`
+	// Ring is the consistent-hash placement state (epoch, size, in-flight
+	// migration), present only for a sharded cluster.
+	Ring *RingStatsWire `json:"ring,omitempty"`
 }
 
 // ShardStatsWire is one engine of a sharded cluster in GET /stats.
@@ -159,6 +162,61 @@ type ShardStatsWire struct {
 	// Version is the engine's access-schema generation; all engines of a
 	// healthy cluster report the same value.
 	Version uint64 `json:"version"`
+}
+
+// ReshardRequest is the body of POST /reshard: change the live shard
+// count of a sharded serving layer online.
+type ReshardRequest struct {
+	// Shards is the target partition count (>= 1).
+	Shards int `json:"shards"`
+	// Wait blocks the request until the move completes and reports the
+	// full ReshardResponse; without it the server answers 202 immediately
+	// and the migration runs in the background (progress via GET /stats).
+	Wait bool `json:"wait,omitempty"`
+}
+
+// ReshardResponse reports a reshard. A waited call carries the full
+// accounting; an accepted background call sets Accepted and To only.
+type ReshardResponse struct {
+	// Accepted is true for a background (non-wait) call that was started.
+	Accepted bool `json:"accepted,omitempty"`
+	// From and To are the shard counts before and after the move.
+	From int `json:"from,omitempty"`
+	To   int `json:"to"`
+	// Moved counts keyed rows that changed owner; Seeded counts
+	// replicated row copies streamed onto engines created by growth.
+	Moved  int64 `json:"moved,omitempty"`
+	Seeded int64 `json:"seeded,omitempty"`
+	// Epoch is the ring epoch after the flip.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// DurationMicros is the wall time of the whole move.
+	DurationMicros int64 `json:"durationMicros,omitempty"`
+}
+
+// MigrationWire is an in-flight shard migration in GET /stats.
+type MigrationWire struct {
+	// From and To are the shard counts the migration moves between.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Phase is "copy" (streaming, old ring serving), "cleanup" (flipped,
+	// sweeping stragglers) or "abort" (rolling back).
+	Phase string `json:"phase"`
+	// Moved counts rows streamed so far out of an estimated Total.
+	Moved int64 `json:"moved"`
+	Total int64 `json:"total"`
+}
+
+// RingStatsWire is the consistent-hash placement state in GET /stats.
+type RingStatsWire struct {
+	// Epoch is the ring generation (starts at 1, +1 per completed
+	// reshard).
+	Epoch uint64 `json:"epoch"`
+	// Shards is the live partition count; Vnodes the virtual nodes each
+	// shard contributes to the ring.
+	Shards int `json:"shards"`
+	Vnodes int `json:"vnodes"`
+	// Migration is present only while a reshard is in flight.
+	Migration *MigrationWire `json:"migration,omitempty"`
 }
 
 // HealthResponse is the answer to GET /healthz.

@@ -1,0 +1,434 @@
+// Online rebalancing: Reshard grows or shrinks the cluster while queries
+// and writes keep flowing, and every intermediate state answers exactly
+// like a single engine. The protocol is a three-phase state machine built
+// on two invariants:
+//
+//  1. Whichever ring the readers are currently routed by, every shard
+//     holds a complete slice of the keys that ring assigns it.
+//  2. A delete reaches every engine that could hold a copy of the tuple,
+//     so no stale copy outlives it.
+//
+// Phases (writeTargets in shard.go implements the per-phase write rules):
+//
+//	prepare  Under the constraint lock, build the target ring and — when
+//	         growing — fresh engines carrying the current access schema,
+//	         synced to the cluster version. Fresh engines immediately join
+//	         constraint fan-outs, so schema changes mid-migration cannot
+//	         skew them.
+//	copy     Publish the migration (readers stay on the old ring; writes
+//	         double-apply under both rings), then stream every row whose
+//	         owner differs between the rings from its old owner to its new
+//	         one in stripe-locked steps: a row is copied only if it still
+//	         exists at its old owner at the instant of the copy, so a
+//	         concurrent delete can never be resurrected. Replicated
+//	         relations stream to fresh engines the same way, with the
+//	         replica as the source of truth.
+//	flip     Swap the ring state atomically (epoch+1). Readers move to the
+//	         new ring, whose owners are complete: every moved row was
+//	         either copied or double-written. Old-epoch routing decisions
+//	         die with the epoch stamp.
+//	cleanup  Surviving shards sweep out the rows the new ring no longer
+//	         assigns them; shrunk-away engines are dropped wholesale.
+//	         Inserts already go only to new owners, so the sweep converges;
+//	         deletes still cover old owners, so a tuple deleted mid-sweep
+//	         loses both copies.
+//
+// A context cancellation during copy aborts: the abort phase mirrors
+// cleanup under the old ring (sweep copied rows back out of surviving
+// targets, drop fresh engines) and the cluster returns to its pre-call
+// state. After the flip the remaining work is bounded local cleanup, so
+// Reshard always runs it to completion and cancellation no longer
+// applies.
+//
+// Between publishing a phase change and acting on its assumptions the
+// rebalancer passes a stripe barrier — acquiring and releasing every
+// write stripe — so every in-flight write that loaded the previous phase
+// has drained before the scan that relies on the new rules begins.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// ErrReshardInProgress is returned by Reshard when another reshard is
+// still running; the cluster supports one membership change at a time.
+var ErrReshardInProgress = errors.New("shard: a reshard is already in progress")
+
+// migBatchRows is how many candidate rows a migration scan handles
+// between context checks (and the test hook).
+const migBatchRows = 512
+
+// Migration phases; the write rules per phase live in writeTargets.
+const (
+	phaseCopy int32 = iota
+	phaseCleanup
+	phaseAbort
+)
+
+// phaseNames renders migration phases for RingStatus.
+var phaseNames = map[int32]string{
+	phaseCopy:    "copy",
+	phaseCleanup: "cleanup",
+	phaseAbort:   "abort",
+}
+
+// migration is the shared state of one in-flight Reshard, published on
+// Router.mig for the write path and the status endpoints.
+type migration struct {
+	phase            atomic.Int32
+	oldRing, newRing *Ring
+	oldMembers       []*member
+	newMembers       []*member
+	// fresh are the engines created for growth (a subset of newMembers);
+	// empty when shrinking.
+	fresh []*member
+	// moved counts keyed rows streamed between owners and seeded counts
+	// replicated rows copied onto fresh engines; total is the move plan's
+	// size (both kinds), estimated once when the plan is computed.
+	moved, seeded, total atomic.Int64
+}
+
+// ReshardReport summarizes a completed Reshard.
+type ReshardReport struct {
+	// From and To are the shard counts before and after.
+	From, To int
+	// Moved is the number of keyed rows that changed owner — the
+	// consistent-hashing minimum, about 1/max(From, To) of the keyed
+	// data. Seeded is the number of replicated row copies streamed onto
+	// engines created by growth (zero when shrinking).
+	Moved, Seeded int64
+	// Epoch is the ring epoch after the flip.
+	Epoch uint64
+	// Duration is the wall time of the whole operation.
+	Duration time.Duration
+}
+
+// MigrationProgress describes an in-flight migration for RingStatus.
+type MigrationProgress struct {
+	// From and To are the shard counts the migration is moving between.
+	From, To int
+	// Phase is "copy", "cleanup" or "abort".
+	Phase string
+	// Moved counts rows streamed so far out of an estimated Total (the
+	// move plan measured at start; concurrent writes can drift it).
+	Moved, Total int64
+}
+
+// RingStatus is the observable placement state: the epoch and size of the
+// live ring, and the in-flight migration when a Reshard is running.
+type RingStatus struct {
+	// Epoch is the current ring epoch (starts at 1, +1 per flip).
+	Epoch uint64
+	// Shards is the live partition count; Vnodes the virtual nodes per
+	// shard on the ring.
+	Shards, Vnodes int
+	// Migration is nil when the cluster is stable.
+	Migration *MigrationProgress
+}
+
+// RingStatus returns the current placement state for /stats and tools.
+func (r *Router) RingStatus() RingStatus {
+	st := r.state.Load()
+	out := RingStatus{Epoch: st.epoch, Shards: len(st.members), Vnodes: st.ring.Vnodes()}
+	if mig := r.mig.Load(); mig != nil {
+		out.Migration = &MigrationProgress{
+			From:  len(mig.oldMembers),
+			To:    len(mig.newMembers),
+			Phase: phaseNames[mig.phase.Load()],
+			Moved: mig.moved.Load() + mig.seeded.Load(),
+			Total: mig.total.Load(),
+		}
+	}
+	return out
+}
+
+// Reshard changes the live shard count to targetN while queries and
+// writes keep flowing, streaming only the rows whose ring owner changes
+// (about |moved|/|keyed| ≈ 1/max(N, targetN) of the keyed data, the
+// consistent-hashing minimum). Every query answered at any point during
+// the operation is exactly the single-engine answer; tuple movement never
+// bumps any engine's Version, so cached plans keep serving throughout.
+//
+// Reshard returns ErrReshardInProgress if another call is still running.
+// Cancelling ctx during the copy phase aborts and rolls the cluster back
+// to its previous state; after the internal flip the operation is
+// committed and runs its bounded cleanup regardless of ctx.
+func (r *Router) Reshard(ctx context.Context, targetN int) (*ReshardReport, error) {
+	if targetN < 1 {
+		return nil, fmt.Errorf("shard: Reshard target must be >= 1, got %d", targetN)
+	}
+	if !r.rmu.TryLock() {
+		return nil, ErrReshardInProgress
+	}
+	defer r.rmu.Unlock()
+	start := time.Now()
+	st := r.state.Load()
+	oldN := len(st.members)
+	if targetN == oldN {
+		return &ReshardReport{From: oldN, To: targetN, Epoch: st.epoch}, nil
+	}
+	newRing := NewRing(targetN, st.ring.Vnodes())
+
+	// Prepare: target membership, with fresh engines for growth built and
+	// published under the constraint lock so schema fan-outs include them
+	// from the first possible moment.
+	newMembers := make([]*member, targetN)
+	copy(newMembers, st.members[:min(oldN, targetN)])
+	var fresh []*member
+	r.cmu.Lock()
+	A := r.ref.AccessSnapshot()
+	for i := oldN; i < targetN; i++ {
+		eng, err := core.NewEngine(r.schema, A, store.NewDB(r.schema))
+		if err != nil {
+			r.cmu.Unlock()
+			return nil, err
+		}
+		eng.SyncVersion(r.ref.Version())
+		if r.spec.PlanCacheSize > 0 {
+			eng.SetPlanCacheCapacity(r.spec.PlanCacheSize)
+		}
+		m := &member{eng: eng}
+		newMembers[i] = m
+		fresh = append(fresh, m)
+	}
+	r.fresh = fresh
+	r.cmu.Unlock()
+
+	mig := &migration{
+		oldRing:    st.ring,
+		newRing:    newRing,
+		oldMembers: st.members,
+		newMembers: newMembers,
+		fresh:      fresh,
+	}
+	mig.total.Store(r.planSize(mig))
+
+	// Copy: publish, drain in-flight stable-mode writes, then stream.
+	r.mig.Store(mig)
+	r.stripeBarrier()
+	if err := r.copyPhase(ctx, mig); err != nil {
+		r.abort(mig)
+		return nil, err
+	}
+
+	// Flip: readers move to the new ring atomically; decisions cached
+	// under the old epoch are dead on arrival. The read fence then drains
+	// every query that loaded the pre-flip state — such a query may be
+	// mid-gather over the old member set, and the cleanup sweep must not
+	// delete moved rows out from under it (for growth they exist nowhere
+	// else in that set). The stripe barrier does the same for writes.
+	next := &ringState{epoch: st.epoch + 1, ring: newRing, members: newMembers}
+	r.state.Store(next)
+	mig.phase.Store(phaseCleanup)
+	r.rs.Lock()
+	r.rs.Unlock() //nolint:staticcheck // immediate unlock: the pair is a reader drain, not a critical section
+	r.stripeBarrier()
+	r.cleanupPhase(mig)
+	r.mig.Store(nil)
+	r.cmu.Lock()
+	r.fresh = nil
+	r.cmu.Unlock()
+	return &ReshardReport{
+		From:     oldN,
+		To:       targetN,
+		Moved:    mig.moved.Load(),
+		Seeded:   mig.seeded.Load(),
+		Epoch:    next.epoch,
+		Duration: time.Since(start),
+	}, nil
+}
+
+// planSize estimates the move plan: keyed rows whose owner differs
+// between the rings, plus replicated rows to seed onto each fresh engine.
+// It reads the replica without charging accesses and without locks held
+// long, so it is an estimate under churn — used for progress only.
+func (r *Router) planSize(mig *migration) int64 {
+	var total int64
+	for rel, pos := range r.keyPos {
+		rows, err := r.ref.DB().Rows(rel)
+		if err != nil {
+			continue
+		}
+		for _, t := range rows {
+			if mig.oldMembers[mig.oldRing.OwnerOf(t[pos])] != mig.newMembers[mig.newRing.OwnerOf(t[pos])] {
+				total++
+			}
+		}
+	}
+	if len(mig.fresh) > 0 {
+		for _, rel := range r.schema.Relations() {
+			if _, partitioned := r.keyPos[rel]; partitioned {
+				continue
+			}
+			// Rows snapshots under the store lock; Relation.Len would read
+			// the live row map racily against concurrent writers.
+			if rows, err := r.ref.DB().Rows(rel); err == nil {
+				total += int64(len(rows)) * int64(len(mig.fresh))
+			}
+		}
+	}
+	return total
+}
+
+// stripeBarrier acquires and releases every write stripe, so every write
+// that began under the previous migration phase has finished before the
+// caller proceeds. Writers load the phase after taking their stripe, so
+// any write starting after the barrier sees the new phase.
+func (r *Router) stripeBarrier() {
+	for i := range r.wmu {
+		r.wmu[i].Lock()
+		r.wmu[i].Unlock() //nolint:staticcheck // immediate unlock: the pair is a drain, not a critical section
+	}
+}
+
+// migStep runs the per-batch bookkeeping of a migration scan: the test
+// hook (if any) and the context check. It returns ctx.Err() when the scan
+// should stop.
+func (r *Router) migStep(ctx context.Context) error {
+	if r.hookMigBatch != nil {
+		r.hookMigBatch()
+	}
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// copyPhase streams every row whose owner changes to its new owner. Rows
+// are copied under their write stripe and only if still present at the
+// old owner, so migration can never resurrect a concurrently deleted
+// tuple; rows written during the phase are double-applied by writeTargets
+// and need no copying. Source snapshots come from the replica (which
+// holds everything) — a row deleted after the snapshot fails the
+// presence check, a row inserted after it is double-written.
+func (r *Router) copyPhase(ctx context.Context, mig *migration) error {
+	// Seed replicated relations onto fresh engines (growth only).
+	if len(mig.fresh) > 0 {
+		for _, rel := range r.schema.Relations() {
+			if _, partitioned := r.keyPos[rel]; partitioned {
+				continue
+			}
+			rows, err := r.ref.DB().Rows(rel)
+			if err != nil {
+				return err
+			}
+			for i, t := range rows {
+				if i%migBatchRows == 0 {
+					if err := r.migStep(ctx); err != nil {
+						return err
+					}
+				}
+				mu := &r.wmu[stripeOf(rel, t)]
+				mu.Lock()
+				ok, err := r.ref.DB().Has(rel, t)
+				if err == nil && ok {
+					for _, m := range mig.fresh {
+						if _, err = m.eng.Insert(rel, t); err != nil {
+							break
+						}
+					}
+				}
+				mu.Unlock()
+				if err != nil {
+					return err
+				}
+				if ok {
+					mig.seeded.Add(int64(len(mig.fresh)))
+				}
+			}
+		}
+	}
+	// Move keyed rows whose owner changed.
+	for rel, pos := range r.keyPos {
+		rows, err := r.ref.DB().Rows(rel)
+		if err != nil {
+			return err
+		}
+		for i, t := range rows {
+			if i%migBatchRows == 0 {
+				if err := r.migStep(ctx); err != nil {
+					return err
+				}
+			}
+			oldM := mig.oldMembers[mig.oldRing.OwnerOf(t[pos])]
+			newM := mig.newMembers[mig.newRing.OwnerOf(t[pos])]
+			if oldM == newM {
+				continue
+			}
+			mu := &r.wmu[stripeOf(rel, t)]
+			mu.Lock()
+			ok, err := oldM.eng.DB().Has(rel, t)
+			if err == nil && ok {
+				_, err = newM.eng.Insert(rel, t)
+			}
+			mu.Unlock()
+			if err != nil {
+				return err
+			}
+			if ok {
+				mig.moved.Add(1)
+			}
+		}
+	}
+	return nil
+}
+
+// cleanupPhase sweeps surviving members clean of the keyed rows the new
+// ring assigns elsewhere. Engines the shrink removed are simply dropped —
+// they are no longer referenced by the live state or the constraint
+// fan-out. The sweep runs to completion regardless of context: after the
+// flip the migration is committed.
+func (r *Router) cleanupPhase(mig *migration) {
+	for i, m := range mig.oldMembers {
+		if i >= len(mig.newMembers) || mig.newMembers[i] != m {
+			continue // shrunk away: dropped wholesale
+		}
+		r.sweep(m, i, mig.newRing)
+	}
+}
+
+// abort rolls a failed copy phase back: surviving members sweep out the
+// copies the migration added (rows the OLD ring assigns elsewhere), fresh
+// engines are dropped, and the cluster returns to its pre-Reshard state.
+func (r *Router) abort(mig *migration) {
+	mig.phase.Store(phaseAbort)
+	r.stripeBarrier()
+	for i, m := range mig.oldMembers {
+		r.sweep(m, i, mig.oldRing)
+	}
+	r.mig.Store(nil)
+	r.cmu.Lock()
+	r.fresh = nil
+	r.cmu.Unlock()
+}
+
+// sweep deletes from member m (at ring index i) every keyed row that ring
+// assigns to a different shard, one stripe-locked row at a time so it
+// serializes with concurrent writes.
+func (r *Router) sweep(m *member, i int, ring *Ring) {
+	for rel, pos := range r.keyPos {
+		rows, err := m.eng.DB().Rows(rel)
+		if err != nil {
+			continue
+		}
+		for j, t := range rows {
+			if j%migBatchRows == 0 {
+				_ = r.migStep(nil)
+			}
+			if ring.OwnerOf(t[pos]) == i {
+				continue
+			}
+			mu := &r.wmu[stripeOf(rel, t)]
+			mu.Lock()
+			_, _ = m.eng.Delete(rel, t)
+			mu.Unlock()
+		}
+	}
+}

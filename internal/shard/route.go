@@ -16,6 +16,10 @@
 // partition of its right side) and a join of two partitioned relations
 // that is not on their partition keys (matching tuples may live on
 // different shards); both fall back to the replica.
+//
+// The analysis is a pure function of the query and one ring: decisions
+// are cached per ring epoch, and during a migration the same routine runs
+// against the incoming ring to find the double-routing target.
 package shard
 
 import (
@@ -33,16 +37,20 @@ const (
 	routeFallback
 )
 
-// decision is the outcome of route: a strategy, plus the target shard for
-// routeSingle.
+// decision is the outcome of route: a strategy, the target shard for
+// routeSingle, whether that target was pinned by partition-key constants
+// (keyed) rather than by cache-affinity hashing, and the ring epoch the
+// decision was computed under (stale epochs are recomputed).
 type decision struct {
 	kind  routeKind
 	shard int
+	keyed bool
+	epoch uint64
 }
 
-// route analyzes a normalized query and picks the cheapest exact
-// strategy.
-func (r *Router) route(norm ra.Query) decision {
+// route analyzes a normalized query against a ring over n members and
+// picks the cheapest exact strategy.
+func (r *Router) route(norm ra.Query, ring *Ring, n int) decision {
 	var parts []ra.Attr // partition-key attribute of each partitioned occurrence
 	for _, occ := range ra.Relations(norm) {
 		if key, ok := r.spec.Keys[occ.Base]; ok {
@@ -53,7 +61,7 @@ func (r *Router) route(norm ra.Query) decision {
 		// Only replicated relations: any shard holds all the data. Pick
 		// one by structural hash so repeats of the same query reuse the
 		// same shard's plan cache.
-		return decision{kind: routeSingle, shard: int(structHash(norm) % uint64(r.spec.Shards))}
+		return decision{kind: routeSingle, shard: int(structHash(norm) % uint64(n))}
 	}
 	cl := collectClasses(norm)
 	// Covered-access fast path: every partitioned occurrence pins its
@@ -65,7 +73,7 @@ func (r *Router) route(norm ra.Query) decision {
 			target = -1
 			break
 		}
-		s := r.ownerOf(c)
+		s := ring.OwnerOf(c)
 		if target == -1 {
 			target = s
 		} else if s != target {
@@ -74,9 +82,9 @@ func (r *Router) route(norm ra.Query) decision {
 		}
 	}
 	if target >= 0 {
-		return decision{kind: routeSingle, shard: target}
+		return decision{kind: routeSingle, shard: target, keyed: true}
 	}
-	if r.dist(norm, cl) != stUnsafe {
+	if r.dist(norm, cl, ring) != stUnsafe {
 		return decision{kind: routeScatter}
 	}
 	return decision{kind: routeFallback}
@@ -96,7 +104,7 @@ const (
 // whole normalized query; any atom equating attributes of two occurrences
 // necessarily sits in a selection dominating both (occurrence names are
 // unique and scoped), so using them at a product below is sound.
-func (r *Router) dist(q ra.Query, cl *classes) int {
+func (r *Router) dist(q ra.Query, cl *classes, ring *Ring) int {
 	switch t := q.(type) {
 	case *ra.Relation:
 		if _, ok := r.spec.Keys[t.Base]; ok {
@@ -104,11 +112,11 @@ func (r *Router) dist(q ra.Query, cl *classes) int {
 		}
 		return stComplete
 	case *ra.Select:
-		return r.dist(t.In, cl)
+		return r.dist(t.In, cl, ring)
 	case *ra.Project:
-		return r.dist(t.In, cl)
+		return r.dist(t.In, cl, ring)
 	case *ra.Product:
-		l, rr := r.dist(t.L, cl), r.dist(t.R, cl)
+		l, rr := r.dist(t.L, cl, ring), r.dist(t.R, cl, ring)
 		if l == stUnsafe || rr == stUnsafe {
 			return stUnsafe
 		}
@@ -116,7 +124,7 @@ func (r *Router) dist(q ra.Query, cl *classes) int {
 			// A join of two partitioned sides is exact only when every
 			// matching pair is co-located: all partition keys below this
 			// product must be equated (or pinned to keys of one shard).
-			if !r.coLocated(t, cl) {
+			if !r.coLocated(t, cl, ring) {
 				return stUnsafe
 			}
 			return stPartitioned
@@ -126,7 +134,7 @@ func (r *Router) dist(q ra.Query, cl *classes) int {
 		}
 		return stComplete
 	case *ra.Union:
-		l, rr := r.dist(t.L, cl), r.dist(t.R, cl)
+		l, rr := r.dist(t.L, cl, ring), r.dist(t.R, cl, ring)
 		if l == stUnsafe || rr == stUnsafe {
 			return stUnsafe
 		}
@@ -135,7 +143,7 @@ func (r *Router) dist(q ra.Query, cl *classes) int {
 		}
 		return stPartitioned
 	case *ra.Diff:
-		l, rr := r.dist(t.L, cl), r.dist(t.R, cl)
+		l, rr := r.dist(t.L, cl, ring), r.dist(t.R, cl, ring)
 		if l == stUnsafe || rr != stComplete {
 			// L − R distributes over a partition of L but not of R: a row
 			// surviving on one shard might be cancelled by an R-tuple
@@ -152,7 +160,7 @@ func (r *Router) dist(q ra.Query, cl *classes) int {
 // occurrences under q are forced equal (one equality class) or pinned to
 // constants hashing to one shard — either way, tuples that can join are
 // on the same shard.
-func (r *Router) coLocated(q ra.Query, cl *classes) bool {
+func (r *Router) coLocated(q ra.Query, cl *classes, ring *Ring) bool {
 	roots := map[ra.Attr]bool{}
 	var keys []ra.Attr
 	for _, occ := range ra.Relations(q) {
@@ -171,7 +179,7 @@ func (r *Router) coLocated(q ra.Query, cl *classes) bool {
 		if !ok {
 			return false
 		}
-		s := r.ownerOf(c)
+		s := ring.OwnerOf(c)
 		if shard == -1 {
 			shard = s
 		} else if s != shard {

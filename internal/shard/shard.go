@@ -14,6 +14,13 @@
 // One extra engine, the replica, holds a full copy of the database and
 // answers the residue of queries whose shape cannot be distributed.
 //
+// Placement is a consistent-hash ring of virtual nodes (ring.go), not
+// hash % N: the ring can grow or shrink one shard at a time while moving
+// only ~1/N of the keyed rows, which is what makes Reshard (rebalance.go)
+// an online operation instead of a rebuild. The live ring is versioned by
+// an epoch; routing decisions are stamped with the epoch they were made
+// under and re-derived when it moves.
+//
 // # Routing
 //
 // For every query the router picks the cheapest correct strategy:
@@ -37,12 +44,18 @@
 //     without binding its key) run on the replica, which is an ordinary
 //     single engine over the full database.
 //
-// Writes route to the owning shard by the same hash (or to every shard
-// for replicated relations) plus the replica, so each engine's
-// incremental ⟨A, I_A⟩ maintenance keeps its cached plans valid — the
-// serving-layer invariant holds per shard, and Version never moves under
-// tuple churn. Access-schema changes fan out to every engine and bump all
-// versions in lockstep.
+// While a Reshard is migrating rows, keyed fast-path reads of monotone
+// queries additionally double-route to the key's owner under both the old
+// and the new ring and union the answers, so a key mid-move is answered
+// from wherever its rows currently live (rebalance.go documents why every
+// phase stays exact).
+//
+// Writes route to the owning shard by the ring (or to every shard for
+// replicated relations) plus the replica, so each engine's incremental
+// ⟨A, I_A⟩ maintenance keeps its cached plans valid — the serving-layer
+// invariant holds per shard, and Version never moves under tuple churn,
+// including the churn of migration itself. Access-schema changes fan out
+// to every engine and bump all versions in lockstep.
 package shard
 
 import (
@@ -70,15 +83,19 @@ const DefaultMinPartitionRows = 256
 
 // Spec configures a Router.
 type Spec struct {
-	// Shards is the number of partitions (>= 1).
+	// Shards is the initial number of partitions (>= 1). Reshard can grow
+	// or shrink the live count afterwards; NumShards reports it.
 	Shards int
 	// Keys maps relation name to its partition-key attribute. Relations
 	// absent from the map are replicated on every shard. nil means
 	// DeriveKeys(schema, A, db, DefaultMinPartitionRows).
 	Keys map[string]string
 	// PlanCacheSize overrides each engine's plan-cache capacity
-	// (0 = the core default).
+	// (0 = the core default). Engines created by Reshard growth inherit it.
 	PlanCacheSize int
+	// Vnodes is the virtual nodes per shard on the consistent-hash ring
+	// (0 = DefaultVnodes).
+	Vnodes int
 }
 
 // DeriveKeys picks a partition key per relation from the access schema:
@@ -138,8 +155,29 @@ func DeriveKeys(schema ra.Schema, A *access.Schema, db *store.DB, minRows int) m
 
 // wstripes is the number of write-ordering stripes; writes to the same
 // tuple serialize on one stripe so the owning shard and the replica
-// always apply them in the same order.
+// always apply them in the same order. Reshard's copy and cleanup loops
+// take the same stripe per row, which is how migration serializes against
+// concurrent writes of the rows it is moving.
 const wstripes = 256
+
+// member is one shard engine plus its router-side execution counter.
+// Members are identified by pointer: a Reshard that grows the cluster
+// keeps the surviving members and appends fresh ones, so counters carry
+// across ring changes.
+type member struct {
+	eng     *core.Engine
+	queries atomic.Int64
+}
+
+// ringState is the immutable routing view swapped atomically at each ring
+// epoch: the ring, the member engines it places keys on, and the epoch
+// number. Readers load it once per query, so a query never observes a
+// half-flipped ring.
+type ringState struct {
+	epoch   uint64
+	ring    *Ring
+	members []*member
+}
 
 // Router partitions a database across N core.Engine shards plus a full
 // replica and implements core.Service over the cluster, so the HTTP front
@@ -153,36 +191,57 @@ const wstripes = 256
 type Router struct {
 	schema ra.Schema
 	spec   Spec
-	shards []*core.Engine
 	ref    *core.Engine
 	// keyPos maps each partitioned relation to the column position of its
 	// partition key.
 	keyPos map[string]int
 
+	// state is the live routing view (ring, members, epoch), swapped
+	// atomically by Reshard's flip.
+	state atomic.Pointer[ringState]
+	// mig is the in-flight migration, nil when the cluster is stable.
+	mig atomic.Pointer[migration]
+	// rs is the read fence: every Execute holds it shared from the moment
+	// it loads state until its engines have answered, and Reshard's flip
+	// takes it exclusively (and releases immediately) before the cleanup
+	// sweep — so no query that routed by the old ring can still be
+	// running when the sweep starts deleting moved rows from old owners.
+	rs sync.RWMutex
+
 	// wmu stripes same-tuple writes into a fixed order across engines.
 	wmu [wstripes]sync.Mutex
 	// cmu serializes access-schema mutations so concurrent
 	// AddConstraints / RemoveConstraint calls cannot interleave their
-	// per-engine fan-outs and break version lockstep.
-	cmu sync.Mutex
+	// per-engine fan-outs and break version lockstep. It also guards
+	// fresh: engines a growing Reshard has built but not yet flipped in,
+	// which must join the fan-out the moment they can receive queries.
+	cmu   sync.Mutex
+	fresh []*member
+	// rmu serializes Reshard calls; TryLock turns overlap into an error.
+	rmu sync.Mutex
 
 	// decisions caches routing decisions by query fingerprint. Routing
-	// depends only on the canonical query and the (immutable) partition
-	// spec, never on data or the access schema, so entries stay valid for
-	// the router's lifetime.
+	// depends on the canonical query, the (immutable) partition spec and
+	// the ring epoch — never on data or the access schema — so every
+	// entry is stamped with its epoch and ignored once the ring moves.
 	decisions *cache.Cache
 
-	// queries counts executions per engine (shards, then the replica).
-	queries []atomic.Int64
+	// refQueries counts executions routed to the replica.
+	refQueries atomic.Int64
 	// routed counts routing decisions by kind.
 	routed [3]atomic.Int64
+
+	// hookMigBatch, when set, runs between migration batches. Tests use it
+	// to slow or freeze a migration deterministically; it is never set in
+	// production.
+	hookMigBatch func()
 }
 
 // New partitions db across spec.Shards engines and returns the router.
-// Partitioned relations are split by hash of their key attribute,
-// replicated ones copied to every shard; db itself becomes the replica,
-// so the caller must route all subsequent reads and writes through the
-// returned Router.
+// Partitioned relations are split by consistent hash of their key
+// attribute, replicated ones copied to every shard; db itself becomes the
+// replica, so the caller must route all subsequent reads and writes
+// through the returned Router.
 func New(schema ra.Schema, A *access.Schema, db *store.DB, spec Spec) (*Router, error) {
 	if spec.Shards < 1 {
 		return nil, fmt.Errorf("shard: Shards must be >= 1, got %d", spec.Shards)
@@ -192,6 +251,9 @@ func New(schema ra.Schema, A *access.Schema, db *store.DB, spec Spec) (*Router, 
 	}
 	if spec.Keys == nil {
 		spec.Keys = DeriveKeys(schema, A, db, DefaultMinPartitionRows)
+	}
+	if spec.Vnodes <= 0 {
+		spec.Vnodes = DefaultVnodes
 	}
 	keyPos := map[string]int{}
 	for rel, attr := range spec.Keys {
@@ -215,9 +277,9 @@ func New(schema ra.Schema, A *access.Schema, db *store.DB, spec Spec) (*Router, 
 		schema:    schema,
 		spec:      spec,
 		keyPos:    keyPos,
-		queries:   make([]atomic.Int64, spec.Shards+1),
 		decisions: cache.New(4096, 8),
 	}
+	ring := NewRing(spec.Shards, spec.Vnodes)
 	dbs := make([]*store.DB, spec.Shards)
 	for i := range dbs {
 		dbs[i] = store.NewDB(schema)
@@ -230,7 +292,7 @@ func New(schema ra.Schema, A *access.Schema, db *store.DB, spec Spec) (*Router, 
 		pos, partitioned := keyPos[rel]
 		for _, t := range rows {
 			if partitioned {
-				if _, err := dbs[r.ownerOf(t[pos])].Insert(rel, t); err != nil {
+				if _, err := dbs[ring.OwnerOf(t[pos])].Insert(rel, t); err != nil {
 					return nil, err
 				}
 				continue
@@ -242,19 +304,20 @@ func New(schema ra.Schema, A *access.Schema, db *store.DB, spec Spec) (*Router, 
 			}
 		}
 	}
-	r.shards = make([]*core.Engine, spec.Shards)
+	members := make([]*member, spec.Shards)
 	for i, sdb := range dbs {
 		eng, err := core.NewEngine(schema, A, sdb)
 		if err != nil {
 			return nil, err
 		}
-		r.shards[i] = eng
+		members[i] = &member{eng: eng}
 	}
 	ref, err := core.NewEngine(schema, A, db)
 	if err != nil {
 		return nil, err
 	}
 	r.ref = ref
+	r.state.Store(&ringState{epoch: 1, ring: ring, members: members})
 	if spec.PlanCacheSize > 0 {
 		r.SetPlanCacheCapacity(spec.PlanCacheSize)
 	}
@@ -274,13 +337,20 @@ func hashKey(s string) uint64 {
 	return h.Sum64()
 }
 
-// ownerOf returns the shard owning tuples whose partition key is v.
+// ownerOf returns the index of the shard owning tuples whose partition
+// key is v under the current ring.
 func (r *Router) ownerOf(v value.Value) int {
-	return int(hashKey(value.Tuple{v}.Key()) % uint64(r.spec.Shards))
+	return r.state.Load().ring.OwnerOf(v)
 }
 
-// NumShards returns the number of partitions (excluding the replica).
-func (r *Router) NumShards() int { return r.spec.Shards }
+// NumShards returns the live number of partitions (excluding the
+// replica); Reshard changes it.
+func (r *Router) NumShards() int { return len(r.state.Load().members) }
+
+// RingEpoch returns the current ring epoch. It starts at 1 and advances
+// by one at each Reshard flip; routing decisions cached under an older
+// epoch are never used again.
+func (r *Router) RingEpoch() uint64 { return r.state.Load().epoch }
 
 // Keys returns the partition-key assignment in effect (a copy).
 func (r *Router) Keys() map[string]string {
@@ -303,58 +373,107 @@ func (r *Router) Parse(src string) (ra.Query, error) {
 // Execute normalizes q, picks a routing strategy (single shard,
 // scatter/gather, or the replica; see the package comment) and returns
 // the merged answer. Results are identical to a single engine over the
-// unpartitioned database.
+// unpartitioned database — including while a Reshard is migrating rows.
 //
 // The analysis is amortized: the query is normalized and fingerprinted
-// once, the routing decision is cached under the fingerprint (sound: the
-// fingerprint identifies the canonical query including its constants,
-// and routing depends only on the query and the fixed partitioning), and
-// the fingerprint is handed to the member engines so none of them repeats
-// the work.
+// once, the routing decision is cached under the fingerprint and the ring
+// epoch (sound: the fingerprint identifies the canonical query including
+// its constants, and routing depends only on the query, the fixed
+// partitioning and the ring), and the fingerprint is handed to the member
+// engines so none of them repeats the work.
 func (r *Router) Execute(q ra.Query, opts core.Options) (*exec.Table, *core.Report, error) {
 	norm, err := ra.Normalize(q, r.schema)
 	if err != nil {
 		return nil, nil, err
 	}
 	fp := ra.FingerprintNormalized(norm)
+	r.rs.RLock()
+	defer r.rs.RUnlock()
+	st := r.state.Load()
 	var dec decision
-	if v, ok := r.decisions.Get(fp); ok {
+	if v, ok := r.decisions.Get(fp); ok && v.(decision).epoch == st.epoch {
 		dec = v.(decision)
 	} else {
-		dec = r.route(norm)
+		dec = r.route(norm, st.ring, len(st.members))
+		dec.epoch = st.epoch
 		r.decisions.Put(fp, dec)
 	}
 	r.routed[dec.kind].Add(1)
 	switch dec.kind {
 	case routeSingle:
-		r.queries[dec.shard].Add(1)
-		return r.shards[dec.shard].ExecuteNormalized(norm, fp, opts)
+		m := st.members[dec.shard]
+		if mig := r.mig.Load(); mig != nil && dec.keyed {
+			if sec := r.secondaryOwner(norm, st, mig); sec != nil && sec != m {
+				return r.gather(norm, fp, opts, []*member{m, sec})
+			}
+		}
+		m.queries.Add(1)
+		return m.eng.ExecuteNormalized(norm, fp, opts)
 	case routeFallback:
-		r.queries[r.spec.Shards].Add(1)
+		r.refQueries.Add(1)
 		return r.ref.ExecuteNormalized(norm, fp, opts)
 	}
-	return r.scatter(norm, fp, opts)
+	return r.gather(norm, fp, opts, st.members)
 }
 
-// scatter executes norm on every shard concurrently and merges the
+// secondaryOwner resolves the double-routing target for a keyed fast-path
+// query while a migration is in flight: the owner of the same key
+// constants under the ring the live state is NOT using. It returns nil
+// when the query does not single-shard under the other ring, or when it
+// is not monotone — a difference evaluated over a mid-copy partial slice
+// could fabricate rows its full slice would cancel, so non-monotone
+// queries stay on the exact owner (which every migration phase keeps
+// complete; see rebalance.go).
+func (r *Router) secondaryOwner(norm ra.Query, st *ringState, mig *migration) *member {
+	otherRing, otherMembers := mig.newRing, mig.newMembers
+	if st.ring == mig.newRing {
+		otherRing, otherMembers = mig.oldRing, mig.oldMembers
+	}
+	if !monotone(norm) {
+		return nil
+	}
+	dec := r.route(norm, otherRing, len(otherMembers))
+	if dec.kind != routeSingle || !dec.keyed {
+		return nil
+	}
+	return otherMembers[dec.shard]
+}
+
+// monotone reports whether norm contains no difference — the condition
+// under which evaluating it over a subset of the database can only lose
+// rows, never invent them, making a union with the exact owner's answer
+// exact.
+func monotone(norm ra.Query) bool {
+	ok := true
+	ra.Walk(norm, func(n ra.Query) {
+		if _, isDiff := n.(*ra.Diff); isDiff {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// gather executes norm on every given member concurrently and merges the
 // results: rows by set union, access counts by summation, coverage and
-// boundedness verdicts by conjunction.
-func (r *Router) scatter(norm ra.Query, fp string, opts core.Options) (*exec.Table, *core.Report, error) {
+// boundedness verdicts by conjunction. Scatter/gather runs it over the
+// full member set; double-routed fast-path reads over the two owners of a
+// mid-migration key.
+func (r *Router) gather(norm ra.Query, fp string, opts core.Options, members []*member) (*exec.Table, *core.Report, error) {
 	start := time.Now()
-	tables := make([]*exec.Table, len(r.shards))
-	reports := make([]*core.Report, len(r.shards))
-	errs := make([]error, len(r.shards))
-	if len(r.shards) == 1 {
-		r.queries[0].Add(1)
-		tables[0], reports[0], errs[0] = r.shards[0].ExecuteNormalized(norm, fp, opts)
+	tables := make([]*exec.Table, len(members))
+	reports := make([]*core.Report, len(members))
+	errs := make([]error, len(members))
+	if len(members) == 1 {
+		members[0].queries.Add(1)
+		tables[0], reports[0], errs[0] = members[0].eng.ExecuteNormalized(norm, fp, opts)
 	} else {
 		var wg sync.WaitGroup
-		for i := range r.shards {
+		for i := range members {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				r.queries[i].Add(1)
-				tables[i], reports[i], errs[i] = r.shards[i].ExecuteNormalized(norm, fp, opts)
+				members[i].queries.Add(1)
+				tables[i], reports[i], errs[i] = members[i].eng.ExecuteNormalized(norm, fp, opts)
 			}(i)
 		}
 		wg.Wait()
@@ -405,24 +524,31 @@ func stripeOf(rel string, t value.Tuple) uint64 {
 // replica. Same-tuple writes are ordered by an internal stripe lock so
 // all member engines converge to the same state. Each engine maintains
 // its indices incrementally, so cached plans everywhere remain valid and
-// Version does not change.
+// Version does not change. During a migration the write additionally
+// covers the key's owner under the incoming ring (rebalance.go).
 func (r *Router) Insert(rel string, t value.Tuple) (bool, error) {
-	return r.mutate(rel, t, (*core.Engine).Insert)
+	return r.mutate(rel, t, false)
 }
 
-// Delete removes a tuple from the cluster, routing like Insert.
+// Delete removes a tuple from the cluster, routing like Insert. During
+// and just after a migration, deletes cover the owner under both rings so
+// no stale copy of the tuple can outlive it.
 func (r *Router) Delete(rel string, t value.Tuple) (bool, error) {
-	return r.mutate(rel, t, (*core.Engine).Delete)
+	return r.mutate(rel, t, true)
 }
 
 // mutate applies one tuple write to the replica first (whose verdict and
-// validation error become the caller's result) and then to the owning
-// shard or, for replicated relations, to every shard.
-func (r *Router) mutate(rel string, t value.Tuple,
-	apply func(*core.Engine, string, value.Tuple) (bool, error)) (bool, error) {
+// validation error become the caller's result) and then to the shard-side
+// targets chosen by writeTargets under the current ring state and
+// migration phase.
+func (r *Router) mutate(rel string, t value.Tuple, del bool) (bool, error) {
 	pos, partitioned := r.keyPos[rel]
 	if partitioned && pos >= len(t) {
 		return false, fmt.Errorf("shard: %s expects %d values, got %d", rel, len(r.schema[rel]), len(t))
+	}
+	apply := (*core.Engine).Insert
+	if del {
+		apply = (*core.Engine).Delete
 	}
 	mu := &r.wmu[stripeOf(rel, t)]
 	mu.Lock()
@@ -431,18 +557,76 @@ func (r *Router) mutate(rel string, t value.Tuple,
 	if err != nil {
 		return false, err
 	}
-	if partitioned {
-		if _, err := apply(r.shards[r.ownerOf(t[pos])], rel, t); err != nil {
-			return changed, err
-		}
-		return changed, nil
-	}
-	for _, eng := range r.shards {
-		if _, err := apply(eng, rel, t); err != nil {
+	for _, m := range r.writeTargets(rel, t, pos, partitioned, del) {
+		if _, err := apply(m.eng, rel, t); err != nil {
 			return changed, err
 		}
 	}
 	return changed, nil
+}
+
+// writeTargets picks the member engines one tuple write must reach.
+// Stable cluster: the ring owner (partitioned) or every member
+// (replicated). Mid-migration the rules are phase-dependent so that the
+// ring the readers are currently routed by always sees a complete slice,
+// and no copy of a deleted tuple survives anywhere:
+//
+//   - copy (readers on the old ring): apply under both rings — the old
+//     owner stays exact for reads, the new owner fills in for the flip.
+//   - cleanup (flipped; readers on the new ring): inserts go to the new
+//     owner only, so the straggler sweep cannot leak fresh copies onto
+//     shards that no longer own them; deletes also cover the old owner to
+//     kill any not-yet-swept copy.
+//   - abort (rolling back; readers on the old ring): the mirror image —
+//     inserts to the old owner only, deletes cover both.
+func (r *Router) writeTargets(rel string, t value.Tuple, pos int, partitioned, del bool) []*member {
+	mig := r.mig.Load()
+	if mig == nil {
+		st := r.state.Load()
+		if partitioned {
+			return []*member{st.members[st.ring.OwnerOf(t[pos])]}
+		}
+		return st.members
+	}
+	phase := mig.phase.Load()
+	if partitioned {
+		oldM := mig.oldMembers[mig.oldRing.OwnerOf(t[pos])]
+		newM := mig.newMembers[mig.newRing.OwnerOf(t[pos])]
+		switch {
+		case del || phase == phaseCopy:
+			if oldM == newM {
+				return []*member{oldM}
+			}
+			return []*member{oldM, newM}
+		case phase == phaseCleanup:
+			return []*member{newM}
+		default: // phaseAbort insert
+			return []*member{oldM}
+		}
+	}
+	switch {
+	case del || phase == phaseCopy:
+		return unionMembers(mig.oldMembers, mig.newMembers)
+	case phase == phaseCleanup:
+		return mig.newMembers
+	default: // phaseAbort insert
+		return mig.oldMembers
+	}
+}
+
+// unionMembers merges two member slices, deduplicating by identity.
+func unionMembers(a, b []*member) []*member {
+	out := make([]*member, 0, len(a)+len(b))
+	seen := make(map[*member]bool, len(a)+len(b))
+	for _, s := range [][]*member{a, b} {
+		for _, m := range s {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	return out
 }
 
 // AddConstraints installs extra access constraints on every engine of the
@@ -453,7 +637,8 @@ func (r *Router) mutate(rel string, t value.Tuple,
 // violates fails there before any shard is touched, and replica success
 // implies shard success because every shard's slice is a subset (access
 // constraints are anti-monotone). Mutations are serialized against each
-// other so concurrent calls cannot skew versions across engines.
+// other so concurrent calls cannot skew versions across engines; engines
+// a growing Reshard has already built join the fan-out immediately.
 func (r *Router) AddConstraints(cs ...access.Constraint) error {
 	for _, c := range cs {
 		if err := c.Validate(r.schema); err != nil {
@@ -465,7 +650,7 @@ func (r *Router) AddConstraints(cs ...access.Constraint) error {
 	if err := r.ref.AddConstraints(cs...); err != nil {
 		return err
 	}
-	for _, eng := range r.shards {
+	for _, eng := range r.shardEnginesLocked() {
 		if err := eng.AddConstraints(cs...); err != nil {
 			return fmt.Errorf("shard: cluster left inconsistent by partial constraint install: %w", err)
 		}
@@ -479,8 +664,8 @@ func (r *Router) AddConstraints(cs ...access.Constraint) error {
 func (r *Router) RemoveConstraint(c access.Constraint) bool {
 	r.cmu.Lock()
 	defer r.cmu.Unlock()
-	found := false
-	for _, eng := range r.engines() {
+	found := r.ref.RemoveConstraint(c)
+	for _, eng := range r.shardEnginesLocked() {
 		if eng.RemoveConstraint(c) {
 			found = true
 		}
@@ -488,9 +673,34 @@ func (r *Router) RemoveConstraint(c access.Constraint) bool {
 	return found
 }
 
-// engines lists every member engine: the shards, then the replica.
+// shardEnginesLocked lists every non-replica engine a schema mutation
+// must reach — the live members plus any engines a growing Reshard has
+// built but not yet flipped in. Callers must hold cmu.
+func (r *Router) shardEnginesLocked() []*core.Engine {
+	st := r.state.Load()
+	out := make([]*core.Engine, 0, len(st.members)+len(r.fresh))
+	seen := make(map[*core.Engine]bool, len(st.members)+len(r.fresh))
+	for _, m := range st.members {
+		if !seen[m.eng] {
+			seen[m.eng] = true
+			out = append(out, m.eng)
+		}
+	}
+	for _, m := range r.fresh {
+		if !seen[m.eng] {
+			seen[m.eng] = true
+			out = append(out, m.eng)
+		}
+	}
+	return out
+}
+
+// engines lists every member engine: the shards (plus pending Reshard
+// growth engines), then the replica.
 func (r *Router) engines() []*core.Engine {
-	return append(append(make([]*core.Engine, 0, len(r.shards)+1), r.shards...), r.ref)
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	return append(r.shardEnginesLocked(), r.ref)
 }
 
 // AccessSnapshot returns a consistent copy of the installed access
@@ -500,7 +710,8 @@ func (r *Router) AccessSnapshot() *access.Schema {
 }
 
 // Version returns the cluster's access-schema generation. All engines
-// move in lockstep because every mutation fans out through the router.
+// move in lockstep because every mutation fans out through the router;
+// tuple movement during Reshard never touches it.
 func (r *Router) Version() uint64 { return r.ref.Version() }
 
 // CacheStats returns the plan-cache counters summed across every engine
@@ -536,7 +747,8 @@ func (r *Router) IndexEntries() int64 { return r.ref.IndexEntries() }
 // RouteStats counts routing decisions since the router was built.
 type RouteStats struct {
 	// Single counts queries answered by exactly one shard (unpartitioned
-	// queries and the covered-access fast path).
+	// queries and the covered-access fast path; a mid-migration
+	// double-routed read still counts once here).
 	Single int64
 	// Scattered counts scatter/gather executions (each runs on every
 	// shard).
@@ -555,22 +767,23 @@ func (r *Router) RouteStats() RouteStats {
 }
 
 // PerShardStats returns one observability snapshot per member engine —
-// shards labeled "shard/i" in order, then the replica — for the /stats
-// per-shard breakdown. Queries counts executions routed to each engine;
-// comparing them across shards exposes routing skew, and comparing
-// DBSize exposes data skew.
+// live shards labeled "shard/i" in order, then the replica — for the
+// /stats per-shard breakdown. Queries counts executions routed to each
+// engine; comparing them across shards exposes routing skew, and
+// comparing DBSize exposes data skew.
 func (r *Router) PerShardStats() []core.EngineStat {
-	out := make([]core.EngineStat, 0, len(r.shards)+1)
-	for i, eng := range r.shards {
-		st := eng.Stat()
-		st.Label = fmt.Sprintf("shard/%d", i)
-		st.Queries = r.queries[i].Load()
-		out = append(out, st)
+	st := r.state.Load()
+	out := make([]core.EngineStat, 0, len(st.members)+1)
+	for i, m := range st.members {
+		es := m.eng.Stat()
+		es.Label = fmt.Sprintf("shard/%d", i)
+		es.Queries = m.queries.Load()
+		out = append(out, es)
 	}
-	st := r.ref.Stat()
-	st.Label = "replica"
-	st.Queries = r.queries[r.spec.Shards].Load()
-	out = append(out, st)
+	es := r.ref.Stat()
+	es.Label = "replica"
+	es.Queries = r.refQueries.Load()
+	out = append(out, es)
 	return out
 }
 
@@ -581,5 +794,7 @@ func (r *Router) String() string {
 		rels = append(rels, rel+"/"+key)
 	}
 	sort.Strings(rels)
-	return fmt.Sprintf("shard.Router{shards: %d, partitioned: %v}", r.spec.Shards, rels)
+	st := r.state.Load()
+	return fmt.Sprintf("shard.Router{shards: %d, epoch: %d, partitioned: %v}",
+		len(st.members), st.epoch, rels)
 }

@@ -142,6 +142,7 @@ func TestRoutingStrategies(t *testing.T) {
 		// only fid bound: keys on different attributes, not co-located.
 		{`q(origin, dest, cause) :- ontime(77, origin, dest, al, m, delay), delaycause(77, cause, mins)`, routeFallback},
 	}
+	st := router.state.Load()
 	for _, tc := range cases {
 		q, err := router.Parse(tc.src)
 		if err != nil {
@@ -151,7 +152,7 @@ func TestRoutingStrategies(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if dec := router.route(norm); dec.kind != tc.kind {
+		if dec := router.route(norm, st.ring, len(st.members)); dec.kind != tc.kind {
 			t.Errorf("route(%q) = %v, want %v", tc.src, dec.kind, tc.kind)
 		}
 	}
@@ -164,9 +165,12 @@ func TestRoutingStrategies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dec := router.route(norm)
+	dec := router.route(norm, st.ring, len(st.members))
 	if dec.kind != routeSingle {
 		t.Fatalf("origin-bound query did not fast-path: %v", dec.kind)
+	}
+	if !dec.keyed {
+		t.Error("origin-bound fast path not marked keyed")
 	}
 	if want := router.ownerOf(value.NewInt(42)); dec.shard != want {
 		t.Errorf("fast path chose shard %d, owner of 42 is %d", dec.shard, want)
@@ -209,8 +213,8 @@ func TestWritesRouteToOwner(t *testing.T) {
 		t.Fatal("insert of a fresh tuple reported no change")
 	}
 	owner := router.ownerOf(value.NewInt(97))
-	for i, eng := range router.shards {
-		rows, err := eng.DB().Rows("ontime")
+	for i, m := range router.state.Load().members {
+		rows, err := m.eng.DB().Rows("ontime")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -480,8 +484,8 @@ func TestConcurrentConstraintMutations(t *testing.T) {
 		}
 	}
 	want := router.ref.AccessSnapshot().Len()
-	for i, eng := range router.shards {
-		if got := eng.AccessSnapshot().Len(); got != want {
+	for i, m := range router.state.Load().members {
+		if got := m.eng.AccessSnapshot().Len(); got != want {
 			t.Errorf("shard %d has %d constraints, replica has %d", i, got, want)
 		}
 	}

@@ -206,6 +206,21 @@ func (db *DB) Scan(rel string) ([]value.Tuple, error) {
 	return out, nil
 }
 
+// Has reports whether relation rel currently contains tuple t, without
+// charging an access. It is the presence probe the shard rebalancer uses
+// to decide, under a write-ordering lock, whether a row snapshot is still
+// live at its source before copying it to a new owner.
+func (db *DB) Has(rel string, t value.Tuple) (bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, err := db.rel(rel)
+	if err != nil {
+		return false, err
+	}
+	_, ok := r.rows[t.Key()]
+	return ok, nil
+}
+
 // Rows returns the tuples of rel without charging accesses (used by
 // loaders, validators and tests).
 func (db *DB) Rows(rel string) ([]value.Tuple, error) {
