@@ -50,7 +50,9 @@ bench-serve:
 # the single engine and against the scatter/gather router at 1, 2, 4 and 8
 # shards, with the routing-decision breakdown per run, plus one run that
 # reshards 2 → 4 live at the replay's halfway mark to price an online
-# migration under load.
+# migration under load, and a write-heavy pair (40% of client ops are
+# tuple writes) that prices the batched replica apply queue against the
+# unsharded baseline.
 bench-shard:
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 1
@@ -58,3 +60,5 @@ bench-shard:
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 4
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 8
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 2 -reshard 4
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -writemix 0.4
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 4 -writemix 0.4

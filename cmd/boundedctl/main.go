@@ -76,15 +76,35 @@ func main() {
 	transport := flag.String("transport", "engine", "serve: engine (in-process), http (loopback front end) or sharded (scatter/gather router)")
 	shards := flag.Int("shards", 0, "serve/http: partition count for the sharded router (0 = unsharded); reshard: target count")
 	reshardTo := flag.Int("reshard", 0, "serve: reshard the cluster to this shard count halfway through the replay (0 = off)")
+	writeMix := flag.Float64("writemix", 0, "serve: fraction of client ops replayed as tuple writes (delete+reinsert), in [0, 1)")
 	addr := flag.String("addr", ":8080", "http: listen address")
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "http: per-request timeout")
-	maxInFlight := flag.Int("maxinflight", 0, "http: max concurrent queries (0 = 4×GOMAXPROCS, <0 = unlimited)")
+	maxInFlight := flag.Int("maxinflight", 0, "http: max concurrent queries (unset = 4×GOMAXPROCS, <0 = unlimited)")
 	maxRows := flag.Int("maxrows", server.DefaultMaxRows, "http: default row cap per response (<0 = unlimited)")
 	flag.Parse()
 
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := validateFlags(*op, explicit, cliFlags{
+		Shards:      *shards,
+		ReshardTo:   *reshardTo,
+		Transport:   *transport,
+		WriteMix:    *writeMix,
+		Scale:       *scale,
+		PoolSize:    *poolSize,
+		Clients:     *clients,
+		Writers:     *writers,
+		Ops:         *ops,
+		MaxInFlight: *maxInFlight,
+		Timeout:     *timeout,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "boundedctl:", err)
+		os.Exit(2)
+	}
+
 	switch *op {
 	case "serve":
-		if err := serve(*dataset, *transport, *shards, *reshardTo, *scale, *seed, *clients, *writers, *ops, *zipf, *poolSize, *cacheSize); err != nil {
+		if err := serve(*dataset, *transport, *shards, *reshardTo, *scale, *seed, *clients, *writers, *ops, *zipf, *poolSize, *cacheSize, *writeMix); err != nil {
 			fmt.Fprintln(os.Stderr, "boundedctl:", err)
 			os.Exit(1)
 		}
@@ -106,7 +126,79 @@ func main() {
 	}
 }
 
-func serve(dataset, transport string, shards, reshardTo int, scale float64, seed int64, clients, writers, ops int, zipf float64, poolSize, cacheSize int) error {
+// cliFlags bundles the parsed flag values validateFlags inspects.
+type cliFlags struct {
+	Shards      int
+	ReshardTo   int
+	Transport   string
+	WriteMix    float64
+	Scale       float64
+	PoolSize    int
+	Clients     int
+	Writers     int
+	Ops         int
+	MaxInFlight int
+	Timeout     time.Duration
+}
+
+// validateFlags rejects nonsense flag values and combinations up front,
+// with actionable messages, before any dataset is generated — a typo must
+// fail in milliseconds, not panic or misbehave minutes into a run.
+// explicit marks flags the user actually set (flag.Visit), so defaults
+// are never second-guessed.
+func validateFlags(op string, explicit map[string]bool, f cliFlags) error {
+	if f.Shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (0 = unsharded), got %d", f.Shards)
+	}
+	if explicit["timeout"] && f.Timeout <= 0 {
+		return fmt.Errorf("-timeout must be positive, got %v", f.Timeout)
+	}
+	switch op {
+	case "reshard":
+		if f.Shards < 1 {
+			return fmt.Errorf("-op reshard needs -shards >= 1 (the target partition count), got %d", f.Shards)
+		}
+	case "serve":
+		if f.ReshardTo < 0 {
+			return fmt.Errorf("-reshard must be >= 0 (0 = no mid-replay reshard), got %d", f.ReshardTo)
+		}
+		if f.ReshardTo > 0 && f.Shards == 0 && f.Transport != bench.TransportSharded {
+			return fmt.Errorf("-reshard %d needs a sharded serving layer: add -transport sharded or -shards N", f.ReshardTo)
+		}
+		if f.WriteMix < 0 || f.WriteMix >= 1 {
+			return fmt.Errorf("-writemix must be in [0, 1), got %g", f.WriteMix)
+		}
+		if f.PoolSize < 1 {
+			return fmt.Errorf("-pool must be >= 1 (the distinct-query pool size), got %d", f.PoolSize)
+		}
+		if f.Clients < 1 {
+			return fmt.Errorf("-clients must be >= 1, got %d", f.Clients)
+		}
+		if f.Writers < 0 {
+			return fmt.Errorf("-writers must be >= 0, got %d", f.Writers)
+		}
+		if f.Ops < f.Clients {
+			return fmt.Errorf("-ops (%d) must be >= -clients (%d) so every client replays at least one op", f.Ops, f.Clients)
+		}
+		if f.Scale <= 0 {
+			return fmt.Errorf("-scale must be positive, got %g", f.Scale)
+		}
+	case "http":
+		if explicit["maxinflight"] && f.MaxInFlight == 0 {
+			return fmt.Errorf("-maxinflight 0 is ambiguous: pass a positive cap, a negative value for unlimited, or leave it unset for the default (4×GOMAXPROCS)")
+		}
+		if f.Scale <= 0 {
+			return fmt.Errorf("-scale must be positive, got %g", f.Scale)
+		}
+	case "run":
+		if f.Scale <= 0 {
+			return fmt.Errorf("-scale must be positive, got %g", f.Scale)
+		}
+	}
+	return nil
+}
+
+func serve(dataset, transport string, shards, reshardTo int, scale float64, seed int64, clients, writers, ops int, zipf float64, poolSize, cacheSize int, writeMix float64) error {
 	cfg := bench.DefaultServeConfig()
 	cfg.Dataset = dataset
 	cfg.Transport = transport
@@ -120,6 +212,7 @@ func serve(dataset, transport string, shards, reshardTo int, scale float64, seed
 	cfg.ZipfS = zipf
 	cfg.PoolSize = poolSize
 	cfg.CacheSize = cacheSize
+	cfg.WriteMix = writeMix
 	res, err := bench.Serve(cfg)
 	if err != nil {
 		return err

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+	"time"
+)
 
 const q1 = "q(cid) :- friend(0,f), dine(f,cid,5,2015), cafe(cid,'nyc')"
 
@@ -28,25 +32,25 @@ func TestOpsOnBenchmarkDatasets(t *testing.T) {
 }
 
 func TestOpServe(t *testing.T) {
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64); err != nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0); err != nil {
 		t.Fatalf("serve: %v", err)
 	}
-	if err := serve("nosuch", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0); err == nil {
+	if err := serve("nosuch", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0); err == nil {
 		t.Error("serve accepted an unknown dataset")
 	}
-	if err := serve("AIRCA", "carrier-pigeon", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0); err == nil {
+	if err := serve("AIRCA", "carrier-pigeon", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0); err == nil {
 		t.Error("serve accepted an unknown transport")
 	}
 }
 
 func TestOpServeHTTPTransport(t *testing.T) {
-	if err := serve("AIRCA", "http", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64); err != nil {
+	if err := serve("AIRCA", "http", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0); err != nil {
 		t.Fatalf("serve -transport http: %v", err)
 	}
 }
 
 func TestOpServeShardedTransport(t *testing.T) {
-	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0); err != nil {
 		t.Fatalf("serve -transport sharded: %v", err)
 	}
 }
@@ -75,10 +79,10 @@ func TestErrors(t *testing.T) {
 }
 
 func TestOpServeMidReplayReshard(t *testing.T) {
-	if err := serve("AIRCA", "sharded", 2, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0); err != nil {
 		t.Fatalf("serve -transport sharded -reshard 3: %v", err)
 	}
-	if err := serve("AIRCA", "engine", 0, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64); err == nil {
+	if err := serve("AIRCA", "engine", 0, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0); err == nil {
 		t.Error("serve accepted -reshard without a sharded layer")
 	}
 }
@@ -86,5 +90,87 @@ func TestOpServeMidReplayReshard(t *testing.T) {
 func TestOpReshardValidation(t *testing.T) {
 	if err := reshard(":0", 0, 0); err == nil {
 		t.Error("reshard accepted a zero target")
+	}
+}
+
+func TestOpServeWriteMix(t *testing.T) {
+	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.5); err != nil {
+		t.Fatalf("serve -transport sharded -writemix 0.5: %v", err)
+	}
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 1.5); err == nil {
+		t.Error("serve accepted a write mix >= 1")
+	}
+}
+
+// TestValidateFlags pins the up-front CLI validation: nonsense values and
+// combinations fail fast with a message naming the offending flag,
+// instead of panicking or misbehaving deep into a run.
+func TestValidateFlags(t *testing.T) {
+	base := func() cliFlags {
+		return cliFlags{
+			Transport: "engine", Scale: 0.1, PoolSize: 40,
+			Clients: 8, Writers: 2, Ops: 10000,
+			Timeout: 30 * time.Second,
+		}
+	}
+	cases := []struct {
+		name     string
+		op       string
+		explicit map[string]bool
+		mod      func(*cliFlags)
+		wantErr  string // substring; empty = must pass
+	}{
+		{name: "defaults serve", op: "serve", mod: func(*cliFlags) {}},
+		{name: "defaults http", op: "http", mod: func(*cliFlags) {}},
+		{name: "negative shards", op: "serve",
+			mod: func(f *cliFlags) { f.Shards = -2 }, wantErr: "-shards"},
+		{name: "negative shards on http", op: "http",
+			mod: func(f *cliFlags) { f.Shards = -1 }, wantErr: "-shards"},
+		{name: "reshard op without target", op: "reshard",
+			mod: func(f *cliFlags) { f.Shards = 0 }, wantErr: "-shards >= 1"},
+		{name: "reshard on unsharded serve", op: "serve",
+			mod: func(f *cliFlags) { f.ReshardTo = 4 }, wantErr: "sharded serving layer"},
+		{name: "reshard with sharded transport ok", op: "serve",
+			mod: func(f *cliFlags) { f.ReshardTo = 4; f.Transport = "sharded" }},
+		{name: "reshard with shards ok", op: "serve",
+			mod: func(f *cliFlags) { f.ReshardTo = 4; f.Shards = 2 }},
+		{name: "negative reshard", op: "serve",
+			mod: func(f *cliFlags) { f.ReshardTo = -1 }, wantErr: "-reshard"},
+		{name: "writemix out of range", op: "serve",
+			mod: func(f *cliFlags) { f.WriteMix = 1 }, wantErr: "-writemix"},
+		{name: "negative writemix", op: "serve",
+			mod: func(f *cliFlags) { f.WriteMix = -0.1 }, wantErr: "-writemix"},
+		{name: "explicit maxinflight zero", op: "http",
+			explicit: map[string]bool{"maxinflight": true},
+			mod:      func(f *cliFlags) { f.MaxInFlight = 0 }, wantErr: "-maxinflight 0 is ambiguous"},
+		{name: "default maxinflight zero ok", op: "http",
+			mod: func(f *cliFlags) { f.MaxInFlight = 0 }},
+		{name: "explicit zero timeout", op: "http",
+			explicit: map[string]bool{"timeout": true},
+			mod:      func(f *cliFlags) { f.Timeout = 0 }, wantErr: "-timeout"},
+		{name: "zero pool", op: "serve",
+			mod: func(f *cliFlags) { f.PoolSize = 0 }, wantErr: "-pool"},
+		{name: "zero clients", op: "serve",
+			mod: func(f *cliFlags) { f.Clients = 0 }, wantErr: "-clients"},
+		{name: "ops below clients", op: "serve",
+			mod: func(f *cliFlags) { f.Ops = 4 }, wantErr: "-ops"},
+		{name: "zero scale serve", op: "serve",
+			mod: func(f *cliFlags) { f.Scale = 0 }, wantErr: "-scale"},
+		{name: "zero scale run", op: "run",
+			mod: func(f *cliFlags) { f.Scale = 0 }, wantErr: "-scale"},
+	}
+	for _, tc := range cases {
+		f := base()
+		tc.mod(&f)
+		err := validateFlags(tc.op, tc.explicit, f)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
 	}
 }

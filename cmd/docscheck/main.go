@@ -10,9 +10,13 @@
 // The strictly checked packages are the public surface plus the serving
 // infrastructure an operator programs against: the root package (the
 // bounded API), internal/server (the wire protocol), internal/shard (the
-// partitioning and routing contract documented in docs/OPERATIONS.md)
-// and internal/cache (the plan-cache semantics every invariant rests
-// on). Everything else under internal/ may evolve faster, but its
+// partitioning, routing and write-path contract documented in
+// docs/OPERATIONS.md), internal/cache (the plan-cache semantics every
+// invariant rests on), internal/core (the engine surface the router and
+// front end build on), internal/store (the storage substrate, including
+// the batched write entry point the replica apply queue relies on) and
+// internal/bench (the replay benchmark operators quote numbers from).
+// Everything else under internal/ may evolve faster, but its
 // package-level story must always be told.
 //
 // Usage:
@@ -39,6 +43,9 @@ var strictDirs = map[string]bool{
 	"internal/server": true,
 	"internal/shard":  true,
 	"internal/cache":  true,
+	"internal/core":   true,
+	"internal/store":  true,
+	"internal/bench":  true,
 }
 
 func main() {

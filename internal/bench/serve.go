@@ -30,6 +30,7 @@ import (
 	"repro/internal/ra"
 	"repro/internal/server"
 	"repro/internal/shard"
+	"repro/internal/store"
 	"repro/internal/value"
 	"repro/internal/workload"
 )
@@ -72,6 +73,13 @@ type ServeConfig struct {
 	// under load. Requires a sharded serving layer (Shards > 0 or the
 	// sharded transport).
 	ReshardTo int
+	// WriteMix is the fraction of client ops (in [0, 1)) replayed as tuple
+	// writes — a delete+reinsert pair of a sampled live row — instead of
+	// queries. It prices the write path directly: on a sharded layer every
+	// such op crosses the owner shard synchronously and the replica apply
+	// queue asynchronously. 0 keeps the replay read-only apart from the
+	// background Writers churn.
+	WriteMix float64
 }
 
 // DefaultShards is the partition count used by the sharded transport when
@@ -136,8 +144,14 @@ type ServeResult struct {
 	// end of the run.
 	Cache   cache.Stats
 	HitRate float64
-	// Mutations counts tuple writes applied during the run.
+	// Mutations counts tuple writes applied during the run; WriteOps the
+	// client ops that were delete+reinsert pairs under WriteMix (each
+	// contributes two Mutations).
 	Mutations int64
+	WriteOps  int64
+	// Apply is the replica apply-queue snapshot at the end of a sharded
+	// run: Enqueued/Batches is the realized write coalescing.
+	Apply shard.ApplyQueueStats
 	// ColdLatency is the Execute latency floor (minimum over probes,
 	// averaged across the probe set) with the plan cache bypassed — the
 	// full compile pipeline; HotLatency the same floor for a plan-cache
@@ -153,8 +167,8 @@ func (r *ServeResult) Format(w io.Writer) {
 	fmt.Fprintf(w, "# serving benchmark on %s (transport: %s)\n", r.Dataset, r.Transport)
 	fmt.Fprintf(w, "host\tGOMAXPROCS=%d, %d CPUs\n", r.Procs, r.CPUs)
 	if r.Shards > 0 {
-		fmt.Fprintf(w, "shards\t%d (routed: %d single-shard, %d scatter, %d replica)\n",
-			r.Shards, r.Routes.Single, r.Routes.Scattered, r.Routes.Fallback)
+		fmt.Fprintf(w, "shards\t%d (routed: %d single-shard, %d double-routed, %d scatter, %d replica)\n",
+			r.Shards, r.Routes.Single, r.Routes.Double, r.Routes.Scattered, r.Routes.Fallback)
 	}
 	if r.Reshard != nil {
 		fmt.Fprintf(w, "reshard\t%d→%d mid-replay: %d keyed rows moved, %d seeded, %v (ring epoch %d)\n",
@@ -167,7 +181,13 @@ func (r *ServeResult) Format(w io.Writer) {
 	fmt.Fprintf(w, "mean latency\t%v per query\n", r.MeanLatency)
 	fmt.Fprintf(w, "cache\thits %d  misses %d  evictions %d  hit-rate %.1f%%\n",
 		r.Cache.Hits, r.Cache.Misses, r.Cache.Evictions, 100*r.HitRate)
-	fmt.Fprintf(w, "mutations\t%d tuple writes during run\n", r.Mutations)
+	fmt.Fprintf(w, "mutations\t%d tuple writes during run (%d write ops in the client mix)\n",
+		r.Mutations, r.WriteOps)
+	if r.Shards > 0 && r.Apply.Enqueued > 0 {
+		avg := float64(r.Apply.Enqueued) / float64(max(r.Apply.Batches, 1))
+		fmt.Fprintf(w, "replica apply\t%d ops in %d batches (avg %.1f ops/lock), max batch %d, depth %d at end\n",
+			r.Apply.Enqueued, r.Apply.Batches, avg, r.Apply.MaxBatch, r.Apply.Depth)
+	}
 	fmt.Fprintf(w, "latency floor\tcold %v  hot %v  speedup %.1fx\n",
 		r.ColdLatency, r.HotLatency, r.Speedup)
 }
@@ -190,6 +210,9 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	}
 	if cfg.ZipfS <= 1 {
 		return nil, fmt.Errorf("bench: ZipfS must be > 1 (Zipf skew exponent), got %g", cfg.ZipfS)
+	}
+	if cfg.WriteMix < 0 || cfg.WriteMix >= 1 {
+		return nil, fmt.Errorf("bench: WriteMix must be in [0, 1), got %g", cfg.WriteMix)
 	}
 	transport := cfg.Transport
 	if transport == "" {
@@ -300,37 +323,26 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		completed atomic.Int64
 		errCount  atomic.Int64
 		mutations atomic.Int64
+		writeOps  atomic.Int64
 		latencyNs atomic.Int64
 		stop      atomic.Bool
 	)
 	perClient := cfg.Ops / cfg.Clients
 
-	// Writers churn sampled rows: delete then reinsert, so the instance
-	// still satisfies A at every quiescent point.
+	// One shared sample of live rows per relation: writers churn them in
+	// the background, and WriteMix client ops replay them in the
+	// foreground. Delete-then-reinsert keeps the instance satisfying A at
+	// every quiescent point.
+	sampleRels, samples := writeSamples(d.Schema, db)
+
 	for w := 0; w < cfg.Writers; w++ {
 		writerWG.Add(1)
 		go func(w int) {
 			defer writerWG.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(w)))
-			rels := d.Schema.Relations()
-			samples := map[string][]value.Tuple{}
-			for _, rel := range rels {
-				rows, err := db.Rows(rel)
-				if err != nil || len(rows) == 0 {
-					continue
-				}
-				n := 64
-				if n > len(rows) {
-					n = len(rows)
-				}
-				samples[rel] = rows[:n]
-			}
-			for !stop.Load() {
-				rel := rels[rng.Intn(len(rels))]
+			for !stop.Load() && len(sampleRels) > 0 {
+				rel := sampleRels[rng.Intn(len(sampleRels))]
 				rows := samples[rel]
-				if len(rows) == 0 {
-					continue
-				}
 				t := rows[rng.Intn(len(rows))]
 				if err := drv.delete(rel, t); err != nil {
 					errCount.Add(1)
@@ -354,7 +366,21 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(pool)-1))
 			for i := 0; i < perClient; i++ {
 				t0 := time.Now()
-				if err := drv.query(int(zipf.Uint64())); err != nil {
+				if cfg.WriteMix > 0 && len(sampleRels) > 0 && rng.Float64() < cfg.WriteMix {
+					rel := sampleRels[rng.Intn(len(sampleRels))]
+					rows := samples[rel]
+					t := rows[rng.Intn(len(rows))]
+					if err := drv.delete(rel, t); err != nil {
+						errCount.Add(1)
+						return
+					}
+					if err := drv.insert(rel, t); err != nil {
+						errCount.Add(1)
+						return
+					}
+					mutations.Add(2)
+					writeOps.Add(1)
+				} else if err := drv.query(int(zipf.Uint64())); err != nil {
 					errCount.Add(1)
 					return
 				}
@@ -399,6 +425,7 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	res.Ops = int(completed.Load())
 	res.Errors = int(errCount.Load())
 	res.Mutations = mutations.Load()
+	res.WriteOps = writeOps.Load()
 	if res.Duration > 0 {
 		res.QPS = float64(res.Ops) / res.Duration.Seconds()
 	}
@@ -408,6 +435,7 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	after := svc.CacheStats()
 	if router != nil {
 		res.Routes = router.RouteStats()
+		res.Apply = router.ApplyQueueStats()
 	}
 	res.Cache = cache.Stats{
 		Hits:      after.Hits - before.Hits,
@@ -605,4 +633,25 @@ func coldHot(eng *core.Engine, q ra.Query, probes int) (cold, hot time.Duration,
 func minOf(ds []time.Duration) time.Duration {
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 	return ds[0]
+}
+
+// writeSamples collects up to 64 live rows per relation for the churn
+// writers and the WriteMix client ops, returning the relations that have
+// any (so pickers never land on an empty sample).
+func writeSamples(schema ra.Schema, db *store.DB) ([]string, map[string][]value.Tuple) {
+	samples := map[string][]value.Tuple{}
+	var rels []string
+	for _, rel := range schema.Relations() {
+		rows, err := db.Rows(rel)
+		if err != nil || len(rows) == 0 {
+			continue
+		}
+		n := 64
+		if n > len(rows) {
+			n = len(rows)
+		}
+		samples[rel] = rows[:n]
+		rels = append(rels, rel)
+	}
+	return rels, samples
 }

@@ -96,6 +96,8 @@ func TestServeRejectsBadConfig(t *testing.T) {
 		func(c *ServeConfig) { c.Ops = 1; c.Clients = 8 },
 		func(c *ServeConfig) { c.Dataset = "nosuch" },
 		func(c *ServeConfig) { c.Transport = "smoke-signals" },
+		func(c *ServeConfig) { c.WriteMix = 1 },
+		func(c *ServeConfig) { c.WriteMix = -0.2 },
 	}
 	for i, mutate := range bad {
 		cfg := DefaultServeConfig()
@@ -225,5 +227,47 @@ func TestServeReshardMidReplay(t *testing.T) {
 	bad.ReshardTo = 4
 	if _, err := Serve(bad); err == nil {
 		t.Error("ReshardTo on an unsharded config was accepted")
+	}
+}
+
+// TestServeWriteMixSharded prices the write-heavy mix against the
+// sharded layer: client write ops flow through the router's synchronous
+// shard commit plus the batched replica apply queue, the run stays
+// error-free, and the result carries the apply-queue accounting that
+// shows replica lock acquisitions are O(batches), not O(writes).
+func TestServeWriteMixSharded(t *testing.T) {
+	cfg := DefaultServeConfig()
+	cfg.Scale = 0.03
+	cfg.Ops = 2000
+	cfg.Transport = TransportSharded
+	cfg.Shards = 2
+	cfg.WriteMix = 0.4
+	res, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d serving errors under the write mix", res.Errors)
+	}
+	if res.WriteOps == 0 {
+		t.Fatal("WriteMix 0.4 produced no client write ops")
+	}
+	queries := int64(res.Ops) - res.WriteOps
+	if got := res.Routes.Single + res.Routes.Double + res.Routes.Scattered + res.Routes.Fallback; got != queries {
+		t.Errorf("routing decisions %+v sum to %d, want the %d query ops", res.Routes, got, queries)
+	}
+	if res.Apply.Enqueued == 0 {
+		t.Fatal("no replica writes were enqueued")
+	}
+	if res.Apply.Errors != 0 {
+		t.Errorf("apply queue recorded %d store errors", res.Apply.Errors)
+	}
+	if res.Apply.Batches <= 0 || res.Apply.Batches > res.Apply.Enqueued {
+		t.Errorf("implausible batching: %+v", res.Apply)
+	}
+	var sb strings.Builder
+	res.Format(&sb)
+	if !strings.Contains(sb.String(), "replica apply") {
+		t.Errorf("report missing the replica apply line:\n%s", sb.String())
 	}
 }

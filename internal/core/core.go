@@ -272,9 +272,7 @@ func (e *Engine) ExecuteNormalized(norm ra.Query, fp string, opts Options) (*exe
 		if fp == "" {
 			fp = ra.FingerprintNormalized(norm)
 		}
-		// The engine version is part of the key: entries compiled before a
-		// schema or access-schema change can never be served after it.
-		key = fmt.Sprintf("v%d|m%t|r%t|%s", e.version.Load(), opts.Minimize, opts.Rewrite, fp)
+		key = e.cacheKeyLocked(fp, opts)
 		if v, ok := e.plans.Get(key); ok {
 			return e.runCompiled(v.(*compiled), opts, &Report{CacheHit: true, Version: e.version.Load()})
 		}
@@ -289,6 +287,46 @@ func (e *Engine) ExecuteNormalized(norm ra.Query, fp string, opts Options) (*exe
 		e.plans.Put(key, c)
 	}
 	return e.runCompiled(c, opts, rep)
+}
+
+// cacheKeyLocked renders the plan-cache key for a fingerprint under the
+// current engine version and the analysis-shaping options. The version is
+// part of the key so entries compiled before a schema or access-schema
+// change can never be served after it. Called with e.mu held (shared or
+// exclusive).
+func (e *Engine) cacheKeyLocked(fp string, opts Options) string {
+	return fmt.Sprintf("v%d|m%t|r%t|%s", e.version.Load(), opts.Minimize, opts.Rewrite, fp)
+}
+
+// Prewarm runs the analysis half of the pipeline on norm — coverage
+// check, rewriting, minimization, plan generation, exactly as Execute
+// would under opts — and installs the artifact in the plan cache without
+// executing it. It exists for cluster membership changes: an engine
+// freshly built to join a sharded cluster starts with a cold cache, and
+// compilation is data-independent, so the router can prewarm it from its
+// query history before the engine receives traffic. fp must be
+// ra.FingerprintNormalized(norm) or empty (computed on demand); a query
+// already cached under the current version is left untouched.
+func (e *Engine) Prewarm(norm ra.Query, fp string, opts Options) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.plans == nil {
+		return nil
+	}
+	if fp == "" {
+		fp = ra.FingerprintNormalized(norm)
+	}
+	key := e.cacheKeyLocked(fp, opts)
+	if _, ok := e.plans.Get(key); ok {
+		return nil
+	}
+	rep := &Report{}
+	c, err := e.compile(norm, opts, rep)
+	if err != nil {
+		return err
+	}
+	e.plans.Put(key, c)
+	return nil
 }
 
 // compile runs the analysis pipeline on a normalized query: CovChk,

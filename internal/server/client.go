@@ -23,9 +23,14 @@ import (
 // long-running queries is not cut off client-side. Pass a context with a
 // deadline to bound an individual call.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	maxBody int64
 }
+
+// DefaultMaxResponseBytes is the response-size cap a NewClient applies;
+// SetMaxResponseBytes overrides it.
+const DefaultMaxResponseBytes int64 = 64 << 20
 
 // NewClient returns a client for the server at base, e.g.
 // "http://127.0.0.1:8080". A scheme-less base is assumed http.
@@ -40,6 +45,17 @@ func NewClient(base string) *Client {
 				MaxIdleConnsPerHost: 64,
 			},
 		},
+		maxBody: DefaultMaxResponseBytes,
+	}
+}
+
+// SetMaxResponseBytes changes the client's response-size cap: a response
+// body larger than n bytes is rejected with a clear error instead of
+// being truncated. n <= 0 is ignored. Call it before issuing requests; it
+// is not synchronized with in-flight calls.
+func (c *Client) SetMaxResponseBytes(n int64) {
+	if n > 0 {
+		c.maxBody = n
 	}
 }
 
@@ -171,16 +187,23 @@ func (c *Client) get(ctx context.Context, path string, dst any) error {
 }
 
 // do runs the request and decodes the JSON answer, converting non-2xx
-// responses into *APIError.
+// responses into *APIError. A response body over the client's size cap is
+// rejected explicitly — reading one byte past the cap distinguishes
+// "too large" from "exactly at the cap" — rather than silently truncated
+// into a confusing JSON parse error.
 func (c *Client) do(req *http.Request, dst any) error {
 	res, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
 	defer res.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(res.Body, 64<<20))
+	body, err := io.ReadAll(io.LimitReader(res.Body, c.maxBody+1))
 	if err != nil {
 		return err
+	}
+	if int64(len(body)) > c.maxBody {
+		return fmt.Errorf("server: %s response exceeds the client's %d-byte limit; raise it with SetMaxResponseBytes or cap the answer (e.g. maxRows)",
+			req.URL.Path, c.maxBody)
 	}
 	if res.StatusCode/100 != 2 {
 		var e ErrorResponse

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestClientResponseLimit pins the oversized-response contract: a body
+// over the client's cap fails with an explicit limit error — naming the
+// remedy — instead of being silently truncated into a JSON parse error,
+// and a response exactly within the cap still decodes.
+func TestClientResponseLimit(t *testing.T) {
+	_, c := startServer(t, testEngine(t), Config{})
+	ctx := context.Background()
+	const q = "q(f) :- friend(0, f)"
+
+	// Sanity: the query works at the default limit.
+	resp, err := c.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RowCount == 0 {
+		t.Fatal("probe query returned no rows; the limit test needs a non-trivial body")
+	}
+
+	c.SetMaxResponseBytes(16)
+	_, err = c.Query(ctx, q)
+	if err == nil {
+		t.Fatal("oversized response decoded despite the 16-byte client limit")
+	}
+	if !strings.Contains(err.Error(), "exceeds the client's 16-byte limit") {
+		t.Fatalf("error = %v, want an explicit response-limit error", err)
+	}
+	if strings.Contains(err.Error(), "unexpected end of JSON") {
+		t.Fatalf("error = %v, leaks the old truncated-JSON failure", err)
+	}
+
+	// Restore a workable limit: same client, same query, success again —
+	// the limit gates size, it does not poison the connection.
+	c.SetMaxResponseBytes(1 << 20)
+	if _, err := c.Query(ctx, q); err != nil {
+		t.Fatalf("query after raising the limit: %v", err)
+	}
+
+	// Error responses respect the cap too, and <= 0 is ignored.
+	c.SetMaxResponseBytes(0)
+	if _, err := c.Query(ctx, q); err != nil {
+		t.Fatalf("SetMaxResponseBytes(0) must be a no-op: %v", err)
+	}
+}

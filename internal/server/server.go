@@ -550,6 +550,14 @@ type resharder interface {
 	RingStatus() shard.RingStatus
 }
 
+// writePather is implemented by core.Service implementations with an
+// asynchronous replica write pipeline and a routing layer (the router of
+// internal/shard); /stats folds both counter sets in for operators.
+type writePather interface {
+	ApplyQueueStats() shard.ApplyQueueStats
+	RouteStats() shard.RouteStats
+}
+
 // handleReshard is the admin endpoint for online rebalancing. It answers
 // 501 on an unsharded serving layer and 409 while another move is in
 // flight. With "wait" the move runs under the request deadline (abort on
@@ -619,9 +627,35 @@ func (s *Server) handleReshard(w http.ResponseWriter, r *http.Request) {
 // handleStats renders plan-cache counters and size/request accounting,
 // plus a per-shard breakdown when the service is a sharded cluster.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Sample the apply queue before DBSize/IndexEntries: those fence (they
+	// drain the queue for read-your-writes), and the depth gauge should
+	// report the backlog as it stood when the request arrived, not after
+	// the drain.
+	var applyW *ApplyStatsWire
+	var routesW *RouteStatsWire
+	if wp, ok := s.eng.(writePather); ok {
+		aq := wp.ApplyQueueStats()
+		applyW = &ApplyStatsWire{
+			Enqueued: aq.Enqueued,
+			Applied:  aq.Applied,
+			Depth:    aq.Depth,
+			Batches:  aq.Batches,
+			MaxBatch: aq.MaxBatch,
+			Errors:   aq.Errors,
+		}
+		rt := wp.RouteStats()
+		routesW = &RouteStatsWire{
+			Single:    rt.Single,
+			Double:    rt.Double,
+			Scattered: rt.Scattered,
+			Fallback:  rt.Fallback,
+		}
+	}
 	cs := s.eng.CacheStats()
 	resp := StatsResponse{
 		Cache:         cacheWire(cs),
+		Apply:         applyW,
+		Routes:        routesW,
 		DBSize:        s.eng.DBSize(),
 		IndexEntries:  s.eng.IndexEntries(),
 		Version:       s.eng.Version(),

@@ -113,6 +113,28 @@ func TestServerOverShardedRouter(t *testing.T) {
 	if stats.Ring == nil || stats.Ring.Shards != 3 || stats.Ring.Epoch != 1 {
 		t.Errorf("sharded stats ring = %+v, want 3 shards at epoch 1", stats.Ring)
 	}
+	// Write-path observability: the sharded server reports the replica
+	// apply queue and the routing breakdown; the single engine reports
+	// neither.
+	if stats.Apply == nil {
+		t.Fatal("sharded stats missing the apply-queue block")
+	}
+	if stats.Apply.Enqueued == 0 {
+		t.Error("apply queue reports no enqueued writes after an insert")
+	}
+	if stats.Apply.Errors != 0 {
+		t.Errorf("apply queue reports %d store errors", stats.Apply.Errors)
+	}
+	if stats.Routes == nil {
+		t.Fatal("sharded stats missing the routing breakdown")
+	}
+	if got := stats.Routes.Single + stats.Routes.Double + stats.Routes.Scattered + stats.Routes.Fallback; got == 0 {
+		t.Error("routing breakdown is all zero after served queries")
+	}
+	if sstats.Apply != nil || sstats.Routes != nil {
+		t.Errorf("single-engine stats unexpectedly carries write-path blocks: apply=%+v routes=%+v",
+			sstats.Apply, sstats.Routes)
+	}
 }
 
 // TestReshardEndpoint drives an online reshard over the wire: grow 3→5

@@ -146,6 +146,45 @@ type StatsResponse struct {
 	// Ring is the consistent-hash placement state (epoch, size, in-flight
 	// migration), present only for a sharded cluster.
 	Ring *RingStatsWire `json:"ring,omitempty"`
+	// Apply is the replica apply-queue snapshot (write-path backlog and
+	// batching), present only for a sharded cluster.
+	Apply *ApplyStatsWire `json:"apply,omitempty"`
+	// Routes is the routing-decision breakdown, present only for a sharded
+	// cluster.
+	Routes *RouteStatsWire `json:"routes,omitempty"`
+}
+
+// ApplyStatsWire is the replica apply-queue snapshot in GET /stats: the
+// asynchronous write pipeline that batches replica applications
+// (internal/shard). Sampled before the fencing reads of the same /stats
+// response, so Depth reflects the backlog at request arrival.
+type ApplyStatsWire struct {
+	// Enqueued counts replica writes accepted since start; Applied is the
+	// watermark (writes that have reached the replica); Depth is their
+	// difference — the replica's current watermark lag in ops.
+	Enqueued int64 `json:"enqueued"`
+	Applied  int64 `json:"applied"`
+	Depth    int64 `json:"depth"`
+	// Batches counts batched replica applications (one replica write-lock
+	// acquisition each); MaxBatch is the largest batch so far.
+	Batches  int64 `json:"batches"`
+	MaxBatch int64 `json:"maxBatch"`
+	// Errors counts batch applications the replica store rejected (at
+	// least one op failed); non-zero indicates a bug, since writes are
+	// validated before they are enqueued.
+	Errors int64 `json:"errors"`
+}
+
+// RouteStatsWire is the routing-decision breakdown in GET /stats.
+type RouteStatsWire struct {
+	// Single counts single-shard executions; Double keyed reads that
+	// double-routed to two owners mid-reshard (each one a two-owner
+	// gather); Scattered full scatter/gather executions; Fallback
+	// executions on the replica.
+	Single    int64 `json:"single"`
+	Double    int64 `json:"double"`
+	Scattered int64 `json:"scattered"`
+	Fallback  int64 `json:"fallback"`
 }
 
 // ShardStatsWire is one engine of a sharded cluster in GET /stats.

@@ -1,0 +1,237 @@
+// The replica apply pipeline: an asynchronous, ordered write queue that
+// fixes the cluster's write bottleneck. Before it, every tuple write
+// applied synchronously to the full-copy replica under the write stripe
+// lock, so the replica's single store lock serialized the entire
+// cluster's write load — O(writes) exclusive lock acquisitions on the one
+// engine every shard-side write also had to cross. Now the owning shard
+// commits synchronously (preserving the per-shard plan-cache invariant
+// and the caller's verdict) while the replica write is enqueued onto a
+// per-stripe lane and applied later in coalesced batches, one
+// store.DB.ApplyBatch — one exclusive lock acquisition — per batch:
+// O(batches), not O(writes).
+//
+// # Ordering
+//
+// Correctness needs only per-tuple ordering: two writes of the same tuple
+// must reach the replica in the order the stripe lock serialized them.
+// Every enqueue happens under the caller's write stripe (shard.go), and a
+// tuple always hashes to the same stripe, so one FIFO lane per stripe
+// preserves exactly the required order; lanes are independent and the
+// applier may interleave them freely.
+//
+// # The watermark fence
+//
+// Each enqueue takes a ticket from a global counter; the applier's cut —
+// taken under qmu held exclusively, which excludes all enqueues — swaps
+// every lane and records the counter, so the batch contains precisely the
+// ops ticketed up to the cut. After applying a batch the applier
+// publishes its cut as the watermark: every op with ticket <= watermark
+// is in the replica. A replica-routed read (replica-fallback queries,
+// DBSize/IndexEntries, constraint mutations, the reshard copy phase)
+// fences first: it reads the ticket counter (or a single lane's highest
+// ticket) and waits until the watermark passes it, which drains exactly
+// the writes it could depend on — read-your-writes is preserved and
+// answers stay identical to a single engine at every instant.
+//
+// # Lifecycle
+//
+// There is no resident goroutine. An enqueue that finds no applier
+// running starts one; the applier loops — cut, apply, publish — until a
+// cut comes back empty and exits under the same exclusive section, so no
+// op can slip between its last look and its exit. A router that is
+// abandoned drains and goes quiet; nothing needs closing.
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// lane is one stripe's FIFO of pending replica writes.
+type lane struct {
+	mu  sync.Mutex
+	ops []store.TupleOp
+	// last is the highest ticket enqueued on this lane; a fence that only
+	// depends on this stripe waits for the watermark to pass it.
+	last uint64
+}
+
+// applyQueue batches replica writes, preserving per-stripe order and
+// exposing the watermark fence. See the package comment at the top of
+// this file for the protocol.
+type applyQueue struct {
+	db *store.DB
+
+	// qmu orders enqueues against the applier's cut: enqueues hold it
+	// shared (ticket assignment and lane append are one atomic step under
+	// it), the cut holds it exclusively — so a cut at counter value W has
+	// every op ticketed <= W in its swapped lanes.
+	qmu   sync.RWMutex
+	lanes [wstripes]lane
+
+	// enq is the ticket counter; applied the watermark (every op ticketed
+	// <= applied has reached the replica).
+	enq     atomic.Uint64
+	applied atomic.Uint64
+
+	// running is true while an applier goroutine is live.
+	running atomic.Bool
+	// paused suppresses applier spawning on enqueue. Tests use it to
+	// accumulate a deterministic backlog; fences still spawn, so no reader
+	// can be wedged by it.
+	paused atomic.Bool
+
+	// fmu/fcond park fencing readers until the watermark passes their
+	// ticket.
+	fmu   sync.Mutex
+	fcond *sync.Cond
+
+	// batches counts ApplyBatch calls (= replica lock acquisitions),
+	// maxBatch the largest single batch, errors batches whose application
+	// reported a store rejection (writes are validated before enqueue, so
+	// any error is a bug).
+	batches  atomic.Int64
+	maxBatch atomic.Int64
+	errors   atomic.Int64
+}
+
+// newApplyQueue returns an idle queue applying to db.
+func newApplyQueue(db *store.DB) *applyQueue {
+	q := &applyQueue{db: db}
+	q.fcond = sync.NewCond(&q.fmu)
+	return q
+}
+
+// enqueue appends one replica write to its stripe's lane and returns its
+// ticket. The caller must hold the write stripe lock for stripe, which is
+// what orders same-tuple enqueues.
+func (q *applyQueue) enqueue(stripe uint64, rel string, t value.Tuple, del bool) uint64 {
+	q.qmu.RLock()
+	ln := &q.lanes[stripe]
+	ln.mu.Lock()
+	ticket := q.enq.Add(1)
+	ln.ops = append(ln.ops, store.TupleOp{Rel: rel, T: t, Del: del})
+	ln.last = ticket
+	ln.mu.Unlock()
+	q.qmu.RUnlock()
+	if !q.paused.Load() {
+		q.spawn()
+	}
+	return ticket
+}
+
+// spawn starts an applier if none is running.
+func (q *applyQueue) spawn() {
+	if q.running.CompareAndSwap(false, true) {
+		go q.run()
+	}
+}
+
+// run is the applier loop: cut, apply, publish, until a cut is empty.
+func (q *applyQueue) run() {
+	for {
+		q.qmu.Lock()
+		cut := q.enq.Load()
+		var batch []store.TupleOp
+		for i := range q.lanes {
+			ln := &q.lanes[i]
+			if len(ln.ops) == 0 {
+				continue
+			}
+			batch = append(batch, ln.ops...)
+			ln.ops = nil
+		}
+		if len(batch) == 0 {
+			// Exit inside the exclusive section: any enqueue after it sees
+			// running == false and spawns a fresh applier, so no op is left
+			// behind.
+			q.running.Store(false)
+			q.qmu.Unlock()
+			return
+		}
+		q.qmu.Unlock()
+
+		if err := q.db.ApplyBatch(batch); err != nil {
+			q.errors.Add(1)
+		}
+		q.batches.Add(1)
+		if n := int64(len(batch)); n > q.maxBatch.Load() {
+			q.maxBatch.Store(n) // single applier: no concurrent max race
+		}
+		q.fmu.Lock()
+		q.applied.Store(cut)
+		q.fcond.Broadcast()
+		q.fmu.Unlock()
+	}
+}
+
+// fence blocks until every op ticketed <= ticket has been applied. It
+// spawns an applier if none is running (covering the paused test mode and
+// the spawn/exit race), so it always terminates.
+func (q *applyQueue) fence(ticket uint64) {
+	if ticket == 0 || q.applied.Load() >= ticket {
+		return
+	}
+	q.spawn()
+	q.fmu.Lock()
+	for q.applied.Load() < ticket {
+		q.fcond.Wait()
+	}
+	q.fmu.Unlock()
+}
+
+// fenceAll drains everything enqueued so far: read-your-writes for a
+// reader that may depend on any prior write.
+func (q *applyQueue) fenceAll() {
+	q.fence(q.enq.Load())
+}
+
+// fenceStripe drains only the writes enqueued on one stripe. The caller
+// must hold that write stripe lock, which freezes the lane's last ticket;
+// the reshard copy phase uses it to make per-row replica presence probes
+// exact without draining the whole queue per row.
+func (q *applyQueue) fenceStripe(stripe uint64) {
+	ln := &q.lanes[stripe]
+	ln.mu.Lock()
+	last := ln.last
+	ln.mu.Unlock()
+	q.fence(last)
+}
+
+// ApplyQueueStats is an observability snapshot of the replica apply
+// pipeline, exposed via Router.ApplyQueueStats and GET /stats.
+type ApplyQueueStats struct {
+	// Enqueued counts replica writes accepted since the router was built;
+	// Applied is the watermark (writes that have reached the replica).
+	// Their difference is Depth, the current backlog — the replica's
+	// watermark lag in ops.
+	Enqueued, Applied, Depth int64
+	// Batches counts batched store applications — replica write-lock
+	// acquisitions. Enqueued/Batches is the realized coalescing factor.
+	Batches int64
+	// MaxBatch is the largest batch applied so far.
+	MaxBatch int64
+	// Errors counts batch applications in which the store rejected at
+	// least one op. Writes are validated before they are enqueued, so a
+	// non-zero value indicates a bug.
+	Errors int64
+}
+
+// stats snapshots the counters. The watermark is read before the ticket
+// counter so the derived Depth can never go negative when the applier
+// advances between the two loads.
+func (q *applyQueue) stats() ApplyQueueStats {
+	app := int64(q.applied.Load())
+	enq := int64(q.enq.Load())
+	return ApplyQueueStats{
+		Enqueued: enq,
+		Applied:  app,
+		Depth:    enq - app,
+		Batches:  q.batches.Load(),
+		MaxBatch: q.maxBatch.Load(),
+		Errors:   q.errors.Load(),
+	}
+}

@@ -1,0 +1,381 @@
+package shard
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/value"
+)
+
+// freshOntime fabricates an ontime tuple with a distinct flight id and
+// origin i, outside the generated id range.
+func freshOntime(i int64) value.Tuple {
+	return value.Tuple{value.NewInt(700000 + i), value.NewInt(i), value.NewInt(12),
+		value.NewInt(7), value.NewInt(1), value.NewInt(30)}
+}
+
+// TestReplicaApplyBatching is the acceptance check for the write-path
+// fix: with the applier paused, N router writes accumulate as queue
+// backlog (the shards commit synchronously, the replica does not), and
+// draining them costs exactly ONE batched application — one replica lock
+// acquisition — instead of N.
+func TestReplicaApplyBatching(t *testing.T) {
+	_, router, _ := buildPair(t, "AIRCA", 2)
+	router.aq.paused.Store(true)
+	s0 := router.ApplyQueueStats()
+	const n = 200
+	for i := int64(0); i < n; i++ {
+		if _, err := router.Insert("ontime", freshOntime(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid := router.ApplyQueueStats()
+	if mid.Depth != n || mid.Enqueued != s0.Enqueued+n {
+		t.Fatalf("after %d paused writes: depth %d, enqueued %d (want %d backlogged)",
+			n, mid.Depth, mid.Enqueued, n)
+	}
+	if mid.Batches != s0.Batches {
+		t.Fatalf("paused applier still ran %d batches", mid.Batches-s0.Batches)
+	}
+	// The owning shards committed synchronously despite the backlog.
+	for i := int64(0); i < n; i++ {
+		tup := freshOntime(i)
+		owner := router.ownerOf(tup[1])
+		if ok, _ := router.state.Load().members[owner].eng.DB().Has("ontime", tup); !ok {
+			t.Fatalf("write %d not on its owner shard while replica lagged", i)
+		}
+	}
+	router.aq.paused.Store(false)
+	router.aq.fenceAll()
+	s1 := router.ApplyQueueStats()
+	if s1.Depth != 0 || s1.Applied != s1.Enqueued {
+		t.Fatalf("fence left backlog: %+v", s1)
+	}
+	if got := s1.Batches - s0.Batches; got != 1 {
+		t.Errorf("draining %d queued writes took %d lock acquisitions, want 1 (O(batches), not O(writes))", n, got)
+	}
+	if s1.MaxBatch < n {
+		t.Errorf("MaxBatch = %d, want >= %d", s1.MaxBatch, n)
+	}
+	if s1.Errors != 0 {
+		t.Errorf("apply queue recorded %d store errors", s1.Errors)
+	}
+	for i := int64(0); i < n; i++ {
+		if ok, _ := router.ref.DB().Has("ontime", freshOntime(i)); !ok {
+			t.Fatalf("replica missing write %d after drain", i)
+		}
+	}
+}
+
+// TestReplicaFenceReadYourWrites pins the watermark fence on every
+// replica-routed read: an acknowledged write not yet applied to the
+// replica is still observed by DBSize, IndexEntries and replica-fallback
+// queries, because each drains the queue first.
+func TestReplicaFenceReadYourWrites(t *testing.T) {
+	_, router, _ := buildPair(t, "AIRCA", 2)
+	size0 := router.DBSize()
+	router.aq.paused.Store(true)
+	tup := freshOntime(1)
+	if _, err := router.Insert("ontime", tup); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := router.ref.DB().Has("ontime", tup); ok {
+		t.Fatal("replica applied synchronously; expected a queued write")
+	}
+	if got := router.DBSize(); got != size0+1 {
+		t.Fatalf("DBSize = %d after acknowledged write, want %d (fence must drain first)", got, size0+1)
+	}
+	if ok, _ := router.ref.DB().Has("ontime", tup); !ok {
+		t.Fatal("DBSize fence did not drain the queue")
+	}
+
+	// A replica-fallback query behind a fresh backlog sees its own writes.
+	if _, err := router.Delete("ontime", tup); err != nil {
+		t.Fatal(err)
+	}
+	q, err := router.Parse(`q(origin, dest, cause) :- ontime(77, origin, dest, al, m, delay), delaycause(77, cause, mins)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := router.Execute(q, core.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if s := router.ApplyQueueStats(); s.Depth != 0 {
+		t.Errorf("fallback execution left a backlog of %d (fence must drain it)", s.Depth)
+	}
+	if ok, _ := router.ref.DB().Has("ontime", tup); ok {
+		t.Error("fenced replica still holds a deleted tuple")
+	}
+}
+
+// TestDoubleRouteCountedDistinctly is the regression test for the
+// route-stats mislabeling: a keyed fast-path query that double-routes to
+// two owners mid-migration is a gather, and must be counted as Double —
+// not Single — so RouteStats and /stats do not under-report gather load
+// while a reshard is in flight.
+func TestDoubleRouteCountedDistinctly(t *testing.T) {
+	_, router, _ := buildPair(t, "AIRCA", 2)
+
+	// Freeze a 2→4 migration in its copy phase.
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	calls := 0
+	router.hookMigBatch = func() {
+		calls++
+		if calls > 2 {
+			once.Do(func() { close(started) })
+			<-hold
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := router.Reshard(context.Background(), 4)
+		done <- err
+	}()
+	<-started
+
+	mig := router.mig.Load()
+	if mig == nil {
+		t.Fatal("no live migration after freeze")
+	}
+	// A key whose owner differs between the rings double-routes; one whose
+	// owner agrees stays a plain single.
+	moved, stayed := int64(-1), int64(-1)
+	for k := int64(0); k < 1000 && (moved < 0 || stayed < 0); k++ {
+		v := value.NewInt(k)
+		oldM := mig.oldMembers[mig.oldRing.OwnerOf(v)]
+		newM := mig.newMembers[mig.newRing.OwnerOf(v)]
+		if oldM != newM && moved < 0 {
+			moved = k
+		}
+		if oldM == newM && stayed < 0 {
+			stayed = k
+		}
+	}
+	if moved < 0 || stayed < 0 {
+		t.Fatal("could not find both a moved and an unmoved key")
+	}
+
+	exec := func(key int64) {
+		t.Helper()
+		src := `q(airline) :- ontime(f, ` + value.NewInt(key).String() + `, d, airline, m, delay)`
+		q, err := router.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := router.Execute(q, core.DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rs0 := router.RouteStats()
+	exec(moved)
+	rs1 := router.RouteStats()
+	if rs1.Double != rs0.Double+1 {
+		t.Errorf("mid-move keyed read: Double %d → %d, want +1", rs0.Double, rs1.Double)
+	}
+	if rs1.Single != rs0.Single {
+		t.Errorf("mid-move keyed read mis-counted as Single (%d → %d)", rs0.Single, rs1.Single)
+	}
+	exec(stayed)
+	rs2 := router.RouteStats()
+	if rs2.Single != rs1.Single+1 || rs2.Double != rs1.Double {
+		t.Errorf("unmoved keyed read: Single %d → %d, Double %d → %d, want Single +1 only",
+			rs1.Single, rs2.Single, rs1.Double, rs2.Double)
+	}
+
+	close(hold)
+	if err := <-done; err != nil {
+		t.Fatalf("unfrozen reshard failed: %v", err)
+	}
+	router.hookMigBatch = nil
+}
+
+// TestGatherFirstErrorPath pins gather's error contract under the worker
+// pools: when one shard errors mid-scatter, Execute returns that error
+// (first in member order), discards every sibling result, counts the
+// decision exactly once, and the router keeps serving afterwards.
+func TestGatherFirstErrorPath(t *testing.T) {
+	_, router, _ := buildPair(t, "AIRCA", 3)
+	// Break shard 1 through a side channel the engine cannot see: its
+	// bounded plans will fail their index fetches.
+	broken := router.state.Load().members[1]
+	broken.eng.DB().DropIndexes()
+
+	q, err := router.Parse(`q(city) :- ontime(123, origin, dest, al, m, delay), airport(origin, city, st)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs0 := router.RouteStats()
+	var q0 [3]int64
+	for i, m := range router.state.Load().members {
+		q0[i] = m.queries.Load()
+	}
+	table, _, err := router.Execute(q, core.DefaultOptions())
+	if err == nil {
+		t.Fatal("scatter over a broken shard returned no error")
+	}
+	if !strings.Contains(err.Error(), "no index") {
+		t.Fatalf("error = %v, want the broken shard's fetch failure", err)
+	}
+	if table != nil {
+		t.Error("sibling results not discarded: non-nil table alongside the error")
+	}
+	rs1 := router.RouteStats()
+	if rs1.Scattered != rs0.Scattered+1 {
+		t.Errorf("Scattered %d → %d, want exactly +1", rs0.Scattered, rs1.Scattered)
+	}
+	if rs1.Single != rs0.Single || rs1.Fallback != rs0.Fallback || rs1.Double != rs0.Double {
+		t.Errorf("error path corrupted unrelated counters: %+v → %+v", rs0, rs1)
+	}
+	for i, m := range router.state.Load().members {
+		if got := m.queries.Load(); got != q0[i]+1 {
+			t.Errorf("shard %d query counter %d → %d, want +1 (every member executed)", i, q0[i], got)
+		}
+	}
+	// The pools and the router survive the error: the replica fallback
+	// still answers.
+	fb, err := router.Parse(`q(origin, dest, cause) :- ontime(77, origin, dest, al, m, delay), delaycause(77, cause, mins)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := router.Execute(fb, core.DefaultOptions()); err != nil {
+		t.Fatalf("router stopped serving after a gather error: %v", err)
+	}
+}
+
+// TestReshardPrewarmsFreshEngines asserts the routing-aware prewarm: the
+// plan caches of engines created by a growing Reshard are compiled from
+// the router's query history before the flip, so they start warm.
+func TestReshardPrewarmsFreshEngines(t *testing.T) {
+	_, router, _ := buildPair(t, "AIRCA", 2)
+	for _, src := range []string{
+		`q(airline) :- ontime(f, 42, d, airline, m, delay)`,
+		`q(city) :- ontime(123, origin, dest, al, m, delay), airport(origin, city, st)`,
+		`q(cname) :- carrier(3, cname, country)`,
+	} {
+		q, err := router.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := router.Execute(q, core.DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := router.Reshard(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	members := router.state.Load().members
+	if len(members) != 4 {
+		t.Fatalf("expected 4 members after growth, got %d", len(members))
+	}
+	for i := 2; i < 4; i++ {
+		if got := members[i].eng.CacheStats().Entries; got < 3 {
+			t.Errorf("fresh shard %d has %d prewarmed plan-cache entries, want >= 3", i, got)
+		}
+	}
+	// A keyed repeat right after the flip hits a warm cache wherever the
+	// key now lives.
+	q, err := router.Parse(`q(airline) :- ontime(f, 42, d, airline, m, delay)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := router.Execute(q, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CacheHit {
+		t.Error("first keyed repeat after growth missed the plan cache despite prewarming")
+	}
+}
+
+// TestWorkerPoolBoundsConcurrency pins the pool contract: at most limit
+// tasks run on pool workers at once, plus the submitter itself when the
+// queue overflows into inline execution.
+func TestWorkerPoolBoundsConcurrency(t *testing.T) {
+	const limit = 2
+	p := newWorkerPool(limit)
+	var running, maxRunning atomic.Int32
+	var wg sync.WaitGroup
+	const tasks = 40
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		p.submit(func() {
+			defer wg.Done()
+			n := running.Add(1)
+			for {
+				m := maxRunning.Load()
+				if n <= m || maxRunning.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			running.Add(-1)
+		})
+	}
+	wg.Wait()
+	// limit pool workers + the submitting goroutine's inline overflow.
+	if got := maxRunning.Load(); got > limit+1 {
+		t.Errorf("observed %d concurrent tasks, want <= %d", got, limit+1)
+	}
+	if p.active.Load() != 0 {
+		t.Errorf("%d workers still resident after drain", p.active.Load())
+	}
+}
+
+// TestMutateValidation pins the up-front write validation that replaces
+// the replica's synchronous verdict: unknown relations and arity
+// mismatches fail before anything is applied or enqueued.
+func TestMutateValidation(t *testing.T) {
+	_, router, _ := buildPair(t, "AIRCA", 2)
+	s0 := router.ApplyQueueStats()
+	if _, err := router.Insert("nosuch", value.Tuple{value.NewInt(1)}); err == nil {
+		t.Error("insert into unknown relation accepted")
+	}
+	if _, err := router.Delete("nosuch", value.Tuple{value.NewInt(1)}); err == nil {
+		t.Error("delete from unknown relation accepted")
+	}
+	if _, err := router.Insert("ontime", value.Tuple{value.NewInt(1)}); err == nil {
+		t.Error("insert with wrong arity accepted")
+	}
+	if s1 := router.ApplyQueueStats(); s1.Enqueued != s0.Enqueued {
+		t.Errorf("rejected writes were enqueued: %d → %d", s0.Enqueued, s1.Enqueued)
+	}
+}
+
+// TestRouterWriteVerdicts asserts the shard-side verdict matches what the
+// replica-first path used to report: set semantics over the cluster.
+func TestRouterWriteVerdicts(t *testing.T) {
+	_, router, _ := buildPair(t, "AIRCA", 2)
+	tup := freshOntime(9)
+	if ch, err := router.Insert("ontime", tup); err != nil || !ch {
+		t.Fatalf("fresh insert: changed=%v err=%v", ch, err)
+	}
+	if ch, err := router.Insert("ontime", tup); err != nil || ch {
+		t.Fatalf("duplicate insert: changed=%v err=%v, want no-op", ch, err)
+	}
+	if ch, err := router.Delete("ontime", tup); err != nil || !ch {
+		t.Fatalf("delete of present tuple: changed=%v err=%v", ch, err)
+	}
+	if ch, err := router.Delete("ontime", tup); err != nil || ch {
+		t.Fatalf("delete of absent tuple: changed=%v err=%v, want no-op", ch, err)
+	}
+	// A replicated relation routes to every shard; the verdict still
+	// reflects the cluster state exactly once.
+	rep := value.Tuple{value.NewInt(9001), value.NewStr("Test Air"), value.NewInt(1)}
+	if ch, err := router.Insert("carrier", rep); err != nil || !ch {
+		t.Fatalf("replicated insert: changed=%v err=%v", ch, err)
+	}
+	if ch, err := router.Insert("carrier", rep); err != nil || ch {
+		t.Fatalf("replicated duplicate: changed=%v err=%v", ch, err)
+	}
+	if ch, err := router.Delete("carrier", rep); err != nil || !ch {
+		t.Fatalf("replicated delete: changed=%v err=%v", ch, err)
+	}
+}

@@ -1,0 +1,90 @@
+// Bounded per-shard execution worker pools for scatter/gather. Before
+// them, every gather spawned one goroutine per member per request, so the
+// number of live execution goroutines scaled as requests × shards — under
+// a loaded front end (MaxInFlight defaults to 4×GOMAXPROCS) that is an
+// unbounded-feeling spawn storm of mostly-runnable goroutines thrashing
+// the scheduler. Each member now owns a small pool bounded by GOMAXPROCS:
+// gather submits its per-shard execution as a task, total execution
+// goroutines are capped at shards × GOMAXPROCS, and a submit that finds
+// the pool's queue full runs the task on the caller's goroutine — built-in
+// backpressure that also makes deadlock impossible (a gather can always
+// finish with no pool capacity at all).
+package shard
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// gatherWorkers is the per-member worker bound. One shard cannot use more
+// parallelism than the host offers, and gather tasks are CPU-bound plan
+// executions, so GOMAXPROCS is the natural ceiling.
+func gatherWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 2 {
+		return n
+	}
+	return 2
+}
+
+// workerPool runs tasks on at most limit goroutines. Workers are
+// transient: one is spawned when a task arrives and none is running under
+// the limit, and it exits as soon as the queue is empty — an idle or
+// dropped member (after a shrink Reshard) holds no resident goroutines.
+type workerPool struct {
+	tasks  chan func()
+	active atomic.Int32
+	limit  int32
+}
+
+// newWorkerPool returns a pool bounded at limit workers with a task queue
+// of 4×limit.
+func newWorkerPool(limit int) *workerPool {
+	if limit < 1 {
+		limit = 1
+	}
+	return &workerPool{tasks: make(chan func(), 4*limit), limit: int32(limit)}
+}
+
+// submit schedules fn on a pool worker; when the queue is full it runs fn
+// on the caller's goroutine instead, so submit never blocks and the
+// submitting gather always makes progress.
+func (p *workerPool) submit(fn func()) {
+	select {
+	case p.tasks <- fn:
+		p.maybeSpawn()
+	default:
+		fn()
+	}
+}
+
+// maybeSpawn starts a worker when under the limit.
+func (p *workerPool) maybeSpawn() {
+	for {
+		n := p.active.Load()
+		if n >= p.limit {
+			return
+		}
+		if p.active.CompareAndSwap(n, n+1) {
+			go p.work()
+			return
+		}
+	}
+}
+
+// work drains the queue and exits when it is empty. The recheck after the
+// decrement closes the race with a submit that saw the pool at its limit
+// an instant before this worker left.
+func (p *workerPool) work() {
+	for {
+		select {
+		case fn := <-p.tasks:
+			fn()
+		default:
+			p.active.Add(-1)
+			if len(p.tasks) > 0 {
+				p.maybeSpawn()
+			}
+			return
+		}
+	}
+}

@@ -194,12 +194,18 @@ func (r *Router) Reshard(ctx context.Context, targetN int) (*ReshardReport, erro
 		if r.spec.PlanCacheSize > 0 {
 			eng.SetPlanCacheCapacity(r.spec.PlanCacheSize)
 		}
-		m := &member{eng: eng}
+		m := newMember(eng)
 		newMembers[i] = m
 		fresh = append(fresh, m)
 	}
 	r.fresh = fresh
 	r.cmu.Unlock()
+
+	// Prewarm: compile the router's recently routed queries into the fresh
+	// engines' plan caches before they can receive any traffic, so the
+	// first post-flip queries hit warm caches instead of paying a cold
+	// compile per fresh shard.
+	r.prewarmFresh(fresh)
 
 	mig := &migration{
 		oldRing:    st.ring,
@@ -235,6 +241,10 @@ func (r *Router) Reshard(ctx context.Context, targetN int) (*ReshardReport, erro
 	r.cmu.Lock()
 	r.fresh = nil
 	r.cmu.Unlock()
+	// Drain the apply queue before reporting: callers reading the replica
+	// right after a reshard (operators, tests) see every write the
+	// migration raced with.
+	r.aq.fenceAll()
 	return &ReshardReport{
 		From:     oldN,
 		To:       targetN,
@@ -308,7 +318,16 @@ func (r *Router) migStep(ctx context.Context) error {
 // and need no copying. Source snapshots come from the replica (which
 // holds everything) — a row deleted after the snapshot fails the
 // presence check, a row inserted after it is double-written.
+//
+// The replica lags the shards by the apply-queue backlog, so the phase
+// fences: once up front, covering every write acknowledged before the
+// migration was published, and per row on the row's own stripe before the
+// replica presence probe of the seeding loop — a delete acknowledged
+// after the snapshot has already reached the fresh engines synchronously,
+// and the stripe fence makes the replica probe see it too instead of
+// resurrecting the tuple from a stale copy.
 func (r *Router) copyPhase(ctx context.Context, mig *migration) error {
+	r.aq.fenceAll()
 	// Seed replicated relations onto fresh engines (growth only).
 	if len(mig.fresh) > 0 {
 		for _, rel := range r.schema.Relations() {
@@ -325,8 +344,10 @@ func (r *Router) copyPhase(ctx context.Context, mig *migration) error {
 						return err
 					}
 				}
-				mu := &r.wmu[stripeOf(rel, t)]
+				stripe := stripeOf(rel, t)
+				mu := &r.wmu[stripe]
 				mu.Lock()
+				r.aq.fenceStripe(stripe)
 				ok, err := r.ref.DB().Has(rel, t)
 				if err == nil && ok {
 					for _, m := range mig.fresh {
@@ -407,6 +428,7 @@ func (r *Router) abort(mig *migration) {
 	r.cmu.Lock()
 	r.fresh = nil
 	r.cmu.Unlock()
+	r.aq.fenceAll()
 }
 
 // sweep deletes from member m (at ring index i) every keyed row that ring

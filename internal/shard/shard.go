@@ -56,6 +56,14 @@
 // invariant holds per shard, and Version never moves under tuple churn,
 // including the churn of migration itself. Access-schema changes fan out
 // to every engine and bump all versions in lockstep.
+//
+// The shard-side write commits synchronously under its ordering stripe;
+// the replica's copy is applied asynchronously through a batched apply
+// queue (applyqueue.go) so the replica's single store lock is taken once
+// per batch instead of once per write. Replica-routed reads drain the
+// queue up to the writes they could depend on first (the watermark
+// fence), so read-your-writes holds and answers remain identical to a
+// single engine at every instant.
 package shard
 
 import (
@@ -160,13 +168,21 @@ func DeriveKeys(schema ra.Schema, A *access.Schema, db *store.DB, minRows int) m
 // concurrent writes of the rows it is moving.
 const wstripes = 256
 
-// member is one shard engine plus its router-side execution counter.
-// Members are identified by pointer: a Reshard that grows the cluster
-// keeps the surviving members and appends fresh ones, so counters carry
-// across ring changes.
+// member is one shard engine plus its router-side execution counter and
+// its bounded gather worker pool. Members are identified by pointer: a
+// Reshard that grows the cluster keeps the surviving members and appends
+// fresh ones, so counters carry across ring changes.
 type member struct {
 	eng     *core.Engine
 	queries atomic.Int64
+	// pool bounds this member's concurrent gather executions (pool.go); a
+	// member dropped by a shrink simply stops receiving tasks.
+	pool *workerPool
+}
+
+// newMember wraps an engine as a cluster member with its worker pool.
+func newMember(eng *core.Engine) *member {
+	return &member{eng: eng, pool: newWorkerPool(gatherWorkers())}
 }
 
 // ringState is the immutable routing view swapped atomically at each ring
@@ -226,10 +242,26 @@ type Router struct {
 	// entry is stamped with its epoch and ignored once the ring moves.
 	decisions *cache.Cache
 
+	// aq is the replica apply pipeline: shard-side writes commit
+	// synchronously, the replica's copies are enqueued here and applied in
+	// batches (applyqueue.go). Replica-routed reads fence on it first.
+	aq *applyQueue
+
+	// hmu guards history: the normalized form and options of recently
+	// routed queries, keyed by fingerprint. Reshard growth replays it
+	// against fresh engines to prewarm their plan caches before the flip.
+	// Bounded at historyCap; recorded only on decision-cache misses, so
+	// the hot path never touches it.
+	hmu     sync.Mutex
+	history map[string]prewarmEntry
+
 	// refQueries counts executions routed to the replica.
 	refQueries atomic.Int64
-	// routed counts routing decisions by kind.
-	routed [3]atomic.Int64
+	// routed counts routing decisions by kind; doubled counts keyed
+	// fast-path reads that double-routed to two owners mid-migration
+	// (executed via gather, reported separately from Single).
+	routed  [3]atomic.Int64
+	doubled atomic.Int64
 
 	// hookMigBatch, when set, runs between migration batches. Tests use it
 	// to slow or freeze a migration deterministically; it is never set in
@@ -278,6 +310,7 @@ func New(schema ra.Schema, A *access.Schema, db *store.DB, spec Spec) (*Router, 
 		spec:      spec,
 		keyPos:    keyPos,
 		decisions: cache.New(4096, 8),
+		history:   map[string]prewarmEntry{},
 	}
 	ring := NewRing(spec.Shards, spec.Vnodes)
 	dbs := make([]*store.DB, spec.Shards)
@@ -310,13 +343,14 @@ func New(schema ra.Schema, A *access.Schema, db *store.DB, spec Spec) (*Router, 
 		if err != nil {
 			return nil, err
 		}
-		members[i] = &member{eng: eng}
+		members[i] = newMember(eng)
 	}
 	ref, err := core.NewEngine(schema, A, db)
 	if err != nil {
 		return nil, err
 	}
 	r.ref = ref
+	r.aq = newApplyQueue(ref.DB())
 	r.state.Store(&ringState{epoch: 1, ring: ring, members: members})
 	if spec.PlanCacheSize > 0 {
 		r.SetPlanCacheCapacity(spec.PlanCacheSize)
@@ -397,23 +431,87 @@ func (r *Router) Execute(q ra.Query, opts core.Options) (*exec.Table, *core.Repo
 		dec = r.route(norm, st.ring, len(st.members))
 		dec.epoch = st.epoch
 		r.decisions.Put(fp, dec)
+		if opts.Cache {
+			r.remember(fp, norm, opts)
+		}
 	}
-	r.routed[dec.kind].Add(1)
 	switch dec.kind {
 	case routeSingle:
 		m := st.members[dec.shard]
 		if mig := r.mig.Load(); mig != nil && dec.keyed {
 			if sec := r.secondaryOwner(norm, st, mig); sec != nil && sec != m {
+				// A keyed read whose owner differs between the rings runs as
+				// a two-owner gather; counted as Double, not Single, so
+				// RouteStats does not under-report gather load mid-reshard.
+				r.doubled.Add(1)
 				return r.gather(norm, fp, opts, []*member{m, sec})
 			}
 		}
+		r.routed[routeSingle].Add(1)
 		m.queries.Add(1)
 		return m.eng.ExecuteNormalized(norm, fp, opts)
 	case routeFallback:
+		r.routed[routeFallback].Add(1)
 		r.refQueries.Add(1)
+		// The replica lags the shards by the apply-queue backlog; drain up
+		// to this instant's enqueue point so the fallback answer includes
+		// every write that has already been acknowledged.
+		r.aq.fenceAll()
 		return r.ref.ExecuteNormalized(norm, fp, opts)
 	}
+	r.routed[routeScatter].Add(1)
 	return r.gather(norm, fp, opts, st.members)
+}
+
+// historyCap bounds the prewarm history; beyond it new fingerprints are
+// not recorded (the hottest queries are seen first, which is what
+// prewarming is for).
+const historyCap = 512
+
+// prewarmEntry is one remembered query: its normalized form plus the
+// analysis-shaping options it ran under, enough to recompile it on a
+// fresh engine.
+type prewarmEntry struct {
+	norm              ra.Query
+	minimize, rewrite bool
+}
+
+// remember records a query for Reshard's plan-cache prewarming. Called on
+// decision-cache misses only (first sighting per fingerprint and epoch).
+func (r *Router) remember(fp string, norm ra.Query, opts core.Options) {
+	r.hmu.Lock()
+	defer r.hmu.Unlock()
+	if _, ok := r.history[fp]; ok {
+		return
+	}
+	if len(r.history) >= historyCap {
+		return
+	}
+	r.history[fp] = prewarmEntry{norm: norm, minimize: opts.Minimize, rewrite: opts.Rewrite}
+}
+
+// prewarmFresh compiles the remembered query history into the plan caches
+// of engines a growing Reshard has just built, before they can receive
+// traffic: compilation is data-independent, so the fresh engines start
+// with the same hot set the surviving members already cached instead of
+// paying a cold compile per query after the flip. Best effort — a query
+// that no longer compiles is skipped.
+func (r *Router) prewarmFresh(fresh []*member) {
+	if len(fresh) == 0 {
+		return
+	}
+	r.hmu.Lock()
+	entries := make(map[string]prewarmEntry, len(r.history))
+	for fp, e := range r.history {
+		entries[fp] = e
+	}
+	r.hmu.Unlock()
+	for _, m := range fresh {
+		for fp, e := range entries {
+			opts := core.Options{Cache: true, Minimize: e.minimize, Rewrite: e.rewrite}
+			_ = m.eng.Prewarm(e.norm, fp, opts)
+		}
+	}
 }
 
 // secondaryOwner resolves the double-routing target for a keyed fast-path
@@ -457,7 +555,11 @@ func monotone(norm ra.Query) bool {
 // results: rows by set union, access counts by summation, coverage and
 // boundedness verdicts by conjunction. Scatter/gather runs it over the
 // full member set; double-routed fast-path reads over the two owners of a
-// mid-migration key.
+// mid-migration key. Per-shard executions run on each member's bounded
+// worker pool (pool.go), so concurrent gathers share shards × GOMAXPROCS
+// execution goroutines instead of spawning one per member per request.
+// On any member error the first error (in member order) is returned and
+// every sibling result is discarded.
 func (r *Router) gather(norm ra.Query, fp string, opts core.Options, members []*member) (*exec.Table, *core.Report, error) {
 	start := time.Now()
 	tables := make([]*exec.Table, len(members))
@@ -469,12 +571,13 @@ func (r *Router) gather(norm ra.Query, fp string, opts core.Options, members []*
 	} else {
 		var wg sync.WaitGroup
 		for i := range members {
+			i := i
 			wg.Add(1)
-			go func(i int) {
+			members[i].pool.submit(func() {
 				defer wg.Done()
 				members[i].queries.Add(1)
 				tables[i], reports[i], errs[i] = members[i].eng.ExecuteNormalized(norm, fp, opts)
-			}(i)
+			})
 		}
 		wg.Wait()
 	}
@@ -520,12 +623,13 @@ func stripeOf(rel string, t value.Tuple) uint64 {
 }
 
 // Insert adds a tuple to the cluster: to the owning shard for a
-// partitioned relation (or every shard for a replicated one) and to the
-// replica. Same-tuple writes are ordered by an internal stripe lock so
-// all member engines converge to the same state. Each engine maintains
-// its indices incrementally, so cached plans everywhere remain valid and
-// Version does not change. During a migration the write additionally
-// covers the key's owner under the incoming ring (rebalance.go).
+// partitioned relation (or every shard for a replicated one)
+// synchronously, and to the replica through the batched apply queue.
+// Same-tuple writes are ordered by an internal stripe lock so all member
+// engines converge to the same state. Each engine maintains its indices
+// incrementally, so cached plans everywhere remain valid and Version does
+// not change. During a migration the write additionally covers the key's
+// owner under the incoming ring (rebalance.go).
 func (r *Router) Insert(rel string, t value.Tuple) (bool, error) {
 	return r.mutate(rel, t, false)
 }
@@ -537,48 +641,71 @@ func (r *Router) Delete(rel string, t value.Tuple) (bool, error) {
 	return r.mutate(rel, t, true)
 }
 
-// mutate applies one tuple write to the replica first (whose verdict and
-// validation error become the caller's result) and then to the shard-side
-// targets chosen by writeTargets under the current ring state and
-// migration phase.
+// mutate applies one tuple write: validate against the schema up front,
+// commit synchronously to the shard-side targets chosen by writeTargets
+// under the current ring state and migration phase, then enqueue the
+// replica's copy on the apply queue — all under the tuple's ordering
+// stripe, which is what keeps the queue's per-stripe FIFO equal to the
+// order the shards saw. The first target always holds a complete slice
+// for the tuple under the ring readers are routed by, so its verdict is
+// the caller's result (identical to what the replica will report when the
+// queued op lands).
 func (r *Router) mutate(rel string, t value.Tuple, del bool) (bool, error) {
+	attrs, ok := r.schema[rel]
+	if !ok {
+		return false, fmt.Errorf("shard: unknown relation %q", rel)
+	}
+	if !del && len(t) != len(attrs) {
+		return false, fmt.Errorf("shard: %s expects %d values, got %d", rel, len(attrs), len(t))
+	}
 	pos, partitioned := r.keyPos[rel]
 	if partitioned && pos >= len(t) {
-		return false, fmt.Errorf("shard: %s expects %d values, got %d", rel, len(r.schema[rel]), len(t))
+		return false, fmt.Errorf("shard: %s expects %d values, got %d", rel, len(attrs), len(t))
 	}
 	apply := (*core.Engine).Insert
 	if del {
 		apply = (*core.Engine).Delete
 	}
-	mu := &r.wmu[stripeOf(rel, t)]
+	// Clone before enqueueing: the queued op outlives this call, and the
+	// caller is free to reuse its tuple slice afterwards.
+	t = t.Clone()
+	stripe := stripeOf(rel, t)
+	mu := &r.wmu[stripe]
 	mu.Lock()
 	defer mu.Unlock()
-	changed, err := apply(r.ref, rel, t)
-	if err != nil {
-		return false, err
-	}
-	for _, m := range r.writeTargets(rel, t, pos, partitioned, del) {
-		if _, err := apply(m.eng, rel, t); err != nil {
-			return changed, err
+	var changed bool
+	for i, m := range r.writeTargets(rel, t, pos, partitioned, del) {
+		ch, err := apply(m.eng, rel, t)
+		if err != nil {
+			return false, err
+		}
+		if i == 0 {
+			changed = ch
 		}
 	}
+	r.aq.enqueue(stripe, rel, t, del)
 	return changed, nil
 }
 
-// writeTargets picks the member engines one tuple write must reach.
-// Stable cluster: the ring owner (partitioned) or every member
-// (replicated). Mid-migration the rules are phase-dependent so that the
-// ring the readers are currently routed by always sees a complete slice,
-// and no copy of a deleted tuple survives anywhere:
+// writeTargets picks the member engines one tuple write must reach,
+// ordered so the FIRST target is always the owner under the ring the
+// readers are currently routed by — its slice is complete there, so its
+// apply verdict is the caller's result. Stable cluster: the ring owner
+// (partitioned) or every member (replicated). Mid-migration the rules
+// are phase-dependent so that the readers' ring always sees a complete
+// slice, and no copy of a deleted tuple survives anywhere:
 //
-//   - copy (readers on the old ring): apply under both rings — the old
-//     owner stays exact for reads, the new owner fills in for the flip.
+//   - copy (readers on the old ring): apply under both rings, old owner
+//     first — the old owner stays exact for reads, the new owner fills
+//     in for the flip.
 //   - cleanup (flipped; readers on the new ring): inserts go to the new
 //     owner only, so the straggler sweep cannot leak fresh copies onto
-//     shards that no longer own them; deletes also cover the old owner to
-//     kill any not-yet-swept copy.
+//     shards that no longer own them; deletes also cover the old owner —
+//     new owner first, since the sweep may already have emptied the old
+//     one — to kill any not-yet-swept copy.
 //   - abort (rolling back; readers on the old ring): the mirror image —
-//     inserts to the old owner only, deletes cover both.
+//     inserts to the old owner only, deletes cover both, old owner
+//     first.
 func (r *Router) writeTargets(rel string, t value.Tuple, pos int, partitioned, del bool) []*member {
 	mig := r.mig.Load()
 	if mig == nil {
@@ -593,6 +720,11 @@ func (r *Router) writeTargets(rel string, t value.Tuple, pos int, partitioned, d
 		oldM := mig.oldMembers[mig.oldRing.OwnerOf(t[pos])]
 		newM := mig.newMembers[mig.newRing.OwnerOf(t[pos])]
 		switch {
+		case del && phase == phaseCleanup:
+			if oldM == newM {
+				return []*member{newM}
+			}
+			return []*member{newM, oldM}
 		case del || phase == phaseCopy:
 			if oldM == newM {
 				return []*member{oldM}
@@ -647,6 +779,10 @@ func (r *Router) AddConstraints(cs ...access.Constraint) error {
 	}
 	r.cmu.Lock()
 	defer r.cmu.Unlock()
+	// Drain the apply queue first: the replica is the validation oracle,
+	// and its index build must see every write acknowledged before this
+	// call.
+	r.aq.fenceAll()
 	if err := r.ref.AddConstraints(cs...); err != nil {
 		return err
 	}
@@ -664,6 +800,7 @@ func (r *Router) AddConstraints(cs ...access.Constraint) error {
 func (r *Router) RemoveConstraint(c access.Constraint) bool {
 	r.cmu.Lock()
 	defer r.cmu.Unlock()
+	r.aq.fenceAll()
 	found := r.ref.RemoveConstraint(c)
 	for _, eng := range r.shardEnginesLocked() {
 		if eng.RemoveConstraint(c) {
@@ -738,18 +875,34 @@ func (r *Router) SetPlanCacheCapacity(capacity int) {
 }
 
 // DBSize returns the logical |D|: the replica's size, which counts every
-// tuple exactly once regardless of replication.
-func (r *Router) DBSize() int64 { return r.ref.DBSize() }
+// tuple exactly once regardless of replication. It drains the apply queue
+// first so acknowledged writes are counted.
+func (r *Router) DBSize() int64 {
+	r.aq.fenceAll()
+	return r.ref.DBSize()
+}
 
-// IndexEntries returns the logical |I_A|, measured on the replica.
-func (r *Router) IndexEntries() int64 { return r.ref.IndexEntries() }
+// IndexEntries returns the logical |I_A|, measured on the replica after
+// draining the apply queue.
+func (r *Router) IndexEntries() int64 {
+	r.aq.fenceAll()
+	return r.ref.IndexEntries()
+}
+
+// ApplyQueueStats returns an observability snapshot of the replica apply
+// pipeline: backlog depth (watermark lag), batching counters and store
+// errors. Surfaced by GET /stats for operators watching the write path.
+func (r *Router) ApplyQueueStats() ApplyQueueStats { return r.aq.stats() }
 
 // RouteStats counts routing decisions since the router was built.
 type RouteStats struct {
 	// Single counts queries answered by exactly one shard (unpartitioned
-	// queries and the covered-access fast path; a mid-migration
-	// double-routed read still counts once here).
+	// queries and the covered-access fast path).
 	Single int64
+	// Double counts keyed fast-path reads that double-routed to the key's
+	// owner under both rings of an in-flight migration — each one is a
+	// two-owner gather, not a single-shard execution.
+	Double int64
 	// Scattered counts scatter/gather executions (each runs on every
 	// shard).
 	Scattered int64
@@ -761,6 +914,7 @@ type RouteStats struct {
 func (r *Router) RouteStats() RouteStats {
 	return RouteStats{
 		Single:    r.routed[routeSingle].Load(),
+		Double:    r.doubled.Load(),
 		Scattered: r.routed[routeScatter].Load(),
 		Fallback:  r.routed[routeFallback].Load(),
 	}

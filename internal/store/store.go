@@ -137,6 +137,11 @@ func (db *DB) ResetCounter() {
 func (db *DB) Insert(rel string, t value.Tuple) (bool, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.insertLocked(rel, t)
+}
+
+// insertLocked is Insert inside the write critical section.
+func (db *DB) insertLocked(rel string, t value.Tuple) (bool, error) {
 	r, err := db.rel(rel)
 	if err != nil {
 		return false, err
@@ -162,6 +167,11 @@ func (db *DB) Insert(rel string, t value.Tuple) (bool, error) {
 func (db *DB) Delete(rel string, t value.Tuple) (bool, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.deleteLocked(rel, t)
+}
+
+// deleteLocked is Delete inside the write critical section.
+func (db *DB) deleteLocked(rel string, t value.Tuple) (bool, error) {
 	r, err := db.rel(rel)
 	if err != nil {
 		return false, err
@@ -177,6 +187,47 @@ func (db *DB) Delete(rel string, t value.Tuple) (bool, error) {
 		}
 	}
 	return true, nil
+}
+
+// TupleOp is one tuple write in an ApplyBatch batch.
+type TupleOp struct {
+	// Rel is the target relation.
+	Rel string
+	// T is the tuple to insert or delete.
+	T value.Tuple
+	// Del selects delete (true) or insert (false).
+	Del bool
+}
+
+// ApplyBatch applies ops in order under a single acquisition of the write
+// lock, maintaining every index incrementally exactly like Insert and
+// Delete. It exists for batched appliers (the replica apply queue of
+// internal/shard) that turn O(writes) lock acquisitions into O(batches):
+// one call costs one exclusive lock round regardless of batch size, and
+// readers are blocked once per batch instead of once per tuple.
+//
+// Every op is attempted even after a failure (ops are independent
+// per-tuple writes, and a batched applier must converge on the applicable
+// suffix); the first error is returned.
+func (db *DB) ApplyBatch(ops []TupleOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var first error
+	for _, op := range ops {
+		var err error
+		if op.Del {
+			_, err = db.deleteLocked(op.Rel, op.T)
+		} else {
+			_, err = db.insertLocked(op.Rel, op.T)
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // BulkLoad inserts many tuples into rel.

@@ -2,6 +2,7 @@ package store
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/access"
@@ -272,5 +273,61 @@ func TestMaxFanTracksLargestBucket(t *testing.T) {
 	db.Insert("r", value.Tuple{iv(2), iv(0), iv(0)}) //nolint:errcheck
 	if idx.MaxFan != 5 {
 		t.Errorf("MaxFan = %d, want 5", idx.MaxFan)
+	}
+}
+
+// TestApplyBatch pins the batched write entry point: ops apply in order
+// under one lock round with full incremental index maintenance, a bad op
+// reports its error without aborting the applicable suffix, and set
+// semantics match Insert/Delete exactly.
+func TestApplyBatch(t *testing.T) {
+	db := NewDB(testSchema())
+	c := access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 100}
+	idx, err := db.BuildIndex(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := func(a, b, cc int) value.Tuple { return value.Tuple{iv(a), iv(b), iv(cc)} }
+	err = db.ApplyBatch([]TupleOp{
+		{Rel: "r", T: tup(1, 10, 0)},            // insert
+		{Rel: "r", T: tup(1, 10, 0)},            // duplicate: no-op
+		{Rel: "r", T: tup(2, 20, 0)},            // insert
+		{Rel: "r", T: tup(1, 10, 0), Del: true}, // delete the first
+		{Rel: "zzz", T: tup(0, 0, 0)},           // unknown relation: error
+		{Rel: "r", T: tup(3, 30, 0)},            // still applied after the error
+		{Rel: "r", T: tup(9, 90, 0), Del: true}, // delete of absent: no-op
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown relation") {
+		t.Fatalf("ApplyBatch error = %v, want the unknown-relation failure", err)
+	}
+	if db.Size() != 2 {
+		t.Fatalf("Size = %d after batch, want 2", db.Size())
+	}
+	for _, want := range []struct {
+		t  value.Tuple
+		ok bool
+	}{
+		{tup(1, 10, 0), false},
+		{tup(2, 20, 0), true},
+		{tup(3, 30, 0), true},
+	} {
+		ok, err := db.Has("r", want.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != want.ok {
+			t.Errorf("Has(%v) = %v, want %v", want.t, ok, want.ok)
+		}
+	}
+	// Indices were maintained inside the same critical section.
+	if idx.Entries() != 2 {
+		t.Errorf("index entries = %d after batch, want 2", idx.Entries())
+	}
+	rows, err := db.Fetch(c, value.Tuple{iv(2)})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("Fetch after batch: rows=%v err=%v", rows, err)
+	}
+	if err := db.ApplyBatch(nil); err != nil {
+		t.Errorf("empty batch errored: %v", err)
 	}
 }
