@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz-smoke bench-serve bench-shard docs-check
+.PHONY: check build vet test race fuzz-smoke bench-serve bench-shard bench-durable docs-check
 
 # check is the full CI pipeline: compile, vet, race-enabled tests, a short
 # fuzz smoke of the parser and canonicalizer, and the documentation gate.
@@ -19,8 +19,14 @@ vet:
 test:
 	$(GO) test -shuffle=on ./...
 
+# The second line pins the crash-recovery harness (SIGKILL mid-write-storm
+# plus a torn final record, then recovery and a differential sweep against
+# the oracle) to the race job by name: the suite above runs it too, but a
+# future -short would silently drop the subprocess test, and this line
+# would fail loudly instead.
 race:
 	$(GO) test -race -shuffle=on ./...
+	$(GO) test -race -run 'TestCrashRecovery' -v ./internal/core
 
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/parser
@@ -62,3 +68,18 @@ bench-shard:
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 2 -reshard 4
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -writemix 0.4
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 4 -writemix 0.4
+
+# bench-durable prices the write-ahead log: the same write-heavy replay
+# (40% of client ops are tuple writes) in-memory, then logging to a fresh
+# temp directory under each fsync policy. fsync=off should sit within ~10%
+# of the in-memory row (the log is a buffered sequential append);
+# fsync=interval amortizes syncs over a 50ms window; fsync=commit pays a
+# disk sync per acknowledged write and prices true no-loss durability.
+# Each row gets its own mktemp -d: the benchmark refuses a directory that
+# already holds log state.
+bench-durable:
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -writemix 0.4
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -writemix 0.4 -data-dir $$(mktemp -d) -fsync off
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -writemix 0.4 -data-dir $$(mktemp -d) -fsync interval
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -writemix 0.4 -data-dir $$(mktemp -d) -fsync commit
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 4 -writemix 0.4 -data-dir $$(mktemp -d) -fsync interval

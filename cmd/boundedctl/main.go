@@ -58,6 +58,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/sqlgen"
 	"repro/internal/store"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -81,30 +82,37 @@ func main() {
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "http: per-request timeout")
 	maxInFlight := flag.Int("maxinflight", 0, "http: max concurrent queries (unset = 4×GOMAXPROCS, <0 = unlimited)")
 	maxRows := flag.Int("maxrows", server.DefaultMaxRows, "http: default row cap per response (<0 = unlimited)")
+	dataDir := flag.String("data-dir", "", "serve/http: durable data directory (write-ahead log + checkpoints; empty = in-memory)")
+	fsync := flag.String("fsync", "", "serve/http: log sync policy: off, interval or commit (needs -data-dir; unset = off)")
+	checkpointEvery := flag.Int64("checkpoint-every", 0, "serve/http: checkpoint every N logged records (needs -data-dir; unset = the engine default)")
 	flag.Parse()
 
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if err := validateFlags(*op, explicit, cliFlags{
-		Shards:      *shards,
-		ReshardTo:   *reshardTo,
-		Transport:   *transport,
-		WriteMix:    *writeMix,
-		Scale:       *scale,
-		PoolSize:    *poolSize,
-		Clients:     *clients,
-		Writers:     *writers,
-		Ops:         *ops,
-		MaxInFlight: *maxInFlight,
-		Timeout:     *timeout,
+		Shards:          *shards,
+		ReshardTo:       *reshardTo,
+		Transport:       *transport,
+		WriteMix:        *writeMix,
+		Scale:           *scale,
+		PoolSize:        *poolSize,
+		Clients:         *clients,
+		Writers:         *writers,
+		Ops:             *ops,
+		MaxInFlight:     *maxInFlight,
+		Timeout:         *timeout,
+		DataDir:         *dataDir,
+		Fsync:           *fsync,
+		CheckpointEvery: *checkpointEvery,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "boundedctl:", err)
 		os.Exit(2)
 	}
 
+	durable := durableConfig(*dataDir, *fsync, *checkpointEvery)
 	switch *op {
 	case "serve":
-		if err := serve(*dataset, *transport, *shards, *reshardTo, *scale, *seed, *clients, *writers, *ops, *zipf, *poolSize, *cacheSize, *writeMix); err != nil {
+		if err := serve(*dataset, *transport, *shards, *reshardTo, *scale, *seed, *clients, *writers, *ops, *zipf, *poolSize, *cacheSize, *writeMix, durable); err != nil {
 			fmt.Fprintln(os.Stderr, "boundedctl:", err)
 			os.Exit(1)
 		}
@@ -114,7 +122,7 @@ func main() {
 			os.Exit(1)
 		}
 	case "http":
-		if err := serveHTTP(*dataset, *shards, *scale, *seed, *addr, *timeout, *maxInFlight, *maxRows, *cacheSize); err != nil {
+		if err := serveHTTP(*dataset, *shards, *scale, *seed, *addr, *timeout, *maxInFlight, *maxRows, *cacheSize, durable); err != nil {
 			fmt.Fprintln(os.Stderr, "boundedctl:", err)
 			os.Exit(1)
 		}
@@ -139,6 +147,24 @@ type cliFlags struct {
 	Ops         int
 	MaxInFlight int
 	Timeout     time.Duration
+
+	// Durability flags (serve and http only).
+	DataDir         string
+	Fsync           string
+	CheckpointEvery int64
+}
+
+// durableConfig assembles the core.DurableConfig the serving operations
+// pass down; the zero Dir means in-memory. validateFlags has already
+// vetted the combination, so the fsync parse cannot fail here.
+func durableConfig(dataDir, fsync string, checkpointEvery int64) core.DurableConfig {
+	cfg := core.DurableConfig{Dir: dataDir, CheckpointEvery: checkpointEvery}
+	if fsync != "" {
+		if p, err := wal.ParsePolicy(fsync); err == nil {
+			cfg.WAL.Fsync = p
+		}
+	}
+	return cfg
 }
 
 // validateFlags rejects nonsense flag values and combinations up front,
@@ -152,6 +178,30 @@ func validateFlags(op string, explicit map[string]bool, f cliFlags) error {
 	}
 	if explicit["timeout"] && f.Timeout <= 0 {
 		return fmt.Errorf("-timeout must be positive, got %v", f.Timeout)
+	}
+	serving := op == "serve" || op == "http"
+	if !serving {
+		for _, name := range []string{"data-dir", "fsync", "checkpoint-every"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s only applies to -op serve and -op http, not -op %s", name, op)
+			}
+		}
+	}
+	if f.Fsync != "" {
+		if _, err := wal.ParsePolicy(f.Fsync); err != nil {
+			return fmt.Errorf("-fsync %q: want off, interval or commit", f.Fsync)
+		}
+		if f.DataDir == "" {
+			return fmt.Errorf("-fsync %s needs -data-dir: the sync policy applies to the write-ahead log", f.Fsync)
+		}
+	}
+	if explicit["checkpoint-every"] {
+		if f.CheckpointEvery <= 0 {
+			return fmt.Errorf("-checkpoint-every must be > 0 (records between checkpoints), got %d", f.CheckpointEvery)
+		}
+		if f.DataDir == "" {
+			return fmt.Errorf("-checkpoint-every needs -data-dir: checkpoints belong to the write-ahead log")
+		}
 	}
 	switch op {
 	case "reshard":
@@ -198,7 +248,7 @@ func validateFlags(op string, explicit map[string]bool, f cliFlags) error {
 	return nil
 }
 
-func serve(dataset, transport string, shards, reshardTo int, scale float64, seed int64, clients, writers, ops int, zipf float64, poolSize, cacheSize int, writeMix float64) error {
+func serve(dataset, transport string, shards, reshardTo int, scale float64, seed int64, clients, writers, ops int, zipf float64, poolSize, cacheSize int, writeMix float64, durable core.DurableConfig) error {
 	cfg := bench.DefaultServeConfig()
 	cfg.Dataset = dataset
 	cfg.Transport = transport
@@ -213,6 +263,7 @@ func serve(dataset, transport string, shards, reshardTo int, scale float64, seed
 	cfg.PoolSize = poolSize
 	cfg.CacheSize = cacheSize
 	cfg.WriteMix = writeMix
+	cfg.Durable = durable
 	res, err := bench.Serve(cfg)
 	if err != nil {
 		return err
@@ -247,30 +298,58 @@ func reshard(addr string, target int, timeout time.Duration) error {
 
 // serveHTTP loads the dataset with data, builds the serving layer — a
 // single engine, or the scatter/gather router over N of them when shards
-// is positive — and serves it over the HTTP/JSON front end until
-// SIGINT/SIGTERM, then shuts down gracefully, draining in-flight
-// requests.
-func serveHTTP(dataset string, shards int, scale float64, seed int64, addr string, timeout time.Duration, maxInFlight, maxRows, cacheSize int) error {
-	schema, A, db, err := load(dataset, scale, seed, true)
+// is positive; durable when -data-dir is set — and serves it over the
+// HTTP/JSON front end until SIGINT/SIGTERM, then shuts down gracefully,
+// draining in-flight requests and closing the write-ahead log. A durable
+// directory that already holds state wins over the generated dataset:
+// the server recovers it and serves the recovered database.
+func serveHTTP(dataset string, shards int, scale float64, seed int64, addr string, timeout time.Duration, maxInFlight, maxRows, cacheSize int, durable core.DurableConfig) error {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	recovering := durable.Dir != "" && wal.HasState(durable.Dir)
+	var (
+		schema ra.Schema
+		A      *access.Schema
+		db     *store.DB
+		err    error
+	)
+	if recovering {
+		// Recovery replaces the generated seed; only the schema is needed.
+		schema, _, _, err = load(dataset, scale, seed, false)
+		logger.Info("recovering durable state", "dir", durable.Dir)
+	} else {
+		schema, A, db, err = load(dataset, scale, seed, true)
+	}
 	if err != nil {
 		return err
 	}
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	var svc core.Service
+	var closer interface{ Close() error }
 	if shards > 0 {
-		keys := shardKeys(dataset)
-		router, err := shard.New(schema, A, db, shard.Spec{
+		spec := shard.Spec{
 			Shards:        shards,
-			Keys:          keys,
+			Keys:          shardKeys(dataset),
 			PlanCacheSize: cacheSize,
-		})
+		}
+		var router *shard.Router
+		if durable.Dir != "" {
+			router, err = shard.OpenDurable(schema, A, db, spec, durable)
+			closer = router
+		} else {
+			router, err = shard.New(schema, A, db, spec)
+		}
 		if err != nil {
 			return err
 		}
 		logger.Info("sharded cluster built", "router", router.String())
 		svc = router
 	} else {
-		eng, err := core.NewEngine(schema, A, db)
+		var eng *core.Engine
+		if durable.Dir != "" {
+			eng, err = core.OpenDurable(schema, A, db, durable)
+			closer = eng
+		} else {
+			eng, err = core.NewEngine(schema, A, db)
+		}
 		if err != nil {
 			return err
 		}
@@ -278,6 +357,13 @@ func serveHTTP(dataset string, shards int, scale float64, seed int64, addr strin
 			eng.SetPlanCacheCapacity(cacheSize)
 		}
 		svc = eng
+	}
+	if closer != nil {
+		defer func() {
+			if err := closer.Close(); err != nil {
+				logger.Error("closing write-ahead log", "err", err)
+			}
+		}()
 	}
 	srv := server.New(svc, server.Config{
 		Addr:           addr,
@@ -291,8 +377,8 @@ func serveHTTP(dataset string, shards int, scale float64, seed int64, addr strin
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Start() }()
-	logger.Info("dataset loaded", "dataset", dataset, "tuples", db.Size(),
-		"constraints", A.Len())
+	logger.Info("dataset loaded", "dataset", dataset, "tuples", svc.DBSize(),
+		"constraints", svc.AccessSnapshot().Len(), "durable", durable.Dir != "")
 
 	select {
 	case err := <-errCh:

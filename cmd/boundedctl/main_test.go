@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/core"
 )
 
 const q1 = "q(cid) :- friend(0,f), dine(f,cid,5,2015), cafe(cid,'nyc')"
@@ -32,25 +34,25 @@ func TestOpsOnBenchmarkDatasets(t *testing.T) {
 }
 
 func TestOpServe(t *testing.T) {
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0); err != nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, core.DurableConfig{}); err != nil {
 		t.Fatalf("serve: %v", err)
 	}
-	if err := serve("nosuch", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0); err == nil {
+	if err := serve("nosuch", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0, core.DurableConfig{}); err == nil {
 		t.Error("serve accepted an unknown dataset")
 	}
-	if err := serve("AIRCA", "carrier-pigeon", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0); err == nil {
+	if err := serve("AIRCA", "carrier-pigeon", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0, core.DurableConfig{}); err == nil {
 		t.Error("serve accepted an unknown transport")
 	}
 }
 
 func TestOpServeHTTPTransport(t *testing.T) {
-	if err := serve("AIRCA", "http", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0); err != nil {
+	if err := serve("AIRCA", "http", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, core.DurableConfig{}); err != nil {
 		t.Fatalf("serve -transport http: %v", err)
 	}
 }
 
 func TestOpServeShardedTransport(t *testing.T) {
-	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, core.DurableConfig{}); err != nil {
 		t.Fatalf("serve -transport sharded: %v", err)
 	}
 }
@@ -79,10 +81,10 @@ func TestErrors(t *testing.T) {
 }
 
 func TestOpServeMidReplayReshard(t *testing.T) {
-	if err := serve("AIRCA", "sharded", 2, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, core.DurableConfig{}); err != nil {
 		t.Fatalf("serve -transport sharded -reshard 3: %v", err)
 	}
-	if err := serve("AIRCA", "engine", 0, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0); err == nil {
+	if err := serve("AIRCA", "engine", 0, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, core.DurableConfig{}); err == nil {
 		t.Error("serve accepted -reshard without a sharded layer")
 	}
 }
@@ -93,11 +95,29 @@ func TestOpReshardValidation(t *testing.T) {
 	}
 }
 
+// TestOpServeDurable drives the serving benchmark on a write-ahead-logged
+// layer, single-engine and sharded, into fresh directories. The second run
+// into the first directory must refuse: benchmarking over recovered state
+// would price replay, not serving.
+func TestOpServeDurable(t *testing.T) {
+	durable := core.DurableConfig{Dir: t.TempDir(), CheckpointEvery: -1}
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, durable); err != nil {
+		t.Fatalf("serve durable engine: %v", err)
+	}
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, durable); err == nil {
+		t.Error("serve reused a directory that already holds log state")
+	}
+	durable.Dir = t.TempDir()
+	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, durable); err != nil {
+		t.Fatalf("serve durable sharded: %v", err)
+	}
+}
+
 func TestOpServeWriteMix(t *testing.T) {
-	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.5); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.5, core.DurableConfig{}); err != nil {
 		t.Fatalf("serve -transport sharded -writemix 0.5: %v", err)
 	}
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 1.5); err == nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 1.5, core.DurableConfig{}); err == nil {
 		t.Error("serve accepted a write mix >= 1")
 	}
 }
@@ -158,6 +178,34 @@ func TestValidateFlags(t *testing.T) {
 			mod: func(f *cliFlags) { f.Scale = 0 }, wantErr: "-scale"},
 		{name: "zero scale run", op: "run",
 			mod: func(f *cliFlags) { f.Scale = 0 }, wantErr: "-scale"},
+		{name: "durable serve ok", op: "serve",
+			explicit: map[string]bool{"data-dir": true, "fsync": true},
+			mod:      func(f *cliFlags) { f.DataDir = "/var/lib/bounded"; f.Fsync = "commit" }},
+		{name: "durable http ok", op: "http",
+			explicit: map[string]bool{"data-dir": true, "checkpoint-every": true},
+			mod:      func(f *cliFlags) { f.DataDir = "/var/lib/bounded"; f.CheckpointEvery = 5000 }},
+		{name: "unknown fsync policy", op: "serve",
+			mod:     func(f *cliFlags) { f.DataDir = "/var/lib/bounded"; f.Fsync = "sometimes" },
+			wantErr: "-fsync"},
+		{name: "fsync without data-dir", op: "serve",
+			mod:     func(f *cliFlags) { f.Fsync = "commit" },
+			wantErr: "-data-dir"},
+		{name: "explicit checkpoint-every zero", op: "http",
+			explicit: map[string]bool{"checkpoint-every": true},
+			mod:      func(f *cliFlags) { f.DataDir = "/var/lib/bounded"; f.CheckpointEvery = 0 },
+			wantErr:  "-checkpoint-every"},
+		{name: "checkpoint-every without data-dir", op: "serve",
+			explicit: map[string]bool{"checkpoint-every": true},
+			mod:      func(f *cliFlags) { f.CheckpointEvery = 5000 },
+			wantErr:  "-data-dir"},
+		{name: "data-dir on check op", op: "check",
+			explicit: map[string]bool{"data-dir": true},
+			mod:      func(f *cliFlags) { f.DataDir = "/var/lib/bounded" },
+			wantErr:  "-data-dir only applies"},
+		{name: "fsync on reshard op", op: "reshard",
+			explicit: map[string]bool{"fsync": true},
+			mod:      func(f *cliFlags) { f.Shards = 2; f.DataDir = "/var/lib/bounded"; f.Fsync = "commit" },
+			wantErr:  "-fsync only applies"},
 	}
 	for _, tc := range cases {
 		f := base()

@@ -14,7 +14,9 @@
 // docs/OPERATIONS.md), internal/cache (the plan-cache semantics every
 // invariant rests on), internal/core (the engine surface the router and
 // front end build on), internal/store (the storage substrate, including
-// the batched write entry point the replica apply queue relies on) and
+// the batched write entry point the replica apply queue relies on),
+// internal/wal (the durability contract: framing, LSN and recovery
+// semantics operators rely on when data is on the line) and
 // internal/bench (the replay benchmark operators quote numbers from).
 // Everything else under internal/ may evolve faster, but its
 // package-level story must always be told.
@@ -45,6 +47,7 @@ var strictDirs = map[string]bool{
 	"internal/cache":  true,
 	"internal/core":   true,
 	"internal/store":  true,
+	"internal/wal":    true,
 	"internal/bench":  true,
 }
 

@@ -32,6 +32,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/value"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -80,6 +81,13 @@ type ServeConfig struct {
 	// queue asynchronously. 0 keeps the replay read-only apart from the
 	// background Writers churn.
 	WriteMix float64
+	// Durable, when Dir is set, serves a crash-safe engine (or router)
+	// that write-ahead-logs every tuple op to that directory before
+	// acknowledging it, pricing durability against the in-memory write
+	// path. The directory must be fresh — benchmarking over recovered
+	// state would measure replay, not serving. Combine with WriteMix to
+	// make the fsync policy visible in throughput.
+	Durable core.DurableConfig
 }
 
 // DefaultShards is the partition count used by the sharded transport when
@@ -152,6 +160,10 @@ type ServeResult struct {
 	// Apply is the replica apply-queue snapshot at the end of a sharded
 	// run: Enqueued/Batches is the realized write coalescing.
 	Apply shard.ApplyQueueStats
+	// Durability is the write-ahead-log snapshot at the end of a durable
+	// run (nil when the serving layer is in-memory). QPS here vs an
+	// in-memory run with the same WriteMix prices the logging policy.
+	Durability *wal.Stats
 	// ColdLatency is the Execute latency floor (minimum over probes,
 	// averaged across the probe set) with the plan cache bypassed — the
 	// full compile pipeline; HotLatency the same floor for a plan-cache
@@ -187,6 +199,15 @@ func (r *ServeResult) Format(w io.Writer) {
 		avg := float64(r.Apply.Enqueued) / float64(max(r.Apply.Batches, 1))
 		fmt.Fprintf(w, "replica apply\t%d ops in %d batches (avg %.1f ops/lock), max batch %d, depth %d at end\n",
 			r.Apply.Enqueued, r.Apply.Batches, avg, r.Apply.MaxBatch, r.Apply.Depth)
+	}
+	if r.Durability != nil {
+		d := r.Durability
+		fmt.Fprintf(w, "durability\tfsync=%s  %d wal appends to lsn %d, %d segments (%d bytes), %d checkpoints\n",
+			d.Fsync, d.Appends, d.LastLSN, d.Segments, d.SegmentBytes, d.Checkpoints)
+		if d.Fsyncs > 0 {
+			mean := float64(d.FsyncTotalMicros) / float64(d.Fsyncs)
+			fmt.Fprintf(w, "fsync\t%d calls, mean %.0fµs\n", d.Fsyncs, mean)
+		}
 	}
 	fmt.Fprintf(w, "latency floor\tcold %v  hot %v  speedup %.1fx\n",
 		r.ColdLatency, r.HotLatency, r.Speedup)
@@ -234,6 +255,12 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if cfg.ReshardTo > 0 && shards < 1 {
 		return nil, fmt.Errorf("bench: ReshardTo needs a sharded serving layer (set Shards or the sharded transport)")
 	}
+	durable := cfg.Durable.Dir != ""
+	if durable && wal.HasState(cfg.Durable.Dir) {
+		// Opening existing state would replay it into the generated
+		// dataset — the run would price recovery, not serving.
+		return nil, fmt.Errorf("bench: durable dir %s already holds log state; point the benchmark at a fresh directory", cfg.Durable.Dir)
+	}
 	d, err := workload.ByName(cfg.Dataset)
 	if err != nil {
 		return nil, err
@@ -242,7 +269,15 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := core.NewEngine(d.Schema, d.Access, db)
+	// The serving engine: durable when a log directory is set and the
+	// layer is unsharded (a sharded durable layer logs at the router
+	// instead, and eng stays a plain probe engine over the same db).
+	var eng *core.Engine
+	if durable && shards == 0 {
+		eng, err = core.OpenDurable(d.Schema, d.Access, db, cfg.Durable)
+	} else {
+		eng, err = core.NewEngine(d.Schema, d.Access, db)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -260,11 +295,16 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	var svc core.Service = eng
 	var router *shard.Router
 	if shards > 0 {
-		router, err = shard.New(d.Schema, d.Access, db, shard.Spec{
+		spec := shard.Spec{
 			Shards:        shards,
 			Keys:          d.ShardKeys,
 			PlanCacheSize: cfg.CacheSize,
-		})
+		}
+		if durable {
+			router, err = shard.OpenDurable(d.Schema, d.Access, db, spec, cfg.Durable)
+		} else {
+			router, err = shard.New(d.Schema, d.Access, db, spec)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -445,6 +485,26 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		Entries:   after.Entries,
 	}
 	res.HitRate = res.Cache.HitRate()
+	if durable {
+		// Snapshot the log counters before Close seals the segments, then
+		// close cleanly: an append/fsync failure the replay never saw
+		// (because SyncInterval absorbs it) still surfaces as an error.
+		if router != nil {
+			if st, ok := router.DurabilityStats(); ok {
+				res.Durability = &st
+			}
+			if err := router.Close(); err != nil {
+				return nil, fmt.Errorf("bench: closing durable router: %w", err)
+			}
+		} else {
+			if st, ok := eng.DurabilityStats(); ok {
+				res.Durability = &st
+			}
+			if err := eng.Close(); err != nil {
+				return nil, fmt.Errorf("bench: closing durable engine: %w", err)
+			}
+		}
+	}
 	return res, nil
 }
 

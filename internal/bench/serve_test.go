@@ -3,6 +3,9 @@ package bench
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/wal"
 )
 
 // TestServe runs the serving benchmark at test scale and checks the
@@ -269,5 +272,90 @@ func TestServeWriteMixSharded(t *testing.T) {
 	res.Format(&sb)
 	if !strings.Contains(sb.String(), "replica apply") {
 		t.Errorf("report missing the replica apply line:\n%s", sb.String())
+	}
+}
+
+// TestServeDurable replays a write-heavy mix against a write-ahead-logged
+// serving layer, single-engine then sharded, and checks the report carries
+// the durability rows that price the logging policy.
+func TestServeDurable(t *testing.T) {
+	base := DefaultServeConfig()
+	base.Scale = 0.03
+	base.Ops = 1200
+	base.Clients = 4
+	base.Writers = 1
+	base.PoolSize = 16
+	base.LatencyProbes = 5
+	base.WriteMix = 0.3
+
+	for _, tc := range []struct {
+		name      string
+		transport string
+		shards    int
+		fsync     wal.Policy
+	}{
+		{name: "engine", transport: TransportEngine, fsync: wal.SyncOff},
+		{name: "sharded", transport: TransportSharded, shards: 2, fsync: wal.SyncInterval},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			cfg.Transport = tc.transport
+			cfg.Shards = tc.shards
+			cfg.Durable = core.DurableConfig{
+				Dir:             t.TempDir(),
+				CheckpointEvery: -1,
+				WAL:             wal.Options{Fsync: tc.fsync},
+			}
+			res, err := Serve(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Errors != 0 {
+				t.Fatalf("%d serving errors on the durable layer", res.Errors)
+			}
+			if res.WriteOps == 0 {
+				t.Fatal("WriteMix produced no client write ops")
+			}
+			if res.Durability == nil {
+				t.Fatal("durable run reports no Durability stats")
+			}
+			if res.Durability.Appends < 2*res.WriteOps {
+				t.Errorf("only %d wal appends for %d delete+reinsert write ops",
+					res.Durability.Appends, res.WriteOps)
+			}
+			if res.Durability.LastLSN == 0 || res.Durability.Segments == 0 {
+				t.Errorf("implausible log state: %+v", res.Durability)
+			}
+			var sb strings.Builder
+			res.Format(&sb)
+			if !strings.Contains(sb.String(), "durability\tfsync="+tc.fsync.String()) {
+				t.Errorf("report missing the durability row:\n%s", sb.String())
+			}
+
+			// Reusing the directory must refuse: the benchmark would
+			// otherwise price recovery replay as serving.
+			if _, err := Serve(cfg); err == nil {
+				t.Error("Serve accepted a directory that already holds log state")
+			}
+		})
+	}
+}
+
+// TestServeInMemoryReportsNoDurability pins the default: without a log
+// directory the result carries no durability block.
+func TestServeInMemoryReportsNoDurability(t *testing.T) {
+	cfg := DefaultServeConfig()
+	cfg.Scale = 0.02
+	cfg.Ops = 200
+	cfg.Clients = 2
+	cfg.Writers = 1
+	cfg.PoolSize = 8
+	cfg.LatencyProbes = 2
+	res, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Durability != nil {
+		t.Fatalf("in-memory run reports durability stats: %+v", res.Durability)
 	}
 }

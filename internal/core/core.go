@@ -24,6 +24,7 @@ import (
 	"repro/internal/sqlgen"
 	"repro/internal/store"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 // DefaultPlanCacheSize is the capacity (entries) of the plan cache built by
@@ -60,6 +61,26 @@ type Engine struct {
 	// plans caches compiled queries by canonical fingerprint. nil disables
 	// caching (the zero Engine still works).
 	plans *cache.Cache
+
+	// wal, when non-nil, makes the engine durable (see OpenDurable): every
+	// mutation is appended to the log before it is acknowledged. All other
+	// durability fields are meaningful only when wal is set.
+	wal *wal.Log
+	// ckEvery triggers a background checkpoint every ckEvery appends.
+	ckEvery int64
+	// ckmu is the checkpoint barrier: every durable mutation holds it
+	// shared across its append+apply pair, so Checkpoint (exclusive) can
+	// read a log position W with no mutation in flight — the snapshot it
+	// then saves is guaranteed to contain every op ≤ W. Ops > W may leak
+	// into the snapshot after the barrier drops; that is harmless because
+	// replay is idempotent and in-order (re-applying them converges).
+	ckmu sync.RWMutex
+	// wstripes orders append vs apply per tuple: the stripe lock is held
+	// across both, so the log order of two writes to the same tuple always
+	// matches their store order (writes to different tuples commute).
+	wstripes [64]sync.Mutex
+	// ckBusy ensures at most one background checkpoint runs at a time.
+	ckBusy atomic.Bool
 }
 
 // Options tunes query processing.
@@ -470,6 +491,10 @@ func (e *Engine) AddConstraints(cs ...access.Constraint) error {
 			return err
 		}
 	}
+	if e.wal != nil {
+		e.ckmu.RLock()
+		defer e.ckmu.RUnlock()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	next := access.NewSchema(e.acc.Constraints...)
@@ -500,6 +525,15 @@ func (e *Engine) AddConstraints(cs ...access.Constraint) error {
 	if len(built) > 0 {
 		e.acc = next
 		e.invalidateLocked()
+		if e.wal != nil {
+			for _, c := range built {
+				if _, err := e.wal.Append(wal.Record{Kind: wal.KindAddConstraint, Con: c}); err != nil {
+					// The constraint is installed but not logged; the log
+					// retains the error and Health reports degraded.
+					return err
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -509,6 +543,10 @@ func (e *Engine) AddConstraints(cs ...access.Constraint) error {
 // use the dropped index must never be served again. It reports whether the
 // constraint was present.
 func (e *Engine) RemoveConstraint(c access.Constraint) bool {
+	if e.wal != nil {
+		e.ckmu.RLock()
+		defer e.ckmu.RUnlock()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	kept := make([]access.Constraint, 0, len(e.acc.Constraints))
@@ -529,6 +567,12 @@ func (e *Engine) RemoveConstraint(c access.Constraint) bool {
 	e.invalidateLocked()
 	e.acc = access.NewSchema(kept...)
 	e.db.DropIndex(c)
+	if e.wal != nil {
+		// Log after apply, still under the engine lock and the checkpoint
+		// barrier; an append failure is retained by the log and surfaced
+		// through Health.
+		_, _ = e.wal.Append(wal.Record{Kind: wal.KindRemoveConstraint, Con: c})
+	}
 	return true
 }
 
@@ -537,11 +581,27 @@ func (e *Engine) RemoveConstraint(c access.Constraint) bool {
 // (Proposition 12), so this neither invalidates the plan cache nor blocks
 // concurrent executions beyond the store's own write lock.
 func (e *Engine) Insert(rel string, t value.Tuple) (bool, error) {
+	if e.wal != nil {
+		return e.durableWrite(rel, t, false)
+	}
 	return e.db.Insert(rel, t)
 }
 
 // Delete removes a tuple from the database. Like Insert, it keeps every
 // cached plan valid via incremental index maintenance.
 func (e *Engine) Delete(rel string, t value.Tuple) (bool, error) {
+	if e.wal != nil {
+		return e.durableWrite(rel, t, true)
+	}
 	return e.db.Delete(rel, t)
+}
+
+// ApplyBatch applies a batch of tuple writes in order under a single store
+// lock acquisition (see store.DB.ApplyBatch). In durable mode every op is
+// logged before the batch is acknowledged.
+func (e *Engine) ApplyBatch(ops []store.TupleOp) error {
+	if e.wal != nil {
+		return e.durableApplyBatch(ops)
+	}
+	return e.db.ApplyBatch(ops)
 }

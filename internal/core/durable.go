@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/access"
+	"repro/internal/ra"
+	"repro/internal/store"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// DefaultCheckpointEvery is the checkpoint cadence (in logged records)
+// used when DurableConfig.CheckpointEvery is zero. It bounds recovery
+// replay to at most this many records on top of a snapshot load.
+const DefaultCheckpointEvery = 10000
+
+// DurableConfig configures the durable mode of an engine or a sharded
+// router: where the write-ahead log lives, how it syncs, and how often the
+// store is checkpointed.
+type DurableConfig struct {
+	// Dir is the data directory holding log segments and checkpoints.
+	Dir string
+	// WAL tunes the log (fsync policy, segment size).
+	WAL wal.Options
+	// CheckpointEvery writes a checkpoint every that many logged records
+	// (DefaultCheckpointEvery when zero; negative disables automatic
+	// checkpoints — Checkpoint can still be called explicitly).
+	CheckpointEvery int64
+}
+
+// Every resolves the effective checkpoint cadence: the default when
+// CheckpointEvery is zero, disabled (0) when it is negative.
+func (c DurableConfig) Every() int64 {
+	if c.CheckpointEvery == 0 {
+		return DefaultCheckpointEvery
+	}
+	if c.CheckpointEvery < 0 {
+		return 0
+	}
+	return c.CheckpointEvery
+}
+
+// OpenDurable opens (or creates) a durable engine backed by the log in
+// cfg.Dir. When the directory holds prior state, db and A are IGNORED in
+// favor of recovery: the newest loadable checkpoint is loaded, the log
+// suffix past it is replayed, and indices are rebuilt once in O(|D|). On a
+// fresh directory the provided db and A are adopted and an initial
+// checkpoint is written immediately, so the seed data is durable before
+// the first write is acknowledged.
+func OpenDurable(schema ra.Schema, A *access.Schema, db *store.DB, cfg DurableConfig) (*Engine, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("core: durable engine needs a data directory")
+	}
+	rec, err := wal.RecoverDB(cfg.Dir, schema)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Found {
+		db = rec.DB
+		A = access.NewSchema(rec.Constraints...)
+	} else if A == nil {
+		A = access.NewSchema()
+	}
+	log, err := wal.Open(cfg.Dir, cfg.WAL)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := NewEngine(schema, A, db)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	eng.wal = log
+	eng.ckEvery = cfg.Every()
+	if !rec.Found {
+		if err := log.WriteCheckpoint(log.LastLSN(), eng.db.Save); err != nil {
+			log.Close()
+			return nil, err
+		}
+	}
+	return eng, nil
+}
+
+// writeStripe picks the write-ordering stripe of a tuple.
+func writeStripe(rel string, t value.Tuple) int {
+	h := fnv.New32a()
+	h.Write([]byte(rel))
+	h.Write([]byte{0})
+	h.Write([]byte(t.Key()))
+	return int(h.Sum32() % 64)
+}
+
+// durableWrite is the log-before-acknowledge path of Insert and Delete:
+// validate, append to the log, then apply to the store, holding the
+// per-tuple stripe lock across both so log order equals apply order for
+// any single tuple.
+func (e *Engine) durableWrite(rel string, t value.Tuple, del bool) (bool, error) {
+	if err := e.validateWrite(rel, t, del); err != nil {
+		return false, err
+	}
+	e.ckmu.RLock()
+	mu := &e.wstripes[writeStripe(rel, t)]
+	mu.Lock()
+	_, err := e.wal.Append(wal.Record{Kind: wal.KindTuple, Op: store.TupleOp{Rel: rel, T: t, Del: del}})
+	if err != nil {
+		mu.Unlock()
+		e.ckmu.RUnlock()
+		return false, err
+	}
+	var changed bool
+	if del {
+		changed, err = e.db.Delete(rel, t)
+	} else {
+		changed, err = e.db.Insert(rel, t)
+	}
+	mu.Unlock()
+	e.ckmu.RUnlock()
+	e.maybeCheckpoint()
+	return changed, err
+}
+
+// validateWrite front-runs the store's own validation so that an op is
+// never logged unless replaying it will succeed: recovery treats a replay
+// failure as corruption, so the log must only ever contain applicable ops.
+func (e *Engine) validateWrite(rel string, t value.Tuple, del bool) error {
+	attrs, ok := e.schema[rel]
+	if !ok {
+		return fmt.Errorf("store: unknown relation %q", rel)
+	}
+	if !del && len(t) != len(attrs) {
+		return fmt.Errorf("store: %s expects %d values, got %d", rel, len(attrs), len(t))
+	}
+	return nil
+}
+
+// durableApplyBatch logs every op of the batch, then applies it in one
+// store lock round. All stripe locks covering the batch are held in
+// ascending order across append+apply, preserving per-tuple log/apply
+// agreement against concurrent single writes.
+func (e *Engine) durableApplyBatch(ops []store.TupleOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	for _, op := range ops {
+		if err := e.validateWrite(op.Rel, op.T, op.Del); err != nil {
+			return err
+		}
+	}
+	var stripes [64]bool
+	for _, op := range ops {
+		stripes[writeStripe(op.Rel, op.T)] = true
+	}
+	e.ckmu.RLock()
+	defer e.ckmu.RUnlock()
+	for i := range stripes {
+		if stripes[i] {
+			e.wstripes[i].Lock()
+			defer e.wstripes[i].Unlock()
+		}
+	}
+	for _, op := range ops {
+		if _, err := e.wal.Append(wal.Record{Kind: wal.KindTuple, Op: op}); err != nil {
+			return err
+		}
+	}
+	err := e.db.ApplyBatch(ops)
+	// Non-blocking: the checkpoint itself runs on a fresh goroutine and
+	// waits for this batch's locks to drop.
+	e.maybeCheckpoint()
+	return err
+}
+
+// maybeCheckpoint starts a background checkpoint when the replay debt
+// passed the configured cadence and none is already running.
+func (e *Engine) maybeCheckpoint() {
+	if e.ckEvery <= 0 || e.wal.SinceCheckpoint() < e.ckEvery {
+		return
+	}
+	if !e.ckBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer e.ckBusy.Store(false)
+		_ = e.Checkpoint() // failure is retained by the log; Health reports it
+	}()
+}
+
+// Checkpoint writes a durable, LSN-stamped snapshot of the store and
+// prunes log segments it makes dead. The checkpoint barrier (exclusive
+// ckmu) is held only to READ the log position: at that instant no durable
+// mutation is between append and apply, so the snapshot taken right after
+// contains every op at or below the stamped LSN. Concurrent writes during
+// the (long) snapshot save only add ops beyond the stamp, which replay
+// tolerates. No-op on a non-durable engine.
+func (e *Engine) Checkpoint() error {
+	if e.wal == nil {
+		return nil
+	}
+	e.ckmu.Lock()
+	lsn := e.wal.LastLSN()
+	e.ckmu.Unlock()
+	return e.wal.WriteCheckpoint(lsn, e.db.Save)
+}
+
+// Close flushes and closes the write-ahead log after waiting out in-flight
+// durable mutations. Queries remain possible; further writes fail. No-op
+// on a non-durable engine.
+func (e *Engine) Close() error {
+	if e.wal == nil {
+		return nil
+	}
+	e.ckmu.Lock()
+	defer e.ckmu.Unlock()
+	return e.wal.Close()
+}
+
+// Health reports nil while durability is intact. A non-nil error is the
+// first append, fsync or checkpoint failure the log hit — from then on
+// acknowledged writes may not be durable and the process should be
+// restarted (recovery replays the intact prefix). Always nil for a
+// non-durable engine.
+func (e *Engine) Health() error {
+	if e.wal == nil {
+		return nil
+	}
+	return e.wal.Err()
+}
+
+// DurabilityStats returns the write-ahead-log counters and ok=true when
+// the engine is durable.
+func (e *Engine) DurabilityStats() (wal.Stats, bool) {
+	if e.wal == nil {
+		return wal.Stats{}, false
+	}
+	return e.wal.Stats(), true
+}

@@ -46,6 +46,7 @@ import (
 	"repro/internal/ra"
 	"repro/internal/shard"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 // Config tunes a Server. The zero value is usable: DefaultConfig fills in
@@ -558,6 +559,21 @@ type writePather interface {
 	RouteStats() shard.RouteStats
 }
 
+// healther is implemented by core.Service implementations that can fail
+// partially (a durable engine or router whose log or apply pipeline hit
+// an error). A non-nil Health turns GET /healthz into 503 "degraded"
+// with the first retained error.
+type healther interface {
+	Health() error
+}
+
+// durabler is implemented by core.Service implementations backed by a
+// write-ahead log (core.OpenDurable, shard.OpenDurable); /stats folds
+// the log counters in for operators.
+type durabler interface {
+	DurabilityStats() (wal.Stats, bool)
+}
+
 // handleReshard is the admin endpoint for online rebalancing. It answers
 // 501 on an unsharded serving layer and 409 while another move is in
 // flight. With "wait" the move runs under the request deadline (abort on
@@ -651,11 +667,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Fallback:  rt.Fallback,
 		}
 	}
+	var duraW *DurabilityWire
+	if d, ok := s.eng.(durabler); ok {
+		if ws, on := d.DurabilityStats(); on {
+			duraW = &DurabilityWire{
+				LastLSN:       ws.LastLSN,
+				CheckpointLSN: ws.CheckpointLSN,
+				Segments:      ws.Segments,
+				SegmentBytes:  ws.SegmentBytes,
+				Appends:       ws.Appends,
+				Checkpoints:   ws.Checkpoints,
+				Fsync:         ws.Fsync,
+				Fsyncs:        ws.Fsyncs,
+			}
+			if ws.Fsyncs > 0 {
+				duraW.FsyncMeanMicros = float64(ws.FsyncTotalMicros) / float64(ws.Fsyncs)
+			}
+		}
+	}
 	cs := s.eng.CacheStats()
 	resp := StatsResponse{
 		Cache:         cacheWire(cs),
 		Apply:         applyW,
 		Routes:        routesW,
+		Durability:    duraW,
 		DBSize:        s.eng.DBSize(),
 		IndexEntries:  s.eng.IndexEntries(),
 		Version:       s.eng.Version(),
@@ -700,7 +735,20 @@ func cacheWire(cs cache.Stats) CacheStatsWire {
 	}
 }
 
-// handleHealth answers the liveness probe.
+// handleHealth answers the liveness probe: 200 "ok" normally, 503
+// "degraded" once the serving layer has retained a write-pipeline
+// failure (a replica apply rejection, or a log append/fsync/checkpoint
+// error on a durable engine). The first error sticks until restart —
+// after it, acknowledged writes may be missing from the log, so
+// orchestrators should replace the process and let recovery replay the
+// intact prefix.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if h, ok := s.eng.(healther); ok {
+		if err := h.Health(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable,
+				HealthResponse{Status: "degraded", Error: err.Error()})
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
 }

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/ra"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// durableTestEngine builds the graph-search scenario of testEngine on a
+// durable engine logging to dir.
+func durableTestEngine(t *testing.T, dir string) *core.Engine {
+	t.Helper()
+	schema := ra.Schema{
+		"friend": {"pid", "fid"},
+		"cafe":   {"cid", "city"},
+		"dine":   {"pid", "cid"},
+	}
+	A := access.NewSchema(
+		access.Constraint{Rel: "friend", X: []string{"pid"}, Y: []string{"fid"}, N: 5000},
+		access.Constraint{Rel: "dine", X: []string{"pid"}, Y: []string{"cid"}, N: 31},
+		access.Constraint{Rel: "cafe", X: []string{"cid"}, Y: []string{"city"}, N: 1},
+	)
+	db := store.NewDB(schema)
+	if _, err := db.Insert("friend", value.Tuple{value.NewInt(0), value.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.OpenDurable(schema, A, db, core.DurableConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// getJSON fetches a path from the running server and decodes the body,
+// returning the HTTP status.
+func getJSON(t *testing.T, addr, path string, dst any) int {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+// TestDurableStatsAndHealthDegradation serves a durable engine, checks
+// that /stats carries the write-ahead-log block, then breaks the log out
+// from under the server and requires /healthz to flip to 503 "degraded"
+// with the first retained error.
+func TestDurableStatsAndHealthDegradation(t *testing.T) {
+	eng := durableTestEngine(t, t.TempDir())
+	srv, c := startServer(t, eng, Config{})
+	ctx := context.Background()
+
+	var hr HealthResponse
+	if code := getJSON(t, srv.Addr(), "/healthz", &hr); code != http.StatusOK || hr.Status != "ok" {
+		t.Fatalf("healthy durable server: got %d %q", code, hr.Status)
+	}
+	if _, err := c.Insert(ctx, "dine", []value.Tuple{
+		{value.NewInt(1), value.NewInt(10)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Durability == nil {
+		t.Fatal("durable server reports no durability block in /stats")
+	}
+	if st.Durability.Fsync != "off" {
+		t.Fatalf("default fsync policy on the wire = %q, want off", st.Durability.Fsync)
+	}
+	if st.Durability.Appends < 1 || st.Durability.LastLSN < 1 {
+		t.Fatalf("insert not visible in durability stats: %+v", st.Durability)
+	}
+	if st.Durability.Checkpoints < 1 {
+		t.Fatalf("boot checkpoint not visible in durability stats: %+v", st.Durability)
+	}
+
+	// Break durability: close the log while the server keeps serving. The
+	// next write must be rejected and health must flip degraded.
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(ctx, "dine", []value.Tuple{
+		{value.NewInt(2), value.NewInt(11)},
+	}); err == nil {
+		t.Fatal("write with a dead log was acknowledged")
+	}
+	if code := getJSON(t, srv.Addr(), "/healthz", &hr); code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded server answered /healthz with %d", code)
+	}
+	if hr.Status != "degraded" || hr.Error == "" {
+		t.Fatalf("degraded health body = %+v", hr)
+	}
+	// Queries keep working while degraded: reads are served from memory.
+	if _, err := c.Query(ctx, friendQuery); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonDurableHealthUnchanged pins the default: a plain in-memory
+// engine answers /healthz 200 and reports no durability block.
+func TestNonDurableHealthUnchanged(t *testing.T) {
+	srv, c := startServer(t, testEngine(t), Config{})
+	var hr HealthResponse
+	if code := getJSON(t, srv.Addr(), "/healthz", &hr); code != http.StatusOK || hr.Status != "ok" {
+		t.Fatalf("got %d %q", code, hr.Status)
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Durability != nil {
+		t.Fatalf("in-memory engine reports durability block %+v", st.Durability)
+	}
+}

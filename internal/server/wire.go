@@ -152,6 +152,32 @@ type StatsResponse struct {
 	// Routes is the routing-decision breakdown, present only for a sharded
 	// cluster.
 	Routes *RouteStatsWire `json:"routes,omitempty"`
+	// Durability is the write-ahead-log snapshot, present only when the
+	// serving layer was started durable (-data-dir).
+	Durability *DurabilityWire `json:"durability,omitempty"`
+}
+
+// DurabilityWire is the write-ahead-log snapshot in GET /stats of a
+// durable serving layer.
+type DurabilityWire struct {
+	// LastLSN is the highest log sequence number assigned; CheckpointLSN
+	// the LSN the latest durable checkpoint covers. Their difference is
+	// the replay debt a crash right now would pay.
+	LastLSN       uint64 `json:"lastLSN"`
+	CheckpointLSN uint64 `json:"checkpointLSN"`
+	// Segments and SegmentBytes describe the live log files on disk.
+	Segments     int   `json:"segments"`
+	SegmentBytes int64 `json:"segmentBytes"`
+	// Appends counts records logged since open; Checkpoints the
+	// checkpoints written since open.
+	Appends     int64 `json:"appends"`
+	Checkpoints int64 `json:"checkpoints"`
+	// Fsync is the configured sync policy ("off", "interval", "commit");
+	// Fsyncs counts fsync calls on the append path and FsyncMeanMicros is
+	// their observed mean latency.
+	Fsync           string  `json:"fsync"`
+	Fsyncs          int64   `json:"fsyncs"`
+	FsyncMeanMicros float64 `json:"fsyncMeanMicros"`
 }
 
 // ApplyStatsWire is the replica apply-queue snapshot in GET /stats: the
@@ -258,9 +284,14 @@ type RingStatsWire struct {
 	Migration *MigrationWire `json:"migration,omitempty"`
 }
 
-// HealthResponse is the answer to GET /healthz.
+// HealthResponse is the answer to GET /healthz: Status "ok" (200), or
+// "degraded" (503) when the serving layer's write pipeline has failed —
+// Error then carries the first retained failure. A degraded durable
+// server may be missing acknowledged writes from its log and should be
+// restarted so recovery can replay the intact prefix.
 type HealthResponse struct {
 	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

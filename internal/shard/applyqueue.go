@@ -24,7 +24,15 @@
 // Each enqueue takes a ticket from a global counter; the applier's cut —
 // taken under qmu held exclusively, which excludes all enqueues — swaps
 // every lane and records the counter, so the batch contains precisely the
-// ops ticketed up to the cut. After applying a batch the applier
+// ops ticketed up to the cut.
+//
+// In durable mode the ticket space IS the write-ahead log's LSN space:
+// the enqueue appends the op to the log under its lane lock and adopts
+// the returned LSN as the ticket (the counter is advanced to it, never
+// past it). Constraint changes are logged through the same counter via
+// logRecord, so "fence(W)" uniformly means "every logged record with
+// LSN <= W has reached the replica" — which is exactly the guarantee a
+// checkpoint needs before snapshotting the replica at log position W. After applying a batch the applier
 // publishes its cut as the watermark: every op with ticket <= watermark
 // is in the replica. A replica-routed read (replica-fallback queries,
 // DBSize/IndexEntries, constraint mutations, the reshard copy phase)
@@ -48,6 +56,7 @@ import (
 
 	"repro/internal/store"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 // lane is one stripe's FIFO of pending replica writes.
@@ -64,6 +73,11 @@ type lane struct {
 // this file for the protocol.
 type applyQueue struct {
 	db *store.DB
+
+	// wal, when non-nil, makes the queue durable: every enqueued op is
+	// appended to the log first (log-before-acknowledge) and its LSN
+	// becomes the ticket.
+	wal *wal.Log
 
 	// qmu orders enqueues against the applier's cut: enqueues hold it
 	// shared (ticket assignment and lane append are one atomic step under
@@ -96,31 +110,85 @@ type applyQueue struct {
 	batches  atomic.Int64
 	maxBatch atomic.Int64
 	errors   atomic.Int64
+
+	// errmu/firstErr retain the first apply or log failure; health
+	// surfaces it so the serving layer can report degraded.
+	errmu    sync.Mutex
+	firstErr error
 }
 
-// newApplyQueue returns an idle queue applying to db.
-func newApplyQueue(db *store.DB) *applyQueue {
-	q := &applyQueue{db: db}
+// newApplyQueue returns an idle queue applying to db. A non-nil w makes
+// it durable (tickets become log LSNs).
+func newApplyQueue(db *store.DB, w *wal.Log) *applyQueue {
+	q := &applyQueue{db: db, wal: w}
 	q.fcond = sync.NewCond(&q.fmu)
 	return q
 }
 
+// maxTicket advances the ticket counter to at least v. LSNs are handed
+// out monotonically by the log, but two enqueues on different lanes may
+// publish them out of order; CAS-max keeps the counter consistent.
+func (q *applyQueue) maxTicket(v uint64) {
+	for {
+		cur := q.enq.Load()
+		if cur >= v || q.enq.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // enqueue appends one replica write to its stripe's lane and returns its
 // ticket. The caller must hold the write stripe lock for stripe, which is
-// what orders same-tuple enqueues.
-func (q *applyQueue) enqueue(stripe uint64, rel string, t value.Tuple, del bool) uint64 {
+// what orders same-tuple enqueues. In durable mode the op is appended to
+// the write-ahead log first — under the lane lock, so log order equals
+// lane (and hence replica apply) order per tuple — and a log failure
+// rejects the write before anything is enqueued.
+func (q *applyQueue) enqueue(stripe uint64, rel string, t value.Tuple, del bool) (uint64, error) {
+	op := store.TupleOp{Rel: rel, T: t, Del: del}
 	q.qmu.RLock()
 	ln := &q.lanes[stripe]
 	ln.mu.Lock()
-	ticket := q.enq.Add(1)
-	ln.ops = append(ln.ops, store.TupleOp{Rel: rel, T: t, Del: del})
+	var ticket uint64
+	if q.wal != nil {
+		lsn, err := q.wal.Append(wal.Record{Kind: wal.KindTuple, Op: op})
+		if err != nil {
+			ln.mu.Unlock()
+			q.qmu.RUnlock()
+			q.fail(err)
+			return 0, err
+		}
+		ticket = lsn
+		q.maxTicket(lsn)
+	} else {
+		ticket = q.enq.Add(1)
+	}
+	ln.ops = append(ln.ops, op)
 	ln.last = ticket
 	ln.mu.Unlock()
 	q.qmu.RUnlock()
 	if !q.paused.Load() {
 		q.spawn()
 	}
-	return ticket
+	return ticket, nil
+}
+
+// logRecord appends a non-tuple record (a constraint change) to the log
+// and folds its LSN into the ticket space so fences cover it. The record
+// is not lane-queued — constraint changes are applied to the replica
+// synchronously by the router — but the watermark must still be able to
+// pass its LSN, which the empty-cut publish in run guarantees. Callers
+// serialize constraint changes (Router.cmu), so ordering needs no lane.
+func (q *applyQueue) logRecord(rec wal.Record) error {
+	if q.wal == nil {
+		return nil
+	}
+	lsn, err := q.wal.Append(rec)
+	if err != nil {
+		q.fail(err)
+		return err
+	}
+	q.maxTicket(lsn)
+	return nil
 }
 
 // spawn starts an applier if none is running.
@@ -147,7 +215,10 @@ func (q *applyQueue) run() {
 		if len(batch) == 0 {
 			// Exit inside the exclusive section: any enqueue after it sees
 			// running == false and spawns a fresh applier, so no op is left
-			// behind.
+			// behind. Still publish the cut — tickets may exist with no
+			// lane op (constraint records via logRecord), and a fence on
+			// such a ticket must terminate.
+			q.publish(cut)
 			q.running.Store(false)
 			q.qmu.Unlock()
 			return
@@ -156,16 +227,41 @@ func (q *applyQueue) run() {
 
 		if err := q.db.ApplyBatch(batch); err != nil {
 			q.errors.Add(1)
+			q.fail(err)
 		}
 		q.batches.Add(1)
 		if n := int64(len(batch)); n > q.maxBatch.Load() {
 			q.maxBatch.Store(n) // single applier: no concurrent max race
 		}
-		q.fmu.Lock()
+		q.publish(cut)
+	}
+}
+
+// publish advances the watermark to cut and wakes fencing readers. The
+// guard keeps it monotone even if a stale cut is replayed.
+func (q *applyQueue) publish(cut uint64) {
+	q.fmu.Lock()
+	if q.applied.Load() < cut {
 		q.applied.Store(cut)
 		q.fcond.Broadcast()
-		q.fmu.Unlock()
 	}
+	q.fmu.Unlock()
+}
+
+// fail retains the first apply or log error for health reporting.
+func (q *applyQueue) fail(err error) {
+	q.errmu.Lock()
+	if q.firstErr == nil {
+		q.firstErr = err
+	}
+	q.errmu.Unlock()
+}
+
+// health returns the first retained apply/log error, or nil.
+func (q *applyQueue) health() error {
+	q.errmu.Lock()
+	defer q.errmu.Unlock()
+	return q.firstErr
 }
 
 // fence blocks until every op ticketed <= ticket has been applied. It

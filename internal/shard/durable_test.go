@@ -1,0 +1,270 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// durableSpec is the cluster shape the durable tests run: enough shards
+// that partitioned and replicated write fan-outs both occur.
+func durableSpec() Spec { return Spec{Shards: 3} }
+
+// durableCfg is a low-churn durable config: fsync off (the page cache
+// survives in-process "crashes"), tiny segments so rolling is exercised,
+// no automatic checkpoints unless a test opts in.
+func durableCfg(dir string) core.DurableConfig {
+	cfg := core.DurableConfig{Dir: dir, CheckpointEvery: -1}
+	cfg.WAL.SegmentBytes = 16 << 10
+	return cfg
+}
+
+// durableRows clones up to n rows of rel out of db for storm material.
+func durableRows(t *testing.T, db *store.DB, rel string, n int) []value.Tuple {
+	t.Helper()
+	rows, err := db.Rows(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < n {
+		n = len(rows)
+	}
+	out := make([]value.Tuple, n)
+	for i := 0; i < n; i++ {
+		out[i] = rows[i].Clone()
+	}
+	return out
+}
+
+// assertClusterMatchesOracle runs every workload template on both
+// services and requires identical tables.
+func assertClusterMatchesOracle(t *testing.T, d *workload.Dataset, got, want core.Service) {
+	t.Helper()
+	opts := core.DefaultOptions()
+	for _, tpl := range d.Templates() {
+		q, err := want.Parse(tpl.Src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wt, _, err := want.Execute(q, opts)
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", tpl.Name, err)
+		}
+		gt, _, err := got.Execute(q, opts)
+		if err != nil {
+			t.Fatalf("%s: recovered: %v", tpl.Name, err)
+		}
+		if !gt.Equal(wt) {
+			t.Errorf("%s: recovered answer differs from oracle", tpl.Name)
+		}
+	}
+}
+
+// TestDurableRouterRecoversAndMatchesOracle drives a durable cluster
+// through tuple churn, a batchy delete/reinsert mix, an explicit
+// checkpoint mid-history and constraint churn, crashes it without Close,
+// and proves both recovery paths — back into a cluster and into a single
+// engine — reproduce the oracle's answers exactly.
+func TestDurableRouterRecoversAndMatchesOracle(t *testing.T) {
+	d := workload.Airca()
+	dir := t.TempDir()
+	db, err := d.Gen(0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenDurable(d.Schema, d.Access, db, durableSpec(), durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: an in-memory single engine over an identical seed, fed the
+	// same mutations.
+	odb, err := d.Gen(0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := core.NewEngine(d.Schema, d.Access, odb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows := durableRows(t, r.ref.DB(), "ontime", 60)
+	for i, row := range rows {
+		switch i % 3 {
+		case 0:
+			if _, err := r.Delete("ontime", row); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := oracle.Delete("ontime", row); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			// Delete and re-insert: recovery must preserve per-tuple order.
+			if _, err := r.Delete("ontime", row); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := oracle.Delete("ontime", row); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.Insert("ontime", row); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := oracle.Insert("ontime", row); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Checkpoint mid-history: recovery below must splice snapshot + suffix.
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := r.DurabilityStats()
+	if !ok || st.Checkpoints < 2 { // boot checkpoint + explicit
+		t.Fatalf("expected boot+explicit checkpoints, stats %+v ok=%v", st, ok)
+	}
+	// Writes past the checkpoint, on a replicated relation too (fan-out
+	// write path).
+	planes := durableRows(t, r.ref.DB(), "plane", 10)
+	for _, row := range planes {
+		if _, err := r.Delete("plane", row); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := oracle.Delete("plane", row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Constraint churn: add a fresh constraint, remove an existing one.
+	extra := access.Constraint{Rel: "ontime", X: []string{"airline"}, Y: []string{"origin"}, N: 150}
+	drop := access.Constraint{Rel: "delaycause", X: []string{"fid"}, Y: []string{"cause"}, N: 5}
+	if err := r.AddConstraints(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.AddConstraints(extra); err != nil {
+		t.Fatal(err)
+	}
+	if !r.RemoveConstraint(drop) || !oracle.RemoveConstraint(drop) {
+		t.Fatal("constraint to remove was not installed")
+	}
+	if err := r.Health(); err != nil {
+		t.Fatalf("durable cluster degraded: %v", err)
+	}
+	// Abrupt stop: no Close.
+
+	rec, err := OpenDurable(d.Schema, nil, nil, durableSpec(), durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.DBSize() != oracle.DBSize() {
+		t.Fatalf("recovered |D| = %d, oracle %d", rec.DBSize(), oracle.DBSize())
+	}
+	wantCons := oracle.AccessSnapshot().Constraints
+	gotCons := rec.AccessSnapshot().Constraints
+	if len(gotCons) != len(wantCons) {
+		t.Fatalf("recovered ‖A‖ = %d, oracle %d", len(gotCons), len(wantCons))
+	}
+	wantKeys := map[string]bool{}
+	for _, c := range wantCons {
+		wantKeys[c.Key()] = true
+	}
+	for _, c := range gotCons {
+		if !wantKeys[c.Key()] {
+			t.Errorf("recovered unexpected constraint %v", c)
+		}
+	}
+	assertClusterMatchesOracle(t, d, rec, oracle)
+
+	// The same directory recovers into a single engine with identical
+	// answers: the log records replica-ordered ops, so cluster and
+	// single-engine recovery are interchangeable.
+	single, err := core.OpenDurable(d.Schema, nil, nil, durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if single.DBSize() != oracle.DBSize() {
+		t.Fatalf("single-engine recovery |D| = %d, oracle %d", single.DBSize(), oracle.DBSize())
+	}
+	assertClusterMatchesOracle(t, d, single, oracle)
+}
+
+func TestDurableRouterAutoCheckpoint(t *testing.T) {
+	d := workload.Airca()
+	dir := t.TempDir()
+	db, err := d.Gen(0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := db.Size()
+	cfg := durableCfg(dir)
+	cfg.CheckpointEvery = 40
+	r, err := OpenDurable(d.Schema, d.Access, db, durableSpec(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := durableRows(t, r.ref.DB(), "ontime", 100)
+	for _, row := range rows {
+		if _, err := r.Delete("ontime", row); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Insert("ontime", row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The checkpoint runs on a background goroutine; wait for it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, _ := r.DurabilityStats()
+		if st.Checkpoints >= 2 { // boot checkpoint + at least one automatic
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no automatic checkpoint after 200 writes (cadence 40): %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := OpenDurable(d.Schema, nil, nil, durableSpec(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.DBSize() != size {
+		t.Fatalf("recovered |D| = %d, want %d", rec.DBSize(), size)
+	}
+}
+
+// TestDurableRouterWriteAfterCloseDegrades proves the health surface: a
+// write that can no longer reach the log is rejected, and the first
+// failure is retained so the serving layer reports degraded from then on.
+func TestDurableRouterWriteAfterCloseDegrades(t *testing.T) {
+	d := workload.Airca()
+	dir := t.TempDir()
+	db, err := d.Gen(0.01, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenDurable(d.Schema, d.Access, db, durableSpec(), durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Health(); err != nil {
+		t.Fatalf("fresh durable cluster degraded: %v", err)
+	}
+	rows := durableRows(t, r.ref.DB(), "ontime", 1)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Delete("ontime", rows[0]); err == nil {
+		t.Fatal("write after Close was acknowledged")
+	}
+	if err := r.Health(); err == nil {
+		t.Fatal("health still reports ok after a lost write")
+	}
+}

@@ -82,6 +82,7 @@ import (
 	"repro/internal/ra"
 	"repro/internal/store"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 // DefaultMinPartitionRows is the replicate-everywhere threshold of
@@ -267,6 +268,17 @@ type Router struct {
 	// to slow or freeze a migration deterministically; it is never set in
 	// production.
 	hookMigBatch func()
+
+	// wal, when non-nil, makes the cluster durable (built by OpenDurable,
+	// never set after traffic starts): every tuple write is appended to
+	// the log by the apply queue before it is acknowledged, constraint
+	// changes are logged under cmu, and checkpoints snapshot the replica —
+	// the one engine holding the full instance — at a fenced LSN. ckEvery
+	// is the automatic checkpoint cadence in logged records (<= 0 off),
+	// ckBusy collapses concurrent triggers to one background checkpoint.
+	wal     *wal.Log
+	ckEvery int64
+	ckBusy  atomic.Bool
 }
 
 // New partitions db across spec.Shards engines and returns the router.
@@ -350,10 +362,54 @@ func New(schema ra.Schema, A *access.Schema, db *store.DB, spec Spec) (*Router, 
 		return nil, err
 	}
 	r.ref = ref
-	r.aq = newApplyQueue(ref.DB())
+	r.aq = newApplyQueue(ref.DB(), nil)
 	r.state.Store(&ringState{epoch: 1, ring: ring, members: members})
 	if spec.PlanCacheSize > 0 {
 		r.SetPlanCacheCapacity(spec.PlanCacheSize)
+	}
+	return r, nil
+}
+
+// OpenDurable opens (or creates) a durable cluster backed by the log in
+// cfg.Dir. Recovery mirrors core.OpenDurable: when the directory holds
+// prior state, db and A are IGNORED — the newest loadable checkpoint is
+// loaded, the log suffix replayed onto it, and the recovered database is
+// re-partitioned across spec.Shards fresh engines (indices rebuilt once
+// per engine). On a fresh directory the provided db and A are adopted
+// and an initial checkpoint makes the seed durable immediately. The log
+// records replica-ordered ops, so a single engine and a cluster recover
+// to identical logical states from the same directory.
+func OpenDurable(schema ra.Schema, A *access.Schema, db *store.DB, spec Spec, cfg core.DurableConfig) (*Router, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("shard: durable router needs a data directory")
+	}
+	rec, err := wal.RecoverDB(cfg.Dir, schema)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Found {
+		db = rec.DB
+		A = access.NewSchema(rec.Constraints...)
+	} else if A == nil {
+		A = access.NewSchema()
+	}
+	log, err := wal.Open(cfg.Dir, cfg.WAL)
+	if err != nil {
+		return nil, err
+	}
+	r, err := New(schema, A, db, spec)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	r.wal = log
+	r.ckEvery = cfg.Every()
+	r.aq.wal = log
+	if !rec.Found {
+		if err := log.WriteCheckpoint(log.LastLSN(), r.ref.DB().Save); err != nil {
+			log.Close()
+			return nil, err
+		}
 	}
 	return r, nil
 }
@@ -683,8 +739,84 @@ func (r *Router) mutate(rel string, t value.Tuple, del bool) (bool, error) {
 			changed = ch
 		}
 	}
-	r.aq.enqueue(stripe, rel, t, del)
+	// In durable mode the enqueue appends to the write-ahead log before the
+	// write is acknowledged; a log failure rejects the write (and poisons
+	// the log — Health reports the retained error until restart).
+	if _, err := r.aq.enqueue(stripe, rel, t, del); err != nil {
+		return false, err
+	}
+	r.maybeCheckpoint()
 	return changed, nil
+}
+
+// maybeCheckpoint starts a background checkpoint when the replay debt
+// passed the configured cadence and none is already running.
+func (r *Router) maybeCheckpoint() {
+	if r.wal == nil || r.ckEvery <= 0 || r.wal.SinceCheckpoint() < r.ckEvery {
+		return
+	}
+	if !r.ckBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer r.ckBusy.Store(false)
+		_ = r.Checkpoint() // failure is retained by the log; Health reports it
+	}()
+}
+
+// Checkpoint writes a durable, LSN-stamped snapshot of the replica — the
+// one engine holding the full instance — and prunes log segments it makes
+// dead. The stamp W is read under cmu, so no constraint record can be
+// mid-append (constraint changes log under cmu, after they are applied to
+// the replica); the fence then drains every tuple op with LSN <= W into
+// the replica before the snapshot is taken. Concurrent writes during the
+// (long) save only add ops beyond the stamp, which replay tolerates.
+// No-op on a non-durable router.
+func (r *Router) Checkpoint() error {
+	if r.wal == nil {
+		return nil
+	}
+	r.cmu.Lock()
+	lsn := r.wal.LastLSN()
+	r.cmu.Unlock()
+	r.aq.fence(lsn)
+	return r.wal.WriteCheckpoint(lsn, r.ref.DB().Save)
+}
+
+// Close drains the apply queue, then flushes and closes the write-ahead
+// log. Queries remain possible; further writes fail. No-op on a
+// non-durable router.
+func (r *Router) Close() error {
+	if r.wal == nil {
+		return nil
+	}
+	r.aq.fenceAll()
+	return r.wal.Close()
+}
+
+// Health reports nil while the cluster's write pipeline is intact. A
+// non-nil error is the first replica-apply rejection or log append/fsync/
+// checkpoint failure — from then on acknowledged writes may be missing
+// from the replica or the log, and the process should be restarted
+// (recovery replays the intact prefix). Apply errors are reported even on
+// a non-durable router.
+func (r *Router) Health() error {
+	if err := r.aq.health(); err != nil {
+		return err
+	}
+	if r.wal != nil {
+		return r.wal.Err()
+	}
+	return nil
+}
+
+// DurabilityStats returns the write-ahead-log counters and ok=true when
+// the router is durable.
+func (r *Router) DurabilityStats() (wal.Stats, bool) {
+	if r.wal == nil {
+		return wal.Stats{}, false
+	}
+	return r.wal.Stats(), true
 }
 
 // writeTargets picks the member engines one tuple write must reach,
@@ -786,6 +918,17 @@ func (r *Router) AddConstraints(cs ...access.Constraint) error {
 	if err := r.ref.AddConstraints(cs...); err != nil {
 		return err
 	}
+	// Log after the replica accepted (the log must only contain applicable
+	// records) and before returning, so the change is durable by the time
+	// it is acknowledged. cmu orders constraint records against each other
+	// and against checkpoint stamps.
+	if r.wal != nil {
+		for _, c := range cs {
+			if err := r.aq.logRecord(wal.Record{Kind: wal.KindAddConstraint, Con: c}); err != nil {
+				return err
+			}
+		}
+	}
 	for _, eng := range r.shardEnginesLocked() {
 		if err := eng.AddConstraints(cs...); err != nil {
 			return fmt.Errorf("shard: cluster left inconsistent by partial constraint install: %w", err)
@@ -802,6 +945,11 @@ func (r *Router) RemoveConstraint(c access.Constraint) bool {
 	defer r.cmu.Unlock()
 	r.aq.fenceAll()
 	found := r.ref.RemoveConstraint(c)
+	if found && r.wal != nil {
+		// A log failure here is retained by the queue and surfaced by
+		// Health; the in-memory removal stands either way.
+		_ = r.aq.logRecord(wal.Record{Kind: wal.KindRemoveConstraint, Con: c})
+	}
 	for _, eng := range r.shardEnginesLocked() {
 		if eng.RemoveConstraint(c) {
 			found = true

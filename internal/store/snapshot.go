@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/access"
 	"repro/internal/ra"
@@ -21,8 +22,15 @@ type snapshot struct {
 }
 
 // Save writes the database (schema, tuples, constraint set of the built
-// indices) to w in gob format.
+// indices) to w in gob format. The shared lock is held for the whole
+// encoding, so the image is a consistent cut: no concurrent write can
+// interleave between relations, and the index set is read inline rather
+// than via Indexes (re-acquiring the lock mid-snapshot would both tear the
+// image and deadlock against a queued writer). Constraints are emitted in
+// sorted key order so equal databases produce equal constraint lists.
 func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	snap := snapshot{
 		Schema:    db.Schema,
 		Relations: map[string][]value.Tuple{},
@@ -34,25 +42,45 @@ func (db *DB) Save(w io.Writer) error {
 		}
 		snap.Relations[name] = rows
 	}
-	for _, idx := range db.Indexes() {
-		snap.Constraints = append(snap.Constraints, idx.Con)
+	keys := make([]string, 0, len(db.indexes))
+	for k := range db.indexes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		snap.Constraints = append(snap.Constraints, db.indexes[k].Con)
 	}
 	return gob.NewEncoder(w).Encode(&snap)
 }
 
-// Load reads a snapshot written by Save, rebuilding all indices.
-func Load(r io.Reader) (*DB, error) {
+// LoadSnapshot reads a snapshot written by Save and reconstructs the
+// database WITHOUT building any indices, returning the recorded constraint
+// set for the caller to rebuild later. Recovery uses it to avoid paying
+// index construction twice: the write-ahead log suffix is replayed onto the
+// bare rows first and indices are built once, in O(|D|), over the final
+// instance. A decode failure (truncated or corrupt input) returns a nil DB
+// and a wrapped error — never a partially loaded database.
+func LoadSnapshot(r io.Reader) (*DB, []access.Constraint, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("store: load snapshot: %w", err)
+		return nil, nil, fmt.Errorf("store: load snapshot: %w", err)
 	}
 	db := NewDB(ra.Schema(snap.Schema))
 	for name, rows := range snap.Relations {
 		if err := db.BulkLoad(name, rows); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	for _, c := range snap.Constraints {
+	return db, snap.Constraints, nil
+}
+
+// Load reads a snapshot written by Save, rebuilding all indices.
+func Load(r io.Reader) (*DB, error) {
+	db, cons, err := LoadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cons {
 		if _, err := db.BuildIndex(c); err != nil {
 			return nil, err
 		}

@@ -2,9 +2,12 @@ package store
 
 import (
 	"bytes"
+	"io"
+	"sync"
 	"testing"
 
 	"repro/internal/access"
+	"repro/internal/ra"
 	"repro/internal/value"
 )
 
@@ -71,5 +74,203 @@ func TestSnapshotEmptyDB(t *testing.T) {
 	}
 	if loaded.Size() != 0 {
 		t.Error("empty db not empty after load")
+	}
+}
+
+// fidelityDB builds an instance exercising the gob pitfalls the snapshot
+// format must survive: an empty relation alongside populated ones, unicode
+// and empty strings, zero and negative integers, explicit Null values, and
+// several indices so constraint-set ordering matters.
+func fidelityDB(t *testing.T) (*DB, []access.Constraint) {
+	t.Helper()
+	schema := ra.Schema{
+		"r":     {"a", "b", "c"},
+		"s":     {"x", "y"},
+		"empty": {"e"},
+	}
+	db := NewDB(schema)
+	rows := []value.Tuple{
+		{iv(0), iv(-42), value.NewStr("héllo ✓ 世界")},
+		{iv(-1), iv(0), value.NewStr("")},
+		{value.NewInt(-1 << 62), value.NewInt(1<<62 - 1), value.NewStr("plain")},
+		{value.Value{}, iv(7), value.NewStr("null-first-col")},
+	}
+	for _, r := range rows {
+		if _, err := db.Insert("r", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Insert("s", value.Tuple{value.NewStr("κλειδί"), value.Value{}}); err != nil {
+		t.Fatal(err)
+	}
+	cons := []access.Constraint{
+		{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 4},
+		{Rel: "r", X: []string{"b"}, Y: []string{"c"}, N: 9},
+		{Rel: "s", X: nil, Y: []string{"x"}, N: 3},
+	}
+	for _, c := range cons {
+		if _, err := db.BuildIndex(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, cons
+}
+
+// equalDBs asserts two databases hold the same rows per relation and the
+// same constraint set.
+func equalDBs(t *testing.T, a, b *DB) {
+	t.Helper()
+	for name := range a.Schema {
+		ra_, err := a.Rows(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Rows(name)
+		if err != nil {
+			t.Fatalf("relation %q missing after load: %v", name, err)
+		}
+		if value.FormatTuples(ra_) != value.FormatTuples(rb) {
+			t.Errorf("relation %q rows differ", name)
+		}
+	}
+	ia, ib := a.Indexes(), b.Indexes()
+	if len(ia) != len(ib) {
+		t.Fatalf("constraint count %d after load, want %d", len(ib), len(ia))
+	}
+	for i := range ia {
+		if ia[i].Con.Key() != ib[i].Con.Key() || ia[i].Con.N != ib[i].Con.N {
+			t.Errorf("constraint %d: got %v want %v", i, ib[i].Con, ia[i].Con)
+		}
+	}
+}
+
+func TestSnapshotFidelity(t *testing.T) {
+	db, _ := fidelityDB(t)
+	// Save several times: map iteration order varies between encodings, but
+	// every image must load back to the same database (empty relation
+	// included, values bit-exact, full constraint set).
+	for trial := 0; trial < 5; trial++ {
+		var buf bytes.Buffer
+		if err := db.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalDBs(t, db, loaded)
+		if _, err := loaded.Rows("empty"); err != nil {
+			t.Errorf("trial %d: empty relation lost: %v", trial, err)
+		}
+	}
+}
+
+func TestSnapshotLoadSnapshotSkipsIndices(t *testing.T) {
+	db, cons := fidelityDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, got, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Indexes()) != 0 {
+		t.Errorf("LoadSnapshot built %d indices, want 0", len(loaded.Indexes()))
+	}
+	if len(got) != len(cons) {
+		t.Fatalf("got %d constraints, want %d", len(got), len(cons))
+	}
+	if loaded.Size() != db.Size() {
+		t.Errorf("size %d, want %d", loaded.Size(), db.Size())
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	db, _ := fidelityDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Every strict prefix must fail with a wrapped error and a nil DB —
+	// never a silently partial database.
+	for _, cut := range []int{0, 1, len(whole) / 4, len(whole) / 2, len(whole) - 1} {
+		loaded, err := Load(bytes.NewReader(whole[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+		if loaded != nil {
+			t.Fatalf("truncation at %d bytes returned a partial DB", cut)
+		}
+	}
+}
+
+// TestSnapshotConcurrentWithWrites is the regression test for the Save
+// data race: snapshots must hold the database lock for their whole read,
+// so saving concurrently with inserts, deletes and index churn is safe
+// (run with -race) and never deadlocks against a queued writer.
+func TestSnapshotConcurrentWithWrites(t *testing.T) {
+	db := NewDB(testSchema())
+	c := access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 50}
+	if _, err := db.BuildIndex(c); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 4
+		ops     = 300
+		saves   = 40
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				tup := value.Tuple{iv(w), iv(i % 17), iv(i)}
+				if i%3 == 2 {
+					if _, err := db.Delete("r", tup); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					if _, err := db.Insert("r", tup); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if i%50 == 25 {
+					// Index churn: the constraint set read by Save mutates.
+					db.DropIndex(c)
+					if _, err := db.BuildIndex(c); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < saves; i++ {
+			if err := db.Save(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	// A saved image taken after the storm still round-trips.
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != db.Size() {
+		t.Errorf("size %d after load, want %d", loaded.Size(), db.Size())
 	}
 }

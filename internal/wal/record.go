@@ -1,0 +1,213 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// Kind discriminates the record types carried by the log.
+type Kind uint8
+
+const (
+	// KindTuple is a single tuple insert or delete (store.TupleOp).
+	KindTuple Kind = 1
+	// KindAddConstraint records an access constraint added to the serving
+	// schema (its index is rebuilt from the data on recovery, not logged).
+	KindAddConstraint Kind = 2
+	// KindRemoveConstraint records an access constraint removed from the
+	// serving schema.
+	KindRemoveConstraint Kind = 3
+)
+
+// Record is one logged event. LSN is assigned by Append and is the same
+// monotone counter the shard apply queue uses as its ticket, so "the write
+// at ticket T" and "the log record at LSN T" are the same event. Exactly
+// one of Op (KindTuple) or Con (constraint kinds) is meaningful.
+type Record struct {
+	// LSN is the log sequence number; zero on input to Append.
+	LSN uint64
+	// Kind selects the payload.
+	Kind Kind
+	// Op is the tuple write for KindTuple records.
+	Op store.TupleOp
+	// Con is the constraint for KindAddConstraint / KindRemoveConstraint.
+	Con access.Constraint
+}
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendValue appends one scalar: a kind byte, then for Int a zigzag
+// varint, for Str a length-prefixed string, for Null nothing.
+func appendValue(b []byte, v value.Value) []byte {
+	b = append(b, byte(v.K))
+	switch v.K {
+	case value.Int:
+		b = binary.AppendVarint(b, v.I)
+	case value.Str:
+		b = appendString(b, v.S)
+	}
+	return b
+}
+
+// appendPayload appends the kind-specific payload of rec.
+func appendPayload(b []byte, rec Record) ([]byte, error) {
+	switch rec.Kind {
+	case KindTuple:
+		if rec.Op.Del {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendString(b, rec.Op.Rel)
+		b = binary.AppendUvarint(b, uint64(len(rec.Op.T)))
+		for _, v := range rec.Op.T {
+			b = appendValue(b, v)
+		}
+	case KindAddConstraint, KindRemoveConstraint:
+		b = appendString(b, rec.Con.Rel)
+		b = binary.AppendUvarint(b, uint64(len(rec.Con.X)))
+		for _, a := range rec.Con.X {
+			b = appendString(b, a)
+		}
+		b = binary.AppendUvarint(b, uint64(len(rec.Con.Y)))
+		for _, a := range rec.Con.Y {
+			b = appendString(b, a)
+		}
+		b = binary.AppendUvarint(b, uint64(rec.Con.N))
+	default:
+		return nil, fmt.Errorf("wal: unknown record kind %d", rec.Kind)
+	}
+	return b, nil
+}
+
+// cursor is a bounds-checked reader over a decoded record body.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail(what string) {
+	if c.err == nil {
+		c.err = fmt.Errorf("wal: record payload: truncated %s", what)
+	}
+}
+
+func (c *cursor) byte() byte {
+	if c.err != nil {
+		return 0
+	}
+	if c.off >= len(c.b) {
+		c.fail("byte")
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		c.fail("uvarint")
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) varint() int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.b[c.off:])
+	if n <= 0 {
+		c.fail("varint")
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) string() string {
+	n := c.uvarint()
+	if c.err != nil {
+		return ""
+	}
+	if uint64(len(c.b)-c.off) < n {
+		c.fail("string")
+		return ""
+	}
+	s := string(c.b[c.off : c.off+uint64asInt(n)])
+	c.off += uint64asInt(n)
+	return s
+}
+
+// uint64asInt narrows n, which string() has already bounds-checked against
+// the remaining buffer, so the conversion cannot overflow.
+func uint64asInt(n uint64) int { return int(n) }
+
+func (c *cursor) value() value.Value {
+	k := value.Kind(c.byte())
+	switch k {
+	case value.Null:
+		return value.Value{}
+	case value.Int:
+		return value.Value{K: value.Int, I: c.varint()}
+	case value.Str:
+		return value.Value{K: value.Str, S: c.string()}
+	default:
+		c.fail("value kind")
+		return value.Value{}
+	}
+}
+
+// decodePayload parses the kind-specific payload into rec.
+func decodePayload(kind Kind, payload []byte) (Record, error) {
+	rec := Record{Kind: kind}
+	c := &cursor{b: payload}
+	switch kind {
+	case KindTuple:
+		rec.Op.Del = c.byte() == 1
+		rec.Op.Rel = c.string()
+		n := c.uvarint()
+		if c.err == nil && n > uint64(len(payload)) {
+			return rec, fmt.Errorf("wal: record payload: tuple arity %d exceeds payload", n)
+		}
+		rec.Op.T = make(value.Tuple, 0, n)
+		for i := uint64(0); i < n && c.err == nil; i++ {
+			rec.Op.T = append(rec.Op.T, c.value())
+		}
+	case KindAddConstraint, KindRemoveConstraint:
+		rec.Con.Rel = c.string()
+		nx := c.uvarint()
+		for i := uint64(0); i < nx && c.err == nil; i++ {
+			rec.Con.X = append(rec.Con.X, c.string())
+		}
+		ny := c.uvarint()
+		for i := uint64(0); i < ny && c.err == nil; i++ {
+			rec.Con.Y = append(rec.Con.Y, c.string())
+		}
+		rec.Con.N = int(c.uvarint())
+	default:
+		return rec, fmt.Errorf("wal: unknown record kind %d", kind)
+	}
+	if c.err != nil {
+		return rec, c.err
+	}
+	if c.off != len(payload) {
+		return rec, fmt.Errorf("wal: record payload: %d trailing bytes", len(payload)-c.off)
+	}
+	return rec, nil
+}

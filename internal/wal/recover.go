@@ -1,0 +1,180 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/ra"
+	"repro/internal/store"
+)
+
+// Recovery is the result of replaying a log directory: the reconstructed
+// database (rows only — the caller rebuilds indices once, in O(|D|)), the
+// constraint set in force at the crash, and the replay bookkeeping the
+// operator sees in logs.
+type Recovery struct {
+	// DB holds the recovered rows; indices are NOT built. Nil when Found
+	// is false.
+	DB *store.DB
+	// Constraints is the access-constraint set in force at the last logged
+	// point, sorted by key.
+	Constraints []access.Constraint
+	// CheckpointLSN is the LSN of the snapshot recovery started from.
+	CheckpointLSN uint64
+	// LastLSN is the LSN of the last replayed record (CheckpointLSN when
+	// the suffix was empty).
+	LastLSN uint64
+	// Replayed counts log records applied on top of the checkpoint.
+	Replayed int
+	// Found reports whether dir held any prior state; when false the
+	// caller should boot fresh and write an initial checkpoint.
+	Found bool
+}
+
+// RecoverDB rebuilds database state from dir: it loads the newest loadable
+// checkpoint, replays every surviving log record past it in LSN order and
+// returns the result. It never modifies dir (torn-tail truncation happens
+// in Open); a torn final record is simply not replayed, matching what Open
+// will truncate. schema is used only when dir has segments but no
+// checkpoint — a state OpenDurable never leaves behind, but recovery
+// tolerates it by replaying onto an empty instance.
+func RecoverDB(dir string, schema ra.Schema) (*Recovery, error) {
+	if !HasState(dir) {
+		return &Recovery{}, nil
+	}
+	db, cons, ckLSN, err := loadLatestCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	if db == nil {
+		db = store.NewDB(schema)
+	}
+	consByKey := map[string]access.Constraint{}
+	for _, c := range cons {
+		consByKey[c.Key()] = c
+	}
+	rec := &Recovery{DB: db, CheckpointLSN: ckLSN, LastLSN: ckLSN, Found: true}
+	err = Records(dir, ckLSN, func(r Record) error {
+		if r.LSN <= rec.LastLSN && rec.Replayed > 0 {
+			return fmt.Errorf("wal: recover: LSN %d out of order after %d", r.LSN, rec.LastLSN)
+		}
+		switch r.Kind {
+		case KindTuple:
+			var err error
+			if r.Op.Del {
+				_, err = db.Delete(r.Op.Rel, r.Op.T)
+			} else {
+				_, err = db.Insert(r.Op.Rel, r.Op.T)
+			}
+			if err != nil {
+				return fmt.Errorf("wal: recover: replaying LSN %d: %w", r.LSN, err)
+			}
+		case KindAddConstraint:
+			consByKey[r.Con.Key()] = r.Con
+		case KindRemoveConstraint:
+			delete(consByKey, r.Con.Key())
+		}
+		rec.LastLSN = r.LSN
+		rec.Replayed++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(consByKey))
+	for k := range consByKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rec.Constraints = make([]access.Constraint, 0, len(keys))
+	for _, k := range keys {
+		rec.Constraints = append(rec.Constraints, consByKey[k])
+	}
+	return rec, nil
+}
+
+// Records streams every surviving record with LSN greater than after, in
+// LSN order. A torn tail in the final segment ends the stream silently
+// (those records were never durable); corruption elsewhere is an error.
+// It reads the directory as-is and is safe on a crashed, not-yet-opened
+// log — the crash-recovery harness uses it to build its oracle.
+func Records(dir string, after uint64, fn func(Record) error) error {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return fmt.Errorf("wal: records: %w", err)
+	}
+	for i := range segs {
+		_, torn, err := scanSegment(segs[i].path, func(r Record) error {
+			if r.LSN <= after {
+				return nil
+			}
+			return fn(r)
+		})
+		if err != nil {
+			return err
+		}
+		if torn && i != len(segs)-1 {
+			return fmt.Errorf("wal: records: segment %s is truncated mid-stream but later segments exist", segs[i].path)
+		}
+	}
+	return nil
+}
+
+// loadLatestCheckpoint tries checkpoints newest-first and returns the
+// first that decodes, so a checkpoint corrupted on disk falls back to its
+// predecessor (whose log suffix is retained for exactly this case). With
+// no checkpoint present it returns a nil DB.
+func loadLatestCheckpoint(dir string) (*store.DB, []access.Constraint, uint64, error) {
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("wal: recover: %w", err)
+	}
+	var firstErr error
+	for i := len(cks) - 1; i >= 0; i-- {
+		db, cons, err := readCheckpoint(filepath.Join(dir, ckName(cks[i])), cks[i])
+		if err == nil {
+			return db, cons, cks[i], nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, nil, 0, fmt.Errorf("wal: recover: no loadable checkpoint: %w", firstErr)
+	}
+	return nil, nil, 0, nil
+}
+
+// readCheckpoint loads one checkpoint file, verifying magic, version and
+// that the header LSN matches the filename.
+func readCheckpoint(path string, wantLSN uint64) (*store.DB, []access.Constraint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	hdr := make([]byte, ckHeaderLen)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return nil, nil, fmt.Errorf("wal: checkpoint %s: header: %w", path, err)
+	}
+	if !bytes.Equal(hdr[0:4], ckMagic) {
+		return nil, nil, fmt.Errorf("wal: checkpoint %s: bad magic", path)
+	}
+	if hdr[4] != ckVersion {
+		return nil, nil, fmt.Errorf("wal: checkpoint %s: unsupported version %d", path, hdr[4])
+	}
+	if lsn := binary.LittleEndian.Uint64(hdr[5:13]); lsn != wantLSN {
+		return nil, nil, fmt.Errorf("wal: checkpoint %s: header LSN %d does not match filename", path, lsn)
+	}
+	db, cons, err := store.LoadSnapshot(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: checkpoint %s: %w", path, err)
+	}
+	return db, cons, nil
+}

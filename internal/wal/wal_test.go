@@ -1,0 +1,568 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/ra"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+func testSchema() ra.Schema {
+	return ra.Schema{"r": {"a", "b"}, "s": {"x"}}
+}
+
+func iv(i int) value.Value { return value.NewInt(int64(i)) }
+
+func tupleRec(rel string, del bool, vals ...value.Value) Record {
+	return Record{Kind: KindTuple, Op: store.TupleOp{Rel: rel, T: value.Tuple(vals), Del: del}}
+}
+
+func mustAppend(t *testing.T, l *Log, rec Record) uint64 {
+	t.Helper()
+	lsn, err := l.Append(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lsn
+}
+
+func readAll(t *testing.T, dir string) []Record {
+	t.Helper()
+	var out []Record
+	if err := Records(dir, 0, func(r Record) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		tupleRec("r", false, iv(1), value.NewStr("héllo ✓")),
+		tupleRec("r", true, iv(-5), value.NewStr("")),
+		tupleRec("s", false, value.Value{}),
+		{Kind: KindAddConstraint, Con: access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 7}},
+		{Kind: KindRemoveConstraint, Con: access.Constraint{Rel: "s", X: nil, Y: []string{"x"}, N: 3}},
+	}
+	for i, rec := range want {
+		lsn := mustAppend(t, l, rec)
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn %d for record %d, want %d", lsn, i, i+1)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := readAll(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w := want[i]
+		w.LSN = uint64(i + 1)
+		g := got[i]
+		if g.LSN != w.LSN || g.Kind != w.Kind || g.Op.Rel != w.Op.Rel || g.Op.Del != w.Op.Del ||
+			!g.Op.T.Equal(w.Op.T) || g.Con.Key() != w.Con.Key() || g.Con.N != w.Con.N {
+			t.Errorf("record %d: got %+v want %+v", i, g, w)
+		}
+	}
+
+	// Reopen continues the LSN sequence.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != uint64(len(want)) {
+		t.Fatalf("LastLSN %d after reopen, want %d", l2.LastLSN(), len(want))
+	}
+	if lsn := mustAppend(t, l2, tupleRec("r", false, iv(9), iv(9))); lsn != uint64(len(want)+1) {
+		t.Fatalf("lsn %d after reopen, want %d", lsn, len(want)+1)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	cases := []struct {
+		name string
+		tear func(path string, t *testing.T)
+	}{
+		{"partial-header", func(path string, t *testing.T) { appendBytes(t, path, []byte{0x03, 0x00, 0x00}) }},
+		{"partial-body", func(path string, t *testing.T) {
+			// Plausible length, CRC, but body cut short.
+			appendBytes(t, path, []byte{40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3})
+		}},
+		{"garbage-length", func(path string, t *testing.T) {
+			appendBytes(t, path, []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1})
+		}},
+		{"crc-flip", func(path string, t *testing.T) { flipLastByte(t, path) }},
+		{"mid-record-cut", func(path string, t *testing.T) { truncateBy(t, path, 3) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				mustAppend(t, l, tupleRec("r", false, iv(i), iv(i)))
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			segs, err := listSegments(dir)
+			if err != nil || len(segs) != 1 {
+				t.Fatalf("segments: %v %v", segs, err)
+			}
+			tc.tear(segs[0].path, t)
+
+			wantRecords := 10
+			if tc.name == "crc-flip" || tc.name == "mid-record-cut" {
+				wantRecords = 9 // the final intact record was damaged
+			}
+			l2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := l2.LastLSN(); got != uint64(wantRecords) {
+				t.Fatalf("LastLSN %d after torn open, want %d", got, wantRecords)
+			}
+			// The log keeps working past the truncation point.
+			if lsn := mustAppend(t, l2, tupleRec("r", false, iv(99), iv(99))); lsn != uint64(wantRecords+1) {
+				t.Fatalf("append after tear got lsn %d, want %d", lsn, wantRecords+1)
+			}
+			if err := l2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := readAll(t, dir); len(got) != wantRecords+1 {
+				t.Fatalf("%d records after reopen+append, want %d", len(got), wantRecords+1)
+			}
+		})
+	}
+}
+
+func TestTornNonFinalSegmentIsError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64}) // force several segments
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		mustAppend(t, l, tupleRec("r", false, iv(i), iv(i)))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected several segments, got %d", len(segs))
+	}
+	truncateBy(t, segs[0].path, 2)
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("open accepted a mid-stream truncated segment")
+	}
+}
+
+func TestSegmentRollAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	db := store.NewDB(testSchema())
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 50; i++ {
+		lsn := mustAppend(t, l, tupleRec("r", false, iv(i), iv(i)))
+		if _, err := db.Insert("r", value.Tuple{iv(i), iv(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 20 || i == 35 || i == 49 {
+			if err := l.WriteCheckpoint(lsn, db.Save); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cks) != keepCheckpoints {
+		t.Fatalf("%d checkpoints retained, want %d", len(cks), keepCheckpoints)
+	}
+	if cks[0] != 36 || cks[1] != 50 {
+		t.Fatalf("retained checkpoints %v, want [36 50]", cks)
+	}
+	// Segments fully covered by the older checkpoint must be gone, but the
+	// surviving log must still cover everything past it (LSN 37 onward).
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 || segs[0].start == 1 {
+		t.Fatalf("expected pruning to drop the oldest segments, have %v", segs)
+	}
+	var first uint64
+	if err := Records(dir, 0, func(r Record) error {
+		if first == 0 {
+			first = r.LSN
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if first == 0 || first > 37 {
+		t.Fatalf("surviving log starts at %d, want ≤ 37 (suffix of older checkpoint intact)", first)
+	}
+	if l.CheckpointLSN() != 50 {
+		t.Fatalf("CheckpointLSN %d, want 50", l.CheckpointLSN())
+	}
+	if l.SinceCheckpoint() != 0 {
+		t.Fatalf("SinceCheckpoint %d, want 0", l.SinceCheckpoint())
+	}
+}
+
+func TestRecoverDBFromCheckpointAndSuffix(t *testing.T) {
+	dir := t.TempDir()
+	db := store.NewDB(testSchema())
+	cons := access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 5}
+	if _, err := db.BuildIndex(cons); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ten inserts, checkpoint, then a suffix: delete one, insert two, and
+	// a constraint change.
+	for i := 0; i < 10; i++ {
+		mustAppend(t, l, tupleRec("r", false, iv(i), iv(i)))
+		if _, err := db.Insert("r", value.Tuple{iv(i), iv(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAppend(t, l, Record{Kind: KindAddConstraint, Con: cons})
+	if err := l.WriteCheckpoint(l.LastLSN(), db.Save); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, tupleRec("r", true, iv(3), iv(3)))
+	mustAppend(t, l, tupleRec("r", false, iv(100), iv(100)))
+	cons2 := access.Constraint{Rel: "s", X: nil, Y: []string{"x"}, N: 2}
+	mustAppend(t, l, Record{Kind: KindAddConstraint, Con: cons2})
+	mustAppend(t, l, Record{Kind: KindRemoveConstraint, Con: cons})
+	lastLSN := l.LastLSN()
+	// Abrupt stop: no Close. (Writes are buffered in the page cache, which
+	// an in-process "crash" does not lose.)
+
+	rec, err := RecoverDB(dir, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Found {
+		t.Fatal("recovery found no state")
+	}
+	if rec.LastLSN != lastLSN {
+		t.Fatalf("recovered LastLSN %d, want %d", rec.LastLSN, lastLSN)
+	}
+	if rec.Replayed != 4 {
+		t.Fatalf("replayed %d records, want 4", rec.Replayed)
+	}
+	if n := rec.DB.Size(); n != 10 {
+		t.Fatalf("recovered size %d, want 10", n)
+	}
+	if ok, _ := rec.DB.Has("r", value.Tuple{iv(3), iv(3)}); ok {
+		t.Error("deleted tuple survived recovery")
+	}
+	if ok, _ := rec.DB.Has("r", value.Tuple{iv(100), iv(100)}); !ok {
+		t.Error("post-checkpoint insert lost")
+	}
+	if len(rec.Constraints) != 1 || rec.Constraints[0].Key() != cons2.Key() {
+		t.Fatalf("recovered constraints %v, want just %v", rec.Constraints, cons2)
+	}
+	if len(rec.DB.Indexes()) != 0 {
+		t.Error("RecoverDB built indices; callers rebuild them once")
+	}
+}
+
+func TestRecoverDBFreshDir(t *testing.T) {
+	rec, err := RecoverDB(t.TempDir(), testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Found || rec.DB != nil {
+		t.Fatalf("fresh dir reported state: %+v", rec)
+	}
+}
+
+func TestRecoverFallsBackToPreviousCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db := store.NewDB(testSchema())
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		mustAppend(t, l, tupleRec("r", false, iv(i), iv(i)))
+		if _, err := db.Insert("r", value.Tuple{iv(i), iv(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WriteCheckpoint(l.LastLSN(), db.Save); err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 8; i++ {
+		mustAppend(t, l, tupleRec("r", false, iv(i), iv(i)))
+		if _, err := db.Insert("r", value.Tuple{iv(i), iv(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WriteCheckpoint(l.LastLSN(), db.Save); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest checkpoint body; recovery must fall back to the
+	// older one and replay the longer suffix to the same final state.
+	cks, err := listCheckpoints(dir)
+	if err != nil || len(cks) != 2 {
+		t.Fatalf("checkpoints: %v %v", cks, err)
+	}
+	flipLastByte(t, filepath.Join(dir, ckName(cks[1])))
+	rec, err := RecoverDB(dir, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CheckpointLSN != cks[0] {
+		t.Fatalf("recovered from checkpoint %d, want fallback %d", rec.CheckpointLSN, cks[0])
+	}
+	if rec.DB.Size() != 8 {
+		t.Fatalf("recovered size %d, want 8", rec.DB.Size())
+	}
+}
+
+func TestCheckpointAheadOfLogTail(t *testing.T) {
+	// SyncOff power loss can leave a (rename-durable) checkpoint covering
+	// LSNs whose log records were lost. Open must resume past the
+	// checkpoint, not reuse LSNs.
+	dir := t.TempDir()
+	db := store.NewDB(testSchema())
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		mustAppend(t, l, tupleRec("r", false, iv(i), iv(i)))
+		if _, err := db.Insert("r", value.Tuple{iv(i), iv(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WriteCheckpoint(6, db.Save); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the lost unsynced tail: empty the segment entirely; the
+	// checkpoint still covers all six records.
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[len(segs)-1].path, 0); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.LastLSN() != 6 {
+		t.Fatalf("LastLSN %d, want 6 (from checkpoint)", l2.LastLSN())
+	}
+	if lsn := mustAppend(t, l2, tupleRec("r", false, iv(7), iv(7))); lsn != 7 {
+		t.Fatalf("next lsn %d, want 7", lsn)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecoverDB(dir, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.DB.Size() != 7 {
+		t.Fatalf("recovered size %d, want 7", rec.DB.Size())
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+		ok   bool
+	}{
+		{"off", SyncOff, true},
+		{"interval", SyncInterval, true},
+		{"commit", SyncCommit, true},
+		{"", SyncOff, false},
+		{"always", SyncOff, false},
+	} {
+		got, err := ParsePolicy(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+		if tc.ok && got.String() != tc.in {
+			t.Errorf("Policy(%q).String() = %q", tc.in, got.String())
+		}
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, pol := range []Policy{SyncOff, SyncInterval, SyncCommit} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{Fsync: pol, FsyncInterval: time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 20; i++ {
+				mustAppend(t, l, tupleRec("r", false, iv(i), iv(i)))
+			}
+			st := l.Stats()
+			if pol == SyncCommit && st.Fsyncs < 20 {
+				t.Errorf("commit policy: %d fsyncs for 20 appends", st.Fsyncs)
+			}
+			if pol == SyncInterval {
+				deadline := time.Now().Add(2 * time.Second)
+				for l.Stats().Fsyncs == 0 && time.Now().Before(deadline) {
+					time.Sleep(5 * time.Millisecond)
+				}
+				if l.Stats().Fsyncs == 0 {
+					t.Error("interval policy: no fsync within 2s")
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := len(readAll(t, dir)); got != 20 {
+				t.Fatalf("%d records, want 20", got)
+			}
+		})
+	}
+}
+
+func TestStats(t *testing.T) {
+	dir := t.TempDir()
+	db := store.NewDB(testSchema())
+	l, err := Open(dir, Options{Fsync: SyncCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		mustAppend(t, l, tupleRec("r", false, iv(i), iv(i)))
+	}
+	if err := l.WriteCheckpoint(l.LastLSN(), db.Save); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.LastLSN != 5 || st.CheckpointLSN != 5 || st.Appends != 5 || st.Checkpoints != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Segments == 0 || st.SegmentBytes == 0 {
+		t.Fatalf("stats missing segment accounting: %+v", st)
+	}
+	if st.Fsyncs == 0 || st.FsyncTotalMicros < 0 {
+		t.Fatalf("stats missing fsync accounting: %+v", st)
+	}
+	if st.Fsync != "commit" {
+		t.Fatalf("stats policy %q", st.Fsync)
+	}
+}
+
+func TestHasState(t *testing.T) {
+	dir := t.TempDir()
+	if HasState(dir) {
+		t.Fatal("fresh dir has state")
+	}
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !HasState(dir) {
+		t.Fatal("opened dir has no state")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(tupleRec("r", false, iv(1), iv(1))); err == nil {
+		t.Fatal("append accepted on closed log")
+	}
+}
+
+// --- file surgery helpers --------------------------------------------------
+
+func appendBytes(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func truncateBy(t *testing.T, path string, n int64) {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flipLastByte(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		t.Fatal("empty file")
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
