@@ -31,6 +31,8 @@ race:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/parser
 	$(GO) test -run=^$$ -fuzz=FuzzNormalize -fuzztime=10s ./internal/ra
+	$(GO) test -run=^$$ -fuzz=FuzzRouteDecision -fuzztime=10s ./internal/shard
+	$(GO) test -run=^$$ -fuzz=FuzzResiduePlan -fuzztime=10s ./internal/shard
 
 # docs-check is the documentation gate: gofmt-clean sources, vet, and
 # cmd/docscheck (package doc comments everywhere; doc comments on every
@@ -56,9 +58,10 @@ bench-serve:
 # the single engine and against the scatter/gather router at 1, 2, 4 and 8
 # shards, with the routing-decision breakdown per run, plus one run that
 # reshards 2 → 4 live at the replay's halfway mark to price an online
-# migration under load, and a write-heavy pair (40% of client ops are
-# tuple writes) that prices the batched replica apply queue against the
-# unsharded baseline.
+# migration under load, a write-heavy pair (40% of client ops are tuple
+# writes) that prices the batched broadcast apply queue against the
+# unsharded baseline, and a non-distributable-heavy row (30% of client
+# queries residue-routed) that prices the semi-join/shuffle executor.
 bench-shard:
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 1
@@ -68,6 +71,7 @@ bench-shard:
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 2 -reshard 4
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -writemix 0.4
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 4 -writemix 0.4
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 4 -residuemix 0.3
 
 # bench-durable prices the write-ahead log: the same write-heavy replay
 # (40% of client ops are tuple writes) in-memory, then logging to a fresh

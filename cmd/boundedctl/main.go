@@ -78,6 +78,7 @@ func main() {
 	shards := flag.Int("shards", 0, "serve/http: partition count for the sharded router (0 = unsharded); reshard: target count")
 	reshardTo := flag.Int("reshard", 0, "serve: reshard the cluster to this shard count halfway through the replay (0 = off)")
 	writeMix := flag.Float64("writemix", 0, "serve: fraction of client ops replayed as tuple writes (delete+reinsert), in [0, 1)")
+	residueMix := flag.Float64("residuemix", 0, "serve: fraction of client query ops drawn from non-distributable (residue-routed) shapes, in [0, 1); needs a sharded layer")
 	addr := flag.String("addr", ":8080", "http: listen address")
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "http: per-request timeout")
 	maxInFlight := flag.Int("maxinflight", 0, "http: max concurrent queries (unset = 4×GOMAXPROCS, <0 = unlimited)")
@@ -94,6 +95,7 @@ func main() {
 		ReshardTo:       *reshardTo,
 		Transport:       *transport,
 		WriteMix:        *writeMix,
+		ResidueMix:      *residueMix,
 		Scale:           *scale,
 		PoolSize:        *poolSize,
 		Clients:         *clients,
@@ -112,7 +114,7 @@ func main() {
 	durable := durableConfig(*dataDir, *fsync, *checkpointEvery)
 	switch *op {
 	case "serve":
-		if err := serve(*dataset, *transport, *shards, *reshardTo, *scale, *seed, *clients, *writers, *ops, *zipf, *poolSize, *cacheSize, *writeMix, durable); err != nil {
+		if err := serve(*dataset, *transport, *shards, *reshardTo, *scale, *seed, *clients, *writers, *ops, *zipf, *poolSize, *cacheSize, *writeMix, *residueMix, durable); err != nil {
 			fmt.Fprintln(os.Stderr, "boundedctl:", err)
 			os.Exit(1)
 		}
@@ -140,6 +142,7 @@ type cliFlags struct {
 	ReshardTo   int
 	Transport   string
 	WriteMix    float64
+	ResidueMix  float64
 	Scale       float64
 	PoolSize    int
 	Clients     int
@@ -218,6 +221,12 @@ func validateFlags(op string, explicit map[string]bool, f cliFlags) error {
 		if f.WriteMix < 0 || f.WriteMix >= 1 {
 			return fmt.Errorf("-writemix must be in [0, 1), got %g", f.WriteMix)
 		}
+		if f.ResidueMix < 0 || f.ResidueMix >= 1 {
+			return fmt.Errorf("-residuemix must be in [0, 1), got %g", f.ResidueMix)
+		}
+		if f.ResidueMix > 0 && f.Shards == 0 && f.Transport != bench.TransportSharded {
+			return fmt.Errorf("-residuemix %g needs a sharded serving layer: add -transport sharded or -shards N", f.ResidueMix)
+		}
 		if f.PoolSize < 1 {
 			return fmt.Errorf("-pool must be >= 1 (the distinct-query pool size), got %d", f.PoolSize)
 		}
@@ -248,7 +257,7 @@ func validateFlags(op string, explicit map[string]bool, f cliFlags) error {
 	return nil
 }
 
-func serve(dataset, transport string, shards, reshardTo int, scale float64, seed int64, clients, writers, ops int, zipf float64, poolSize, cacheSize int, writeMix float64, durable core.DurableConfig) error {
+func serve(dataset, transport string, shards, reshardTo int, scale float64, seed int64, clients, writers, ops int, zipf float64, poolSize, cacheSize int, writeMix, residueMix float64, durable core.DurableConfig) error {
 	cfg := bench.DefaultServeConfig()
 	cfg.Dataset = dataset
 	cfg.Transport = transport
@@ -263,6 +272,7 @@ func serve(dataset, transport string, shards, reshardTo int, scale float64, seed
 	cfg.PoolSize = poolSize
 	cfg.CacheSize = cacheSize
 	cfg.WriteMix = writeMix
+	cfg.ResidueMix = residueMix
 	cfg.Durable = durable
 	res, err := bench.Serve(cfg)
 	if err != nil {

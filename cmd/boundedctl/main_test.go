@@ -34,25 +34,25 @@ func TestOpsOnBenchmarkDatasets(t *testing.T) {
 }
 
 func TestOpServe(t *testing.T) {
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, core.DurableConfig{}); err != nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}); err != nil {
 		t.Fatalf("serve: %v", err)
 	}
-	if err := serve("nosuch", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0, core.DurableConfig{}); err == nil {
+	if err := serve("nosuch", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0, 0, core.DurableConfig{}); err == nil {
 		t.Error("serve accepted an unknown dataset")
 	}
-	if err := serve("AIRCA", "carrier-pigeon", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0, core.DurableConfig{}); err == nil {
+	if err := serve("AIRCA", "carrier-pigeon", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0, 0, core.DurableConfig{}); err == nil {
 		t.Error("serve accepted an unknown transport")
 	}
 }
 
 func TestOpServeHTTPTransport(t *testing.T) {
-	if err := serve("AIRCA", "http", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, core.DurableConfig{}); err != nil {
+	if err := serve("AIRCA", "http", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}); err != nil {
 		t.Fatalf("serve -transport http: %v", err)
 	}
 }
 
 func TestOpServeShardedTransport(t *testing.T) {
-	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, core.DurableConfig{}); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}); err != nil {
 		t.Fatalf("serve -transport sharded: %v", err)
 	}
 }
@@ -81,10 +81,10 @@ func TestErrors(t *testing.T) {
 }
 
 func TestOpServeMidReplayReshard(t *testing.T) {
-	if err := serve("AIRCA", "sharded", 2, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, core.DurableConfig{}); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}); err != nil {
 		t.Fatalf("serve -transport sharded -reshard 3: %v", err)
 	}
-	if err := serve("AIRCA", "engine", 0, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, core.DurableConfig{}); err == nil {
+	if err := serve("AIRCA", "engine", 0, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}); err == nil {
 		t.Error("serve accepted -reshard without a sharded layer")
 	}
 }
@@ -101,24 +101,36 @@ func TestOpReshardValidation(t *testing.T) {
 // would price replay, not serving.
 func TestOpServeDurable(t *testing.T) {
 	durable := core.DurableConfig{Dir: t.TempDir(), CheckpointEvery: -1}
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, durable); err != nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, 0, durable); err != nil {
 		t.Fatalf("serve durable engine: %v", err)
 	}
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, durable); err == nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, 0, durable); err == nil {
 		t.Error("serve reused a directory that already holds log state")
 	}
 	durable.Dir = t.TempDir()
-	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, durable); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, 0, durable); err != nil {
 		t.Fatalf("serve durable sharded: %v", err)
 	}
 }
 
 func TestOpServeWriteMix(t *testing.T) {
-	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.5, core.DurableConfig{}); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.5, 0, core.DurableConfig{}); err != nil {
 		t.Fatalf("serve -transport sharded -writemix 0.5: %v", err)
 	}
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 1.5, core.DurableConfig{}); err == nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 1.5, 0, core.DurableConfig{}); err == nil {
 		t.Error("serve accepted a write mix >= 1")
+	}
+}
+
+func TestOpServeResidueMix(t *testing.T) {
+	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0.5, core.DurableConfig{}); err != nil {
+		t.Fatalf("serve -transport sharded -residuemix 0.5: %v", err)
+	}
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0.5, core.DurableConfig{}); err == nil {
+		t.Error("serve accepted -residuemix without a sharded layer")
+	}
+	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 1.0, core.DurableConfig{}); err == nil {
+		t.Error("serve accepted a residue mix >= 1")
 	}
 }
 
@@ -160,6 +172,12 @@ func TestValidateFlags(t *testing.T) {
 			mod: func(f *cliFlags) { f.WriteMix = 1 }, wantErr: "-writemix"},
 		{name: "negative writemix", op: "serve",
 			mod: func(f *cliFlags) { f.WriteMix = -0.1 }, wantErr: "-writemix"},
+		{name: "residuemix out of range", op: "serve",
+			mod: func(f *cliFlags) { f.ResidueMix = 1; f.Shards = 2 }, wantErr: "-residuemix"},
+		{name: "residuemix on unsharded serve", op: "serve",
+			mod: func(f *cliFlags) { f.ResidueMix = 0.25 }, wantErr: "sharded serving layer"},
+		{name: "residuemix with shards ok", op: "serve",
+			mod: func(f *cliFlags) { f.ResidueMix = 0.25; f.Shards = 2 }},
 		{name: "explicit maxinflight zero", op: "http",
 			explicit: map[string]bool{"maxinflight": true},
 			mod:      func(f *cliFlags) { f.MaxInFlight = 0 }, wantErr: "-maxinflight 0 is ambiguous"},

@@ -14,7 +14,7 @@
 // docs/OPERATIONS.md), internal/cache (the plan-cache semantics every
 // invariant rests on), internal/core (the engine surface the router and
 // front end build on), internal/store (the storage substrate, including
-// the batched write entry point the replica apply queue relies on),
+// the batched write entry point the broadcast apply queue relies on),
 // internal/wal (the durability contract: framing, LSN and recovery
 // semantics operators rely on when data is on the line) and
 // internal/bench (the replay benchmark operators quote numbers from).

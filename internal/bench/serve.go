@@ -77,10 +77,16 @@ type ServeConfig struct {
 	// WriteMix is the fraction of client ops (in [0, 1)) replayed as tuple
 	// writes — a delete+reinsert pair of a sampled live row — instead of
 	// queries. It prices the write path directly: on a sharded layer every
-	// such op crosses the owner shard synchronously and the replica apply
+	// such op crosses the anchor synchronously and the per-relation apply
 	// queue asynchronously. 0 keeps the replay read-only apart from the
 	// background Writers churn.
 	WriteMix float64
+	// ResidueMix is the fraction of client query ops (in [0, 1)) drawn from
+	// a pool of non-distributable queries — shapes the router must hand to
+	// the distributed residue executor (semi-join + shuffle) instead of
+	// routing whole. It prices residue decomposition against single-shard
+	// and scatter routing. Requires a sharded serving layer.
+	ResidueMix float64
 	// Durable, when Dir is set, serves a crash-safe engine (or router)
 	// that write-ahead-logs every tuple op to that directory before
 	// acknowledging it, pricing durability against the in-memory write
@@ -129,6 +135,12 @@ type ServeResult struct {
 	// Routes the router's routing-decision counters (zero when unsharded).
 	Shards int
 	Routes shard.RouteStats
+	// Residue is the distributed residue-executor snapshot at the end of a
+	// sharded run; ResidueOps counts client ops replayed from the residue
+	// pool under ResidueMix and ResidueQPS is their completion rate.
+	Residue    shard.ResidueStats
+	ResidueOps int64
+	ResidueQPS float64
 	// Procs and CPUs record the execution parallelism of the host
 	// (GOMAXPROCS and the physical CPU count) so throughput numbers carry
 	// their own context — sharded QPS ≈ baseline on a 1-vCPU box is the
@@ -157,8 +169,8 @@ type ServeResult struct {
 	// contributes two Mutations).
 	Mutations int64
 	WriteOps  int64
-	// Apply is the replica apply-queue snapshot at the end of a sharded
-	// run: Enqueued/Batches is the realized write coalescing.
+	// Apply is the apply-queue snapshot at the end of a sharded run:
+	// Enqueued/Batches is the realized write coalescing.
 	Apply shard.ApplyQueueStats
 	// Durability is the write-ahead-log snapshot at the end of a durable
 	// run (nil when the serving layer is in-memory). QPS here vs an
@@ -179,8 +191,13 @@ func (r *ServeResult) Format(w io.Writer) {
 	fmt.Fprintf(w, "# serving benchmark on %s (transport: %s)\n", r.Dataset, r.Transport)
 	fmt.Fprintf(w, "host\tGOMAXPROCS=%d, %d CPUs\n", r.Procs, r.CPUs)
 	if r.Shards > 0 {
-		fmt.Fprintf(w, "shards\t%d (routed: %d single-shard, %d double-routed, %d scatter, %d replica)\n",
-			r.Shards, r.Routes.Single, r.Routes.Double, r.Routes.Scattered, r.Routes.Fallback)
+		fmt.Fprintf(w, "shards\t%d (routed: %d single-shard, %d double-routed, %d scatter, %d residue)\n",
+			r.Shards, r.Routes.Single, r.Routes.Double, r.Routes.Scattered, r.Routes.Residue)
+	}
+	if r.ResidueOps > 0 {
+		fmt.Fprintf(w, "residue\t%d ops at %.0f queries/s (%d semi-joins, %d shuffles, %d bytes shipped, %d broadcast rels)\n",
+			r.ResidueOps, r.ResidueQPS, r.Residue.SemiJoins, r.Residue.Shuffles,
+			r.Residue.BytesShipped, r.Residue.BroadcastRels)
 	}
 	if r.Reshard != nil {
 		fmt.Fprintf(w, "reshard\t%d→%d mid-replay: %d keyed rows moved, %d seeded, %v (ring epoch %d)\n",
@@ -197,7 +214,7 @@ func (r *ServeResult) Format(w io.Writer) {
 		r.Mutations, r.WriteOps)
 	if r.Shards > 0 && r.Apply.Enqueued > 0 {
 		avg := float64(r.Apply.Enqueued) / float64(max(r.Apply.Batches, 1))
-		fmt.Fprintf(w, "replica apply\t%d ops in %d batches (avg %.1f ops/lock), max batch %d, depth %d at end\n",
+		fmt.Fprintf(w, "apply queue\t%d ops in %d batches (avg %.1f ops/lock), max batch %d, depth %d at end\n",
 			r.Apply.Enqueued, r.Apply.Batches, avg, r.Apply.MaxBatch, r.Apply.Depth)
 	}
 	if r.Durability != nil {
@@ -235,6 +252,9 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if cfg.WriteMix < 0 || cfg.WriteMix >= 1 {
 		return nil, fmt.Errorf("bench: WriteMix must be in [0, 1), got %g", cfg.WriteMix)
 	}
+	if cfg.ResidueMix < 0 || cfg.ResidueMix >= 1 {
+		return nil, fmt.Errorf("bench: ResidueMix must be in [0, 1), got %g", cfg.ResidueMix)
+	}
 	transport := cfg.Transport
 	if transport == "" {
 		transport = TransportEngine
@@ -254,6 +274,9 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	}
 	if cfg.ReshardTo > 0 && shards < 1 {
 		return nil, fmt.Errorf("bench: ReshardTo needs a sharded serving layer (set Shards or the sharded transport)")
+	}
+	if cfg.ResidueMix > 0 && shards < 1 {
+		return nil, fmt.Errorf("bench: ResidueMix needs a sharded serving layer (set Shards or the sharded transport)")
 	}
 	durable := cfg.Durable.Dir != ""
 	if durable && wal.HasState(cfg.Durable.Dir) {
@@ -290,8 +313,9 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	}
 
 	// The served Service: the engine itself, or the scatter/gather router
-	// over it. The router adopts db as its full replica, so eng (also on
-	// db) keeps working as the cold/hot probe engine either way.
+	// over it. The router partitions db across its shards at construction;
+	// eng (still on db) keeps working as the cold/hot probe engine either
+	// way.
 	var svc core.Service = eng
 	var router *shard.Router
 	if shards > 0 {
@@ -309,6 +333,20 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 			return nil, err
 		}
 		svc = router
+	}
+
+	// Under ResidueMix the replay mixes in queries the router must
+	// decompose (residue routing). They ride in the same driver pool after
+	// the Zipf-drawn base entries; clients index past baseLen to reach them.
+	baseLen := len(pool)
+	var residueLen int
+	if cfg.ResidueMix > 0 {
+		rpool, err := serveResiduePool(eng, router, d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		residueLen = len(rpool)
+		pool = append(pool, rpool...)
 	}
 
 	var drv serveDriver
@@ -358,14 +396,15 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	// Serving phase.
 	before := svc.CacheStats()
 	var (
-		clientWG  sync.WaitGroup
-		writerWG  sync.WaitGroup
-		completed atomic.Int64
-		errCount  atomic.Int64
-		mutations atomic.Int64
-		writeOps  atomic.Int64
-		latencyNs atomic.Int64
-		stop      atomic.Bool
+		clientWG   sync.WaitGroup
+		writerWG   sync.WaitGroup
+		completed  atomic.Int64
+		errCount   atomic.Int64
+		mutations  atomic.Int64
+		writeOps   atomic.Int64
+		residueOps atomic.Int64
+		latencyNs  atomic.Int64
+		stop       atomic.Bool
 	)
 	perClient := cfg.Ops / cfg.Clients
 
@@ -403,7 +442,7 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		go func(c int) {
 			defer clientWG.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
-			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(pool)-1))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(baseLen-1))
 			for i := 0; i < perClient; i++ {
 				t0 := time.Now()
 				if cfg.WriteMix > 0 && len(sampleRels) > 0 && rng.Float64() < cfg.WriteMix {
@@ -420,6 +459,12 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 					}
 					mutations.Add(2)
 					writeOps.Add(1)
+				} else if residueLen > 0 && rng.Float64() < cfg.ResidueMix {
+					if err := drv.query(baseLen + rng.Intn(residueLen)); err != nil {
+						errCount.Add(1)
+						return
+					}
+					residueOps.Add(1)
 				} else if err := drv.query(int(zipf.Uint64())); err != nil {
 					errCount.Add(1)
 					return
@@ -476,6 +521,11 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if router != nil {
 		res.Routes = router.RouteStats()
 		res.Apply = router.ApplyQueueStats()
+		res.Residue = router.ResidueStats()
+	}
+	res.ResidueOps = residueOps.Load()
+	if res.Duration > 0 {
+		res.ResidueQPS = float64(res.ResidueOps) / res.Duration.Seconds()
 	}
 	res.Cache = cache.Stats{
 		Hits:      after.Hits - before.Hits,
@@ -649,6 +699,50 @@ func servePool(eng *core.Engine, d *workload.Dataset, cfg ServeConfig) ([]ra.Que
 	}
 	if len(pool) == 0 {
 		return nil, fmt.Errorf("bench: no covered queries for %s", cfg.Dataset)
+	}
+	return pool, nil
+}
+
+// serveResiduePool assembles the non-distributable query pool for
+// ResidueMix: random covered generator queries, kept only when the
+// router's own classification would hand them to the distributed residue
+// executor. Join- and difference-heavy parameters make such shapes
+// common; the pool is small on purpose (residue plans are the expensive
+// tail, the mix fraction prices them, not their variety).
+func serveResiduePool(eng *core.Engine, router *shard.Router, d *workload.Dataset, cfg ServeConfig) ([]ra.Query, error) {
+	needText := cfg.Transport == TransportHTTP
+	want := cfg.PoolSize / 4
+	if want < 4 {
+		want = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 31))
+	p := workload.DefaultQueryParams()
+	var pool []ra.Query
+	for tries := 0; len(pool) < want && tries < want*400; tries++ {
+		p.Sel = 2 + rng.Intn(4)
+		p.Join = 1 + rng.Intn(2)
+		p.UniDiff = rng.Intn(2)
+		q, err := d.RandomQuery(p, rng)
+		if err != nil {
+			return nil, err
+		}
+		kind, err := router.RouteKind(q)
+		if err != nil || kind != "residue" {
+			continue
+		}
+		res, err := eng.Check(q)
+		if err != nil || !res.Covered {
+			continue
+		}
+		if needText {
+			if _, err := parser.Format(q, d.Schema); err != nil {
+				continue
+			}
+		}
+		pool = append(pool, q)
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("bench: no covered residue-routed queries for %s (ResidueMix needs shapes the router cannot distribute)", cfg.Dataset)
 	}
 	return pool, nil
 }

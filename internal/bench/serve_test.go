@@ -101,6 +101,9 @@ func TestServeRejectsBadConfig(t *testing.T) {
 		func(c *ServeConfig) { c.Transport = "smoke-signals" },
 		func(c *ServeConfig) { c.WriteMix = 1 },
 		func(c *ServeConfig) { c.WriteMix = -0.2 },
+		func(c *ServeConfig) { c.ResidueMix = 1 },
+		func(c *ServeConfig) { c.ResidueMix = -0.2 },
+		func(c *ServeConfig) { c.ResidueMix = 0.3 }, // needs a sharded layer
 	}
 	for i, mutate := range bad {
 		cfg := DefaultServeConfig()
@@ -167,7 +170,7 @@ func TestServeShardedTransport(t *testing.T) {
 	if res.Routes.Single == 0 {
 		t.Error("no queries took the single-shard fast path")
 	}
-	if res.Routes.Single+res.Routes.Scattered+res.Routes.Fallback != int64(res.Ops) {
+	if res.Routes.Single+res.Routes.Scattered+res.Routes.Residue != int64(res.Ops) {
 		t.Errorf("routing decisions %+v do not add up to %d ops", res.Routes, res.Ops)
 	}
 	if res.Mutations == 0 {
@@ -235,9 +238,9 @@ func TestServeReshardMidReplay(t *testing.T) {
 
 // TestServeWriteMixSharded prices the write-heavy mix against the
 // sharded layer: client write ops flow through the router's synchronous
-// shard commit plus the batched replica apply queue, the run stays
-// error-free, and the result carries the apply-queue accounting that
-// shows replica lock acquisitions are O(batches), not O(writes).
+// owner/anchor commit plus the batched broadcast apply queue, the run
+// stays error-free, and the result carries the apply-queue accounting
+// that shows non-anchor lock acquisitions are O(batches), not O(writes).
 func TestServeWriteMixSharded(t *testing.T) {
 	cfg := DefaultServeConfig()
 	cfg.Scale = 0.03
@@ -256,11 +259,11 @@ func TestServeWriteMixSharded(t *testing.T) {
 		t.Fatal("WriteMix 0.4 produced no client write ops")
 	}
 	queries := int64(res.Ops) - res.WriteOps
-	if got := res.Routes.Single + res.Routes.Double + res.Routes.Scattered + res.Routes.Fallback; got != queries {
+	if got := res.Routes.Single + res.Routes.Double + res.Routes.Scattered + res.Routes.Residue; got != queries {
 		t.Errorf("routing decisions %+v sum to %d, want the %d query ops", res.Routes, got, queries)
 	}
 	if res.Apply.Enqueued == 0 {
-		t.Fatal("no replica writes were enqueued")
+		t.Fatal("no broadcast writes were enqueued")
 	}
 	if res.Apply.Errors != 0 {
 		t.Errorf("apply queue recorded %d store errors", res.Apply.Errors)
@@ -270,8 +273,47 @@ func TestServeWriteMixSharded(t *testing.T) {
 	}
 	var sb strings.Builder
 	res.Format(&sb)
-	if !strings.Contains(sb.String(), "replica apply") {
-		t.Errorf("report missing the replica apply line:\n%s", sb.String())
+	if !strings.Contains(sb.String(), "apply queue") {
+		t.Errorf("report missing the apply-queue line:\n%s", sb.String())
+	}
+}
+
+// TestServeResidueMixSharded prices the non-distributable mix: a slice
+// of client queries is drawn from a residue-routed pool (cross-key
+// joins, differences over partitioned operands), the run stays
+// error-free, and the result carries the residue accounting — ops, QPS,
+// and the executor's semi-join/shuffle counters.
+func TestServeResidueMixSharded(t *testing.T) {
+	cfg := DefaultServeConfig()
+	cfg.Scale = 0.03
+	cfg.Ops = 1500
+	cfg.Transport = TransportSharded
+	cfg.Shards = 2
+	cfg.ResidueMix = 0.3
+	res, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d serving errors under the residue mix", res.Errors)
+	}
+	if res.ResidueOps == 0 {
+		t.Fatal("ResidueMix 0.3 produced no residue query ops")
+	}
+	if res.ResidueQPS <= 0 {
+		t.Errorf("residue ops recorded but QPS %.2f not computed", res.ResidueQPS)
+	}
+	if res.Routes.Residue < res.ResidueOps {
+		t.Errorf("router counted %d residue routes for %d residue client ops",
+			res.Routes.Residue, res.ResidueOps)
+	}
+	if res.Residue.BroadcastRels == 0 {
+		t.Error("residue stats report no broadcast relations on AIRCA")
+	}
+	var sb strings.Builder
+	res.Format(&sb)
+	if !strings.Contains(sb.String(), "residue") {
+		t.Errorf("report missing the residue line:\n%s", sb.String())
 	}
 }
 

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -109,6 +110,12 @@ type Options struct {
 func DefaultOptions() Options {
 	return Options{Minimize: true, Rewrite: true, FallbackToBaseline: true, Cache: true}
 }
+
+// ErrNotCovered is returned when a query is not covered by the access
+// schema and Options.FallbackToBaseline is off. The sharded router's
+// residue executor returns the same error for the same condition, so a
+// cluster and a single engine reject identically.
+var ErrNotCovered = errors.New("core: query is not covered by the access schema")
 
 // NewEngine validates the schemas, builds the indices I_A on db, and
 // returns an engine ready to process queries, with a plan cache of
@@ -319,6 +326,71 @@ func (e *Engine) cacheKeyLocked(fp string, opts Options) string {
 	return fmt.Sprintf("v%d|m%t|r%t|%s", e.version.Load(), opts.Minimize, opts.Rewrite, fp)
 }
 
+// Analyze runs the analysis half of the pipeline on norm — exactly the
+// compile ExecuteNormalized would perform under opts, sharing the same
+// plan cache — and returns the Report WITHOUT executing anything: the
+// coverage verdict (after rewriting), the rewrite trail, the bounded plan
+// and minimized schema, the cache-hit flag and the analysis latencies.
+// Report.Bounded is set to the coverage verdict, anticipating the bounded
+// path a covered execution would take.
+//
+// The sharded router's residue executor calls it on one shard engine to
+// obtain the verdict a full-copy engine would have reported for a
+// non-distributable query — sound because compilation is data-independent
+// and every engine of a healthy cluster carries the same access schema —
+// then evaluates the query by shipping sub-plans instead of owning the
+// data. fp follows the ExecuteNormalized contract.
+func (e *Engine) Analyze(norm ra.Query, fp string, opts Options) (*Report, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	var key string
+	if opts.Cache && e.plans != nil {
+		if fp == "" {
+			fp = ra.FingerprintNormalized(norm)
+		}
+		key = e.cacheKeyLocked(fp, opts)
+		if v, ok := e.plans.Get(key); ok {
+			rep := &Report{CacheHit: true, Version: e.version.Load()}
+			analyzed(v.(*compiled), rep)
+			return rep, nil
+		}
+	}
+	rep := &Report{Version: e.version.Load()}
+	c, err := e.compile(norm, opts, rep)
+	if err != nil {
+		return nil, err
+	}
+	if key != "" {
+		e.plans.Put(key, c)
+	}
+	analyzed(c, rep)
+	return rep, nil
+}
+
+// analyzed fills the compile-derived Report fields from a cache entry.
+func analyzed(c *compiled, rep *Report) {
+	rep.Covered = c.covered
+	rep.Rewritten = c.rewritten
+	rep.RewriteRules = c.rules
+	rep.Plan = c.plan
+	rep.Minimized = c.minimized
+	rep.Bounded = c.covered
+}
+
+// EvalSubtree evaluates one subtree of a normalized query against this
+// engine's local slice with the conventional evaluator, returning the
+// table, its positional attribute scope and the access cost. It is the
+// shard-side half of distributed residue execution: the router decides
+// which subtrees are safe to evaluate per shard (internal/shard/route.go)
+// and ships them here; no coverage checking applies because the subtree
+// is not a whole query.
+func (e *Engine) EvalSubtree(q ra.Query) (*exec.Table, []ra.Attr, exec.Stats, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return exec.EvalSubtree(q, e.schema, e.db)
+}
+
 // Prewarm runs the analysis half of the pipeline on norm — coverage
 // check, rewriting, minimization, plan generation, exactly as Execute
 // would under opts — and installs the artifact in the plan cache without
@@ -420,7 +492,7 @@ func (e *Engine) runCompiled(c *compiled, opts Options, rep *Report) (*exec.Tabl
 
 	if !c.covered {
 		if !opts.FallbackToBaseline {
-			return nil, rep, fmt.Errorf("core: query is not covered by the access schema")
+			return nil, rep, ErrNotCovered
 		}
 		table, st, err := exec.RunBaseline(c.norm, e.schema, e.db)
 		if err != nil {

@@ -26,6 +26,39 @@ func RunBaseline(q ra.Query, s ra.Schema, db *store.DB) (*Table, Stats, error) {
 	return t, acc.stats(start, 0), nil
 }
 
+// EvalSubtree evaluates one subtree of a normalized query the
+// conventional way and returns the result table together with the
+// attribute scope its columns are positionally labeled by. It is the
+// sub-plan execution entry point of the sharded residue executor
+// (internal/shard): the router recurses over a non-distributable query,
+// ships the distributable subtrees to shard engines through this call,
+// and combines the pieces itself — column labels are derived
+// deterministically from the subtree alone, so tables computed for the
+// same subtree on different shards union positionally.
+func EvalSubtree(q ra.Query, s ra.Schema, db *store.DB) (*Table, []ra.Attr, Stats, error) {
+	start := time.Now()
+	var acc accCounter
+	t, attrs, err := evalBaseline(q, s, db, &acc)
+	if err != nil {
+		return nil, nil, Stats{}, err
+	}
+	return t, attrs, acc.stats(start, 0), nil
+}
+
+// PredsHold reports whether row, whose columns are positionally described
+// by scope, satisfies every predicate. Exported for the sharded residue
+// executor, which applies a selection's predicates router-side when the
+// selection's input could not be shipped whole to any one shard.
+func PredsHold(row value.Tuple, scope []ra.Attr, preds []ra.Pred) (bool, error) {
+	return predsHold(row, scope, preds)
+}
+
+// AttrIndex returns the position of a in attrs, or -1. Exported for the
+// residue executor's router-side projection over shipped subtree results.
+func AttrIndex(attrs []ra.Attr, a ra.Attr) int {
+	return attrIndex(attrs, a)
+}
+
 func evalBaseline(q ra.Query, s ra.Schema, db *store.DB, acc *accCounter) (*Table, []ra.Attr, error) {
 	if ra.IsSPC(q) {
 		spc, err := flattenOne(q, s)

@@ -552,11 +552,13 @@ type resharder interface {
 }
 
 // writePather is implemented by core.Service implementations with an
-// asynchronous replica write pipeline and a routing layer (the router of
-// internal/shard); /stats folds both counter sets in for operators.
+// asynchronous broadcast write pipeline, a routing layer and a
+// distributed residue executor (the router of internal/shard); /stats
+// folds all three counter sets in for operators.
 type writePather interface {
 	ApplyQueueStats() shard.ApplyQueueStats
 	RouteStats() shard.RouteStats
+	ResidueStats() shard.ResidueStats
 }
 
 // healther is implemented by core.Service implementations that can fail
@@ -649,6 +651,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// the drain.
 	var applyW *ApplyStatsWire
 	var routesW *RouteStatsWire
+	var residueW *ResidueStatsWire
 	if wp, ok := s.eng.(writePather); ok {
 		aq := wp.ApplyQueueStats()
 		applyW = &ApplyStatsWire{
@@ -664,7 +667,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Single:    rt.Single,
 			Double:    rt.Double,
 			Scattered: rt.Scattered,
-			Fallback:  rt.Fallback,
+			Residue:   rt.Residue,
+		}
+		rd := wp.ResidueStats()
+		residueW = &ResidueStatsWire{
+			SemiJoins:     rd.SemiJoins,
+			Shuffles:      rd.Shuffles,
+			BroadcastRels: rd.BroadcastRels,
+			Repartitions:  rd.Repartitions,
+			BytesShipped:  rd.BytesShipped,
 		}
 	}
 	var duraW *DurabilityWire
@@ -690,6 +701,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:         cacheWire(cs),
 		Apply:         applyW,
 		Routes:        routesW,
+		Residue:       residueW,
 		Durability:    duraW,
 		DBSize:        s.eng.DBSize(),
 		IndexEntries:  s.eng.IndexEntries(),
@@ -737,7 +749,7 @@ func cacheWire(cs cache.Stats) CacheStatsWire {
 
 // handleHealth answers the liveness probe: 200 "ok" normally, 503
 // "degraded" once the serving layer has retained a write-pipeline
-// failure (a replica apply rejection, or a log append/fsync/checkpoint
+// failure (an apply-queue batch rejection, or a log append/fsync/checkpoint
 // error on a durable engine). The first error sticks until restart —
 // after it, acknowledged writes may be missing from the log, so
 // orchestrators should replace the process and let recovery replay the

@@ -51,7 +51,7 @@ func TestServerOverShardedRouter(t *testing.T) {
 		`q(airline) :- ontime(f, 42, d, airline, m, delay)`,                                             // single-shard fast path
 		`q(origin, dest) :- ontime(f, origin, dest, 3, m, delay)`,                                       // scatter, uncovered
 		`q(city) :- ontime(123, origin, dest, al, m, delay), airport(origin, city, st)`,                 // scatter, covered
-		`q(origin, dest, cause) :- ontime(77, origin, dest, al, m, delay), delaycause(77, cause, mins)`, // replica
+		`q(origin, dest, cause) :- ontime(77, origin, dest, al, m, delay), delaycause(77, cause, mins)`, // distributed residue
 	}
 	for _, src := range queries {
 		want, err := singleCli.Query(ctx, src)
@@ -81,19 +81,22 @@ func TestServerOverShardedRouter(t *testing.T) {
 	if mres.Applied != 1 || mres.Version != 0 {
 		t.Errorf("insert applied=%d version=%d, want 1 and 0", mres.Applied, mres.Version)
 	}
+	// A broadcast-relation write fans out through the apply queue (anchor
+	// synchronous, remaining members enqueued).
+	ctup := value.Tuple{value.NewInt(9777), value.NewInt(1), value.NewInt(1)}
+	if _, err := shardedCli.Insert(ctx, "carrier", []value.Tuple{ctup}); err != nil {
+		t.Fatal(err)
+	}
 
 	stats, err := shardedCli.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(stats.Shards) != 4 {
-		t.Fatalf("stats.Shards has %d entries, want 3 shards + replica", len(stats.Shards))
-	}
-	if stats.Shards[3].Label != "replica" {
-		t.Errorf("last shard stat labeled %q, want replica", stats.Shards[3].Label)
+	if len(stats.Shards) != 3 {
+		t.Fatalf("stats.Shards has %d entries, want 3 shards", len(stats.Shards))
 	}
 	var physical int64
-	for _, s := range stats.Shards[:3] {
+	for _, s := range stats.Shards {
 		physical += s.DBSize
 	}
 	if physical < stats.DBSize {
@@ -113,9 +116,9 @@ func TestServerOverShardedRouter(t *testing.T) {
 	if stats.Ring == nil || stats.Ring.Shards != 3 || stats.Ring.Epoch != 1 {
 		t.Errorf("sharded stats ring = %+v, want 3 shards at epoch 1", stats.Ring)
 	}
-	// Write-path observability: the sharded server reports the replica
-	// apply queue and the routing breakdown; the single engine reports
-	// neither.
+	// Write-path observability: the sharded server reports the broadcast
+	// apply queue, the routing breakdown and the residue-executor
+	// counters; the single engine reports none of them.
 	if stats.Apply == nil {
 		t.Fatal("sharded stats missing the apply-queue block")
 	}
@@ -128,12 +131,24 @@ func TestServerOverShardedRouter(t *testing.T) {
 	if stats.Routes == nil {
 		t.Fatal("sharded stats missing the routing breakdown")
 	}
-	if got := stats.Routes.Single + stats.Routes.Double + stats.Routes.Scattered + stats.Routes.Fallback; got == 0 {
+	if got := stats.Routes.Single + stats.Routes.Double + stats.Routes.Scattered + stats.Routes.Residue; got == 0 {
 		t.Error("routing breakdown is all zero after served queries")
 	}
-	if sstats.Apply != nil || sstats.Routes != nil {
-		t.Errorf("single-engine stats unexpectedly carries write-path blocks: apply=%+v routes=%+v",
-			sstats.Apply, sstats.Routes)
+	if stats.Routes.Residue == 0 {
+		t.Error("residue-routed probe not counted in the routing breakdown")
+	}
+	if stats.Residue == nil {
+		t.Fatal("sharded stats missing the residue block")
+	}
+	if stats.Residue.BroadcastRels == 0 {
+		t.Error("residue block reports no broadcast relations on AIRCA")
+	}
+	if stats.Residue.SemiJoins < 0 || stats.Residue.Shuffles < 0 || stats.Residue.BytesShipped < 0 {
+		t.Errorf("implausible residue counters: %+v", stats.Residue)
+	}
+	if sstats.Apply != nil || sstats.Routes != nil || sstats.Residue != nil {
+		t.Errorf("single-engine stats unexpectedly carries write-path blocks: apply=%+v routes=%+v residue=%+v",
+			sstats.Apply, sstats.Routes, sstats.Residue)
 	}
 }
 
@@ -178,8 +193,8 @@ func TestReshardEndpoint(t *testing.T) {
 	if stats.Ring == nil || stats.Ring.Shards != 5 || stats.Ring.Epoch != 2 || stats.Ring.Migration != nil {
 		t.Errorf("ring after reshard = %+v, want 5 shards at epoch 2, no migration", stats.Ring)
 	}
-	if len(stats.Shards) != 6 {
-		t.Errorf("stats.Shards has %d entries after grow, want 5 shards + replica", len(stats.Shards))
+	if len(stats.Shards) != 5 {
+		t.Errorf("stats.Shards has %d entries after grow, want 5 shards", len(stats.Shards))
 	}
 
 	// Guard rails: invalid target and unsharded serving layer.

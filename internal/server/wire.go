@@ -128,7 +128,7 @@ type StatsResponse struct {
 	Cache CacheStatsWire `json:"cache"`
 	// DBSize is total tuples across base relations; IndexEntries total
 	// entries across the indices I_A. Behind a sharded router these are
-	// logical sizes (each replicated copy counted once) while the Shards
+	// logical sizes (each broadcast copy counted once) while the Shards
 	// breakdown reports physical per-engine sizes.
 	DBSize       int64  `json:"dbSize"`
 	IndexEntries int64  `json:"indexEntries"`
@@ -146,12 +146,15 @@ type StatsResponse struct {
 	// Ring is the consistent-hash placement state (epoch, size, in-flight
 	// migration), present only for a sharded cluster.
 	Ring *RingStatsWire `json:"ring,omitempty"`
-	// Apply is the replica apply-queue snapshot (write-path backlog and
-	// batching), present only for a sharded cluster.
+	// Apply is the apply-queue snapshot (asynchronous broadcast write
+	// backlog and batching), present only for a sharded cluster.
 	Apply *ApplyStatsWire `json:"apply,omitempty"`
 	// Routes is the routing-decision breakdown, present only for a sharded
 	// cluster.
 	Routes *RouteStatsWire `json:"routes,omitempty"`
+	// Residue is the distributed residue-executor breakdown (semi-joins,
+	// shuffles, placement changes), present only for a sharded cluster.
+	Residue *ResidueStatsWire `json:"residue,omitempty"`
 	// Durability is the write-ahead-log snapshot, present only when the
 	// serving layer was started durable (-data-dir).
 	Durability *DurabilityWire `json:"durability,omitempty"`
@@ -180,24 +183,25 @@ type DurabilityWire struct {
 	FsyncMeanMicros float64 `json:"fsyncMeanMicros"`
 }
 
-// ApplyStatsWire is the replica apply-queue snapshot in GET /stats: the
-// asynchronous write pipeline that batches replica applications
-// (internal/shard). Sampled before the fencing reads of the same /stats
-// response, so Depth reflects the backlog at request arrival.
+// ApplyStatsWire is the apply-queue snapshot in GET /stats: the
+// asynchronous per-relation write pipeline that batches broadcast
+// applications onto non-anchor shards (internal/shard). Sampled before
+// the fencing reads of the same /stats response, so Depth reflects the
+// backlog at request arrival.
 type ApplyStatsWire struct {
-	// Enqueued counts replica writes accepted since start; Applied is the
-	// watermark (writes that have reached the replica); Depth is their
-	// difference — the replica's current watermark lag in ops.
+	// Enqueued counts asynchronous writes accepted since start; Applied is
+	// the watermark (writes that have reached every target engine); Depth
+	// is their difference — the current watermark lag in ops.
 	Enqueued int64 `json:"enqueued"`
 	Applied  int64 `json:"applied"`
 	Depth    int64 `json:"depth"`
-	// Batches counts batched replica applications (one replica write-lock
+	// Batches counts batched applications (one engine write-lock
 	// acquisition each); MaxBatch is the largest batch so far.
 	Batches  int64 `json:"batches"`
 	MaxBatch int64 `json:"maxBatch"`
-	// Errors counts batch applications the replica store rejected (at
-	// least one op failed); non-zero indicates a bug, since writes are
-	// validated before they are enqueued.
+	// Errors counts batch applications a target store rejected (at least
+	// one op failed); non-zero indicates a bug, since writes are validated
+	// on the anchor before they are enqueued.
 	Errors int64 `json:"errors"`
 }
 
@@ -205,17 +209,37 @@ type ApplyStatsWire struct {
 type RouteStatsWire struct {
 	// Single counts single-shard executions; Double keyed reads that
 	// double-routed to two owners mid-reshard (each one a two-owner
-	// gather); Scattered full scatter/gather executions; Fallback
-	// executions on the replica.
+	// gather); Scattered full scatter/gather executions; Residue
+	// executions decomposed by the distributed residue executor.
 	Single    int64 `json:"single"`
 	Double    int64 `json:"double"`
 	Scattered int64 `json:"scattered"`
-	Fallback  int64 `json:"fallback"`
+	Residue   int64 `json:"residue"`
+}
+
+// ResidueStatsWire is the distributed residue-executor breakdown in GET
+// /stats. Operators read it to size the broadcast set and to see how much
+// row volume non-distributable joins would ship in a multi-node
+// deployment.
+type ResidueStatsWire struct {
+	// SemiJoins counts semi-join reductions performed; Shuffles the hash
+	// shuffles that followed them.
+	SemiJoins int64 `json:"semiJoins"`
+	Shuffles  int64 `json:"shuffles"`
+	// BroadcastRels is the number of relations currently placed by
+	// broadcast (full copy on every shard).
+	BroadcastRels int `json:"broadcastRels"`
+	// Repartitions counts completed online placement changes (including
+	// automatic demotions of overgrown broadcast relations).
+	Repartitions int64 `json:"repartitions"`
+	// BytesShipped is the encoded row volume handed to shuffle buckets —
+	// the traffic the shuffles would put on the wire across nodes.
+	BytesShipped int64 `json:"bytesShipped"`
 }
 
 // ShardStatsWire is one engine of a sharded cluster in GET /stats.
 type ShardStatsWire struct {
-	// Label identifies the engine: "shard/0" … "shard/N-1" or "replica".
+	// Label identifies the engine: "shard/0" … "shard/N-1".
 	Label string `json:"label"`
 	// Queries counts query executions routed to this engine.
 	Queries int64 `json:"queries"`
@@ -249,7 +273,7 @@ type ReshardResponse struct {
 	From int `json:"from,omitempty"`
 	To   int `json:"to"`
 	// Moved counts keyed rows that changed owner; Seeded counts
-	// replicated row copies streamed onto engines created by growth.
+	// broadcast row copies streamed onto engines created by growth.
 	Moved  int64 `json:"moved,omitempty"`
 	Seeded int64 `json:"seeded,omitempty"`
 	// Epoch is the ring epoch after the flip.

@@ -19,18 +19,30 @@ func freshOntime(i int64) value.Tuple {
 		value.NewInt(7), value.NewInt(1), value.NewInt(30)}
 }
 
-// TestReplicaApplyBatching is the acceptance check for the write-path
-// fix: with the applier paused, N router writes accumulate as queue
-// backlog (the shards commit synchronously, the replica does not), and
-// draining them costs exactly ONE batched application — one replica lock
-// acquisition — instead of N.
-func TestReplicaApplyBatching(t *testing.T) {
+// freshCarrier fabricates a carrier tuple (a broadcast relation in AIRCA)
+// with a distinct airline id outside the generated range.
+func freshCarrier(i int64) value.Tuple {
+	return value.Tuple{value.NewInt(9000 + i), value.NewInt(900), value.NewInt(1)}
+}
+
+// freshPlane fabricates a plane tuple (another broadcast relation) with a
+// distinct tailnum outside the generated range.
+func freshPlane(i int64) value.Tuple {
+	return value.Tuple{value.NewInt(90000 + i), value.NewInt(1), value.NewInt(5), value.NewInt(2001)}
+}
+
+// TestApplyBatching is the acceptance check for the broadcast write path:
+// with the applier paused, N broadcast writes commit synchronously on the
+// anchor but accumulate their non-anchor copies as queue backlog, and
+// draining them costs exactly ONE batched application per target engine —
+// one write-lock acquisition — instead of N.
+func TestApplyBatching(t *testing.T) {
 	_, router, _ := buildPair(t, "AIRCA", 2)
 	router.aq.paused.Store(true)
 	s0 := router.ApplyQueueStats()
 	const n = 200
 	for i := int64(0); i < n; i++ {
-		if _, err := router.Insert("ontime", freshOntime(i)); err != nil {
+		if _, err := router.Insert("carrier", freshCarrier(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -42,13 +54,16 @@ func TestReplicaApplyBatching(t *testing.T) {
 	if mid.Batches != s0.Batches {
 		t.Fatalf("paused applier still ran %d batches", mid.Batches-s0.Batches)
 	}
-	// The owning shards committed synchronously despite the backlog.
+	members := router.state.Load().members
+	// The anchor committed synchronously despite the backlog; the other
+	// member has not seen the last write yet.
 	for i := int64(0); i < n; i++ {
-		tup := freshOntime(i)
-		owner := router.ownerOf(tup[1])
-		if ok, _ := router.state.Load().members[owner].eng.DB().Has("ontime", tup); !ok {
-			t.Fatalf("write %d not on its owner shard while replica lagged", i)
+		if ok, _ := members[0].eng.DB().Has("carrier", freshCarrier(i)); !ok {
+			t.Fatalf("write %d not on the anchor while the lane lagged", i)
 		}
+	}
+	if ok, _ := members[1].eng.DB().Has("carrier", freshCarrier(n-1)); ok {
+		t.Fatal("non-anchor member applied synchronously; expected a queued copy")
 	}
 	router.aq.paused.Store(false)
 	router.aq.fenceAll()
@@ -66,50 +81,117 @@ func TestReplicaApplyBatching(t *testing.T) {
 		t.Errorf("apply queue recorded %d store errors", s1.Errors)
 	}
 	for i := int64(0); i < n; i++ {
-		if ok, _ := router.ref.DB().Has("ontime", freshOntime(i)); !ok {
-			t.Fatalf("replica missing write %d after drain", i)
+		if ok, _ := members[1].eng.DB().Has("carrier", freshCarrier(i)); !ok {
+			t.Fatalf("non-anchor member missing write %d after drain", i)
 		}
 	}
 }
 
-// TestReplicaFenceReadYourWrites pins the watermark fence on every
-// replica-routed read: an acknowledged write not yet applied to the
-// replica is still observed by DBSize, IndexEntries and replica-fallback
-// queries, because each drains the queue first.
-func TestReplicaFenceReadYourWrites(t *testing.T) {
+// TestFenceReadYourWrites pins the per-relation watermark fence on the
+// read path: an acknowledged broadcast write not yet applied to the
+// non-anchor members is still observed by any query that reads the
+// relation, because Execute fences the relation's lane first.
+func TestFenceReadYourWrites(t *testing.T) {
 	_, router, _ := buildPair(t, "AIRCA", 2)
 	size0 := router.DBSize()
 	router.aq.paused.Store(true)
-	tup := freshOntime(1)
-	if _, err := router.Insert("ontime", tup); err != nil {
+	tup := freshCarrier(1)
+	if _, err := router.Insert("carrier", tup); err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := router.ref.DB().Has("ontime", tup); ok {
-		t.Fatal("replica applied synchronously; expected a queued write")
+	members := router.state.Load().members
+	if ok, _ := members[1].eng.DB().Has("carrier", tup); ok {
+		t.Fatal("non-anchor member applied synchronously; expected a queued copy")
 	}
 	if got := router.DBSize(); got != size0+1 {
-		t.Fatalf("DBSize = %d after acknowledged write, want %d (fence must drain first)", got, size0+1)
+		t.Fatalf("DBSize = %d after acknowledged write, want %d", got, size0+1)
 	}
-	if ok, _ := router.ref.DB().Has("ontime", tup); !ok {
-		t.Fatal("DBSize fence did not drain the queue")
-	}
-
-	// A replica-fallback query behind a fresh backlog sees its own writes.
-	if _, err := router.Delete("ontime", tup); err != nil {
+	// Any read of the relation fences its lane — wherever it routes.
+	q, err := router.Parse(`q(cname) :- carrier(9001, cname, country)`)
+	if err != nil {
 		t.Fatal(err)
 	}
-	q, err := router.Parse(`q(origin, dest, cause) :- ontime(77, origin, dest, al, m, delay), delaycause(77, cause, mins)`)
+	table, _, err := router.Execute(q, core.DefaultOptions())
 	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() != 1 {
+		t.Fatalf("read-your-writes: query over the written tuple returned %d rows, want 1", table.Len())
+	}
+	if s := router.ApplyQueueStats(); s.Depth != 0 {
+		t.Errorf("carrier read left a backlog of %d (fence must drain the lane)", s.Depth)
+	}
+	if ok, _ := members[1].eng.DB().Has("carrier", tup); !ok {
+		t.Fatal("read fence did not drain the lane")
+	}
+
+	// Same for deletes: a fenced read must not see the deleted tuple on
+	// any member.
+	if _, err := router.Delete("carrier", tup); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := router.Execute(q, core.DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
-	if s := router.ApplyQueueStats(); s.Depth != 0 {
-		t.Errorf("fallback execution left a backlog of %d (fence must drain it)", s.Depth)
+	if ok, _ := members[1].eng.DB().Has("carrier", tup); ok {
+		t.Error("fenced member still holds a deleted tuple")
 	}
-	if ok, _ := router.ref.DB().Has("ontime", tup); ok {
-		t.Error("fenced replica still holds a deleted tuple")
+	router.aq.paused.Store(false)
+}
+
+// TestPerRelationFenceIsolation pins the point of per-relation lanes: a
+// read that depends only on relation R drains R's lane and leaves an
+// unrelated relation's deep backlog untouched — the fence costs O(R's own
+// backlog), not O(total backlog). The drain counter of the backlogged
+// lane pins that it was NOT drained, not merely that its depth survived.
+func TestPerRelationFenceIsolation(t *testing.T) {
+	_, router, _ := buildPair(t, "AIRCA", 2)
+	router.aq.paused.Store(true)
+	const deep = 50
+	for i := int64(0); i < deep; i++ {
+		if _, err := router.Insert("carrier", freshCarrier(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tup := freshPlane(1)
+	if _, err := router.Insert("plane", tup); err != nil {
+		t.Fatal(err)
+	}
+	cDepth0, cDrains0 := router.aq.laneStats("carrier")
+	pDepth0, _ := router.aq.laneStats("plane")
+	if cDepth0 != deep || pDepth0 != 1 {
+		t.Fatalf("backlog setup: carrier depth %d (want %d), plane depth %d (want 1)", cDepth0, deep, pDepth0)
+	}
+
+	// A query reading only plane fences only plane's lane.
+	q, err := router.Parse(`q(model) :- plane(90001, airline, model, year)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, _, err := router.Execute(q, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() != 1 {
+		t.Fatalf("plane read returned %d rows, want 1 (read-your-writes through the lane fence)", table.Len())
+	}
+	pDepth1, _ := router.aq.laneStats("plane")
+	cDepth1, cDrains1 := router.aq.laneStats("carrier")
+	if pDepth1 != 0 {
+		t.Errorf("plane lane depth %d after a plane read, want 0", pDepth1)
+	}
+	if cDepth1 != deep {
+		t.Errorf("carrier lane depth %d after a plane read, want %d (unrelated backlog must survive)", cDepth1, deep)
+	}
+	if cDrains1 != cDrains0 {
+		t.Errorf("carrier lane was drained %d times by a plane read, want 0", cDrains1-cDrains0)
+	}
+
+	// fenceAll still drains everything.
+	router.aq.paused.Store(false)
+	router.aq.fenceAll()
+	if s := router.ApplyQueueStats(); s.Depth != 0 {
+		t.Errorf("fenceAll left a backlog of %d", s.Depth)
 	}
 }
 
@@ -231,7 +313,7 @@ func TestGatherFirstErrorPath(t *testing.T) {
 	if rs1.Scattered != rs0.Scattered+1 {
 		t.Errorf("Scattered %d → %d, want exactly +1", rs0.Scattered, rs1.Scattered)
 	}
-	if rs1.Single != rs0.Single || rs1.Fallback != rs0.Fallback || rs1.Double != rs0.Double {
+	if rs1.Single != rs0.Single || rs1.Residue != rs0.Residue || rs1.Double != rs0.Double {
 		t.Errorf("error path corrupted unrelated counters: %+v → %+v", rs0, rs1)
 	}
 	for i, m := range router.state.Load().members {
@@ -239,9 +321,19 @@ func TestGatherFirstErrorPath(t *testing.T) {
 			t.Errorf("shard %d query counter %d → %d, want +1 (every member executed)", i, q0[i], got)
 		}
 	}
-	// The pools and the router survive the error: the replica fallback
-	// still answers.
-	fb, err := router.Parse(`q(origin, dest, cause) :- ontime(77, origin, dest, al, m, delay), delaycause(77, cause, mins)`)
+	// The pools and the router survive the error: a keyed read on an
+	// unbroken shard still answers.
+	key := int64(-1)
+	for k := int64(0); k < 1000; k++ {
+		if router.ownerOf(value.NewInt(k)) != 1 {
+			key = k
+			break
+		}
+	}
+	if key < 0 {
+		t.Fatal("no key owned by an unbroken shard")
+	}
+	fb, err := router.Parse(`q(airline) :- ontime(f, ` + value.NewInt(key).String() + `, d, airline, m, delay)`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,9 +421,9 @@ func TestWorkerPoolBoundsConcurrency(t *testing.T) {
 	}
 }
 
-// TestMutateValidation pins the up-front write validation that replaces
-// the replica's synchronous verdict: unknown relations and arity
-// mismatches fail before anything is applied or enqueued.
+// TestMutateValidation pins the up-front write validation: unknown
+// relations and arity mismatches fail before anything is applied or
+// enqueued.
 func TestMutateValidation(t *testing.T) {
 	_, router, _ := buildPair(t, "AIRCA", 2)
 	s0 := router.ApplyQueueStats()
@@ -349,8 +441,8 @@ func TestMutateValidation(t *testing.T) {
 	}
 }
 
-// TestRouterWriteVerdicts asserts the shard-side verdict matches what the
-// replica-first path used to report: set semantics over the cluster.
+// TestRouterWriteVerdicts asserts the anchor-side verdict reports set
+// semantics over the cluster for both partitioned and broadcast writes.
 func TestRouterWriteVerdicts(t *testing.T) {
 	_, router, _ := buildPair(t, "AIRCA", 2)
 	tup := freshOntime(9)

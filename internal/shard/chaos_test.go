@@ -51,8 +51,10 @@ func newChaosWorld(t *testing.T, shards int) *chaosWorld {
 		`q(airline) :- ontime(f, 42, d, airline, m, delay)`,                                                                                           // keyed fast path (double-routed mid-move)
 		`q(origin, dest) :- ontime(f, origin, dest, 3, m, delay)`,                                                                                     // scatter, uncovered
 		`q(city) :- ontime(123, origin, dest, al, m, delay), airport(origin, city, st)`,                                                               // scatter, covered
-		`q(origin, dest, cause) :- ontime(77, origin, dest, al, m, delay), delaycause(77, cause, mins)`,                                               // replica fallback
-		`q(cname) :- carrier(3, cname, country)`,                                                                                                      // replicated-only single shard
+		`q(origin, dest, cause) :- ontime(77, origin, dest, al, m, delay), delaycause(77, cause, mins)`,                                               // residue: cross-keyed product, no link (nested loop)
+		`q(origin, cause) :- ontime(f, origin, dest, al, m, delay), delaycause(f, cause, mins)`,                                                       // residue: semi-join + shuffle on the fid link
+		`(q(origin) :- ontime(f, origin, dest, al, m, delay)) EXCEPT (q(origin) :- delaycause(f2, origin, mins))`,                                     // residue: difference over a partitioned right operand
+		`q(cname) :- carrier(3, cname, country)`,                                                                                                      // broadcast-only single shard
 		`(q(airline) :- ontime(f, 42, d, airline, m, delay)) EXCEPT (q(airline) :- carrier(airline, nm, 0), ontime(f2, 42, d2, airline, m2, delay2))`, // non-monotone keyed (never double-routed)
 	} {
 		q, err := router.Parse(src)
@@ -133,8 +135,9 @@ func TestChaosReshardDifferential(t *testing.T) {
 	errCh := make(chan error, 16)
 
 	// Writers: disjoint fresh-tuple ranges plus disjoint samples of live
-	// rows, each op applied to both sides.
-	rows, err := router.ref.DB().Rows("ontime")
+	// rows, each op applied to both sides. Samples come from the oracle,
+	// which holds the identical full instance.
+	rows, err := w.oracle.DB().Rows("ontime")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,6 +163,25 @@ func TestChaosReshardDifferential(t *testing.T) {
 			}
 		}(i)
 	}
+
+	// Broadcast writer: churns a fresh carrier range so the asynchronous
+	// apply lane (anchor sync, other members queued) runs hot through both
+	// reshards — the probes reading carrier fence it on every check.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := int64(0); !stop.Load(); n++ {
+			fresh := value.Tuple{value.NewInt(9500 + n%32), value.NewInt(901), value.NewInt(2)}
+			if err := w.applyBoth(false, "carrier", fresh); err != nil {
+				errCh <- fmt.Errorf("broadcast writer: %w", err)
+				return
+			}
+			if err := w.applyBoth(true, "carrier", fresh); err != nil {
+				errCh <- fmt.Errorf("broadcast writer: %w", err)
+				return
+			}
+		}
+	}()
 
 	// Constraint toggler: add/remove the same constraint on both sides
 	// within one shared-lock hold, so checks always see identical access

@@ -12,7 +12,7 @@ import (
 )
 
 // durableSpec is the cluster shape the durable tests run: enough shards
-// that partitioned and replicated write fan-outs both occur.
+// that partitioned and broadcast write fan-outs both occur.
 func durableSpec() Spec { return Spec{Shards: 3} }
 
 // durableCfg is a low-churn durable config: fsync off (the page cache
@@ -92,7 +92,9 @@ func TestDurableRouterRecoversAndMatchesOracle(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rows := durableRows(t, r.ref.DB(), "ontime", 60)
+	// Storm material comes from the seed instance db, which OpenDurable
+	// read but did not consume.
+	rows := durableRows(t, db, "ontime", 60)
 	for i, row := range rows {
 		switch i % 3 {
 		case 0:
@@ -126,9 +128,9 @@ func TestDurableRouterRecoversAndMatchesOracle(t *testing.T) {
 	if !ok || st.Checkpoints < 2 { // boot checkpoint + explicit
 		t.Fatalf("expected boot+explicit checkpoints, stats %+v ok=%v", st, ok)
 	}
-	// Writes past the checkpoint, on a replicated relation too (fan-out
-	// write path).
-	planes := durableRows(t, r.ref.DB(), "plane", 10)
+	// Writes past the checkpoint, on a broadcast relation too (fan-out
+	// write path through the apply lane).
+	planes := durableRows(t, db, "plane", 10)
 	for _, row := range planes {
 		if _, err := r.Delete("plane", row); err != nil {
 			t.Fatal(err)
@@ -179,8 +181,8 @@ func TestDurableRouterRecoversAndMatchesOracle(t *testing.T) {
 	assertClusterMatchesOracle(t, d, rec, oracle)
 
 	// The same directory recovers into a single engine with identical
-	// answers: the log records replica-ordered ops, so cluster and
-	// single-engine recovery are interchangeable.
+	// answers: the log records ops in per-tuple stripe order, so cluster
+	// and single-engine recovery are interchangeable.
 	single, err := core.OpenDurable(d.Schema, nil, nil, durableCfg(dir))
 	if err != nil {
 		t.Fatal(err)
@@ -206,7 +208,7 @@ func TestDurableRouterAutoCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows := durableRows(t, r.ref.DB(), "ontime", 100)
+	rows := durableRows(t, db, "ontime", 100)
 	for _, row := range rows {
 		if _, err := r.Delete("ontime", row); err != nil {
 			t.Fatal(err)
@@ -257,7 +259,7 @@ func TestDurableRouterWriteAfterCloseDegrades(t *testing.T) {
 	if err := r.Health(); err != nil {
 		t.Fatalf("fresh durable cluster degraded: %v", err)
 	}
-	rows := durableRows(t, r.ref.DB(), "ontime", 1)
+	rows := durableRows(t, db, "ontime", 1)
 	if err := r.Close(); err != nil {
 		t.Fatal(err)
 	}

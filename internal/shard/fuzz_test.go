@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -107,7 +108,7 @@ func fuzzHarness() *fuzzHarnessT {
 // FuzzRouteDecision asserts the router's core contract on arbitrary
 // generated queries: whatever the ring state — one shard, several, a
 // resharded cluster, or one frozen mid-migration — Execute must return
-// exactly the answer of a single replica engine over the unpartitioned
+// exactly the answer of a single engine over the unpartitioned
 // instance. The seeds cover every routing strategy; the fuzzer mutates
 // them into the weird shapes the analysis must stay conservative on.
 func FuzzRouteDecision(f *testing.F) {
@@ -148,6 +149,61 @@ func FuzzRouteDecision(f *testing.F) {
 		if wantRep.Covered != gotRep.Covered || wantRep.Bounded != gotRep.Bounded {
 			t.Fatalf("verdict divergence on %q: covered %v/%v bounded %v/%v",
 				src, gotRep.Covered, wantRep.Covered, gotRep.Bounded, wantRep.Bounded)
+		}
+	})
+}
+
+// FuzzResiduePlan targets the distributed residue executor: generator
+// queries biased toward non-distributable shapes (cross-key joins,
+// unions and differences over partitioned relations) run against every
+// ring state — one shard, several, a resharded cluster, and one frozen
+// mid-copy — and must reproduce the single-engine oracle exactly.
+// Where FuzzRouteDecision mutates query text, this fuzzer drives the
+// generator's parameter space, so every input is a well-formed query
+// and the residue planner/executor, not the parser, absorbs the
+// fuzzing budget.
+func FuzzResiduePlan(f *testing.F) {
+	f.Add(uint8(0), int64(1), uint8(2), uint8(1), uint8(0))
+	f.Add(uint8(1), int64(2), uint8(3), uint8(2), uint8(1))
+	f.Add(uint8(2), int64(3), uint8(1), uint8(1), uint8(1))
+	f.Add(uint8(3), int64(4), uint8(4), uint8(2), uint8(0))
+	f.Fuzz(func(t *testing.T, pick uint8, seed int64, sel, join, unidiff uint8) {
+		h := fuzzHarness()
+		if h.err != nil {
+			t.Fatalf("harness: %v", h.err)
+		}
+		d, err := workload.ByName("AIRCA")
+		if err != nil {
+			t.Fatal(err)
+		}
+		router := h.routers[int(pick)%len(h.routers)]
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.DefaultQueryParams()
+		p.Sel = 1 + int(sel)%5
+		p.Join = 1 + int(join)%2 // at least one join: bias toward cross-key shapes
+		p.UniDiff = int(unidiff) % 2
+		q, err := d.RandomQuery(p, rng)
+		if err != nil {
+			t.Skip()
+		}
+		if _, err := router.RouteKind(q); err != nil {
+			t.Fatalf("RouteKind failed on a generator query: %v", err)
+		}
+		want, wantRep, errO := h.oracle.Execute(q, core.DefaultOptions())
+		got, gotRep, errR := router.Execute(q, core.DefaultOptions())
+		if (errO == nil) != (errR == nil) {
+			t.Fatalf("error divergence on %q: oracle %v, sharded %v", q.String(), errO, errR)
+		}
+		if errO != nil {
+			return
+		}
+		if !want.Equal(got) {
+			t.Fatalf("answer divergence on %q (router %s): %d rows sharded vs %d oracle",
+				q.String(), router, got.Len(), want.Len())
+		}
+		if wantRep.Covered != gotRep.Covered || wantRep.Bounded != gotRep.Bounded {
+			t.Fatalf("verdict divergence on %q: covered %v/%v bounded %v/%v",
+				q.String(), gotRep.Covered, wantRep.Covered, gotRep.Bounded, wantRep.Bounded)
 		}
 	})
 }

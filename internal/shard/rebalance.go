@@ -20,9 +20,10 @@
 //	         owner differs between the rings from its old owner to its new
 //	         one in stripe-locked steps: a row is copied only if it still
 //	         exists at its old owner at the instant of the copy, so a
-//	         concurrent delete can never be resurrected. Replicated
+//	         concurrent delete can never be resurrected. Broadcast
 //	         relations stream to fresh engines the same way, with the
-//	         replica as the source of truth.
+//	         anchor (member 0, synchronous for every broadcast write) as
+//	         the source of truth.
 //	flip     Swap the ring state atomically (epoch+1). Readers move to the
 //	         new ring, whose owners are complete: every moved row was
 //	         either copied or double-written. Old-epoch routing decisions
@@ -183,14 +184,14 @@ func (r *Router) Reshard(ctx context.Context, targetN int) (*ReshardReport, erro
 	copy(newMembers, st.members[:min(oldN, targetN)])
 	var fresh []*member
 	r.cmu.Lock()
-	A := r.ref.AccessSnapshot()
+	A := r.anchor().AccessSnapshot()
 	for i := oldN; i < targetN; i++ {
 		eng, err := core.NewEngine(r.schema, A, store.NewDB(r.schema))
 		if err != nil {
 			r.cmu.Unlock()
 			return nil, err
 		}
-		eng.SyncVersion(r.ref.Version())
+		eng.SyncVersion(r.anchor().Version())
 		if r.spec.PlanCacheSize > 0 {
 			eng.SetPlanCacheCapacity(r.spec.PlanCacheSize)
 		}
@@ -241,9 +242,10 @@ func (r *Router) Reshard(ctx context.Context, targetN int) (*ReshardReport, erro
 	r.cmu.Lock()
 	r.fresh = nil
 	r.cmu.Unlock()
-	// Drain the apply queue before reporting: callers reading the replica
-	// right after a reshard (operators, tests) see every write the
-	// migration raced with.
+	// Drain the apply queue before reporting: broadcast copies enqueued
+	// for engines the shrink dropped are flushed out of the lanes, and
+	// callers reading any member right after a reshard (operators, tests)
+	// see every write the migration raced with.
 	r.aq.fenceAll()
 	return &ReshardReport{
 		From:     oldN,
@@ -256,30 +258,36 @@ func (r *Router) Reshard(ctx context.Context, targetN int) (*ReshardReport, erro
 }
 
 // planSize estimates the move plan: keyed rows whose owner differs
-// between the rings, plus replicated rows to seed onto each fresh engine.
-// It reads the replica without charging accesses and without locks held
-// long, so it is an estimate under churn — used for progress only.
+// between the rings (read from each old member's own slice), plus
+// broadcast rows to seed onto each fresh engine (read from the anchor,
+// which holds every broadcast relation in full). It reads without
+// charging accesses and without locks held long, so it is an estimate
+// under churn — used for progress only.
 func (r *Router) planSize(mig *migration) int64 {
+	ps := r.part.Load()
 	var total int64
-	for rel, pos := range r.keyPos {
-		rows, err := r.ref.DB().Rows(rel)
-		if err != nil {
-			continue
-		}
-		for _, t := range rows {
-			if mig.oldMembers[mig.oldRing.OwnerOf(t[pos])] != mig.newMembers[mig.newRing.OwnerOf(t[pos])] {
-				total++
+	for rel, pos := range ps.keyPos {
+		for _, m := range mig.oldMembers {
+			rows, err := m.eng.DB().Rows(rel)
+			if err != nil {
+				continue
+			}
+			for _, t := range rows {
+				if mig.oldMembers[mig.oldRing.OwnerOf(t[pos])] != mig.newMembers[mig.newRing.OwnerOf(t[pos])] {
+					total++
+				}
 			}
 		}
 	}
 	if len(mig.fresh) > 0 {
+		anchor := mig.oldMembers[0]
 		for _, rel := range r.schema.Relations() {
-			if _, partitioned := r.keyPos[rel]; partitioned {
+			if _, partitioned := ps.keyPos[rel]; partitioned {
 				continue
 			}
 			// Rows snapshots under the store lock; Relation.Len would read
 			// the live row map racily against concurrent writers.
-			if rows, err := r.ref.DB().Rows(rel); err == nil {
+			if rows, err := anchor.eng.DB().Rows(rel); err == nil {
 				total += int64(len(rows)) * int64(len(mig.fresh))
 			}
 		}
@@ -313,28 +321,28 @@ func (r *Router) migStep(ctx context.Context) error {
 
 // copyPhase streams every row whose owner changes to its new owner. Rows
 // are copied under their write stripe and only if still present at the
-// old owner, so migration can never resurrect a concurrently deleted
-// tuple; rows written during the phase are double-applied by writeTargets
-// and need no copying. Source snapshots come from the replica (which
-// holds everything) — a row deleted after the snapshot fails the
-// presence check, a row inserted after it is double-written.
+// source, so migration can never resurrect a concurrently deleted tuple;
+// rows written during the phase are double-applied by writeTargets and
+// need no copying.
 //
-// The replica lags the shards by the apply-queue backlog, so the phase
-// fences: once up front, covering every write acknowledged before the
-// migration was published, and per row on the row's own stripe before the
-// replica presence probe of the seeding loop — a delete acknowledged
-// after the snapshot has already reached the fresh engines synchronously,
-// and the stripe fence makes the replica probe see it too instead of
-// resurrecting the tuple from a stale copy.
+// Broadcast relations seed fresh engines from the anchor, which commits
+// every broadcast write synchronously — so the stripe-locked presence
+// probe is always current, and no apply-queue fence is needed: a delete
+// acknowledged after the snapshot has already left the anchor, fails the
+// probe, and is never resurrected (the copy the queue still owes the
+// other members is the queue's business, not the seeder's). Keyed rows
+// move from each old owner's own slice, which is written synchronously
+// always.
 func (r *Router) copyPhase(ctx context.Context, mig *migration) error {
-	r.aq.fenceAll()
-	// Seed replicated relations onto fresh engines (growth only).
+	ps := r.part.Load()
+	// Seed broadcast relations onto fresh engines (growth only).
 	if len(mig.fresh) > 0 {
+		anchor := mig.oldMembers[0]
 		for _, rel := range r.schema.Relations() {
-			if _, partitioned := r.keyPos[rel]; partitioned {
+			if _, partitioned := ps.keyPos[rel]; partitioned {
 				continue
 			}
-			rows, err := r.ref.DB().Rows(rel)
+			rows, err := anchor.eng.DB().Rows(rel)
 			if err != nil {
 				return err
 			}
@@ -344,11 +352,9 @@ func (r *Router) copyPhase(ctx context.Context, mig *migration) error {
 						return err
 					}
 				}
-				stripe := stripeOf(rel, t)
-				mu := &r.wmu[stripe]
+				mu := &r.wmu[stripeOf(rel, t)]
 				mu.Lock()
-				r.aq.fenceStripe(stripe)
-				ok, err := r.ref.DB().Has(rel, t)
+				ok, err := anchor.eng.DB().Has(rel, t)
 				if err == nil && ok {
 					for _, m := range mig.fresh {
 						if _, err = m.eng.Insert(rel, t); err != nil {
@@ -366,35 +372,38 @@ func (r *Router) copyPhase(ctx context.Context, mig *migration) error {
 			}
 		}
 	}
-	// Move keyed rows whose owner changed.
-	for rel, pos := range r.keyPos {
-		rows, err := r.ref.DB().Rows(rel)
-		if err != nil {
-			return err
-		}
-		for i, t := range rows {
-			if i%migBatchRows == 0 {
-				if err := r.migStep(ctx); err != nil {
-					return err
-				}
-			}
-			oldM := mig.oldMembers[mig.oldRing.OwnerOf(t[pos])]
-			newM := mig.newMembers[mig.newRing.OwnerOf(t[pos])]
-			if oldM == newM {
-				continue
-			}
-			mu := &r.wmu[stripeOf(rel, t)]
-			mu.Lock()
-			ok, err := oldM.eng.DB().Has(rel, t)
-			if err == nil && ok {
-				_, err = newM.eng.Insert(rel, t)
-			}
-			mu.Unlock()
+	// Move keyed rows whose owner changed, sourcing each old owner's own
+	// slice.
+	for rel, pos := range ps.keyPos {
+		for _, src := range mig.oldMembers {
+			rows, err := src.eng.DB().Rows(rel)
 			if err != nil {
 				return err
 			}
-			if ok {
-				mig.moved.Add(1)
+			for i, t := range rows {
+				if i%migBatchRows == 0 {
+					if err := r.migStep(ctx); err != nil {
+						return err
+					}
+				}
+				oldM := mig.oldMembers[mig.oldRing.OwnerOf(t[pos])]
+				newM := mig.newMembers[mig.newRing.OwnerOf(t[pos])]
+				if oldM == newM {
+					continue
+				}
+				mu := &r.wmu[stripeOf(rel, t)]
+				mu.Lock()
+				ok, err := oldM.eng.DB().Has(rel, t)
+				if err == nil && ok {
+					_, err = newM.eng.Insert(rel, t)
+				}
+				mu.Unlock()
+				if err != nil {
+					return err
+				}
+				if ok {
+					mig.moved.Add(1)
+				}
 			}
 		}
 	}
@@ -435,7 +444,7 @@ func (r *Router) abort(mig *migration) {
 // assigns to a different shard, one stripe-locked row at a time so it
 // serializes with concurrent writes.
 func (r *Router) sweep(m *member, i int, ring *Ring) {
-	for rel, pos := range r.keyPos {
+	for rel, pos := range r.part.Load().keyPos {
 		rows, err := m.eng.DB().Rows(rel)
 		if err != nil {
 			continue

@@ -36,43 +36,46 @@ func assertDifferential(t *testing.T, label string, eng *core.Engine, router *Ro
 	}
 }
 
-// assertPlacement fails unless every member holds exactly the keyed rows
-// the live ring assigns it (no leftovers, no gaps) and a full copy of
-// every replicated relation.
+// assertPlacement fails unless every member holds only the keyed rows the
+// live ring assigns it (no leftovers) and exactly the anchor's copy of
+// every broadcast relation. The apply lanes are fenced first so pending
+// broadcast copies cannot read as divergence.
 func assertPlacement(t *testing.T, label string, router *Router) {
 	t.Helper()
+	router.aq.fenceAll()
 	st := router.state.Load()
+	ps := router.part.Load()
 	for _, rel := range router.schema.Relations() {
-		refRows, err := router.ref.DB().Rows(rel)
+		pos, partitioned := ps.keyPos[rel]
+		anchorRows, err := st.members[0].eng.DB().Rows(rel)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pos, partitioned := router.keyPos[rel]
 		for i, m := range st.members {
 			rows, err := m.eng.DB().Rows(rel)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if !partitioned {
-				if len(rows) != len(refRows) {
-					t.Errorf("%s: shard %d holds %d rows of replicated %s, replica has %d",
-						label, i, len(rows), rel, len(refRows))
+				if len(rows) != len(anchorRows) {
+					t.Errorf("%s: shard %d holds %d rows of broadcast %s, anchor has %d",
+						label, i, len(rows), rel, len(anchorRows))
+					continue
+				}
+				if i > 0 {
+					for _, r := range anchorRows {
+						if ok, _ := m.eng.DB().Has(rel, r); !ok {
+							t.Errorf("%s: shard %d missing a broadcast %s row the anchor holds", label, i, rel)
+							break
+						}
+					}
 				}
 				continue
-			}
-			owned := 0
-			for _, r := range refRows {
-				if st.ring.OwnerOf(r[pos]) == i {
-					owned++
-				}
 			}
 			for _, r := range rows {
 				if o := st.ring.OwnerOf(r[pos]); o != i {
 					t.Errorf("%s: shard %d holds leftover %s row owned by %d", label, i, rel, o)
 				}
-			}
-			if len(rows) != owned {
-				t.Errorf("%s: shard %d holds %d rows of %s, ring assigns %d", label, i, len(rows), rel, owned)
 			}
 		}
 	}
@@ -101,8 +104,8 @@ func TestReshardGrowShrink(t *testing.T) {
 	if got := router.NumShards(); got != 4 {
 		t.Fatalf("NumShards after grow = %d", got)
 	}
-	if got := len(router.PerShardStats()); got != 5 {
-		t.Fatalf("PerShardStats after grow has %d entries, want 4 shards + replica", got)
+	if got := len(router.PerShardStats()); got != 4 {
+		t.Fatalf("PerShardStats after grow has %d entries, want 4 shards", got)
 	}
 	if router.Version() != v0 {
 		t.Fatalf("grow bumped Version %d -> %d", v0, router.Version())
@@ -140,13 +143,18 @@ func TestReshardGrowShrink(t *testing.T) {
 // not a reshuffle of everything.
 func TestReshardMinimalMovement(t *testing.T) {
 	_, router, _ := buildPair(t, "AIRCA", 4)
+	// Keyed rows live disjointly across the members; their sum is the
+	// logical keyed row count.
 	var keyed int64
-	for rel := range router.keyPos {
-		rows, err := router.ref.DB().Rows(rel)
-		if err != nil {
-			t.Fatal(err)
+	st := router.state.Load()
+	for rel := range router.part.Load().keyPos {
+		for _, m := range st.members {
+			rows, err := m.eng.DB().Rows(rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keyed += int64(len(rows))
 		}
-		keyed += int64(len(rows))
 	}
 	rep, err := router.Reshard(context.Background(), 5)
 	if err != nil {
@@ -159,7 +167,7 @@ func TestReshardMinimalMovement(t *testing.T) {
 		t.Errorf("grow 4→5 moved %.2f of keyed rows (%d/%d), want ~0.20", frac, rep.Moved, keyed)
 	}
 	if rep.Seeded == 0 {
-		t.Error("growth seeded no replicated rows onto the fresh engine")
+		t.Error("growth seeded no broadcast rows onto the fresh engine")
 	}
 	assertPlacement(t, "after grow", router)
 }
@@ -294,9 +302,10 @@ func TestReshardWritesDuringMigration(t *testing.T) {
 		return value.Tuple{value.NewInt(900000 + i), value.NewInt(i), value.NewInt(12),
 			value.NewInt(7), value.NewInt(1), value.NewInt(30)}
 	}
-	// A replicated-relation tuple deleted mid-migration must not be
-	// resurrected by the seeding loop from a lagging replica copy — the
-	// per-stripe fence makes the replica presence probe exact.
+	// A broadcast-relation tuple deleted mid-migration must not be
+	// resurrected by the seeding loop from a stale anchor probe — the
+	// anchor commits broadcast writes synchronously, so the stripe-locked
+	// presence probe is exact.
 	repFresh := func(i int64) value.Tuple {
 		return value.Tuple{value.NewInt(9100 + i), value.NewStr("Mig Air"), value.NewInt(1)}
 	}
@@ -334,19 +343,17 @@ func TestReshardWritesDuringMigration(t *testing.T) {
 	assertPlacement(t, "after migration writes", router)
 	for i := int64(0); i < step; i++ {
 		keep, tomb := fresh(2*i+1), fresh(2*i)
-		if ok, _ := router.ref.DB().Has("ontime", keep); !ok {
-			t.Fatalf("kept tuple %d missing from replica", i)
+		owner := router.ownerOf(keep[1])
+		if ok, _ := router.state.Load().members[owner].eng.DB().Has("ontime", keep); !ok {
+			t.Fatalf("kept tuple %d missing from its owner shard", i)
 		}
 		for s, m := range router.state.Load().members {
 			if ok, _ := m.eng.DB().Has("ontime", tomb); ok {
 				t.Errorf("deleted tuple %d survives on shard %d", i, s)
 			}
 			if ok, _ := m.eng.DB().Has("carrier", repFresh(i)); ok {
-				t.Errorf("deleted replicated tuple %d resurrected on shard %d", i, s)
+				t.Errorf("deleted broadcast tuple %d resurrected on shard %d", i, s)
 			}
-		}
-		if ok, _ := router.ref.DB().Has("carrier", repFresh(i)); ok {
-			t.Errorf("deleted replicated tuple %d survives on the replica", i)
 		}
 	}
 }
@@ -365,33 +372,37 @@ func TestDeleteVerdictDuringCleanup(t *testing.T) {
 			return
 		}
 		// Find a moved row the sweep has already taken from its old owner
-		// but that is still live at its new owner.
-		for rel, pos := range router.keyPos {
-			rows, err := router.ref.DB().Rows(rel)
-			if err != nil {
-				continue
-			}
-			for _, tt := range rows {
-				oldM := mig.oldMembers[mig.oldRing.OwnerOf(tt[pos])]
-				newM := mig.newMembers[mig.newRing.OwnerOf(tt[pos])]
-				if oldM == newM {
-					continue
-				}
-				hasOld, _ := oldM.eng.DB().Has(rel, tt)
-				hasNew, _ := newM.eng.DB().Has(rel, tt)
-				if hasOld || !hasNew {
-					continue
-				}
-				checked = true
-				ch, err := router.Delete(rel, tt)
+		// but that is still live at its new owner. Candidate rows come from
+		// the new members' slices — the union over them covers the keyed
+		// relation.
+		for rel, pos := range router.part.Load().keyPos {
+			for _, src := range mig.newMembers {
+				rows, err := src.eng.DB().Rows(rel)
 				if err != nil {
-					t.Errorf("delete during cleanup: %v", err)
+					continue
+				}
+				for _, tt := range rows {
+					oldM := mig.oldMembers[mig.oldRing.OwnerOf(tt[pos])]
+					newM := mig.newMembers[mig.newRing.OwnerOf(tt[pos])]
+					if oldM == newM {
+						continue
+					}
+					hasOld, _ := oldM.eng.DB().Has(rel, tt)
+					hasNew, _ := newM.eng.DB().Has(rel, tt)
+					if hasOld || !hasNew {
+						continue
+					}
+					checked = true
+					ch, err := router.Delete(rel, tt)
+					if err != nil {
+						t.Errorf("delete during cleanup: %v", err)
+						return
+					}
+					if !ch {
+						t.Errorf("delete of a live %s tuple during cleanup reported changed=false", rel)
+					}
 					return
 				}
-				if !ch {
-					t.Errorf("delete of a live %s tuple during cleanup reported changed=false", rel)
-				}
-				return
 			}
 		}
 	}

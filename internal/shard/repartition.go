@@ -1,0 +1,253 @@
+// Online repartitioning: Repartition changes ONE relation's placement —
+// key to key (rekey), key to broadcast (promote), or broadcast to key
+// (demote) — while queries and writes keep flowing, and every
+// intermediate state answers exactly like a single engine. It reuses the
+// three-phase protocol of Reshard (rebalance.go) with the ring held fixed
+// and the placement assignment moving instead:
+//
+//	prepare  Build the target partState (generation + 1). Publish the
+//	         migration, pass a stripe barrier, then fence the relation's
+//	         apply-queue lane: from here every write to the relation is
+//	         synchronous on all its targets (mutate checks rp), so the
+//	         lane stays empty for the whole move and per-tuple ordering
+//	         needs no queue reasoning.
+//	copy     Readers stay on the old assignment; writes double-apply
+//	         under both (writeTargets' rp branch, same phase rules as
+//	         Reshard). Rows are streamed to the placements the new
+//	         assignment adds, stripe-locked and presence-checked at the
+//	         source so a concurrent delete is never resurrected. A demote
+//	         copies nothing: every member already holds the full
+//	         relation, a superset of any keyed slice.
+//	flip     Swap the partState atomically (generation + 1). Routing
+//	         decisions cached under the old generation die with the
+//	         stamp. The read fence is then taken and released so no
+//	         query routed under the old assignment is still running when
+//	         cleanup starts.
+//	cleanup  Sweep each member clean of the copies the new assignment no
+//	         longer places on it (a promote sweeps nothing). Inserts
+//	         already go only to new placements, so the sweep converges;
+//	         deletes cover both placements until the migration clears.
+//
+// Surplus copies mid-move are sound for every read strategy: single-shard
+// reads route to a placement that is complete under the readers' current
+// assignment, and scatter, residue and gather merges are set unions, so
+// an extra copy of a tuple on a non-owning shard can only re-contribute a
+// row the owner already contributed. Cancelling ctx during copy aborts
+// and rolls back (sweep by the old assignment); after the flip the
+// remaining work is bounded local cleanup and runs to completion.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// repartition is the shared state of one in-flight placement change,
+// published on Router.rp for the write path. It reuses Reshard's phase
+// constants; mig and rp are mutually exclusive (both run under rmu).
+type repartition struct {
+	rel          string
+	oldPS, newPS *partState
+	phase        atomic.Int32
+	moved        atomic.Int64
+}
+
+// RepartitionReport summarizes a completed Repartition.
+type RepartitionReport struct {
+	// Rel is the relation whose placement changed; From and To name the
+	// placements ("broadcast" or the partition-key attribute).
+	Rel, From, To string
+	// Moved is the number of row copies streamed to new placements.
+	Moved int64
+	// Gen is the placement generation after the flip.
+	Gen uint64
+	// Duration is the wall time of the whole operation.
+	Duration time.Duration
+}
+
+// placementName renders a relation's placement under ps for reports.
+func placementName(ps *partState, rel string) string {
+	if key, ok := ps.keys[rel]; ok {
+		return key
+	}
+	return "broadcast"
+}
+
+// Repartition moves one relation to a new placement while the cluster
+// keeps serving: newKey names the partition-key attribute, or is empty to
+// broadcast the relation to every shard. Every query answered at any
+// point during the move is exactly the single-engine answer; no engine
+// version moves. It returns ErrReshardInProgress when a Reshard or
+// another Repartition is still running, and a no-op report when the
+// relation already has the requested placement.
+//
+// Cancelling ctx during the copy phase aborts and rolls the placement
+// back; after the internal flip the operation is committed and runs its
+// bounded cleanup regardless of ctx.
+func (r *Router) Repartition(ctx context.Context, rel, newKey string) (*RepartitionReport, error) {
+	attrs, ok := r.schema[rel]
+	if !ok {
+		return nil, fmt.Errorf("shard: unknown relation %q", rel)
+	}
+	newPos := -1
+	if newKey != "" {
+		for i, a := range attrs {
+			if a == newKey {
+				newPos = i
+				break
+			}
+		}
+		if newPos < 0 {
+			return nil, fmt.Errorf("shard: relation %s has no attribute %q to partition by", rel, newKey)
+		}
+	}
+	if !r.rmu.TryLock() {
+		return nil, ErrReshardInProgress
+	}
+	defer r.rmu.Unlock()
+	start := time.Now()
+	oldPS := r.part.Load()
+	// keys[rel] is "" exactly when the relation is broadcast, and "" also
+	// encodes "broadcast" as a target, so one comparison covers all no-ops.
+	if oldPS.keys[rel] == newKey {
+		return &RepartitionReport{Rel: rel, From: placementName(oldPS, rel), To: placementName(oldPS, rel), Gen: oldPS.gen}, nil
+	}
+
+	// Prepare: the target assignment, one generation ahead.
+	newPS := &partState{
+		gen:    oldPS.gen + 1,
+		keys:   make(map[string]string, len(oldPS.keys)+1),
+		keyPos: make(map[string]int, len(oldPS.keyPos)+1),
+	}
+	for k, v := range oldPS.keys {
+		newPS.keys[k] = v
+	}
+	for k, v := range oldPS.keyPos {
+		newPS.keyPos[k] = v
+	}
+	if newKey == "" {
+		delete(newPS.keys, rel)
+		delete(newPS.keyPos, rel)
+	} else {
+		newPS.keys[rel] = newKey
+		newPS.keyPos[rel] = newPos
+	}
+	rp := &repartition{rel: rel, oldPS: oldPS, newPS: newPS}
+	st := r.state.Load()
+
+	// Publish, drain in-flight stable-mode writes, then empty the
+	// relation's lane: writes past the barrier see rp and go synchronous,
+	// so the lane stays empty until the migration clears.
+	r.rp.Store(rp)
+	r.stripeBarrier()
+	r.aq.fenceRel(rel)
+	if err := r.repartitionCopy(ctx, rp, st); err != nil {
+		rp.phase.Store(phaseAbort)
+		r.stripeBarrier()
+		r.repartitionSweep(oldPS, rel, st)
+		r.rp.Store(nil)
+		return nil, err
+	}
+
+	// Flip: readers move to the new assignment atomically; decisions
+	// cached under the old generation are dead on arrival. The read fence
+	// drains queries routed under the old assignment before the sweep
+	// deletes the copies they may still be reading.
+	r.part.Store(newPS)
+	rp.phase.Store(phaseCleanup)
+	r.rs.Lock()
+	r.rs.Unlock() //nolint:staticcheck // immediate unlock: the pair is a reader drain, not a critical section
+	r.stripeBarrier()
+	r.repartitionSweep(newPS, rel, st)
+	r.rp.Store(nil)
+	r.resRepartitions.Add(1)
+	return &RepartitionReport{
+		Rel:      rel,
+		From:     placementName(oldPS, rel),
+		To:       placementName(newPS, rel),
+		Moved:    rp.moved.Load(),
+		Gen:      newPS.gen,
+		Duration: time.Since(start),
+	}, nil
+}
+
+// repartitionCopy streams every row of the moving relation to the
+// placements the new assignment adds. The source is each member's own
+// slice (disjoint under a keyed old assignment); rows are copied under
+// their write stripe and only if still present at the source, so the copy
+// can never resurrect a concurrently deleted tuple — rows written during
+// the phase are double-applied by writeTargets and need no copying. A
+// demote (broadcast → keyed) copies nothing: the new owner of every
+// tuple already holds it.
+func (r *Router) repartitionCopy(ctx context.Context, rp *repartition, st *ringState) error {
+	if _, wasKeyed := rp.oldPS.keyPos[rp.rel]; !wasKeyed {
+		return nil // demote: every member already holds every row
+	}
+	for _, m := range st.members {
+		rows, err := m.eng.DB().Rows(rp.rel)
+		if err != nil {
+			return err
+		}
+		for i, t := range rows {
+			if i%migBatchRows == 0 {
+				if err := r.migStep(ctx); err != nil {
+					return err
+				}
+			}
+			var added bool
+			mu := &r.wmu[stripeOf(rp.rel, t)]
+			mu.Lock()
+			ok, err := m.eng.DB().Has(rp.rel, t)
+			if err == nil && ok {
+				for _, tgt := range rp.newPS.placement(rp.rel, t, st) {
+					if tgt == m {
+						continue
+					}
+					if _, err = tgt.eng.Insert(rp.rel, t); err != nil {
+						break
+					}
+					added = true
+				}
+			}
+			mu.Unlock()
+			if err != nil {
+				return err
+			}
+			if added {
+				rp.moved.Add(1)
+			}
+		}
+	}
+	return nil
+}
+
+// repartitionSweep deletes from every member the copies of the moving
+// relation that assignment ps does not place on it: the cleanup sweep
+// under the new assignment, and the abort sweep under the old one. A
+// broadcast assignment sweeps nothing.
+func (r *Router) repartitionSweep(ps *partState, rel string, st *ringState) {
+	pos, keyed := ps.keyPos[rel]
+	if !keyed {
+		return
+	}
+	for i, m := range st.members {
+		rows, err := m.eng.DB().Rows(rel)
+		if err != nil {
+			continue
+		}
+		for j, t := range rows {
+			if j%migBatchRows == 0 {
+				_ = r.migStep(nil)
+			}
+			if st.ring.OwnerOf(t[pos]) == i {
+				continue
+			}
+			mu := &r.wmu[stripeOf(rel, t)]
+			mu.Lock()
+			_, _ = m.eng.Delete(rel, t)
+			mu.Unlock()
+		}
+	}
+}

@@ -1,9 +1,10 @@
 // Routing analysis: decide, per normalized query, whether one shard can
 // answer it exactly, whether scatter/gather over all shards is exact, or
-// whether only the full replica is safe.
+// whether the query must be decomposed by the distributed residue
+// executor (residue.go).
 //
 // The analysis is conservative — it may send a distributable query to the
-// replica, never the reverse — and rests on two facts about hash
+// residue executor, never the reverse — and rests on two facts about hash
 // partitioning. First, selection, projection, product and union all
 // distribute over a disjoint partition of one input relation, so a query
 // that reads at most one partitioned relation per conjunctive block can
@@ -11,15 +12,18 @@
 // Second, access constraints are anti-monotone: every shard's slice is a
 // subset of the full instance, so D ⊨ A implies Dᵢ ⊨ A, and each shard's
 // coverage verdict, indices and bounded plans remain valid on its slice.
-// The cases that do NOT distribute are a difference whose right operand
-// reads a partitioned relation (set difference does not distribute over a
-// partition of its right side) and a join of two partitioned relations
-// that is not on their partition keys (matching tuples may live on
-// different shards); both fall back to the replica.
+// The cases that do NOT distribute as a whole are a difference whose
+// right operand reads a partitioned relation (set difference does not
+// distribute over a partition of its right side) and a join of two
+// partitioned relations that is not on their partition keys (matching
+// tuples may live on different shards); both go to the residue executor,
+// which reuses the same dist classification per subtree to ship the
+// distributable pieces and stitch the rest together router-side.
 //
-// The analysis is a pure function of the query and one ring: decisions
-// are cached per ring epoch, and during a migration the same routine runs
-// against the incoming ring to find the double-routing target.
+// The analysis is a pure function of the query, one ring and one
+// placement assignment: decisions are cached per (ring epoch, placement
+// generation), and during a migration the same routine runs against the
+// incoming ring to find the double-routing target.
 package shard
 
 import (
@@ -34,34 +38,43 @@ type routeKind int
 const (
 	routeSingle routeKind = iota
 	routeScatter
-	routeFallback
+	routeResidue
 )
 
 // decision is the outcome of route: a strategy, the target shard for
 // routeSingle, whether that target was pinned by partition-key constants
-// (keyed) rather than by cache-affinity hashing, and the ring epoch the
-// decision was computed under (stale epochs are recomputed).
+// (keyed) rather than by cache-affinity hashing, the broadcast relations
+// the query reads (whose apply-queue lanes Execute fences for
+// read-your-writes), and the (ring epoch, placement generation) the
+// decision was computed under (stale stamps are recomputed).
 type decision struct {
 	kind  routeKind
 	shard int
 	keyed bool
+	brels []string
 	epoch uint64
+	pgen  uint64
 }
 
-// route analyzes a normalized query against a ring over n members and
-// picks the cheapest exact strategy.
-func (r *Router) route(norm ra.Query, ring *Ring, n int) decision {
+// route analyzes a normalized query against a ring over n members and a
+// placement assignment, and picks the cheapest exact strategy.
+func (r *Router) route(norm ra.Query, ring *Ring, n int, ps *partState) decision {
 	var parts []ra.Attr // partition-key attribute of each partitioned occurrence
+	var brels []string  // broadcast relations read (deduplicated)
+	seenB := map[string]bool{}
 	for _, occ := range ra.Relations(norm) {
-		if key, ok := r.spec.Keys[occ.Base]; ok {
+		if key, ok := ps.keys[occ.Base]; ok {
 			parts = append(parts, ra.Attr{Rel: occ.Name, Name: key})
+		} else if !seenB[occ.Base] {
+			seenB[occ.Base] = true
+			brels = append(brels, occ.Base)
 		}
 	}
 	if len(parts) == 0 {
-		// Only replicated relations: any shard holds all the data. Pick
+		// Only broadcast relations: any shard holds all the data. Pick
 		// one by structural hash so repeats of the same query reuse the
 		// same shard's plan cache.
-		return decision{kind: routeSingle, shard: int(structHash(norm) % uint64(n))}
+		return decision{kind: routeSingle, shard: int(structHash(norm) % uint64(n)), brels: brels}
 	}
 	cl := collectClasses(norm)
 	// Covered-access fast path: every partitioned occurrence pins its
@@ -82,12 +95,12 @@ func (r *Router) route(norm ra.Query, ring *Ring, n int) decision {
 		}
 	}
 	if target >= 0 {
-		return decision{kind: routeSingle, shard: target, keyed: true}
+		return decision{kind: routeSingle, shard: target, keyed: true, brels: brels}
 	}
-	if r.dist(norm, cl, ring) != stUnsafe {
-		return decision{kind: routeScatter}
+	if r.dist(norm, cl, ring, ps) != stUnsafe {
+		return decision{kind: routeScatter, brels: brels}
 	}
-	return decision{kind: routeFallback}
+	return decision{kind: routeResidue, brels: brels}
 }
 
 // Distribution statuses of a query subtree: complete means every shard
@@ -104,19 +117,19 @@ const (
 // whole normalized query; any atom equating attributes of two occurrences
 // necessarily sits in a selection dominating both (occurrence names are
 // unique and scoped), so using them at a product below is sound.
-func (r *Router) dist(q ra.Query, cl *classes, ring *Ring) int {
+func (r *Router) dist(q ra.Query, cl *classes, ring *Ring, ps *partState) int {
 	switch t := q.(type) {
 	case *ra.Relation:
-		if _, ok := r.spec.Keys[t.Base]; ok {
+		if _, ok := ps.keys[t.Base]; ok {
 			return stPartitioned
 		}
 		return stComplete
 	case *ra.Select:
-		return r.dist(t.In, cl, ring)
+		return r.dist(t.In, cl, ring, ps)
 	case *ra.Project:
-		return r.dist(t.In, cl, ring)
+		return r.dist(t.In, cl, ring, ps)
 	case *ra.Product:
-		l, rr := r.dist(t.L, cl, ring), r.dist(t.R, cl, ring)
+		l, rr := r.dist(t.L, cl, ring, ps), r.dist(t.R, cl, ring, ps)
 		if l == stUnsafe || rr == stUnsafe {
 			return stUnsafe
 		}
@@ -124,7 +137,7 @@ func (r *Router) dist(q ra.Query, cl *classes, ring *Ring) int {
 			// A join of two partitioned sides is exact only when every
 			// matching pair is co-located: all partition keys below this
 			// product must be equated (or pinned to keys of one shard).
-			if !r.coLocated(t, cl, ring) {
+			if !r.coLocated(t, cl, ring, ps) {
 				return stUnsafe
 			}
 			return stPartitioned
@@ -134,7 +147,7 @@ func (r *Router) dist(q ra.Query, cl *classes, ring *Ring) int {
 		}
 		return stComplete
 	case *ra.Union:
-		l, rr := r.dist(t.L, cl, ring), r.dist(t.R, cl, ring)
+		l, rr := r.dist(t.L, cl, ring, ps), r.dist(t.R, cl, ring, ps)
 		if l == stUnsafe || rr == stUnsafe {
 			return stUnsafe
 		}
@@ -143,7 +156,7 @@ func (r *Router) dist(q ra.Query, cl *classes, ring *Ring) int {
 		}
 		return stPartitioned
 	case *ra.Diff:
-		l, rr := r.dist(t.L, cl, ring), r.dist(t.R, cl, ring)
+		l, rr := r.dist(t.L, cl, ring, ps), r.dist(t.R, cl, ring, ps)
 		if l == stUnsafe || rr != stComplete {
 			// L − R distributes over a partition of L but not of R: a row
 			// surviving on one shard might be cancelled by an R-tuple
@@ -160,11 +173,11 @@ func (r *Router) dist(q ra.Query, cl *classes, ring *Ring) int {
 // occurrences under q are forced equal (one equality class) or pinned to
 // constants hashing to one shard — either way, tuples that can join are
 // on the same shard.
-func (r *Router) coLocated(q ra.Query, cl *classes, ring *Ring) bool {
+func (r *Router) coLocated(q ra.Query, cl *classes, ring *Ring, ps *partState) bool {
 	roots := map[ra.Attr]bool{}
 	var keys []ra.Attr
 	for _, occ := range ra.Relations(q) {
-		if key, ok := r.spec.Keys[occ.Base]; ok {
+		if key, ok := ps.keys[occ.Base]; ok {
 			a := ra.Attr{Rel: occ.Name, Name: key}
 			keys = append(keys, a)
 			roots[cl.find(a)] = true

@@ -2,24 +2,29 @@
 // independent core.Engine instances and routes queries and writes among
 // them, scaling the single-engine ceiling horizontally while preserving
 // every per-engine invariant (the PR 1 plan-cache validity rules) shard by
-// shard.
+// shard. No engine holds the full database: the per-node footprint is
+// O(|D|/N) for partitioned data plus the broadcast set.
 //
 // # Partitioning
 //
 // Each relation is either partitioned — its tuples are distributed across
 // the shards by a hash of one attribute, the relation's partition key,
-// chosen from the X side of its access constraints — or replicated, with a
-// full copy on every shard. Small or unkeyed relations are replicated;
+// chosen from the X side of its access constraints — or broadcast, with a
+// full copy on every shard. Small or unkeyed relations are broadcast;
 // DeriveKeys implements the default policy and Spec.Keys overrides it.
-// One extra engine, the replica, holds a full copy of the database and
-// answers the residue of queries whose shape cannot be distributed.
+// The assignment is not fixed for the life of the cluster: Repartition
+// (repartition.go) changes one relation's placement online — key to key,
+// key to broadcast, or broadcast to key — and a broadcast relation that
+// grows past Spec.BroadcastMaxRows is demoted to partitioned
+// automatically. The live assignment is versioned by a generation
+// counter, exactly as the ring is versioned by an epoch.
 //
-// Placement is a consistent-hash ring of virtual nodes (ring.go), not
-// hash % N: the ring can grow or shrink one shard at a time while moving
-// only ~1/N of the keyed rows, which is what makes Reshard (rebalance.go)
-// an online operation instead of a rebuild. The live ring is versioned by
-// an epoch; routing decisions are stamped with the epoch they were made
-// under and re-derived when it moves.
+// Placement of partitioned tuples is a consistent-hash ring of virtual
+// nodes (ring.go), not hash % N: the ring can grow or shrink one shard at
+// a time while moving only ~1/N of the keyed rows, which is what makes
+// Reshard (rebalance.go) an online operation instead of a rebuild.
+// Routing decisions are stamped with the (epoch, generation) they were
+// made under and re-derived when either moves.
 //
 // # Routing
 //
@@ -39,10 +44,15 @@
 //     scatter cheap: on shards that hold no matching slice of the
 //     partitioned relation, the plan's first fetch comes back empty and
 //     the execution finishes in microseconds.
-//   - replica fallback: queries that neither fast-path nor distribute
-//     (e.g. a difference whose right side reads a partitioned relation
-//     without binding its key) run on the replica, which is an ordinary
-//     single engine over the full database.
+//   - distributed residue: queries that neither fast-path nor distribute
+//     as a whole (e.g. a difference whose right side reads a partitioned
+//     relation without binding its key, or a join of two partitioned
+//     relations off their keys) are decomposed by the router
+//     (residue.go): maximal distributable subtrees are shipped to the
+//     shards and unioned, non-co-located joins run as a semi-join
+//     reduction followed by a hash shuffle over the member worker pools
+//     (shuffle.go), and the remaining operators are applied router-side.
+//     No engine with a full copy of the database exists any more.
 //
 // While a Reshard is migrating rows, keyed fast-path reads of monotone
 // queries additionally double-route to the key's owner under both the old
@@ -50,25 +60,27 @@
 // from wherever its rows currently live (rebalance.go documents why every
 // phase stays exact).
 //
-// Writes route to the owning shard by the ring (or to every shard for
-// replicated relations) plus the replica, so each engine's incremental
+// # Writes
+//
+// Writes route to the owning shard by the ring for partitioned relations,
+// synchronously, under a tuple-ordering stripe. Broadcast writes commit
+// synchronously on the anchor — member 0, which survives every reshard —
+// and the copies for the other members are enqueued on a batched,
+// per-relation apply queue (applyqueue.go). A read that depends on
+// broadcast relation R fences R's lane first (the per-relation watermark
+// fence), so read-your-writes holds per relation and a backlog on an
+// unrelated relation never stalls the read. Each engine's incremental
 // ⟨A, I_A⟩ maintenance keeps its cached plans valid — the serving-layer
 // invariant holds per shard, and Version never moves under tuple churn,
 // including the churn of migration itself. Access-schema changes fan out
 // to every engine and bump all versions in lockstep.
-//
-// The shard-side write commits synchronously under its ordering stripe;
-// the replica's copy is applied asynchronously through a batched apply
-// queue (applyqueue.go) so the replica's single store lock is taken once
-// per batch instead of once per write. Replica-routed reads drain the
-// queue up to the writes they could depend on first (the watermark
-// fence), so read-your-writes holds and answers remain identical to a
-// single engine at every instant.
 package shard
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -85,10 +97,17 @@ import (
 	"repro/internal/wal"
 )
 
-// DefaultMinPartitionRows is the replicate-everywhere threshold of
+// DefaultMinPartitionRows is the broadcast-everywhere threshold of
 // DeriveKeys: relations with fewer rows are cheaper to copy to every
 // shard than to split.
 const DefaultMinPartitionRows = 256
+
+// DefaultBroadcastMaxRows is the growth threshold at which a broadcast
+// relation is automatically demoted to partitioned: once its logical row
+// count exceeds this, keeping a copy on every shard costs more memory
+// than the fan-in it saves, so the router triggers a background
+// Repartition onto a derived key.
+const DefaultBroadcastMaxRows = 4096
 
 // Spec configures a Router.
 type Spec struct {
@@ -96,8 +115,10 @@ type Spec struct {
 	// or shrink the live count afterwards; NumShards reports it.
 	Shards int
 	// Keys maps relation name to its partition-key attribute. Relations
-	// absent from the map are replicated on every shard. nil means
-	// DeriveKeys(schema, A, db, DefaultMinPartitionRows).
+	// absent from the map are broadcast to every shard. nil means
+	// DeriveKeys(schema, A, db, DefaultMinPartitionRows). This is the
+	// initial assignment; Repartition moves it afterwards and Keys()
+	// reports the live one.
 	Keys map[string]string
 	// PlanCacheSize overrides each engine's plan-cache capacity
 	// (0 = the core default). Engines created by Reshard growth inherit it.
@@ -105,6 +126,10 @@ type Spec struct {
 	// Vnodes is the virtual nodes per shard on the consistent-hash ring
 	// (0 = DefaultVnodes).
 	Vnodes int
+	// BroadcastMaxRows is the row count past which a broadcast relation
+	// is demoted to partitioned by a background Repartition
+	// (0 = DefaultBroadcastMaxRows, negative = never demote).
+	BroadcastMaxRows int
 }
 
 // DeriveKeys picks a partition key per relation from the access schema:
@@ -113,7 +138,7 @@ type Spec struct {
 // then lexicographically — the attribute the covered workload most often
 // binds. Relations with no such attribute, or with fewer than minRows
 // tuples in db (skipped when db is nil or minRows <= 0), are left out of
-// the map and therefore replicated.
+// the map and therefore broadcast.
 func DeriveKeys(schema ra.Schema, A *access.Schema, db *store.DB, minRows int) map[string]string {
 	keys := map[string]string{}
 	for _, rel := range schema.Relations() {
@@ -123,50 +148,60 @@ func DeriveKeys(schema ra.Schema, A *access.Schema, db *store.DB, minRows int) m
 				continue
 			}
 		}
-		type cand struct {
-			attr    string
-			score   int
-			minXLen int
-		}
-		var best *cand
-		for _, a := range schema[rel] {
-			c := cand{attr: a, minXLen: 1 << 30}
-			for _, con := range A.ForRel(rel) {
-				if con.IsIndexing() && len(con.X) == 1 {
-					continue // membership R(a → a, 1): holds vacuously, no signal
-				}
-				for _, x := range con.X {
-					if x == a {
-						c.score++
-						if len(con.X) < c.minXLen {
-							c.minXLen = len(con.X)
-						}
-						break
-					}
-				}
-			}
-			if c.score == 0 {
-				continue
-			}
-			if best == nil || c.score > best.score ||
-				(c.score == best.score && (c.minXLen < best.minXLen ||
-					(c.minXLen == best.minXLen && c.attr < best.attr))) {
-				cc := c
-				best = &cc
-			}
-		}
-		if best != nil {
-			keys[rel] = best.attr
+		if attr, ok := deriveKey(schema, A, rel); ok {
+			keys[rel] = attr
 		}
 	}
 	return keys
 }
 
+// deriveKey scores one relation's attributes against the access schema
+// and returns the best partition key, or ok=false when no attribute
+// appears on the X side of any non-membership constraint.
+func deriveKey(schema ra.Schema, A *access.Schema, rel string) (string, bool) {
+	type cand struct {
+		attr    string
+		score   int
+		minXLen int
+	}
+	var best *cand
+	for _, a := range schema[rel] {
+		c := cand{attr: a, minXLen: 1 << 30}
+		for _, con := range A.ForRel(rel) {
+			if con.IsIndexing() && len(con.X) == 1 {
+				continue // membership R(a → a, 1): holds vacuously, no signal
+			}
+			for _, x := range con.X {
+				if x == a {
+					c.score++
+					if len(con.X) < c.minXLen {
+						c.minXLen = len(con.X)
+					}
+					break
+				}
+			}
+		}
+		if c.score == 0 {
+			continue
+		}
+		if best == nil || c.score > best.score ||
+			(c.score == best.score && (c.minXLen < best.minXLen ||
+				(c.minXLen == best.minXLen && c.attr < best.attr))) {
+			cc := c
+			best = &cc
+		}
+	}
+	if best == nil {
+		return "", false
+	}
+	return best.attr, true
+}
+
 // wstripes is the number of write-ordering stripes; writes to the same
-// tuple serialize on one stripe so the owning shard and the replica
-// always apply them in the same order. Reshard's copy and cleanup loops
-// take the same stripe per row, which is how migration serializes against
-// concurrent writes of the rows it is moving.
+// tuple serialize on one stripe so every engine applies them in the same
+// order. Reshard's and Repartition's copy and cleanup loops take the same
+// stripe per row, which is how migration serializes against concurrent
+// writes of the rows it is moving.
 const wstripes = 256
 
 // member is one shard engine plus its router-side execution counter and
@@ -196,33 +231,60 @@ type ringState struct {
 	members []*member
 }
 
-// Router partitions a database across N core.Engine shards plus a full
-// replica and implements core.Service over the cluster, so the HTTP front
-// end (internal/server) and the replay harness (internal/bench) serve it
-// exactly like a single engine.
+// partState is the immutable placement assignment swapped atomically at
+// each Repartition flip: which relations are partitioned, by which
+// attribute, and the column position of that attribute. Readers load it
+// once per query; the generation stamps cached routing decisions the same
+// way the ring epoch does.
+type partState struct {
+	gen    uint64
+	keys   map[string]string
+	keyPos map[string]int
+}
+
+// placement returns the members that must hold tuple t of rel under this
+// assignment: the ring owner of its key when partitioned, every member
+// when broadcast.
+func (ps *partState) placement(rel string, t value.Tuple, st *ringState) []*member {
+	if pos, ok := ps.keyPos[rel]; ok {
+		return []*member{st.members[st.ring.OwnerOf(t[pos])]}
+	}
+	return st.members
+}
+
+// Router partitions a database across N core.Engine shards and implements
+// core.Service over the cluster, so the HTTP front end (internal/server)
+// and the replay harness (internal/bench) serve it exactly like a single
+// engine. No member holds the full database; queries whose shape cannot
+// be distributed are decomposed and executed across the shards by the
+// residue executor (residue.go).
 //
 // A Router is safe for concurrent use. All reads and writes must go
-// through it once it is built: New adopts the source database as the
-// replica, and writes applied directly to any member engine would
-// diverge from the cluster.
+// through it once it is built: New consumes the source database to build
+// the shard slices, and writes applied directly to any member engine
+// would diverge from the cluster.
 type Router struct {
 	schema ra.Schema
 	spec   Spec
-	ref    *core.Engine
-	// keyPos maps each partitioned relation to the column position of its
-	// partition key.
-	keyPos map[string]int
+
+	// part is the live placement assignment (partition keys and their
+	// column positions), swapped atomically by Repartition's flip.
+	part atomic.Pointer[partState]
 
 	// state is the live routing view (ring, members, epoch), swapped
 	// atomically by Reshard's flip.
 	state atomic.Pointer[ringState]
-	// mig is the in-flight migration, nil when the cluster is stable.
+	// mig is the in-flight membership migration, nil when stable.
 	mig atomic.Pointer[migration]
+	// rp is the in-flight placement migration, nil when stable. mig and
+	// rp are mutually exclusive: both run under rmu.
+	rp atomic.Pointer[repartition]
 	// rs is the read fence: every Execute holds it shared from the moment
-	// it loads state until its engines have answered, and Reshard's flip
-	// takes it exclusively (and releases immediately) before the cleanup
-	// sweep — so no query that routed by the old ring can still be
-	// running when the sweep starts deleting moved rows from old owners.
+	// it loads state until its engines have answered, and the flips of
+	// Reshard and Repartition take it exclusively (and release
+	// immediately) before their cleanup sweeps — so no query that routed
+	// by the old view can still be running when the sweep starts deleting
+	// moved rows.
 	rs sync.RWMutex
 
 	// wmu stripes same-tuple writes into a fixed order across engines.
@@ -234,19 +296,32 @@ type Router struct {
 	// which must join the fan-out the moment they can receive queries.
 	cmu   sync.Mutex
 	fresh []*member
-	// rmu serializes Reshard calls; TryLock turns overlap into an error.
+	// rmu serializes Reshard and Repartition calls; TryLock turns overlap
+	// into an error.
 	rmu sync.Mutex
 
 	// decisions caches routing decisions by query fingerprint. Routing
-	// depends on the canonical query, the (immutable) partition spec and
-	// the ring epoch — never on data or the access schema — so every
-	// entry is stamped with its epoch and ignored once the ring moves.
+	// depends on the canonical query, the placement assignment and the
+	// ring — never on data or the access schema — so every entry is
+	// stamped with its (epoch, generation) and ignored once either moves.
 	decisions *cache.Cache
 
-	// aq is the replica apply pipeline: shard-side writes commit
-	// synchronously, the replica's copies are enqueued here and applied in
-	// batches (applyqueue.go). Replica-routed reads fence on it first.
+	// aq is the broadcast apply pipeline: the anchor's write commits
+	// synchronously, the other members' copies are enqueued here per
+	// relation and applied in batches (applyqueue.go). Reads fence the
+	// lanes of the broadcast relations they touch first.
 	aq *applyQueue
+
+	// sizes tracks the logical row count per relation, maintained by the
+	// first (verdict-source) apply of every write, so DBSize needs no
+	// fence and no full engine: the sum counts every tuple exactly once
+	// regardless of replication or migration copies.
+	sizes map[string]*atomic.Int64
+
+	// demoting has one latch per relation; set while a growth-triggered
+	// background demotion of that broadcast relation is in flight, so one
+	// burst of inserts starts one Repartition.
+	demoting map[string]*atomic.Bool
 
 	// hmu guards history: the normalized form and options of recently
 	// routed queries, keyed by fingerprint. Reshard growth replays it
@@ -256,13 +331,18 @@ type Router struct {
 	hmu     sync.Mutex
 	history map[string]prewarmEntry
 
-	// refQueries counts executions routed to the replica.
-	refQueries atomic.Int64
 	// routed counts routing decisions by kind; doubled counts keyed
 	// fast-path reads that double-routed to two owners mid-migration
 	// (executed via gather, reported separately from Single).
 	routed  [3]atomic.Int64
 	doubled atomic.Int64
+
+	// Residue-execution counters (residue.go, shuffle.go,
+	// repartition.go), surfaced by ResidueStats.
+	resSemiJoins    atomic.Int64
+	resShuffles     atomic.Int64
+	resRepartitions atomic.Int64
+	resBytesShipped atomic.Int64
 
 	// hookMigBatch, when set, runs between migration batches. Tests use it
 	// to slow or freeze a migration deterministically; it is never set in
@@ -272,8 +352,8 @@ type Router struct {
 	// wal, when non-nil, makes the cluster durable (built by OpenDurable,
 	// never set after traffic starts): every tuple write is appended to
 	// the log by the apply queue before it is acknowledged, constraint
-	// changes are logged under cmu, and checkpoints snapshot the replica —
-	// the one engine holding the full instance — at a fenced LSN. ckEvery
+	// changes are logged under cmu, and checkpoints snapshot a logical
+	// image assembled from the shard slices at a stamped LSN. ckEvery
 	// is the automatic checkpoint cadence in logged records (<= 0 off),
 	// ckBusy collapses concurrent triggers to one background checkpoint.
 	wal     *wal.Log
@@ -283,9 +363,9 @@ type Router struct {
 
 // New partitions db across spec.Shards engines and returns the router.
 // Partitioned relations are split by consistent hash of their key
-// attribute, replicated ones copied to every shard; db itself becomes the
-// replica, so the caller must route all subsequent reads and writes
-// through the returned Router.
+// attribute, broadcast ones copied to every shard; db itself is only a
+// source and is not retained, so the caller must route all subsequent
+// reads and writes through the returned Router.
 func New(schema ra.Schema, A *access.Schema, db *store.DB, spec Spec) (*Router, error) {
 	if spec.Shards < 1 {
 		return nil, fmt.Errorf("shard: Shards must be >= 1, got %d", spec.Shards)
@@ -299,6 +379,7 @@ func New(schema ra.Schema, A *access.Schema, db *store.DB, spec Spec) (*Router, 
 	if spec.Vnodes <= 0 {
 		spec.Vnodes = DefaultVnodes
 	}
+	keys := make(map[string]string, len(spec.Keys))
 	keyPos := map[string]int{}
 	for rel, attr := range spec.Keys {
 		attrs, ok := schema[rel]
@@ -315,25 +396,31 @@ func New(schema ra.Schema, A *access.Schema, db *store.DB, spec Spec) (*Router, 
 		if pos < 0 {
 			return nil, fmt.Errorf("shard: relation %s has no attribute %q to partition by", rel, attr)
 		}
+		keys[rel] = attr
 		keyPos[rel] = pos
 	}
 	r := &Router{
 		schema:    schema,
 		spec:      spec,
-		keyPos:    keyPos,
 		decisions: cache.New(4096, 8),
 		history:   map[string]prewarmEntry{},
+		sizes:     map[string]*atomic.Int64{},
+		demoting:  map[string]*atomic.Bool{},
 	}
+	r.part.Store(&partState{gen: 1, keys: keys, keyPos: keyPos})
 	ring := NewRing(spec.Shards, spec.Vnodes)
 	dbs := make([]*store.DB, spec.Shards)
 	for i := range dbs {
 		dbs[i] = store.NewDB(schema)
 	}
 	for _, rel := range schema.Relations() {
+		r.sizes[rel] = &atomic.Int64{}
+		r.demoting[rel] = &atomic.Bool{}
 		rows, err := db.Rows(rel)
 		if err != nil {
 			return nil, err
 		}
+		r.sizes[rel].Store(int64(len(rows)))
 		pos, partitioned := keyPos[rel]
 		for _, t := range rows {
 			if partitioned {
@@ -357,12 +444,7 @@ func New(schema ra.Schema, A *access.Schema, db *store.DB, spec Spec) (*Router, 
 		}
 		members[i] = newMember(eng)
 	}
-	ref, err := core.NewEngine(schema, A, db)
-	if err != nil {
-		return nil, err
-	}
-	r.ref = ref
-	r.aq = newApplyQueue(ref.DB(), nil)
+	r.aq = newApplyQueue(schema, nil)
 	r.state.Store(&ringState{epoch: 1, ring: ring, members: members})
 	if spec.PlanCacheSize > 0 {
 		r.SetPlanCacheCapacity(spec.PlanCacheSize)
@@ -377,8 +459,10 @@ func New(schema ra.Schema, A *access.Schema, db *store.DB, spec Spec) (*Router, 
 // re-partitioned across spec.Shards fresh engines (indices rebuilt once
 // per engine). On a fresh directory the provided db and A are adopted
 // and an initial checkpoint makes the seed durable immediately. The log
-// records replica-ordered ops, so a single engine and a cluster recover
-// to identical logical states from the same directory.
+// records logically ordered ops over the whole instance, so a single
+// engine and a cluster recover to identical logical states from the same
+// directory. Placement (partition keys) is not logical state and is not
+// logged; recovery re-derives it from spec.Keys.
 func OpenDurable(schema ra.Schema, A *access.Schema, db *store.DB, spec Spec, cfg core.DurableConfig) (*Router, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("shard: durable router needs a data directory")
@@ -406,7 +490,7 @@ func OpenDurable(schema ra.Schema, A *access.Schema, db *store.DB, spec Spec, cf
 	r.ckEvery = cfg.Every()
 	r.aq.wal = log
 	if !rec.Found {
-		if err := log.WriteCheckpoint(log.LastLSN(), r.ref.DB().Save); err != nil {
+		if err := r.Checkpoint(); err != nil {
 			log.Close()
 			return nil, err
 		}
@@ -427,14 +511,20 @@ func hashKey(s string) uint64 {
 	return h.Sum64()
 }
 
+// anchor returns member 0's engine — the member that survives every
+// reshard and commits every broadcast write synchronously, making it the
+// consistent source for the access schema, versions and broadcast rows.
+func (r *Router) anchor() *core.Engine {
+	return r.state.Load().members[0].eng
+}
+
 // ownerOf returns the index of the shard owning tuples whose partition
 // key is v under the current ring.
 func (r *Router) ownerOf(v value.Value) int {
 	return r.state.Load().ring.OwnerOf(v)
 }
 
-// NumShards returns the live number of partitions (excluding the
-// replica); Reshard changes it.
+// NumShards returns the live number of partitions; Reshard changes it.
 func (r *Router) NumShards() int { return len(r.state.Load().members) }
 
 // RingEpoch returns the current ring epoch. It starts at 1 and advances
@@ -442,10 +532,12 @@ func (r *Router) NumShards() int { return len(r.state.Load().members) }
 // epoch are never used again.
 func (r *Router) RingEpoch() uint64 { return r.state.Load().epoch }
 
-// Keys returns the partition-key assignment in effect (a copy).
+// Keys returns the live partition-key assignment (a copy). Relations
+// absent from the map are broadcast.
 func (r *Router) Keys() map[string]string {
-	out := make(map[string]string, len(r.spec.Keys))
-	for k, v := range r.spec.Keys {
+	ps := r.part.Load()
+	out := make(map[string]string, len(ps.keys))
+	for k, v := range ps.keys {
 		out[k] = v
 	}
 	return out
@@ -461,16 +553,22 @@ func (r *Router) Parse(src string) (ra.Query, error) {
 }
 
 // Execute normalizes q, picks a routing strategy (single shard,
-// scatter/gather, or the replica; see the package comment) and returns
-// the merged answer. Results are identical to a single engine over the
-// unpartitioned database — including while a Reshard is migrating rows.
+// scatter/gather, or distributed residue; see the package comment) and
+// returns the merged answer. Results are identical to a single engine
+// over the unpartitioned database — including while a Reshard or
+// Repartition is migrating rows.
 //
 // The analysis is amortized: the query is normalized and fingerprinted
-// once, the routing decision is cached under the fingerprint and the ring
-// epoch (sound: the fingerprint identifies the canonical query including
-// its constants, and routing depends only on the query, the fixed
-// partitioning and the ring), and the fingerprint is handed to the member
-// engines so none of them repeats the work.
+// once, the routing decision is cached under the fingerprint, the ring
+// epoch and the placement generation (sound: the fingerprint identifies
+// the canonical query including its constants, and routing depends only
+// on the query, the placement and the ring), and the fingerprint is
+// handed to the member engines so none of them repeats the work.
+//
+// Read-your-writes: before touching any engine the router fences the
+// apply-queue lanes of exactly the broadcast relations the query reads
+// (dec.brels) — acknowledged writes to those relations are applied
+// everywhere first, while backlogs on unrelated relations are left alone.
 func (r *Router) Execute(q ra.Query, opts core.Options) (*exec.Table, *core.Report, error) {
 	norm, err := ra.Normalize(q, r.schema)
 	if err != nil {
@@ -480,22 +578,27 @@ func (r *Router) Execute(q ra.Query, opts core.Options) (*exec.Table, *core.Repo
 	r.rs.RLock()
 	defer r.rs.RUnlock()
 	st := r.state.Load()
+	ps := r.part.Load()
 	var dec decision
-	if v, ok := r.decisions.Get(fp); ok && v.(decision).epoch == st.epoch {
+	if v, ok := r.decisions.Get(fp); ok && v.(decision).epoch == st.epoch && v.(decision).pgen == ps.gen {
 		dec = v.(decision)
 	} else {
-		dec = r.route(norm, st.ring, len(st.members))
+		dec = r.route(norm, st.ring, len(st.members), ps)
 		dec.epoch = st.epoch
+		dec.pgen = ps.gen
 		r.decisions.Put(fp, dec)
 		if opts.Cache {
 			r.remember(fp, norm, opts)
 		}
 	}
+	for _, rel := range dec.brels {
+		r.aq.fenceRel(rel)
+	}
 	switch dec.kind {
 	case routeSingle:
 		m := st.members[dec.shard]
 		if mig := r.mig.Load(); mig != nil && dec.keyed {
-			if sec := r.secondaryOwner(norm, st, mig); sec != nil && sec != m {
+			if sec := r.secondaryOwner(norm, st, ps, mig); sec != nil && sec != m {
 				// A keyed read whose owner differs between the rings runs as
 				// a two-owner gather; counted as Double, not Single, so
 				// RouteStats does not under-report gather load mid-reshard.
@@ -506,14 +609,9 @@ func (r *Router) Execute(q ra.Query, opts core.Options) (*exec.Table, *core.Repo
 		r.routed[routeSingle].Add(1)
 		m.queries.Add(1)
 		return m.eng.ExecuteNormalized(norm, fp, opts)
-	case routeFallback:
-		r.routed[routeFallback].Add(1)
-		r.refQueries.Add(1)
-		// The replica lags the shards by the apply-queue backlog; drain up
-		// to this instant's enqueue point so the fallback answer includes
-		// every write that has already been acknowledged.
-		r.aq.fenceAll()
-		return r.ref.ExecuteNormalized(norm, fp, opts)
+	case routeResidue:
+		r.routed[routeResidue].Add(1)
+		return r.execResidue(norm, fp, opts, st, ps)
 	}
 	r.routed[routeScatter].Add(1)
 	return r.gather(norm, fp, opts, st.members)
@@ -578,7 +676,7 @@ func (r *Router) prewarmFresh(fresh []*member) {
 // could fabricate rows its full slice would cancel, so non-monotone
 // queries stay on the exact owner (which every migration phase keeps
 // complete; see rebalance.go).
-func (r *Router) secondaryOwner(norm ra.Query, st *ringState, mig *migration) *member {
+func (r *Router) secondaryOwner(norm ra.Query, st *ringState, ps *partState, mig *migration) *member {
 	otherRing, otherMembers := mig.newRing, mig.newMembers
 	if st.ring == mig.newRing {
 		otherRing, otherMembers = mig.oldRing, mig.oldMembers
@@ -586,7 +684,7 @@ func (r *Router) secondaryOwner(norm ra.Query, st *ringState, mig *migration) *m
 	if !monotone(norm) {
 		return nil
 	}
-	dec := r.route(norm, otherRing, len(otherMembers))
+	dec := r.route(norm, otherRing, len(otherMembers), ps)
 	if dec.kind != routeSingle || !dec.keyed {
 		return nil
 	}
@@ -678,44 +776,47 @@ func stripeOf(rel string, t value.Tuple) uint64 {
 	return hashKey(rel+"\x00"+t.Key()) % wstripes
 }
 
-// Insert adds a tuple to the cluster: to the owning shard for a
-// partitioned relation (or every shard for a replicated one)
-// synchronously, and to the replica through the batched apply queue.
-// Same-tuple writes are ordered by an internal stripe lock so all member
-// engines converge to the same state. Each engine maintains its indices
-// incrementally, so cached plans everywhere remain valid and Version does
-// not change. During a migration the write additionally covers the key's
-// owner under the incoming ring (rebalance.go).
+// Insert adds a tuple to the cluster: synchronously to the owning shard
+// for a partitioned relation; for a broadcast relation synchronously to
+// the anchor and through the batched per-relation apply queue to the
+// rest. Same-tuple writes are ordered by an internal stripe lock so all
+// member engines converge to the same state. Each engine maintains its
+// indices incrementally, so cached plans everywhere remain valid and
+// Version does not change. During a migration the write additionally
+// covers the tuple's placement under the incoming ring or key
+// (rebalance.go, repartition.go).
 func (r *Router) Insert(rel string, t value.Tuple) (bool, error) {
 	return r.mutate(rel, t, false)
 }
 
 // Delete removes a tuple from the cluster, routing like Insert. During
-// and just after a migration, deletes cover the owner under both rings so
-// no stale copy of the tuple can outlive it.
+// and just after a migration, deletes cover the tuple's placement under
+// both views so no stale copy of the tuple can outlive it.
 func (r *Router) Delete(rel string, t value.Tuple) (bool, error) {
 	return r.mutate(rel, t, true)
 }
 
 // mutate applies one tuple write: validate against the schema up front,
-// commit synchronously to the shard-side targets chosen by writeTargets
-// under the current ring state and migration phase, then enqueue the
-// replica's copy on the apply queue — all under the tuple's ordering
-// stripe, which is what keeps the queue's per-stripe FIFO equal to the
-// order the shards saw. The first target always holds a complete slice
-// for the tuple under the ring readers are routed by, so its verdict is
-// the caller's result (identical to what the replica will report when the
-// queued op lands).
+// then under the tuple's ordering stripe commit synchronously to the
+// targets chosen by writeTargets and hand the rest to the apply queue.
+// The first target always holds a complete slice for the tuple under the
+// view readers are currently routed by, so its verdict is the caller's
+// result and it maintains the logical size counter.
+//
+// For a broadcast relation in steady state only the anchor (targets[0])
+// is synchronous: the other members' copies are enqueued on the
+// relation's lane — the enqueue happens under the stripe, which makes
+// lane order equal stripe order per tuple. While the relation itself is
+// being repartitioned every target is synchronous (its lane was fenced
+// empty when the move started), and partitioned writes are always
+// synchronous, passing through the queue only to obtain a write-ahead-log
+// LSN in durable mode.
 func (r *Router) mutate(rel string, t value.Tuple, del bool) (bool, error) {
 	attrs, ok := r.schema[rel]
 	if !ok {
 		return false, fmt.Errorf("shard: unknown relation %q", rel)
 	}
 	if !del && len(t) != len(attrs) {
-		return false, fmt.Errorf("shard: %s expects %d values, got %d", rel, len(attrs), len(t))
-	}
-	pos, partitioned := r.keyPos[rel]
-	if partitioned && pos >= len(t) {
 		return false, fmt.Errorf("shard: %s expects %d values, got %d", rel, len(attrs), len(t))
 	}
 	apply := (*core.Engine).Insert
@@ -728,25 +829,92 @@ func (r *Router) mutate(rel string, t value.Tuple, del bool) (bool, error) {
 	stripe := stripeOf(rel, t)
 	mu := &r.wmu[stripe]
 	mu.Lock()
-	defer mu.Unlock()
-	var changed bool
-	for i, m := range r.writeTargets(rel, t, pos, partitioned, del) {
-		ch, err := apply(m.eng, rel, t)
-		if err != nil {
-			return false, err
-		}
-		if i == 0 {
-			changed = ch
-		}
+	// Load the placement under the stripe: Repartition publishes its new
+	// state before its stripe barrier, so every write past the barrier
+	// sees it.
+	ps := r.part.Load()
+	pos, partitioned := ps.keyPos[rel]
+	rp := r.rp.Load()
+	relMoving := rp != nil && rp.rel == rel
+	if (partitioned || relMoving) && len(t) != len(attrs) {
+		mu.Unlock()
+		return false, fmt.Errorf("shard: %s expects %d values, got %d", rel, len(attrs), len(t))
 	}
-	// In durable mode the enqueue appends to the write-ahead log before the
-	// write is acknowledged; a log failure rejects the write (and poisons
-	// the log — Health reports the retained error until restart).
-	if _, err := r.aq.enqueue(stripe, rel, t, del); err != nil {
+	targets := r.writeTargets(rel, t, pos, partitioned, del, rp)
+	asyncOK := !partitioned && !relMoving && len(targets) > 1
+	changed, err := apply(targets[0].eng, rel, t)
+	if err != nil {
+		mu.Unlock()
 		return false, err
 	}
+	if asyncOK {
+		engs := make([]*core.Engine, 0, len(targets)-1)
+		for _, m := range targets[1:] {
+			engs = append(engs, m.eng)
+		}
+		// In durable mode the enqueue appends to the write-ahead log before
+		// the write is acknowledged; a log failure rejects the write (and
+		// poisons the log — Health reports the retained error until
+		// restart).
+		if _, err := r.aq.enqueue(rel, t, del, engs); err != nil {
+			mu.Unlock()
+			return false, err
+		}
+	} else {
+		for _, m := range targets[1:] {
+			if _, err := apply(m.eng, rel, t); err != nil {
+				mu.Unlock()
+				return false, err
+			}
+		}
+		if r.wal != nil {
+			if _, err := r.aq.enqueue(rel, t, del, nil); err != nil {
+				mu.Unlock()
+				return false, err
+			}
+		}
+	}
+	if changed {
+		if del {
+			r.sizes[rel].Add(-1)
+		} else {
+			r.sizes[rel].Add(1)
+		}
+	}
+	mu.Unlock()
 	r.maybeCheckpoint()
+	if changed && !del && !partitioned && !relMoving {
+		r.maybeDemote(rel)
+	}
 	return changed, nil
+}
+
+// maybeDemote triggers a background Repartition of a broadcast relation
+// whose logical row count has outgrown the broadcast threshold, onto a
+// key derived from the access schema (first schema attribute when none
+// scores). The per-relation latch collapses a burst of inserts to one
+// attempt; a failed or skipped attempt (e.g. a Reshard in flight) clears
+// the latch so a later insert retries.
+func (r *Router) maybeDemote(rel string) {
+	max := r.spec.BroadcastMaxRows
+	if max == 0 {
+		max = DefaultBroadcastMaxRows
+	}
+	if max < 0 || r.sizes[rel].Load() <= int64(max) {
+		return
+	}
+	latch := r.demoting[rel]
+	if !latch.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer latch.Store(false)
+		key, ok := deriveKey(r.schema, r.anchor().AccessSnapshot(), rel)
+		if !ok {
+			key = r.schema[rel][0]
+		}
+		_, _ = r.Repartition(context.Background(), rel, key)
+	}()
 }
 
 // maybeCheckpoint starts a background checkpoint when the replay debt
@@ -764,23 +932,52 @@ func (r *Router) maybeCheckpoint() {
 	}()
 }
 
-// Checkpoint writes a durable, LSN-stamped snapshot of the replica — the
-// one engine holding the full instance — and prunes log segments it makes
-// dead. The stamp W is read under cmu, so no constraint record can be
-// mid-append (constraint changes log under cmu, after they are applied to
-// the replica); the fence then drains every tuple op with LSN <= W into
-// the replica before the snapshot is taken. Concurrent writes during the
-// (long) save only add ops beyond the stamp, which replay tolerates.
-// No-op on a non-durable router.
+// Checkpoint writes a durable, LSN-stamped snapshot of the logical
+// database — assembled from the shard slices, since no single engine
+// holds it — and prunes log segments it makes dead. The stamp W is read
+// under cmu, so no constraint record can be mid-append (constraint
+// changes log under cmu, after they are applied to the anchor). No fence
+// is needed for the rows: every op with LSN <= W finished its synchronous
+// applies before its LSN was assigned, and the assembly reads only
+// synchronously written placements — the anchor for broadcast relations,
+// the owners for partitioned ones (every member, since mid-migration
+// copies are deduplicated by SaveSnapshot and the readers' view is always
+// complete across the member union). Ops beyond the stamp are repaired by
+// idempotent in-order replay, exactly as for a single engine. No-op on a
+// non-durable router.
 func (r *Router) Checkpoint() error {
 	if r.wal == nil {
 		return nil
 	}
 	r.cmu.Lock()
 	lsn := r.wal.LastLSN()
+	cons := r.anchor().AccessSnapshot().Constraints
 	r.cmu.Unlock()
-	r.aq.fence(lsn)
-	return r.wal.WriteCheckpoint(lsn, r.ref.DB().Save)
+	st := r.state.Load()
+	ps := r.part.Load()
+	rels := make(map[string][]value.Tuple, len(r.schema))
+	for _, rel := range r.schema.Relations() {
+		if _, partitioned := ps.keyPos[rel]; partitioned {
+			var all []value.Tuple
+			for _, m := range st.members {
+				rows, err := m.eng.DB().Rows(rel)
+				if err != nil {
+					return err
+				}
+				all = append(all, rows...)
+			}
+			rels[rel] = all
+			continue
+		}
+		rows, err := st.members[0].eng.DB().Rows(rel)
+		if err != nil {
+			return err
+		}
+		rels[rel] = rows
+	}
+	return r.wal.WriteCheckpoint(lsn, func(w io.Writer) error {
+		return store.SaveSnapshot(w, r.schema, cons, rels)
+	})
 }
 
 // Close drains the apply queue, then flushes and closes the write-ahead
@@ -795,11 +992,11 @@ func (r *Router) Close() error {
 }
 
 // Health reports nil while the cluster's write pipeline is intact. A
-// non-nil error is the first replica-apply rejection or log append/fsync/
-// checkpoint failure — from then on acknowledged writes may be missing
-// from the replica or the log, and the process should be restarted
-// (recovery replays the intact prefix). Apply errors are reported even on
-// a non-durable router.
+// non-nil error is the first broadcast-apply rejection or log append/
+// fsync/checkpoint failure — from then on acknowledged writes may be
+// missing from some member or the log, and the process should be
+// restarted (recovery replays the intact prefix). Apply errors are
+// reported even on a non-durable router.
 func (r *Router) Health() error {
 	if err := r.aq.health(); err != nil {
 		return err
@@ -820,25 +1017,42 @@ func (r *Router) DurabilityStats() (wal.Stats, bool) {
 }
 
 // writeTargets picks the member engines one tuple write must reach,
-// ordered so the FIRST target is always the owner under the ring the
-// readers are currently routed by — its slice is complete there, so its
-// apply verdict is the caller's result. Stable cluster: the ring owner
-// (partitioned) or every member (replicated). Mid-migration the rules
-// are phase-dependent so that the readers' ring always sees a complete
-// slice, and no copy of a deleted tuple survives anywhere:
+// ordered so the FIRST target is always complete for the tuple under the
+// view the readers are currently routed by — its apply verdict is the
+// caller's result. Stable cluster: the ring owner (partitioned) or every
+// member, anchor first (broadcast). While the relation's own placement is
+// moving (Repartition) the targets are the union of its old and new
+// placements with phase rules mirroring Reshard's; while the ring is
+// moving (Reshard) the rules are phase-dependent so that the readers'
+// ring always sees a complete slice, and no copy of a deleted tuple
+// survives anywhere:
 //
-//   - copy (readers on the old ring): apply under both rings, old owner
-//     first — the old owner stays exact for reads, the new owner fills
-//     in for the flip.
-//   - cleanup (flipped; readers on the new ring): inserts go to the new
-//     owner only, so the straggler sweep cannot leak fresh copies onto
-//     shards that no longer own them; deletes also cover the old owner —
-//     new owner first, since the sweep may already have emptied the old
-//     one — to kill any not-yet-swept copy.
-//   - abort (rolling back; readers on the old ring): the mirror image —
-//     inserts to the old owner only, deletes cover both, old owner
-//     first.
-func (r *Router) writeTargets(rel string, t value.Tuple, pos int, partitioned, del bool) []*member {
+//   - copy (readers on the old view): apply under both views, old
+//     placement first — it stays exact for reads, the new placement
+//     fills in for the flip.
+//   - cleanup (flipped; readers on the new view): inserts go to the new
+//     placement only, so the straggler sweep cannot leak fresh copies
+//     onto shards that no longer hold the tuple; deletes also cover the
+//     old placement — new first, since the sweep may already have
+//     emptied the old one — to kill any not-yet-swept copy.
+//   - abort (rolling back; readers on the old view): the mirror image —
+//     inserts to the old placement only, deletes cover both, old first.
+func (r *Router) writeTargets(rel string, t value.Tuple, pos int, partitioned, del bool, rp *repartition) []*member {
+	if rp != nil && rp.rel == rel {
+		st := r.state.Load()
+		oldT := rp.oldPS.placement(rel, t, st)
+		newT := rp.newPS.placement(rel, t, st)
+		switch phase := rp.phase.Load(); {
+		case del && phase == phaseCleanup:
+			return unionMembers(newT, oldT)
+		case del || phase == phaseCopy:
+			return unionMembers(oldT, newT)
+		case phase == phaseCleanup:
+			return newT
+		default: // phaseAbort insert
+			return oldT
+		}
+	}
 	mig := r.mig.Load()
 	if mig == nil {
 		st := r.state.Load()
@@ -896,13 +1110,15 @@ func unionMembers(a, b []*member) []*member {
 // AddConstraints installs extra access constraints on every engine of the
 // cluster, building their indices shard-locally and bumping every
 // engine's version in lockstep (each engine purges its own plan cache).
-// Constraints are validated up front, and the replica — the only engine
-// holding the full instance — goes first: a constraint the full database
-// violates fails there before any shard is touched, and replica success
-// implies shard success because every shard's slice is a subset (access
-// constraints are anti-monotone). Mutations are serialized against each
-// other so concurrent calls cannot skew versions across engines; engines
-// a growing Reshard has already built join the fan-out immediately.
+// Constraints are validated against the schema up front; index builds do
+// not themselves enforce bounds, so there is no data-dependent failure to
+// order around. The anchor goes first — its version and access snapshot
+// are the cluster's reference — and the change is logged (durable mode)
+// after the anchor accepted it and before it is acknowledged. Mutations
+// are serialized against each other so concurrent calls cannot skew
+// versions across engines; engines a growing Reshard has already built
+// join the fan-out immediately. The apply queue is drained first so every
+// member's index build sees every acknowledged write.
 func (r *Router) AddConstraints(cs ...access.Constraint) error {
 	for _, c := range cs {
 		if err := c.Validate(r.schema); err != nil {
@@ -911,14 +1127,12 @@ func (r *Router) AddConstraints(cs ...access.Constraint) error {
 	}
 	r.cmu.Lock()
 	defer r.cmu.Unlock()
-	// Drain the apply queue first: the replica is the validation oracle,
-	// and its index build must see every write acknowledged before this
-	// call.
 	r.aq.fenceAll()
-	if err := r.ref.AddConstraints(cs...); err != nil {
+	engs := r.shardEnginesLocked()
+	if err := engs[0].AddConstraints(cs...); err != nil {
 		return err
 	}
-	// Log after the replica accepted (the log must only contain applicable
+	// Log after the anchor accepted (the log must only contain applicable
 	// records) and before returning, so the change is durable by the time
 	// it is acknowledged. cmu orders constraint records against each other
 	// and against checkpoint stamps.
@@ -929,7 +1143,7 @@ func (r *Router) AddConstraints(cs ...access.Constraint) error {
 			}
 		}
 	}
-	for _, eng := range r.shardEnginesLocked() {
+	for _, eng := range engs[1:] {
 		if err := eng.AddConstraints(cs...); err != nil {
 			return fmt.Errorf("shard: cluster left inconsistent by partial constraint install: %w", err)
 		}
@@ -944,13 +1158,14 @@ func (r *Router) RemoveConstraint(c access.Constraint) bool {
 	r.cmu.Lock()
 	defer r.cmu.Unlock()
 	r.aq.fenceAll()
-	found := r.ref.RemoveConstraint(c)
+	engs := r.shardEnginesLocked()
+	found := engs[0].RemoveConstraint(c)
 	if found && r.wal != nil {
 		// A log failure here is retained by the queue and surfaced by
 		// Health; the in-memory removal stands either way.
 		_ = r.aq.logRecord(wal.Record{Kind: wal.KindRemoveConstraint, Con: c})
 	}
-	for _, eng := range r.shardEnginesLocked() {
+	for _, eng := range engs[1:] {
 		if eng.RemoveConstraint(c) {
 			found = true
 		}
@@ -958,8 +1173,8 @@ func (r *Router) RemoveConstraint(c access.Constraint) bool {
 	return found
 }
 
-// shardEnginesLocked lists every non-replica engine a schema mutation
-// must reach — the live members plus any engines a growing Reshard has
+// shardEnginesLocked lists every engine a schema mutation must reach —
+// the live members (anchor first) plus any engines a growing Reshard has
 // built but not yet flipped in. Callers must hold cmu.
 func (r *Router) shardEnginesLocked() []*core.Engine {
 	st := r.state.Load()
@@ -980,27 +1195,27 @@ func (r *Router) shardEnginesLocked() []*core.Engine {
 	return out
 }
 
-// engines lists every member engine: the shards (plus pending Reshard
-// growth engines), then the replica.
+// engines lists every member engine (plus pending Reshard growth
+// engines).
 func (r *Router) engines() []*core.Engine {
 	r.cmu.Lock()
 	defer r.cmu.Unlock()
-	return append(r.shardEnginesLocked(), r.ref)
+	return r.shardEnginesLocked()
 }
 
 // AccessSnapshot returns a consistent copy of the installed access
-// schema (identical on every engine of a healthy cluster).
+// schema (identical on every engine of a healthy cluster), read from the
+// anchor.
 func (r *Router) AccessSnapshot() *access.Schema {
-	return r.ref.AccessSnapshot()
+	return r.anchor().AccessSnapshot()
 }
 
 // Version returns the cluster's access-schema generation. All engines
 // move in lockstep because every mutation fans out through the router;
-// tuple movement during Reshard never touches it.
-func (r *Router) Version() uint64 { return r.ref.Version() }
+// tuple movement during Reshard or Repartition never touches it.
+func (r *Router) Version() uint64 { return r.anchor().Version() }
 
-// CacheStats returns the plan-cache counters summed across every engine
-// (shards and replica).
+// CacheStats returns the plan-cache counters summed across every engine.
 func (r *Router) CacheStats() cache.Stats {
 	var out cache.Stats
 	for _, eng := range r.engines() {
@@ -1022,24 +1237,44 @@ func (r *Router) SetPlanCacheCapacity(capacity int) {
 	}
 }
 
-// DBSize returns the logical |D|: the replica's size, which counts every
-// tuple exactly once regardless of replication. It drains the apply queue
-// first so acknowledged writes are counted.
+// DBSize returns the logical |D|: every tuple counted exactly once
+// regardless of replication or in-flight migration copies. It is
+// maintained by the write path (the verdict-source apply of each write),
+// so it needs no fence and no engine that holds the full database.
 func (r *Router) DBSize() int64 {
-	r.aq.fenceAll()
-	return r.ref.DBSize()
+	var n int64
+	for _, s := range r.sizes {
+		n += s.Load()
+	}
+	return n
 }
 
-// IndexEntries returns the logical |I_A|, measured on the replica after
-// draining the apply queue.
+// IndexEntries returns the logical |I_A|, summed per relation from the
+// engines that hold it: the anchor for broadcast relations, every member
+// for partitioned ones. Stable-state slices are disjoint, so the sum is
+// exact; while a migration has rows double-placed the sum can count an
+// entry twice, making it a (briefly held) upper bound — acceptable for
+// the observability surface it feeds.
 func (r *Router) IndexEntries() int64 {
-	r.aq.fenceAll()
-	return r.ref.IndexEntries()
+	st := r.state.Load()
+	ps := r.part.Load()
+	var n int64
+	for _, rel := range r.schema.Relations() {
+		if _, partitioned := ps.keyPos[rel]; partitioned {
+			for _, m := range st.members {
+				n += m.eng.DB().IndexEntriesFor(rel)
+			}
+			continue
+		}
+		n += st.members[0].eng.DB().IndexEntriesFor(rel)
+	}
+	return n
 }
 
-// ApplyQueueStats returns an observability snapshot of the replica apply
-// pipeline: backlog depth (watermark lag), batching counters and store
-// errors. Surfaced by GET /stats for operators watching the write path.
+// ApplyQueueStats returns an observability snapshot of the broadcast
+// apply pipeline: backlog depth (watermark lag), batching counters and
+// store errors. Surfaced by GET /stats for operators watching the write
+// path.
 func (r *Router) ApplyQueueStats() ApplyQueueStats { return r.aq.stats() }
 
 // RouteStats counts routing decisions since the router was built.
@@ -1054,8 +1289,10 @@ type RouteStats struct {
 	// Scattered counts scatter/gather executions (each runs on every
 	// shard).
 	Scattered int64
-	// Fallback counts executions routed to the full replica.
-	Fallback int64
+	// Residue counts executions decomposed by the distributed residue
+	// executor (residue.go) — queries whose shape neither single-shards
+	// nor scatters as a whole.
+	Residue int64
 }
 
 // RouteStats returns the routing-decision counters.
@@ -1064,35 +1301,83 @@ func (r *Router) RouteStats() RouteStats {
 		Single:    r.routed[routeSingle].Load(),
 		Double:    r.doubled.Load(),
 		Scattered: r.routed[routeScatter].Load(),
-		Fallback:  r.routed[routeFallback].Load(),
+		Residue:   r.routed[routeResidue].Load(),
+	}
+}
+
+// ResidueStats counts the work of the distributed residue executor and
+// the placement migrator, surfaced by GET /stats.
+type ResidueStats struct {
+	// SemiJoins counts semi-join reductions applied before a shuffle;
+	// Shuffles counts hash-shuffle joins executed over the member pools.
+	SemiJoins, Shuffles int64
+	// BroadcastRels is the number of relations currently broadcast to
+	// every shard (the non-partitioned set).
+	BroadcastRels int
+	// Repartitions counts completed placement changes (Repartition calls
+	// and automatic demotions).
+	Repartitions int64
+	// BytesShipped approximates the volume moved between members by
+	// shuffles: the encoded size of every row handed to a shuffle bucket.
+	BytesShipped int64
+}
+
+// ResidueStats returns the residue-execution counters.
+func (r *Router) ResidueStats() ResidueStats {
+	ps := r.part.Load()
+	return ResidueStats{
+		SemiJoins:     r.resSemiJoins.Load(),
+		Shuffles:      r.resShuffles.Load(),
+		BroadcastRels: len(r.schema.Relations()) - len(ps.keys),
+		Repartitions:  r.resRepartitions.Load(),
+		BytesShipped:  r.resBytesShipped.Load(),
+	}
+}
+
+// RouteKind reports the strategy Execute would pick for q right now:
+// "single", "scatter" or "residue". Exposed for workload tooling
+// (internal/bench) that wants to classify candidate queries without
+// executing them.
+func (r *Router) RouteKind(q ra.Query) (string, error) {
+	norm, err := ra.Normalize(q, r.schema)
+	if err != nil {
+		return "", err
+	}
+	st := r.state.Load()
+	dec := r.route(norm, st.ring, len(st.members), r.part.Load())
+	switch dec.kind {
+	case routeSingle:
+		return "single", nil
+	case routeScatter:
+		return "scatter", nil
+	default:
+		return "residue", nil
 	}
 }
 
 // PerShardStats returns one observability snapshot per member engine —
-// live shards labeled "shard/i" in order, then the replica — for the
-// /stats per-shard breakdown. Queries counts executions routed to each
-// engine; comparing them across shards exposes routing skew, and
-// comparing DBSize exposes data skew.
+// live shards labeled "shard/i" in order — for the /stats per-shard
+// breakdown. Queries counts executions routed to each engine (including
+// subtree executions shipped by the residue executor); comparing them
+// across shards exposes routing skew, and comparing DBSize exposes data
+// skew.
 func (r *Router) PerShardStats() []core.EngineStat {
 	st := r.state.Load()
-	out := make([]core.EngineStat, 0, len(st.members)+1)
+	out := make([]core.EngineStat, 0, len(st.members))
 	for i, m := range st.members {
 		es := m.eng.Stat()
 		es.Label = fmt.Sprintf("shard/%d", i)
 		es.Queries = m.queries.Load()
 		out = append(out, es)
 	}
-	es := r.ref.Stat()
-	es.Label = "replica"
-	es.Queries = r.refQueries.Load()
-	out = append(out, es)
 	return out
 }
 
 // String summarizes the partitioning for logs and tools.
 func (r *Router) String() string {
-	rels := make([]string, 0, len(r.spec.Keys))
-	for rel, key := range r.spec.Keys {
+	ps := r.part.Load()
+	rels := make([]string, 0, len(ps.keys))
+	for rel, key := range ps.keys {
 		rels = append(rels, rel+"/"+key)
 	}
 	sort.Strings(rels)

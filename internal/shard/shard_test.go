@@ -125,7 +125,7 @@ func TestShardedDifferentialRandom(t *testing.T) {
 // TestRoutingStrategies pins the router's strategy choice on the AIRCA
 // templates: origin-bound queries take the single-shard fast path,
 // key-unbound single-occurrence queries scatter, and the fid⋈origin
-// cross-key join falls back to the replica.
+// cross-key join takes the distributed residue path.
 func TestRoutingStrategies(t *testing.T) {
 	_, router, _ := buildPair(t, "AIRCA", 4)
 	cases := []struct {
@@ -134,13 +134,13 @@ func TestRoutingStrategies(t *testing.T) {
 	}{
 		// ontime.origin pinned to 42 on both sides of the difference.
 		{`(q(airline) :- ontime(f, 42, d, airline, m, delay)) EXCEPT (q(airline) :- carrier(airline, nm, 0), ontime(f2, 42, d2, airline, m2, delay2))`, routeSingle},
-		// Replicated relations only.
+		// Broadcast relations only.
 		{`q(cname) :- carrier(3, cname, country)`, routeSingle},
 		// ontime unbound on its partition key: distributes, scatter.
 		{`q(origin, dest) :- ontime(f, origin, dest, 3, m, delay)`, routeScatter},
 		// ontime (by origin) joined with delaycause (by fid) on fid, with
 		// only fid bound: keys on different attributes, not co-located.
-		{`q(origin, dest, cause) :- ontime(77, origin, dest, al, m, delay), delaycause(77, cause, mins)`, routeFallback},
+		{`q(origin, dest, cause) :- ontime(77, origin, dest, al, m, delay), delaycause(77, cause, mins)`, routeResidue},
 	}
 	st := router.state.Load()
 	for _, tc := range cases {
@@ -152,7 +152,7 @@ func TestRoutingStrategies(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if dec := router.route(norm, st.ring, len(st.members)); dec.kind != tc.kind {
+		if dec := router.route(norm, st.ring, len(st.members), router.part.Load()); dec.kind != tc.kind {
 			t.Errorf("route(%q) = %v, want %v", tc.src, dec.kind, tc.kind)
 		}
 	}
@@ -165,7 +165,7 @@ func TestRoutingStrategies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dec := router.route(norm, st.ring, len(st.members))
+	dec := router.route(norm, st.ring, len(st.members), router.part.Load())
 	if dec.kind != routeSingle {
 		t.Fatalf("origin-bound query did not fast-path: %v", dec.kind)
 	}
@@ -178,9 +178,8 @@ func TestRoutingStrategies(t *testing.T) {
 }
 
 // TestWritesRouteToOwner asserts that a partitioned insert lands on
-// exactly one shard plus the replica, stays queryable through the router,
-// and keeps Version unchanged (the per-shard cache invariant on the
-// cluster).
+// exactly one shard, stays queryable through the router, and keeps
+// Version unchanged (the per-shard cache invariant on the cluster).
 func TestWritesRouteToOwner(t *testing.T) {
 	d, err := workload.ByName("AIRCA")
 	if err != nil {
@@ -290,7 +289,7 @@ func TestConstraintFanOut(t *testing.T) {
 
 // TestDeriveKeys checks the automatic partition-key policy on AIRCA: the
 // big fact tables get their most-indexed attribute, small dimension
-// tables replicate.
+// tables stay broadcast.
 func TestDeriveKeys(t *testing.T) {
 	d, err := workload.ByName("AIRCA")
 	if err != nil {
@@ -309,7 +308,7 @@ func TestDeriveKeys(t *testing.T) {
 	}
 	for _, rel := range []string{"airport", "carrier"} {
 		if k, ok := keys[rel]; ok {
-			t.Errorf("small relation %s partitioned by %q, want replicated", rel, k)
+			t.Errorf("small relation %s partitioned by %q, want broadcast", rel, k)
 		}
 	}
 }
@@ -335,8 +334,8 @@ func TestScatterGatherUnderChurn(t *testing.T) {
 		`q(airline) :- ontime(f, 42, d, airline, m, delay)`,                                             // single-shard fast path
 		`q(origin, dest) :- ontime(f, origin, dest, 3, m, delay)`,                                       // scatter (uncovered → baseline per shard)
 		`q(city) :- ontime(123, origin, dest, al, m, delay), airport(origin, city, st)`,                 // scatter, covered
-		`q(origin, dest, cause) :- ontime(77, origin, dest, al, m, delay), delaycause(77, cause, mins)`, // replica fallback
-		`q(cname) :- carrier(3, cname, country)`,                                                        // replicated-only single shard
+		`q(origin, dest, cause) :- ontime(77, origin, dest, al, m, delay), delaycause(77, cause, mins)`, // distributed residue
+		`q(cname) :- carrier(3, cname, country)`,                                                        // broadcast-only single shard
 	}
 	parsed := make([]ra.Query, len(queries))
 	for i, src := range queries {
@@ -346,7 +345,9 @@ func TestScatterGatherUnderChurn(t *testing.T) {
 		}
 		parsed[i] = q
 	}
-	rows, err := router.ref.DB().Rows("ontime")
+	// Storm material comes from the seed instance, which New read but did
+	// not consume.
+	rows, err := db.Rows("ontime")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +413,7 @@ func TestScatterGatherUnderChurn(t *testing.T) {
 		}
 	}
 	rs := router.RouteStats()
-	if rs.Single == 0 || rs.Scattered == 0 || rs.Fallback == 0 {
+	if rs.Single == 0 || rs.Scattered == 0 || rs.Residue == 0 {
 		t.Errorf("expected all routing strategies exercised, got %+v", rs)
 	}
 }
@@ -439,8 +440,8 @@ func TestRouterServiceParity(t *testing.T) {
 	if cs.Hits == 0 {
 		t.Errorf("aggregated cache stats show no hits after a repeat: %+v", cs)
 	}
-	if got := len(router.PerShardStats()); got != 5 {
-		t.Errorf("PerShardStats returned %d entries, want 4 shards + replica", got)
+	if got := len(router.PerShardStats()); got != 4 {
+		t.Errorf("PerShardStats returned %d entries, want 4 shards", got)
 	}
 }
 
@@ -483,10 +484,10 @@ func TestConcurrentConstraintMutations(t *testing.T) {
 				stats[0].Label, stats[0].Version, st.Label, st.Version)
 		}
 	}
-	want := router.ref.AccessSnapshot().Len()
+	want := router.AccessSnapshot().Len()
 	for i, m := range router.state.Load().members {
 		if got := m.eng.AccessSnapshot().Len(); got != want {
-			t.Errorf("shard %d has %d constraints, replica has %d", i, got, want)
+			t.Errorf("shard %d has %d constraints, router reports %d", i, got, want)
 		}
 	}
 }

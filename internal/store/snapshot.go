@@ -53,6 +53,40 @@ func (db *DB) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&snap)
 }
 
+// SaveSnapshot writes a snapshot assembled by the caller — a schema, a
+// constraint set and the rows of every relation — to w in the same gob
+// format Save produces, so LoadSnapshot and recovery treat the two
+// interchangeably. It exists for the sharded serving layer, where no
+// single store holds the full instance any more: the router gathers each
+// relation's rows from the shard that (or shards that) own them and emits
+// one logical image. Duplicate tuples within a relation (e.g. copies that
+// coexist mid-migration) are deduplicated here, and constraints are
+// emitted in sorted key order so equal logical databases produce equal
+// snapshots.
+func SaveSnapshot(w io.Writer, schema ra.Schema, constraints []access.Constraint, relations map[string][]value.Tuple) error {
+	snap := snapshot{
+		Schema:    schema,
+		Relations: map[string][]value.Tuple{},
+	}
+	for name, rows := range relations {
+		seen := make(map[string]bool, len(rows))
+		out := make([]value.Tuple, 0, len(rows))
+		for _, t := range rows {
+			k := t.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, t)
+		}
+		snap.Relations[name] = out
+	}
+	cons := append([]access.Constraint{}, constraints...)
+	sort.Slice(cons, func(i, j int) bool { return cons[i].Key() < cons[j].Key() })
+	snap.Constraints = cons
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
 // LoadSnapshot reads a snapshot written by Save and reconstructs the
 // database WITHOUT building any indices, returning the recorded constraint
 // set for the caller to rebuild later. Recovery uses it to avoid paying

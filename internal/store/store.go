@@ -451,6 +451,22 @@ func (db *DB) IndexEntries() int64 {
 	return n
 }
 
+// IndexEntriesFor sums Entries over the indices built on relation rel.
+// The sharded router uses it to assemble a logical |I_A| without a
+// full-copy engine: broadcast relations are counted on one shard,
+// partitioned ones summed across the shards that split them.
+func (db *DB) IndexEntriesFor(rel string) int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var n int64
+	for _, idx := range db.indexes {
+		if idx.Con.Rel == rel {
+			n += idx.Entries()
+		}
+	}
+	return n
+}
+
 // Fetch performs fetch(X ∈ {x}, R, Y) via the index for constraint c:
 // it returns the distinct XY projections for the given X value, charging
 // one access per returned tuple (at most N). The index must have been
