@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz-smoke bench-serve bench-shard bench-durable docs-check
+.PHONY: check build vet test race fuzz-smoke bench-serve bench-shard bench-durable bench-ivm docs-check
 
 # check is the full CI pipeline: compile, vet, race-enabled tests, a short
 # fuzz smoke of the parser and canonicalizer, and the documentation gate.
@@ -33,6 +33,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzNormalize -fuzztime=10s ./internal/ra
 	$(GO) test -run=^$$ -fuzz=FuzzRouteDecision -fuzztime=10s ./internal/shard
 	$(GO) test -run=^$$ -fuzz=FuzzResiduePlan -fuzztime=10s ./internal/shard
+	$(GO) test -run=^$$ -fuzz=FuzzDeltaPlan -fuzztime=10s ./internal/ivm
 
 # docs-check is the documentation gate: gofmt-clean sources, vet, and
 # cmd/docscheck (package doc comments everywhere; doc comments on every
@@ -72,6 +73,18 @@ bench-shard:
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -writemix 0.4
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 4 -writemix 0.4
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -transport sharded -shards 4 -residuemix 0.3
+
+# bench-ivm prices incremental answer maintenance: the same mixed replay
+# (20% of client ops are tuple writes) with materialized answers off
+# (-ivm=false, plan-cache-only baseline — every repeat re-executes because
+# writes keep bumping no state but still contend) and on (hot fingerprints
+# cross admission and repeats are served O(answer), with tuple writes
+# folded through the delta rules instead of invalidating). The second row
+# should show a multiple of the first's QPS; its ivm line reports views
+# live, O(answer) serves and delta applies.
+bench-ivm:
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -writemix 0.2 -ivm=false
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -writemix 0.2
 
 # bench-durable prices the write-ahead log: the same write-heavy replay
 # (40% of client ops are tuple writes) in-memory, then logging to a fresh

@@ -79,6 +79,7 @@ func main() {
 	reshardTo := flag.Int("reshard", 0, "serve: reshard the cluster to this shard count halfway through the replay (0 = off)")
 	writeMix := flag.Float64("writemix", 0, "serve: fraction of client ops replayed as tuple writes (delete+reinsert), in [0, 1)")
 	residueMix := flag.Float64("residuemix", 0, "serve: fraction of client query ops drawn from non-distributable (residue-routed) shapes, in [0, 1); needs a sharded layer")
+	ivmOn := flag.Bool("ivm", true, "serve: maintain materialized answers for hot fingerprints (false = plan-cache-only baseline)")
 	addr := flag.String("addr", ":8080", "http: listen address")
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "http: per-request timeout")
 	maxInFlight := flag.Int("maxinflight", 0, "http: max concurrent queries (unset = 4×GOMAXPROCS, <0 = unlimited)")
@@ -114,7 +115,7 @@ func main() {
 	durable := durableConfig(*dataDir, *fsync, *checkpointEvery)
 	switch *op {
 	case "serve":
-		if err := serve(*dataset, *transport, *shards, *reshardTo, *scale, *seed, *clients, *writers, *ops, *zipf, *poolSize, *cacheSize, *writeMix, *residueMix, durable); err != nil {
+		if err := serve(*dataset, *transport, *shards, *reshardTo, *scale, *seed, *clients, *writers, *ops, *zipf, *poolSize, *cacheSize, *writeMix, *residueMix, durable, !*ivmOn); err != nil {
 			fmt.Fprintln(os.Stderr, "boundedctl:", err)
 			os.Exit(1)
 		}
@@ -257,7 +258,7 @@ func validateFlags(op string, explicit map[string]bool, f cliFlags) error {
 	return nil
 }
 
-func serve(dataset, transport string, shards, reshardTo int, scale float64, seed int64, clients, writers, ops int, zipf float64, poolSize, cacheSize int, writeMix, residueMix float64, durable core.DurableConfig) error {
+func serve(dataset, transport string, shards, reshardTo int, scale float64, seed int64, clients, writers, ops int, zipf float64, poolSize, cacheSize int, writeMix, residueMix float64, durable core.DurableConfig, ivmOff bool) error {
 	cfg := bench.DefaultServeConfig()
 	cfg.Dataset = dataset
 	cfg.Transport = transport
@@ -274,6 +275,7 @@ func serve(dataset, transport string, shards, reshardTo int, scale float64, seed
 	cfg.WriteMix = writeMix
 	cfg.ResidueMix = residueMix
 	cfg.Durable = durable
+	cfg.IVMOff = ivmOff
 	res, err := bench.Serve(cfg)
 	if err != nil {
 		return err

@@ -34,25 +34,28 @@ func TestOpsOnBenchmarkDatasets(t *testing.T) {
 }
 
 func TestOpServe(t *testing.T) {
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}); err != nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, false); err != nil {
 		t.Fatalf("serve: %v", err)
 	}
-	if err := serve("nosuch", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0, 0, core.DurableConfig{}); err == nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, true); err != nil {
+		t.Fatalf("serve -ivm=false: %v", err)
+	}
+	if err := serve("nosuch", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0, 0, core.DurableConfig{}, false); err == nil {
 		t.Error("serve accepted an unknown dataset")
 	}
-	if err := serve("AIRCA", "carrier-pigeon", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0, 0, core.DurableConfig{}); err == nil {
+	if err := serve("AIRCA", "carrier-pigeon", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0, 0, core.DurableConfig{}, false); err == nil {
 		t.Error("serve accepted an unknown transport")
 	}
 }
 
 func TestOpServeHTTPTransport(t *testing.T) {
-	if err := serve("AIRCA", "http", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}); err != nil {
+	if err := serve("AIRCA", "http", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, false); err != nil {
 		t.Fatalf("serve -transport http: %v", err)
 	}
 }
 
 func TestOpServeShardedTransport(t *testing.T) {
-	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, false); err != nil {
 		t.Fatalf("serve -transport sharded: %v", err)
 	}
 }
@@ -81,10 +84,10 @@ func TestErrors(t *testing.T) {
 }
 
 func TestOpServeMidReplayReshard(t *testing.T) {
-	if err := serve("AIRCA", "sharded", 2, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, false); err != nil {
 		t.Fatalf("serve -transport sharded -reshard 3: %v", err)
 	}
-	if err := serve("AIRCA", "engine", 0, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}); err == nil {
+	if err := serve("AIRCA", "engine", 0, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, false); err == nil {
 		t.Error("serve accepted -reshard without a sharded layer")
 	}
 }
@@ -101,35 +104,35 @@ func TestOpReshardValidation(t *testing.T) {
 // would price replay, not serving.
 func TestOpServeDurable(t *testing.T) {
 	durable := core.DurableConfig{Dir: t.TempDir(), CheckpointEvery: -1}
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, 0, durable); err != nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, 0, durable, false); err != nil {
 		t.Fatalf("serve durable engine: %v", err)
 	}
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, 0, durable); err == nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, 0, durable, false); err == nil {
 		t.Error("serve reused a directory that already holds log state")
 	}
 	durable.Dir = t.TempDir()
-	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, 0, durable); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, 0, durable, false); err != nil {
 		t.Fatalf("serve durable sharded: %v", err)
 	}
 }
 
 func TestOpServeWriteMix(t *testing.T) {
-	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.5, 0, core.DurableConfig{}); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.5, 0, core.DurableConfig{}, false); err != nil {
 		t.Fatalf("serve -transport sharded -writemix 0.5: %v", err)
 	}
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 1.5, 0, core.DurableConfig{}); err == nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 1.5, 0, core.DurableConfig{}, false); err == nil {
 		t.Error("serve accepted a write mix >= 1")
 	}
 }
 
 func TestOpServeResidueMix(t *testing.T) {
-	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0.5, core.DurableConfig{}); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0.5, core.DurableConfig{}, false); err != nil {
 		t.Fatalf("serve -transport sharded -residuemix 0.5: %v", err)
 	}
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0.5, core.DurableConfig{}); err == nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0.5, core.DurableConfig{}, false); err == nil {
 		t.Error("serve accepted -residuemix without a sharded layer")
 	}
-	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 1.0, core.DurableConfig{}); err == nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 1.0, core.DurableConfig{}, false); err == nil {
 		t.Error("serve accepted a residue mix >= 1")
 	}
 }

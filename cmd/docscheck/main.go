@@ -46,6 +46,7 @@ var strictDirs = map[string]bool{
 	"internal/shard":  true,
 	"internal/cache":  true,
 	"internal/core":   true,
+	"internal/ivm":    true,
 	"internal/store":  true,
 	"internal/wal":    true,
 	"internal/bench":  true,

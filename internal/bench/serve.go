@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/ivm"
 	"repro/internal/parser"
 	"repro/internal/ra"
 	"repro/internal/server"
@@ -94,6 +95,12 @@ type ServeConfig struct {
 	// state would measure replay, not serving. Combine with WriteMix to
 	// make the fsync policy visible in throughput.
 	Durable core.DurableConfig
+	// IVMOff disables incremental answer maintenance on the serving layer
+	// (engines keep it on by default). Two runs differing only here price
+	// materialized serving against plan-cache-only execution — pair with
+	// WriteMix so the delta-maintenance cost on the write path is in the
+	// measured mix too.
+	IVMOff bool
 }
 
 // DefaultShards is the partition count used by the sharded transport when
@@ -176,6 +183,12 @@ type ServeResult struct {
 	// run (nil when the serving layer is in-memory). QPS here vs an
 	// in-memory run with the same WriteMix prices the logging policy.
 	Durability *wal.Stats
+	// IVM is the materialized-answer snapshot at the end of the run
+	// (summed across engines on a sharded layer); IVMOn records whether
+	// maintenance was enabled. Hits vs Ops is the fraction of the replay
+	// served in O(answer) without running a plan.
+	IVM   ivm.Stats
+	IVMOn bool
 	// ColdLatency is the Execute latency floor (minimum over probes,
 	// averaged across the probe set) with the plan cache bypassed — the
 	// full compile pipeline; HotLatency the same floor for a plan-cache
@@ -212,6 +225,13 @@ func (r *ServeResult) Format(w io.Writer) {
 		r.Cache.Hits, r.Cache.Misses, r.Cache.Evictions, 100*r.HitRate)
 	fmt.Fprintf(w, "mutations\t%d tuple writes during run (%d write ops in the client mix)\n",
 		r.Mutations, r.WriteOps)
+	if r.IVMOn {
+		fmt.Fprintf(w, "ivm\t%d views live (budget %d): %d hits served O(answer), %d delta applies, %d admitted, %d evicted, %d fallbacks, %d denied\n",
+			r.IVM.Materialized, r.IVM.Budget, r.IVM.Hits, r.IVM.DeltaApplies,
+			r.IVM.Admitted, r.IVM.Evicted, r.IVM.Fallbacks, r.IVM.Denied)
+	} else {
+		fmt.Fprintf(w, "ivm\toff (plan-cache-only baseline)\n")
+	}
 	if r.Shards > 0 && r.Apply.Enqueued > 0 {
 		avg := float64(r.Apply.Enqueued) / float64(max(r.Apply.Batches, 1))
 		fmt.Fprintf(w, "apply queue\t%d ops in %d batches (avg %.1f ops/lock), max batch %d, depth %d at end\n",
@@ -307,6 +327,9 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if cfg.CacheSize > 0 {
 		eng.SetPlanCacheCapacity(cfg.CacheSize)
 	}
+	if cfg.IVMOff {
+		eng.SetIVMConfig(ivm.Config{})
+	}
 	pool, err := servePool(eng, d, cfg)
 	if err != nil {
 		return nil, err
@@ -331,6 +354,9 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		if cfg.IVMOff {
+			router.SetIVMConfig(ivm.Config{})
 		}
 		svc = router
 	}
@@ -522,6 +548,14 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		res.Routes = router.RouteStats()
 		res.Apply = router.ApplyQueueStats()
 		res.Residue = router.ResidueStats()
+	}
+	res.IVMOn = !cfg.IVMOff
+	if res.IVMOn {
+		if router != nil {
+			res.IVM = router.IVMStats()
+		} else {
+			res.IVM = eng.IVMStats()
+		}
 	}
 	res.ResidueOps = residueOps.Load()
 	if res.Duration > 0 {

@@ -383,6 +383,63 @@ func TestServeDurable(t *testing.T) {
 	}
 }
 
+// TestServeIVM pins the materialized-answer accounting: a default run
+// under a write mix must admit hot fingerprints, serve repeats from the
+// maintained answer, fold the writes through the delta rules, and report
+// all of it; an -ivm=false run must report the plan-cache-only baseline
+// with zeroed counters.
+func TestServeIVM(t *testing.T) {
+	cfg := DefaultServeConfig()
+	cfg.Scale = 0.03
+	cfg.Ops = 2000
+	cfg.WriteMix = 0.2
+	res, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d serving errors", res.Errors)
+	}
+	if !res.IVMOn {
+		t.Fatal("default run reports IVM off")
+	}
+	if res.IVM.Admitted == 0 {
+		t.Error("Zipf-hot fingerprints under a write mix never crossed admission")
+	}
+	if res.IVM.Hits == 0 {
+		t.Error("no repeats were served from a maintained answer")
+	}
+	if res.IVM.DeltaApplies == 0 {
+		t.Error("client writes never reached the delta rules")
+	}
+	var sb strings.Builder
+	res.Format(&sb)
+	if !strings.Contains(sb.String(), "ivm\t") || !strings.Contains(sb.String(), "O(answer)") {
+		t.Errorf("report missing the ivm row:\n%s", sb.String())
+	}
+
+	off := cfg
+	off.IVMOff = true
+	baseline, err := Serve(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Errors != 0 {
+		t.Fatalf("%d serving errors with IVM off", baseline.Errors)
+	}
+	if baseline.IVMOn {
+		t.Fatal("IVMOff run reports IVM on")
+	}
+	if baseline.IVM.Admitted != 0 || baseline.IVM.Hits != 0 {
+		t.Errorf("IVMOff run still materialized: %+v", baseline.IVM)
+	}
+	sb.Reset()
+	baseline.Format(&sb)
+	if !strings.Contains(sb.String(), "ivm\toff") {
+		t.Errorf("baseline report missing the ivm off row:\n%s", sb.String())
+	}
+}
+
 // TestServeInMemoryReportsNoDurability pins the default: without a log
 // directory the result carries no durability block.
 func TestServeInMemoryReportsNoDurability(t *testing.T) {

@@ -56,6 +56,7 @@ type shard struct {
 type entry struct {
 	key        string
 	val        any
+	hits       int64 // lifetime Get count, read/written under the shard lock
 	prev, next *entry
 }
 
@@ -90,25 +91,44 @@ func (c *Cache) shardFor(key string) *shard {
 // Get returns the value cached under key and whether it was present,
 // promoting the entry to most recently used.
 func (c *Cache) Get(key string) (any, bool) {
+	v, _, ok := c.GetTouch(key)
+	return v, ok
+}
+
+// GetTouch is Get plus the entry's lifetime hit count after this lookup
+// (0 on a miss). The count is the repeat-frequency signal the engine's
+// materialization admission weighs against execution cost; it survives
+// promotions and value refreshes and dies with the entry on eviction or
+// purge.
+func (c *Cache) GetTouch(key string) (any, int64, bool) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	e, ok := s.m[key]
-	var val any
+	var (
+		val any
+		n   int64
+	)
 	if ok {
 		// Copy the value inside the critical section: a concurrent Put on
 		// the same key rewrites e.val under the lock, and reading it after
-		// unlock would race.
+		// unlock would race. The global counters are bumped here too, so a
+		// quiescent Stats read agrees exactly with the lookups performed —
+		// updating them after unlock let a concurrent snapshot observe the
+		// promotion without the hit.
 		val = e.val
+		e.hits++
+		n = e.hits
 		s.unlink(e)
 		s.pushFront(e)
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
 	}
 	s.mu.Unlock()
 	if !ok {
-		c.misses.Add(1)
-		return nil, false
+		return nil, 0, false
 	}
-	c.hits.Add(1)
-	return val, true
+	return val, n, true
 }
 
 // Put stores val under key, evicting the least recently used entry of the

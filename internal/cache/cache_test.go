@@ -145,3 +145,102 @@ func TestConcurrent(t *testing.T) {
 		t.Fatal("no lookups recorded")
 	}
 }
+
+// TestCountersExactUnderConcurrentEviction is the regression test for the
+// torn-counter drift: hits and misses used to be bumped after the shard
+// lock dropped, so a concurrent Stats (or a racing Get on the same shard)
+// could observe the promotion without the count. The invariant is exact:
+// after any concurrent mix of Gets under eviction pressure, Hits + Misses
+// equals the number of Get calls issued — no lookup lost, none double
+// counted. Run with -race in CI.
+func TestCountersExactUnderConcurrentEviction(t *testing.T) {
+	const (
+		goroutines = 8
+		getsPer    = 3000
+		keys       = 64
+	)
+	// Capacity far below the key population: every Put round evicts, so
+	// Gets constantly flip between hit and miss on the same shard.
+	c := New(8, 2)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Churners keep eviction pressure on without issuing Gets.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Put(fmt.Sprintf("k%d", (g*31+i)%keys), i)
+				i++
+			}
+		}(g)
+	}
+	// Snapshotters race Stats against the counter updates.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := c.Stats()
+				if st.Hits < 0 || st.Misses < 0 {
+					t.Error("negative counter snapshot")
+					return
+				}
+			}
+		}()
+	}
+	var getters sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		getters.Add(1)
+		go func(g int) {
+			defer getters.Done()
+			for i := 0; i < getsPer; i++ {
+				c.Get(fmt.Sprintf("k%d", (g*13+i)%keys))
+			}
+		}(g)
+	}
+	getters.Wait()
+	close(stop)
+	wg.Wait()
+	st := c.Stats()
+	if got, want := st.Hits+st.Misses, int64(goroutines*getsPer); got != want {
+		t.Fatalf("hits (%d) + misses (%d) = %d, want exactly %d Gets", st.Hits, st.Misses, got, want)
+	}
+}
+
+// TestGetTouchHitCounts pins the per-entry repeat counter GetTouch feeds
+// the materialization admission: it grows by exactly one per lookup,
+// survives Put refreshes, and resets when the entry is reborn after
+// eviction or purge.
+func TestGetTouchHitCounts(t *testing.T) {
+	c := New(8, 1)
+	c.Put("k", 1)
+	for want := int64(1); want <= 5; want++ {
+		if _, n, ok := c.GetTouch("k"); !ok || n != want {
+			t.Fatalf("lookup %d: n = %d ok = %v", want, n, ok)
+		}
+	}
+	c.Put("k", 2) // refresh: value changes, count survives
+	if v, n, ok := c.GetTouch("k"); !ok || n != 6 || v.(int) != 2 {
+		t.Fatalf("after refresh: v = %v n = %d ok = %v", v, n, ok)
+	}
+	if _, n, ok := c.GetTouch("absent"); ok || n != 0 {
+		t.Fatalf("miss returned n = %d ok = %v", n, ok)
+	}
+	c.Purge()
+	c.Put("k", 3)
+	if _, n, _ := c.GetTouch("k"); n != 1 {
+		t.Fatalf("count survived rebirth: n = %d", n)
+	}
+}

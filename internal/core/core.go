@@ -17,6 +17,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/discovery"
 	"repro/internal/exec"
+	"repro/internal/ivm"
 	"repro/internal/minimize"
 	"repro/internal/parser"
 	"repro/internal/plan"
@@ -62,6 +63,17 @@ type Engine struct {
 	// plans caches compiled queries by canonical fingerprint. nil disables
 	// caching (the zero Engine still works).
 	plans *cache.Cache
+
+	// views maintains materialized answers for hot fingerprints (nil
+	// disables IVM; see SetIVMConfig). The pointer is atomic so the write
+	// path can consult it without taking a lock when no views exist.
+	views atomic.Pointer[ivm.Manager]
+	// ivmMu fences materialization against tuple writes: every write that
+	// might feed a view holds it shared across [store apply + delta
+	// dispatch], and building a new view holds it exclusively across
+	// [store scan + registration], so a view can neither miss a delta nor
+	// double-count one. Lock order: ivmMu → ckmu → wstripes → db.
+	ivmMu sync.RWMutex
 
 	// wal, when non-nil, makes the engine durable (see OpenDurable): every
 	// mutation is appended to the log before it is acknowledged. All other
@@ -130,12 +142,14 @@ func NewEngine(schema ra.Schema, A *access.Schema, db *store.DB) (*Engine, error
 	if err := db.BuildIndexes(A); err != nil {
 		return nil, err
 	}
-	return &Engine{
+	e := &Engine{
 		schema: schema,
 		acc:    A,
 		db:     db,
 		plans:  cache.New(DefaultPlanCacheSize, DefaultPlanCacheShards),
-	}, nil
+	}
+	e.views.Store(ivm.NewManager(ivm.DefaultConfig()))
+	return e, nil
 }
 
 // SetPlanCacheCapacity replaces the plan cache with one of the given
@@ -175,6 +189,7 @@ func (e *Engine) invalidateLocked() {
 	if e.plans != nil {
 		e.plans.Purge()
 	}
+	e.PurgeMaterializations()
 }
 
 // Version returns the access-schema generation counter. It advances on
@@ -199,6 +214,7 @@ func (e *Engine) SyncVersion(v uint64) {
 	if e.plans != nil {
 		e.plans.Purge()
 	}
+	e.PurgeMaterializations()
 }
 
 // AccessSnapshot returns a consistent copy of the installed access schema.
@@ -251,6 +267,10 @@ type Report struct {
 	// rewrite, minimized schema, plan) came from the plan cache; the
 	// analysis latencies below are zero in that case.
 	CacheHit bool
+	// Materialized reports that the answer was served from an
+	// incrementally maintained materialization (internal/ivm) — no plan
+	// was executed and Stats is zero.
+	Materialized bool
 	// CheckTime, PlanTime, MinimizeTime are the analysis latencies
 	// (the Exp-2 measurements).
 	CheckTime, PlanTime, MinimizeTime time.Duration
@@ -300,9 +320,30 @@ func (e *Engine) ExecuteNormalized(norm ra.Query, fp string, opts Options) (*exe
 		if fp == "" {
 			fp = ra.FingerprintNormalized(norm)
 		}
+		mgr := e.views.Load()
+		if mgr != nil {
+			// Materialized fast path: the answer is already maintained
+			// under writes, so a hot repeat is a pointer load. Views are
+			// purged under the exclusive engine lock on every version
+			// bump, so a snapshot served under the shared lock can never
+			// outlive the access schema it was built against.
+			if t, info, ok := mgr.Serve(viewKey(fp, opts)); ok {
+				rep := &Report{CacheHit: true, Materialized: true, Version: e.version.Load()}
+				analyzed(info.(*compiled), rep)
+				return t, rep, nil
+			}
+		}
 		key = e.cacheKeyLocked(fp, opts)
-		if v, ok := e.plans.Get(key); ok {
-			return e.runCompiled(v.(*compiled), opts, &Report{CacheHit: true, Version: e.version.Load()})
+		if v, hits, ok := e.plans.GetTouch(key); ok {
+			c := v.(*compiled)
+			t, rep, err := e.runCompiled(c, opts, &Report{CacheHit: true, Version: e.version.Load()})
+			if err == nil && mgr != nil {
+				vk := viewKey(fp, opts)
+				if mgr.ShouldAdmit(vk, hits, float64(rep.Stats.Accessed)+1) {
+					e.materialize(mgr, vk, c, t)
+				}
+			}
+			return t, rep, err
 		}
 	}
 
@@ -656,7 +697,7 @@ func (e *Engine) Insert(rel string, t value.Tuple) (bool, error) {
 	if e.wal != nil {
 		return e.durableWrite(rel, t, false)
 	}
-	return e.db.Insert(rel, t)
+	return e.trackedWrite(rel, t, false)
 }
 
 // Delete removes a tuple from the database. Like Insert, it keeps every
@@ -665,7 +706,7 @@ func (e *Engine) Delete(rel string, t value.Tuple) (bool, error) {
 	if e.wal != nil {
 		return e.durableWrite(rel, t, true)
 	}
-	return e.db.Delete(rel, t)
+	return e.trackedWrite(rel, t, true)
 }
 
 // ApplyBatch applies a batch of tuple writes in order under a single store
@@ -675,5 +716,8 @@ func (e *Engine) ApplyBatch(ops []store.TupleOp) error {
 	if e.wal != nil {
 		return e.durableApplyBatch(ops)
 	}
-	return e.db.ApplyBatch(ops)
+	if len(ops) == 0 {
+		return nil
+	}
+	return e.trackedApplyBatch(ops)
 }

@@ -100,6 +100,12 @@ func (e *Engine) durableWrite(rel string, t value.Tuple, del bool) (bool, error)
 	if err := e.validateWrite(rel, t, del); err != nil {
 		return false, err
 	}
+	// The materialization fence is held shared across append+apply+delta
+	// like the non-durable path (see trackedWrite); lock order
+	// ivmMu → ckmu → stripe → db holds everywhere.
+	e.ivmMu.RLock()
+	mgr := e.views.Load()
+	track := mgr != nil && mgr.Tracks(rel)
 	e.ckmu.RLock()
 	mu := &e.wstripes[writeStripe(rel, t)]
 	mu.Lock()
@@ -107,6 +113,7 @@ func (e *Engine) durableWrite(rel string, t value.Tuple, del bool) (bool, error)
 	if err != nil {
 		mu.Unlock()
 		e.ckmu.RUnlock()
+		e.ivmMu.RUnlock()
 		return false, err
 	}
 	var changed bool
@@ -115,8 +122,12 @@ func (e *Engine) durableWrite(rel string, t value.Tuple, del bool) (bool, error)
 	} else {
 		changed, err = e.db.Insert(rel, t)
 	}
+	if track && err == nil && changed {
+		mgr.OnWrite([]store.TupleOp{{Rel: rel, T: t, Del: del}})
+	}
 	mu.Unlock()
 	e.ckmu.RUnlock()
+	e.ivmMu.RUnlock()
 	e.maybeCheckpoint()
 	return changed, err
 }
@@ -152,6 +163,18 @@ func (e *Engine) durableApplyBatch(ops []store.TupleOp) error {
 	for _, op := range ops {
 		stripes[writeStripe(op.Rel, op.T)] = true
 	}
+	e.ivmMu.RLock()
+	defer e.ivmMu.RUnlock()
+	mgr := e.views.Load()
+	track := false
+	if mgr != nil {
+		for _, op := range ops {
+			if mgr.Tracks(op.Rel) {
+				track = true
+				break
+			}
+		}
+	}
 	e.ckmu.RLock()
 	defer e.ckmu.RUnlock()
 	for i := range stripes {
@@ -165,7 +188,18 @@ func (e *Engine) durableApplyBatch(ops []store.TupleOp) error {
 			return err
 		}
 	}
-	err := e.db.ApplyBatch(ops)
+	changed, err := e.db.ApplyBatchReport(ops)
+	if track {
+		var delta []store.TupleOp
+		for i, op := range ops {
+			if changed[i] {
+				delta = append(delta, op)
+			}
+		}
+		if len(delta) > 0 {
+			mgr.OnWrite(delta)
+		}
+	}
 	// Non-blocking: the checkpoint itself runs on a fresh goroutine and
 	// waits for this batch's locks to drop.
 	e.maybeCheckpoint()

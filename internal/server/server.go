@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/ivm"
 	"repro/internal/parser"
 	"repro/internal/ra"
 	"repro/internal/shard"
@@ -415,6 +416,7 @@ func (s *Server) runQuery(req QueryRequest) queryOutcome {
 		RewriteRules:  rep.RewriteRules,
 		Bounded:       rep.Bounded,
 		CacheHit:      rep.CacheHit,
+		Materialized:  rep.Materialized,
 		PlanLength:    rep.Stats.PlanLength,
 		Accessed:      rep.Stats.Accessed,
 		Fetched:       rep.Stats.Fetched,
@@ -576,6 +578,13 @@ type durabler interface {
 	DurabilityStats() (wal.Stats, bool)
 }
 
+// ivmStatser is implemented by core.Service implementations that
+// maintain materialized answers for hot fingerprints (core.Engine,
+// shard.Router); /stats folds the view counters in for operators.
+type ivmStatser interface {
+	IVMStats() ivm.Stats
+}
+
 // handleReshard is the admin endpoint for online rebalancing. It answers
 // 501 on an unsharded serving layer and 409 while another move is in
 // flight. With "wait" the move runs under the request deadline (abort on
@@ -696,6 +705,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	var ivmW *IVMStatsWire
+	if iv, ok := s.eng.(ivmStatser); ok {
+		st := iv.IVMStats()
+		if st.Budget > 0 {
+			ivmW = &IVMStatsWire{
+				Materialized: st.Materialized,
+				Budget:       st.Budget,
+				Admitted:     st.Admitted,
+				Evicted:      st.Evicted,
+				Purged:       st.Purged,
+				Hits:         st.Hits,
+				DeltaApplies: st.DeltaApplies,
+				Fallbacks:    st.Fallbacks,
+				Denied:       st.Denied,
+			}
+		}
+	}
 	cs := s.eng.CacheStats()
 	resp := StatsResponse{
 		Cache:         cacheWire(cs),
@@ -703,6 +729,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Routes:        routesW,
 		Residue:       residueW,
 		Durability:    duraW,
+		IVM:           ivmW,
 		DBSize:        s.eng.DBSize(),
 		IndexEntries:  s.eng.IndexEntries(),
 		Version:       s.eng.Version(),

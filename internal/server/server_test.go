@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/core"
+	"repro/internal/ivm"
 	"repro/internal/ra"
 	"repro/internal/store"
 	"repro/internal/value"
@@ -359,6 +360,72 @@ func TestSchemaAndStats(t *testing.T) {
 	}
 	if st.Requests < 3 {
 		t.Fatalf("want request accounting, got %d", st.Requests)
+	}
+}
+
+// TestIVMStatsAndMaterializedFlag pins the wire surface of answer
+// maintenance: once a fingerprint crosses admission, repeats carry
+// materialized=true, a mutation through the wire is visible on the very
+// next (still materialized) read, and /stats carries the ivm block.
+func TestIVMStatsAndMaterializedFlag(t *testing.T) {
+	eng := testEngine(t)
+	eng.SetIVMConfig(ivm.Config{Budget: 8, MinHits: 1, MinScore: 0, MaxViewRows: 1 << 18})
+	_, c := startServer(t, eng, Config{})
+	ctx := context.Background()
+
+	first, err := c.Query(ctx, friendQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Materialized {
+		t.Fatal("first execution cannot be served from a view")
+	}
+	if _, err := c.Query(ctx, friendQuery); err != nil {
+		t.Fatal(err) // plan-cache hit; admission happens after this run
+	}
+	third, err := c.Query(ctx, friendQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Materialized || !third.CacheHit {
+		t.Fatalf("third execution should be O(answer): materialized=%v cacheHit=%v",
+			third.Materialized, third.CacheHit)
+	}
+
+	// A write through the wire must be folded into the maintained answer
+	// before the next read returns.
+	if _, err := c.Insert(ctx, "cafe", []value.Tuple{{value.NewInt(12), value.NewStr("austin")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(ctx, "dine", []value.Tuple{{value.NewInt(1), value.NewInt(12)}}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Query(ctx, friendQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Materialized {
+		t.Fatal("maintained view should survive a write, not fall back")
+	}
+	if after.RowCount != 3 {
+		t.Fatalf("maintained answer stale after write: %d rows, want 3", after.RowCount)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IVM == nil {
+		t.Fatal("stats response missing the ivm block")
+	}
+	if st.IVM.Materialized == 0 || st.IVM.Hits < 2 || st.IVM.Admitted == 0 {
+		t.Fatalf("ivm accounting not reported: %+v", st.IVM)
+	}
+	if st.IVM.DeltaApplies == 0 {
+		t.Fatalf("mutations were not counted as delta applies: %+v", st.IVM)
+	}
+	if st.IVM.Budget != 8 {
+		t.Fatalf("ivm budget: got %d, want 8", st.IVM.Budget)
 	}
 }
 

@@ -53,6 +53,10 @@ type QueryResponse struct {
 	RewriteRules []string `json:"rewriteRules,omitempty"`
 	Bounded      bool     `json:"bounded"`
 	CacheHit     bool     `json:"cacheHit"`
+	// Materialized reports that the answer was served from an
+	// incrementally maintained materialization (no plan ran at all);
+	// always paired with CacheHit.
+	Materialized bool `json:"materialized,omitempty"`
 	// PlanLength is the number of bounded plan steps (0 on the fallback).
 	PlanLength int `json:"planLength,omitempty"`
 
@@ -158,6 +162,30 @@ type StatsResponse struct {
 	// Durability is the write-ahead-log snapshot, present only when the
 	// serving layer was started durable (-data-dir).
 	Durability *DurabilityWire `json:"durability,omitempty"`
+	// IVM is the materialized-answer snapshot (incremental view
+	// maintenance for hot fingerprints); absent when disabled. Behind a
+	// sharded router the counters are summed across engines.
+	IVM *IVMStatsWire `json:"ivm,omitempty"`
+}
+
+// IVMStatsWire is the materialized-answer snapshot in GET /stats.
+type IVMStatsWire struct {
+	// Materialized is the number of live views; Budget the configured
+	// ceiling (summed across engines on a sharded cluster).
+	Materialized int `json:"materialized"`
+	Budget       int `json:"budget"`
+	// Admitted / Evicted / Purged count view lifecycle events.
+	Admitted int64 `json:"admitted"`
+	Evicted  int64 `json:"evicted,omitempty"`
+	Purged   int64 `json:"purged,omitempty"`
+	// Hits counts answers served straight from a view; DeltaApplies
+	// counts tuple writes folded into views.
+	Hits         int64 `json:"hits"`
+	DeltaApplies int64 `json:"deltaApplies"`
+	// Fallbacks counts views dropped on an inapplicable delta; Denied
+	// counts rejected materialization attempts.
+	Fallbacks int64 `json:"fallbacks,omitempty"`
+	Denied    int64 `json:"denied,omitempty"`
 }
 
 // DurabilityWire is the write-ahead-log snapshot in GET /stats of a

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/core"
+	"repro/internal/ivm"
 	"repro/internal/ra"
 	"repro/internal/value"
 	"repro/internal/workload"
@@ -46,6 +47,12 @@ type chaosWorld struct {
 func newChaosWorld(t *testing.T, shards int) *chaosWorld {
 	t.Helper()
 	eng, router, d := buildPair(t, "AIRCA", shards)
+	// Materialization asymmetry: the router's members admit a view on the
+	// very first plan-cache hit, the oracle never materializes — so every
+	// check compares delta-maintained answers against freshly executed
+	// ones, and a wrong delta rule diverges immediately.
+	eng.SetIVMConfig(ivm.Config{})
+	router.SetIVMConfig(ivm.Config{Budget: 32, MinHits: 1, MinScore: 0, MaxViewRows: 1 << 18})
 	w := &chaosWorld{t: t, d: d, oracle: eng, router: router}
 	for _, src := range []string{
 		`q(airline) :- ontime(f, 42, d, airline, m, delay)`,                                                                                           // keyed fast path (double-routed mid-move)
@@ -56,6 +63,9 @@ func newChaosWorld(t *testing.T, shards int) *chaosWorld {
 		`(q(origin) :- ontime(f, origin, dest, al, m, delay)) EXCEPT (q(origin) :- delaycause(f2, origin, mins))`,                                     // residue: difference over a partitioned right operand
 		`q(cname) :- carrier(3, cname, country)`,                                                                                                      // broadcast-only single shard
 		`(q(airline) :- ontime(f, 42, d, airline, m, delay)) EXCEPT (q(airline) :- carrier(airline, nm, 0), ontime(f2, 42, d2, airline, m2, delay2))`, // non-monotone keyed (never double-routed)
+		`q(dest) :- ontime(f, 42, dest, 7, m, delay)`,                                                                                                 // IVM probe: hot keyed single-shard, maintained under the ontime churn
+		`q(country) :- carrier(9500, cname, country)`,                                                                                                 // IVM probe: broadcast-only, maintained through the apply queue's batched lane
+		`(q(cname) :- carrier(al, cname, country)) EXCEPT (q(cname) :- carrier(al2, cname, 2))`,                                                       // IVM probe: Diff-shaped over the churned broadcast relation (membership flips)
 	} {
 		q, err := router.Parse(src)
 		if err != nil {
@@ -274,6 +284,14 @@ func TestChaosReshardDifferential(t *testing.T) {
 			t.Errorf("version skew after chaos: %s at %d, %s at %d",
 				stats[0].Label, stats[0].Version, st.Label, st.Version)
 		}
+	}
+	// The IVM probes must actually have exercised maintenance: views
+	// admitted on member engines, delta rules folded the chaos writes in.
+	// (Reshards purge materializations, so the checks around each move
+	// re-admit; the counters are cumulative and survive the purges.)
+	if ivmSt := router.IVMStats(); ivmSt.Admitted == 0 || ivmSt.DeltaApplies == 0 {
+		t.Errorf("IVM probes never exercised maintenance: admitted %d, delta applies %d, hits %d",
+			ivmSt.Admitted, ivmSt.DeltaApplies, ivmSt.Hits)
 	}
 	assertPlacement(t, "after chaos", router)
 }

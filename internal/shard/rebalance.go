@@ -175,6 +175,10 @@ func (r *Router) Reshard(ctx context.Context, targetN int) (*ReshardReport, erro
 	if targetN == oldN {
 		return &ReshardReport{From: oldN, To: targetN, Epoch: st.epoch}, nil
 	}
+	// Drop materialized answers before the bulk copy: maintaining views
+	// tuple-by-tuple through a whole-slice migration costs more than the
+	// views are worth, and hot fingerprints re-earn them afterwards.
+	r.PurgeMaterializations()
 	newRing := NewRing(targetN, st.ring.Vnodes())
 
 	// Prepare: target membership, with fresh engines for growth built and
@@ -194,6 +198,9 @@ func (r *Router) Reshard(ctx context.Context, targetN int) (*ReshardReport, erro
 		eng.SyncVersion(r.anchor().Version())
 		if r.spec.PlanCacheSize > 0 {
 			eng.SetPlanCacheCapacity(r.spec.PlanCacheSize)
+		}
+		if cfg := r.ivmCfg.Load(); cfg != nil {
+			eng.SetIVMConfig(*cfg)
 		}
 		m := newMember(eng)
 		newMembers[i] = m

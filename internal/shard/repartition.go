@@ -114,6 +114,9 @@ func (r *Router) Repartition(ctx context.Context, rel, newKey string) (*Repartit
 	if oldPS.keys[rel] == newKey {
 		return &RepartitionReport{Rel: rel, From: placementName(oldPS, rel), To: placementName(oldPS, rel), Gen: oldPS.gen}, nil
 	}
+	// As in Reshard: shed the views before moving a relation wholesale
+	// rather than delta-maintaining them through the copy and sweep.
+	r.PurgeMaterializations()
 
 	// Prepare: the target assignment, one generation ahead.
 	newPS := &partState{

@@ -90,6 +90,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/ivm"
 	"repro/internal/parser"
 	"repro/internal/ra"
 	"repro/internal/store"
@@ -299,6 +300,10 @@ type Router struct {
 	// rmu serializes Reshard and Repartition calls; TryLock turns overlap
 	// into an error.
 	rmu sync.Mutex
+
+	// ivmCfg is the last SetIVMConfig fan-out, replayed onto engines a
+	// growing Reshard builds; nil means engines keep their default.
+	ivmCfg atomic.Pointer[ivm.Config]
 
 	// decisions caches routing decisions by query fingerprint. Routing
 	// depends on the canonical query, the placement assignment and the
@@ -1234,6 +1239,39 @@ func (r *Router) CacheStats() cache.Stats {
 func (r *Router) SetPlanCacheCapacity(capacity int) {
 	for _, eng := range r.engines() {
 		eng.SetPlanCacheCapacity(capacity)
+	}
+}
+
+// IVMStats returns the materialized-answer counters merged across every
+// engine. Budget sums too, so it reads as the cluster-wide view capacity.
+func (r *Router) IVMStats() ivm.Stats {
+	var out ivm.Stats
+	for _, eng := range r.engines() {
+		out = out.Merge(eng.IVMStats())
+	}
+	return out
+}
+
+// SetIVMConfig replaces the materialization policy on every engine,
+// dropping all live views; engines created by later Reshard growth
+// inherit it. A config with Budget <= 0 disables incremental answer
+// maintenance cluster-wide.
+func (r *Router) SetIVMConfig(cfg ivm.Config) {
+	r.ivmCfg.Store(&cfg)
+	for _, eng := range r.engines() {
+		eng.SetIVMConfig(cfg)
+	}
+}
+
+// PurgeMaterializations drops every live materialized answer on every
+// engine. Reshard and Repartition call it before their bulk copy phases:
+// views would stay coherent through the move (migration copies flow
+// through the same engine write paths as client writes), but paying
+// per-tuple delta maintenance for a whole-slice copy is pure waste, and
+// the rows land on engines whose fingerprints never earned them.
+func (r *Router) PurgeMaterializations() {
+	for _, eng := range r.engines() {
+		eng.PurgeMaterializations()
 	}
 }
 

@@ -210,24 +210,36 @@ type TupleOp struct {
 // per-tuple writes, and a batched applier must converge on the applicable
 // suffix); the first error is returned.
 func (db *DB) ApplyBatch(ops []TupleOp) error {
+	_, err := db.ApplyBatchReport(ops)
+	return err
+}
+
+// ApplyBatchReport is ApplyBatch plus a per-op changed flag: changed[i]
+// reports whether op i actually altered the store (an insert of a present
+// tuple and a delete of an absent one are set-semantics no-ops). The
+// engine's materialized-view maintenance needs the flags — a no-op write
+// must not emit a delta — while plain batched appliers keep the cheaper
+// ApplyBatch signature.
+func (db *DB) ApplyBatchReport(ops []TupleOp) ([]bool, error) {
 	if len(ops) == 0 {
-		return nil
+		return nil, nil
 	}
+	changed := make([]bool, len(ops))
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	var first error
-	for _, op := range ops {
+	for i, op := range ops {
 		var err error
 		if op.Del {
-			_, err = db.deleteLocked(op.Rel, op.T)
+			changed[i], err = db.deleteLocked(op.Rel, op.T)
 		} else {
-			_, err = db.insertLocked(op.Rel, op.T)
+			changed[i], err = db.insertLocked(op.Rel, op.T)
 		}
 		if err != nil && first == nil {
 			first = err
 		}
 	}
-	return first
+	return changed, first
 }
 
 // BulkLoad inserts many tuples into rel.

@@ -331,3 +331,35 @@ func TestApplyBatch(t *testing.T) {
 		t.Errorf("empty batch errored: %v", err)
 	}
 }
+
+// TestApplyBatchReport pins the per-op changed flags the engine's delta
+// dispatch filters on: set-semantics no-ops (duplicate inserts, deletes
+// of absent tuples) must report false, effective ops true, and failed
+// ops false — positionally aligned with the input batch.
+func TestApplyBatchReport(t *testing.T) {
+	db := NewDB(testSchema())
+	tup := func(a, b, cc int) value.Tuple { return value.Tuple{iv(a), iv(b), iv(cc)} }
+	changed, err := db.ApplyBatchReport([]TupleOp{
+		{Rel: "r", T: tup(1, 10, 0)},            // insert: changed
+		{Rel: "r", T: tup(1, 10, 0)},            // duplicate: unchanged
+		{Rel: "r", T: tup(1, 10, 0), Del: true}, // delete: changed
+		{Rel: "r", T: tup(1, 10, 0), Del: true}, // absent now: unchanged
+		{Rel: "zzz", T: tup(0, 0, 0)},           // unknown relation: error, unchanged
+		{Rel: "r", T: tup(2, 20, 0)},            // still applied: changed
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown relation") {
+		t.Fatalf("err = %v, want the unknown-relation failure", err)
+	}
+	want := []bool{true, false, true, false, false, true}
+	if len(changed) != len(want) {
+		t.Fatalf("len(changed) = %d, want %d", len(changed), len(want))
+	}
+	for i := range want {
+		if changed[i] != want[i] {
+			t.Errorf("changed[%d] = %v, want %v", i, changed[i], want[i])
+		}
+	}
+	if db.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", db.Size())
+	}
+}
