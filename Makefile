@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz-smoke bench-serve bench-shard bench-durable bench-ivm docs-check
+.PHONY: check build vet test race fuzz-smoke bench-serve bench-shard bench-durable bench-ivm bench-follower docs-check
 
 # check is the full CI pipeline: compile, vet, race-enabled tests, a short
 # fuzz smoke of the parser and canonicalizer, and the documentation gate.
@@ -19,14 +19,16 @@ vet:
 test:
 	$(GO) test -shuffle=on ./...
 
-# The second line pins the crash-recovery harness (SIGKILL mid-write-storm
-# plus a torn final record, then recovery and a differential sweep against
-# the oracle) to the race job by name: the suite above runs it too, but a
-# future -short would silently drop the subprocess test, and this line
-# would fail loudly instead.
+# The pinned lines below run the crash harnesses (SIGKILL mid-write-storm,
+# then recovery and a differential sweep against the oracle) and the WAL
+# regression tests by name: the suite above runs them too, but a future
+# -short would silently drop the subprocess tests, and these lines would
+# fail loudly instead.
 race:
 	$(GO) test -race -shuffle=on ./...
 	$(GO) test -race -run 'TestCrashRecovery' -v ./internal/core
+	$(GO) test -race -run 'TestFollowerCrashResume' -v ./internal/follower
+	$(GO) test -race -shuffle=on -run 'TestRecordsTailReadOpensOnlyFinalSegment|TestRecoverDBRejectsDuplicateLSN' -v ./internal/wal
 
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/parser
@@ -85,6 +87,18 @@ bench-shard:
 bench-ivm:
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -writemix 0.2 -ivm=false
 	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -writemix 0.2
+
+# bench-follower prices read replicas: the same mixed replay (10% of
+# client ops are tuple writes) against a durable primary alone, then with
+# one and two followers tailing its write-ahead log. Reads round-robin
+# across the replicas carrying a read-your-writes fence (MinLSN = the
+# replayer's last acknowledged write), so the QPS column prices fenced
+# replica reads, not stale ones. Each row gets its own mktemp -d: the
+# benchmark refuses a directory that already holds log state.
+bench-follower:
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -writemix 0.1 -transport follower -followers 0 -data-dir $$(mktemp -d)
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -writemix 0.1 -transport follower -followers 1 -data-dir $$(mktemp -d)
+	$(GO) run ./cmd/boundedctl -op serve -dataset AIRCA -scale 0.1 -ops 20000 -writemix 0.1 -transport follower -followers 2 -data-dir $$(mktemp -d)
 
 # bench-durable prices the write-ahead log: the same write-heavy replay
 # (40% of client ops are tuple writes) in-memory, then logging to a fresh

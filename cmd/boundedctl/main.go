@@ -17,6 +17,9 @@
 //	boundedctl -dataset AIRCA -op http -addr :8080
 //	boundedctl -dataset AIRCA -op http -shards 4
 //	boundedctl -op reshard -addr 127.0.0.1:8080 -shards 6
+//	boundedctl -dataset AIRCA -op http -addr :8080 -data-dir /var/lib/bounded
+//	boundedctl -op follow -primary http://127.0.0.1:8080 -data-dir /var/lib/bounded-replica -addr :8081
+//	boundedctl -dataset AIRCA -op serve -transport follower -followers 2 -data-dir $(mktemp -d)
 //
 // The serve operation replays a Zipf-skewed mix of repeated workload
 // queries from concurrent clients against a mutating database and reports
@@ -32,6 +35,12 @@
 // The reshard operation is the admin client for a running sharded server:
 // it POSTs /reshard to -addr with the -shards target, waits for the move
 // to finish, and prints the accounting (rows moved, ring epoch).
+//
+// The follow operation runs a read replica: it bootstraps from the durable
+// primary at -primary (newest checkpoint download, or local recovery when
+// -data-dir already holds state), tails the primary's write-ahead log over
+// /wal/stream, and serves read-only queries on -addr with the MinLSN
+// read-your-writes fence. See docs/OPERATIONS.md for the runbook.
 //
 // The query language is Datalog-style conjunctive rules combined with
 // UNION and EXCEPT; see internal/parser.
@@ -51,6 +60,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/follower"
 	"repro/internal/minimize"
 	"repro/internal/plan"
 	"repro/internal/ra"
@@ -64,7 +74,7 @@ import (
 
 func main() {
 	dataset := flag.String("dataset", "facebook", "dataset: facebook, AIRCA, TFACC, MCBM")
-	op := flag.String("op", "check", "operation: check, plan, sql, minimize, run, serve, http, reshard, constraints")
+	op := flag.String("op", "check", "operation: check, plan, sql, minimize, run, serve, http, follow, reshard, constraints")
 	query := flag.String("query", "", "query in rule syntax")
 	scale := flag.Float64("scale", 0.1, "data scale factor for run/serve")
 	seed := flag.Int64("seed", 1, "data seed")
@@ -74,7 +84,9 @@ func main() {
 	zipf := flag.Float64("zipf", 1.2, "serve: Zipf skew exponent (>1)")
 	poolSize := flag.Int("pool", 40, "serve: distinct queries in the replay pool")
 	cacheSize := flag.Int("cachesize", 0, "serve: plan-cache capacity (0 = default)")
-	transport := flag.String("transport", "engine", "serve: engine (in-process), http (loopback front end) or sharded (scatter/gather router)")
+	transport := flag.String("transport", "engine", "serve: engine (in-process), http (loopback front end), sharded (scatter/gather router) or follower (durable primary + read replicas)")
+	followers := flag.Int("followers", 0, "serve: read-replica count for the follower transport (0 = primary-only baseline)")
+	primary := flag.String("primary", "", "follow: base URL of the durable primary to replicate, e.g. http://127.0.0.1:8080")
 	shards := flag.Int("shards", 0, "serve/http: partition count for the sharded router (0 = unsharded); reshard: target count")
 	reshardTo := flag.Int("reshard", 0, "serve: reshard the cluster to this shard count halfway through the replay (0 = off)")
 	writeMix := flag.Float64("writemix", 0, "serve: fraction of client ops replayed as tuple writes (delete+reinsert), in [0, 1)")
@@ -95,6 +107,8 @@ func main() {
 		Shards:          *shards,
 		ReshardTo:       *reshardTo,
 		Transport:       *transport,
+		Followers:       *followers,
+		Primary:         *primary,
 		WriteMix:        *writeMix,
 		ResidueMix:      *residueMix,
 		Scale:           *scale,
@@ -115,7 +129,7 @@ func main() {
 	durable := durableConfig(*dataDir, *fsync, *checkpointEvery)
 	switch *op {
 	case "serve":
-		if err := serve(*dataset, *transport, *shards, *reshardTo, *scale, *seed, *clients, *writers, *ops, *zipf, *poolSize, *cacheSize, *writeMix, *residueMix, durable, !*ivmOn); err != nil {
+		if err := serve(*dataset, *transport, *shards, *followers, *reshardTo, *scale, *seed, *clients, *writers, *ops, *zipf, *poolSize, *cacheSize, *writeMix, *residueMix, durable, !*ivmOn); err != nil {
 			fmt.Fprintln(os.Stderr, "boundedctl:", err)
 			os.Exit(1)
 		}
@@ -126,6 +140,11 @@ func main() {
 		}
 	case "http":
 		if err := serveHTTP(*dataset, *shards, *scale, *seed, *addr, *timeout, *maxInFlight, *maxRows, *cacheSize, durable); err != nil {
+			fmt.Fprintln(os.Stderr, "boundedctl:", err)
+			os.Exit(1)
+		}
+	case "follow":
+		if err := follow(*primary, *addr, *timeout, *maxInFlight, *maxRows, durable); err != nil {
 			fmt.Fprintln(os.Stderr, "boundedctl:", err)
 			os.Exit(1)
 		}
@@ -142,6 +161,8 @@ type cliFlags struct {
 	Shards      int
 	ReshardTo   int
 	Transport   string
+	Followers   int
+	Primary     string
 	WriteMix    float64
 	ResidueMix  float64
 	Scale       float64
@@ -183,13 +204,19 @@ func validateFlags(op string, explicit map[string]bool, f cliFlags) error {
 	if explicit["timeout"] && f.Timeout <= 0 {
 		return fmt.Errorf("-timeout must be positive, got %v", f.Timeout)
 	}
-	serving := op == "serve" || op == "http"
+	serving := op == "serve" || op == "http" || op == "follow"
 	if !serving {
 		for _, name := range []string{"data-dir", "fsync", "checkpoint-every"} {
 			if explicit[name] {
-				return fmt.Errorf("-%s only applies to -op serve and -op http, not -op %s", name, op)
+				return fmt.Errorf("-%s only applies to -op serve, -op http and -op follow, not -op %s", name, op)
 			}
 		}
+	}
+	if explicit["primary"] && op != "follow" {
+		return fmt.Errorf("-primary only applies to -op follow, not -op %s", op)
+	}
+	if explicit["followers"] && op != "serve" {
+		return fmt.Errorf("-followers only applies to -op serve, not -op %s", op)
 	}
 	if f.Fsync != "" {
 		if _, err := wal.ParsePolicy(f.Fsync); err != nil {
@@ -228,6 +255,15 @@ func validateFlags(op string, explicit map[string]bool, f cliFlags) error {
 		if f.ResidueMix > 0 && f.Shards == 0 && f.Transport != bench.TransportSharded {
 			return fmt.Errorf("-residuemix %g needs a sharded serving layer: add -transport sharded or -shards N", f.ResidueMix)
 		}
+		if f.Followers < 0 {
+			return fmt.Errorf("-followers must be >= 0, got %d", f.Followers)
+		}
+		if f.Followers > 0 && f.Transport != bench.TransportFollower {
+			return fmt.Errorf("-followers %d needs -transport follower", f.Followers)
+		}
+		if f.Transport == bench.TransportFollower && f.DataDir == "" {
+			return fmt.Errorf("-transport follower needs -data-dir: the replicas tail a durable primary's log")
+		}
 		if f.PoolSize < 1 {
 			return fmt.Errorf("-pool must be >= 1 (the distinct-query pool size), got %d", f.PoolSize)
 		}
@@ -250,6 +286,16 @@ func validateFlags(op string, explicit map[string]bool, f cliFlags) error {
 		if f.Scale <= 0 {
 			return fmt.Errorf("-scale must be positive, got %g", f.Scale)
 		}
+	case "follow":
+		if f.Primary == "" {
+			return fmt.Errorf("-op follow needs -primary (the durable primary's base URL)")
+		}
+		if f.DataDir == "" {
+			return fmt.Errorf("-op follow needs -data-dir (the replica's own log directory)")
+		}
+		if explicit["maxinflight"] && f.MaxInFlight == 0 {
+			return fmt.Errorf("-maxinflight 0 is ambiguous: pass a positive cap, a negative value for unlimited, or leave it unset for the default (4×GOMAXPROCS)")
+		}
 	case "run":
 		if f.Scale <= 0 {
 			return fmt.Errorf("-scale must be positive, got %g", f.Scale)
@@ -258,11 +304,12 @@ func validateFlags(op string, explicit map[string]bool, f cliFlags) error {
 	return nil
 }
 
-func serve(dataset, transport string, shards, reshardTo int, scale float64, seed int64, clients, writers, ops int, zipf float64, poolSize, cacheSize int, writeMix, residueMix float64, durable core.DurableConfig, ivmOff bool) error {
+func serve(dataset, transport string, shards, followers, reshardTo int, scale float64, seed int64, clients, writers, ops int, zipf float64, poolSize, cacheSize int, writeMix, residueMix float64, durable core.DurableConfig, ivmOff bool) error {
 	cfg := bench.DefaultServeConfig()
 	cfg.Dataset = dataset
 	cfg.Transport = transport
 	cfg.Shards = shards
+	cfg.Followers = followers
 	cfg.ReshardTo = reshardTo
 	cfg.Scale = scale
 	cfg.Seed = seed
@@ -391,6 +438,61 @@ func serveHTTP(dataset string, shards int, scale float64, seed int64, addr strin
 	go func() { errCh <- srv.Start() }()
 	logger.Info("dataset loaded", "dataset", dataset, "tuples", svc.DBSize(),
 		"constraints", svc.AccessSnapshot().Len(), "durable", durable.Dir != "")
+
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		logger.Info("signal received; draining", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		<-errCh // http.ErrServerClosed after a clean shutdown
+		return nil
+	}
+}
+
+// follow runs a read replica until SIGINT/SIGTERM: bootstrap (or resume)
+// a follower node against the durable primary at primaryURL, then serve
+// it read-only over the HTTP/JSON front end on addr. Queries carry the
+// MinLSN read-your-writes fence; mutations answer with the read-only
+// refusal. Shutdown drains in-flight requests, stops the tail loop and
+// closes the local log.
+func follow(primaryURL, addr string, timeout time.Duration, maxInFlight, maxRows int, durable core.DurableConfig) error {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	openCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	node, err := follower.Open(openCtx, follower.Config{
+		Primary:         primaryURL,
+		DataDir:         durable.Dir,
+		WAL:             durable.WAL,
+		CheckpointEvery: durable.CheckpointEvery,
+		Logger:          logger,
+	})
+	cancel()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := node.Close(); err != nil {
+			logger.Error("closing follower", "err", err)
+		}
+	}()
+	srv := server.New(node, server.Config{
+		Addr:           addr,
+		RequestTimeout: timeout,
+		MaxInFlight:    maxInFlight,
+		MaxRows:        maxRows,
+		Logger:         logger,
+	})
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Start() }()
+	logger.Info("follower serving", "primary", primaryURL, "dir", durable.Dir,
+		"applied", node.AppliedLSN(), "resumedFrom", node.ResumedFrom())
 
 	select {
 	case err := <-errCh:
@@ -568,7 +670,7 @@ func run(dataset, op, query string, scale float64, seed int64) error {
 		}
 		return nil
 	default:
-		ops := []string{"check", "plan", "sql", "minimize", "run", "constraints", "serve", "http", "reshard"}
+		ops := []string{"check", "plan", "sql", "minimize", "run", "constraints", "serve", "http", "follow", "reshard"}
 		sort.Strings(ops)
 		return fmt.Errorf("unknown op %q (want one of %v)", op, ops)
 	}

@@ -34,28 +34,28 @@ func TestOpsOnBenchmarkDatasets(t *testing.T) {
 }
 
 func TestOpServe(t *testing.T) {
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, false); err != nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, false); err != nil {
 		t.Fatalf("serve: %v", err)
 	}
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, true); err != nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, true); err != nil {
 		t.Fatalf("serve -ivm=false: %v", err)
 	}
-	if err := serve("nosuch", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0, 0, core.DurableConfig{}, false); err == nil {
+	if err := serve("nosuch", "engine", 0, 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0, 0, core.DurableConfig{}, false); err == nil {
 		t.Error("serve accepted an unknown dataset")
 	}
-	if err := serve("AIRCA", "carrier-pigeon", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0, 0, core.DurableConfig{}, false); err == nil {
+	if err := serve("AIRCA", "carrier-pigeon", 0, 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 0, 0, 0, core.DurableConfig{}, false); err == nil {
 		t.Error("serve accepted an unknown transport")
 	}
 }
 
 func TestOpServeHTTPTransport(t *testing.T) {
-	if err := serve("AIRCA", "http", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, false); err != nil {
+	if err := serve("AIRCA", "http", 0, 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, false); err != nil {
 		t.Fatalf("serve -transport http: %v", err)
 	}
 }
 
 func TestOpServeShardedTransport(t *testing.T) {
-	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, false); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, false); err != nil {
 		t.Fatalf("serve -transport sharded: %v", err)
 	}
 }
@@ -84,10 +84,10 @@ func TestErrors(t *testing.T) {
 }
 
 func TestOpServeMidReplayReshard(t *testing.T) {
-	if err := serve("AIRCA", "sharded", 2, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, false); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, false); err != nil {
 		t.Fatalf("serve -transport sharded -reshard 3: %v", err)
 	}
-	if err := serve("AIRCA", "engine", 0, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, false); err == nil {
+	if err := serve("AIRCA", "engine", 0, 0, 3, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0, core.DurableConfig{}, false); err == nil {
 		t.Error("serve accepted -reshard without a sharded layer")
 	}
 }
@@ -104,35 +104,35 @@ func TestOpReshardValidation(t *testing.T) {
 // would price replay, not serving.
 func TestOpServeDurable(t *testing.T) {
 	durable := core.DurableConfig{Dir: t.TempDir(), CheckpointEvery: -1}
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, 0, durable, false); err != nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, 0, durable, false); err != nil {
 		t.Fatalf("serve durable engine: %v", err)
 	}
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, 0, durable, false); err == nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, 0, durable, false); err == nil {
 		t.Error("serve reused a directory that already holds log state")
 	}
 	durable.Dir = t.TempDir()
-	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, 0, durable, false); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.25, 0, durable, false); err != nil {
 		t.Fatalf("serve durable sharded: %v", err)
 	}
 }
 
 func TestOpServeWriteMix(t *testing.T) {
-	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.5, 0, core.DurableConfig{}, false); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0.5, 0, core.DurableConfig{}, false); err != nil {
 		t.Fatalf("serve -transport sharded -writemix 0.5: %v", err)
 	}
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 1.5, 0, core.DurableConfig{}, false); err == nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 1.5, 0, core.DurableConfig{}, false); err == nil {
 		t.Error("serve accepted a write mix >= 1")
 	}
 }
 
 func TestOpServeResidueMix(t *testing.T) {
-	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0.5, core.DurableConfig{}, false); err != nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0.5, core.DurableConfig{}, false); err != nil {
 		t.Fatalf("serve -transport sharded -residuemix 0.5: %v", err)
 	}
-	if err := serve("AIRCA", "engine", 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0.5, core.DurableConfig{}, false); err == nil {
+	if err := serve("AIRCA", "engine", 0, 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 0.5, core.DurableConfig{}, false); err == nil {
 		t.Error("serve accepted -residuemix without a sharded layer")
 	}
-	if err := serve("AIRCA", "sharded", 2, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 1.0, core.DurableConfig{}, false); err == nil {
+	if err := serve("AIRCA", "sharded", 2, 0, 0, 0.02, 1, 2, 1, 200, 1.2, 8, 64, 0, 1.0, core.DurableConfig{}, false); err == nil {
 		t.Error("serve accepted a residue mix >= 1")
 	}
 }
@@ -181,6 +181,39 @@ func TestValidateFlags(t *testing.T) {
 			mod: func(f *cliFlags) { f.ResidueMix = 0.25 }, wantErr: "sharded serving layer"},
 		{name: "residuemix with shards ok", op: "serve",
 			mod: func(f *cliFlags) { f.ResidueMix = 0.25; f.Shards = 2 }},
+		{name: "negative followers", op: "serve",
+			mod: func(f *cliFlags) { f.Followers = -1 }, wantErr: "-followers"},
+		{name: "followers without follower transport", op: "serve",
+			mod: func(f *cliFlags) { f.Followers = 2 }, wantErr: "-transport follower"},
+		{name: "follower transport without data-dir", op: "serve",
+			mod:     func(f *cliFlags) { f.Transport = "follower" },
+			wantErr: "-data-dir"},
+		{name: "follower transport with data-dir ok", op: "serve",
+			explicit: map[string]bool{"data-dir": true},
+			mod: func(f *cliFlags) {
+				f.Transport = "follower"
+				f.Followers = 2
+				f.DataDir = "/var/lib/bounded"
+			}},
+		{name: "followers on http", op: "http",
+			explicit: map[string]bool{"followers": true},
+			mod:      func(f *cliFlags) { f.Followers = 1 }, wantErr: "-followers only applies"},
+		{name: "primary on serve", op: "serve",
+			explicit: map[string]bool{"primary": true},
+			mod:      func(f *cliFlags) { f.Primary = "http://127.0.0.1:8080" },
+			wantErr:  "-primary only applies"},
+		{name: "follow without primary", op: "follow",
+			mod:     func(f *cliFlags) { f.DataDir = "/var/lib/bounded-replica" },
+			wantErr: "-primary"},
+		{name: "follow without data-dir", op: "follow",
+			mod:     func(f *cliFlags) { f.Primary = "http://127.0.0.1:8080" },
+			wantErr: "-data-dir"},
+		{name: "follow ok", op: "follow",
+			explicit: map[string]bool{"data-dir": true},
+			mod: func(f *cliFlags) {
+				f.Primary = "http://127.0.0.1:8080"
+				f.DataDir = "/var/lib/bounded-replica"
+			}},
 		{name: "explicit maxinflight zero", op: "http",
 			explicit: map[string]bool{"maxinflight": true},
 			mod:      func(f *cliFlags) { f.MaxInFlight = 0 }, wantErr: "-maxinflight 0 is ambiguous"},

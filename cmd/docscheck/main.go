@@ -16,7 +16,9 @@
 // front end build on), internal/store (the storage substrate, including
 // the batched write entry point the broadcast apply queue relies on),
 // internal/wal (the durability contract: framing, LSN and recovery
-// semantics operators rely on when data is on the line) and
+// semantics operators rely on when data is on the line),
+// internal/follower (the read-replica node an operator deploys and
+// monitors) and
 // internal/bench (the replay benchmark operators quote numbers from).
 // Everything else under internal/ may evolve faster, but its
 // package-level story must always be told.
@@ -41,15 +43,16 @@ import (
 // strictDirs are module-relative directories whose exported identifiers
 // must all carry doc comments.
 var strictDirs = map[string]bool{
-	".":               true,
-	"internal/server": true,
-	"internal/shard":  true,
-	"internal/cache":  true,
-	"internal/core":   true,
-	"internal/ivm":    true,
-	"internal/store":  true,
-	"internal/wal":    true,
-	"internal/bench":  true,
+	".":                 true,
+	"internal/server":   true,
+	"internal/shard":    true,
+	"internal/cache":    true,
+	"internal/core":     true,
+	"internal/ivm":      true,
+	"internal/store":    true,
+	"internal/wal":      true,
+	"internal/bench":    true,
+	"internal/follower": true,
 }
 
 func main() {

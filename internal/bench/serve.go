@@ -18,6 +18,7 @@ import (
 	"log/slog"
 	"math/rand"
 	"net"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/follower"
 	"repro/internal/ivm"
 	"repro/internal/parser"
 	"repro/internal/ra"
@@ -88,6 +90,12 @@ type ServeConfig struct {
 	// routing whole. It prices residue decomposition against single-shard
 	// and scatter routing. Requires a sharded serving layer.
 	ResidueMix float64
+	// Followers is the number of read replicas behind the follower
+	// transport: reads round-robin across them with a read-your-writes
+	// MinLSN fence while writes go to the primary. 0 sends reads to the
+	// primary itself (the single-node baseline the replica runs are
+	// compared against). Only meaningful with Transport "follower".
+	Followers int
 	// Durable, when Dir is set, serves a crash-safe engine (or router)
 	// that write-ahead-logs every tuple op to that directory before
 	// acknowledging it, pricing durability against the in-memory write
@@ -129,6 +137,11 @@ const (
 	TransportEngine  = "engine"
 	TransportHTTP    = "http"
 	TransportSharded = "sharded"
+	// TransportFollower serves a durable primary over loopback HTTP plus
+	// ServeConfig.Followers read replicas tailing its log; client reads
+	// round-robin across the replicas with a MinLSN fence and writes go
+	// to the primary, pricing read scale-out against the single node.
+	TransportFollower = "follower"
 )
 
 // ServeResult reports one serving-benchmark run.
@@ -138,6 +151,9 @@ type ServeResult struct {
 	// in-process Execute calls, "http" for the loopback front end,
 	// "sharded" for the scatter/gather router.
 	Transport string
+	// Followers is the read-replica count behind the follower transport
+	// (0 elsewhere, and for its primary-only baseline run).
+	Followers int
 	// Shards is the partition count behind the replay (0 = unsharded) and
 	// Routes the router's routing-decision counters (zero when unsharded).
 	Shards int
@@ -203,6 +219,13 @@ type ServeResult struct {
 func (r *ServeResult) Format(w io.Writer) {
 	fmt.Fprintf(w, "# serving benchmark on %s (transport: %s)\n", r.Dataset, r.Transport)
 	fmt.Fprintf(w, "host\tGOMAXPROCS=%d, %d CPUs\n", r.Procs, r.CPUs)
+	if r.Transport == TransportFollower {
+		if r.Followers > 0 {
+			fmt.Fprintf(w, "followers\t%d read replicas (fenced reads round-robin, writes to primary)\n", r.Followers)
+		} else {
+			fmt.Fprintf(w, "followers\t0 (primary-only baseline)\n")
+		}
+	}
 	if r.Shards > 0 {
 		fmt.Fprintf(w, "shards\t%d (routed: %d single-shard, %d double-routed, %d scatter, %d residue)\n",
 			r.Shards, r.Routes.Single, r.Routes.Double, r.Routes.Scattered, r.Routes.Residue)
@@ -279,11 +302,26 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if transport == "" {
 		transport = TransportEngine
 	}
-	if transport != TransportEngine && transport != TransportHTTP && transport != TransportSharded {
+	if transport != TransportEngine && transport != TransportHTTP &&
+		transport != TransportSharded && transport != TransportFollower {
 		// Validated before data generation like the other config errors:
 		// a typo must not cost a full dataset build first.
-		return nil, fmt.Errorf("bench: unknown transport %q (want %q, %q or %q)",
-			transport, TransportEngine, TransportHTTP, TransportSharded)
+		return nil, fmt.Errorf("bench: unknown transport %q (want %q, %q, %q or %q)",
+			transport, TransportEngine, TransportHTTP, TransportSharded, TransportFollower)
+	}
+	if cfg.Followers < 0 {
+		return nil, fmt.Errorf("bench: Followers must be >= 0, got %d", cfg.Followers)
+	}
+	if cfg.Followers > 0 && transport != TransportFollower {
+		return nil, fmt.Errorf("bench: Followers needs the %q transport, got %q", TransportFollower, transport)
+	}
+	if transport == TransportFollower {
+		if cfg.Durable.Dir == "" {
+			return nil, fmt.Errorf("bench: the follower transport needs a durable primary (set Durable.Dir)")
+		}
+		if cfg.Shards > 0 {
+			return nil, fmt.Errorf("bench: the follower transport replicates a single durable engine; Shards must be 0")
+		}
 	}
 	shards := cfg.Shards
 	if transport == TransportSharded && shards < 1 {
@@ -376,19 +414,23 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	}
 
 	var drv serveDriver
-	if transport == TransportHTTP {
+	switch transport {
+	case TransportHTTP:
 		drv, err = newHTTPDriver(svc, d.Schema, pool)
-		if err != nil {
-			return nil, err
-		}
-	} else {
+	case TransportFollower:
+		drv, err = newFollowerDriver(svc, d.Schema, pool, cfg)
+	default:
 		drv = &engineDriver{eng: svc, pool: pool, opts: core.DefaultOptions()}
+	}
+	if err != nil {
+		return nil, err
 	}
 	defer drv.close()
 
 	res := &ServeResult{
 		Dataset:   cfg.Dataset,
 		Transport: transport,
+		Followers: cfg.Followers,
 		Shards:    shards,
 		Procs:     runtime.GOMAXPROCS(0),
 		CPUs:      runtime.NumCPU(),
@@ -419,8 +461,14 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		}
 	}
 
-	// Serving phase.
-	before := svc.CacheStats()
+	// Serving phase. The plan-cache delta is read from wherever the
+	// replayed queries actually execute: the served service by default,
+	// or the replica engines for a transport whose reads land elsewhere.
+	cacheSrc := svc.CacheStats
+	if cs, ok := drv.(cacheStatser); ok {
+		cacheSrc = cs.cacheStats
+	}
+	before := cacheSrc()
 	var (
 		clientWG   sync.WaitGroup
 		writerWG   sync.WaitGroup
@@ -433,6 +481,17 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		stop       atomic.Bool
 	)
 	perClient := cfg.Ops / cfg.Clients
+	// Halfway signal for the mid-replay reshard: completed.Add returns a
+	// unique value per op, so exactly one client observes the half mark
+	// and closes the channel — no polling. stopCh mirrors stop for
+	// waiters that must also wake when an early-aborted replay never
+	// reaches the mark.
+	half := int64(cfg.Ops / 2)
+	halfway := make(chan struct{})
+	if half == 0 {
+		close(halfway)
+	}
+	stopCh := make(chan struct{})
 
 	// One shared sample of live rows per relation: writers churn them in
 	// the background, and WriteMix client ops replay them in the
@@ -496,7 +555,9 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 					return
 				}
 				latencyNs.Add(int64(time.Since(t0)))
-				completed.Add(1)
+				if completed.Add(1) == half {
+					close(halfway)
+				}
 			}
 		}(c)
 	}
@@ -506,9 +567,9 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if cfg.ReshardTo > 0 {
 		go func() {
 			defer close(reshardDone)
-			half := int64(cfg.Ops / 2)
-			for completed.Load() < half && !stop.Load() {
-				time.Sleep(time.Millisecond)
+			select {
+			case <-halfway:
+			case <-stopCh:
 			}
 			if completed.Load() < half {
 				// Replay died early (client errors); nothing left to price.
@@ -528,6 +589,7 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	clientWG.Wait()
 	res.Duration = time.Since(start)
 	stop.Store(true)
+	close(stopCh)
 	writerWG.Wait()
 	// Join the resharder after stop is set, so an early-aborted replay
 	// (client errors before the halfway mark) releases it instead of
@@ -543,7 +605,7 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	if res.Ops > 0 {
 		res.MeanLatency = time.Duration(latencyNs.Load() / int64(res.Ops))
 	}
-	after := svc.CacheStats()
+	after := cacheSrc()
 	if router != nil {
 		res.Routes = router.RouteStats()
 		res.Apply = router.ApplyQueueStats()
@@ -551,7 +613,9 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	}
 	res.IVMOn = !cfg.IVMOff
 	if res.IVMOn {
-		if router != nil {
+		if is, ok := drv.(ivmStatser); ok {
+			res.IVM = is.ivmStats()
+		} else if router != nil {
 			res.IVM = router.IVMStats()
 		} else {
 			res.IVM = eng.IVMStats()
@@ -603,6 +667,19 @@ type serveDriver interface {
 	delete(rel string, t value.Tuple) error
 	// close releases transport resources (the loopback server).
 	close()
+}
+
+// cacheStatser is an optional serveDriver refinement for transports whose
+// reads execute somewhere other than the served service: the report's
+// plan-cache hit rate must come from the engines that answered the
+// queries, not from a primary that only saw the writes.
+type cacheStatser interface {
+	cacheStats() cache.Stats
+}
+
+// ivmStatser mirrors cacheStatser for the materialized-answer counters.
+type ivmStatser interface {
+	ivmStats() ivm.Stats
 }
 
 // engineDriver is the in-process client path over any core.Service — a
@@ -690,12 +767,178 @@ func (d *httpDriver) close() {
 	_ = d.srv.Shutdown(ctx)
 }
 
+// followerDriver serves the durable primary on a loopback listener, opens
+// cfg.Followers read replicas tailing its log (each with its own data
+// directory under the primary's and its own loopback front end), and
+// replays reads round-robin across the replicas with a read-your-writes
+// MinLSN fence. Writes go to the primary and advance the fence, so every
+// read observes all writes the replay acknowledged before it — the
+// correctness contract the replicas are priced under.
+type followerDriver struct {
+	svc       core.Service
+	primary   *server.Server
+	pcli      *server.Client
+	nodes     []*follower.Node
+	srvs      []*server.Server
+	readClis  []*server.Client
+	texts     []string
+	next      atomic.Uint64
+	lastWrite atomic.Uint64
+}
+
+func newFollowerDriver(eng core.Service, schema ra.Schema, pool []ra.Query, cfg ServeConfig) (*followerDriver, error) {
+	texts := make([]string, len(pool))
+	for i, q := range pool {
+		text, err := parser.Format(q, schema)
+		if err != nil {
+			return nil, fmt.Errorf("bench: pool query %d not expressible as rule text: %w", i, err)
+		}
+		texts[i] = text
+	}
+	quiet := slog.New(slog.DiscardHandler)
+	serveOne := func(svc core.Service) (*server.Server, *server.Client, error) {
+		srv := server.New(svc, server.Config{
+			Logger:         quiet,
+			MaxRows:        -1,
+			RequestTimeout: time.Minute,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		go srv.Serve(ln) //nolint:errcheck
+		cli := server.NewClient(srv.Addr())
+		if err := cli.WaitReady(context.Background(), 10*time.Second); err != nil {
+			srv.Shutdown(context.Background()) //nolint:errcheck
+			return nil, nil, err
+		}
+		return srv, cli, nil
+	}
+	psrv, pcli, err := serveOne(eng)
+	if err != nil {
+		return nil, err
+	}
+	d := &followerDriver{svc: eng, primary: psrv, pcli: pcli, texts: texts}
+	for i := 0; i < cfg.Followers; i++ {
+		// The replica directories live under the primary's data dir; the
+		// log's segment listing matches exact file-name patterns, so the
+		// subdirectories are invisible to it.
+		node, err := follower.Open(context.Background(), follower.Config{
+			Primary: "http://" + psrv.Addr(),
+			DataDir: filepath.Join(cfg.Durable.Dir, fmt.Sprintf("follower-%d", i)),
+			ID:      fmt.Sprintf("bench-follower-%d", i),
+			Logger:  quiet,
+		})
+		if err != nil {
+			d.close()
+			return nil, fmt.Errorf("bench: opening follower %d: %w", i, err)
+		}
+		d.nodes = append(d.nodes, node)
+		fsrv, fcli, err := serveOne(node)
+		if err != nil {
+			d.close()
+			return nil, fmt.Errorf("bench: serving follower %d: %w", i, err)
+		}
+		d.srvs = append(d.srvs, fsrv)
+		d.readClis = append(d.readClis, fcli)
+	}
+	if len(d.readClis) == 0 {
+		// Primary-only baseline: reads hit the primary's front end too, so
+		// the replica runs differ only in where reads land.
+		d.readClis = []*server.Client{pcli}
+	}
+	return d, nil
+}
+
+// cacheStats sums the plan-cache counters of the replicas the replayed
+// reads round-robin across; the primary-only baseline reads the served
+// service directly.
+func (d *followerDriver) cacheStats() cache.Stats {
+	if len(d.nodes) == 0 {
+		return d.svc.CacheStats()
+	}
+	var sum cache.Stats
+	for _, n := range d.nodes {
+		st := n.CacheStats()
+		sum.Hits += st.Hits
+		sum.Misses += st.Misses
+		sum.Evictions += st.Evictions
+		sum.Purges += st.Purges
+		sum.Entries += st.Entries
+	}
+	return sum
+}
+
+// ivmStats merges the replicas' materialized-answer counters — the views
+// the replayed reads were actually served from, maintained by the
+// replication stream rather than direct writes.
+func (d *followerDriver) ivmStats() ivm.Stats {
+	if len(d.nodes) == 0 {
+		if eng, ok := d.svc.(*core.Engine); ok {
+			return eng.IVMStats()
+		}
+		return ivm.Stats{}
+	}
+	var sum ivm.Stats
+	for _, n := range d.nodes {
+		sum = sum.Merge(n.IVMStats())
+	}
+	return sum
+}
+
+func (d *followerDriver) query(i int) error {
+	cli := d.readClis[d.next.Add(1)%uint64(len(d.readClis))]
+	_, err := cli.QueryOpts(context.Background(), server.QueryRequest{
+		Query:  d.texts[i],
+		MinLSN: d.lastWrite.Load(),
+	})
+	return err
+}
+
+// advanceFence raises the read fence to the LSN of an acknowledged write.
+func (d *followerDriver) advanceFence(lsn uint64) {
+	for {
+		cur := d.lastWrite.Load()
+		if lsn <= cur || d.lastWrite.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+func (d *followerDriver) insert(rel string, t value.Tuple) error {
+	resp, err := d.pcli.Insert(context.Background(), rel, []value.Tuple{t})
+	if err == nil {
+		d.advanceFence(resp.LSN)
+	}
+	return err
+}
+
+func (d *followerDriver) delete(rel string, t value.Tuple) error {
+	resp, err := d.pcli.Delete(context.Background(), rel, []value.Tuple{t})
+	if err == nil {
+		d.advanceFence(resp.LSN)
+	}
+	return err
+}
+
+func (d *followerDriver) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, srv := range d.srvs {
+		_ = srv.Shutdown(ctx)
+	}
+	for _, n := range d.nodes {
+		_ = n.Close()
+	}
+	_ = d.primary.Shutdown(ctx)
+}
+
 // servePool assembles the distinct-query pool: parsed covered templates
 // first, then random covered generator queries up to cfg.PoolSize. On the
 // http transport the pool is additionally restricted to queries
 // expressible in the rule language, since that is how they travel.
 func servePool(eng *core.Engine, d *workload.Dataset, cfg ServeConfig) ([]ra.Query, error) {
-	needText := cfg.Transport == TransportHTTP
+	needText := cfg.Transport == TransportHTTP || cfg.Transport == TransportFollower
 	var pool []ra.Query
 	for _, tpl := range d.Templates() {
 		if len(pool) >= cfg.PoolSize {

@@ -88,6 +88,48 @@ func TestServeHTTPTransport(t *testing.T) {
 	}
 }
 
+// TestServeFollowerTransport replays reads against follower replicas
+// with the MinLSN fence while writes go to the durable primary: the
+// differential contract (every fenced read observes every acknowledged
+// write) is enforced by the fence itself — a violation would surface as
+// a 504 or a wrong answer, both counted as errors.
+func TestServeFollowerTransport(t *testing.T) {
+	for _, followers := range []int{0, 2} {
+		cfg := DefaultServeConfig()
+		cfg.Transport = TransportFollower
+		cfg.Followers = followers
+		cfg.Durable = core.DurableConfig{Dir: t.TempDir(), CheckpointEvery: -1}
+		cfg.Scale = 0.03
+		cfg.Ops = 400
+		cfg.Clients = 4
+		cfg.Writers = 1
+		cfg.WriteMix = 0.1
+		cfg.PoolSize = 12
+		cfg.LatencyProbes = 0
+		res, err := Serve(cfg)
+		if err != nil {
+			t.Fatalf("followers=%d: %v", followers, err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("followers=%d: %d serving errors", followers, res.Errors)
+		}
+		if res.Ops == 0 || res.QPS <= 0 {
+			t.Fatalf("followers=%d: no throughput measured: %+v", followers, res)
+		}
+		if res.Followers != followers {
+			t.Fatalf("want %d followers in the result, got %d", followers, res.Followers)
+		}
+		if res.WriteOps == 0 {
+			t.Errorf("followers=%d: no write ops in the client mix", followers)
+		}
+		var sb strings.Builder
+		res.Format(&sb)
+		if !strings.Contains(sb.String(), "followers\t") {
+			t.Errorf("report missing followers line:\n%s", sb.String())
+		}
+	}
+}
+
 // TestServeRejectsBadConfig pins the validation errors: these used to
 // panic (nil Zipf for s <= 1, division by zero for Clients = 0).
 func TestServeRejectsBadConfig(t *testing.T) {
@@ -104,6 +146,14 @@ func TestServeRejectsBadConfig(t *testing.T) {
 		func(c *ServeConfig) { c.ResidueMix = 1 },
 		func(c *ServeConfig) { c.ResidueMix = -0.2 },
 		func(c *ServeConfig) { c.ResidueMix = 0.3 }, // needs a sharded layer
+		func(c *ServeConfig) { c.Followers = -1 },
+		func(c *ServeConfig) { c.Followers = 2 },                 // needs the follower transport
+		func(c *ServeConfig) { c.Transport = TransportFollower }, // needs Durable.Dir
+		func(c *ServeConfig) {
+			c.Transport = TransportFollower
+			c.Durable.Dir = "unused"
+			c.Shards = 2 // follower transport is unsharded
+		},
 	}
 	for i, mutate := range bad {
 		cfg := DefaultServeConfig()

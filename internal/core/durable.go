@@ -270,3 +270,11 @@ func (e *Engine) DurabilityStats() (wal.Stats, bool) {
 	}
 	return e.wal.Stats(), true
 }
+
+// WAL exposes the engine's write-ahead log for read-side consumers: the
+// replication stream endpoint tails it and the follower keeps LSN parity
+// through it. Nil when the engine is not durable. Callers must not append
+// or checkpoint through it while the engine owns the write path — the
+// follower is the one exception, and it applies from a single goroutine
+// with no other writers.
+func (e *Engine) WAL() *wal.Log { return e.wal }

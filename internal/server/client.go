@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -154,6 +156,70 @@ func (c *Client) WaitReady(ctx context.Context, d time.Duration) error {
 		case <-time.After(5 * time.Millisecond):
 		}
 	}
+}
+
+// WALSnapshot downloads the primary's newest checkpoint for follower
+// bootstrap. The returned body is a verbatim checkpoint file (pipe it
+// into wal.InstallCheckpoint); lsn is the LSN it covers. The caller must
+// Close the body.
+func (c *Client) WALSnapshot(ctx context.Context) (body io.ReadCloser, lsn uint64, err error) {
+	res, err := c.stream(ctx, "/wal/snapshot")
+	if err != nil {
+		return nil, 0, err
+	}
+	lsn, err = strconv.ParseUint(res.Header.Get("X-Checkpoint-LSN"), 10, 64)
+	if err != nil {
+		res.Body.Close()
+		return nil, 0, fmt.Errorf("server: /wal/snapshot: bad X-Checkpoint-LSN: %w", err)
+	}
+	return res.Body, lsn, nil
+}
+
+// WALStream opens the replication stream: every log record past after as
+// CRC frames (decode with wal.ReadFrames), then live appends and idle
+// heartbeats until the caller closes the body or ctx ends. id is the
+// follower identity shown in the primary's replication /stats. A 410
+// APIError means after predates the primary's retained log — re-bootstrap
+// from WALSnapshot.
+func (c *Client) WALStream(ctx context.Context, after uint64, id string) (io.ReadCloser, error) {
+	path := "/wal/stream?after=" + strconv.FormatUint(after, 10)
+	if id != "" {
+		path += "&id=" + url.QueryEscape(id)
+	}
+	res, err := c.stream(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	return res.Body, nil
+}
+
+// WALAck reports a follower's applied watermark to the primary (purely
+// observational: it feeds the replication /stats block).
+func (c *Client) WALAck(ctx context.Context, id string, lsn uint64) error {
+	return c.post(ctx, "/wal/ack", WALAckRequest{ID: id, LSN: lsn}, nil)
+}
+
+// stream issues a GET whose 2xx body is returned unread for the caller to
+// consume incrementally; non-2xx answers become *APIError like do.
+func (c *Client) stream(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if res.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+		res.Body.Close()
+		var e ErrorResponse
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, &APIError{Status: res.StatusCode, Message: e.Error}
+		}
+		return nil, &APIError{Status: res.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	return res, nil
 }
 
 // RowTuples converts a response's rows back into store tuples.

@@ -127,6 +127,11 @@ type Server struct {
 	listener net.Listener
 	addrCh   chan string
 
+	// repl tracks connected followers and snapshot downloads for the
+	// /stats replication block. Purely observational: stream correctness
+	// never depends on it (a follower resumes from its own local LSN).
+	repl replRegistry
+
 	// hookBeforeExecute, when set, runs in the execution goroutine before
 	// the engine is called. Tests use it to hold queries in flight
 	// deterministically; it is never set in production.
@@ -176,6 +181,9 @@ func New(eng core.Service, cfg Config) *Server {
 	s.mux.HandleFunc("GET /schema", s.handleSchema)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /wal/stream", s.handleWALStream)
+	s.mux.HandleFunc("GET /wal/snapshot", s.handleWALSnapshot)
+	s.mux.HandleFunc("POST /wal/ack", s.handleWALAck)
 	s.hs = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -232,9 +240,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.hs.Shutdown(ctx)
 }
 
-// timed wraps next with the per-request deadline.
+// timed wraps next with the per-request deadline. The replication stream
+// is exempt: it is a deliberately long-lived response that ends when the
+// follower disconnects, not when a request deadline fires.
 func (s *Server) timed(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/wal/stream" {
+			next.ServeHTTP(w, r)
+			return
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))
@@ -251,6 +265,10 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap lets http.NewResponseController reach the underlying writer, so
+// the replication stream can flush through the logging wrapper.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // logged wraps next with request counting and one slog line per request.
 func (s *Server) logged(next http.Handler) http.Handler {
@@ -355,7 +373,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if s.hookBeforeExecute != nil {
 			s.hookBeforeExecute()
 		}
-		done <- s.runQuery(req)
+		done <- s.runQuery(ctx, req)
 	}()
 	select {
 	case out := <-done:
@@ -389,8 +407,30 @@ func clientGone(ctx context.Context) bool {
 	return !errors.Is(context.Cause(ctx), context.DeadlineExceeded)
 }
 
-// runQuery is the synchronous body of handleQuery.
-func (s *Server) runQuery(req QueryRequest) queryOutcome {
+// lsnWaiter is implemented by core.Service implementations that apply a
+// replicated log asynchronously (the follower node): WaitLSN blocks until
+// the applied watermark reaches lsn or ctx ends. The front end uses it
+// for the read-your-writes fence of QueryRequest.MinLSN.
+type lsnWaiter interface {
+	WaitLSN(ctx context.Context, lsn uint64) error
+}
+
+// runQuery is the synchronous body of handleQuery. ctx carries the
+// request deadline into the MinLSN fence; execution itself is bounded by
+// the outer select in handleQuery.
+func (s *Server) runQuery(ctx context.Context, req QueryRequest) queryOutcome {
+	if req.MinLSN > 0 {
+		// Read-your-writes fence: on a follower, block until the applied
+		// watermark covers the LSN the client observed on its last write.
+		// A primary (anything without an asynchronous apply watermark)
+		// trivially satisfies the fence — the LSN was assigned there.
+		if fw, ok := s.eng.(lsnWaiter); ok {
+			if err := fw.WaitLSN(ctx, req.MinLSN); err != nil {
+				return queryOutcome{code: http.StatusGatewayTimeout,
+					err: fmt.Errorf("replica did not reach LSN %d before the deadline: %w", req.MinLSN, err)}
+			}
+		}
+	}
 	q, err := s.eng.Parse(req.Query)
 	if err != nil {
 		return queryOutcome{code: http.StatusUnprocessableEntity, err: err}
@@ -506,12 +546,20 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request,
 			applied++
 		}
 	}
-	writeJSON(w, http.StatusOK, MutateResponse{
+	resp := MutateResponse{
 		Relation:  req.Relation,
 		Requested: len(req.Tuples),
 		Applied:   applied,
 		Version:   s.eng.Version(),
-	})
+	}
+	if d, ok := s.eng.(durabler); ok {
+		// The log LSN after the batch: a client that stamps it as MinLSN
+		// on a follower read is guaranteed to observe this batch.
+		if ws, on := d.DurabilityStats(); on {
+			resp.LSN = ws.LastLSN
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleSchema renders the relational schema and the installed access
@@ -730,6 +778,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Residue:       residueW,
 		Durability:    duraW,
 		IVM:           ivmW,
+		Replication:   s.replicationStats(),
+		Follower:      s.followerStats(),
 		DBSize:        s.eng.DBSize(),
 		IndexEntries:  s.eng.IndexEntries(),
 		Version:       s.eng.Version(),

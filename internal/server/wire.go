@@ -25,6 +25,12 @@ type QueryRequest struct {
 	// MaxRows caps the number of rows returned (0 = the server's default;
 	// negative = unlimited). RowCount always reports the full answer size.
 	MaxRows int `json:"maxRows,omitempty"`
+	// MinLSN is the read-your-writes fence for follower reads: the query
+	// blocks until the server's applied watermark reaches this LSN (504 if
+	// the deadline passes first). Clients stamp the LSN returned by their
+	// last mutation. Ignored by a primary, which assigned the LSN and
+	// trivially satisfies the fence.
+	MinLSN uint64 `json:"minLSN,omitempty"`
 }
 
 // QueryResponse is the answer to POST /query: the result rows plus the
@@ -96,6 +102,19 @@ type MutateResponse struct {
 	Requested int    `json:"requested"`
 	Applied   int    `json:"applied"`
 	Version   uint64 `json:"version"`
+	// LSN is the write-ahead-log position after this batch on a durable
+	// serving layer (0 otherwise). A client that stamps it as MinLSN on a
+	// follower read is guaranteed to observe the batch.
+	LSN uint64 `json:"lsn,omitempty"`
+}
+
+// WALAckRequest is the body of POST /wal/ack: a follower reporting its
+// applied watermark for the primary's replication /stats block.
+type WALAckRequest struct {
+	// ID is the follower's stable identity (the id it streams under).
+	ID string `json:"id"`
+	// LSN is the follower's applied watermark.
+	LSN uint64 `json:"lsn"`
 }
 
 // WireConstraint is the JSON form of an access constraint R(X → Y, N).
@@ -166,6 +185,68 @@ type StatsResponse struct {
 	// maintenance for hot fingerprints); absent when disabled. Behind a
 	// sharded router the counters are summed across engines.
 	IVM *IVMStatsWire `json:"ivm,omitempty"`
+	// Replication is the primary-side follower accounting (connected
+	// followers, acked LSNs, lag), present once a follower has connected
+	// to or bootstrapped from this durable serving layer.
+	Replication *ReplicationWire `json:"replication,omitempty"`
+	// Follower is the replica-side view when the served core.Service is a
+	// follower node: where it replicates from and how far it has applied.
+	Follower *FollowerStatsWire `json:"follower,omitempty"`
+}
+
+// ReplicationWire is the primary-side replication block in GET /stats.
+type ReplicationWire struct {
+	// Followers lists every follower that has connected (or acked) since
+	// start, by id.
+	Followers []FollowerConnWire `json:"followers"`
+	// SnapshotsServed counts checkpoint downloads from /wal/snapshot —
+	// follower bootstraps (a resuming follower downloads nothing).
+	SnapshotsServed int64 `json:"snapshotsServed"`
+}
+
+// FollowerConnWire is one follower's entry in the replication block.
+type FollowerConnWire struct {
+	// ID is the identity the follower presented on /wal/stream.
+	ID string `json:"id"`
+	// Connected reports a live stream; SentLSN is the last record written
+	// to it and AckedLSN the follower's last reported applied watermark.
+	Connected bool   `json:"connected"`
+	SentLSN   uint64 `json:"sentLSN"`
+	AckedLSN  uint64 `json:"ackedLSN"`
+	// LagRecords is the primary's last LSN minus AckedLSN; LagBytes is a
+	// segment-granularity upper bound on the unacked log bytes. Alert on
+	// sustained growth of either (see docs/OPERATIONS.md).
+	LagRecords int64 `json:"lagRecords"`
+	LagBytes   int64 `json:"lagBytes"`
+	// ConnectedSeconds is the current stream's age (connected followers);
+	// LastSeenSeconds the time since the follower was last heard from
+	// (disconnected ones).
+	ConnectedSeconds float64 `json:"connectedSeconds,omitempty"`
+	LastSeenSeconds  float64 `json:"lastSeenSeconds,omitempty"`
+}
+
+// FollowerStatsWire is the follower-side replication block in GET /stats
+// of a follower node.
+type FollowerStatsWire struct {
+	// Primary is the URL this node replicates from; ID the identity it
+	// streams under.
+	Primary string `json:"primary"`
+	ID      string `json:"id"`
+	// AppliedLSN is the local applied watermark; PrimaryLSN the last LSN
+	// the primary reported (via records or heartbeats). Their difference
+	// is the replica lag in records.
+	AppliedLSN uint64 `json:"appliedLSN"`
+	PrimaryLSN uint64 `json:"primaryLSN"`
+	// Streaming reports a live stream connection; LastContactSeconds is
+	// the time since the last frame (records and heartbeats alike).
+	Streaming          bool    `json:"streaming"`
+	LastContactSeconds float64 `json:"lastContactSeconds"`
+	// RecordsApplied counts records applied since this process started;
+	// Reconnects counts stream (re)connections; SnapshotsFetched counts
+	// checkpoint bootstraps (0 after a restart that resumed locally).
+	RecordsApplied   int64 `json:"recordsApplied"`
+	Reconnects       int64 `json:"reconnects"`
+	SnapshotsFetched int64 `json:"snapshotsFetched"`
 }
 
 // IVMStatsWire is the materialized-answer snapshot in GET /stats.

@@ -1021,6 +1021,10 @@ func (r *Router) DurabilityStats() (wal.Stats, bool) {
 	return r.wal.Stats(), true
 }
 
+// WAL exposes the router's write-ahead log for read-side consumers (the
+// replication stream endpoint). Nil when the router is not durable.
+func (r *Router) WAL() *wal.Log { return r.wal }
+
 // writeTargets picks the member engines one tuple write must reach,
 // ordered so the FIRST target is always complete for the tuple under the
 // view the readers are currently routed by — its apply verdict is the

@@ -1,7 +1,6 @@
 package wal
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -61,7 +60,11 @@ func RecoverDB(dir string, schema ra.Schema) (*Recovery, error) {
 	}
 	rec := &Recovery{DB: db, CheckpointLSN: ckLSN, LastLSN: ckLSN, Found: true}
 	err = Records(dir, ckLSN, func(r Record) error {
-		if r.LSN <= rec.LastLSN && rec.Replayed > 0 {
+		// Unconditional: the very first replayed record must also advance
+		// past the checkpoint LSN. Records filters r.LSN ≤ after today, but
+		// this guard is the one that makes replay order a checked invariant
+		// rather than an assumption about the caller.
+		if r.LSN <= rec.LastLSN {
 			return fmt.Errorf("wal: recover: LSN %d out of order after %d", r.LSN, rec.LastLSN)
 		}
 		switch r.Kind {
@@ -104,12 +107,32 @@ func RecoverDB(dir string, schema ra.Schema) (*Recovery, error) {
 // (those records were never durable); corruption elsewhere is an error.
 // It reads the directory as-is and is safe on a crashed, not-yet-opened
 // log — the crash-recovery harness uses it to build its oracle.
+//
+// Segments whose records all fall at or below after are skipped without
+// decoding: walking the sorted segment list from the end, the scan starts
+// at the last segment whose first LSN is ≤ after+1 (everything before it
+// holds only older records). The first LSN comes from the first frame
+// header alone — no payload decode — so a tail-read of a multi-segment
+// log opens only the final segment.
 func Records(dir string, after uint64, fn func(Record) error) error {
 	segs, err := listSegments(dir)
 	if err != nil {
 		return fmt.Errorf("wal: records: %w", err)
 	}
-	for i := range segs {
+	start := 0
+	for i := len(segs) - 1; i > 0; i-- {
+		first, ok := segmentFirstLSN(segs[i].path)
+		if !ok {
+			// Empty or torn-at-first-frame segment: the filename is the
+			// authoritative first LSN (segments are created as segName(next)).
+			first = segs[i].start
+		}
+		if first <= after+1 {
+			start = i
+			break
+		}
+	}
+	for i := start; i < len(segs); i++ {
 		_, torn, err := scanSegment(segs[i].path, func(r Record) error {
 			if r.LSN <= after {
 				return nil
@@ -124,6 +147,28 @@ func Records(dir string, after uint64, fn func(Record) error) error {
 		}
 	}
 	return nil
+}
+
+// segmentFirstLSN reads the LSN of path's first record from the first
+// frame's header bytes only. ok is false when the segment is empty or its
+// first frame is unreadable — callers fall back to the filename LSN.
+func segmentFirstLSN(path string) (uint64, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	if segmentOpenHook != nil {
+		segmentOpenHook(path)
+	}
+	buf := make([]byte, frameHeaderLen+8)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return 0, false
+	}
+	if n := binary.LittleEndian.Uint32(buf[0:4]); n < bodyPrefixLen || n > maxRecordBytes {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(buf[frameHeaderLen : frameHeaderLen+8]), true
 }
 
 // loadLatestCheckpoint tries checkpoints newest-first and returns the
@@ -163,14 +208,8 @@ func readCheckpoint(path string, wantLSN uint64) (*store.DB, []access.Constraint
 	if _, err := io.ReadFull(f, hdr); err != nil {
 		return nil, nil, fmt.Errorf("wal: checkpoint %s: header: %w", path, err)
 	}
-	if !bytes.Equal(hdr[0:4], ckMagic) {
-		return nil, nil, fmt.Errorf("wal: checkpoint %s: bad magic", path)
-	}
-	if hdr[4] != ckVersion {
-		return nil, nil, fmt.Errorf("wal: checkpoint %s: unsupported version %d", path, hdr[4])
-	}
-	if lsn := binary.LittleEndian.Uint64(hdr[5:13]); lsn != wantLSN {
-		return nil, nil, fmt.Errorf("wal: checkpoint %s: header LSN %d does not match filename", path, lsn)
+	if err := checkCheckpointHeader(path, hdr, wantLSN); err != nil {
+		return nil, nil, err
 	}
 	db, cons, err := store.LoadSnapshot(f)
 	if err != nil {

@@ -1,0 +1,379 @@
+package wal
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// This file is the replication-stream half of the log: the frame codec
+// shared with the on-disk format, a blocking Tail that follows live
+// appends, and the checkpoint install/fetch helpers a follower bootstrap
+// uses. The wire format of /wal/stream is exactly the segment format —
+// a concatenation of CRC-framed records — so a follower can verify and
+// decode the stream with the same code path that reads its own disk.
+
+// KindHeartbeat is a stream-only record kind: an empty-payload frame whose
+// LSN field carries the primary's current last LSN. It keeps an idle
+// stream's connection alive and lets a caught-up follower track how far
+// ahead the primary is. It is never written to disk; Append rejects it.
+const KindHeartbeat Kind = 255
+
+// ErrGap reports that a tail asked for records the log has already pruned
+// (the requested position predates the oldest retained segment). The only
+// recovery is to re-bootstrap from a newer checkpoint.
+var ErrGap = errors.New("wal: requested records already pruned")
+
+// EncodeFrame frames rec exactly as Append would write it to a segment:
+// [u32 len][u32 crc32c][u64 lsn][u8 kind][payload]. Unlike Append the LSN
+// is taken from rec rather than assigned, and KindHeartbeat is allowed
+// (with an empty payload). The stream endpoint uses it to re-frame tailed
+// records onto the wire.
+func EncodeFrame(rec Record) ([]byte, error) {
+	body := make([]byte, bodyPrefixLen, bodyPrefixLen+64)
+	binary.LittleEndian.PutUint64(body[0:8], rec.LSN)
+	body[8] = byte(rec.Kind)
+	if rec.Kind != KindHeartbeat {
+		var err error
+		body, err = appendPayload(body, rec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	frame := make([]byte, frameHeaderLen+len(body))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(body, castagnoli))
+	copy(frame[frameHeaderLen:], body)
+	return frame, nil
+}
+
+// ReadFrames decodes a concatenation of frames from r (the /wal/stream
+// body), invoking fn per record until r is exhausted or fn errors. Unlike
+// scanSegment a short or corrupt frame is an error, not a silent tear: a
+// TCP stream has no torn-tail excuse, and the caller reconnects on error.
+func ReadFrames(r io.Reader, fn func(Record) error) error {
+	hdr := make([]byte, frameHeaderLen)
+	body := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("wal: stream: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		if n < bodyPrefixLen || n > maxRecordBytes {
+			return fmt.Errorf("wal: stream: frame length %d out of range", n)
+		}
+		if int64(cap(body)) < int64(n) {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(r, body); err != nil {
+			return fmt.Errorf("wal: stream: %w", err)
+		}
+		if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return errors.New("wal: stream: frame checksum mismatch")
+		}
+		kind := Kind(body[8])
+		var rec Record
+		if kind == KindHeartbeat {
+			if len(body) != bodyPrefixLen {
+				return errors.New("wal: stream: heartbeat with payload")
+			}
+			rec = Record{Kind: KindHeartbeat}
+		} else {
+			var err error
+			rec, err = decodePayload(kind, body[bodyPrefixLen:])
+			if err != nil {
+				return fmt.Errorf("wal: stream: %w", err)
+			}
+		}
+		rec.LSN = binary.LittleEndian.Uint64(body[0:8])
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// Dir returns the directory the log lives in.
+func (l *Log) Dir() string { return l.dir }
+
+// NotifyAppend returns a channel that is closed by the next Append (or by
+// Close). Tailers subscribe, re-check LastLSN, and block; the close-and-
+// replace discipline makes every append a broadcast without per-waiter
+// bookkeeping.
+func (l *Log) NotifyAppend() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.notify == nil {
+		l.notify = make(chan struct{})
+	}
+	return l.notify
+}
+
+// OldestLSN returns the first LSN of the oldest retained segment — a
+// tail can resume from `after` without a gap iff after+1 ≥ this value,
+// the same check Tail itself applies before returning ErrGap. ok is
+// false only when the log has no segments (never the case once Open
+// succeeded).
+func (l *Log) OldestLSN() (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 {
+		return 0, false
+	}
+	return l.segs[0].start, true
+}
+
+// BytesSince returns the total size of segments holding any record with
+// LSN greater than lsn — a segment-granularity upper bound on replication
+// lag in bytes (partially-acked segments are counted whole).
+func (l *Log) BytesSince(lsn uint64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int64
+	for i := range l.segs {
+		// A segment's records end where the next one starts; a segment
+		// wholly at or below lsn contributes nothing. The active (last)
+		// segment always counts unless the log is fully acked.
+		if i+1 < len(l.segs) && l.segs[i+1].start-1 <= lsn {
+			continue
+		}
+		if i+1 == len(l.segs) && l.lastA.Load() <= lsn {
+			continue
+		}
+		n += l.segs[i].size
+	}
+	return n
+}
+
+// Tail streams every record with LSN greater than after, in order, then
+// blocks for live appends until ctx is done. fn sees each record exactly
+// once with strictly consecutive LSNs; heartbeat frames (KindHeartbeat,
+// LSN = current last LSN) are delivered when the tail has been idle for
+// the heartbeat interval (default 1s when ≤ 0). idle, if non-nil, is
+// called whenever the tail has drained everything currently in the log
+// and is about to block — the stream endpoint flushes its write buffer
+// there, so records batch under load but are never held back while idle.
+//
+// Tail returns ErrGap when after predates the oldest retained segment
+// (the caller must re-bootstrap from a checkpoint), ctx.Err() on
+// cancellation, or the first error from fn.
+func (l *Log) Tail(ctx context.Context, after uint64, heartbeat time.Duration, fn func(Record) error, idle func() error) error {
+	if heartbeat <= 0 {
+		heartbeat = time.Second
+	}
+	cur := tailCursor{lsn: after}
+	timer := time.NewTimer(heartbeat)
+	defer timer.Stop()
+	for {
+		n, retry, err := l.tailPass(&cur, fn)
+		if err != nil {
+			return err
+		}
+		if n > 0 || retry {
+			continue
+		}
+		// Caught up. Subscribe before the LastLSN re-check so an append
+		// landing between the check and the select cannot be missed.
+		ch := l.NotifyAppend()
+		if l.LastLSN() > cur.lsn {
+			continue
+		}
+		if idle != nil {
+			if err := idle(); err != nil {
+				return err
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(heartbeat)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		case <-timer.C:
+			if err := fn(Record{Kind: KindHeartbeat, LSN: l.LastLSN()}); err != nil {
+				return err
+			}
+			if idle != nil {
+				if err := idle(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+// tailCursor is Tail's resume state: the last delivered LSN plus the byte
+// offset reached in the segment scanned last, so following a live log
+// re-reads only the active segment's unseen suffix instead of re-decoding
+// it from the start on every wakeup.
+type tailCursor struct {
+	lsn  uint64
+	path string
+	off  int64
+}
+
+// tailPass delivers every record past cur currently on disk, advancing the
+// cursor. retry asks the caller to run another pass immediately (a segment
+// vanished under us — pruned between listing and open). Reading torn
+// frames is fine: a frame mid-write surfaces as a tear, the pass stops
+// before it, and the next pass resumes at the same offset.
+func (l *Log) tailPass(cur *tailCursor, fn func(Record) error) (delivered int, retry bool, err error) {
+	l.mu.Lock()
+	segs := make([]segment, len(l.segs))
+	copy(segs, l.segs)
+	l.mu.Unlock()
+	if len(segs) == 0 {
+		return 0, false, nil
+	}
+	if segs[0].start > cur.lsn+1 {
+		return 0, false, ErrGap
+	}
+	start := 0
+	for i := len(segs) - 1; i > 0; i-- {
+		if segs[i].start <= cur.lsn+1 {
+			start = i
+			break
+		}
+	}
+	for i := start; i < len(segs); i++ {
+		off := int64(0)
+		if segs[i].path == cur.path {
+			off = cur.off
+		}
+		valid, _, err := scanSegmentAt(segs[i].path, off, func(r Record) error {
+			if r.LSN <= cur.lsn {
+				return nil
+			}
+			if r.LSN != cur.lsn+1 {
+				return fmt.Errorf("wal: tail: LSN %d after %d (hole in log)", r.LSN, cur.lsn)
+			}
+			if err := fn(r); err != nil {
+				return err
+			}
+			cur.lsn = r.LSN
+			delivered++
+			return nil
+		})
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				cur.path, cur.off = "", 0
+				return delivered, true, nil
+			}
+			return delivered, false, err
+		}
+		cur.path, cur.off = segs[i].path, valid
+	}
+	return delivered, false, nil
+}
+
+// LatestCheckpoint returns the path and LSN of the newest checkpoint in
+// dir whose header validates, falling back to older ones exactly like
+// recovery does. ok is false when dir holds no usable checkpoint.
+func LatestCheckpoint(dir string) (path string, lsn uint64, ok bool, err error) {
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		return "", 0, false, fmt.Errorf("wal: checkpoints: %w", err)
+	}
+	for i := len(cks) - 1; i >= 0; i-- {
+		p := filepath.Join(dir, ckName(cks[i]))
+		if err := validateCheckpointHeader(p, cks[i]); err == nil {
+			return p, cks[i], true, nil
+		}
+	}
+	return "", 0, false, nil
+}
+
+// validateCheckpointHeader checks magic, version and filename-LSN match
+// without decoding the snapshot body.
+func validateCheckpointHeader(path string, wantLSN uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hdr := make([]byte, ckHeaderLen)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return fmt.Errorf("wal: checkpoint %s: header: %w", path, err)
+	}
+	return checkCheckpointHeader(path, hdr, wantLSN)
+}
+
+// checkCheckpointHeader validates an in-memory checkpoint header. wantLSN
+// < 0 is impossible (unsigned); pass the filename LSN, or the header's own
+// LSN to skip the match.
+func checkCheckpointHeader(path string, hdr []byte, wantLSN uint64) error {
+	if !bytes.Equal(hdr[0:4], ckMagic) {
+		return fmt.Errorf("wal: checkpoint %s: bad magic", path)
+	}
+	if hdr[4] != ckVersion {
+		return fmt.Errorf("wal: checkpoint %s: unsupported version %d", path, hdr[4])
+	}
+	if lsn := binary.LittleEndian.Uint64(hdr[5:13]); lsn != wantLSN {
+		return fmt.Errorf("wal: checkpoint %s: header LSN %d does not match filename", path, lsn)
+	}
+	return nil
+}
+
+// InstallCheckpoint writes the checkpoint file streamed in r (a verbatim
+// /wal/snapshot body: wal checkpoint header + store snapshot) into dir
+// under its canonical name, via tmp+fsync+rename like a locally-written
+// checkpoint. It returns the checkpoint's LSN. The caller is responsible
+// for only installing into a directory it is prepared to recover from —
+// a follower bootstrap uses it on an empty (or deliberately reset) dir.
+func InstallCheckpoint(dir string, r io.Reader) (uint64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	hdr := make([]byte, ckHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, fmt.Errorf("wal: install checkpoint: header: %w", err)
+	}
+	lsn := binary.LittleEndian.Uint64(hdr[5:13])
+	if err := checkCheckpointHeader("(stream)", hdr, lsn); err != nil {
+		return 0, err
+	}
+	final := filepath.Join(dir, ckName(lsn))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after successful rename
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	if _, err := io.Copy(f, r); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return 0, fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	return lsn, nil
+}

@@ -1,0 +1,635 @@
+package wal
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// --- frame codec ---
+
+func TestEncodeFrameReadFramesRoundTrip(t *testing.T) {
+	want := []Record{
+		{LSN: 1, Kind: KindTuple, Op: store.TupleOp{Rel: "r", T: value.Tuple{iv(1), value.NewStr("héllo")}}},
+		{LSN: 2, Kind: KindTuple, Op: store.TupleOp{Rel: "r", T: value.Tuple{iv(-5), value.NewStr("")}, Del: true}},
+		{LSN: 3, Kind: KindAddConstraint, Con: access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 7}},
+		{LSN: 9, Kind: KindHeartbeat},
+		{LSN: 4, Kind: KindRemoveConstraint, Con: access.Constraint{Rel: "s", Y: []string{"x"}, N: 3}},
+	}
+	var buf bytes.Buffer
+	for _, rec := range want {
+		frame, err := EncodeFrame(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame)
+	}
+	var got []Record
+	if err := ReadFrames(&buf, func(r Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadFramesRejectsCorruption(t *testing.T) {
+	frame, err := EncodeFrame(Record{LSN: 1, Kind: KindTuple, Op: store.TupleOp{Rel: "r", T: value.Tuple{iv(1), iv(2)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), frame...)
+	flipped[len(flipped)-1] ^= 0xff
+	if err := ReadFrames(bytes.NewReader(flipped), func(Record) error { return nil }); err == nil {
+		t.Fatal("corrupt frame decoded without error")
+	}
+	// A truncated stream is an error too — no torn-tail forgiveness on a
+	// network stream.
+	if err := ReadFrames(bytes.NewReader(frame[:len(frame)-1]), func(Record) error { return nil }); err == nil {
+		t.Fatal("truncated frame decoded without error")
+	}
+}
+
+func TestAppendRejectsHeartbeat(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(Record{Kind: KindHeartbeat}); err == nil {
+		t.Fatal("Append accepted a stream-only heartbeat record")
+	}
+}
+
+// --- Records segment skipping (regression for the full-log rescan) ---
+
+// TestRecordsTailReadOpensOnlyFinalSegment pins the tail-read fast path: a
+// Records call from an LSN inside the final segment of a multi-segment log
+// must not open (let alone decode) any earlier segment.
+func TestRecordsTailReadOpensOnlyFinalSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 200; i++ {
+		last = mustAppend(t, l, tupleRec("r", false, iv(i), iv(i)))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("want ≥ 3 segments for the skip to matter, got %d", len(segs))
+	}
+	final := segs[len(segs)-1]
+
+	opened := map[string]int{}
+	segmentOpenHook = func(path string) { opened[filepath.Base(path)]++ }
+	defer func() { segmentOpenHook = nil }()
+
+	after := final.start // tail read: everything before the final segment is below it
+	var got []uint64
+	if err := Records(dir, after, func(r Record) error {
+		got = append(got, r.LSN)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for name := range opened {
+		if name != filepath.Base(final.path) {
+			t.Errorf("tail read opened non-final segment %s", name)
+		}
+	}
+	want := int(last - after)
+	if len(got) != want {
+		t.Fatalf("tail read returned %d records, want %d", len(got), want)
+	}
+	for i, lsn := range got {
+		if lsn != after+uint64(i)+1 {
+			t.Fatalf("record %d has LSN %d, want %d", i, lsn, after+uint64(i)+1)
+		}
+	}
+}
+
+// TestRecordsSkipStartsAtCoveringSegment drives cut points across every
+// segment boundary and checks the exact record set comes back each time —
+// the skip must never drop a record the cut still needs.
+func TestRecordsSkipStartsAtCoveringSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 120; i++ {
+		last = mustAppend(t, l, tupleRec("r", false, iv(i), iv(i)))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for after := uint64(0); after <= last; after++ {
+		var got []uint64
+		if err := Records(dir, after, func(r Record) error {
+			got = append(got, r.LSN)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != int(last-after) {
+			t.Fatalf("after=%d: got %d records, want %d", after, len(got), last-after)
+		}
+		for i, lsn := range got {
+			if lsn != after+uint64(i)+1 {
+				t.Fatalf("after=%d: record %d has LSN %d", after, i, lsn)
+			}
+		}
+	}
+}
+
+// --- RecoverDB ordering guard (regression for the Replayed>0 condition) ---
+
+// TestRecoverDBRejectsDuplicateLSN feeds hand-built segments whose frames
+// repeat or regress an LSN and requires recovery to refuse them. The guard
+// must hold unconditionally — including against a duplicate of the very
+// first record replayed past a checkpoint — rather than relying on the
+// Records-side filter.
+func TestRecoverDBRejectsDuplicateLSN(t *testing.T) {
+	writeSeg := func(t *testing.T, dir string, start uint64, lsns ...uint64) {
+		t.Helper()
+		var buf bytes.Buffer
+		for _, lsn := range lsns {
+			frame, err := EncodeFrame(Record{LSN: lsn, Kind: KindTuple, Op: store.TupleOp{Rel: "r", T: value.Tuple{iv(int(lsn)), iv(0)}}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Write(frame)
+		}
+		if err := os.WriteFile(filepath.Join(dir, segName(start)), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Run("duplicate", func(t *testing.T) {
+		dir := t.TempDir()
+		writeSeg(t, dir, 1, 1, 2, 2)
+		if _, err := RecoverDB(dir, testSchema()); err == nil {
+			t.Fatal("recovery accepted a duplicate LSN")
+		}
+	})
+	t.Run("regression", func(t *testing.T) {
+		dir := t.TempDir()
+		writeSeg(t, dir, 1, 1, 3, 2)
+		if _, err := RecoverDB(dir, testSchema()); err == nil {
+			t.Fatal("recovery accepted a regressing LSN")
+		}
+	})
+	t.Run("first record after checkpoint", func(t *testing.T) {
+		// Build a real checkpoint at LSN 2, then a suffix whose first two
+		// frames BOTH carry LSN 3: the duplicate is the first replay step.
+		dir := t.TempDir()
+		l, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := store.NewDB(testSchema())
+		for i := 1; i <= 2; i++ {
+			if _, err := db.Insert("r", value.Tuple{iv(i), iv(i)}); err != nil {
+				t.Fatal(err)
+			}
+			mustAppend(t, l, tupleRec("r", false, iv(i), iv(i)))
+		}
+		if err := l.WriteCheckpoint(2, db.Save); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Remove the real segments and replace with the poisoned suffix.
+		segs, err := listSegments(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range segs {
+			if err := os.Remove(s.path); err != nil {
+				t.Fatal(err)
+			}
+		}
+		writeSeg(t, dir, 3, 3, 3)
+		if _, err := RecoverDB(dir, testSchema()); err == nil {
+			t.Fatal("recovery accepted a duplicate first record")
+		}
+	})
+}
+
+// --- property: Records(dir, after) ∘ apply ≡ RecoverDB(dir) ---
+
+// applyOracle applies rec to a bare store + constraint map exactly like
+// RecoverDB's replay loop does.
+func applyOracle(t *testing.T, db *store.DB, cons map[string]access.Constraint, rec Record) {
+	t.Helper()
+	switch rec.Kind {
+	case KindTuple:
+		var err error
+		if rec.Op.Del {
+			_, err = db.Delete(rec.Op.Rel, rec.Op.T)
+		} else {
+			_, err = db.Insert(rec.Op.Rel, rec.Op.T)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	case KindAddConstraint:
+		cons[rec.Con.Key()] = rec.Con
+	case KindRemoveConstraint:
+		delete(cons, rec.Con.Key())
+	}
+}
+
+func sortedRows(t *testing.T, db *store.DB, rel string) []string {
+	t.Helper()
+	rows, err := db.Rows(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprintf("%v", r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedConKeys(cons map[string]access.Constraint) []string {
+	keys := make([]string, 0, len(cons))
+	for k := range cons {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestRecordsApplyEqualsRecoverProperty is the contract the follower
+// bootstrap relies on: for any op stream and any cut point C whose suffix
+// survives pruning, reconstructing the state at C and applying
+// Records(dir, C) yields exactly RecoverDB(dir)'s state.
+func TestRecordsApplyEqualsRecoverProperty(t *testing.T) {
+	schema := testSchema()
+	rng := rand.New(rand.NewSource(42))
+	randomRec := func() Record {
+		switch rng.Intn(10) {
+		case 0:
+			return Record{Kind: KindAddConstraint, Con: access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 1 + rng.Intn(4)}}
+		case 1:
+			return Record{Kind: KindRemoveConstraint, Con: access.Constraint{Rel: "r", X: []string{"a"}, Y: []string{"b"}, N: 1 + rng.Intn(4)}}
+		default:
+			rel := "r"
+			tup := value.Tuple{iv(rng.Intn(8)), iv(rng.Intn(8))}
+			if rng.Intn(4) == 0 {
+				rel, tup = "s", value.Tuple{iv(rng.Intn(8))}
+			}
+			return Record{Kind: KindTuple, Op: store.TupleOp{Rel: rel, T: tup, Del: rng.Intn(3) == 0}}
+		}
+	}
+	for iter := 0; iter < 20; iter++ {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{SegmentBytes: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := store.NewDB(schema)
+		cons := map[string]access.Constraint{}
+		type step struct {
+			rec Record
+			lsn uint64
+		}
+		var steps []step
+		var ckLSNs []uint64
+		useCk := iter%2 == 1
+		n := 20 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			rec := randomRec()
+			applyOracle(t, db, cons, rec)
+			lsn := mustAppend(t, l, rec)
+			steps = append(steps, step{rec, lsn})
+			if useCk && rng.Intn(25) == 0 {
+				consList := make([]access.Constraint, 0, len(cons))
+				for _, k := range sortedConKeys(cons) {
+					consList = append(consList, cons[k])
+				}
+				rels := map[string][]value.Tuple{}
+				for rel := range schema {
+					rows, err := db.Rows(rel)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rels[rel] = rows
+				}
+				if err := l.WriteCheckpoint(lsn, func(w io.Writer) error {
+					return store.SaveSnapshot(w, schema, consList, rels)
+				}); err != nil {
+					t.Fatal(err)
+				}
+				ckLSNs = append(ckLSNs, lsn)
+			}
+		}
+		last := l.LastLSN()
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		want, err := RecoverDB(dir, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Cuts below the oldest retained checkpoint reference pruned
+		// records; everything at or above it must reproduce recovery.
+		var minCut uint64
+		if len(ckLSNs) == 1 {
+			minCut = ckLSNs[0]
+		} else if len(ckLSNs) >= 2 {
+			minCut = ckLSNs[len(ckLSNs)-2]
+		}
+		cuts := []uint64{minCut, last}
+		if len(ckLSNs) > 0 {
+			cuts = append(cuts, ckLSNs[len(ckLSNs)-1])
+		}
+		for k := 0; k < 4; k++ {
+			cuts = append(cuts, minCut+uint64(rng.Int63n(int64(last-minCut+1))))
+		}
+		for _, cut := range cuts {
+			cutDB := store.NewDB(schema)
+			cutCons := map[string]access.Constraint{}
+			for _, s := range steps {
+				if s.lsn <= cut {
+					applyOracle(t, cutDB, cutCons, s.rec)
+				}
+			}
+			if err := Records(dir, cut, func(r Record) error {
+				applyOracle(t, cutDB, cutCons, r)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for rel := range schema {
+				got, wantRows := sortedRows(t, cutDB, rel), sortedRows(t, want.DB, rel)
+				if !reflect.DeepEqual(got, wantRows) {
+					t.Fatalf("iter %d cut %d: relation %s diverged:\n got %v\nwant %v", iter, cut, rel, got, wantRows)
+				}
+			}
+			wantKeys := make([]string, 0, len(want.Constraints))
+			for _, c := range want.Constraints {
+				wantKeys = append(wantKeys, c.Key())
+			}
+			if got := sortedConKeys(cutCons); !reflect.DeepEqual(got, wantKeys) {
+				t.Fatalf("iter %d cut %d: constraints diverged:\n got %v\nwant %v", iter, cut, got, wantKeys)
+			}
+		}
+	}
+}
+
+// --- Tail ---
+
+func TestTailDeliversBacklogAndLiveAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 50; i++ {
+		mustAppend(t, l, tupleRec("r", false, iv(i), iv(i)))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := make(chan Record, 256)
+	idles := make(chan struct{}, 256)
+	done := make(chan error, 1)
+	go func() {
+		done <- l.Tail(ctx, 10, time.Hour, func(r Record) error {
+			got <- r
+			return nil
+		}, func() error {
+			select {
+			case idles <- struct{}{}:
+			default:
+			}
+			return nil
+		})
+	}()
+	next := uint64(11)
+	deadline := time.After(10 * time.Second)
+	for next <= 50 {
+		select {
+		case r := <-got:
+			if r.LSN != next {
+				t.Fatalf("backlog: got LSN %d, want %d", r.LSN, next)
+			}
+			next++
+		case <-deadline:
+			t.Fatalf("timed out at LSN %d", next)
+		}
+	}
+	// Must go idle (flush point) once the backlog is drained.
+	select {
+	case <-idles:
+	case <-deadline:
+		t.Fatal("no idle callback after draining backlog")
+	}
+	// Live appends wake the tail without polling.
+	for i := 50; i < 80; i++ {
+		mustAppend(t, l, tupleRec("r", false, iv(i), iv(i)))
+	}
+	for next <= 80 {
+		select {
+		case r := <-got:
+			if r.LSN != next {
+				t.Fatalf("live: got LSN %d, want %d", r.LSN, next)
+			}
+			next++
+		case <-deadline:
+			t.Fatalf("timed out at live LSN %d", next)
+		}
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Tail returned %v, want context.Canceled", err)
+	}
+}
+
+func TestTailHeartbeatWhenIdle(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	mustAppend(t, l, tupleRec("r", false, iv(1), iv(1)))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := make(chan Record, 16)
+	go func() {
+		_ = l.Tail(ctx, 0, 10*time.Millisecond, func(r Record) error {
+			got <- r
+			return nil
+		}, nil)
+	}()
+	deadline := time.After(10 * time.Second)
+	select {
+	case r := <-got:
+		if r.LSN != 1 || r.Kind != KindTuple {
+			t.Fatalf("got %+v, want the backlog record", r)
+		}
+	case <-deadline:
+		t.Fatal("no backlog record")
+	}
+	for {
+		select {
+		case r := <-got:
+			if r.Kind == KindHeartbeat {
+				if r.LSN != 1 {
+					t.Fatalf("heartbeat carries LSN %d, want last LSN 1", r.LSN)
+				}
+				return
+			}
+			t.Fatalf("unexpected record %+v", r)
+		case <-deadline:
+			t.Fatal("no heartbeat on idle stream")
+		}
+	}
+}
+
+func TestTailGapAfterPrune(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	db := store.NewDB(testSchema())
+	var last uint64
+	for i := 0; i < 100; i++ {
+		if _, err := db.Insert("r", value.Tuple{iv(i), iv(i)}); err != nil {
+			t.Fatal(err)
+		}
+		last = mustAppend(t, l, tupleRec("r", false, iv(i), iv(i)))
+		if i == 60 || i == 90 {
+			if err := l.WriteCheckpoint(last, db.Save); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs[0].start <= 1 {
+		t.Fatal("prune did not remove the first segment; test setup is wrong")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = l.Tail(ctx, 0, time.Hour, func(Record) error { return nil }, nil)
+	if !errors.Is(err, ErrGap) {
+		t.Fatalf("Tail from 0 over a pruned log returned %v, want ErrGap", err)
+	}
+}
+
+// --- checkpoint fetch/install ---
+
+func TestLatestCheckpointAndInstall(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := store.NewDB(testSchema())
+	for i := 1; i <= 5; i++ {
+		if _, err := db.Insert("r", value.Tuple{iv(i), iv(i)}); err != nil {
+			t.Fatal(err)
+		}
+		mustAppend(t, l, tupleRec("r", false, iv(i), iv(i)))
+	}
+	if err := l.WriteCheckpoint(5, db.Save); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path, lsn, ok, err := LatestCheckpoint(dir)
+	if err != nil || !ok {
+		t.Fatalf("LatestCheckpoint: ok=%v err=%v", ok, err)
+	}
+	if lsn != 5 {
+		t.Fatalf("LatestCheckpoint LSN %d, want 5", lsn)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dst := t.TempDir()
+	gotLSN, err := InstallCheckpoint(dst, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLSN != 5 {
+		t.Fatalf("InstallCheckpoint LSN %d, want 5", gotLSN)
+	}
+	rec, err := RecoverDB(dst, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Found || rec.LastLSN != 5 {
+		t.Fatalf("recovery from installed checkpoint: found=%v last=%d", rec.Found, rec.LastLSN)
+	}
+	if got, want := sortedRows(t, rec.DB, "r"), sortedRows(t, db, "r"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("installed state diverged:\n got %v\nwant %v", got, want)
+	}
+	if _, err := InstallCheckpoint(t.TempDir(), bytes.NewReader([]byte("garbage stream"))); err == nil {
+		t.Fatal("InstallCheckpoint accepted garbage")
+	}
+}
+
+func TestBytesSince(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var last uint64
+	for i := 0; i < 100; i++ {
+		last = mustAppend(t, l, tupleRec("r", false, iv(i), iv(i)))
+	}
+	total := l.Stats().SegmentBytes
+	if got := l.BytesSince(0); got != total {
+		t.Fatalf("BytesSince(0) = %d, want all %d bytes", got, total)
+	}
+	if got := l.BytesSince(last); got != 0 {
+		t.Fatalf("BytesSince(last) = %d, want 0", got)
+	}
+	mid := l.BytesSince(last / 2)
+	if mid <= 0 || mid > total {
+		t.Fatalf("BytesSince(mid) = %d, outside (0, %d]", mid, total)
+	}
+}

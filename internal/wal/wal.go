@@ -128,6 +128,7 @@ type Log struct {
 	dirty      bool
 	timerArmed bool
 	closed     bool
+	notify     chan struct{} // closed on append; see NotifyAppend
 
 	ckmu sync.Mutex // serializes WriteCheckpoint
 
@@ -388,6 +389,10 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	l.lastA.Store(lsn)
 	l.appends.Add(1)
 	l.sinceCk.Add(1)
+	if l.notify != nil {
+		close(l.notify)
+		l.notify = nil
+	}
 	switch l.opts.Fsync {
 	case SyncCommit:
 		if err := l.syncLocked(); err != nil {
@@ -451,6 +456,12 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	if l.notify != nil {
+		// Wake blocked tailers; they observe no new LSN and re-wait (or
+		// exit via their context), rather than sleeping into a dead log.
+		close(l.notify)
+		l.notify = nil
+	}
 	if l.errLocked() == nil {
 		if err := l.syncLocked(); err != nil {
 			l.f.Close()
@@ -625,17 +636,37 @@ func (l *Log) pruneLocked() error {
 	return nil
 }
 
+// segmentOpenHook, when non-nil, observes every segment file opened on the
+// read path (full scans and first-LSN probes alike). Tests set it to prove
+// the tail-read fast path of Records touches only the final segment.
+var segmentOpenHook func(path string)
+
 // scanSegment reads frames from path in order, invoking fn per valid
 // record. It returns the byte offset after the last valid frame and
 // whether the file ends in a torn (incomplete or checksum-failing) tail.
 // A decode failure after a passing checksum is a real error, not a tear.
 func scanSegment(path string, fn func(Record) error) (valid int64, torn bool, err error) {
+	return scanSegmentAt(path, 0, fn)
+}
+
+// scanSegmentAt is scanSegment starting at byte offset off, which must be
+// a frame boundary (0 or a valid offset returned by a previous scan). The
+// replication tail uses it to resume the active segment without re-decoding
+// the prefix it already delivered.
+func scanSegmentAt(path string, off int64, fn func(Record) error) (valid int64, torn bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, false, fmt.Errorf("wal: scan: %w", err)
+		return off, false, fmt.Errorf("wal: scan: %w", err)
 	}
 	defer f.Close()
-	var off int64
+	if segmentOpenHook != nil {
+		segmentOpenHook(path)
+	}
+	if off > 0 {
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			return off, false, fmt.Errorf("wal: scan %s: %w", path, err)
+		}
+	}
 	hdr := make([]byte, frameHeaderLen)
 	body := make([]byte, 0, 4096)
 	for {
