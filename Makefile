@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race fuzz-smoke bench-serve bench-shard bench-durable bench-ivm bench-follower docs-check
+.PHONY: check build vet test race fuzz-smoke bench-serve bench-shard bench-durable bench-ivm bench-follower bench-exec docs-check
 
 # check is the full CI pipeline: compile, vet, race-enabled tests, a short
 # fuzz smoke of the parser and canonicalizer, and the documentation gate.
@@ -36,6 +36,15 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzRouteDecision -fuzztime=10s ./internal/shard
 	$(GO) test -run=^$$ -fuzz=FuzzResiduePlan -fuzztime=10s ./internal/shard
 	$(GO) test -run=^$$ -fuzz=FuzzDeltaPlan -fuzztime=10s ./internal/ivm
+	$(GO) test -run=^$$ -fuzz=FuzzBatchExec -fuzztime=10s ./internal/exec
+
+# bench-exec prints the executor's per-operator micro-benchmarks: the
+# batched columnar evaluator against the preserved tuple-at-a-time one on
+# selection, join, union and fetch plans, with ns/op and allocs/op
+# (-benchmem). The allocation gate (TestExecAllocBudget, run by the normal
+# test suite outside -race) requires batched ≤ legacy/5 allocs/op.
+bench-exec:
+	$(GO) test -run=^$$ -bench=BenchmarkExec -benchmem ./internal/exec
 
 # docs-check is the documentation gate: gofmt-clean sources, vet, and
 # cmd/docscheck (package doc comments everywhere; doc comments on every

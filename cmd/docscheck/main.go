@@ -18,8 +18,12 @@
 // internal/wal (the durability contract: framing, LSN and recovery
 // semantics operators rely on when data is on the line),
 // internal/follower (the read-replica node an operator deploys and
-// monitors) and
-// internal/bench (the replay benchmark operators quote numbers from).
+// monitors),
+// internal/bench (the replay benchmark operators quote numbers from),
+// internal/exec (the vectorized execution core every answer flows
+// through, including the batch operators the residue executor composes)
+// and internal/value (the value model and handle interning that equality,
+// hashing and key encoding rest on).
 // Everything else under internal/ may evolve faster, but its
 // package-level story must always be told.
 //
@@ -53,6 +57,8 @@ var strictDirs = map[string]bool{
 	"internal/wal":      true,
 	"internal/bench":    true,
 	"internal/follower": true,
+	"internal/exec":     true,
+	"internal/value":    true,
 }
 
 func main() {

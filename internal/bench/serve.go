@@ -205,6 +205,16 @@ type ServeResult struct {
 	// served in O(answer) without running a plan.
 	IVM   ivm.Stats
 	IVMOn bool
+	// AllocsPerOp and AllocBytesPerOp are the process-wide heap
+	// allocation deltas over the replay divided by completed ops, and
+	// GCCycles / GCPause the garbage-collection cycles and total
+	// stop-the-world pause the replay incurred. Writers and maintenance
+	// goroutines are included — this is the serving cost, not a per-plan
+	// micro-benchmark (see `make bench-exec` for those).
+	AllocsPerOp     int64
+	AllocBytesPerOp int64
+	GCCycles        uint32
+	GCPause         time.Duration
 	// ColdLatency is the Execute latency floor (minimum over probes,
 	// averaged across the probe set) with the plan cache bypassed — the
 	// full compile pipeline; HotLatency the same floor for a plan-cache
@@ -244,6 +254,8 @@ func (r *ServeResult) Format(w io.Writer) {
 	fmt.Fprintf(w, "duration\t%v\n", r.Duration.Round(time.Millisecond))
 	fmt.Fprintf(w, "throughput\t%.0f queries/s\n", r.QPS)
 	fmt.Fprintf(w, "mean latency\t%v per query\n", r.MeanLatency)
+	fmt.Fprintf(w, "memory\t%d allocs/op (%d B/op), %d GC cycles, %v total pause\n",
+		r.AllocsPerOp, r.AllocBytesPerOp, r.GCCycles, r.GCPause.Round(time.Microsecond))
 	fmt.Fprintf(w, "cache\thits %d  misses %d  evictions %d  hit-rate %.1f%%\n",
 		r.Cache.Hits, r.Cache.Misses, r.Cache.Evictions, 100*r.HitRate)
 	fmt.Fprintf(w, "mutations\t%d tuple writes during run (%d write ops in the client mix)\n",
@@ -521,6 +533,8 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 		}(w)
 	}
 
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
 		clientWG.Add(1)
@@ -588,6 +602,8 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	// Clients are bounded loops; writers churn until the clients finish.
 	clientWG.Wait()
 	res.Duration = time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 	stop.Store(true)
 	close(stopCh)
 	writerWG.Wait()
@@ -604,7 +620,11 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 	}
 	if res.Ops > 0 {
 		res.MeanLatency = time.Duration(latencyNs.Load() / int64(res.Ops))
+		res.AllocsPerOp = int64(memAfter.Mallocs-memBefore.Mallocs) / int64(res.Ops)
+		res.AllocBytesPerOp = int64(memAfter.TotalAlloc-memBefore.TotalAlloc) / int64(res.Ops)
 	}
+	res.GCCycles = memAfter.NumGC - memBefore.NumGC
+	res.GCPause = time.Duration(memAfter.PauseTotalNs - memBefore.PauseTotalNs)
 	after := cacheSrc()
 	if router != nil {
 		res.Routes = router.RouteStats()

@@ -1,0 +1,43 @@
+//go:build !race
+
+package exec_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+// TestExecAllocBudget is the CI allocation gate: on every operator-family
+// plan the batched executor must allocate at least 5x less per evaluation
+// than the preserved tuple-at-a-time evaluator. Guarded by !race because
+// race instrumentation changes allocation counts.
+func TestExecAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is not meaningful under -short")
+	}
+	if os.Getenv("BOUNDED_EXEC") == "legacy" {
+		t.Skip("BOUNDED_EXEC=legacy routes Run through the legacy evaluator; nothing to compare")
+	}
+	h := benchPlans()
+	if h.err != nil {
+		t.Fatalf("harness: %v", h.err)
+	}
+	for kind, p := range h.plans {
+		batched := testing.AllocsPerRun(30, func() {
+			if _, _, err := exec.Run(p, h.db); err != nil {
+				t.Fatal(err)
+			}
+		})
+		legacy := testing.AllocsPerRun(30, func() {
+			if _, _, err := exec.RunLegacy(p, h.db); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Logf("%s: batched %.0f allocs/op, legacy %.0f allocs/op (%.1fx)", kind, batched, legacy, legacy/batched)
+		if batched*5 > legacy {
+			t.Errorf("%s: batched executor allocates %.0f/op, legacy %.0f/op — below the 5x budget", kind, batched, legacy)
+		}
+	}
+}

@@ -15,15 +15,23 @@ import (
 // are applied after the scan, and equi-joins use hash joins with a
 // smallest-first order — a fair model of the MySQL/PostgreSQL behaviour the
 // paper observed (entire tables are accessed whenever non-key attributes
-// are involved). Its data access is Θ(|D|) by construction.
+// are involved). Its data access is Θ(|D|) by construction. Like Run, the
+// evaluation itself is columnar over an arena; BOUNDED_EXEC=legacy selects
+// the tuple-at-a-time implementation.
 func RunBaseline(q ra.Query, s ra.Schema, db *store.DB) (*Table, Stats, error) {
+	if legacyDefault {
+		return RunBaselineLegacy(q, s, db)
+	}
 	start := time.Now()
 	var acc accCounter
-	t, _, err := evalBaseline(q, s, db, &acc)
+	a := getArena()
+	defer a.release()
+	ctx := &evalCtx{a: a, in: a.in, acc: &acc}
+	t, _, err := evalBaseline(ctx, q, s, db)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return t, acc.stats(start, 0), nil
+	return t.detach(), acc.stats(start, 0), nil
 }
 
 // EvalSubtree evaluates one subtree of a normalized query the
@@ -38,17 +46,19 @@ func RunBaseline(q ra.Query, s ra.Schema, db *store.DB) (*Table, Stats, error) {
 func EvalSubtree(q ra.Query, s ra.Schema, db *store.DB) (*Table, []ra.Attr, Stats, error) {
 	start := time.Now()
 	var acc accCounter
-	t, attrs, err := evalBaseline(q, s, db, &acc)
+	a := getArena()
+	defer a.release()
+	ctx := &evalCtx{a: a, in: a.in, acc: &acc}
+	t, attrs, err := evalBaseline(ctx, q, s, db)
 	if err != nil {
 		return nil, nil, Stats{}, err
 	}
-	return t, attrs, acc.stats(start, 0), nil
+	return t.detach(), attrs, acc.stats(start, 0), nil
 }
 
 // PredsHold reports whether row, whose columns are positionally described
 // by scope, satisfies every predicate. Exported for the sharded residue
-// executor, which applies a selection's predicates router-side when the
-// selection's input could not be shipped whole to any one shard.
+// executor's per-row compatibility paths and the legacy evaluator.
 func PredsHold(row value.Tuple, scope []ra.Attr, preds []ra.Pred) (bool, error) {
 	return predsHold(row, scope, preds)
 }
@@ -59,13 +69,13 @@ func AttrIndex(attrs []ra.Attr, a ra.Attr) int {
 	return attrIndex(attrs, a)
 }
 
-func evalBaseline(q ra.Query, s ra.Schema, db *store.DB, acc *accCounter) (*Table, []ra.Attr, error) {
+func evalBaseline(ctx *evalCtx, q ra.Query, s ra.Schema, db *store.DB) (*Table, []ra.Attr, error) {
 	if ra.IsSPC(q) {
 		spc, err := flattenOne(q, s)
 		if err != nil {
 			return nil, nil, err
 		}
-		t, err := evalSPCBaseline(spc, s, db, acc)
+		t, err := evalSPCBaseline(ctx, spc, s, db)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -73,56 +83,52 @@ func evalBaseline(q ra.Query, s ra.Schema, db *store.DB, acc *accCounter) (*Tabl
 	}
 	switch t := q.(type) {
 	case *ra.Union:
-		l, la, err := evalBaseline(t.L, s, db, acc)
+		l, la, err := evalBaseline(ctx, t.L, s, db)
 		if err != nil {
 			return nil, nil, err
 		}
-		r, _, err := evalBaseline(t.R, s, db, acc)
+		r, _, err := evalBaseline(ctx, t.R, s, db)
 		if err != nil {
 			return nil, nil, err
 		}
-		out := NewTable(l.Cols)
-		for _, a := range l.rows {
-			out.Add(a)
+		out := newCtxTable(ctx, l.Cols, l.n+r.n)
+		for j := range out.cols {
+			out.cols[j] = append(out.cols[j], l.cols[j][:l.n]...)
+			out.cols[j] = append(out.cols[j], r.cols[j][:r.n]...)
 		}
-		for _, b := range r.rows {
-			out.Add(b)
-		}
+		out.setLen(l.n + r.n)
+		out.dedupAll()
+		noteBatch(out.n)
 		return out, la, nil
 	case *ra.Diff:
-		l, la, err := evalBaseline(t.L, s, db, acc)
+		l, la, err := evalBaseline(ctx, t.L, s, db)
 		if err != nil {
 			return nil, nil, err
 		}
-		r, _, err := evalBaseline(t.R, s, db, acc)
+		r, _, err := evalBaseline(ctx, t.R, s, db)
 		if err != nil {
 			return nil, nil, err
 		}
-		out := NewTable(l.Cols)
-		for k, a := range l.rows {
-			if _, ok := r.rows[k]; !ok {
-				out.Add(a)
-			}
-		}
+		keep := diffRows(ctx, l, r)
+		out := newCtxTable(ctx, l.Cols, len(keep))
+		gatherInto(out, l.cols, keep)
+		noteBatch(out.n)
 		return out, la, nil
 	case *ra.Select:
-		in, ia, err := evalBaseline(t.In, s, db, acc)
+		in, ia, err := evalBaseline(ctx, t.In, s, db)
 		if err != nil {
 			return nil, nil, err
 		}
-		out := NewTable(in.Cols)
-		for _, row := range in.rows {
-			ok, err := predsHold(row, ia, t.Preds)
-			if err != nil {
-				return nil, nil, err
-			}
-			if ok {
-				out.Add(row)
-			}
+		keep, err := filterPreds(ctx, in, ia, t.Preds)
+		if err != nil {
+			return nil, nil, err
 		}
+		out := newCtxTable(ctx, in.Cols, len(keep))
+		gatherInto(out, in.cols, keep)
+		noteBatch(out.n)
 		return out, ia, nil
 	case *ra.Project:
-		in, ia, err := evalBaseline(t.In, s, db, acc)
+		in, ia, err := evalBaseline(ctx, t.In, s, db)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -136,33 +142,73 @@ func evalBaseline(q ra.Query, s ra.Schema, db *store.DB, acc *accCounter) (*Tabl
 			pos[i] = p
 			cols[i] = a.String()
 		}
-		out := NewTable(cols)
-		for _, row := range in.rows {
-			out.Add(row.Project(pos))
+		out := newCtxTable(ctx, cols, in.n)
+		for j, p := range pos {
+			out.cols[j] = append(out.cols[j], in.cols[p][:in.n]...)
 		}
+		out.setLen(in.n)
+		out.dedupAll()
+		noteBatch(out.n)
 		return out, t.Attrs, nil
 	case *ra.Product:
-		l, la, err := evalBaseline(t.L, s, db, acc)
+		l, la, err := evalBaseline(ctx, t.L, s, db)
 		if err != nil {
 			return nil, nil, err
 		}
-		r, rAttrs, err := evalBaseline(t.R, s, db, acc)
+		r, rAttrs, err := evalBaseline(ctx, t.R, s, db)
 		if err != nil {
 			return nil, nil, err
 		}
-		out := NewTable(append(append([]string{}, l.Cols...), r.Cols...))
-		for _, a := range l.rows {
-			for _, b := range r.rows {
-				row := make(value.Tuple, 0, len(a)+len(b))
-				row = append(row, a...)
-				row = append(row, b...)
-				out.Add(row)
-			}
-		}
+		out := crossCtx(ctx, l, r, append(append([]string{}, l.Cols...), r.Cols...))
+		noteBatch(out.n)
 		return out, append(append([]ra.Attr{}, la...), rAttrs...), nil
 	default:
 		return nil, nil, fmt.Errorf("exec: unknown node %T", q)
 	}
+}
+
+// filterPreds compiles the selection's predicates against the scope and
+// returns the surviving row ids, column-wise like filterRows. A constant
+// the evaluation has never interned cannot match any row.
+func filterPreds(ctx *evalCtx, in *Table, scope []ra.Attr, preds []ra.Pred) ([]int32, error) {
+	keep := ctx.allocInts(in.n)
+	for i := 0; i < in.n; i++ {
+		keep = append(keep, int32(i))
+	}
+	for _, p := range preds {
+		switch t := p.(type) {
+		case ra.EqAttr:
+			pa, pb := attrIndex(scope, t.L), attrIndex(scope, t.R)
+			if pa < 0 || pb < 0 {
+				return nil, fmt.Errorf("exec: selection attribute out of scope in %s", p)
+			}
+			ca, cb := in.cols[pa], in.cols[pb]
+			w := 0
+			for _, id := range keep {
+				if ca[id] == cb[id] {
+					keep[w] = id
+					w++
+				}
+			}
+			keep = keep[:w]
+		case ra.EqConst:
+			pa := attrIndex(scope, t.A)
+			if pa < 0 {
+				return nil, fmt.Errorf("exec: selection attribute out of scope in %s", p)
+			}
+			ch := ctx.intern(t.C)
+			ca := in.cols[pa]
+			w := 0
+			for _, id := range keep {
+				if ca[id] == ch {
+					keep[w] = id
+					w++
+				}
+			}
+			keep = keep[:w]
+		}
+	}
+	return keep, nil
 }
 
 func flattenOne(q ra.Query, s ra.Schema) (*ra.SPC, error) {
@@ -180,7 +226,7 @@ func flattenOne(q ra.Query, s ra.Schema) (*ra.SPC, error) {
 // joins. Tables are keyed by equality-class labels so equi-join conditions
 // become natural joins; residual conditions are checked implicitly by class
 // construction.
-func evalSPCBaseline(spc *ra.SPC, s ra.Schema, db *store.DB, acc *accCounter) (*Table, error) {
+func evalSPCBaseline(ctx *evalCtx, spc *ra.SPC, s ra.Schema, db *store.DB) (*Table, error) {
 	var all []ra.Attr
 	for _, rel := range spc.Rels {
 		names, err := s.Attrs(rel.Base)
@@ -193,7 +239,7 @@ func evalSPCBaseline(spc *ra.SPC, s ra.Schema, db *store.DB, acc *accCounter) (*
 	}
 	classes := ra.NewClasses(all, spc.Preds)
 	if classes.Conflict {
-		return NewTable(make([]string, len(spc.Out))), nil
+		return newCtxTable(ctx, make([]string, len(spc.Out)), 0), nil
 	}
 
 	// Which classes each relation must expose: classes of its attributes in
@@ -222,7 +268,7 @@ func evalSPCBaseline(spc *ra.SPC, s ra.Schema, db *store.DB, acc *accCounter) (*
 	// Scan, filter and label each relation.
 	tabs := make([]*Table, 0, len(spc.Rels))
 	for _, rel := range spc.Rels {
-		t, err := scanRelation(rel, spc, classes, needed, s, db, acc)
+		t, err := scanRelation(ctx, rel, classes, needed, s, db)
 		if err != nil {
 			return nil, err
 		}
@@ -244,7 +290,8 @@ func evalSPCBaseline(spc *ra.SPC, s ra.Schema, db *store.DB, acc *accCounter) (*
 		if pick < 0 {
 			pick = 0
 		}
-		cur = NatJoin(cur, rest[pick])
+		cur = natJoinCtx(ctx, cur, rest[pick])
+		noteBatch(cur.n)
 		rest = append(rest[:pick], rest[pick+1:]...)
 	}
 
@@ -260,15 +307,23 @@ func evalSPCBaseline(spc *ra.SPC, s ra.Schema, db *store.DB, acc *accCounter) (*
 		pos[i] = p
 		cols[i] = lbl
 	}
-	out := NewTable(cols)
-	for _, row := range cur.rows {
-		out.Add(row.Project(pos))
+	out := newCtxTable(ctx, cols, cur.n)
+	for j, p := range pos {
+		out.cols[j] = append(out.cols[j], cur.cols[p][:cur.n]...)
 	}
+	out.setLen(cur.n)
+	out.dedupAll()
+	noteBatch(out.n)
 	return out, nil
 }
 
-func scanRelation(rel *ra.Relation, spc *ra.SPC, classes *ra.Classes,
-	needed map[ra.Attr]bool, s ra.Schema, db *store.DB, acc *accCounter) (*Table, error) {
+// scanRelation reads one relation occurrence whole (counted as a scan),
+// applies intra-class equality and constant pushdown per tuple in value
+// space, and interns only the surviving tuples' needed columns into the
+// evaluation's batch — the single point where baseline data enters the
+// handle space.
+func scanRelation(ctx *evalCtx, rel *ra.Relation, classes *ra.Classes,
+	needed map[ra.Attr]bool, s ra.Schema, db *store.DB) (*Table, error) {
 	names, err := s.Attrs(rel.Base)
 	if err != nil {
 		return nil, err
@@ -283,7 +338,7 @@ func scanRelation(rel *ra.Relation, spc *ra.SPC, classes *ra.Classes,
 		has   bool
 	}
 	byLabel := map[string]*colSpec{}
-	var order []string
+	var order []*colSpec
 	for i, n := range names {
 		rep := classes.Rep(ra.Attr{Rel: rel.Name, Name: n})
 		if !needed[rep] {
@@ -297,22 +352,26 @@ func scanRelation(rel *ra.Relation, spc *ra.SPC, classes *ra.Classes,
 				cs.cval, cs.has = v, true
 			}
 			byLabel[lbl] = cs
-			order = append(order, lbl)
+			order = append(order, cs)
 		}
 		cs.poss = append(cs.poss, i)
 	}
-	cols := append([]string{}, order...)
-	out := NewTable(cols)
+	cols := make([]string, len(order))
+	for i, cs := range order {
+		cols[i] = cs.label
+	}
 	rows, err := db.Scan(rel.Base) // full-tuple scan, counted
 	if err != nil {
 		return nil, err
 	}
-	acc.addScanned(int64(len(rows)))
+	ctx.acc.addScanned(int64(len(rows)))
+	out := newCtxTable(ctx, cols, len(rows))
+	out.initSet(len(rows))
 rowLoop:
 	for _, t := range rows {
-		row := make(value.Tuple, len(cols))
-		for ci, lbl := range order {
-			cs := byLabel[lbl]
+		// Validate in value space first: the candidate row is only pushed
+		// once it is known to survive, keeping the columns balanced.
+		for _, cs := range order {
 			v := t[cs.poss[0]]
 			for _, p := range cs.poss[1:] {
 				if t[p] != v {
@@ -322,20 +381,19 @@ rowLoop:
 			if cs.has && v != cs.cval {
 				continue rowLoop
 			}
-			row[ci] = v
 		}
-		out.Add(row)
+		for ci, cs := range order {
+			out.pushCand(ci, ctx.intern(t[cs.poss[0]]))
+		}
+		out.commitCand()
 	}
+	noteBatch(out.n)
 	return out, nil
 }
 
 func sharesColumn(a, b *Table) bool {
-	set := map[string]bool{}
-	for _, c := range a.Cols {
-		set[c] = true
-	}
 	for _, c := range b.Cols {
-		if set[c] {
+		if colIndex(a.Cols, c) >= 0 {
 			return true
 		}
 	}

@@ -1,0 +1,115 @@
+package exec
+
+import "repro/internal/value"
+
+// This file holds the row-hashing and dedup primitives of the columnar
+// executor. A "batch" here is a set of parallel []value.Handle columns of
+// equal length (the storage behind Table); rows are compared and hashed by
+// their handles, which is sound because every column of one evaluation is
+// built over one interner, where handle equality is value equality.
+
+// mix64 is the splitmix64 finalizer: a cheap full-avalanche mix so that
+// sequential handle payloads spread over the hash space.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+const hashSeed = 0x9e3779b97f4a7c15
+
+// hashRowAll hashes row i across all columns.
+func hashRowAll(cols [][]value.Handle, i int) uint64 {
+	h := uint64(hashSeed)
+	for _, c := range cols {
+		h = mix64(h ^ uint64(c[i]))
+	}
+	return h
+}
+
+// hashRowAt hashes row i across the columns at the given positions.
+func hashRowAt(cols [][]value.Handle, pos []int, i int) uint64 {
+	h := uint64(hashSeed)
+	for _, p := range pos {
+		h = mix64(h ^ uint64(cols[p][i]))
+	}
+	return h
+}
+
+// rowsEqAt reports whether rows i of a and j of b agree on every column
+// (a and b must have the same width and share a handle space).
+func rowsEqAt(a [][]value.Handle, i int, b [][]value.Handle, j int) bool {
+	for k, c := range a {
+		if c[i] != b[k][j] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowSet is an open-addressing hash set of row ids over a batch's columns:
+// idx holds row id + 1 (0 = empty slot) and values are compared back in the
+// columns, so the set itself is one flat []int32 — no per-row keys, no
+// boxing. Callers size it for the expected row count up front (setSlots);
+// insert paths grow it by rehashing from the columns when it passes 3/4
+// load.
+type rowSet struct {
+	idx  []int32
+	mask uint32
+	cnt  int
+}
+
+// setSlots returns the power-of-two slot count for n expected rows.
+func setSlots(n int) int {
+	s := 8
+	for s < 2*n {
+		s <<= 1
+	}
+	return s
+}
+
+// reset points the set at a zeroed table of at least slots entries,
+// reusing buf when it is large enough. It returns the backing slice for
+// the caller to retain.
+func (s *rowSet) reset(buf []int32, slots int) []int32 {
+	if cap(buf) < slots {
+		buf = make([]int32, slots)
+	} else {
+		buf = buf[:slots]
+		clear(buf)
+	}
+	s.idx = buf
+	s.mask = uint32(slots - 1)
+	s.cnt = 0
+	return buf
+}
+
+// distinctOn returns the ids of the first occurrence of every distinct row
+// of the n-row batch formed by cols, in first-seen order. Scratch memory
+// comes from the evaluation arena.
+func distinctOn(ctx *evalCtx, cols [][]value.Handle, n int) []int32 {
+	var set rowSet
+	set.reset(ctx.allocInts(setSlots(n))[:setSlots(n)], setSlots(n))
+	ids := ctx.allocInts(n)
+probe:
+	for i := 0; i < n; i++ {
+		h := hashRowAll(cols, i)
+		slot := uint32(h) & set.mask
+		for {
+			e := set.idx[slot]
+			if e == 0 {
+				set.idx[slot] = int32(i) + 1
+				ids = append(ids, int32(i))
+				continue probe
+			}
+			if rowsEqAt(cols, int(e-1), cols, i) {
+				continue probe
+			}
+			slot = (slot + 1) & set.mask
+		}
+	}
+	return ids
+}

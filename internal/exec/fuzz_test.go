@@ -1,0 +1,157 @@
+package exec_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// batchFuzzHarness is built once per process: the AIRCA dataset and one
+// generated instance shared by every fuzz iteration (executions only read).
+type batchFuzzHarnessT struct {
+	d   *workload.Dataset
+	db  *store.DB
+	err error
+}
+
+var (
+	batchFuzzOnce sync.Once
+	batchFuzzH    batchFuzzHarnessT
+)
+
+func batchFuzzHarness() *batchFuzzHarnessT {
+	batchFuzzOnce.Do(func() {
+		d, err := workload.ByName("AIRCA")
+		if err != nil {
+			batchFuzzH.err = err
+			return
+		}
+		db, err := d.Gen(0.05, 11)
+		if err != nil {
+			batchFuzzH.err = err
+			return
+		}
+		batchFuzzH.d = d
+		batchFuzzH.db = db
+	})
+	return &batchFuzzH
+}
+
+// checkBatchLegacy generates one query from the parameters and asserts the
+// batched executor agrees with the preserved tuple-at-a-time evaluator on
+// every observable: bounded answers, baseline answers, parallel answers,
+// and the access statistics both report.
+func checkBatchLegacy(t *testing.T, seed int64, sel, join, unidiff uint8) {
+	t.Helper()
+	h := batchFuzzHarness()
+	if h.err != nil {
+		t.Fatalf("harness: %v", h.err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	params := workload.DefaultQueryParams()
+	params.Sel = 1 + int(sel)%6
+	params.Join = int(join) % 4
+	params.UniDiff = int(unidiff) % 3
+	q, err := h.d.RandomQuery(params, rng)
+	if err != nil {
+		t.Skip()
+	}
+
+	// Baseline pair runs on every query; the bounded pair additionally
+	// needs coverage.
+	want, wantSt, errL := exec.RunBaselineLegacy(q, h.d.Schema, h.db)
+	got, gotSt, errB := exec.RunBaseline(q, h.d.Schema, h.db)
+	if (errL == nil) != (errB == nil) {
+		t.Fatalf("baseline error divergence on %s: legacy %v, batched %v", q, errL, errB)
+	}
+	if errL == nil {
+		if !got.Equal(want) {
+			t.Fatalf("baseline answer divergence on %s: batched %d rows, legacy %d rows\nbatched:\n%s\nlegacy:\n%s",
+				q, got.Len(), want.Len(), got, want)
+		}
+		if gotSt.Accessed != wantSt.Accessed {
+			t.Fatalf("baseline access divergence on %s: batched %d, legacy %d", q, gotSt.Accessed, wantSt.Accessed)
+		}
+	}
+
+	res, err := cover.Check(q, h.d.Schema, h.d.Access)
+	if err != nil || !res.Covered {
+		return
+	}
+	p, err := plan.Build(res)
+	if err != nil {
+		t.Fatalf("plan build on covered %s: %v", q, err)
+	}
+	want, wantSt, errL = exec.RunLegacy(p, h.db)
+	got, gotSt, errB = exec.Run(p, h.db)
+	if (errL == nil) != (errB == nil) {
+		t.Fatalf("bounded error divergence on %s: legacy %v, batched %v", q, errL, errB)
+	}
+	if errL != nil {
+		return
+	}
+	if !got.Equal(want) {
+		t.Fatalf("bounded answer divergence on %s: batched %d rows, legacy %d rows\nbatched:\n%s\nlegacy:\n%s\nplan:\n%s",
+			q, got.Len(), want.Len(), got, want, p)
+	}
+	if gotSt.Accessed != wantSt.Accessed {
+		t.Fatalf("bounded access divergence on %s: batched %d, legacy %d\nplan:\n%s", q, gotSt.Accessed, wantSt.Accessed, p)
+	}
+	par, parSt, err := exec.RunParallel(p, h.db, 4)
+	if err != nil {
+		t.Fatalf("parallel run on %s: %v", q, err)
+	}
+	if !par.Equal(want) {
+		t.Fatalf("parallel answer divergence on %s: parallel %d rows, legacy %d rows", q, par.Len(), want.Len())
+	}
+	if parSt.Accessed != wantSt.Accessed {
+		t.Fatalf("parallel access divergence on %s: parallel %d, legacy %d", q, parSt.Accessed, wantSt.Accessed)
+	}
+}
+
+// batchFuzzSeeds are the corpus the fuzzer mutates and the replay test
+// pins: selection-heavy, join-heavy, and union/difference shapes.
+var batchFuzzSeeds = [][4]int64{
+	{1, 2, 0, 0},
+	{2, 4, 1, 0},
+	{3, 1, 2, 1},
+	{4, 3, 0, 2},
+	{5, 5, 3, 1},
+	{6, 2, 1, 2},
+	{7, 1, 3, 0},
+	{8, 6, 2, 2},
+}
+
+// FuzzBatchExec is the vectorized executor's differential oracle: for
+// arbitrary generator parameters, the batched evaluators (Run, RunBaseline,
+// RunParallel) must return exactly the answers AND the access statistics of
+// the preserved tuple-at-a-time evaluator. CI runs it briefly on every
+// build (make fuzz-smoke); any crasher replays deterministically from its
+// corpus file.
+func FuzzBatchExec(f *testing.F) {
+	for _, s := range batchFuzzSeeds {
+		f.Add(s[0], uint8(s[1]), uint8(s[2]), uint8(s[3]))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, sel, join, unidiff uint8) {
+		checkBatchLegacy(t, seed, sel, join, unidiff)
+	})
+}
+
+// TestBatchLegacyReplay replays the fuzz corpus seeds (and a sweep of
+// deterministic extras) as a plain test, so the batched-vs-legacy
+// equivalence is exercised on every `go test` run, not only under the
+// fuzzer.
+func TestBatchLegacyReplay(t *testing.T) {
+	for _, s := range batchFuzzSeeds {
+		checkBatchLegacy(t, s[0], uint8(s[1]), uint8(s[2]), uint8(s[3]))
+	}
+	for seed := int64(100); seed < 140; seed++ {
+		checkBatchLegacy(t, seed, uint8(seed%7), uint8(seed%5), uint8(seed%3))
+	}
+}

@@ -16,7 +16,17 @@ import (
 // attributes and indexing plans for different relations are mutually
 // independent, so wide plans (many relations, many unit fetches) gain real
 // parallelism; answers are identical to Run's.
+//
+// Memory layout: every worker draws intermediates from its own pooled
+// arena, while all workers share one interner (the first arena's) behind a
+// mutex — inline-int handles never touch it, and string interning is the
+// only synchronized step, so cross-step handle comparisons stay valid
+// without any per-row locking. Step outputs are finalized before they are
+// published to dependents; dependents only read them.
 func RunParallel(p *plan.Plan, db *store.DB, workers int) (*Table, Stats, error) {
+	if legacyDefault {
+		return RunLegacy(p, db)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -24,6 +34,24 @@ func RunParallel(p *plan.Plan, db *store.DB, workers int) (*Table, Stats, error)
 	var acc accCounter
 
 	n := len(p.Steps)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	arenas := make([]*arena, workers)
+	for w := range arenas {
+		arenas[w] = getArena()
+	}
+	defer func() {
+		for _, a := range arenas {
+			a.release()
+		}
+	}()
+	var inMu sync.Mutex
+	shared := arenas[0].in
+
 	tables := make([]*Table, n)
 	// dependents[i] lists steps waiting on step i; missing[i] counts
 	// unfinished inputs of step i.
@@ -82,6 +110,7 @@ func RunParallel(p *plan.Plan, db *store.DB, workers int) (*Table, Stats, error)
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		ctx := &evalCtx{a: arenas[w], in: shared, mu: &inMu, acc: &acc}
 		go func() {
 			defer wg.Done()
 			for id := range ready {
@@ -89,7 +118,10 @@ func RunParallel(p *plan.Plan, db *store.DB, workers int) (*Table, Stats, error)
 					finish(id, nil, nil) // drain without executing
 					continue
 				}
-				t, err := runStep(p, &p.Steps[id], tables, db, &acc)
+				t, err := runStep(ctx, p, &p.Steps[id], tables, db)
+				if err == nil {
+					noteBatch(t.Len())
+				}
 				finish(id, t, err)
 			}
 		}()
@@ -99,5 +131,5 @@ func RunParallel(p *plan.Plan, db *store.DB, workers int) (*Table, Stats, error)
 	if firstErr != nil {
 		return nil, Stats{}, firstErr
 	}
-	return tables[p.Result], acc.stats(start, n), nil
+	return tables[p.Result].detach(), acc.stats(start, n), nil
 }

@@ -38,7 +38,7 @@ func TestNatJoinCommutes(t *testing.T) {
 		canon := func(tb *Table) map[string]bool {
 			ia, ib, ic := tb.ColPos("a"), tb.ColPos("b"), tb.ColPos("c")
 			out := map[string]bool{}
-			for _, row := range tb.rows {
+			for _, row := range tb.Tuples() {
 				out[value.KeyOf(row, []int{ia, ib, ic})] = true
 			}
 			return out

@@ -49,158 +49,280 @@ func (c *accCounter) stats(start time.Time, planLen int) Stats {
 
 // Run executes a bounded query plan against db (evalQP). Indices for every
 // constraint referenced by fetch steps must have been built.
+//
+// Execution is columnar: every step produces an arena-backed batch table,
+// the result is detached into self-contained heap storage, and the arena
+// returns to its pool — so a steady-state run performs no per-tuple
+// allocation. BOUNDED_EXEC=legacy selects the tuple-at-a-time evaluator
+// instead (legacy.go).
 func Run(p *plan.Plan, db *store.DB) (*Table, Stats, error) {
+	if legacyDefault {
+		return RunLegacy(p, db)
+	}
 	start := time.Now()
 	var acc accCounter
+	a := getArena()
+	defer a.release()
+	ctx := &evalCtx{a: a, in: a.in, acc: &acc}
 	tables := make([]*Table, len(p.Steps))
 	for i := range p.Steps {
-		t, err := runStep(p, &p.Steps[i], tables, db, &acc)
+		t, err := runStep(ctx, p, &p.Steps[i], tables, db)
 		if err != nil {
 			return nil, Stats{}, fmt.Errorf("exec: step T%d (%s): %w", i, p.Steps[i].Op, err)
 		}
+		noteBatch(t.Len())
 		tables[i] = t
 	}
-	return tables[p.Result], acc.stats(start, len(p.Steps)), nil
+	return tables[p.Result].detach(), acc.stats(start, len(p.Steps)), nil
 }
 
-func runStep(p *plan.Plan, s *plan.Step, tables []*Table, db *store.DB, acc *accCounter) (*Table, error) {
+// runStep evaluates one plan step over the batches of its inputs. Every
+// operator maintains the invariant that step outputs are duplicate-free:
+// Const/Fetch/Project/Union deduplicate explicitly, and
+// Filter/Product/Join/Diff preserve distinctness of distinct inputs.
+func runStep(ctx *evalCtx, p *plan.Plan, s *plan.Step, tables []*Table, db *store.DB) (*Table, error) {
 	switch s.Op {
 	case plan.OpConst:
-		t := NewTable(s.Cols)
+		t := newCtxTable(ctx, s.Cols, len(s.Rows))
+		t.initSet(len(s.Rows))
 		for _, r := range s.Rows {
-			t.Add(r)
+			for j := range t.cols {
+				t.pushCand(j, ctx.intern(r[j]))
+			}
+			t.commitCand()
 		}
 		return t, nil
+
 	case plan.OpFetch:
-		return runFetch(s, tables, db, acc)
+		return runFetch(ctx, s, tables, db)
+
 	case plan.OpProject:
 		in := tables[s.L]
-		t := NewTable(s.Cols)
-		for _, r := range in.rows {
-			t.Add(r.Project(s.Pos))
+		t := newCtxTable(ctx, s.Cols, in.n)
+		for j, p := range s.Pos {
+			t.cols[j] = append(t.cols[j], in.cols[p][:in.n]...)
 		}
+		t.setLen(in.n)
+		t.dedupAll()
 		return t, nil
+
 	case plan.OpFilter:
 		in := tables[s.L]
-		t := NewTable(s.Cols)
-		for _, r := range in.rows {
-			if matches(r, s.Conds) {
-				t.Add(r)
-			}
+		keep, err := filterRows(ctx, in, s.Conds)
+		if err != nil {
+			return nil, err
 		}
+		t := newCtxTable(ctx, s.Cols, len(keep))
+		gatherInto(t, in.cols, keep)
 		return t, nil
+
 	case plan.OpProduct:
-		l, r := tables[s.L], tables[s.R]
-		t := NewTable(s.Cols)
-		for _, a := range l.rows {
-			for _, b := range r.rows {
-				row := make(value.Tuple, 0, len(a)+len(b))
-				row = append(row, a...)
-				row = append(row, b...)
-				t.Add(row)
-			}
-		}
-		return t, nil
+		return crossCtx(ctx, tables[s.L], tables[s.R], s.Cols), nil
+
 	case plan.OpJoin:
-		return NatJoin(tables[s.L], tables[s.R]), nil
+		return natJoinCtx(ctx, tables[s.L], tables[s.R]), nil
+
 	case plan.OpUnion:
 		l, r := tables[s.L], tables[s.R]
-		t := NewTable(s.Cols)
-		for _, a := range l.rows {
-			t.Add(a)
+		t := newCtxTable(ctx, s.Cols, l.n+r.n)
+		for j := range t.cols {
+			t.cols[j] = append(t.cols[j], l.cols[j][:l.n]...)
+			t.cols[j] = append(t.cols[j], r.cols[j][:r.n]...)
 		}
-		for _, b := range r.rows {
-			t.Add(b)
-		}
+		t.setLen(l.n + r.n)
+		t.dedupAll()
 		return t, nil
+
 	case plan.OpDiff:
 		l, r := tables[s.L], tables[s.R]
-		t := NewTable(s.Cols)
-		for k, a := range l.rows {
-			if _, ok := r.rows[k]; !ok {
-				t.Add(a)
-			}
-		}
+		keep := diffRows(ctx, l, r)
+		t := newCtxTable(ctx, s.Cols, len(keep))
+		gatherInto(t, l.cols, keep)
 		return t, nil
+
 	default:
 		return nil, fmt.Errorf("unknown operator %v", s.Op)
 	}
 }
 
-func matches(r value.Tuple, conds []plan.Cond) bool {
+// filterRows returns the ids of in's rows satisfying every condition,
+// applying conditions column-wise: the first condition scans its columns,
+// later ones compact the survivor list in place.
+func filterRows(ctx *evalCtx, in *Table, conds []plan.Cond) ([]int32, error) {
+	keep := ctx.allocInts(in.n)
+	for i := 0; i < in.n; i++ {
+		keep = append(keep, int32(i))
+	}
 	for _, c := range conds {
 		if c.IsConst {
-			if r[c.PosA] != c.C {
-				return false
+			ch := ctx.intern(c.C)
+			col := in.cols[c.PosA]
+			w := 0
+			for _, id := range keep {
+				if col[id] == ch {
+					keep[w] = id
+					w++
+				}
 			}
-		} else if r[c.PosA] != r[c.PosB] {
-			return false
+			keep = keep[:w]
+		} else {
+			ca, cb := in.cols[c.PosA], in.cols[c.PosB]
+			w := 0
+			for _, id := range keep {
+				if ca[id] == cb[id] {
+					keep[w] = id
+					w++
+				}
+			}
+			keep = keep[:w]
 		}
 	}
-	return true
+	return keep, nil
 }
 
-// runFetch implements the fetch operator: for each distinct X value of the
-// input it retrieves the distinct XY projections via the constraint's
-// index, maps index attributes to output labels, and enforces intra-class
-// equality and constant bindings.
-func runFetch(s *plan.Step, tables []*Table, db *store.DB, acc *accCounter) (*Table, error) {
-	out := NewTable(s.Cols)
-
-	// Output label -> position, constant requirements by position.
-	colPos := make(map[string]int, len(s.Cols))
-	for i, c := range s.Cols {
-		colPos[c] = i
+// diffRows returns the ids of l's rows that are absent from r. Both sides
+// share the evaluation's interner, so rows compare by handles.
+func diffRows(ctx *evalCtx, l, r *Table) []int32 {
+	r.ensureSet()
+	keep := ctx.allocInts(l.n)
+	vals := ctx.allocHandles(len(l.cols))[:len(l.cols)]
+	for i := 0; i < l.n; i++ {
+		for j, c := range l.cols {
+			vals[j] = c[i]
+		}
+		if !r.lookupRow(vals) {
+			keep = append(keep, int32(i))
+		}
 	}
-	constAt := make([]value.Value, len(s.Cols))
-	constSet := make([]bool, len(s.Cols))
+	return keep
+}
+
+// gatherInto fills t's columns with the identified rows of src and
+// finalizes the row count (no dedup: a gather of distinct rows is
+// distinct). t's columns must have capacity len(ids).
+func gatherInto(t *Table, src [][]value.Handle, ids []int32) {
+	for j := range t.cols {
+		dst := t.cols[j][:len(ids)]
+		sc := src[j]
+		for k, id := range ids {
+			dst[k] = sc[id]
+		}
+		t.cols[j] = dst
+	}
+	t.setLen(len(ids))
+}
+
+// crossCtx builds the cross product of two batches by tiling the left
+// columns and repeating the right ones — distinct × distinct is distinct,
+// so no dedup pass is needed.
+func crossCtx(ctx *evalCtx, l, r *Table, outCols []string) *Table {
+	m := l.n * r.n
+	t := newCtxTable(ctx, outCols, m)
+	for j := range l.cols {
+		dst := t.cols[j][:m]
+		sc := l.cols[j]
+		w := 0
+		for i := 0; i < l.n; i++ {
+			v := sc[i]
+			for k := 0; k < r.n; k++ {
+				dst[w] = v
+				w++
+			}
+		}
+		t.cols[j] = dst
+	}
+	for j := range r.cols {
+		dst := t.cols[len(l.cols)+j][:m]
+		sc := r.cols[j][:r.n]
+		for i := 0; i < l.n; i++ {
+			copy(dst[i*r.n:(i+1)*r.n], sc)
+		}
+		t.cols[len(l.cols)+j] = dst
+	}
+	t.setLen(m)
+	return t
+}
+
+// colIndex returns the position of label in cols, or -1 (allocation-free
+// replacement for the legacy label→position maps; output widths are small).
+func colIndex(cols []string, label string) int {
+	for i, c := range cols {
+		if c == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// runFetch implements the fetch operator: the distinct X values of the
+// input batch are computed column-wise, all index probes for the batch run
+// under one store lock acquisition (store.FetchBatch), and fetched tuples
+// are interned and emitted with intra-class equality and constant bindings
+// enforced — the same per-tuple semantics as the legacy evaluator, with
+// identical access accounting.
+func runFetch(ctx *evalCtx, s *plan.Step, tables []*Table, db *store.DB) (*Table, error) {
+	out := newCtxTable(ctx, s.Cols, 0)
+	out.initSet(16)
+
+	// Constant requirements by output position; MissingHandle = none.
+	constAt := ctx.allocHandles(len(s.Cols))[:len(s.Cols)]
+	for j := range constAt {
+		constAt[j] = value.MissingHandle
+	}
 	for _, ce := range s.ConstEqs {
-		p, ok := colPos[ce.Label]
-		if !ok {
+		p := colIndex(s.Cols, ce.Label)
+		if p < 0 {
 			return nil, fmt.Errorf("const requirement on unknown column %s", ce.Label)
 		}
-		constAt[p] = ce.C
-		constSet[p] = true
+		constAt[p] = ctx.intern(ce.C)
 	}
 	// Index payload position -> output position.
-	outPos := make([]int, len(s.FetchAttrs))
+	outPos := ctx.allocInts(len(s.FetchAttrs))[:len(s.FetchAttrs)]
 	for i, lbl := range s.FetchLabels {
-		p, ok := colPos[lbl]
-		if !ok {
+		p := colIndex(s.Cols, lbl)
+		if p < 0 {
 			return nil, fmt.Errorf("fetch label %s not among output columns", lbl)
 		}
-		outPos[i] = p
+		outPos[i] = int32(p)
 	}
+
+	rowbuf := ctx.allocHandles(len(s.Cols))[:len(s.Cols)]
+	seen := ctx.allocInts(len(s.Cols))[:len(s.Cols)]
 
 	emit := func(fetched []value.Tuple) {
 	rowLoop:
 		for _, ft := range fetched {
-			row := make(value.Tuple, len(s.Cols))
-			seen := make([]bool, len(s.Cols))
+			for j := range rowbuf {
+				rowbuf[j] = value.NullHandle
+				seen[j] = 0
+			}
 			for i, p := range outPos {
-				v := ft[i]
-				if seen[p] {
+				h := ctx.intern(ft[i])
+				if seen[p] != 0 {
 					// Two index attributes share a class: values must agree.
-					if row[p] != v {
+					if rowbuf[p] != h {
 						continue rowLoop
 					}
 					continue
 				}
-				if constSet[p] && v != constAt[p] {
+				if constAt[p] != value.MissingHandle && h != constAt[p] {
 					continue rowLoop
 				}
-				row[p] = v
-				seen[p] = true
+				rowbuf[p] = h
+				seen[p] = 1
 			}
-			out.Add(row)
+			for j, h := range rowbuf {
+				out.pushCand(j, h)
+			}
+			out.commitCand()
 		}
 	}
 
 	countFetch := func(fetched []value.Tuple) {
 		if len(fetched) == 0 {
-			acc.addFetched(1) // empty probe still touches the index once
+			ctx.acc.addFetched(1) // empty probe still touches the index once
 		} else {
-			acc.addFetched(int64(len(fetched)))
+			ctx.acc.addFetched(int64(len(fetched)))
 		}
 	}
 
@@ -215,44 +337,43 @@ func runFetch(s *plan.Step, tables []*Table, db *store.DB, acc *accCounter) (*Ta
 	}
 
 	in := tables[s.L]
-	xpos := make([]int, len(s.XCols))
+	xcols := make([][]value.Handle, len(s.XCols))
 	for i, lbl := range s.XCols {
-		p := in.ColPos(lbl)
+		p := colIndex(in.Cols, lbl)
 		if p < 0 {
 			return nil, fmt.Errorf("fetch X column %s missing from input", lbl)
 		}
-		xpos[i] = p
+		xcols[i] = in.cols[p]
 	}
-	seenX := map[string]bool{}
-	for _, r := range in.rows {
-		xv := r.Project(xpos)
-		k := xv.Key()
-		if seenX[k] {
-			continue
+	ids := distinctOn(ctx, xcols, in.n)
+	xs := make([]value.Tuple, len(ids))
+	flat := make(value.Tuple, len(ids)*len(xcols))
+	for k, id := range ids {
+		row := flat[k*len(xcols) : (k+1)*len(xcols) : (k+1)*len(xcols)]
+		for j := range xcols {
+			row[j] = ctx.decode(xcols[j][id])
 		}
-		seenX[k] = true
-		fetched, err := db.Fetch(s.Con, xv)
-		if err != nil {
-			return nil, err
-		}
+		xs[k] = row
+	}
+	err := db.FetchBatch(s.Con, xs, func(_ int, fetched []value.Tuple) {
 		countFetch(fetched)
 		emit(fetched)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// NatJoin computes the natural join of two tables on their shared column
-// labels, with output columns l.Cols followed by r's non-shared columns.
-func NatJoin(l, r *Table) *Table {
-	shared := make([]string, 0, 4)
-	lset := map[string]int{}
-	for i, c := range l.Cols {
-		lset[c] = i
-	}
-	var rShared, rRest []int
+// natJoinCtx computes the natural join of two batches sharing the
+// evaluation's interner: the right side is hashed on the shared labels
+// once per batch (with a signature pre-filter when it is large enough),
+// the left side probes, and matched pairs are gathered column-wise.
+func natJoinCtx(ctx *evalCtx, l, r *Table) *Table {
+	var lShared, rShared, rRest []int
 	for i, c := range r.Cols {
-		if _, ok := lset[c]; ok {
-			shared = append(shared, c)
+		if p := colIndex(l.Cols, c); p >= 0 {
+			lShared = append(lShared, p)
 			rShared = append(rShared, i)
 		} else {
 			rRest = append(rRest, i)
@@ -262,28 +383,114 @@ func NatJoin(l, r *Table) *Table {
 	for _, i := range rRest {
 		outCols = append(outCols, r.Cols[i])
 	}
-	out := NewTable(outCols)
 
-	lShared := make([]int, len(shared))
-	for i, c := range shared {
-		lShared[i] = lset[c]
+	li, ri := hashJoinPairs(ctx, l, r, lShared, rShared)
+
+	out := newCtxTable(ctx, outCols, len(li))
+	for j := range l.cols {
+		dst := out.cols[j][:len(li)]
+		sc := l.cols[j]
+		for w, id := range li {
+			dst[w] = sc[id]
+		}
+		out.cols[j] = dst
 	}
-	// Hash the right side on the shared key.
-	hash := map[string][]value.Tuple{}
-	for _, rr := range r.rows {
-		k := value.KeyOf(rr, rShared)
-		hash[k] = append(hash[k], rr)
+	for k, rj := range rRest {
+		dst := out.cols[len(l.cols)+k][:len(ri)]
+		sc := r.cols[rj]
+		for w, id := range ri {
+			dst[w] = sc[id]
+		}
+		out.cols[len(l.cols)+k] = dst
 	}
-	for _, lr := range l.rows {
-		k := value.KeyOf(lr, lShared)
-		for _, rr := range hash[k] {
-			row := make(value.Tuple, 0, len(outCols))
-			row = append(row, lr...)
-			for _, i := range rRest {
-				row = append(row, rr[i])
+	out.setLen(len(li))
+	return out
+}
+
+// hashJoinPairs returns the matching (left row, right row) id pairs of an
+// equi-join on the given key positions. The right side is the build side;
+// a signature filter over its key hashes short-circuits probe misses.
+func hashJoinPairs(ctx *evalCtx, l, r *Table, lkey, rkey []int) (li, ri []int32) {
+	nb := setSlots(r.n)
+	head := ctx.allocInts(nb)[:nb]
+	clear(head)
+	next := ctx.allocInts(r.n)[:r.n]
+	hs := ctx.allocHandles(r.n)[:r.n]
+	for i := 0; i < r.n; i++ {
+		h := hashRowAt(r.cols, rkey, i)
+		hs[i] = value.Handle(h)
+		b := uint32(h) & uint32(nb-1)
+		next[i] = head[b]
+		head[b] = int32(i) + 1
+	}
+	sig := newSigFilter(ctx, hs)
+
+	li = ctx.allocInts(l.n)
+	ri = ctx.allocInts(l.n)
+	var nHit, nMiss int64
+probe:
+	for i := 0; i < l.n; i++ {
+		h := hashRowAt(l.cols, lkey, i)
+		if sig != nil {
+			if !sig.may(h) {
+				nHit++
+				continue probe
 			}
-			out.Add(row)
+			nMiss++
+		}
+		for e := head[uint32(h)&uint32(nb-1)]; e != 0; e = next[e-1] {
+			eq := true
+			for k, lp := range lkey {
+				if l.cols[lp][i] != r.cols[rkey[k]][e-1] {
+					eq = false
+					break
+				}
+			}
+			if !eq {
+				continue
+			}
+			if len(li) == cap(li) {
+				li = ctx.growInts(li, 1)
+			}
+			if len(ri) == cap(ri) {
+				ri = ctx.growInts(ri, 1)
+			}
+			li = append(li, int32(i))
+			ri = append(ri, int32(e-1))
 		}
 	}
+	if sig != nil {
+		cSigHit.Add(nHit)
+		cSigMiss.Add(nMiss)
+	}
+	return li, ri
+}
+
+// NatJoin computes the natural join of two tables on their shared column
+// labels, with output columns l.Cols followed by r's non-shared columns.
+// The operands may come from different interners; the result owns a
+// detached handle space covering both.
+func NatJoin(l, r *Table) *Table {
+	s := l.in.CloneTables()
+	r2 := alignTo(s, r)
+	l2 := &Table{Cols: l.Cols, in: s, cols: l.cols, n: l.n}
+	ctx := &evalCtx{in: s}
+	out := natJoinCtx(ctx, l2, r2)
+	noteBatch(out.n)
 	return out
+}
+
+// alignTo re-expresses t in the handle space of s, interning values s has
+// not seen. s must be privately owned by the caller; t is read-only.
+func alignTo(s *value.Interner, t *Table) *Table {
+	strs, bigs := t.in.InternRemap(s)
+	cols := make([][]value.Handle, len(t.cols))
+	for j, c := range t.cols {
+		nc := make([]value.Handle, t.n)
+		for i := 0; i < t.n; i++ {
+			nc[i] = c[i].Remap(strs, bigs)
+		}
+		cols[j] = nc
+	}
+	return &Table{Cols: t.Cols, in: s, cols: cols, n: t.n}
 }

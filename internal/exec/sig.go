@@ -1,0 +1,50 @@
+package exec
+
+import "repro/internal/value"
+
+// sigFilter is a batch-level signature pre-filter for hash joins, after
+// the two-level signature scheme of SchmittKAMM23: the build side's key
+// hashes are summarized into a small bitmap once per batch, and probe keys
+// whose signature bits are absent skip the hash-table walk entirely. Two
+// bits per key are taken from independent halves of the 64-bit row hash,
+// so the filter costs one extra word load per probe and pays off whenever
+// join selectivity is low (the common case for residue links and
+// constraint chases). Words are stored as value.Handle so the bitmap can
+// live in the arena's 8-byte slabs; Handle is a uint64 underneath.
+type sigFilter struct {
+	words []value.Handle
+	mask  uint32 // len(words) - 1
+}
+
+// sigMinRows gates filter construction: tiny build sides probe faster
+// than they filter.
+const sigMinRows = 16
+
+// newSigFilter builds a filter over the build side's key hashes, sized at
+// roughly 16 bits per key. Returns nil below the build threshold.
+func newSigFilter(ctx *evalCtx, hashes []value.Handle) *sigFilter {
+	if len(hashes) < sigMinRows {
+		return nil
+	}
+	words := 4
+	for words*64 < 16*len(hashes) {
+		words <<= 1
+	}
+	w := ctx.allocHandles(words)[:words]
+	clear(w)
+	f := &sigFilter{words: w, mask: uint32(words - 1)}
+	for _, hh := range hashes {
+		h := uint64(hh)
+		f.words[uint32(h>>6)&f.mask] |= 1 << (h & 63)
+		f.words[uint32(h>>38)&f.mask] |= 1 << ((h >> 32) & 63)
+	}
+	cSigBuilt.Add(1)
+	return f
+}
+
+// may reports whether a key with hash h can be on the build side; false
+// is definitive.
+func (f *sigFilter) may(h uint64) bool {
+	return f.words[uint32(h>>6)&f.mask]&(1<<(h&63)) != 0 &&
+		f.words[uint32(h>>38)&f.mask]&(1<<((h>>32)&63)) != 0
+}

@@ -635,7 +635,7 @@ func count(n *node, key string) int64 {
 // publishLocked swaps in a fresh immutable answer snapshot built from the
 // root's positive-count rows. Called with v.mu held.
 func (v *View) publishLocked() {
-	t := exec.NewTable(v.cols)
+	t := exec.NewTableSized(v.cols, len(v.root.rows))
 	for _, c := range v.root.rows {
 		if c.n > 0 {
 			t.Add(c.t)

@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/ivm"
 	"repro/internal/parser"
 	"repro/internal/ra"
@@ -773,6 +774,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs := s.eng.CacheStats()
 	resp := StatsResponse{
 		Cache:         cacheWire(cs),
+		Executor:      execWire(exec.ReadCounters()),
 		Apply:         applyW,
 		Routes:        routesW,
 		Residue:       residueW,
@@ -810,6 +812,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Ring = ring
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// execWire converts the executor's process-wide counters to their JSON
+// form, deriving the mean batch width and the arena pool hit rate.
+func execWire(c exec.Counters) ExecStatsWire {
+	w := ExecStatsWire{
+		Batches:    c.Batches,
+		Rows:       c.Rows,
+		ArenaGets:  c.ArenaGets,
+		ArenaNews:  c.ArenaNews,
+		ArenaBytes: c.ArenaBytesInUse,
+		SigBuilt:   c.SigBuilt,
+		SigHit:     c.SigHit,
+		SigMiss:    c.SigMiss,
+	}
+	if c.Batches > 0 {
+		w.RowsPerBatch = float64(c.Rows) / float64(c.Batches)
+	}
+	if c.ArenaGets > 0 {
+		w.PoolHitRate = 1 - float64(c.ArenaNews)/float64(c.ArenaGets)
+	}
+	return w
 }
 
 // cacheWire converts plan-cache counters to their JSON form.

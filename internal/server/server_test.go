@@ -361,6 +361,15 @@ func TestSchemaAndStats(t *testing.T) {
 	if st.Requests < 3 {
 		t.Fatalf("want request accounting, got %d", st.Requests)
 	}
+	// The executor block is always present: the two queries above ran
+	// through the vectorized core, so batch and arena counters moved.
+	ex := st.Executor
+	if ex.Batches <= 0 || ex.ArenaGets <= 0 {
+		t.Fatalf("executor counters not reported: %+v", ex)
+	}
+	if ex.RowsPerBatch < 0 || ex.PoolHitRate < 0 || ex.PoolHitRate > 1 {
+		t.Fatalf("derived executor metrics out of range: %+v", ex)
+	}
 }
 
 // TestIVMStatsAndMaterializedFlag pins the wire surface of answer

@@ -185,6 +185,10 @@ type StatsResponse struct {
 	// maintenance for hot fingerprints); absent when disabled. Behind a
 	// sharded router the counters are summed across engines.
 	IVM *IVMStatsWire `json:"ivm,omitempty"`
+	// Executor is the vectorized execution core's process-wide telemetry
+	// (batch volume, arena pooling, join signature pre-filter). Always
+	// present: every answer flows through the executor.
+	Executor ExecStatsWire `json:"executor"`
 	// Replication is the primary-side follower accounting (connected
 	// followers, acked LSNs, lag), present once a follower has connected
 	// to or bootstrapped from this durable serving layer.
@@ -192,6 +196,33 @@ type StatsResponse struct {
 	// Follower is the replica-side view when the served core.Service is a
 	// follower node: where it replicates from and how far it has applied.
 	Follower *FollowerStatsWire `json:"follower,omitempty"`
+}
+
+// ExecStatsWire is the executor block in GET /stats: process-wide
+// counters of the vectorized execution core (internal/exec), read with
+// one atomic load each. All counters are monotonic since process start.
+type ExecStatsWire struct {
+	// Batches counts operator output tables finalized; Rows the rows
+	// across them; RowsPerBatch their ratio (the mean batch width an
+	// operator hands downstream).
+	Batches      int64   `json:"batches"`
+	Rows         int64   `json:"rows"`
+	RowsPerBatch float64 `json:"rowsPerBatch"`
+	// ArenaGets counts arena checkouts (one per evaluation per worker),
+	// ArenaNews the subset that missed the sync.Pool and built a fresh
+	// arena, PoolHitRate 1 - News/Gets, and ArenaBytes the memory
+	// currently retained by checked-out arenas.
+	ArenaGets   int64   `json:"arenaGets"`
+	ArenaNews   int64   `json:"arenaNews"`
+	PoolHitRate float64 `json:"poolHitRate"`
+	ArenaBytes  int64   `json:"arenaBytes"`
+	// SigBuilt counts join signature pre-filters built; SigHit the probes
+	// they rejected before the hash table; SigMiss the probes passed
+	// through. Hit/(Hit+Miss) is the filter's selectivity on this
+	// workload.
+	SigBuilt int64 `json:"sigBuilt"`
+	SigHit   int64 `json:"sigHit"`
+	SigMiss  int64 `json:"sigMiss"`
 }
 
 // ReplicationWire is the primary-side replication block in GET /stats.

@@ -131,15 +131,9 @@ func (re *residueEval) eval(q ra.Query) (*exec.Table, []ra.Attr, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		out := exec.NewTable(in.Cols)
-		for _, row := range in.Tuples() {
-			ok, err := exec.PredsHold(row, ia, t.Preds)
-			if err != nil {
-				return nil, nil, err
-			}
-			if ok {
-				out.Add(row)
-			}
+		out, err := exec.FilterTable(in, ia, t.Preds)
+		if err != nil {
+			return nil, nil, err
 		}
 		return out, ia, nil
 	case *ra.Project:
@@ -157,11 +151,7 @@ func (re *residueEval) eval(q ra.Query) (*exec.Table, []ra.Attr, error) {
 			pos[i] = p
 			cols[i] = a.String()
 		}
-		out := exec.NewTable(cols)
-		for _, row := range in.Tuples() {
-			out.Add(row.Project(pos))
-		}
-		return out, t.Attrs, nil
+		return exec.ProjectTable(in, pos, cols), t.Attrs, nil
 	case *ra.Union:
 		l, la, err := re.eval(t.L)
 		if err != nil {
@@ -171,14 +161,7 @@ func (re *residueEval) eval(q ra.Query) (*exec.Table, []ra.Attr, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		out := exec.NewTable(l.Cols)
-		for _, row := range l.Tuples() {
-			out.Add(row)
-		}
-		for _, row := range rt.Tuples() {
-			out.Add(row)
-		}
-		return out, la, nil
+		return exec.UnionTables(l.Cols, l, rt), la, nil
 	case *ra.Diff:
 		l, la, err := re.eval(t.L)
 		if err != nil {
@@ -188,13 +171,7 @@ func (re *residueEval) eval(q ra.Query) (*exec.Table, []ra.Attr, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		out := exec.NewTable(l.Cols)
-		for _, row := range l.Tuples() {
-			if !rt.Has(row) {
-				out.Add(row)
-			}
-		}
-		return out, la, nil
+		return exec.DiffTables(l, rt), la, nil
 	case *ra.Product:
 		return re.joinProduct(t)
 	default:
@@ -260,15 +237,9 @@ func (re *residueEval) selectOverProduct(preds []ra.Pred, p *ra.Product) (*exec.
 	if len(rest) == 0 {
 		return out, attrs, nil
 	}
-	filtered := exec.NewTable(out.Cols)
-	for _, row := range out.Tuples() {
-		ok, err := exec.PredsHold(row, attrs, rest)
-		if err != nil {
-			return nil, nil, err
-		}
-		if ok {
-			filtered.Add(row)
-		}
+	filtered, err := exec.FilterTable(out, attrs, rest)
+	if err != nil {
+		return nil, nil, err
 	}
 	return filtered, attrs, nil
 }
@@ -317,11 +288,5 @@ func (re *residueEval) scatterEval(q ra.Query) (*exec.Table, []ra.Attr, error) {
 	for _, s := range stats {
 		re.addStats(s)
 	}
-	out := exec.NewTable(tables[0].Cols)
-	for _, t := range tables {
-		for _, row := range t.Tuples() {
-			out.Add(row)
-		}
-	}
-	return out, attrs[0], nil
+	return exec.UnionTables(tables[0].Cols, tables...), attrs[0], nil
 }

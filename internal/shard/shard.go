@@ -745,12 +745,7 @@ func (r *Router) gather(norm ra.Query, fp string, opts core.Options, members []*
 			return nil, nil, err
 		}
 	}
-	out := exec.NewTable(tables[0].Cols)
-	for _, t := range tables {
-		for _, row := range t.Tuples() {
-			out.Add(row)
-		}
-	}
+	out := exec.UnionTables(tables[0].Cols, tables...)
 	rep := *reports[0]
 	for _, sub := range reports[1:] {
 		rep.Covered = rep.Covered && sub.Covered

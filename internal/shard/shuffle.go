@@ -4,21 +4,21 @@
 //
 // Both branches are evaluated distributed (each shard computes its
 // fragment, the router unions), then joined on their linked equality
-// classes in three steps:
+// classes in three steps, all batched through exec.ShuffleJoin:
 //
 //  1. link discovery — an equality class containing an attribute of each
 //     branch scope is a join link; residue.go's package comment proves
 //     filtering on links early is exact.
 //  2. semi-join reduction — the smaller role: the left branch's link-key
-//     set is built once, and right rows whose key has no left partner are
-//     dropped before any row is handed to the shuffle, bounding the
-//     shuffled volume by the join's selectivity.
+//     set is built once over its key columns, and right rows whose key has
+//     no left partner are dropped before any row is handed to the shuffle,
+//     bounding the shuffled volume by the join's selectivity.
 //  3. shuffle — surviving rows of both sides are bucketed by link-key
 //     hash, one bucket per member, and the per-bucket hash joins run
-//     concurrently on the member worker pools (pool.go). Equal keys land
-//     in equal buckets, so the bucket joins partition the true join;
-//     bucket outputs are disjoint in their link columns and merge by set
-//     union.
+//     concurrently on the member worker pools (pool.go). Both sides are
+//     brought into one handle space first, so equal keys land in equal
+//     buckets; the bucket joins partition the true join, their outputs are
+//     disjoint in their link columns and merge by set union.
 //
 // Everything runs in one process, so "shipping" a row to a bucket is an
 // assignment, not a network hop; BytesShipped in ResidueStats accounts
@@ -26,7 +26,8 @@
 // would put on the wire in a multi-node deployment.
 //
 // A product with no link (a true cross product surviving normalization)
-// is joined router-side by nested loops — there is no key to shuffle on.
+// is joined router-side by a columnar cross product — there is no key to
+// shuffle on.
 package shard
 
 import (
@@ -34,7 +35,6 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/ra"
-	"repro/internal/value"
 )
 
 // joinProduct evaluates a non-co-located product: both branches
@@ -49,7 +49,6 @@ func (re *residueEval) joinProduct(t *ra.Product) (*exec.Table, []ra.Attr, error
 	if err != nil {
 		return nil, nil, err
 	}
-	outCols := append(append([]string{}, l.Cols...), rt.Cols...)
 	outAttrs := append(append([]ra.Attr{}, la...), ra2...)
 
 	// Link discovery: one (left position, right position) pair per
@@ -72,15 +71,8 @@ func (re *residueEval) joinProduct(t *ra.Product) (*exec.Table, []ra.Attr, error
 	}
 
 	if len(links) == 0 {
-		// No join key: a residual cross product, joined by nested loops
-		// router-side.
-		out := exec.NewTable(outCols)
-		for _, a := range l.Tuples() {
-			for _, b := range rt.Tuples() {
-				out.Add(concatRows(a, b))
-			}
-		}
-		return out, outAttrs, nil
+		// No join key: a residual cross product, joined router-side.
+		return exec.CrossTables(l, rt), outAttrs, nil
 	}
 
 	lpos := make([]int, len(links))
@@ -89,98 +81,27 @@ func (re *residueEval) joinProduct(t *ra.Product) (*exec.Table, []ra.Attr, error
 		lpos[i] = lk.li
 		rpos[i] = lk.ri
 	}
-	keyOf := func(row value.Tuple, pos []int) string {
-		k := make(value.Tuple, len(pos))
-		for i, p := range pos {
-			k[i] = row[p]
-		}
-		return k.Key()
-	}
 
-	// Semi-join reduction: right rows without a left partner never reach
-	// the shuffle.
+	// Semi-join reduction and shuffle, batched: right rows without a left
+	// partner never reach a bucket.
 	re.r.resSemiJoins.Add(1)
-	lkeys := make(map[string]bool, l.Len())
-	for _, row := range l.Tuples() {
-		lkeys[keyOf(row, lpos)] = true
-	}
-
-	// Shuffle: bucket both sides by link-key hash, one bucket per member.
 	re.r.resShuffles.Add(1)
-	nb := len(re.st.members)
-	lbuckets := make([][]value.Tuple, nb)
-	rbuckets := make([][]value.Tuple, nb)
-	lkeyed := make([][]string, nb)
-	rkeyed := make([][]string, nb)
-	var shipped int64
-	for _, row := range l.Tuples() {
-		k := keyOf(row, lpos)
-		b := int(hashKey(k) % uint64(nb))
-		lbuckets[b] = append(lbuckets[b], row)
-		lkeyed[b] = append(lkeyed[b], k)
-		shipped += int64(len(row.Key()))
-	}
-	for _, row := range rt.Tuples() {
-		k := keyOf(row, rpos)
-		if !lkeys[k] {
-			continue
-		}
-		b := int(hashKey(k) % uint64(nb))
-		rbuckets[b] = append(rbuckets[b], row)
-		rkeyed[b] = append(rkeyed[b], k)
-		shipped += int64(len(row.Key()))
-	}
-	re.r.resBytesShipped.Add(shipped)
+	sj := exec.NewShuffleJoin(l, rt, lpos, rpos, len(re.st.members))
+	re.r.resBytesShipped.Add(sj.BytesShipped())
 
 	// Per-bucket hash joins on the member pools; outputs merge by set
 	// union (disjoint across buckets: the link columns differ).
-	results := make([]*exec.Table, nb)
+	results := make([]*exec.Table, sj.Buckets())
 	var wg sync.WaitGroup
 	for b := range results {
-		if len(lbuckets[b]) == 0 || len(rbuckets[b]) == 0 {
-			continue
-		}
 		b := b
 		wg.Add(1)
 		re.st.members[b].pool.submit(func() {
 			defer wg.Done()
-			results[b] = bucketJoin(outCols, lbuckets[b], lkeyed[b], rbuckets[b], rkeyed[b])
+			results[b] = sj.JoinBucket(b)
 		})
 	}
 	wg.Wait()
-	out := exec.NewTable(outCols)
-	for _, t := range results {
-		if t == nil {
-			continue
-		}
-		for _, row := range t.Tuples() {
-			out.Add(row)
-		}
-	}
-	return out, outAttrs, nil
-}
-
-// bucketJoin hash-joins one bucket: right rows are grouped by link key,
-// left rows probe, and matching pairs concatenate in (left, right) column
-// order.
-func bucketJoin(cols []string, lrows []value.Tuple, lkeys []string, rrows []value.Tuple, rkeys []string) *exec.Table {
-	byKey := make(map[string][]value.Tuple, len(rrows))
-	for i, row := range rrows {
-		byKey[rkeys[i]] = append(byKey[rkeys[i]], row)
-	}
-	out := exec.NewTable(cols)
-	for i, a := range lrows {
-		for _, b := range byKey[lkeys[i]] {
-			out.Add(concatRows(a, b))
-		}
-	}
-	return out
-}
-
-// concatRows appends two rows into a fresh tuple.
-func concatRows(a, b value.Tuple) value.Tuple {
-	row := make(value.Tuple, 0, len(a)+len(b))
-	row = append(row, a...)
-	row = append(row, b...)
-	return row
+	outCols := append(append([]string{}, l.Cols...), rt.Cols...)
+	return exec.UnionTables(outCols, results...), outAttrs, nil
 }

@@ -507,6 +507,50 @@ func (db *DB) Fetch(c access.Constraint, xvals value.Tuple) ([]value.Tuple, erro
 	return out, nil
 }
 
+// FetchBatch performs Fetch for every X tuple in xs under one shared lock,
+// invoking emit(i, rows) for each probe in order. The rows slice is reused
+// between probes — callers must consume it inside emit. Access accounting
+// is identical to len(xs) individual Fetch calls (one charge for an empty
+// probe, one per returned tuple otherwise), added once at the end. The
+// vectorized fetch operator uses it to amortize lock and key-encoding costs
+// over a whole batch of distinct X values.
+func (db *DB) FetchBatch(c access.Constraint, xs []value.Tuple, emit func(i int, rows []value.Tuple)) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	idx, ok := db.indexes[c.Key()]
+	if !ok {
+		return fmt.Errorf("store: no index for %s", c)
+	}
+	var (
+		buf     []byte
+		scratch []value.Tuple
+		charged int64
+	)
+	for i, xvals := range xs {
+		if len(xvals) != len(c.X) {
+			return fmt.Errorf("store: fetch via %s expects %d X values, got %d", c, len(c.X), len(xvals))
+		}
+		buf = buf[:0]
+		for _, v := range xvals {
+			buf = value.AppendKey(buf, v)
+		}
+		b := idx.bucket[string(buf)] // no-alloc map probe
+		if len(b) == 0 {
+			charged++ // probing an absent key still touches the index once
+			emit(i, nil)
+			continue
+		}
+		scratch = scratch[:0]
+		for _, rr := range b {
+			scratch = append(scratch, rr.t)
+		}
+		charged += int64(len(scratch))
+		emit(i, scratch)
+	}
+	atomic.AddInt64(&db.counter.Fetched, charged)
+	return nil
+}
+
 // --- constraint validation & maintenance ----------------------------------
 
 // Satisfies verifies that the current instance satisfies constraint c,

@@ -1,0 +1,225 @@
+package value
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIntHandleInlineRange(t *testing.T) {
+	for _, i := range []int64{0, 1, -1, 42, -42, 1<<61 - 1, -(1 << 61)} {
+		h, ok := IntHandle(i)
+		if !ok {
+			t.Fatalf("IntHandle(%d) should fit the inline payload", i)
+		}
+		if h.IsNull() {
+			t.Fatalf("IntHandle(%d) must not be the null handle", i)
+		}
+		in := NewInterner()
+		if got := in.Decode(h); got != NewInt(i) {
+			t.Fatalf("Decode(IntHandle(%d)) = %v", i, got)
+		}
+	}
+	for _, i := range []int64{1 << 61, -(1 << 61) - 1, 1<<63 - 1, -1 << 63} {
+		if _, ok := IntHandle(i); ok {
+			t.Fatalf("IntHandle(%d) should overflow the inline payload", i)
+		}
+	}
+}
+
+func TestNullHandle(t *testing.T) {
+	if !NullHandle.IsNull() {
+		t.Fatal("NullHandle must report IsNull")
+	}
+	in := NewInterner()
+	if h := in.Intern(Value{}); h != NullHandle {
+		t.Fatalf("interning Null gave %#x", uint64(h))
+	}
+	if !in.Decode(NullHandle).IsNull() {
+		t.Fatal("decoding NullHandle must give the Null value")
+	}
+	if h, ok := in.LookupHandle(Value{}); !ok || h != NullHandle {
+		t.Fatalf("LookupHandle(Null) = %#x, %v", uint64(h), ok)
+	}
+}
+
+func TestInternRoundTrip(t *testing.T) {
+	in := NewInterner()
+	vals := []Value{
+		NewInt(7),
+		NewStr("alpha"),
+		NewStr("beta"),
+		NewInt(1 << 62), // big int: overflows the inline payload
+		NewInt(-(1 << 62)),
+		{},
+	}
+	handles := make([]Handle, len(vals))
+	for i, v := range vals {
+		handles[i] = in.Intern(v)
+	}
+	for i, v := range vals {
+		if got := in.Decode(handles[i]); got != v {
+			t.Fatalf("round trip of %v gave %v", v, got)
+		}
+		// Interning again must return the identical handle.
+		if again := in.Intern(v); again != handles[i] {
+			t.Fatalf("re-interning %v gave a different handle", v)
+		}
+		// And lookup must find it without extending the tables.
+		if h, ok := in.LookupHandle(v); !ok || h != handles[i] {
+			t.Fatalf("LookupHandle(%v) = %#x, %v", v, uint64(h), ok)
+		}
+	}
+	// Distinct values get distinct handles.
+	seen := map[Handle]bool{}
+	for _, h := range handles {
+		if seen[h] {
+			t.Fatalf("handle %#x issued twice", uint64(h))
+		}
+		seen[h] = true
+	}
+	if in.Strings() != 2 {
+		t.Fatalf("Strings() = %d, want 2", in.Strings())
+	}
+	if _, ok := in.LookupHandle(NewStr("gamma")); ok {
+		t.Fatal("lookup of a never-interned string must miss")
+	}
+	if _, ok := in.LookupHandle(NewInt(3 << 60)); ok {
+		t.Fatal("lookup of a never-interned big int must miss")
+	}
+}
+
+func TestInternerReset(t *testing.T) {
+	in := NewInterner()
+	in.Intern(NewStr("alpha"))
+	in.Intern(NewInt(1 << 62))
+	in.Reset()
+	if in.Strings() != 0 {
+		t.Fatalf("Strings() after Reset = %d", in.Strings())
+	}
+	if _, ok := in.LookupHandle(NewStr("alpha")); ok {
+		t.Fatal("Reset must drop interned strings")
+	}
+	if _, ok := in.LookupHandle(NewInt(1 << 62)); ok {
+		t.Fatal("Reset must drop interned big ints")
+	}
+	h := in.Intern(NewStr("beta"))
+	if got := in.Decode(h); got != NewStr("beta") {
+		t.Fatalf("post-Reset intern round trip gave %v", got)
+	}
+}
+
+func TestCloneTables(t *testing.T) {
+	in := NewInterner()
+	hs := in.Intern(NewStr("alpha"))
+	hb := in.Intern(NewInt(1 << 62))
+	clone := in.CloneTables()
+	if got := clone.Decode(hs); got != NewStr("alpha") {
+		t.Fatalf("clone decode of string handle gave %v", got)
+	}
+	if got := clone.Decode(hb); got != NewInt(1<<62) {
+		t.Fatalf("clone decode of big-int handle gave %v", got)
+	}
+	// The clone's reverse maps are rebuilt lazily; lookups must still agree,
+	// under concurrency (this is the ensureMaps publication path).
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if h, ok := clone.LookupHandle(NewStr("alpha")); !ok || h != hs {
+				t.Errorf("clone LookupHandle(alpha) = %#x, %v", uint64(h), ok)
+			}
+			if h, ok := clone.LookupHandle(NewInt(1 << 62)); !ok || h != hb {
+				t.Errorf("clone LookupHandle(big) = %#x, %v", uint64(h), ok)
+			}
+		}()
+	}
+	wg.Wait()
+	// Interning into the source after cloning must not leak into the clone.
+	in.Intern(NewStr("beta"))
+	if _, ok := clone.LookupHandle(NewStr("beta")); ok {
+		t.Fatal("clone must not see post-clone interning")
+	}
+}
+
+func TestRemapFamilies(t *testing.T) {
+	src := NewInterner()
+	ha := src.Intern(NewStr("alpha"))
+	hm := src.Intern(NewStr("missing"))
+	hb := src.Intern(NewInt(1 << 62))
+	hi := src.Intern(NewInt(5))
+
+	dst := NewInterner()
+	dst.Intern(NewStr("padding")) // shift ids so src and dst disagree
+	dst.Intern(NewStr("alpha"))
+	dst.Intern(NewInt(1 << 62))
+
+	strs, bigs := src.LookupRemap(dst)
+	if got := dst.Decode(ha.Remap(strs, bigs)); got != NewStr("alpha") {
+		t.Fatalf("remapped alpha decodes to %v", got)
+	}
+	if h := hm.Remap(strs, bigs); h != MissingHandle {
+		t.Fatalf("remap of a value dst never saw gave %#x, want MissingHandle", uint64(h))
+	}
+	if got := dst.Decode(hb.Remap(strs, bigs)); got != NewInt(1<<62) {
+		t.Fatalf("remapped big int decodes to %v", got)
+	}
+	// Inline ints and Null are interner-independent and pass through.
+	if h := hi.Remap(strs, bigs); h != hi {
+		t.Fatalf("inline int handle changed under remap: %#x -> %#x", uint64(hi), uint64(h))
+	}
+	if h := NullHandle.Remap(strs, bigs); h != NullHandle {
+		t.Fatalf("null handle changed under remap: %#x", uint64(h))
+	}
+	// LookupRemap must not have extended dst.
+	if _, ok := dst.LookupHandle(NewStr("missing")); ok {
+		t.Fatal("LookupRemap extended dst")
+	}
+
+	// InternRemap extends dst, so every handle becomes valid.
+	strs, bigs = src.LookupRemap(dst) // refresh (unchanged)
+	istrs, ibigs := src.InternRemap(dst)
+	for i := range strs {
+		if strs[i] != MissingHandle && strs[i] != istrs[i] {
+			t.Fatalf("InternRemap disagrees with LookupRemap on present string %d", i)
+		}
+	}
+	_ = ibigs
+	if got := dst.Decode(hm.Remap(istrs, ibigs)); got != NewStr("missing") {
+		t.Fatalf("InternRemap'd handle decodes to %v", got)
+	}
+}
+
+func TestInternTuple(t *testing.T) {
+	in := NewInterner()
+	tup := Tuple{NewInt(3), NewStr("alpha"), {}}
+	hs := in.InternTuple(nil, tup)
+	if len(hs) != len(tup) {
+		t.Fatalf("InternTuple returned %d handles for %d values", len(hs), len(tup))
+	}
+	for i, h := range hs {
+		if got := in.Decode(h); got != tup[i] {
+			t.Fatalf("handle %d decodes to %v, want %v", i, got, tup[i])
+		}
+	}
+}
+
+func TestAppendKeyMatchesTupleKey(t *testing.T) {
+	tup := Tuple{NewInt(-7), NewStr("a|b:c"), {}, NewInt(1 << 62)}
+	var buf []byte
+	for _, v := range tup {
+		buf = AppendKey(buf, v)
+	}
+	if string(buf) != tup.Key() {
+		t.Fatalf("AppendKey concatenation %q differs from Tuple.Key %q", buf, tup.Key())
+	}
+}
+
+func TestDecodeMalformedHandlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decoding a malformed null-tagged handle must panic")
+		}
+	}()
+	NewInterner().Decode(Handle(1)) // null tag with nonzero payload
+}
